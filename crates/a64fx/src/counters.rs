@@ -1,0 +1,143 @@
+//! PMU-style event counters and the paper's derived formulas.
+//!
+//! The paper measures cache behaviour with A64FX performance events read
+//! through PAPI (§4.3). The simulator exposes the same event names with
+//! the same semantics so the evaluation code can use the paper's formulas
+//! verbatim:
+//!
+//! * L2 cache misses = `L2D_CACHE_REFILL − L2D_SWAP_DM − L2D_CACHE_MIBMCH_PRF`
+//! * L2 demand misses = `L2D_CACHE_REFILL_DM`
+//! * memory bytes = `(L2D_CACHE_REFILL + L2D_CACHE_WB − L2D_SWAP_DM −
+//!   L2D_CACHE_MIBMCH_PRF) × 256`
+//!
+//! `L2D_SWAP_DM` (L1↔L2 swap traffic) and `L2D_CACHE_MIBMCH_PRF` (demand
+//! requests merged with in-flight prefetches) are architectural artefacts
+//! the simulator does not generate; they are carried as always-zero fields
+//! so the formulas remain faithful.
+
+/// A snapshot of the machine's PMU-style counters, aggregated and per
+/// core/domain.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PmuSnapshot {
+    /// L1D fills from L2 (demand misses + L1 prefetch fills), all cores.
+    pub l1d_cache_refill: u64,
+    /// L1D demand misses only, all cores.
+    pub l1d_demand_misses: u64,
+    /// L2 fills from memory (demand + prefetch), all domains.
+    pub l2d_cache_refill: u64,
+    /// L2 fills triggered by demand requests, all domains.
+    pub l2d_cache_refill_dm: u64,
+    /// L2 fills triggered by hardware prefetch, all domains.
+    pub l2d_cache_refill_prf: u64,
+    /// Demand requests that merged with an in-flight prefetch (always 0 in
+    /// this simulator; kept for formula fidelity).
+    pub l2d_cache_mibmch_prf: u64,
+    /// L1↔L2 swap move-ins (always 0 in this simulator).
+    pub l2d_swap_dm: u64,
+    /// L2 writebacks to memory.
+    pub l2d_cache_wb: u64,
+    /// Evictions of never-used prefetched lines (the §4.3 premature
+    /// eviction signature), both levels.
+    pub evicted_unused_prefetches: u64,
+    /// Per-core L1 demand misses.
+    pub per_core_l1_demand_misses: Vec<u64>,
+    /// Per-core L2 demand misses (attributed to the requesting core).
+    pub per_core_l2_demand_misses: Vec<u64>,
+    /// Per-domain L2 fills (demand + prefetch).
+    pub per_domain_l2_refill: Vec<u64>,
+    /// Per-domain L2 writebacks.
+    pub per_domain_l2_wb: Vec<u64>,
+}
+
+impl PmuSnapshot {
+    /// The paper's "L2 cache misses": lines transferred from memory into
+    /// L2 (`REFILL − SWAP_DM − MIBMCH_PRF`).
+    pub fn l2_misses(&self) -> u64 {
+        self.l2d_cache_refill - self.l2d_swap_dm - self.l2d_cache_mibmch_prf
+    }
+
+    /// The paper's "L2 demand misses" (`L2D_CACHE_REFILL_DM`).
+    pub fn l2_demand_misses(&self) -> u64 {
+        self.l2d_cache_refill_dm
+    }
+
+    /// L1 misses (`L1D_CACHE_REFILL`).
+    pub fn l1_misses(&self) -> u64 {
+        self.l1d_cache_refill
+    }
+
+    /// Bytes moved between memory and L2, per the paper's §4.4 bandwidth
+    /// formula (without the division by time).
+    pub fn memory_bytes(&self, line_bytes: usize) -> u64 {
+        (self.l2d_cache_refill + self.l2d_cache_wb
+            - self.l2d_swap_dm
+            - self.l2d_cache_mibmch_prf)
+            * line_bytes as u64
+    }
+
+    /// Largest per-core L1 demand-miss count (critical path term).
+    pub fn max_core_l1_demand_misses(&self) -> u64 {
+        self.per_core_l1_demand_misses.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Largest per-core L2 demand-miss count (critical path term).
+    pub fn max_core_l2_demand_misses(&self) -> u64 {
+        self.per_core_l2_demand_misses.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Largest per-domain memory traffic in bytes (bandwidth bottleneck).
+    pub fn max_domain_memory_bytes(&self, line_bytes: usize) -> u64 {
+        self.per_domain_l2_refill
+            .iter()
+            .zip(&self.per_domain_l2_wb)
+            .map(|(&r, &w)| (r + w) * line_bytes as u64)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PmuSnapshot {
+        PmuSnapshot {
+            l1d_cache_refill: 1000,
+            l1d_demand_misses: 900,
+            l2d_cache_refill: 500,
+            l2d_cache_refill_dm: 300,
+            l2d_cache_refill_prf: 200,
+            l2d_cache_wb: 100,
+            per_core_l1_demand_misses: vec![400, 500],
+            per_core_l2_demand_misses: vec![120, 180],
+            per_domain_l2_refill: vec![500],
+            per_domain_l2_wb: vec![100],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn paper_formulas() {
+        let p = sample();
+        assert_eq!(p.l2_misses(), 500);
+        assert_eq!(p.l2_demand_misses(), 300);
+        assert_eq!(p.memory_bytes(256), 600 * 256);
+        assert_eq!(p.l1_misses(), 1000);
+    }
+
+    #[test]
+    fn critical_path_terms() {
+        let p = sample();
+        assert_eq!(p.max_core_l1_demand_misses(), 500);
+        assert_eq!(p.max_core_l2_demand_misses(), 180);
+        assert_eq!(p.max_domain_memory_bytes(256), 600 * 256);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let p = PmuSnapshot::default();
+        assert_eq!(p.l2_misses(), 0);
+        assert_eq!(p.max_core_l1_demand_misses(), 0);
+        assert_eq!(p.memory_bytes(256), 0);
+    }
+}

@@ -1,0 +1,305 @@
+//! The simulated machine: private L1Ds, shared per-domain L2s, prefetchers.
+//!
+//! Request flow for a demand access from core `c`:
+//!
+//! 1. The access's array determines its **sector ID** (the paper's
+//!    Listing 1 tags `a`/`colidx` with sector 1 via compiler directives).
+//! 2. L1D lookup. A dirty L1 victim is written back to the domain's L2.
+//! 3. On L1 miss, the domain's L2 is accessed as a demand request; a dirty
+//!    L2 victim counts as a memory writeback.
+//! 4. The core's stream prefetcher trains on the L1 demand-miss line
+//!    stream (the sequence of lines the L2 sees). Prefetched lines are
+//!    filled into L2 with the sector of the triggering access, and —
+//!    within the shorter L1 distance — into the L1 as well.
+//!
+//! Caches are non-inclusive write-back/write-allocate; writebacks never
+//! allocate. The model is deliberately minimal: everything the paper's
+//! evaluation needs (miss counts per level, demand vs. prefetch fills,
+//! writeback traffic, premature prefetch eviction) emerges from this flow.
+
+use crate::cache::{Cache, Outcome, Request};
+use crate::config::MachineConfig;
+use crate::counters::PmuSnapshot;
+use crate::prefetch::StreamPrefetcher;
+use memtrace::{Access, ArraySet};
+
+struct Core {
+    l1: Cache,
+    prefetcher: StreamPrefetcher,
+    /// Scratch buffer for prefetch emissions.
+    pf_buf: Vec<u64>,
+    /// L2 demand misses attributed to this core.
+    l2_demand_misses: u64,
+}
+
+/// The simulated A64FX machine.
+pub struct Machine {
+    cfg: MachineConfig,
+    sector1: ArraySet,
+    cores: Vec<Core>,
+    domains: Vec<Cache>,
+    /// Writebacks that missed L2 and went straight to memory.
+    direct_memory_writebacks: u64,
+}
+
+impl Machine {
+    /// Builds a machine with the given configuration; arrays in `sector1`
+    /// are tagged with sector ID 1 on every memory request.
+    pub fn new(cfg: MachineConfig, sector1: ArraySet) -> Self {
+        let cores = (0..cfg.num_cores)
+            .map(|_| Core {
+                l1: Cache::new(cfg.l1, cfg.l1_sector, cfg.replacement),
+                prefetcher: if cfg.prefetch.enabled {
+                    StreamPrefetcher::new(cfg.prefetch.streams, cfg.prefetch.l2_distance)
+                } else {
+                    StreamPrefetcher::off()
+                },
+                pf_buf: Vec::new(),
+                l2_demand_misses: 0,
+            })
+            .collect();
+        let domains = (0..cfg.num_domains())
+            .map(|_| Cache::new(cfg.l2, cfg.l2_sector, cfg.replacement))
+            .collect();
+        Machine { cfg, sector1, cores, domains, direct_memory_writebacks: 0 }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Sector ID for an access, from the machine's array assignment.
+    #[inline]
+    pub fn sector_of(&self, access: &Access) -> u8 {
+        u8::from(self.sector1.contains(access.array))
+    }
+
+    /// Performs one demand access on behalf of `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn demand_access(&mut self, core: usize, access: Access) {
+        let sector = self.sector_of(&access);
+        let domain = self.cfg.domain_of(core);
+
+        // Software-prefetch hints warm the L2 (and L1) without demanding
+        // data, stalling, or training the hardware prefetcher.
+        if access.sw_prefetch {
+            self.domains[domain].access(access.line, sector, Request::Prefetch);
+            if let Outcome::Miss { writeback: Some(victim), .. } =
+                self.cores[core].l1.access(access.line, sector, Request::Prefetch)
+            {
+                self.writeback_to_l2(domain, victim);
+            }
+            return;
+        }
+
+        let request = if access.write { Request::Store } else { Request::Load };
+
+        let l1_outcome = self.cores[core].l1.access(access.line, sector, request);
+        let l1_missed = match l1_outcome {
+            Outcome::Hit { .. } => false,
+            Outcome::Miss { writeback, .. } => {
+                if let Some(victim) = writeback {
+                    self.writeback_to_l2(domain, victim);
+                }
+                true
+            }
+            Outcome::WritebackMiss => unreachable!("demand requests allocate"),
+        };
+
+        if l1_missed {
+            // L1 miss -> demand request to the shared L2.
+            let l2_outcome = self.domains[domain].access(access.line, sector, Request::Load);
+            if matches!(l2_outcome, Outcome::Miss { .. }) {
+                self.cores[core].l2_demand_misses += 1;
+            }
+        }
+
+        // Train the prefetcher on the demand line stream. Training sees
+        // every demand access (not only L1 misses): otherwise the
+        // prefetcher's own L1 fills would hide the stream it is following.
+        let mut pf_buf = std::mem::take(&mut self.cores[core].pf_buf);
+        pf_buf.clear();
+        self.cores[core].prefetcher.observe(access.line, &mut pf_buf);
+        let l1_window = access.line + self.cfg.prefetch.l1_distance as u64;
+        for &pf_line in &pf_buf {
+            self.domains[domain].access(pf_line, sector, Request::Prefetch);
+            if self.cfg.prefetch.l1_distance > 0 && pf_line <= l1_window {
+                if let Outcome::Miss { writeback: Some(victim), .. } =
+                    self.cores[core].l1.access(pf_line, sector, Request::Prefetch)
+                {
+                    self.writeback_to_l2(domain, victim);
+                }
+            }
+        }
+        self.cores[core].pf_buf = pf_buf;
+    }
+
+    fn writeback_to_l2(&mut self, domain: usize, line: u64) {
+        if self.domains[domain].access(line, 0, Request::Writeback) == Outcome::WritebackMiss {
+            self.direct_memory_writebacks += 1;
+        }
+    }
+
+    /// Zeroes all event counters while keeping cache and prefetcher state
+    /// (used to discard the warm-up iteration).
+    pub fn reset_stats(&mut self) {
+        for core in &mut self.cores {
+            core.l1.reset_stats();
+            core.l2_demand_misses = 0;
+        }
+        for l2 in &mut self.domains {
+            l2.reset_stats();
+        }
+        self.direct_memory_writebacks = 0;
+    }
+
+    /// Aggregates all counters into a [`PmuSnapshot`].
+    pub fn pmu(&self) -> PmuSnapshot {
+        let mut snap = PmuSnapshot::default();
+        for core in &self.cores {
+            let s = core.l1.stats();
+            snap.l1d_cache_refill += s.fills();
+            snap.l1d_demand_misses += s.demand_misses;
+            snap.evicted_unused_prefetches += s.evicted_unused_prefetches;
+            snap.per_core_l1_demand_misses.push(s.demand_misses);
+            snap.per_core_l2_demand_misses.push(core.l2_demand_misses);
+        }
+        for l2 in &self.domains {
+            let s = l2.stats();
+            snap.l2d_cache_refill += s.fills();
+            snap.l2d_cache_refill_dm += s.demand_misses;
+            snap.l2d_cache_refill_prf += s.prefetch_fills;
+            snap.l2d_cache_wb += s.writebacks;
+            snap.evicted_unused_prefetches += s.evicted_unused_prefetches;
+            snap.per_domain_l2_refill.push(s.fills());
+            snap.per_domain_l2_wb.push(s.writebacks);
+        }
+        snap.l2d_cache_wb += self.direct_memory_writebacks;
+        snap
+    }
+
+    /// Direct read access to a domain's L2 (tests, diagnostics).
+    pub fn l2(&self, domain: usize) -> &Cache {
+        &self.domains[domain]
+    }
+
+    /// Direct read access to a core's L1 (tests, diagnostics).
+    pub fn l1(&self, core: usize) -> &Cache {
+        &self.cores[core].l1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MachineConfig, PrefetchConfig};
+    use memtrace::Array;
+
+    fn tiny_machine(sector1_ways: usize, prefetch: bool) -> Machine {
+        let mut cfg = MachineConfig::a64fx_scaled(64).with_cores(2);
+        cfg.cores_per_domain = 2;
+        if sector1_ways > 0 {
+            cfg = cfg.with_l2_sector(sector1_ways);
+        }
+        if !prefetch {
+            cfg = cfg.with_prefetch(PrefetchConfig::off());
+        }
+        Machine::new(cfg, ArraySet::MATRIX_STREAM)
+    }
+
+    #[test]
+    fn sector_assignment_follows_array_set() {
+        let m = tiny_machine(2, false);
+        assert_eq!(m.sector_of(&Access::load(0, Array::A)), 1);
+        assert_eq!(m.sector_of(&Access::load(0, Array::ColIdx)), 1);
+        assert_eq!(m.sector_of(&Access::load(0, Array::X)), 0);
+        assert_eq!(m.sector_of(&Access::load(0, Array::RowPtr)), 0);
+    }
+
+    #[test]
+    fn l1_hit_generates_no_l2_traffic() {
+        let mut m = tiny_machine(0, false);
+        m.demand_access(0, Access::load(7, Array::X));
+        let after_first = m.pmu().l2d_cache_refill;
+        m.demand_access(0, Access::load(7, Array::X));
+        assert_eq!(m.pmu().l2d_cache_refill, after_first);
+        assert_eq!(m.pmu().l1d_demand_misses, 1);
+    }
+
+    #[test]
+    fn l1_miss_l2_hit_refills_l1_only() {
+        let mut m = tiny_machine(0, false);
+        // Core 0 loads the line into its L1 and the shared L2.
+        m.demand_access(0, Access::load(7, Array::X));
+        // Core 1 (same domain) misses L1, hits L2.
+        m.demand_access(1, Access::load(7, Array::X));
+        let p = m.pmu();
+        assert_eq!(p.l1d_demand_misses, 2);
+        assert_eq!(p.l2d_cache_refill, 1);
+        assert_eq!(p.per_core_l2_demand_misses, vec![1, 0]);
+    }
+
+    #[test]
+    fn dirty_lines_propagate_writebacks() {
+        let mut m = tiny_machine(0, false);
+        let l1_lines = m.config().l1.total_lines() as u64;
+        let sets = m.config().l1.num_sets() as u64;
+        // Store to a line, then stream enough conflicting lines through the
+        // same L1 set to force the dirty victim out.
+        m.demand_access(0, Access::store(0, Array::Y));
+        for i in 1..=m.config().l1.ways as u64 {
+            m.demand_access(0, Access::load(i * sets, Array::X));
+        }
+        // The dirty line was written back into the L2 (present there), so
+        // no direct memory writeback and no L2 writeback yet.
+        let p = m.pmu();
+        assert_eq!(p.l2d_cache_wb, 0);
+        assert!(p.l1d_demand_misses >= m.config().l1.ways as u64);
+        let _ = l1_lines;
+    }
+
+    #[test]
+    fn prefetcher_fills_l2_ahead_of_stream() {
+        let mut m = tiny_machine(0, true);
+        // Walk a long ascending line stream.
+        for l in 0..32u64 {
+            m.demand_access(0, Access::load(l, Array::A));
+        }
+        let p = m.pmu();
+        assert!(p.l2d_cache_refill_prf > 0, "prefetch fills expected");
+        // Prefetched lines beyond the demand frontier are resident in L2.
+        assert!(m.l2(0).contains(32 + m.config().prefetch.l2_distance as u64 - 1));
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut m = tiny_machine(0, false);
+        m.demand_access(0, Access::load(5, Array::X));
+        m.reset_stats();
+        assert_eq!(m.pmu().l2d_cache_refill, 0);
+        // Still resident: re-access hits both levels.
+        m.demand_access(0, Access::load(5, Array::X));
+        let p = m.pmu();
+        assert_eq!(p.l1d_demand_misses, 0);
+        assert_eq!(p.l2d_cache_refill, 0);
+    }
+
+    #[test]
+    fn domains_are_independent() {
+        let mut cfg = MachineConfig::a64fx_scaled(64).with_cores(4);
+        cfg.cores_per_domain = 2;
+        let mut m = Machine::new(cfg, ArraySet::EMPTY);
+        // Core 0 (domain 0) and core 2 (domain 1) load the same line: each
+        // domain fetches its own copy — the paper's §3.1 replication note.
+        m.demand_access(0, Access::load(9, Array::X));
+        m.demand_access(2, Access::load(9, Array::X));
+        let p = m.pmu();
+        assert_eq!(p.l2d_cache_refill, 2);
+        assert_eq!(p.per_domain_l2_refill, vec![1, 1]);
+        assert!(m.l2(0).contains(9) && m.l2(1).contains(9));
+    }
+}

@@ -1,0 +1,46 @@
+//! A64FX simulator throughput: accesses per second through the full
+//! L1 → L2 → memory hierarchy under different sector and prefetch
+//! configurations.
+
+use a64fx::{simulate_spmv, PrefetchConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use memtrace::ArraySet;
+use spmv_bench::runner::{machine_for, SweepPoint};
+
+fn bench_simulator(c: &mut Criterion) {
+    let suite = corpus::corpus(1, 64, 3);
+    let m = &suite[0].matrix;
+    // One measured iteration touches ~3.2 references per nonzero.
+    let refs = (m.nnz() as u64) * 3 + 2 * m.num_rows() as u64;
+
+    let mut group = c.benchmark_group("cachesim");
+    group.throughput(Throughput::Elements(refs));
+
+    let configs = [
+        ("baseline", SweepPoint::BASELINE, true),
+        ("sector-5w", SweepPoint { l2_ways: 5, l1_ways: 0 }, true),
+        ("sector-5w-nopf", SweepPoint { l2_ways: 5, l1_ways: 0 }, false),
+    ];
+    for (name, point, prefetch) in configs {
+        for threads in [1usize, 8] {
+            let mut cfg = machine_for(64, threads, point);
+            if !prefetch {
+                cfg = cfg.with_prefetch(PrefetchConfig::off());
+            }
+            let sector = if point.l2_ways > 0 { ArraySet::MATRIX_STREAM } else { ArraySet::EMPTY };
+            group.bench_with_input(
+                BenchmarkId::new(name, threads),
+                &threads,
+                |b, &t| b.iter(|| simulate_spmv(m, &cfg, sector, t, 1)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simulator
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! SpMV kernel micro-benchmarks: sequential vs. row-parallel vs.
+//! merge-based CSR SpMV (the §2.1 kernel and the [18] baseline), on a
+//! regular and a row-skewed matrix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sparsemat::{spmv, CooMatrix, CsrMatrix, RowPartition};
+
+fn regular_matrix(n: usize, per_row: usize) -> CsrMatrix {
+    let mut state = 42u64;
+    let mut coo = CooMatrix::new(n, n);
+    for r in 0..n {
+        for _ in 0..per_row {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            coo.push(r, (state >> 33) as usize % n, 1.0);
+        }
+    }
+    coo.to_csr()
+}
+
+fn skewed_matrix(n: usize) -> CsrMatrix {
+    // 1% of rows carry 100x the nonzeros.
+    let mut state = 7u64;
+    let mut coo = CooMatrix::new(n, n);
+    for r in 0..n {
+        let per_row = if r % 100 == 0 { 400 } else { 4 };
+        for _ in 0..per_row {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            coo.push(r, (state >> 33) as usize % n, 1.0);
+        }
+    }
+    coo.to_csr()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    for (name, a) in [
+        ("regular-64k", regular_matrix(65_536, 16)),
+        ("skewed-64k", skewed_matrix(65_536)),
+    ] {
+        let x = vec![1.0; a.num_cols()];
+        let mut y = vec![0.0; a.num_rows()];
+        let mut group = c.benchmark_group(format!("spmv/{name}"));
+        group.throughput(Throughput::Elements(a.nnz() as u64));
+
+        group.bench_function("sequential", |b| {
+            b.iter(|| spmv::spmv_seq(&a, &x, &mut y))
+        });
+        for threads in [2usize, 4, 8] {
+            let p = RowPartition::static_rows(a.num_rows(), threads);
+            group.bench_with_input(
+                BenchmarkId::new("parallel-static", threads),
+                &threads,
+                |b, _| b.iter(|| spmv::spmv_parallel(&a, &x, &mut y, &p)),
+            );
+            let bp = RowPartition::balanced_nnz(&a, threads);
+            group.bench_with_input(
+                BenchmarkId::new("parallel-balanced", threads),
+                &threads,
+                |b, _| b.iter(|| spmv::spmv_parallel(&a, &x, &mut y, &bp)),
+            );
+            group.bench_with_input(BenchmarkId::new("merge", threads), &threads, |b, _| {
+                b.iter(|| spmv::spmv_merge(&a, &x, &mut y, threads))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Method (A) vs. method (B) analysis cost — the §4.5.1 `t_A/t_B`
+//! overhead measured as a Criterion benchmark: full prediction sweeps per
+//! method, sequential and 8-thread.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use locality_core::predict::{predict, Method, SectorSetting};
+use spmv_bench::runner::{machine_for, SweepPoint};
+
+fn bench_methods(c: &mut Criterion) {
+    let suite = corpus::corpus(3, 64, 11);
+    let settings = SectorSetting::paper_sweep();
+
+    for threads in [1usize, 8] {
+        let cfg = machine_for(64, threads, SweepPoint::BASELINE);
+        let mut group = c.benchmark_group(format!("model-sweep/{threads}-threads"));
+        for nm in &suite {
+            group.throughput(Throughput::Elements(nm.matrix.nnz() as u64));
+            group.bench_with_input(
+                BenchmarkId::new("method-A", &nm.name),
+                &nm.matrix,
+                |b, m| b.iter(|| predict(m, &cfg, Method::A, &settings, threads)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("method-B", &nm.name),
+                &nm.matrix,
+                |b, m| b.iter(|| predict(m, &cfg, Method::B, &settings, threads)),
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_methods
+}
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Shared driver for the Table 2 / Table 3 accuracy experiments.
+//!
+//! For every corpus matrix whose working set exceeds the (aggregate) L2
+//! capacity, the simulator measures L2 misses per sector setting, methods
+//! (A) and (B) predict them, and the absolute percentage errors are
+//! aggregated per setting — exactly the paper's Eq. 3 tables, including
+//! the §4.5.2/§4.5.3 restricted subset (`μ_K ≥ 8`, `CV_K ≤ 1`) for method
+//! (B) without partitioning.
+
+use crate::runner::{machine_for, measure, parallel_map, ExpArgs, SweepPoint};
+use locality_core::predict::{predict, Method, SectorSetting};
+use locality_core::ErrorSummary;
+use sparsemat::MatrixStats;
+
+/// Per-matrix accuracy record.
+pub struct MatrixAccuracy {
+    /// Matrix name.
+    pub name: String,
+    /// Measured misses per setting.
+    pub measured: Vec<u64>,
+    /// Method (A) predictions per setting.
+    pub pred_a: Vec<u64>,
+    /// Method (B) predictions per setting.
+    pub pred_b: Vec<u64>,
+    /// Row-length statistics (for the restricted subset).
+    pub stats: MatrixStats,
+}
+
+/// Maps a model setting onto the simulator sweep point.
+fn sweep_point(setting: SectorSetting) -> SweepPoint {
+    match setting {
+        SectorSetting::Off => SweepPoint::BASELINE,
+        SectorSetting::L2Ways(w) => SweepPoint { l2_ways: w, l1_ways: 0 },
+    }
+}
+
+/// Runs the accuracy experiment and prints the table.
+pub fn run(args: &ExpArgs, threads: usize) {
+    let settings = SectorSetting::paper_sweep();
+    let suite = corpus::corpus(args.count, args.scale, args.seed);
+    let cfg = machine_for(args.scale, threads, SweepPoint::BASELINE);
+    // The paper includes only matrices above the L2 cache size
+    // (8 MiB sequential, 32 MiB parallel).
+    let domains = threads.div_ceil(cfg.cores_per_domain).max(1);
+    let threshold = cfg.l2.size_bytes * domains;
+    let included: Vec<_> = suite
+        .into_iter()
+        .filter(|nm| nm.matrix.working_set_bytes() > threshold)
+        .collect();
+    println!(
+        "# {} of {} matrices above the {}x L2 threshold ({} KiB)",
+        included.len(),
+        args.count,
+        domains,
+        threshold >> 10
+    );
+
+    let records: Vec<MatrixAccuracy> = parallel_map(&included, |nm| {
+        let measured: Vec<u64> = settings
+            .iter()
+            .map(|&s| measure(&nm.matrix, args.scale, threads, sweep_point(s)).0.pmu.l2_misses())
+            .collect();
+        let pred_a: Vec<u64> = predict(&nm.matrix, &cfg, Method::A, &settings, threads)
+            .iter()
+            .map(|p| p.l2_misses)
+            .collect();
+        let pred_b: Vec<u64> = predict(&nm.matrix, &cfg, Method::B, &settings, threads)
+            .iter()
+            .map(|p| p.l2_misses)
+            .collect();
+        MatrixAccuracy {
+            name: nm.name.clone(),
+            measured,
+            pred_a,
+            pred_b,
+            stats: MatrixStats::compute(&nm.matrix),
+        }
+    });
+
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>10}",
+        "L2 sector", "A mean", "A std", "B mean", "B std"
+    );
+    for (i, setting) in settings.iter().enumerate() {
+        let ea = ErrorSummary::from_pairs(
+            records.iter().map(|r| (r.measured[i] as f64, r.pred_a[i] as f64)),
+        );
+        let eb = ErrorSummary::from_pairs(
+            records.iter().map(|r| (r.measured[i] as f64, r.pred_b[i] as f64)),
+        );
+        let label = match setting {
+            SectorSetting::Off => "No Sector Cache".to_string(),
+            SectorSetting::L2Ways(w) => format!("{w} L2 ways"),
+        };
+        println!(
+            "{label:<16} {:>9.2}% {:>9.2}% {:>9.2}% {:>9.2}%",
+            ea.mape, ea.std, eb.mape, eb.std
+        );
+    }
+
+    // Restricted subset for method (B) without partitioning (§4.5.2/3).
+    let friendly: Vec<&MatrixAccuracy> = records
+        .iter()
+        .filter(|r| r.stats.is_method_b_friendly())
+        .collect();
+    let eb = ErrorSummary::from_pairs(
+        friendly.iter().map(|r| (r.measured[0] as f64, r.pred_b[0] as f64)),
+    );
+    println!(
+        "\n# method (B), no partitioning, restricted to mu_K >= 8 and CV_K <= 1 ({} matrices): {}",
+        friendly.len(),
+        eb
+    );
+}

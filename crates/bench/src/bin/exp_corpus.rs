@@ -1,0 +1,66 @@
+//! Corpus census: the §4.1-style description of the evaluation population.
+//!
+//! Prints the size range, the family mix, the nonzeros-per-row moments
+//! (the paper filters method (B)'s evaluation by `μ_K ≥ 8`, `CV_K ≤ 1`)
+//! and the §3.1 class populations under the 5-way policy — the context
+//! every other experiment is read against.
+//!
+//! Run: `cargo run --release -p spmv-bench --bin exp_corpus [--count N --scale N --threads N]`
+
+use locality_core::{classify_for, MatrixClass};
+use spmv_bench::runner::{machine_for, ExpArgs, SweepPoint};
+use sparsemat::MatrixStats;
+use std::collections::BTreeMap;
+
+fn main() {
+    let args = ExpArgs::parse(490);
+    let suite = corpus::corpus(args.count, args.scale, args.seed);
+    let cfg = machine_for(args.scale, args.threads, SweepPoint { l2_ways: 5, l1_ways: 0 });
+
+    println!("# corpus census: {} matrices, scale 1/{}", suite.len(), args.scale);
+
+    let mut families: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut classes: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut friendly = 0usize;
+    let (mut min_bytes, mut max_bytes) = (usize::MAX, 0usize);
+    let mut total_nnz = 0usize;
+    for nm in &suite {
+        *families.entry(nm.family).or_insert(0) += 1;
+        let class = classify_for(&nm.matrix, &cfg, args.threads);
+        *classes.entry(class.label()).or_insert(0) += 1;
+        let stats = MatrixStats::compute(&nm.matrix);
+        if stats.is_method_b_friendly() {
+            friendly += 1;
+        }
+        min_bytes = min_bytes.min(nm.matrix.matrix_bytes());
+        max_bytes = max_bytes.max(nm.matrix.matrix_bytes());
+        total_nnz += nm.matrix.nnz();
+    }
+
+    println!(
+        "matrix data: {:.2}..{:.2} MiB (one scaled L2 segment = {:.2} MiB), {:.2} M nnz total",
+        min_bytes as f64 / (1 << 20) as f64,
+        max_bytes as f64 / (1 << 20) as f64,
+        cfg.l2.size_bytes as f64 / (1 << 20) as f64,
+        total_nnz as f64 / 1e6
+    );
+    println!("method-(B)-friendly (mu_K >= 8, CV_K <= 1): {friendly}/{}", suite.len());
+
+    println!("\n# families");
+    for (f, n) in &families {
+        println!("{f:<14} {n}");
+    }
+    println!("\n# classes under 5 sector-1 ways, {} threads", args.threads);
+    for class in [
+        MatrixClass::Class1,
+        MatrixClass::Class2,
+        MatrixClass::Class3a,
+        MatrixClass::Class3b,
+    ] {
+        println!(
+            "{:<11} {}",
+            class.label(),
+            classes.get(class.label()).copied().unwrap_or(0)
+        );
+    }
+}

@@ -1,0 +1,13 @@
+//! Table 2: mean and standard deviation of the absolute percentage error
+//! of the model's L2 cache-miss prediction for **sequential** SpMV, for
+//! methods (A) and (B), without the sector cache and with 2-7 L2 ways.
+//!
+//! Run: `cargo run --release -p spmv-bench --bin exp_table2 [--count N --scale N]`
+
+use spmv_bench::runner::ExpArgs;
+
+fn main() {
+    let args = ExpArgs::parse(490);
+    println!("# Table 2: L2 miss prediction error, sequential SpMV (scale 1/{})", args.scale);
+    spmv_bench::accuracy::run(&args, 1);
+}

@@ -1,0 +1,16 @@
+//! Table 3: mean and standard deviation of the absolute percentage error
+//! of the model's L2 cache-miss prediction for **parallel** SpMV with 48
+//! threads (matrices above the aggregate L2 size), methods (A) and (B).
+//!
+//! Run: `cargo run --release -p spmv-bench --bin exp_table3 [--count N --scale N --threads N]`
+
+use spmv_bench::runner::ExpArgs;
+
+fn main() {
+    let args = ExpArgs::parse(490);
+    println!(
+        "# Table 3: L2 miss prediction error, parallel SpMV with {} threads (scale 1/{})",
+        args.threads, args.scale
+    );
+    spmv_bench::accuracy::run(&args, args.threads);
+}

@@ -1,0 +1,141 @@
+//! Box-plot summary statistics for the figure reproductions.
+//!
+//! Figs. 2 and 3 of the paper present distributions over the 490 matrices
+//! as box plots (lower/upper quartile box, median line, interquartile
+//! whiskers, outliers as points). [`BoxStats`] computes those five numbers
+//! plus outlier counts, and renders one text row per configuration so the
+//! harness output carries the same information as the figures.
+
+/// Five-number summary with whiskers and outlier counts (Tukey style).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BoxStats {
+    /// Sample count.
+    pub count: usize,
+    /// Lower quartile (25th percentile).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Upper quartile (75th percentile).
+    pub q3: f64,
+    /// Lowest sample within `q1 - 1.5·IQR` (lower whisker end).
+    pub whisker_lo: f64,
+    /// Highest sample within `q3 + 1.5·IQR` (upper whisker end).
+    pub whisker_hi: f64,
+    /// Minimum sample (most extreme low outlier, or `whisker_lo`).
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+    /// Samples below the lower whisker.
+    pub outliers_lo: usize,
+    /// Samples above the upper whisker.
+    pub outliers_hi: usize,
+}
+
+impl BoxStats {
+    /// Computes the summary. Returns `None` for an empty sample.
+    pub fn compute(samples: &[f64]) -> Option<BoxStats> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut v: Vec<f64> = samples.to_vec();
+        v.sort_by(|a, b| a.total_cmp(b));
+        let q1 = percentile(&v, 25.0);
+        let median = percentile(&v, 50.0);
+        let q3 = percentile(&v, 75.0);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let whisker_lo = v.iter().copied().find(|&x| x >= lo_fence).unwrap_or(v[0]);
+        let whisker_hi = v
+            .iter()
+            .rev()
+            .copied()
+            .find(|&x| x <= hi_fence)
+            .unwrap_or(*v.last().unwrap());
+        Some(BoxStats {
+            count: v.len(),
+            q1,
+            median,
+            q3,
+            whisker_lo,
+            whisker_hi,
+            min: v[0],
+            max: *v.last().unwrap(),
+            outliers_lo: v.iter().filter(|&&x| x < lo_fence).count(),
+            outliers_hi: v.iter().filter(|&&x| x > hi_fence).count(),
+        })
+    }
+
+    /// Renders a compact single-line summary.
+    pub fn row(&self) -> String {
+        format!(
+            "min {:8.3}  whisk [{:8.3}, {:8.3}]  box [{:8.3}, {:8.3}]  median {:8.3}  max {:8.3}  outliers {}/{}",
+            self.min,
+            self.whisker_lo,
+            self.whisker_hi,
+            self.q1,
+            self.q3,
+            self.median,
+            self.max,
+            self.outliers_lo,
+            self.outliers_hi
+        )
+    }
+}
+
+/// Linear-interpolated percentile of a sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (n - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_quartiles() {
+        let s = BoxStats::compute(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.outliers_lo + s.outliers_hi, 0);
+    }
+
+    #[test]
+    fn outliers_detected() {
+        let mut v = vec![10.0; 20];
+        v.push(100.0);
+        v.push(-50.0);
+        let s = BoxStats::compute(&v).unwrap();
+        assert_eq!(s.outliers_hi, 1);
+        assert_eq!(s.outliers_lo, 1);
+        assert_eq!(s.whisker_lo, 10.0);
+        assert_eq!(s.whisker_hi, 10.0);
+        assert_eq!(s.max, 100.0);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(BoxStats::compute(&[]).is_none());
+        let s = BoxStats::compute(&[7.5]).unwrap();
+        assert_eq!(s.median, 7.5);
+        assert_eq!(s.q1, 7.5);
+        assert_eq!(s.max, 7.5);
+    }
+
+    #[test]
+    fn unsorted_input_ok() {
+        let s = BoxStats::compute(&[5.0, 1.0, 3.0, 2.0, 4.0]).unwrap();
+        assert_eq!(s.median, 3.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Concurrent reuse-distance plumbing shared by methods (A) and (B).
+//!
+//! For parallel SpMV the paper records per-thread traces (each thread's
+//! assigned row block) and interleaves the traces of the threads sharing
+//! each L2 (§3.2.1). This module builds the per-domain thread groups and
+//! feeds their interleaved references into arbitrary sinks.
+//!
+//! The interleaving used for *prediction* is the deterministic round-robin
+//! order (equal thread progress) — the order the FIFO-fair MCS collation
+//! approximates; `memtrace::interleave::mcs_interleave` provides the real
+//! concurrent variant for validation.
+
+use a64fx::MachineConfig;
+use memtrace::interleave::{domain_groups, round_robin_into};
+use memtrace::{Access, TraceSink};
+use sparsemat::{CsrMatrix, RowPartition};
+
+/// Per-thread traces grouped by L2 domain.
+pub struct DomainTraces {
+    /// `groups[d]` holds the traces of the threads sharing domain `d`.
+    pub groups: Vec<Vec<Vec<Access>>>,
+}
+
+impl DomainTraces {
+    /// Groups per-thread traces into domains of `cores_per_domain`.
+    pub fn group(per_thread: Vec<Vec<Access>>, cores_per_domain: usize) -> Self {
+        let ranges = domain_groups(per_thread.len(), cores_per_domain);
+        let mut iter = per_thread.into_iter();
+        let groups = ranges
+            .iter()
+            .map(|r| (&mut iter).take(r.len()).collect())
+            .collect();
+        DomainTraces { groups }
+    }
+
+    /// Number of domains.
+    pub fn num_domains(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Feeds domain `d`'s round-robin interleaved reference stream into a
+    /// sink (one reference per thread per turn, as equal-rate threads
+    /// would submit them).
+    pub fn feed_domain<S: TraceSink>(&self, d: usize, sink: &mut S) {
+        round_robin_into(&self.groups[d], 1, sink);
+    }
+}
+
+/// The static row partition used for `threads`-way SpMV (contiguous row
+/// blocks, as the paper's OpenMP static schedule).
+pub fn thread_partition(matrix: &CsrMatrix, threads: usize) -> RowPartition {
+    RowPartition::static_rows(matrix.num_rows(), threads)
+}
+
+/// Convenience: domain count for a thread count under `cfg`.
+pub fn num_domains(cfg: &MachineConfig, threads: usize) -> usize {
+    threads.div_ceil(cfg.cores_per_domain).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memtrace::{Array, VecSink};
+
+    fn acc(line: u64) -> Access {
+        Access::load(line, Array::X)
+    }
+
+    #[test]
+    fn grouping_by_domain() {
+        let traces: Vec<Vec<Access>> = (0..5).map(|t| vec![acc(t)]).collect();
+        let dt = DomainTraces::group(traces, 2);
+        assert_eq!(dt.num_domains(), 3);
+        assert_eq!(dt.groups[0].len(), 2);
+        assert_eq!(dt.groups[2].len(), 1);
+        assert_eq!(dt.groups[2][0][0].line, 4);
+    }
+
+    #[test]
+    fn feeding_interleaves_within_domain_only() {
+        let traces = vec![
+            vec![acc(0), acc(1)],
+            vec![acc(10), acc(11)],
+            vec![acc(20), acc(21)],
+        ];
+        let dt = DomainTraces::group(traces, 2);
+        let mut sink = VecSink::new();
+        dt.feed_domain(0, &mut sink);
+        let lines: Vec<u64> = sink.trace.iter().map(|a| a.line).collect();
+        assert_eq!(lines, vec![0, 10, 1, 11]);
+        let mut sink1 = VecSink::new();
+        dt.feed_domain(1, &mut sink1);
+        assert_eq!(sink1.trace.len(), 2);
+    }
+
+    #[test]
+    fn domain_count_helper() {
+        let cfg = a64fx::MachineConfig::a64fx();
+        assert_eq!(num_domains(&cfg, 1), 1);
+        assert_eq!(num_domains(&cfg, 12), 1);
+        assert_eq!(num_domains(&cfg, 13), 2);
+        assert_eq!(num_domains(&cfg, 48), 4);
+    }
+}

@@ -1,0 +1,98 @@
+//! Prediction-error metrics (§4.5, Eq. 3).
+//!
+//! The paper reports the Mean Absolute Percentage Error and the standard
+//! deviation of the absolute percentage error between measured (`x`) and
+//! predicted (`x̂`) L2 cache-miss counts.
+
+/// Absolute percentage error `|x - x̂| / x × 100`, or `None` when the
+/// measured value is zero (the paper excludes such cases: "the MAPE is
+/// distorted by cases with few or no cache misses").
+pub fn ape(measured: f64, predicted: f64) -> Option<f64> {
+    if measured == 0.0 {
+        None
+    } else {
+        Some(100.0 * ((measured - predicted) / measured).abs())
+    }
+}
+
+/// Summary of absolute percentage errors over a set of matrices.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ErrorSummary {
+    /// Mean absolute percentage error (Eq. 3).
+    pub mape: f64,
+    /// Population standard deviation of the absolute percentage errors.
+    pub std: f64,
+    /// Number of (measured, predicted) pairs included.
+    pub count: usize,
+}
+
+impl ErrorSummary {
+    /// Computes MAPE and its standard deviation from paired samples,
+    /// skipping pairs with a zero measured value.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (f64, f64)>) -> Self {
+        let apes: Vec<f64> = pairs
+            .into_iter()
+            .filter_map(|(m, p)| ape(m, p))
+            .collect();
+        Self::from_apes(&apes)
+    }
+
+    /// Computes the summary from precomputed absolute percentage errors.
+    pub fn from_apes(apes: &[f64]) -> Self {
+        let n = apes.len();
+        if n == 0 {
+            return ErrorSummary { mape: 0.0, std: 0.0, count: 0 };
+        }
+        let mean = apes.iter().sum::<f64>() / n as f64;
+        let var = apes.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / n as f64;
+        ErrorSummary { mape: mean, std: var.sqrt(), count: n }
+    }
+}
+
+impl std::fmt::Display for ErrorSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2} % ± {:.2} % (n = {})", self.mape, self.std, self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ape_basic() {
+        assert_eq!(ape(100.0, 90.0), Some(10.0));
+        assert_eq!(ape(100.0, 110.0), Some(10.0));
+        assert_eq!(ape(50.0, 50.0), Some(0.0));
+        assert_eq!(ape(0.0, 5.0), None);
+    }
+
+    #[test]
+    fn summary_over_pairs() {
+        let s = ErrorSummary::from_pairs(vec![(100.0, 90.0), (100.0, 130.0), (0.0, 7.0)]);
+        assert_eq!(s.count, 2);
+        assert!((s.mape - 20.0).abs() < 1e-12); // (10 + 30) / 2
+        assert!((s.std - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary() {
+        let s = ErrorSummary::from_pairs(std::iter::empty());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mape, 0.0);
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let s = ErrorSummary::from_pairs((1..10).map(|i| (i as f64, i as f64)));
+        assert_eq!(s.mape, 0.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.count, 9);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = ErrorSummary { mape: 2.487, std: 4.0, count: 3 };
+        assert_eq!(s.to_string(), "2.49 % ± 4.00 % (n = 3)");
+    }
+}

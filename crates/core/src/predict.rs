@@ -1,0 +1,152 @@
+//! Unified prediction API over methods (A) and (B).
+//!
+//! A [`SectorSetting`] names one point of the paper's sweep — sector cache
+//! off, or `w` L2 ways carved out for the non-temporal data. The model
+//! treats the L2 (one segment, i.e. one NUMA domain's cache) as a fully
+//! associative LRU cache of its line capacity; a partitioned cache is two
+//! such caches (Eq. 2). Capacities are derived from the machine geometry:
+//! `w` ways of an `S`-set cache hold `S·w` lines.
+
+use a64fx::MachineConfig;
+use memtrace::Array;
+use sparsemat::CsrMatrix;
+
+/// One sector-cache configuration of the sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SectorSetting {
+    /// Sector cache disabled: all data shares the whole cache.
+    Off,
+    /// `a` and `colidx` isolated in a sector of this many L2 ways.
+    L2Ways(usize),
+}
+
+impl SectorSetting {
+    /// The paper's Table 2/3 sweep: off, then 2..=7 ways.
+    pub fn paper_sweep() -> Vec<SectorSetting> {
+        let mut v = vec![SectorSetting::Off];
+        v.extend((2..=7).map(SectorSetting::L2Ways));
+        v
+    }
+
+    /// Partition-0 (reusable data) capacity in lines under this setting.
+    pub fn cap0_lines(self, cfg: &MachineConfig) -> usize {
+        match self {
+            SectorSetting::Off => cfg.l2.total_lines(),
+            SectorSetting::L2Ways(w) => cfg.l2.num_sets() * (cfg.l2.ways - w),
+        }
+    }
+
+    /// Partition-1 (matrix stream) capacity in lines under this setting.
+    pub fn cap1_lines(self, cfg: &MachineConfig) -> usize {
+        match self {
+            SectorSetting::Off => cfg.l2.total_lines(),
+            SectorSetting::L2Ways(w) => cfg.l2.num_sets() * w,
+        }
+    }
+
+    /// Short display label (`off`, `2 ways`, ...).
+    pub fn label(self) -> String {
+        match self {
+            SectorSetting::Off => "off".to_string(),
+            SectorSetting::L2Ways(w) => format!("{w} ways"),
+        }
+    }
+}
+
+/// A model prediction of steady-state (post-warm-up) L2 misses for one
+/// SpMV iteration under one sector setting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Prediction {
+    /// The configuration predicted.
+    pub setting: SectorSetting,
+    /// Predicted total L2 misses (Eq. 2).
+    pub l2_misses: u64,
+    /// Misses attributed per array (indexed by `Array as usize`).
+    pub by_array: [u64; 5],
+}
+
+impl Prediction {
+    /// Misses attributed to one array.
+    pub fn misses_of(&self, array: Array) -> u64 {
+        self.by_array[array as usize]
+    }
+
+    /// Fraction of predicted misses caused by `x`-vector accesses — the
+    /// §4.5.5 "hard matrix" criterion uses ≥ 50 %.
+    pub fn x_traffic_fraction(&self) -> f64 {
+        if self.l2_misses == 0 {
+            0.0
+        } else {
+            self.misses_of(Array::X) as f64 / self.l2_misses as f64
+        }
+    }
+}
+
+/// Which model variant to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// Full-trace stack processing (§3.2.1).
+    A,
+    /// `x`-trace with analytic scaling (§3.2.2).
+    B,
+}
+
+/// Predicts steady-state L2 misses for every setting, sequential or
+/// parallel.
+///
+/// * `threads == 1`: sequential SpMV against one L2 segment.
+/// * `threads > 1`: per-domain concurrent analysis; threads are grouped
+///   `cfg.cores_per_domain` per shared L2 and per-domain predictions are
+///   summed (every domain replicates shared data, as on the A64FX).
+pub fn predict(
+    matrix: &CsrMatrix,
+    cfg: &MachineConfig,
+    method: Method,
+    settings: &[SectorSetting],
+    threads: usize,
+) -> Vec<Prediction> {
+    match method {
+        Method::A => crate::method_a::predict(matrix, cfg, settings, threads),
+        Method::B => crate::method_b::predict(matrix, cfg, settings, threads),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sweep_contents() {
+        let s = SectorSetting::paper_sweep();
+        assert_eq!(s.len(), 7);
+        assert_eq!(s[0], SectorSetting::Off);
+        assert_eq!(s[1], SectorSetting::L2Ways(2));
+        assert_eq!(s[6], SectorSetting::L2Ways(7));
+    }
+
+    #[test]
+    fn capacities_from_geometry() {
+        let cfg = MachineConfig::a64fx();
+        // 2048 sets, 16 ways.
+        assert_eq!(SectorSetting::Off.cap0_lines(&cfg), 32768);
+        assert_eq!(SectorSetting::L2Ways(5).cap1_lines(&cfg), 2048 * 5);
+        assert_eq!(SectorSetting::L2Ways(5).cap0_lines(&cfg), 2048 * 11);
+    }
+
+    #[test]
+    fn x_fraction() {
+        let p = Prediction {
+            setting: SectorSetting::Off,
+            l2_misses: 100,
+            by_array: [60, 10, 20, 10, 0],
+        };
+        assert!((p.x_traffic_fraction() - 0.6).abs() < 1e-12);
+        assert_eq!(p.misses_of(Array::A), 20);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(SectorSetting::Off.label(), "off");
+        assert_eq!(SectorSetting::L2Ways(4).label(), "4 ways");
+    }
+}

@@ -1,0 +1,250 @@
+//! Interleaving of per-thread traces into shared-cache reference order.
+//!
+//! The cache behaviour of a shared cache depends on the order in which the
+//! sharing threads' references reach it (concurrent reuse distance, Schuff
+//! et al.). Two collation strategies are provided:
+//!
+//! * [`round_robin`] — deterministic: threads submit fixed-size chunks in
+//!   cyclic order. This models threads progressing at identical rates and
+//!   is the reproducible default used by tests and experiments.
+//! * [`mcs_interleave`] — concurrent: real threads submit chunks guarded by
+//!   the FIFO-fair [`McsLock`](crate::mcs::McsLock), as in the paper's
+//!   §3.2.1. The resulting order depends on actual scheduling; over equal-
+//!   rate threads it statistically approximates round-robin.
+//!
+//! [`domain_groups`] maps a flat thread list onto the A64FX topology (12
+//! cores per L2/NUMA domain) so each shared L2 can be analysed with only
+//! its own threads' references.
+
+use crate::mcs::McsLock;
+use crate::sink::TraceSink;
+use crate::Access;
+use std::ops::Range;
+
+/// Deterministically interleaves per-thread traces in cyclic order with the
+/// given chunk size.
+///
+/// Threads whose traces are exhausted drop out of the cycle; the result
+/// contains every input reference exactly once, in a round-robin order.
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero.
+pub fn round_robin(traces: &[Vec<Access>], chunk: usize) -> Vec<Access> {
+    assert!(chunk > 0, "chunk size must be positive");
+    let total: usize = traces.iter().map(|t| t.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut cursors = vec![0usize; traces.len()];
+    let mut remaining = total;
+    while remaining > 0 {
+        for (t, cursor) in traces.iter().zip(cursors.iter_mut()) {
+            if *cursor >= t.len() {
+                continue;
+            }
+            let end = (*cursor + chunk).min(t.len());
+            out.extend_from_slice(&t[*cursor..end]);
+            remaining -= end - *cursor;
+            *cursor = end;
+        }
+    }
+    out
+}
+
+/// Streams the round-robin interleaving of per-thread traces directly into
+/// a sink, without materialising the merged trace.
+///
+/// Equivalent to `sink.access_all(&round_robin(traces, chunk))`.
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero.
+pub fn round_robin_into<S: TraceSink>(traces: &[Vec<Access>], chunk: usize, sink: &mut S) {
+    assert!(chunk > 0, "chunk size must be positive");
+    let mut cursors = vec![0usize; traces.len()];
+    let mut remaining: usize = traces.iter().map(|t| t.len()).sum();
+    while remaining > 0 {
+        for (t, cursor) in traces.iter().zip(cursors.iter_mut()) {
+            if *cursor >= t.len() {
+                continue;
+            }
+            let end = (*cursor + chunk).min(t.len());
+            sink.access_all(&t[*cursor..end]);
+            remaining -= end - *cursor;
+            *cursor = end;
+        }
+    }
+}
+
+/// Interleaves per-thread traces by actually running one thread per trace,
+/// each submitting chunks of `chunk` references under an MCS lock.
+///
+/// The MCS lock's FIFO ordering guarantees starvation freedom: a thread
+/// that requests the collation queue is served before any thread that
+/// requests it later. The exact global order depends on OS scheduling and
+/// is therefore not deterministic; every reference appears exactly once and
+/// per-thread subsequences preserve program order.
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero.
+pub fn mcs_interleave(traces: &[Vec<Access>], chunk: usize) -> Vec<Access> {
+    assert!(chunk > 0, "chunk size must be positive");
+    if traces.is_empty() {
+        return Vec::new();
+    }
+    let total: usize = traces.iter().map(|t| t.len()).sum();
+    let lock = McsLock::new(traces.len());
+    // The MCS lock serialises writers; the Mutex only provides the safe
+    // `&mut` projection (it is always uncontended because acquisition order
+    // is decided by the MCS queue).
+    let out = std::sync::Mutex::new(Vec::with_capacity(total));
+    std::thread::scope(|scope| {
+        for (slot, trace) in traces.iter().enumerate() {
+            let lock = &lock;
+            let out = &out;
+            scope.spawn(move || {
+                let mut cursor = 0;
+                while cursor < trace.len() {
+                    let end = (cursor + chunk).min(trace.len());
+                    let _g = lock.lock(slot);
+                    out.lock()
+                        .expect("collation buffer poisoned")
+                        .extend_from_slice(&trace[cursor..end]);
+                    cursor = end;
+                }
+            });
+        }
+    });
+    out.into_inner().expect("collation buffer poisoned")
+}
+
+/// Splits `num_threads` thread indices into groups of `threads_per_group`,
+/// mirroring the A64FX topology where consecutive cores share an L2.
+///
+/// The last group may be smaller if the counts do not divide evenly.
+///
+/// # Panics
+///
+/// Panics if `threads_per_group` is zero.
+pub fn domain_groups(num_threads: usize, threads_per_group: usize) -> Vec<Range<usize>> {
+    assert!(threads_per_group > 0, "group size must be positive");
+    let mut groups = Vec::new();
+    let mut start = 0;
+    while start < num_threads {
+        let end = (start + threads_per_group).min(num_threads);
+        groups.push(start..end);
+        start = end;
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Array;
+
+    fn acc(line: u64) -> Access {
+        Access::load(line, Array::X)
+    }
+
+    fn traces_of(lens: &[usize]) -> Vec<Vec<Access>> {
+        // Thread t's i-th access has line t * 1000 + i, so provenance and
+        // order are recoverable.
+        lens.iter()
+            .enumerate()
+            .map(|(t, &n)| (0..n as u64).map(|i| acc(t as u64 * 1000 + i)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_chunk1_cycles() {
+        let traces = traces_of(&[3, 3]);
+        let out = round_robin(&traces, 1);
+        let lines: Vec<u64> = out.iter().map(|a| a.line).collect();
+        assert_eq!(lines, vec![0, 1000, 1, 1001, 2, 1002]);
+    }
+
+    #[test]
+    fn round_robin_chunked() {
+        let traces = traces_of(&[4, 2]);
+        let out = round_robin(&traces, 2);
+        let lines: Vec<u64> = out.iter().map(|a| a.line).collect();
+        assert_eq!(lines, vec![0, 1, 1000, 1001, 2, 3]);
+    }
+
+    #[test]
+    fn round_robin_uneven_lengths_drop_out() {
+        let traces = traces_of(&[1, 4]);
+        let out = round_robin(&traces, 1);
+        let lines: Vec<u64> = out.iter().map(|a| a.line).collect();
+        assert_eq!(lines, vec![0, 1000, 1001, 1002, 1003]);
+    }
+
+    #[test]
+    fn round_robin_into_matches_round_robin() {
+        let traces = traces_of(&[5, 3, 7]);
+        let direct = round_robin(&traces, 2);
+        let mut sink = crate::sink::VecSink::new();
+        round_robin_into(&traces, 2, &mut sink);
+        assert_eq!(sink.trace, direct);
+    }
+
+    #[test]
+    fn round_robin_empty_inputs() {
+        assert!(round_robin(&[], 1).is_empty());
+        let traces = traces_of(&[0, 0]);
+        assert!(round_robin(&traces, 3).is_empty());
+    }
+
+    fn assert_valid_interleaving(traces: &[Vec<Access>], out: &[Access]) {
+        // Every reference exactly once and per-thread order preserved.
+        let total: usize = traces.iter().map(|t| t.len()).sum();
+        assert_eq!(out.len(), total);
+        let mut cursors = vec![0usize; traces.len()];
+        for a in out {
+            let t = (a.line / 1000) as usize;
+            let i = a.line % 1000;
+            assert_eq!(i, cursors[t] as u64, "thread {t} out of order");
+            cursors[t] += 1;
+        }
+        for (t, (&c, tr)) in cursors.iter().zip(traces).enumerate() {
+            assert_eq!(c, tr.len(), "thread {t} incomplete");
+        }
+    }
+
+    #[test]
+    fn mcs_interleave_is_a_valid_interleaving() {
+        let traces = traces_of(&[50, 70, 30, 60]);
+        let out = mcs_interleave(&traces, 4);
+        assert_valid_interleaving(&traces, &out);
+    }
+
+    #[test]
+    fn mcs_interleave_chunk1() {
+        let traces = traces_of(&[25, 25]);
+        let out = mcs_interleave(&traces, 1);
+        assert_valid_interleaving(&traces, &out);
+    }
+
+    #[test]
+    fn mcs_interleave_single_thread_preserves_order() {
+        let traces = traces_of(&[10]);
+        let out = mcs_interleave(&traces, 3);
+        let lines: Vec<u64> = out.iter().map(|a| a.line).collect();
+        assert_eq!(lines, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn domain_groups_a64fx_topology() {
+        let groups = domain_groups(48, 12);
+        assert_eq!(groups.len(), 4);
+        assert_eq!(groups[0], 0..12);
+        assert_eq!(groups[3], 36..48);
+    }
+
+    #[test]
+    fn domain_groups_uneven() {
+        let groups = domain_groups(10, 4);
+        assert_eq!(groups, vec![0..4, 4..8, 8..10]);
+    }
+}

@@ -1,0 +1,215 @@
+//! MCS queue lock (Mellor-Crummey & Scott, 1991).
+//!
+//! The paper collates memory accesses submitted by different threads with
+//! an MCS lock "because it provides starvation freedom and fairness (FIFO
+//! ordering)" (§3.2.1). This implementation uses per-thread queue nodes in
+//! a fixed slot array addressed by small integers instead of raw pointers,
+//! which keeps the crate free of `unsafe` while preserving the algorithm:
+//! a single atomic tail swap enqueues a waiter behind its predecessor, each
+//! waiter spins on its *own* node's flag (local spinning), and unlock hands
+//! the lock to the queue successor — FIFO order by construction.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Sentinel meaning "no node" in `tail`/`next` (slots are stored +1).
+const NIL: usize = 0;
+
+struct Node {
+    /// Slot + 1 of the queue successor, or [`NIL`].
+    next: AtomicUsize,
+    /// `true` while this waiter must keep spinning.
+    locked: AtomicBool,
+    /// Guards against a slot being used for two overlapping acquisitions.
+    in_use: AtomicBool,
+}
+
+/// A fair, FIFO-ordered MCS queue lock with a fixed number of slots.
+///
+/// Each participating thread must use its own dedicated slot index (e.g.
+/// its thread id); a slot can be part of at most one acquisition at a time,
+/// which is checked at runtime.
+pub struct McsLock {
+    tail: AtomicUsize,
+    nodes: Box<[Node]>,
+}
+
+impl McsLock {
+    /// Creates a lock usable by `num_slots` threads (slots `0..num_slots`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_slots` is zero.
+    pub fn new(num_slots: usize) -> Self {
+        assert!(num_slots > 0, "MCS lock needs at least one slot");
+        let nodes = (0..num_slots)
+            .map(|_| Node {
+                next: AtomicUsize::new(NIL),
+                locked: AtomicBool::new(false),
+                in_use: AtomicBool::new(false),
+            })
+            .collect();
+        McsLock { tail: AtomicUsize::new(NIL), nodes }
+    }
+
+    /// Number of slots.
+    pub fn num_slots(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Acquires the lock using `slot`, spinning until it is granted.
+    ///
+    /// Returns a guard that releases the lock when dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range or already part of an acquisition.
+    pub fn lock(&self, slot: usize) -> McsGuard<'_> {
+        let node = &self.nodes[slot];
+        assert!(
+            !node.in_use.swap(true, Ordering::Acquire),
+            "MCS slot {slot} used for two overlapping acquisitions"
+        );
+        node.next.store(NIL, Ordering::Relaxed);
+        node.locked.store(true, Ordering::Relaxed);
+        let pred = self.tail.swap(slot + 1, Ordering::AcqRel);
+        if pred != NIL {
+            // Link behind the predecessor, then spin locally.
+            self.nodes[pred - 1].next.store(slot + 1, Ordering::Release);
+            let mut spins = 0u32;
+            while node.locked.load(Ordering::Acquire) {
+                spins = spins.wrapping_add(1);
+                if spins.is_multiple_of(64) {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        McsGuard { lock: self, slot }
+    }
+
+    fn unlock(&self, slot: usize) {
+        let node = &self.nodes[slot];
+        if node.next.load(Ordering::Acquire) == NIL {
+            // No known successor: try to close the queue.
+            if self
+                .tail
+                .compare_exchange(slot + 1, NIL, Ordering::Release, Ordering::Relaxed)
+                .is_ok()
+            {
+                node.in_use.store(false, Ordering::Release);
+                return;
+            }
+            // A successor is enqueuing; wait for the link.
+            while node.next.load(Ordering::Acquire) == NIL {
+                std::hint::spin_loop();
+            }
+        }
+        let succ = node.next.load(Ordering::Acquire);
+        node.in_use.store(false, Ordering::Release);
+        self.nodes[succ - 1].locked.store(false, Ordering::Release);
+    }
+}
+
+/// RAII guard for an acquired [`McsLock`]; releases on drop.
+pub struct McsGuard<'a> {
+    lock: &'a McsLock,
+    slot: usize,
+}
+
+impl McsGuard<'_> {
+    /// The slot this acquisition used.
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+}
+
+impl Drop for McsGuard<'_> {
+    fn drop(&mut self) {
+        self.lock.unlock(self.slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn single_thread_lock_unlock() {
+        let lock = McsLock::new(1);
+        for _ in 0..100 {
+            let g = lock.lock(0);
+            assert_eq!(g.slot(), 0);
+        }
+    }
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        let lock = McsLock::new(8);
+        let counter = AtomicU64::new(0);
+        let shared = std::cell::Cell::new(0u64);
+        // Use a plain non-atomic-ish cell via counter verification instead:
+        // increment a shared atomic non-atomically (read, yield, write)
+        // under the lock; races would lose updates.
+        let _ = shared;
+        std::thread::scope(|s| {
+            for slot in 0..8 {
+                let lock = &lock;
+                let counter = &counter;
+                s.spawn(move || {
+                    for _ in 0..200 {
+                        let _g = lock.lock(slot);
+                        let v = counter.load(Ordering::Relaxed);
+                        std::hint::spin_loop();
+                        counter.store(v + 1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8 * 200);
+    }
+
+    #[test]
+    fn fifo_handoff_two_threads() {
+        // Thread B enqueues while A holds the lock; when A releases, B must
+        // acquire before A can re-acquire (FIFO). We verify the sequence of
+        // acquisitions recorded under the lock alternates as forced by the
+        // barrier-free handoff pattern.
+        let lock = McsLock::new(2);
+        let order = parking_lot_free_log();
+        std::thread::scope(|s| {
+            let g = lock.lock(0);
+            let lockref = &lock;
+            let orderref = &order;
+            let h = s.spawn(move || {
+                let _g = lockref.lock(1);
+                orderref.fetch_add(1, Ordering::SeqCst);
+            });
+            // Give B time to enqueue behind us.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(order.load(Ordering::SeqCst), 0, "B acquired while A held the lock");
+            drop(g);
+            h.join().unwrap();
+            assert_eq!(order.load(Ordering::SeqCst), 1);
+        });
+    }
+
+    fn parking_lot_free_log() -> AtomicU64 {
+        AtomicU64::new(0)
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping acquisitions")]
+    fn overlapping_slot_use_detected() {
+        let lock = McsLock::new(2);
+        let _g1 = lock.lock(0);
+        let _g2 = lock.lock(0); // same slot while held
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_rejected() {
+        McsLock::new(0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Trace sinks: consumers of [`Access`] streams.
+//!
+//! Trace generators are generic over a [`TraceSink`] so that consumers —
+//! reuse-distance stack processors, the cache simulator, or plain vectors —
+//! can process references on the fly. A full method-(A) trace has
+//! `M + 1 + 3K + M` references; for the larger corpus matrices that is far
+//! too many to want to materialise per configuration.
+
+use crate::Access;
+
+/// A consumer of a stream of memory references.
+pub trait TraceSink {
+    /// Consumes one reference.
+    fn access(&mut self, access: Access);
+
+    /// Consumes a batch of references (default: one at a time).
+    fn access_all(&mut self, accesses: &[Access]) {
+        for &a in accesses {
+            self.access(a);
+        }
+    }
+}
+
+/// Collects the trace into a vector.
+#[derive(Clone, Debug, Default)]
+pub struct VecSink {
+    /// The recorded references, in order.
+    pub trace: Vec<Access>,
+}
+
+impl VecSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty sink with reserved capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        VecSink { trace: Vec::with_capacity(n) }
+    }
+}
+
+impl TraceSink for VecSink {
+    #[inline]
+    fn access(&mut self, access: Access) {
+        self.trace.push(access);
+    }
+}
+
+impl TraceSink for Vec<Access> {
+    #[inline]
+    fn access(&mut self, access: Access) {
+        self.push(access);
+    }
+}
+
+/// Counts references per array without storing them.
+#[derive(Clone, Debug, Default)]
+pub struct CountSink {
+    /// Reference counts indexed by `Array as usize`.
+    pub counts: [u64; 5],
+    /// Number of store references.
+    pub writes: u64,
+}
+
+impl CountSink {
+    /// Creates a zeroed counter sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total number of references seen.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+impl TraceSink for CountSink {
+    #[inline]
+    fn access(&mut self, access: Access) {
+        self.counts[access.array as usize] += 1;
+        if access.write {
+            self.writes += 1;
+        }
+    }
+}
+
+/// Adapts two sinks to receive the same stream.
+pub struct TeeSink<'a, A: TraceSink, B: TraceSink> {
+    /// First sink.
+    pub first: &'a mut A,
+    /// Second sink.
+    pub second: &'a mut B,
+}
+
+impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<'_, A, B> {
+    #[inline]
+    fn access(&mut self, access: Access) {
+        self.first.access(access);
+        self.second.access(access);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Array;
+
+    #[test]
+    fn vec_sink_records_in_order() {
+        let mut s = VecSink::new();
+        s.access(Access::load(3, Array::X));
+        s.access(Access::store(1, Array::Y));
+        assert_eq!(s.trace.len(), 2);
+        assert_eq!(s.trace[0].line, 3);
+        assert!(s.trace[1].write);
+    }
+
+    #[test]
+    fn count_sink_counts_by_array() {
+        let mut s = CountSink::new();
+        s.access(Access::load(0, Array::X));
+        s.access(Access::load(1, Array::X));
+        s.access(Access::store(2, Array::Y));
+        assert_eq!(s.counts[Array::X as usize], 2);
+        assert_eq!(s.counts[Array::Y as usize], 1);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.total(), 3);
+    }
+
+    #[test]
+    fn tee_sink_duplicates() {
+        let mut a = VecSink::new();
+        let mut b = CountSink::new();
+        {
+            let mut tee = TeeSink { first: &mut a, second: &mut b };
+            tee.access(Access::load(9, Array::A));
+            tee.access_all(&[Access::load(10, Array::A), Access::load(11, Array::ColIdx)]);
+        }
+        assert_eq!(a.trace.len(), 3);
+        assert_eq!(b.total(), 3);
+        assert_eq!(b.counts[Array::A as usize], 2);
+    }
+}

@@ -1,0 +1,158 @@
+//! Exact stack-distance processor (Bennett–Kruskal / Olken style).
+//!
+//! Computes the exact reuse distance of every reference in O(log N) per
+//! reference using a hash map of last-access times plus a [`Fenwick`] tree
+//! in which position `t` holds 1 while the access at trace time `t` is the
+//! most recent access to its line. The reuse distance of a reference to a
+//! line last touched at `t0` is then the number of set positions strictly
+//! between `t0` and now.
+//!
+//! This is the precise reference implementation; the production path for
+//! the way-sweep experiments is the locality-independent
+//! [`MarkerStack`](crate::markers::MarkerStack) (Kim et al.), which this
+//! processor validates.
+
+use crate::fenwick::Fenwick;
+use crate::histogram::ReuseHistogram;
+use std::collections::HashMap;
+
+/// Exact reuse-distance processor over a stream of cache-line numbers.
+#[derive(Clone, Debug)]
+pub struct ExactStack {
+    last: HashMap<u64, usize>,
+    live: Fenwick,
+    time: usize,
+}
+
+impl Default for ExactStack {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExactStack {
+    /// Creates a processor with a small initial time capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(1024)
+    }
+
+    /// Creates a processor sized for an expected trace length (avoids
+    /// regrowth when the length is known up front).
+    pub fn with_capacity(expected_len: usize) -> Self {
+        ExactStack {
+            last: HashMap::new(),
+            live: Fenwick::new(expected_len.max(16)),
+            time: 0,
+        }
+    }
+
+    /// Processes one access, returning its exact reuse distance
+    /// (`None` = cold).
+    pub fn access(&mut self, line: u64) -> Option<u64> {
+        if self.time >= self.live.len() {
+            self.live.grow(self.live.len() * 2);
+        }
+        let t = self.time;
+        self.time += 1;
+        let distance = match self.last.insert(line, t) {
+            Some(t0) => {
+                // Count most-recent accesses strictly between t0 and t.
+                let d = self.live.range_sum(t0 + 1..t);
+                self.live.add(t0, -1);
+                Some(d)
+            }
+            None => None,
+        };
+        self.live.add(t, 1);
+        distance
+    }
+
+    /// Number of distinct lines seen so far.
+    pub fn distinct_lines(&self) -> usize {
+        self.last.len()
+    }
+
+    /// Number of accesses processed so far.
+    pub fn accesses(&self) -> usize {
+        self.time
+    }
+
+    /// Processes a whole trace, returning its reuse-distance histogram.
+    pub fn histogram_of(lines: impl IntoIterator<Item = u64>) -> ReuseHistogram {
+        let mut s = ExactStack::new();
+        let mut h = ReuseHistogram::new();
+        for line in lines {
+            h.record(s.access(line));
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+
+    #[test]
+    fn matches_textbook_example() {
+        let mut s = ExactStack::new();
+        assert_eq!(s.access(1), None);
+        assert_eq!(s.access(2), None);
+        assert_eq!(s.access(3), None);
+        assert_eq!(s.access(1), Some(2));
+        assert_eq!(s.access(1), Some(0));
+        assert_eq!(s.access(2), Some(2));
+    }
+
+    #[test]
+    fn matches_naive_on_pseudorandom_trace() {
+        let mut state = 42u64;
+        let trace: Vec<u64> = (0..2000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) % 64
+            })
+            .collect();
+        let expect = naive::reuse_distances(&trace);
+        let mut s = ExactStack::new();
+        for (i, &l) in trace.iter().enumerate() {
+            assert_eq!(s.access(l), expect[i], "position {i}");
+        }
+    }
+
+    #[test]
+    fn growth_preserves_correctness() {
+        // Start tiny so the Fenwick tree must grow several times.
+        let mut s = ExactStack::with_capacity(4);
+        let trace: Vec<u64> = (0..500).map(|i| i % 10).collect();
+        let expect = naive::reuse_distances(&trace);
+        for (i, &l) in trace.iter().enumerate() {
+            assert_eq!(s.access(l), expect[i], "position {i}");
+        }
+    }
+
+    #[test]
+    fn histogram_matches_naive_miss_counts() {
+        let mut state = 7u64;
+        let trace: Vec<u64> = (0..1500)
+            .map(|_| {
+                state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                (state >> 40) % 48
+            })
+            .collect();
+        let h = ExactStack::histogram_of(trace.iter().copied());
+        for cap in [1, 2, 4, 8, 16, 32, 48, 64] {
+            assert_eq!(h.misses(cap), naive::lru_misses(&trace, cap), "capacity {cap}");
+        }
+    }
+
+    #[test]
+    fn distinct_and_access_counters() {
+        let mut s = ExactStack::new();
+        for l in [9, 9, 8, 7, 9] {
+            s.access(l);
+        }
+        assert_eq!(s.distinct_lines(), 3);
+        assert_eq!(s.accesses(), 5);
+    }
+}

@@ -1,0 +1,453 @@
+//! Marker-based stack processing (Kim et al., SIGMETRICS 1991).
+//!
+//! The paper chose this stack-processing algorithm "because of its constant
+//! time complexity per reference" — unlike a plain LRU-stack scan, the cost
+//! per reference does not depend on the reuse distance. The trick: we do
+//! not need exact distances, only *hit or miss for a fixed set of cache
+//! capacities*. A marker is kept at each capacity's depth in the LRU stack,
+//! and each node remembers which inter-marker segment (its *group*) it lies
+//! in. An access to a node in group `g` misses in exactly the capacities
+//! below it (`caps[0..g]`); moving the node to the front shifts each of
+//! those markers up by one list position — O(#capacities) work per
+//! reference, independent of locality.
+//!
+//! Miss counts are kept per capacity *and per originating array*, which the
+//! model uses to decompose traffic (`x`-traffic fraction, §4.5.5) and to
+//! account partitions separately (Eq. 2).
+
+use memtrace::{Access, Array, TraceSink};
+use std::collections::HashMap;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Node {
+    prev: u32,
+    next: u32,
+    line: u64,
+    /// Number of capacities whose marker lies strictly above this node,
+    /// i.e. `#{j : caps[j] < depth}`.
+    group: u8,
+}
+
+/// Multi-capacity LRU hit/miss counter with locality-independent cost per
+/// reference.
+#[derive(Clone, Debug)]
+pub struct MarkerStack {
+    caps: Vec<usize>,
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    index: HashMap<u64, u32>,
+    head: u32,
+    tail: u32,
+    len: usize,
+    /// Per capacity: the slot currently at depth `caps[j]`, or NIL while the
+    /// stack is shorter than that.
+    markers: Vec<u32>,
+    /// Demand misses per capacity per array (cold misses included).
+    misses: Vec<[u64; 5]>,
+    /// Cold (infinite-distance) accesses per array.
+    cold: [u64; 5],
+    accesses: u64,
+}
+
+impl MarkerStack {
+    /// Creates a marker stack counting hits/misses for the given cache
+    /// capacities (in lines).
+    ///
+    /// Capacities are sorted and deduplicated; zero capacities are
+    /// rejected (a zero-line cache misses always and needs no stack).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacities` is empty, contains zero, or has more than 64
+    /// entries.
+    pub fn new(capacities: &[usize]) -> Self {
+        let mut caps = capacities.to_vec();
+        caps.sort_unstable();
+        caps.dedup();
+        assert!(!caps.is_empty(), "need at least one capacity");
+        assert!(caps[0] > 0, "capacities must be positive");
+        assert!(caps.len() <= 64, "too many capacities for one stack");
+        let n = caps.len();
+        MarkerStack {
+            caps,
+            nodes: Vec::new(),
+            free: Vec::new(),
+            index: HashMap::new(),
+            head: NIL,
+            tail: NIL,
+            len: 0,
+            markers: vec![NIL; n],
+            misses: vec![[0; 5]; n],
+            cold: [0; 5],
+            accesses: 0,
+        }
+    }
+
+    /// The (sorted, deduplicated) capacities this stack tracks.
+    pub fn capacities(&self) -> &[usize] {
+        &self.caps
+    }
+
+    /// Total accesses since the last counter reset.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Cold accesses (all arrays) since the last counter reset.
+    pub fn cold_total(&self) -> u64 {
+        self.cold.iter().sum()
+    }
+
+    /// Cold accesses of one array since the last counter reset.
+    pub fn cold_by_array(&self, array: Array) -> u64 {
+        self.cold[array as usize]
+    }
+
+    /// Misses (cold included) at capacity index `j` since the last reset.
+    pub fn misses(&self, j: usize) -> u64 {
+        self.misses[j].iter().sum()
+    }
+
+    /// Misses at capacity index `j` attributable to `array`.
+    pub fn misses_by_array(&self, j: usize, array: Array) -> u64 {
+        self.misses[j][array as usize]
+    }
+
+    /// Index of a tracked capacity value, if present.
+    pub fn capacity_index(&self, capacity: usize) -> Option<usize> {
+        self.caps.iter().position(|&c| c == capacity)
+    }
+
+    /// Misses at the tracked capacity with value `capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not one of the tracked capacities.
+    pub fn misses_at(&self, capacity: usize) -> u64 {
+        let j = self
+            .capacity_index(capacity)
+            .expect("capacity not tracked by this stack");
+        self.misses(j)
+    }
+
+    /// Misses attributable to `array` at the tracked capacity value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not one of the tracked capacities.
+    pub fn misses_by_array_at(&self, capacity: usize, array: Array) -> u64 {
+        let j = self
+            .capacity_index(capacity)
+            .expect("capacity not tracked by this stack");
+        self.misses_by_array(j, array)
+    }
+
+    /// Number of distinct lines currently in the stack.
+    pub fn depth(&self) -> usize {
+        self.len
+    }
+
+    /// Zeroes the hit/miss/cold/access counters while keeping the stack
+    /// state — used to discard the warm-up iteration, matching the paper's
+    /// "model the cache behavior after a warm-up iteration".
+    pub fn reset_counters(&mut self) {
+        for m in &mut self.misses {
+            *m = [0; 5];
+        }
+        self.cold = [0; 5];
+        self.accesses = 0;
+    }
+
+    /// Processes one reference.
+    pub fn access(&mut self, line: u64, array: Array) {
+        self.accesses += 1;
+        let ai = array as usize;
+        if let Some(&slot) = self.index.get(&line) {
+            if self.head == slot {
+                // Depth 1: hit everywhere, nothing moves.
+                return;
+            }
+            let g = self.nodes[slot as usize].group as usize;
+            // Miss in every capacity whose marker lies above the node.
+            for j in 0..g {
+                self.misses[j][ai] += 1;
+                // Shift marker j up one position: the node formerly at
+                // depth caps[j] - 1 will be at caps[j] after the move.
+                let m = self.markers[j];
+                debug_assert_ne!(m, NIL);
+                self.nodes[m as usize].group += 1;
+                self.markers[j] = self.nodes[m as usize].prev;
+            }
+            // A marker pointing at the accessed node itself (possible only
+            // for the first capacity >= its depth) also retargets to the
+            // node that will take its depth.
+            if g < self.caps.len() && self.markers[g] == slot {
+                self.markers[g] = self.nodes[slot as usize].prev;
+            }
+            self.unlink(slot);
+            self.push_front(slot);
+            self.nodes[slot as usize].group = 0;
+            self.fix_depth1_markers();
+        } else {
+            // Cold access: misses at every capacity; the whole stack shifts
+            // down, so every existing marker shifts up.
+            self.cold[ai] += 1;
+            for j in 0..self.caps.len() {
+                self.misses[j][ai] += 1;
+                let m = self.markers[j];
+                if m != NIL {
+                    self.nodes[m as usize].group += 1;
+                    self.markers[j] = self.nodes[m as usize].prev;
+                }
+            }
+            let slot = self.alloc(line);
+            self.push_front(slot);
+            self.len += 1;
+            self.index.insert(line, slot);
+            self.fix_depth1_markers();
+            // Markers spring into existence when the stack first reaches
+            // their capacity: the tail is then exactly at that depth.
+            for j in 0..self.caps.len() {
+                if self.markers[j] == NIL && self.len == self.caps[j] {
+                    self.markers[j] = self.tail;
+                }
+            }
+        }
+    }
+
+    /// Restores markers orphaned by a `prev`-of-head shift: only a
+    /// capacity of 1 can be affected, and its marker is the new head.
+    fn fix_depth1_markers(&mut self) {
+        if self.caps[0] == 1 && self.markers[0] == NIL && self.len >= 1 {
+            self.markers[0] = self.head;
+        }
+    }
+
+    fn alloc(&mut self, line: u64) -> u32 {
+        if let Some(slot) = self.free.pop() {
+            let n = &mut self.nodes[slot as usize];
+            n.line = line;
+            n.group = 0;
+            slot
+        } else {
+            self.nodes.push(Node { prev: NIL, next: NIL, line, group: 0 });
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    fn unlink(&mut self, slot: u32) {
+        let (prev, next) = {
+            let n = &self.nodes[slot as usize];
+            (n.prev, n.next)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, slot: u32) {
+        let old_head = self.head;
+        {
+            let n = &mut self.nodes[slot as usize];
+            n.prev = NIL;
+            n.next = old_head;
+        }
+        if old_head != NIL {
+            self.nodes[old_head as usize].prev = slot;
+        } else {
+            self.tail = slot;
+        }
+        self.head = slot;
+    }
+
+    /// Debug helper: walks the list and checks all structural invariants
+    /// (marker depths, group labels). O(n); test use only.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        let mut depth = 0usize;
+        let mut slot = self.head;
+        let mut prev = NIL;
+        while slot != NIL {
+            depth += 1;
+            let n = &self.nodes[slot as usize];
+            assert_eq!(n.prev, prev, "prev link broken at depth {depth}");
+            let expected_group = self.caps.iter().filter(|&&c| c < depth).count();
+            assert_eq!(
+                n.group as usize, expected_group,
+                "group label wrong at depth {depth} (line {})",
+                n.line
+            );
+            for (j, &m) in self.markers.iter().enumerate() {
+                if m == slot {
+                    assert_eq!(depth, self.caps[j], "marker {j} at wrong depth");
+                }
+            }
+            prev = slot;
+            slot = n.next;
+        }
+        assert_eq!(depth, self.len, "length mismatch");
+        assert_eq!(self.tail, prev, "tail mismatch");
+        for (j, &m) in self.markers.iter().enumerate() {
+            if self.len >= self.caps[j] {
+                assert_ne!(m, NIL, "marker {j} missing although stack is deep enough");
+            } else {
+                assert_eq!(m, NIL, "marker {j} present although stack is shallow");
+            }
+        }
+    }
+}
+
+impl TraceSink for MarkerStack {
+    #[inline]
+    fn access(&mut self, access: Access) {
+        MarkerStack::access(self, access.line, access.array);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactStack;
+    use crate::histogram::ReuseHistogram;
+
+    fn pseudorandom_trace(len: usize, universe: u64, seed: u64) -> Vec<u64> {
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 33) % universe
+            })
+            .collect()
+    }
+
+    fn compare_with_exact(trace: &[u64], caps: &[usize]) {
+        let mut ms = MarkerStack::new(caps);
+        let mut ex = ExactStack::new();
+        let mut hist = ReuseHistogram::new();
+        for &l in trace {
+            ms.access(l, Array::X);
+            hist.record(ex.access(l));
+        }
+        for (j, &c) in ms.capacities().to_vec().iter().enumerate() {
+            assert_eq!(ms.misses(j), hist.misses(c), "capacity {c}");
+        }
+        assert_eq!(ms.cold_total(), hist.cold());
+        ms.check_invariants();
+    }
+
+    #[test]
+    fn matches_exact_small_universe() {
+        let trace = pseudorandom_trace(3000, 50, 3);
+        compare_with_exact(&trace, &[1, 2, 8, 16, 40, 64]);
+    }
+
+    #[test]
+    fn matches_exact_large_universe() {
+        let trace = pseudorandom_trace(2000, 5000, 17);
+        compare_with_exact(&trace, &[4, 100, 1000, 4096]);
+    }
+
+    #[test]
+    fn matches_exact_sequential_streaming() {
+        // Pure streaming: every access cold.
+        let trace: Vec<u64> = (0..500).collect();
+        compare_with_exact(&trace, &[1, 10, 100]);
+    }
+
+    #[test]
+    fn matches_exact_cyclic() {
+        // Cyclic reuse just above/below capacities.
+        let trace: Vec<u64> = (0..1000).map(|i| i % 10).collect();
+        compare_with_exact(&trace, &[9, 10, 11]);
+    }
+
+    #[test]
+    fn capacity_one() {
+        // Only immediate re-references hit with capacity 1.
+        let trace = [1, 1, 2, 2, 2, 1, 3, 3];
+        let mut ms = MarkerStack::new(&[1]);
+        for &l in &trace {
+            ms.access(l, Array::Y);
+        }
+        // Misses: 1(cold), 2(cold), 1(dist 1), 3(cold) -> 4; hits: 4.
+        assert_eq!(ms.misses(0), 4);
+        assert_eq!(ms.cold_total(), 3);
+        ms.check_invariants();
+    }
+
+    #[test]
+    fn per_array_attribution() {
+        let mut ms = MarkerStack::new(&[2]);
+        ms.access(0, Array::X); // cold
+        ms.access(100, Array::A); // cold
+        ms.access(200, Array::A); // cold
+        ms.access(0, Array::X); // distance 2 -> miss at cap 2
+        assert_eq!(ms.misses_by_array(0, Array::X), 2);
+        assert_eq!(ms.misses_by_array(0, Array::A), 2);
+        assert_eq!(ms.cold_by_array(Array::X), 1);
+        assert_eq!(ms.cold_by_array(Array::A), 2);
+    }
+
+    #[test]
+    fn reset_counters_keeps_stack_state() {
+        let mut ms = MarkerStack::new(&[4]);
+        for l in 0..10u64 {
+            ms.access(l, Array::X);
+        }
+        ms.reset_counters();
+        assert_eq!(ms.misses(0), 0);
+        assert_eq!(ms.accesses(), 0);
+        // Line 9 is at depth 1: hit; line 0 is at depth 10: miss, not cold.
+        ms.access(9, Array::X);
+        ms.access(0, Array::X);
+        assert_eq!(ms.misses(0), 1);
+        assert_eq!(ms.cold_total(), 0);
+        ms.check_invariants();
+    }
+
+    #[test]
+    fn invariants_hold_during_mixed_workload() {
+        let trace = pseudorandom_trace(400, 30, 9);
+        let mut ms = MarkerStack::new(&[1, 3, 7, 20]);
+        for (i, &l) in trace.iter().enumerate() {
+            ms.access(l, Array::ColIdx);
+            if i % 37 == 0 {
+                ms.check_invariants();
+            }
+        }
+        ms.check_invariants();
+    }
+
+    #[test]
+    fn misses_at_by_capacity_value() {
+        let mut ms = MarkerStack::new(&[8, 2]);
+        for l in [1, 2, 3, 1] {
+            ms.access(l, Array::X);
+        }
+        // Distance of final access to 1 is 2: miss at cap 2, hit at cap 8.
+        assert_eq!(ms.misses_at(2), 4); // 3 cold + 1
+        assert_eq!(ms.misses_at(8), 3); // cold only
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity not tracked")]
+    fn misses_at_unknown_capacity_panics() {
+        let ms = MarkerStack::new(&[2]);
+        ms.misses_at(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_capacity_rejected() {
+        MarkerStack::new(&[0, 4]);
+    }
+}

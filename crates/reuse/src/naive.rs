@@ -1,0 +1,102 @@
+//! Naive O(N·n) LRU-stack reuse-distance oracle.
+//!
+//! Maintains the LRU stack as a plain vector and scans it linearly on each
+//! access. Far too slow for real traces but unbeatable as a test oracle for
+//! the Fenwick-based exact processor and the marker stack.
+
+/// Naive reuse-distance processor (test oracle).
+#[derive(Clone, Debug, Default)]
+pub struct NaiveStack {
+    stack: Vec<u64>,
+}
+
+impl NaiveStack {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Processes one access and returns its reuse distance, or `None` for a
+    /// first-ever (infinite-distance) access.
+    ///
+    /// The reuse distance is the number of *distinct* other lines accessed
+    /// since the previous access to `line` — its 0-based depth in the LRU
+    /// stack.
+    pub fn access(&mut self, line: u64) -> Option<u64> {
+        if let Some(pos) = self.stack.iter().position(|&l| l == line) {
+            self.stack.remove(pos);
+            self.stack.insert(0, line);
+            Some(pos as u64)
+        } else {
+            self.stack.insert(0, line);
+            None
+        }
+    }
+
+    /// Number of distinct lines seen so far.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+}
+
+/// Computes per-access reuse distances for an entire trace of line numbers.
+pub fn reuse_distances(lines: &[u64]) -> Vec<Option<u64>> {
+    let mut s = NaiveStack::new();
+    lines.iter().map(|&l| s.access(l)).collect()
+}
+
+/// Counts misses of a fully associative LRU cache of `capacity` lines over
+/// a trace, using Eq. (1) of the paper: an access misses iff its reuse
+/// distance is `>= capacity` (cold accesses always miss).
+pub fn lru_misses(lines: &[u64], capacity: usize) -> u64 {
+    reuse_distances(lines)
+        .into_iter()
+        .filter(|d| match d {
+            None => true,
+            Some(d) => *d >= capacity as u64,
+        })
+        .count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_example() {
+        // Classic trace: a b c a -> distances inf, inf, inf, 2.
+        let d = reuse_distances(&[1, 2, 3, 1]);
+        assert_eq!(d, vec![None, None, None, Some(2)]);
+    }
+
+    #[test]
+    fn immediate_reuse_has_distance_zero() {
+        let d = reuse_distances(&[5, 5, 5]);
+        assert_eq!(d, vec![None, Some(0), Some(0)]);
+    }
+
+    #[test]
+    fn distance_counts_distinct_not_total() {
+        // a b b b a: only one distinct line (b) between the two a's.
+        let d = reuse_distances(&[1, 2, 2, 2, 1]);
+        assert_eq!(d.last().unwrap(), &Some(1));
+    }
+
+    #[test]
+    fn lru_miss_counting() {
+        // Cyclic trace over 3 lines with capacity 2: everything misses.
+        let trace = [1, 2, 3, 1, 2, 3];
+        assert_eq!(lru_misses(&trace, 2), 6);
+        // Capacity 3: only the 3 cold misses.
+        assert_eq!(lru_misses(&trace, 3), 3);
+    }
+
+    #[test]
+    fn depth_tracks_distinct_lines() {
+        let mut s = NaiveStack::new();
+        for l in [1, 2, 1, 3, 2, 1] {
+            s.access(l);
+        }
+        assert_eq!(s.depth(), 3);
+    }
+}

@@ -1,0 +1,207 @@
+//! Sampled reuse-distance estimation (SHARDS-style spatial sampling).
+//!
+//! The paper's §2.2 notes that full trace processing "involves a
+//! significant overhead, and, recently, more lightweight techniques have
+//! been developed based on hardware event sampling and statistical
+//! methods". This module provides the classic spatially hashed sampling
+//! estimator: only lines whose hash falls under a threshold are tracked
+//! (rate `R`), distances are computed exactly *among sampled lines*, and
+//! both the distance and the counts are rescaled by `1/R`. Constant
+//! memory and ~`R`-fraction processing cost buy a small, quantifiable
+//! estimation error.
+
+use crate::histogram::ReuseHistogram;
+use std::collections::HashMap;
+
+/// Splitmix64: a fast, well-distributed 64-bit hash.
+#[inline]
+fn hash64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// A sampling reuse-distance estimator.
+///
+/// With `sample_shift = s`, a line is tracked iff `hash(line) < 2^(64-s)`,
+/// i.e. the sampling rate is `R = 2^-s`. `s = 0` tracks everything
+/// (exact).
+#[derive(Clone, Debug)]
+pub struct SampledStack {
+    threshold: u64,
+    rate_inv: u64,
+    /// Exact stack over sampled lines only: last-seen time + Fenwick over
+    /// compressed time, reusing the exact engine.
+    inner: crate::exact::ExactStack,
+    sampled_lines: HashMap<u64, ()>,
+    accesses: u64,
+    sampled_accesses: u64,
+    hist: ReuseHistogram,
+}
+
+impl SampledStack {
+    /// Creates an estimator sampling `2^-sample_shift` of all lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_shift >= 32` (rate too low to be useful).
+    pub fn new(sample_shift: u32) -> Self {
+        assert!(sample_shift < 32, "sampling rate 2^-{sample_shift} is too low");
+        SampledStack {
+            threshold: if sample_shift == 0 { u64::MAX } else { u64::MAX >> sample_shift },
+            rate_inv: 1u64 << sample_shift,
+            inner: crate::exact::ExactStack::new(),
+            sampled_lines: HashMap::new(),
+            accesses: 0,
+            sampled_accesses: 0,
+            hist: ReuseHistogram::new(),
+        }
+    }
+
+    /// Processes one access.
+    #[inline]
+    pub fn access(&mut self, line: u64) {
+        self.accesses += 1;
+        if hash64(line) > self.threshold {
+            return;
+        }
+        self.sampled_accesses += 1;
+        self.sampled_lines.insert(line, ());
+        let d = self.inner.access(line);
+        // Scale the sampled distance up to the full-population estimate.
+        self.hist.record(d.map(|d| d * self.rate_inv));
+    }
+
+    /// Total accesses seen (sampled or not).
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Accesses that hit the sample.
+    pub fn sampled_accesses(&self) -> u64 {
+        self.sampled_accesses
+    }
+
+    /// Number of distinct sampled lines.
+    pub fn sampled_lines(&self) -> usize {
+        self.sampled_lines.len()
+    }
+
+    /// Estimated total misses for a cache of `capacity` lines: the sampled
+    /// miss count rescaled by the sampling rate.
+    pub fn estimated_misses(&self, capacity: usize) -> u64 {
+        self.hist.misses(capacity) * self.rate_inv
+    }
+
+    /// Estimated miss *ratio* for a cache of `capacity` lines (unbiased
+    /// without rescaling, since both numerator and denominator are
+    /// sampled).
+    pub fn estimated_miss_ratio(&self, capacity: usize) -> f64 {
+        if self.sampled_accesses == 0 {
+            0.0
+        } else {
+            self.hist.misses(capacity) as f64 / self.sampled_accesses as f64
+        }
+    }
+
+    /// The scaled reuse-distance histogram (distances are pre-multiplied
+    /// by `1/R`; counts are per *sampled* access).
+    pub fn histogram(&self) -> &ReuseHistogram {
+        &self.hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactStack;
+
+    fn trace(len: usize, universe: u64, seed: u64) -> Vec<u64> {
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(77);
+                (state >> 33) % universe
+            })
+            .collect()
+    }
+
+    #[test]
+    fn shift_zero_is_exact() {
+        let t = trace(5000, 200, 3);
+        let mut s = SampledStack::new(0);
+        let mut hist = crate::histogram::ReuseHistogram::new();
+        let mut ex = ExactStack::new();
+        for &l in &t {
+            s.access(l);
+            hist.record(ex.access(l));
+        }
+        assert_eq!(s.sampled_accesses(), t.len() as u64);
+        for cap in [10, 50, 100, 200, 400] {
+            assert_eq!(s.estimated_misses(cap), hist.misses(cap));
+        }
+    }
+
+    #[test]
+    fn sampled_estimate_tracks_exact_miss_ratio() {
+        // Large universe so a 1/8 sample still covers many lines.
+        let t = trace(400_000, 20_000, 9);
+        let mut exact = ExactStack::new();
+        let mut hist = crate::histogram::ReuseHistogram::new();
+        let mut sampled = SampledStack::new(3); // rate 1/8
+        for &l in &t {
+            hist.record(exact.access(l));
+            sampled.access(l);
+        }
+        for cap in [1000usize, 4000, 12000, 20000] {
+            let true_ratio = hist.misses(cap) as f64 / t.len() as f64;
+            let est_ratio = sampled.estimated_miss_ratio(cap);
+            let err = (true_ratio - est_ratio).abs();
+            assert!(
+                err < 0.03,
+                "capacity {cap}: true {true_ratio:.4} vs est {est_ratio:.4}"
+            );
+        }
+        // Roughly 1/8 of accesses processed.
+        let frac = sampled.sampled_accesses() as f64 / t.len() as f64;
+        assert!((frac - 0.125).abs() < 0.02, "sampling fraction {frac}");
+    }
+
+    #[test]
+    fn estimated_total_misses_scale() {
+        let t = trace(200_000, 10_000, 21);
+        let mut hist = crate::histogram::ReuseHistogram::new();
+        let mut exact = ExactStack::new();
+        let mut sampled = SampledStack::new(2); // rate 1/4
+        for &l in &t {
+            hist.record(exact.access(l));
+            sampled.access(l);
+        }
+        for cap in [2000usize, 6000] {
+            let truth = hist.misses(cap) as f64;
+            let est = sampled.estimated_misses(cap) as f64;
+            let rel = (truth - est).abs() / truth.max(1.0);
+            assert!(rel < 0.12, "capacity {cap}: {truth} vs {est} ({rel:.3})");
+        }
+    }
+
+    #[test]
+    fn deterministic_sampling() {
+        let t = trace(10_000, 1000, 5);
+        let mut a = SampledStack::new(4);
+        let mut b = SampledStack::new(4);
+        for &l in &t {
+            a.access(l);
+            b.access(l);
+        }
+        assert_eq!(a.sampled_accesses(), b.sampled_accesses());
+        assert_eq!(a.estimated_misses(100), b.estimated_misses(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "too low")]
+    fn absurd_rate_rejected() {
+        SampledStack::new(40);
+    }
+}

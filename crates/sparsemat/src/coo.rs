@@ -1,0 +1,237 @@
+//! Coordinate (triplet) sparse matrix format.
+//!
+//! COO is the assembly format: entries can be pushed in any order and
+//! duplicates are allowed until conversion. [`CooMatrix::to_csr`] sorts,
+//! sums duplicates and produces a canonical [`CsrMatrix`].
+
+use crate::csr::CsrMatrix;
+
+/// A sparse matrix in coordinate (triplet) format.
+///
+/// Entries are stored in insertion order; rows, columns and values are kept
+/// in parallel arrays. The matrix dimensions are fixed at construction and
+/// every pushed entry is bounds-checked against them.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CooMatrix {
+    num_rows: usize,
+    num_cols: usize,
+    rows: Vec<usize>,
+    cols: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CooMatrix {
+    /// Creates an empty COO matrix with the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cols` does not fit in `u32`, since column indices are
+    /// stored as 4-byte integers throughout this workspace (matching the
+    /// paper's `colidx` accounting).
+    pub fn new(num_rows: usize, num_cols: usize) -> Self {
+        assert!(
+            u32::try_from(num_cols).is_ok(),
+            "number of columns {num_cols} exceeds u32 range"
+        );
+        CooMatrix {
+            num_rows,
+            num_cols,
+            rows: Vec::new(),
+            cols: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Creates an empty COO matrix with capacity reserved for `nnz` entries.
+    pub fn with_capacity(num_rows: usize, num_cols: usize, nnz: usize) -> Self {
+        let mut m = Self::new(num_rows, num_cols);
+        m.rows.reserve(nnz);
+        m.cols.reserve(nnz);
+        m.values.reserve(nnz);
+        m
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.num_cols
+    }
+
+    /// Number of stored entries, including any duplicates not yet summed.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Appends the entry `(row, col, value)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.num_rows, "row {row} out of bounds ({})", self.num_rows);
+        assert!(col < self.num_cols, "col {col} out of bounds ({})", self.num_cols);
+        self.rows.push(row);
+        self.cols.push(col as u32);
+        self.values.push(value);
+    }
+
+    /// Appends the entry, and its transpose mirror if off-diagonal.
+    ///
+    /// Convenience for assembling symmetric matrices from one triangle, as
+    /// Matrix Market symmetric files store them.
+    pub fn push_symmetric(&mut self, row: usize, col: usize, value: f64) {
+        self.push(row, col, value);
+        if row != col {
+            self.push(col, row, value);
+        }
+    }
+
+    /// Iterates over stored entries as `(row, col, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.rows
+            .iter()
+            .zip(&self.cols)
+            .zip(&self.values)
+            .map(|((&r, &c), &v)| (r, c as usize, v))
+    }
+
+    /// Converts to CSR, sorting entries and summing duplicates.
+    ///
+    /// Sorting is done with a counting pass over rows (O(nnz + rows)), then
+    /// each row is sorted by column and duplicates within a row are summed.
+    /// The resulting CSR is canonical: strictly increasing column indices
+    /// within each row.
+    pub fn to_csr(&self) -> CsrMatrix {
+        // Counting sort by row.
+        let mut row_counts = vec![0i64; self.num_rows + 1];
+        for &r in &self.rows {
+            row_counts[r + 1] += 1;
+        }
+        for i in 0..self.num_rows {
+            row_counts[i + 1] += row_counts[i];
+        }
+        let rowptr_raw = row_counts.clone();
+        let mut next = row_counts;
+        let mut cols = vec![0u32; self.nnz()];
+        let mut vals = vec![0.0f64; self.nnz()];
+        for i in 0..self.nnz() {
+            let r = self.rows[i];
+            let dst = next[r] as usize;
+            cols[dst] = self.cols[i];
+            vals[dst] = self.values[i];
+            next[r] += 1;
+        }
+
+        // Sort within each row by column, then compact duplicates.
+        let mut out_cols: Vec<u32> = Vec::with_capacity(self.nnz());
+        let mut out_vals: Vec<f64> = Vec::with_capacity(self.nnz());
+        let mut out_rowptr: Vec<i64> = Vec::with_capacity(self.num_rows + 1);
+        out_rowptr.push(0);
+        let mut scratch: Vec<(u32, f64)> = Vec::new();
+        for r in 0..self.num_rows {
+            let (b, e) = (rowptr_raw[r] as usize, rowptr_raw[r + 1] as usize);
+            scratch.clear();
+            scratch.extend(cols[b..e].iter().copied().zip(vals[b..e].iter().copied()));
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let (c, mut v) = scratch[i];
+                let mut j = i + 1;
+                while j < scratch.len() && scratch[j].0 == c {
+                    v += scratch[j].1;
+                    j += 1;
+                }
+                out_cols.push(c);
+                out_vals.push(v);
+                i = j;
+            }
+            out_rowptr.push(out_cols.len() as i64);
+        }
+
+        CsrMatrix::from_parts(self.num_rows, self.num_cols, out_rowptr, out_cols, out_vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_matrix_roundtrip() {
+        let coo = CooMatrix::new(3, 4);
+        assert!(coo.is_empty());
+        let csr = coo.to_csr();
+        assert_eq!(csr.num_rows(), 3);
+        assert_eq!(csr.num_cols(), 4);
+        assert_eq!(csr.nnz(), 0);
+    }
+
+    #[test]
+    fn unsorted_entries_become_canonical() {
+        let mut coo = CooMatrix::new(2, 3);
+        coo.push(1, 2, 3.0);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 0, 2.0);
+        coo.push(0, 0, 0.5);
+        let csr = coo.to_csr();
+        assert_eq!(csr.rowptr(), &[0, 2, 4]);
+        assert_eq!(csr.colidx(), &[0, 1, 0, 2]);
+        assert_eq!(csr.values(), &[0.5, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut coo = CooMatrix::new(1, 2);
+        coo.push(0, 1, 1.0);
+        coo.push(0, 1, 2.5);
+        coo.push(0, 0, -1.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.colidx(), &[0, 1]);
+        assert_eq!(csr.values(), &[-1.0, 3.5]);
+    }
+
+    #[test]
+    fn symmetric_push_mirrors_offdiagonal() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push_symmetric(0, 0, 1.0);
+        coo.push_symmetric(2, 0, 5.0);
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 3);
+        assert_eq!(csr.get(0, 2), Some(5.0));
+        assert_eq!(csr.get(2, 0), Some(5.0));
+        assert_eq!(csr.get(0, 0), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "row 2 out of bounds")]
+    fn row_bounds_checked() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(2, 0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "col 7 out of bounds")]
+    fn col_bounds_checked() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(1, 7, 1.0);
+    }
+
+    #[test]
+    fn iter_yields_insertion_order() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(1, 1, 4.0);
+        coo.push(0, 0, 1.0);
+        let got: Vec<_> = coo.iter().collect();
+        assert_eq!(got, vec![(1, 1, 4.0), (0, 0, 1.0)]);
+    }
+}

@@ -1,0 +1,348 @@
+//! Compressed Sparse Row (CSR) matrix format.
+//!
+//! CSR is the format studied by the paper (Listing 1). The index/value
+//! types deliberately match the paper's byte accounting: 8-byte `f64`
+//! values (`a`), 4-byte `u32` column indices (`colidx`) and 8-byte `i64`
+//! row pointers (`rowptr`). The locality model's closed-form traffic terms
+//! (`⌈8K/L⌉ + ⌈4K/L⌉ + ⌈8(M+1)/L⌉ + ⌈8M/L⌉`) depend on these sizes.
+
+use crate::coo::CooMatrix;
+use crate::{COLIDX_BYTES, ROWPTR_BYTES, VALUE_BYTES, VECTOR_BYTES};
+
+/// A sparse matrix in CSR format.
+///
+/// Invariants (validated by [`CsrMatrix::from_parts`]):
+/// * `rowptr.len() == num_rows + 1`, `rowptr[0] == 0`,
+///   `rowptr[num_rows] == nnz`, and `rowptr` is non-decreasing;
+/// * `colidx.len() == values.len() == nnz`;
+/// * every column index is `< num_cols`.
+///
+/// Column indices within a row are *not* required to be sorted (CSR from
+/// arbitrary sources may be unsorted); [`CooMatrix::to_csr`] produces sorted
+/// rows and [`CsrMatrix::has_sorted_rows`] reports the property.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMatrix {
+    num_rows: usize,
+    num_cols: usize,
+    rowptr: Vec<i64>,
+    colidx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from raw parts, validating all invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any CSR invariant is violated.
+    pub fn from_parts(
+        num_rows: usize,
+        num_cols: usize,
+        rowptr: Vec<i64>,
+        colidx: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Self {
+        assert_eq!(rowptr.len(), num_rows + 1, "rowptr length must be num_rows + 1");
+        assert_eq!(colidx.len(), values.len(), "colidx and values must have equal length");
+        assert_eq!(rowptr[0], 0, "rowptr must start at 0");
+        assert_eq!(
+            rowptr[num_rows] as usize,
+            colidx.len(),
+            "rowptr must end at nnz"
+        );
+        for r in 0..num_rows {
+            assert!(rowptr[r] <= rowptr[r + 1], "rowptr must be non-decreasing at row {r}");
+        }
+        assert!(
+            u32::try_from(num_cols).is_ok(),
+            "number of columns {num_cols} exceeds u32 range"
+        );
+        for &c in &colidx {
+            assert!((c as usize) < num_cols, "column index {c} out of bounds ({num_cols})");
+        }
+        CsrMatrix {
+            num_rows,
+            num_cols,
+            rowptr,
+            colidx,
+            values,
+        }
+    }
+
+    /// Builds an `n`-by-`n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let rowptr = (0..=n as i64).collect();
+        let colidx = (0..n as u32).collect();
+        let values = vec![1.0; n];
+        Self::from_parts(n, n, rowptr, colidx, values)
+    }
+
+    /// Number of rows (the paper's `M`).
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of columns (the paper's `N`).
+    pub fn num_cols(&self) -> usize {
+        self.num_cols
+    }
+
+    /// Number of stored nonzeros (the paper's `K`).
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The row pointer array (`rowptr`), `num_rows + 1` entries.
+    pub fn rowptr(&self) -> &[i64] {
+        &self.rowptr
+    }
+
+    /// The column index array (`colidx`), `nnz` entries.
+    pub fn colidx(&self) -> &[u32] {
+        &self.colidx
+    }
+
+    /// The nonzero values array (`a`), `nnz` entries.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the nonzero values (pattern is immutable).
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// The half-open nonzero index range of row `r`.
+    #[inline]
+    pub fn row_range(&self, r: usize) -> std::ops::Range<usize> {
+        self.rowptr[r] as usize..self.rowptr[r + 1] as usize
+    }
+
+    /// Number of nonzeros in row `r`.
+    #[inline]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        (self.rowptr[r + 1] - self.rowptr[r]) as usize
+    }
+
+    /// Iterates over `(colidx, value)` pairs of row `r`.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let range = self.row_range(r);
+        self.colidx[range.clone()]
+            .iter()
+            .zip(&self.values[range])
+            .map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// Looks up the entry at `(row, col)`, or `None` if not stored.
+    ///
+    /// Linear scan over the row; intended for tests and small matrices.
+    pub fn get(&self, row: usize, col: usize) -> Option<f64> {
+        self.row(row).find(|&(c, _)| c == col).map(|(_, v)| v)
+    }
+
+    /// Returns `true` if every row has strictly increasing column indices.
+    pub fn has_sorted_rows(&self) -> bool {
+        (0..self.num_rows).all(|r| {
+            let range = self.row_range(r);
+            self.colidx[range].windows(2).all(|w| w[0] < w[1])
+        })
+    }
+
+    /// Converts back to COO (entries in row-major order).
+    pub fn to_coo(&self) -> CooMatrix {
+        let mut coo = CooMatrix::with_capacity(self.num_rows, self.num_cols, self.nnz());
+        for r in 0..self.num_rows {
+            for (c, v) in self.row(r) {
+                coo.push(r, c, v);
+            }
+        }
+        coo
+    }
+
+    /// Returns the transpose as a new CSR matrix.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0i64; self.num_cols + 1];
+        for &c in &self.colidx {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..self.num_cols {
+            counts[i + 1] += counts[i];
+        }
+        let rowptr = counts.clone();
+        let mut next = counts;
+        let mut colidx = vec![0u32; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        for r in 0..self.num_rows {
+            for i in self.row_range(r) {
+                let c = self.colidx[i] as usize;
+                let dst = next[c] as usize;
+                colidx[dst] = r as u32;
+                values[dst] = self.values[i];
+                next[c] += 1;
+            }
+        }
+        CsrMatrix::from_parts(self.num_cols, self.num_rows, rowptr, colidx, values)
+    }
+
+    /// Applies a symmetric permutation `perm` (new index -> old index) to a
+    /// square matrix, returning `P A Pᵀ`.
+    ///
+    /// Used by RCM reordering. `perm[i] = j` means new row/column `i` is old
+    /// row/column `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or `perm` is not a permutation of
+    /// `0..num_rows`.
+    pub fn permute_symmetric(&self, perm: &[usize]) -> CsrMatrix {
+        assert_eq!(self.num_rows, self.num_cols, "symmetric permutation needs a square matrix");
+        assert_eq!(perm.len(), self.num_rows, "permutation length mismatch");
+        let mut inv = vec![usize::MAX; perm.len()];
+        for (new, &old) in perm.iter().enumerate() {
+            assert!(old < perm.len(), "permutation entry out of range");
+            assert!(inv[old] == usize::MAX, "permutation has duplicate entry {old}");
+            inv[old] = new;
+        }
+
+        let mut rowptr = Vec::with_capacity(self.num_rows + 1);
+        rowptr.push(0i64);
+        let mut colidx = Vec::with_capacity(self.nnz());
+        let mut values = Vec::with_capacity(self.nnz());
+        let mut scratch: Vec<(u32, f64)> = Vec::new();
+        for &old_r in perm.iter().take(self.num_rows) {
+            scratch.clear();
+            for (c, v) in self.row(old_r) {
+                scratch.push((inv[c] as u32, v));
+            }
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            for &(c, v) in &scratch {
+                colidx.push(c);
+                values.push(v);
+            }
+            rowptr.push(colidx.len() as i64);
+        }
+        CsrMatrix::from_parts(self.num_rows, self.num_cols, rowptr, colidx, values)
+    }
+
+    /// Total bytes of the CSR data structures (`a` + `colidx` + `rowptr`),
+    /// the paper's "matrix data".
+    pub fn matrix_bytes(&self) -> usize {
+        self.nnz() * (VALUE_BYTES + COLIDX_BYTES) + (self.num_rows + 1) * ROWPTR_BYTES
+    }
+
+    /// Total bytes of the SpMV working set: matrix data plus the `x`
+    /// (`num_cols` elements) and `y` (`num_rows` elements) vectors.
+    pub fn working_set_bytes(&self) -> usize {
+        self.matrix_bytes() + (self.num_rows + self.num_cols) * VECTOR_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> CsrMatrix {
+        // The 4x4, 7-nonzero example of the paper's Fig. 1:
+        // row 0: cols 1,2 ; row 1: col 0 ; row 2: cols 2,3 ; row 3: cols 1,3
+        CsrMatrix::from_parts(
+            4,
+            4,
+            vec![0, 2, 3, 5, 7],
+            vec![1, 2, 0, 2, 3, 1, 3],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0],
+        )
+    }
+
+    #[test]
+    fn fig1_example_accessors() {
+        let a = example();
+        assert_eq!(a.num_rows(), 4);
+        assert_eq!(a.num_cols(), 4);
+        assert_eq!(a.nnz(), 7);
+        assert_eq!(a.row_nnz(0), 2);
+        assert_eq!(a.row_nnz(1), 1);
+        assert_eq!(a.row_range(2), 3..5);
+        assert!(a.has_sorted_rows());
+        assert_eq!(a.get(3, 1), Some(6.0));
+        assert_eq!(a.get(3, 0), None);
+    }
+
+    #[test]
+    fn identity_matrix() {
+        let i = CsrMatrix::identity(5);
+        assert_eq!(i.nnz(), 5);
+        for r in 0..5 {
+            assert_eq!(i.get(r, r), Some(1.0));
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = example();
+        let att = a.transpose().transpose();
+        assert_eq!(a, att);
+    }
+
+    #[test]
+    fn transpose_moves_entries() {
+        let a = example();
+        let at = a.transpose();
+        assert_eq!(at.get(1, 0), Some(1.0));
+        assert_eq!(at.get(2, 0), Some(2.0));
+        assert_eq!(at.get(0, 1), Some(3.0));
+    }
+
+    #[test]
+    fn coo_roundtrip() {
+        let a = example();
+        let b = a.to_coo().to_csr();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn permute_identity_is_noop() {
+        let a = example();
+        let perm: Vec<usize> = (0..4).collect();
+        assert_eq!(a.permute_symmetric(&perm), a);
+    }
+
+    #[test]
+    fn permute_reversal() {
+        let a = example();
+        let perm = vec![3, 2, 1, 0];
+        let p = a.permute_symmetric(&perm);
+        // Old (3,1)=6.0 maps to new (0,2).
+        assert_eq!(p.get(0, 2), Some(6.0));
+        // Old (1,0)=3.0 maps to new (2,3).
+        assert_eq!(p.get(2, 3), Some(3.0));
+        // Applying the inverse (same reversal) restores the matrix.
+        assert_eq!(p.permute_symmetric(&perm), a);
+    }
+
+    #[test]
+    fn byte_accounting_matches_paper_formulas() {
+        let a = example();
+        // 7 nonzeros: 8*7 + 4*7 = 84 bytes, rowptr: 8*5 = 40.
+        assert_eq!(a.matrix_bytes(), 84 + 40);
+        // Vectors: (4 + 4) * 8 = 64.
+        assert_eq!(a.working_set_bytes(), 84 + 40 + 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "rowptr must end at nnz")]
+    fn invalid_rowptr_rejected() {
+        CsrMatrix::from_parts(1, 1, vec![0, 2], vec![0], vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "column index 5 out of bounds")]
+    fn invalid_colidx_rejected() {
+        CsrMatrix::from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn decreasing_rowptr_rejected() {
+        CsrMatrix::from_parts(3, 2, vec![0, 2, 1, 2], vec![0, 1], vec![1.0, 1.0]);
+    }
+}

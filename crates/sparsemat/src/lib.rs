@@ -1,0 +1,70 @@
+//! Sparse matrix substrate for the A64FX SpMV locality study.
+//!
+//! This crate provides the sparse-matrix machinery the paper's SpMV kernel
+//! and locality model are built on:
+//!
+//! * [`coo::CooMatrix`] — coordinate (triplet) format used as an assembly
+//!   and interchange format.
+//! * [`csr::CsrMatrix`] — Compressed Sparse Row, the storage format studied
+//!   by the paper (Listing 1). Value and index types match the paper's
+//!   accounting exactly: `f64` nonzero values (8 bytes), `u32` column
+//!   indices (4 bytes) and `i64` row pointers (8 bytes).
+//! * [`spmv`] — sequential, row-parallel and merge-based CSR SpMV kernels
+//!   computing `y += A*x`.
+//! * [`partition`] — static row partitioning (contiguous row blocks, as an
+//!   OpenMP static worksharing loop would produce) and balanced-nonzero
+//!   partitioning (the load-balancing optimisation of Alappat et al.
+//!   discussed in the paper's §4.2).
+//! * [`stats`] — per-matrix statistics used by the model and evaluation:
+//!   mean and coefficient of variation of nonzeros per row, bandwidth, etc.
+//! * [`mm`] — Matrix Market (`.mtx`) reader/writer so real SuiteSparse
+//!   matrices can be used when available.
+//! * [`reorder`] — (Reverse) Cuthill–McKee reordering, the locality
+//!   optimisation the paper cites from Alappat et al.
+//! * [`sell`] — the SELL-C-σ sliced-ELLPACK format the paper's related
+//!   work highlights as the faster A64FX alternative to CSR.
+//!
+//! # Quick example
+//!
+//! ```
+//! use sparsemat::coo::CooMatrix;
+//! use sparsemat::spmv;
+//!
+//! let mut coo = CooMatrix::new(2, 2);
+//! coo.push(0, 0, 2.0);
+//! coo.push(1, 0, 1.0);
+//! coo.push(1, 1, 3.0);
+//! let a = coo.to_csr();
+//!
+//! let x = vec![1.0, 1.0];
+//! let mut y = vec![0.0, 0.0];
+//! spmv::spmv_seq(&a, &x, &mut y);
+//! assert_eq!(y, vec![2.0, 4.0]);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod coo;
+pub mod csr;
+pub mod mm;
+pub mod partition;
+pub mod reorder;
+pub mod sell;
+pub mod spmv;
+pub mod stats;
+
+pub use coo::CooMatrix;
+pub use csr::CsrMatrix;
+pub use sell::SellMatrix;
+pub use partition::RowPartition;
+pub use stats::MatrixStats;
+
+/// Size in bytes of a nonzero matrix value (`f64`), as in the paper.
+pub const VALUE_BYTES: usize = 8;
+/// Size in bytes of a column index (`u32`), as in the paper.
+pub const COLIDX_BYTES: usize = 4;
+/// Size in bytes of a row pointer (`i64`), as in the paper.
+pub const ROWPTR_BYTES: usize = 8;
+/// Size in bytes of a vector element (`f64`).
+pub const VECTOR_BYTES: usize = 8;

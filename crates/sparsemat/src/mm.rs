@@ -1,0 +1,288 @@
+//! Matrix Market (`.mtx`) I/O.
+//!
+//! The paper evaluates on 490 SuiteSparse matrices, which are distributed
+//! in Matrix Market format. This module implements the coordinate subset of
+//! the format (the one SuiteSparse uses for sparse matrices): `real`,
+//! `integer` and `pattern` fields with `general` or `symmetric` symmetry,
+//! so real collections can be dropped into the experiment harness when
+//! available. Writing is supported for round-tripping and for exporting
+//! generated corpus matrices.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+
+/// Errors produced by the Matrix Market reader.
+#[derive(Debug)]
+pub enum MmError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structurally invalid or unsupported file content; the string names
+    /// the offending line or construct.
+    Parse(String),
+}
+
+impl fmt::Display for MmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MmError::Io(e) => write!(f, "I/O error: {e}"),
+            MmError::Parse(msg) => write!(f, "Matrix Market parse error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+impl From<io::Error> for MmError {
+    fn from(e: io::Error) -> Self {
+        MmError::Io(e)
+    }
+}
+
+/// Field type of a Matrix Market file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Field {
+    Real,
+    Integer,
+    Pattern,
+}
+
+/// Symmetry of a Matrix Market file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Symmetry {
+    General,
+    Symmetric,
+    SkewSymmetric,
+}
+
+/// Reads a Matrix Market coordinate file into COO form.
+///
+/// Supports `matrix coordinate {real, integer, pattern}` with
+/// `{general, symmetric, skew-symmetric}` symmetry. Pattern entries get
+/// value `1.0`. Symmetric entries are mirrored. Complex and array (dense)
+/// files are rejected with [`MmError::Parse`].
+pub fn read_coo<R: BufRead>(reader: R) -> Result<CooMatrix, MmError> {
+    let mut lines = reader.lines();
+
+    // Header line.
+    let header = lines
+        .next()
+        .ok_or_else(|| MmError::Parse("empty file".into()))??;
+    let header_lc = header.to_ascii_lowercase();
+    let tokens: Vec<&str> = header_lc.split_whitespace().collect();
+    if tokens.len() != 5 || tokens[0] != "%%matrixmarket" {
+        return Err(MmError::Parse(format!("bad header line: {header}")));
+    }
+    if tokens[1] != "matrix" || tokens[2] != "coordinate" {
+        return Err(MmError::Parse(format!(
+            "only 'matrix coordinate' files are supported, got '{} {}'",
+            tokens[1], tokens[2]
+        )));
+    }
+    let field = match tokens[3] {
+        "real" => Field::Real,
+        "integer" => Field::Integer,
+        "pattern" => Field::Pattern,
+        other => return Err(MmError::Parse(format!("unsupported field type '{other}'"))),
+    };
+    let symmetry = match tokens[4] {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        "skew-symmetric" => Symmetry::SkewSymmetric,
+        other => return Err(MmError::Parse(format!("unsupported symmetry '{other}'"))),
+    };
+
+    // Size line: first non-comment, non-empty line.
+    let mut size_line = None;
+    for line in lines.by_ref() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        size_line = Some(line);
+        break;
+    }
+    let size_line = size_line.ok_or_else(|| MmError::Parse("missing size line".into()))?;
+    let mut it = size_line.split_whitespace();
+    let parse_usize = |tok: Option<&str>, what: &str| -> Result<usize, MmError> {
+        tok.ok_or_else(|| MmError::Parse(format!("missing {what}")))?
+            .parse::<usize>()
+            .map_err(|_| MmError::Parse(format!("invalid {what} in '{size_line}'")))
+    };
+    let num_rows = parse_usize(it.next(), "row count")?;
+    let num_cols = parse_usize(it.next(), "column count")?;
+    let declared_nnz = parse_usize(it.next(), "nonzero count")?;
+
+    let mut coo = CooMatrix::with_capacity(num_rows, num_cols, declared_nnz);
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let r: usize = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| MmError::Parse(format!("bad row index in '{trimmed}'")))?;
+        let c: usize = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| MmError::Parse(format!("bad column index in '{trimmed}'")))?;
+        if r == 0 || c == 0 || r > num_rows || c > num_cols {
+            return Err(MmError::Parse(format!(
+                "entry ({r}, {c}) out of bounds for {num_rows}x{num_cols} (1-based)"
+            )));
+        }
+        let v = match field {
+            Field::Pattern => 1.0,
+            Field::Real | Field::Integer => it
+                .next()
+                .and_then(|t| t.parse::<f64>().ok())
+                .ok_or_else(|| MmError::Parse(format!("bad value in '{trimmed}'")))?,
+        };
+        let (r, c) = (r - 1, c - 1);
+        match symmetry {
+            Symmetry::General => coo.push(r, c, v),
+            Symmetry::Symmetric => coo.push_symmetric(r, c, v),
+            Symmetry::SkewSymmetric => {
+                coo.push(r, c, v);
+                if r != c {
+                    coo.push(c, r, -v);
+                }
+            }
+        }
+        seen += 1;
+    }
+    if seen != declared_nnz {
+        return Err(MmError::Parse(format!(
+            "file declares {declared_nnz} entries but contains {seen}"
+        )));
+    }
+    Ok(coo)
+}
+
+/// Reads a Matrix Market file from `path` into CSR form.
+pub fn read_csr_file<P: AsRef<Path>>(path: P) -> Result<CsrMatrix, MmError> {
+    let file = std::fs::File::open(path)?;
+    Ok(read_coo(io::BufReader::new(file))?.to_csr())
+}
+
+/// Writes `matrix` as a `matrix coordinate real general` Matrix Market file.
+pub fn write_csr<W: Write>(writer: &mut W, matrix: &CsrMatrix) -> io::Result<()> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(
+        writer,
+        "{} {} {}",
+        matrix.num_rows(),
+        matrix.num_cols(),
+        matrix.nnz()
+    )?;
+    for r in 0..matrix.num_rows() {
+        for (c, v) in matrix.row(r) {
+            writeln!(writer, "{} {} {v:e}", r + 1, c + 1)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn reads_general_real() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % a comment\n\
+                    3 3 3\n\
+                    1 1 2.5\n\
+                    2 3 -1.0\n\
+                    3 1 4\n";
+        let csr = read_coo(Cursor::new(text)).unwrap().to_csr();
+        assert_eq!(csr.num_rows(), 3);
+        assert_eq!(csr.nnz(), 3);
+        assert_eq!(csr.get(0, 0), Some(2.5));
+        assert_eq!(csr.get(1, 2), Some(-1.0));
+        assert_eq!(csr.get(2, 0), Some(4.0));
+    }
+
+    #[test]
+    fn reads_symmetric_and_mirrors() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    2 2 2\n\
+                    1 1 1.0\n\
+                    2 1 5.0\n";
+        let csr = read_coo(Cursor::new(text)).unwrap().to_csr();
+        assert_eq!(csr.nnz(), 3);
+        assert_eq!(csr.get(0, 1), Some(5.0));
+        assert_eq!(csr.get(1, 0), Some(5.0));
+    }
+
+    #[test]
+    fn reads_skew_symmetric() {
+        let text = "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+                    2 2 1\n\
+                    2 1 3.0\n";
+        let csr = read_coo(Cursor::new(text)).unwrap().to_csr();
+        assert_eq!(csr.get(1, 0), Some(3.0));
+        assert_eq!(csr.get(0, 1), Some(-3.0));
+    }
+
+    #[test]
+    fn reads_pattern_as_ones() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    2 3 2\n\
+                    1 2\n\
+                    2 3\n";
+        let csr = read_coo(Cursor::new(text)).unwrap().to_csr();
+        assert_eq!(csr.get(0, 1), Some(1.0));
+        assert_eq!(csr.get(1, 2), Some(1.0));
+    }
+
+    #[test]
+    fn rejects_complex() {
+        let text = "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n";
+        let err = read_coo(Cursor::new(text)).unwrap_err();
+        assert!(err.to_string().contains("unsupported field"));
+    }
+
+    #[test]
+    fn rejects_dense_array() {
+        let text = "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n";
+        let err = read_coo(Cursor::new(text)).unwrap_err();
+        assert!(err.to_string().contains("coordinate"));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_entry() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        let err = read_coo(Cursor::new(text)).unwrap_err();
+        assert!(err.to_string().contains("out of bounds"));
+    }
+
+    #[test]
+    fn rejects_wrong_entry_count() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        let err = read_coo(Cursor::new(text)).unwrap_err();
+        assert!(err.to_string().contains("declares 2 entries"));
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut coo = CooMatrix::new(3, 4);
+        coo.push(0, 3, 1.25);
+        coo.push(2, 0, -7.5);
+        coo.push(1, 1, 0.003);
+        let original = coo.to_csr();
+        let mut buf = Vec::new();
+        write_csr(&mut buf, &original).unwrap();
+        let reread = read_coo(Cursor::new(buf)).unwrap().to_csr();
+        assert_eq!(original, reread);
+    }
+}

@@ -1,0 +1,354 @@
+//! CSR sparse matrix-vector multiplication kernels, `y ← y + A·x`.
+//!
+//! Three kernels are provided:
+//!
+//! * [`spmv_seq`] — the paper's Listing 1 inner loops, sequential;
+//! * [`spmv_parallel`] — the paper's Listing 1 with the outer row loop
+//!   parallelised over a [`RowPartition`] using scoped threads (the Rust
+//!   analogue of `#pragma omp for` with a static schedule);
+//! * [`spmv_merge`] — merge-based CSR SpMV (Merrill & Garland), the
+//!   load-balance-robust baseline the paper cites for matrices whose
+//!   nonzeros-per-row counts vary greatly.
+//!
+//! All kernels accumulate into `y` (they do not zero it first), matching
+//! the `y ← y + A·x` operation the paper models.
+
+use crate::csr::CsrMatrix;
+use crate::partition::RowPartition;
+
+/// Sequential CSR SpMV: `y ← y + A·x` (the paper's Listing 1).
+///
+/// # Panics
+///
+/// Panics if `x.len() != a.num_cols()` or `y.len() != a.num_rows()`.
+pub fn spmv_seq(a: &CsrMatrix, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), a.num_cols(), "x length must equal num_cols");
+    assert_eq!(y.len(), a.num_rows(), "y length must equal num_rows");
+    spmv_rows(a, x, y, 0..a.num_rows());
+}
+
+/// SpMV restricted to the rows in `rows`; `y` is indexed absolutely.
+///
+/// This is the per-thread body of the parallel kernel and is also used by
+/// the trace generator to replicate each thread's access pattern.
+#[inline]
+pub fn spmv_rows(a: &CsrMatrix, x: &[f64], y: &mut [f64], rows: std::ops::Range<usize>) {
+    let rowptr = a.rowptr();
+    let colidx = a.colidx();
+    let values = a.values();
+    for r in rows {
+        let mut acc = y[r];
+        for i in rowptr[r] as usize..rowptr[r + 1] as usize {
+            acc += values[i] * x[colidx[i] as usize];
+        }
+        y[r] = acc;
+    }
+}
+
+/// Parallel CSR SpMV over a row partition: `y ← y + A·x`.
+///
+/// Each partition block is processed by its own scoped thread; because the
+/// blocks are disjoint contiguous row ranges, each thread owns a disjoint
+/// slice of `y` and no synchronisation is needed (the same data-race-free
+/// decomposition the OpenMP worksharing loop produces).
+///
+/// # Panics
+///
+/// Panics if vector lengths do not match the matrix dimensions or the
+/// partition does not cover exactly `a.num_rows()` rows.
+pub fn spmv_parallel(a: &CsrMatrix, x: &[f64], y: &mut [f64], partition: &RowPartition) {
+    assert_eq!(x.len(), a.num_cols(), "x length must equal num_cols");
+    assert_eq!(y.len(), a.num_rows(), "y length must equal num_rows");
+    assert_eq!(
+        *partition.bounds().last().unwrap(),
+        a.num_rows(),
+        "partition must cover all rows"
+    );
+
+    // Split y into per-block slices so each thread gets exclusive access.
+    let mut slices: Vec<&mut [f64]> = Vec::with_capacity(partition.num_parts());
+    let mut rest = y;
+    let mut prev = 0;
+    for range in partition.iter() {
+        let (head, tail) = rest.split_at_mut(range.end - prev);
+        slices.push(head);
+        rest = tail;
+        prev = range.end;
+    }
+
+    std::thread::scope(|scope| {
+        for (range, y_block) in partition.iter().zip(slices) {
+            if range.is_empty() {
+                continue;
+            }
+            scope.spawn(move || {
+                let rowptr = a.rowptr();
+                let colidx = a.colidx();
+                let values = a.values();
+                let base = range.start;
+                for r in range {
+                    let mut acc = y_block[r - base];
+                    for i in rowptr[r] as usize..rowptr[r + 1] as usize {
+                        acc += values[i] * x[colidx[i] as usize];
+                    }
+                    y_block[r - base] = acc;
+                }
+            });
+        }
+    });
+}
+
+/// Merge-based CSR SpMV (Merrill & Garland, PPoPP 2016): `y ← y + A·x`.
+///
+/// The merge formulation treats SpMV as a 2-D merge of the `rowptr` array
+/// with the nonzero indices; splitting the merge path into equal-length
+/// diagonals gives every thread the same amount of work regardless of the
+/// row-length distribution. Rows split across threads are combined with a
+/// sequential fix-up of per-thread carry-out partial sums.
+pub fn spmv_merge(a: &CsrMatrix, x: &[f64], y: &mut [f64], num_threads: usize) {
+    assert_eq!(x.len(), a.num_cols(), "x length must equal num_cols");
+    assert_eq!(y.len(), a.num_rows(), "y length must equal num_rows");
+    assert!(num_threads > 0, "need at least one thread");
+
+    let m = a.num_rows();
+    let k = a.nnz();
+    let total_work = m + k;
+    if total_work == 0 {
+        return;
+    }
+
+    // Find the merge-path split point for a given diagonal: the number of
+    // rows consumed (i) such that i + j = diagonal and rowptr[i] >= j is
+    // first violated. Standard binary search on the merge path.
+    let rowptr = a.rowptr();
+    let split = |diagonal: usize| -> (usize, usize) {
+        let mut lo = diagonal.saturating_sub(k);
+        let mut hi = diagonal.min(m);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            // Merge condition: row-end markers (rowptr[mid+1]) vs nnz index.
+            if (rowptr[mid + 1] as usize) < diagonal - mid {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        (lo, diagonal - lo)
+    };
+
+    let colidx = a.colidx();
+    let values = a.values();
+
+    // Each thread walks its merge-path segment and produces (row, partial)
+    // updates; updates are applied serially after the join so rows split
+    // across segment boundaries combine correctly and no unsafe aliasing of
+    // `y` is needed.
+    let chunk = total_work.div_ceil(num_threads);
+    let mut updates: Vec<Vec<(usize, f64)>> = Vec::with_capacity(num_threads);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(num_threads);
+        for t in 0..num_threads {
+            let d0 = (t * chunk).min(total_work);
+            let d1 = ((t + 1) * chunk).min(total_work);
+            handles.push(scope.spawn(move || {
+                let (mut row, mut nz) = split(d0);
+                let (row_end, nz_end) = split(d1);
+                let mut local: Vec<(usize, f64)> = Vec::new();
+                // Rows that end inside this segment (the first may have been
+                // started by the previous segment; its prefix is that
+                // segment's carry-out).
+                while row < row_end {
+                    let mut sum = 0.0;
+                    while nz < rowptr[row + 1] as usize {
+                        sum += values[nz] * x[colidx[nz] as usize];
+                        nz += 1;
+                    }
+                    local.push((row, sum));
+                    row += 1;
+                }
+                // Carry-out: the partial prefix of the row that continues
+                // into the next segment.
+                if row < m && nz < nz_end {
+                    let mut sum = 0.0;
+                    while nz < nz_end {
+                        sum += values[nz] * x[colidx[nz] as usize];
+                        nz += 1;
+                    }
+                    local.push((row, sum));
+                }
+                local
+            }));
+        }
+        for h in handles {
+            updates.push(h.join().expect("merge SpMV worker panicked"));
+        }
+    });
+
+    for local in &updates {
+        for &(r, v) in local {
+            y[r] += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn dense_ref(a: &CsrMatrix, x: &[f64], y0: &[f64]) -> Vec<f64> {
+        let mut y = y0.to_vec();
+        for r in 0..a.num_rows() {
+            for (c, v) in a.row(r) {
+                y[r] += v * x[c];
+            }
+        }
+        y
+    }
+
+    fn random_matrix(rows: usize, cols: usize, nnz_per_row: usize, seed: u64) -> CsrMatrix {
+        // Deterministic LCG so the test needs no external crates here.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let mut coo = CooMatrix::new(rows, cols);
+        for r in 0..rows {
+            for _ in 0..nnz_per_row {
+                let c = next() % cols;
+                coo.push(r, c, ((next() % 1000) as f64) / 100.0 - 5.0);
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn seq_matches_dense_reference() {
+        let a = random_matrix(40, 30, 5, 42);
+        let x: Vec<f64> = (0..30).map(|i| i as f64 * 0.25).collect();
+        let y0: Vec<f64> = (0..40).map(|i| -(i as f64)).collect();
+        let mut y = y0.clone();
+        spmv_seq(&a, &x, &mut y);
+        let expect = dense_ref(&a, &x, &y0);
+        for (got, want) in y.iter().zip(&expect) {
+            assert!((got - want).abs() < 1e-10, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn seq_accumulates_into_y() {
+        let a = CsrMatrix::identity(3);
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![10.0, 10.0, 10.0];
+        spmv_seq(&a, &x, &mut y);
+        assert_eq!(y, vec![11.0, 12.0, 13.0]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let a = random_matrix(101, 67, 7, 7);
+        let x: Vec<f64> = (0..67).map(|i| (i as f64).sin()).collect();
+        let mut y_seq = vec![0.0; 101];
+        let mut y_par = vec![0.0; 101];
+        spmv_seq(&a, &x, &mut y_seq);
+        for threads in [1, 2, 4, 13] {
+            y_par.iter_mut().for_each(|v| *v = 0.0);
+            let p = RowPartition::static_rows(a.num_rows(), threads);
+            spmv_parallel(&a, &x, &mut y_par, &p);
+            for (s, p) in y_seq.iter().zip(&y_par) {
+                assert!((s - p).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_with_balanced_partition() {
+        let a = random_matrix(64, 64, 3, 99);
+        let x = vec![1.5; 64];
+        let mut y_seq = vec![0.0; 64];
+        let mut y_par = vec![0.0; 64];
+        spmv_seq(&a, &x, &mut y_seq);
+        let p = RowPartition::balanced_nnz(&a, 6);
+        spmv_parallel(&a, &x, &mut y_par, &p);
+        for (s, p) in y_seq.iter().zip(&y_par) {
+            assert!((s - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn merge_matches_sequential_uniform() {
+        let a = random_matrix(57, 43, 4, 3);
+        let x: Vec<f64> = (0..43).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let mut y_seq = vec![0.0; 57];
+        spmv_seq(&a, &x, &mut y_seq);
+        for threads in [1, 2, 5, 16] {
+            let mut y = vec![0.0; 57];
+            spmv_merge(&a, &x, &mut y, threads);
+            for (s, g) in y_seq.iter().zip(&y) {
+                assert!((s - g).abs() < 1e-10, "threads={threads}: {s} vs {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_matches_sequential_skewed() {
+        // One massive row followed by tiny rows: the case merge-based SpMV
+        // exists for.
+        let mut coo = CooMatrix::new(20, 256);
+        for c in 0..256 {
+            coo.push(0, c, 0.5);
+        }
+        for r in 1..20 {
+            coo.push(r, r, 2.0);
+        }
+        let a = coo.to_csr();
+        let x: Vec<f64> = (0..256).map(|i| (i % 7) as f64).collect();
+        let mut y_seq = vec![0.0; 20];
+        spmv_seq(&a, &x, &mut y_seq);
+        for threads in [1, 2, 3, 8] {
+            let mut y = vec![0.0; 20];
+            spmv_merge(&a, &x, &mut y, threads);
+            for (s, g) in y_seq.iter().zip(&y) {
+                assert!((s - g).abs() < 1e-10, "threads={threads}: {s} vs {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_handles_empty_rows() {
+        let mut coo = CooMatrix::new(10, 10);
+        coo.push(0, 0, 1.0);
+        coo.push(9, 9, 2.0);
+        let a = coo.to_csr();
+        let x = vec![3.0; 10];
+        let mut y_seq = vec![0.0; 10];
+        spmv_seq(&a, &x, &mut y_seq);
+        for threads in [1, 2, 4] {
+            let mut y = vec![0.0; 10];
+            spmv_merge(&a, &x, &mut y, threads);
+            assert_eq!(y, y_seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_matrix_is_noop() {
+        let a = CooMatrix::new(4, 4).to_csr();
+        let x = vec![1.0; 4];
+        let mut y = vec![2.0; 4];
+        spmv_seq(&a, &x, &mut y);
+        assert_eq!(y, vec![2.0; 4]);
+        spmv_merge(&a, &x, &mut y, 3);
+        assert_eq!(y, vec![2.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "x length")]
+    fn wrong_x_length_rejected() {
+        let a = CsrMatrix::identity(3);
+        let x = vec![0.0; 2];
+        let mut y = vec![0.0; 3];
+        spmv_seq(&a, &x, &mut y);
+    }
+}

@@ -1,0 +1,71 @@
+//! Sector-cache auto-tuning: pick the best L2 way split for a matrix.
+//!
+//! Uses the cheap method (B) model to sweep every legal sector-1 way count
+//! and recommends the one minimising predicted misses, then validates the
+//! recommendation against the simulator. Pass a Matrix Market file to tune
+//! a real matrix:
+//!
+//! Run: `cargo run --release --example sector_tuning [-- path/to/matrix.mtx]`
+
+use a64fx_spmv::prelude::*;
+
+fn main() {
+    let matrix = match std::env::args().nth(1) {
+        Some(path) => {
+            println!("loading {path}");
+            sparsemat::mm::read_csr_file(&path).expect("failed to read Matrix Market file")
+        }
+        None => {
+            println!("no file given; tuning a generated power-law matrix");
+            corpus::random::power_law(60_000, 12, 0.9, 7)
+        }
+    };
+    let cfg = MachineConfig::a64fx_scaled(16);
+    let threads = 8;
+    println!(
+        "matrix: {} rows, {} nnz; machine: {} KiB L2/domain, {} threads\n",
+        matrix.num_rows(),
+        matrix.nnz(),
+        cfg.l2.size_bytes >> 10,
+        threads
+    );
+
+    // Model sweep over every legal way split (1..ways-1).
+    let settings: Vec<SectorSetting> = std::iter::once(SectorSetting::Off)
+        .chain((1..cfg.l2.ways).map(SectorSetting::L2Ways))
+        .collect();
+    let preds = predict(&matrix, &cfg, Method::B, &settings, threads);
+
+    println!("{:<10} {:>14} {:>9}", "setting", "pred. misses", "vs off");
+    let off = preds[0].l2_misses.max(1);
+    for p in &preds {
+        println!(
+            "{:<10} {:>14} {:>8.1}%",
+            p.setting.label(),
+            p.l2_misses,
+            100.0 * (off as f64 - p.l2_misses as f64) / off as f64
+        );
+    }
+
+    let best = preds.iter().min_by_key(|p| p.l2_misses).unwrap();
+    println!("\nmodel recommendation: sector cache {}", best.setting.label());
+
+    // Validate the recommendation in the simulator.
+    let base = simulate_spmv(&matrix, &cfg, ArraySet::EMPTY, threads, 1);
+    let (sim_best, label) = match best.setting {
+        SectorSetting::Off => (base.pmu.l2_misses(), "off".to_string()),
+        SectorSetting::L2Ways(w) => {
+            let c = cfg.clone().with_l2_sector(w);
+            let s = simulate_spmv(&matrix, &c, ArraySet::MATRIX_STREAM, threads, 1);
+            (s.pmu.l2_misses(), format!("{w} ways"))
+        }
+    };
+    println!(
+        "simulator check: off = {} misses, {} = {} misses ({:.1}% reduction)",
+        base.pmu.l2_misses(),
+        label,
+        sim_best,
+        100.0 * (base.pmu.l2_misses() as f64 - sim_best as f64)
+            / base.pmu.l2_misses().max(1) as f64
+    );
+}

@@ -1,0 +1,132 @@
+//! `spmv-locality` — command-line front end to the locality model and the
+//! A64FX simulator.
+//!
+//! ```text
+//! spmv-locality analyze  <matrix.mtx> [--threads N] [--scale N]
+//! spmv-locality tune     <matrix.mtx> [--threads N] [--scale N]
+//! spmv-locality simulate <matrix.mtx> [--threads N] [--scale N] [--l2-ways W]
+//! ```
+//!
+//! `analyze` prints the matrix statistics, its §3.1 classification and the
+//! model's predicted misses; `tune` sweeps every legal sector split and
+//! recommends one; `simulate` runs the machine simulator and reports the
+//! PMU counters and estimated performance.
+
+use a64fx_spmv::prelude::*;
+
+struct Cli {
+    command: String,
+    path: String,
+    threads: usize,
+    scale: usize,
+    l2_ways: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: spmv-locality <analyze|tune|simulate> <matrix.mtx> \
+         [--threads N] [--scale N] [--l2-ways W]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_cli() -> Cli {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().unwrap_or_else(|| usage());
+    let path = args.next().unwrap_or_else(|| usage());
+    let mut cli = Cli { command, path, threads: 48, scale: 1, l2_ways: 5 };
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| -> usize {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("expected a number after {what}"))
+        };
+        match flag.as_str() {
+            "--threads" => cli.threads = value("--threads"),
+            "--scale" => cli.scale = value("--scale"),
+            "--l2-ways" => cli.l2_ways = value("--l2-ways"),
+            _ => usage(),
+        }
+    }
+    cli
+}
+
+fn machine(scale: usize, threads: usize) -> MachineConfig {
+    let cfg = if scale <= 1 { MachineConfig::a64fx() } else { MachineConfig::a64fx_scaled(scale) };
+    cfg.with_cores(threads.max(1))
+}
+
+fn main() {
+    let cli = parse_cli();
+    let matrix = sparsemat::mm::read_csr_file(&cli.path)
+        .unwrap_or_else(|e| {
+            eprintln!("failed to read {}: {e}", cli.path);
+            std::process::exit(1);
+        })
+        .clone();
+    let cfg = machine(cli.scale, cli.threads);
+    let stats = MatrixStats::compute(&matrix);
+
+    match cli.command.as_str() {
+        "analyze" => {
+            println!("matrix      : {}", cli.path);
+            println!("rows x cols : {} x {}", matrix.num_rows(), matrix.num_cols());
+            println!("nonzeros    : {} ({:.2}/row, CV {:.2})", matrix.nnz(), stats.row_nnz_mean, stats.row_nnz_cv);
+            println!("CSR bytes   : {:.2} MiB", matrix.matrix_bytes() as f64 / (1 << 20) as f64);
+            println!("working set : {:.2} MiB", matrix.working_set_bytes() as f64 / (1 << 20) as f64);
+            println!("bandwidth   : {}", stats.bandwidth);
+            let class_cfg = cfg.clone().with_l2_sector(cli.l2_ways.min(cfg.l2.ways - 1));
+            println!(
+                "class ({} L2 ways for the matrix stream): {}",
+                cli.l2_ways,
+                classify_for(&matrix, &class_cfg, cli.threads).label()
+            );
+            let preds = predict(
+                &matrix,
+                &cfg,
+                Method::B,
+                &[SectorSetting::Off, SectorSetting::L2Ways(cli.l2_ways)],
+                cli.threads,
+            );
+            println!(
+                "model (B)   : {} misses/iter without sector cache, {} with {} ways ({:+.1} %)",
+                preds[0].l2_misses,
+                preds[1].l2_misses,
+                cli.l2_ways,
+                100.0 * (preds[0].l2_misses as f64 - preds[1].l2_misses as f64)
+                    / preds[0].l2_misses.max(1) as f64
+            );
+        }
+        "tune" => {
+            let settings: Vec<SectorSetting> = std::iter::once(SectorSetting::Off)
+                .chain((1..cfg.l2.ways).map(SectorSetting::L2Ways))
+                .collect();
+            let preds = predict(&matrix, &cfg, Method::B, &settings, cli.threads);
+            println!("{:<10} {:>14}", "setting", "pred. misses");
+            for p in &preds {
+                println!("{:<10} {:>14}", p.setting.label(), p.l2_misses);
+            }
+            let best = preds.iter().min_by_key(|p| p.l2_misses).unwrap();
+            println!("recommendation: sector cache {}", best.setting.label());
+        }
+        "simulate" => {
+            let (cfg, sector) = if cli.l2_ways > 0 {
+                (cfg.with_l2_sector(cli.l2_ways), ArraySet::MATRIX_STREAM)
+            } else {
+                (cfg, ArraySet::EMPTY)
+            };
+            let sim = simulate_spmv(&matrix, &cfg, sector, cli.threads, 1);
+            let perf = estimate(&cfg, matrix.nnz(), &sim);
+            println!("L2D_CACHE_REFILL    : {}", sim.pmu.l2d_cache_refill);
+            println!("L2D_CACHE_REFILL_DM : {}", sim.pmu.l2d_cache_refill_dm);
+            println!("L2D_CACHE_WB        : {}", sim.pmu.l2d_cache_wb);
+            println!("L1D_CACHE_REFILL    : {}", sim.pmu.l1d_cache_refill);
+            println!("L2 misses (paper)   : {}", sim.pmu.l2_misses());
+            println!("memory traffic      : {:.2} MiB/iter", sim.pmu.memory_bytes(cfg.l2.line_bytes) as f64 / (1 << 20) as f64);
+            println!("est. time           : {:.3} ms/iter", perf.seconds * 1e3);
+            println!("est. performance    : {:.1} Gflop/s ({:?}-bound)", perf.gflops, perf.bottleneck);
+            println!("est. bandwidth      : {:.1} GB/s", perf.bandwidth_gbs);
+        }
+        _ => usage(),
+    }
+}

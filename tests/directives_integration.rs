@@ -1,0 +1,50 @@
+//! Listing 1 end-to-end: the paper's exact FCC pragmas configure the
+//! simulated machine, and the resulting run matches the equivalent
+//! builder-API configuration.
+
+use a64fx::{directives, simulate_spmv, MachineConfig};
+use a64fx_spmv::prelude::*;
+
+#[test]
+fn listing1_pragmas_reproduce_builder_config() {
+    let (cfg, sector1) = directives::apply(
+        MachineConfig::a64fx_scaled(64),
+        &[
+            "#pragma procedure scache_isolate_way L2=5",
+            "#pragma procedure scache_isolate_assign a colidx",
+        ],
+    )
+    .expect("Listing 1 must parse");
+    assert_eq!(sector1, ArraySet::MATRIX_STREAM);
+
+    let matrix = corpus::banded::random_banded(4096, 256, 12, 3);
+    let via_pragmas = simulate_spmv(&matrix, &cfg, sector1, 1, 1);
+
+    let builder_cfg = MachineConfig::a64fx_scaled(64).with_l2_sector(5);
+    let via_builder = simulate_spmv(&matrix, &builder_cfg, ArraySet::MATRIX_STREAM, 1, 1);
+
+    assert_eq!(via_pragmas.pmu, via_builder.pmu);
+}
+
+#[test]
+fn l1_way_pragma_applies_to_l1() {
+    let (cfg, _) = directives::apply(
+        MachineConfig::a64fx_scaled(16),
+        &["scache_isolate_way L2=4 L1=1", "scache_isolate_assign a colidx"],
+    )
+    .unwrap();
+    assert_eq!(cfg.l2_sector.sector1_ways, 4);
+    assert_eq!(cfg.l1_sector.sector1_ways, 1);
+}
+
+#[test]
+fn assigning_x_alone_is_expressible() {
+    // The paper's §3.2.2 case (3): "assigning only x to partition 0".
+    let (_, sector1) = directives::apply(
+        MachineConfig::a64fx(),
+        &["scache_isolate_way L2=11", "scache_isolate_assign x"],
+    )
+    .unwrap();
+    assert!(sector1.contains(Array::X));
+    assert!(!sector1.contains(Array::A));
+}

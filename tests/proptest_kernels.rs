@@ -1,0 +1,141 @@
+//! Property-based tests of the SpMV kernels and matrix transformations:
+//! all kernels compute the same product; format conversions and
+//! permutations preserve semantics.
+
+use proptest::prelude::*;
+use sparsemat::{reorder, spmv, CooMatrix, CsrMatrix, RowPartition};
+
+/// Arbitrary sparse matrix as (rows, cols, entries).
+fn arb_matrix() -> impl Strategy<Value = CsrMatrix> {
+    (1usize..40, 1usize..40)
+        .prop_flat_map(|(rows, cols)| {
+            let entries = prop::collection::vec(
+                (0..rows, 0..cols, -100i32..100),
+                0..rows * 4,
+            );
+            (Just(rows), Just(cols), entries)
+        })
+        .prop_map(|(rows, cols, entries)| {
+            let mut coo = CooMatrix::new(rows, cols);
+            for (r, c, v) in entries {
+                coo.push(r, c, v as f64 / 4.0);
+            }
+            coo.to_csr()
+        })
+}
+
+/// Arbitrary square symmetric-pattern matrix (for RCM).
+fn arb_square() -> impl Strategy<Value = CsrMatrix> {
+    (2usize..30)
+        .prop_flat_map(|n| {
+            let entries = prop::collection::vec((0..n, 0..n, 1i32..10), 0..n * 3);
+            (Just(n), entries)
+        })
+        .prop_map(|(n, entries)| {
+            let mut coo = CooMatrix::new(n, n);
+            for v in 0..n {
+                coo.push(v, v, 1.0);
+            }
+            for (r, c, v) in entries {
+                coo.push_symmetric(r, c, v as f64);
+            }
+            coo.to_csr()
+        })
+}
+
+fn dense_ref(a: &CsrMatrix, x: &[f64], y0: &[f64]) -> Vec<f64> {
+    let mut y = y0.to_vec();
+    for r in 0..a.num_rows() {
+        for (c, v) in a.row(r) {
+            y[r] += v * x[c];
+        }
+    }
+    y
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sequential, parallel and merge-based SpMV all equal the dense
+    /// reference on arbitrary matrices.
+    #[test]
+    fn all_kernels_agree(a in arb_matrix(), threads in 1usize..6) {
+        let x: Vec<f64> = (0..a.num_cols()).map(|i| (i as f64) * 0.5 - 1.0).collect();
+        let y0: Vec<f64> = (0..a.num_rows()).map(|i| i as f64 * 0.25).collect();
+        let expect = dense_ref(&a, &x, &y0);
+
+        let mut y = y0.clone();
+        spmv::spmv_seq(&a, &x, &mut y);
+        for (g, w) in y.iter().zip(&expect) {
+            prop_assert!((g - w).abs() < 1e-9);
+        }
+
+        let mut y = y0.clone();
+        let p = RowPartition::static_rows(a.num_rows(), threads);
+        spmv::spmv_parallel(&a, &x, &mut y, &p);
+        for (g, w) in y.iter().zip(&expect) {
+            prop_assert!((g - w).abs() < 1e-9);
+        }
+
+        let mut y = y0.clone();
+        let bp = RowPartition::balanced_nnz(&a, threads);
+        spmv::spmv_parallel(&a, &x, &mut y, &bp);
+        for (g, w) in y.iter().zip(&expect) {
+            prop_assert!((g - w).abs() < 1e-9);
+        }
+
+        let mut y = y0.clone();
+        spmv::spmv_merge(&a, &x, &mut y, threads);
+        for (g, w) in y.iter().zip(&expect) {
+            prop_assert!((g - w).abs() < 1e-9, "merge with {} threads", threads);
+        }
+    }
+
+    /// COO -> CSR -> COO -> CSR is a fixed point.
+    #[test]
+    fn format_roundtrip(a in arb_matrix()) {
+        let b = a.to_coo().to_csr();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Transpose is an involution and preserves nnz.
+    #[test]
+    fn transpose_involution(a in arb_matrix()) {
+        let t = a.transpose();
+        prop_assert_eq!(t.nnz(), a.nnz());
+        prop_assert_eq!(t.transpose(), a);
+    }
+
+    /// RCM produces a valid permutation and never increases the bandwidth
+    /// of a path-connected... of any symmetric-pattern matrix by more than
+    /// the trivial bound (n - 1).
+    #[test]
+    fn rcm_is_valid_permutation(a in arb_square()) {
+        let perm = reorder::reverse_cuthill_mckee(&a);
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..a.num_rows()).collect::<Vec<_>>());
+        let bw = reorder::permuted_bandwidth(&a, &perm);
+        prop_assert!(bw <= a.num_rows().saturating_sub(1));
+        // The permuted matrix is a legal CSR with the same nnz.
+        let pm = a.permute_symmetric(&perm);
+        prop_assert_eq!(pm.nnz(), a.nnz());
+    }
+
+    /// Partition blocks are contiguous, disjoint and cover all rows for
+    /// both partitioners.
+    #[test]
+    fn partitions_cover(a in arb_matrix(), threads in 1usize..8) {
+        for p in [
+            RowPartition::static_rows(a.num_rows(), threads),
+            RowPartition::balanced_nnz(&a, threads),
+        ] {
+            prop_assert_eq!(p.num_parts(), threads);
+            prop_assert_eq!(p.bounds()[0], 0);
+            prop_assert_eq!(*p.bounds().last().unwrap(), a.num_rows());
+            for w in p.bounds().windows(2) {
+                prop_assert!(w[0] <= w[1]);
+            }
+        }
+    }
+}

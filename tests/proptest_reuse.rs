@@ -1,0 +1,112 @@
+//! Property-based tests of the reuse-distance engines: the marker stack
+//! (production path) must agree exactly with the Fenwick-based exact
+//! processor and the naive LRU-stack oracle on arbitrary traces, and the
+//! partitioned accounting must decompose into independent caches.
+
+use memtrace::{Access, Array, ArraySet};
+use proptest::prelude::*;
+use reuse::{naive, ExactStack, MarkerStack, PartitionedStack, ReuseHistogram};
+
+fn arb_trace(max_len: usize, universe: u64) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0..universe, 0..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Exact stack distances equal the naive oracle's on any trace.
+    #[test]
+    fn exact_equals_naive(trace in arb_trace(400, 40)) {
+        let expect = naive::reuse_distances(&trace);
+        let mut s = ExactStack::new();
+        for (i, &l) in trace.iter().enumerate() {
+            prop_assert_eq!(s.access(l), expect[i]);
+        }
+    }
+
+    /// Marker-stack miss counts equal histogram-derived miss counts for
+    /// every tracked capacity, on any trace.
+    #[test]
+    fn markers_equal_exact(
+        trace in arb_trace(500, 64),
+        caps in prop::collection::btree_set(1usize..80, 1..6),
+    ) {
+        let caps: Vec<usize> = caps.into_iter().collect();
+        let mut ms = MarkerStack::new(&caps);
+        let mut hist = ReuseHistogram::new();
+        let mut ex = ExactStack::new();
+        for &l in &trace {
+            ms.access(l, Array::X);
+            hist.record(ex.access(l));
+        }
+        for (j, &c) in ms.capacities().to_vec().iter().enumerate() {
+            prop_assert_eq!(ms.misses(j), hist.misses(c), "capacity {}", c);
+        }
+        ms.check_invariants();
+    }
+
+    /// The marker stack's internal invariants survive arbitrary
+    /// warm-up/reset/measure interleavings.
+    #[test]
+    fn marker_invariants_after_reset(
+        warm in arb_trace(200, 32),
+        measured in arb_trace(200, 32),
+    ) {
+        let mut ms = MarkerStack::new(&[1, 5, 17]);
+        for &l in &warm {
+            ms.access(l, Array::A);
+        }
+        ms.reset_counters();
+        prop_assert_eq!(ms.accesses(), 0);
+        for &l in &measured {
+            ms.access(l, Array::A);
+        }
+        prop_assert_eq!(ms.accesses(), measured.len() as u64);
+        ms.check_invariants();
+    }
+
+    /// Partitioned accounting (Eq. 2) equals two independent caches fed
+    /// with the routed sub-traces.
+    #[test]
+    fn partitioned_decomposes(trace in prop::collection::vec((0u64..64, 0u8..5), 0..400)) {
+        let accesses: Vec<Access> = trace
+            .iter()
+            .map(|&(l, a)| {
+                let array = [Array::X, Array::Y, Array::A, Array::ColIdx, Array::RowPtr]
+                    [a as usize];
+                // Keep the line spaces of the partitions disjoint, as real
+                // array layouts are.
+                Access::load(l + a as u64 * 1000, array)
+            })
+            .collect();
+        let sector1 = ArraySet::MATRIX_STREAM;
+        let mut ps = PartitionedStack::new(sector1, &[16], &[4]);
+        let mut solo0 = MarkerStack::new(&[16]);
+        let mut solo1 = MarkerStack::new(&[4]);
+        for acc in &accesses {
+            ps.access(acc.line, acc.array);
+            if sector1.contains(acc.array) {
+                solo1.access(acc.line, acc.array);
+            } else {
+                solo0.access(acc.line, acc.array);
+            }
+        }
+        prop_assert_eq!(ps.partition0().misses(0), solo0.misses(0));
+        prop_assert_eq!(ps.partition1().misses(0), solo1.misses(0));
+        prop_assert_eq!(ps.total_misses(0, 0), solo0.misses(0) + solo1.misses(0));
+    }
+
+    /// The LRU miss curve is monotonically non-increasing in capacity.
+    #[test]
+    fn miss_curve_monotone(trace in arb_trace(400, 50)) {
+        let hist = ExactStack::histogram_of(trace.iter().copied());
+        let mut prev = u64::MAX;
+        for cap in 1..60 {
+            let m = hist.misses(cap);
+            prop_assert!(m <= prev);
+            prev = m;
+        }
+        // And a cache bigger than the universe only takes cold misses.
+        prop_assert_eq!(hist.misses(64), hist.cold());
+    }
+}
