@@ -199,7 +199,9 @@ impl Cache {
                 Request::Prefetch => self.stats.prefetch_hits += 1,
                 Request::Writeback => {}
             }
-            return Outcome::Hit { first_use_of_prefetch: first_use };
+            return Outcome::Hit {
+                first_use_of_prefetch: first_use,
+            };
         }
 
         // Miss.
@@ -216,10 +218,7 @@ impl Cache {
         let (writeback, evicted_unused) = {
             let slot = &self.slots[base + victim];
             if slot.valid {
-                (
-                    slot.dirty.then_some(slot.tag),
-                    slot.prefetched_unused,
-                )
+                (slot.dirty.then_some(slot.tag), slot.prefetched_unused)
             } else {
                 (None, false)
             }
@@ -238,7 +237,10 @@ impl Cache {
             slot.prefetched_unused = request == Request::Prefetch;
         }
         self.touch(base, victim);
-        Outcome::Miss { writeback, evicted_unused_prefetch: evicted_unused }
+        Outcome::Miss {
+            writeback,
+            evicted_unused_prefetch: evicted_unused,
+        }
     }
 
     /// Marks way `w` of the set at `base` most-recently used.
@@ -321,14 +323,26 @@ mod tests {
             ways,
             line_bytes: 64,
         };
-        Cache::new(geom, SectorPolicy { sector1_ways: sector1 }, repl)
+        Cache::new(
+            geom,
+            SectorPolicy {
+                sector1_ways: sector1,
+            },
+            repl,
+        )
     }
 
     #[test]
     fn hit_after_fill() {
         let mut c = small_cache(4, 2, 0, Replacement::Lru);
-        assert!(matches!(c.access(10, 0, Request::Load), Outcome::Miss { .. }));
-        assert!(matches!(c.access(10, 0, Request::Load), Outcome::Hit { .. }));
+        assert!(matches!(
+            c.access(10, 0, Request::Load),
+            Outcome::Miss { .. }
+        ));
+        assert!(matches!(
+            c.access(10, 0, Request::Load),
+            Outcome::Hit { .. }
+        ));
         assert_eq!(c.stats().demand_hits, 1);
         assert_eq!(c.stats().demand_misses, 1);
     }
@@ -353,7 +367,10 @@ mod tests {
         let out = c.access(6, 0, Request::Load);
         assert_eq!(
             out,
-            Outcome::Miss { writeback: Some(5), evicted_unused_prefetch: false }
+            Outcome::Miss {
+                writeback: Some(5),
+                evicted_unused_prefetch: false
+            }
         );
         assert_eq!(c.stats().writebacks, 1);
     }
@@ -363,7 +380,13 @@ mod tests {
         let mut c = small_cache(1, 1, 0, Replacement::Lru);
         c.access(5, 0, Request::Load);
         let out = c.access(6, 0, Request::Load);
-        assert_eq!(out, Outcome::Miss { writeback: None, evicted_unused_prefetch: false });
+        assert_eq!(
+            out,
+            Outcome::Miss {
+                writeback: None,
+                evicted_unused_prefetch: false
+            }
+        );
     }
 
     #[test]
@@ -399,10 +422,20 @@ mod tests {
         c.access(4, 0, Request::Prefetch);
         assert_eq!(c.stats().prefetch_fills, 1);
         let out = c.access(4, 0, Request::Load);
-        assert_eq!(out, Outcome::Hit { first_use_of_prefetch: true });
+        assert_eq!(
+            out,
+            Outcome::Hit {
+                first_use_of_prefetch: true
+            }
+        );
         assert_eq!(c.stats().prefetch_first_uses, 1);
         // Second demand touch is an ordinary hit.
-        assert_eq!(c.access(4, 0, Request::Load), Outcome::Hit { first_use_of_prefetch: false });
+        assert_eq!(
+            c.access(4, 0, Request::Load),
+            Outcome::Hit {
+                first_use_of_prefetch: false
+            }
+        );
     }
 
     #[test]
@@ -411,7 +444,13 @@ mod tests {
         let mut c = small_cache(1, 1, 0, Replacement::Lru);
         c.access(4, 0, Request::Prefetch);
         let out = c.access(5, 0, Request::Load);
-        assert!(matches!(out, Outcome::Miss { evicted_unused_prefetch: true, .. }));
+        assert!(matches!(
+            out,
+            Outcome::Miss {
+                evicted_unused_prefetch: true,
+                ..
+            }
+        ));
         assert_eq!(c.stats().evicted_unused_prefetches, 1);
     }
 
@@ -419,11 +458,20 @@ mod tests {
     fn writeback_request_updates_present_line_only() {
         let mut c = small_cache(2, 1, 0, Replacement::Lru);
         c.access(8, 0, Request::Load);
-        assert!(matches!(c.access(8, 0, Request::Writeback), Outcome::Hit { .. }));
+        assert!(matches!(
+            c.access(8, 0, Request::Writeback),
+            Outcome::Hit { .. }
+        ));
         // Dirty now: evicting it produces a writeback.
         c.access(10, 0, Request::Load);
         let out = c.access(12, 0, Request::Load);
-        assert!(matches!(out, Outcome::Miss { writeback: Some(8), .. }));
+        assert!(matches!(
+            out,
+            Outcome::Miss {
+                writeback: Some(8),
+                ..
+            }
+        ));
         // Writeback to an absent line does not allocate.
         assert_eq!(c.access(100, 0, Request::Writeback), Outcome::WritebackMiss);
         assert!(!c.contains(100));

@@ -111,12 +111,22 @@ impl PrefetchConfig {
     /// A64FX-like default: aggressive L2 streaming, 16 lines (4 KiB) ahead
     /// per stream.
     pub fn a64fx() -> Self {
-        PrefetchConfig { enabled: true, l2_distance: 16, l1_distance: 2, streams: 8 }
+        PrefetchConfig {
+            enabled: true,
+            l2_distance: 16,
+            l1_distance: 2,
+            streams: 8,
+        }
     }
 
     /// Prefetching disabled.
     pub fn off() -> Self {
-        PrefetchConfig { enabled: false, l2_distance: 0, l1_distance: 0, streams: 0 }
+        PrefetchConfig {
+            enabled: false,
+            l2_distance: 0,
+            l1_distance: 0,
+            streams: 0,
+        }
     }
 }
 
@@ -190,8 +200,16 @@ impl MachineConfig {
         MachineConfig {
             num_cores: 48,
             cores_per_domain: 12,
-            l1: CacheGeometry { size_bytes: 64 << 10, ways: 4, line_bytes: 256 },
-            l2: CacheGeometry { size_bytes: 8 << 20, ways: 16, line_bytes: 256 },
+            l1: CacheGeometry {
+                size_bytes: 64 << 10,
+                ways: 4,
+                line_bytes: 256,
+            },
+            l2: CacheGeometry {
+                size_bytes: 8 << 20,
+                ways: 16,
+                line_bytes: 256,
+            },
             l1_sector: SectorPolicy::OFF,
             l2_sector: SectorPolicy::OFF,
             replacement: Replacement::default(),

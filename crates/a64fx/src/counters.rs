@@ -69,20 +69,26 @@ impl PmuSnapshot {
     /// Bytes moved between memory and L2, per the paper's §4.4 bandwidth
     /// formula (without the division by time).
     pub fn memory_bytes(&self, line_bytes: usize) -> u64 {
-        (self.l2d_cache_refill + self.l2d_cache_wb
-            - self.l2d_swap_dm
-            - self.l2d_cache_mibmch_prf)
+        (self.l2d_cache_refill + self.l2d_cache_wb - self.l2d_swap_dm - self.l2d_cache_mibmch_prf)
             * line_bytes as u64
     }
 
     /// Largest per-core L1 demand-miss count (critical path term).
     pub fn max_core_l1_demand_misses(&self) -> u64 {
-        self.per_core_l1_demand_misses.iter().copied().max().unwrap_or(0)
+        self.per_core_l1_demand_misses
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 
     /// Largest per-core L2 demand-miss count (critical path term).
     pub fn max_core_l2_demand_misses(&self) -> u64 {
-        self.per_core_l2_demand_misses.iter().copied().max().unwrap_or(0)
+        self.per_core_l2_demand_misses
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
     }
 
     /// Largest per-domain memory traffic in bytes (bandwidth bottleneck).

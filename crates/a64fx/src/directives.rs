@@ -80,7 +80,9 @@ pub fn parse(line: &str) -> Result<Directive, ParseError> {
         }
         "scache_isolate_assign" => {
             if rest.is_empty() {
-                return Err(ParseError("scache_isolate_assign requires at least one array".into()));
+                return Err(ParseError(
+                    "scache_isolate_assign requires at least one array".into(),
+                ));
             }
             let mut set = ArraySet::EMPTY;
             for name in rest {

@@ -61,7 +61,13 @@ impl Machine {
         let domains = (0..cfg.num_domains())
             .map(|_| Cache::new(cfg.l2, cfg.l2_sector, cfg.replacement))
             .collect();
-        Machine { cfg, sector1, cores, domains, direct_memory_writebacks: 0 }
+        Machine {
+            cfg,
+            sector1,
+            cores,
+            domains,
+            direct_memory_writebacks: 0,
+        }
     }
 
     /// The machine configuration.
@@ -88,15 +94,23 @@ impl Machine {
         // data, stalling, or training the hardware prefetcher.
         if access.sw_prefetch {
             self.domains[domain].access(access.line, sector, Request::Prefetch);
-            if let Outcome::Miss { writeback: Some(victim), .. } =
-                self.cores[core].l1.access(access.line, sector, Request::Prefetch)
+            if let Outcome::Miss {
+                writeback: Some(victim),
+                ..
+            } = self.cores[core]
+                .l1
+                .access(access.line, sector, Request::Prefetch)
             {
                 self.writeback_to_l2(domain, victim);
             }
             return;
         }
 
-        let request = if access.write { Request::Store } else { Request::Load };
+        let request = if access.write {
+            Request::Store
+        } else {
+            Request::Load
+        };
 
         let l1_outcome = self.cores[core].l1.access(access.line, sector, request);
         let l1_missed = match l1_outcome {
@@ -123,13 +137,19 @@ impl Machine {
         // prefetcher's own L1 fills would hide the stream it is following.
         let mut pf_buf = std::mem::take(&mut self.cores[core].pf_buf);
         pf_buf.clear();
-        self.cores[core].prefetcher.observe(access.line, &mut pf_buf);
+        self.cores[core]
+            .prefetcher
+            .observe(access.line, &mut pf_buf);
         let l1_window = access.line + self.cfg.prefetch.l1_distance as u64;
         for &pf_line in &pf_buf {
             self.domains[domain].access(pf_line, sector, Request::Prefetch);
             if self.cfg.prefetch.l1_distance > 0 && pf_line <= l1_window {
-                if let Outcome::Miss { writeback: Some(victim), .. } =
-                    self.cores[core].l1.access(pf_line, sector, Request::Prefetch)
+                if let Outcome::Miss {
+                    writeback: Some(victim),
+                    ..
+                } = self.cores[core]
+                    .l1
+                    .access(pf_line, sector, Request::Prefetch)
                 {
                     self.writeback_to_l2(domain, victim);
                 }
@@ -272,7 +292,9 @@ mod tests {
         let p = m.pmu();
         assert!(p.l2d_cache_refill_prf > 0, "prefetch fills expected");
         // Prefetched lines beyond the demand frontier are resident in L2.
-        assert!(m.l2(0).contains(32 + m.config().prefetch.l2_distance as u64 - 1));
+        assert!(m
+            .l2(0)
+            .contains(32 + m.config().prefetch.l2_distance as u64 - 1));
     }
 
     #[test]

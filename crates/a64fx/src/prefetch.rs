@@ -39,7 +39,12 @@ impl StreamPrefetcher {
     pub fn new(num_streams: usize, distance: usize) -> Self {
         StreamPrefetcher {
             streams: vec![
-                Stream { last_demand: 0, frontier: 0, stamp: 0, valid: false };
+                Stream {
+                    last_demand: 0,
+                    frontier: 0,
+                    stamp: 0,
+                    valid: false
+                };
                 num_streams
             ],
             distance: distance as u64,
@@ -194,7 +199,7 @@ mod tests {
         collect(&mut pf, 0); // stream A candidate
         collect(&mut pf, 1000); // stream B candidate
         collect(&mut pf, 2000); // evicts A (LRU)
-        // B is still live and extends.
+                                // B is still live and extends.
         assert_eq!(collect(&mut pf, 1001), vec![1002, 1003]);
         // A was evicted: 1 does not extend anything (and evicts stream C).
         assert!(collect(&mut pf, 1).is_empty());
@@ -205,8 +210,8 @@ mod tests {
         let mut pf = StreamPrefetcher::new(2, 4);
         collect(&mut pf, 10);
         collect(&mut pf, 11); // frontier 15
-        // Demand jumps to 14 (still inside the window): stream continues,
-        // frontier advances to 18 without re-prefetching 12..15.
+                              // Demand jumps to 14 (still inside the window): stream continues,
+                              // frontier advances to 18 without re-prefetching 12..15.
         let out = collect(&mut pf, 14);
         assert_eq!(out, vec![16, 17, 18]);
     }

@@ -79,7 +79,11 @@ pub fn simulate_spmv_partitioned(
     machine.reset_stats();
     replay_round_robin(&mut machine, &traces);
 
-    SimResult { pmu: machine.pmu(), max_thread_nnz, num_threads }
+    SimResult {
+        pmu: machine.pmu(),
+        max_thread_nnz,
+        num_threads,
+    }
 }
 
 /// Like [`simulate_spmv`], but with the kernel emitting software-prefetch
@@ -97,9 +101,8 @@ pub fn simulate_spmv_swpf(
     assert!(num_threads > 0, "need at least one thread");
     let layout = DataLayout::new(matrix, cfg.l2.line_bytes);
     let partition = RowPartition::static_rows(matrix.num_rows(), num_threads);
-    let traces = memtrace::spmv_trace::trace_spmv_swpf_partitioned(
-        matrix, &layout, &partition, distance,
-    );
+    let traces =
+        memtrace::spmv_trace::trace_spmv_swpf_partitioned(matrix, &layout, &partition, distance);
     let max_thread_nnz = partition.max_block_nnz(matrix);
 
     let mut machine = Machine::new(cfg.clone().with_cores(num_threads), sector1);
@@ -108,7 +111,11 @@ pub fn simulate_spmv_swpf(
     }
     machine.reset_stats();
     replay_round_robin(&mut machine, &traces);
-    SimResult { pmu: machine.pmu(), max_thread_nnz, num_threads }
+    SimResult {
+        pmu: machine.pmu(),
+        max_thread_nnz,
+        num_threads,
+    }
 }
 
 /// Replays per-core traces one reference per core per round, skipping
@@ -176,7 +183,11 @@ mod tests {
         assert!(m.working_set_bytes() < cfg.l2.size_bytes);
         let r = simulate_spmv(&m, &cfg, ArraySet::EMPTY, 1, 1);
         // Everything fits in L2: the measured iteration has no L2 fills.
-        assert_eq!(r.pmu.l2_misses(), 0, "class (1) must not miss after warm-up");
+        assert_eq!(
+            r.pmu.l2_misses(),
+            0,
+            "class (1) must not miss after warm-up"
+        );
     }
 
     #[test]
@@ -188,8 +199,8 @@ mod tests {
         assert!(m.matrix_bytes() > 2 * cfg.l2.size_bytes);
         let r = simulate_spmv(&m, &cfg, ArraySet::EMPTY, 1, 1);
         let layout = DataLayout::new(&m, 256);
-        let stream_lines = layout.array_lines(memtrace::Array::A)
-            + layout.array_lines(memtrace::Array::ColIdx);
+        let stream_lines =
+            layout.array_lines(memtrace::Array::A) + layout.array_lines(memtrace::Array::ColIdx);
         assert!(
             r.pmu.l2_misses() >= stream_lines,
             "streamed arrays must miss at least once per line: {} < {stream_lines}",

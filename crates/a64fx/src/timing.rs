@@ -147,7 +147,10 @@ mod tests {
         let cfg = MachineConfig::a64fx();
         let a = estimate_from_counters(&cfg, 10_000_000, 250_000, &pmu(0, 2_000, 4_000_000));
         let b = estimate_from_counters(&cfg, 10_000_000, 250_000, &pmu(0, 1_000, 4_000_000));
-        assert_eq!(a.seconds, b.seconds, "bandwidth-bound time must be unchanged");
+        assert_eq!(
+            a.seconds, b.seconds,
+            "bandwidth-bound time must be unchanged"
+        );
     }
 
     #[test]

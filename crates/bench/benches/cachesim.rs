@@ -18,8 +18,22 @@ fn bench_simulator(c: &mut Criterion) {
 
     let configs = [
         ("baseline", SweepPoint::BASELINE, true),
-        ("sector-5w", SweepPoint { l2_ways: 5, l1_ways: 0 }, true),
-        ("sector-5w-nopf", SweepPoint { l2_ways: 5, l1_ways: 0 }, false),
+        (
+            "sector-5w",
+            SweepPoint {
+                l2_ways: 5,
+                l1_ways: 0,
+            },
+            true,
+        ),
+        (
+            "sector-5w-nopf",
+            SweepPoint {
+                l2_ways: 5,
+                l1_ways: 0,
+            },
+            false,
+        ),
     ];
     for (name, point, prefetch) in configs {
         for threads in [1usize, 8] {
@@ -27,12 +41,14 @@ fn bench_simulator(c: &mut Criterion) {
             if !prefetch {
                 cfg = cfg.with_prefetch(PrefetchConfig::off());
             }
-            let sector = if point.l2_ways > 0 { ArraySet::MATRIX_STREAM } else { ArraySet::EMPTY };
-            group.bench_with_input(
-                BenchmarkId::new(name, threads),
-                &threads,
-                |b, &t| b.iter(|| simulate_spmv(m, &cfg, sector, t, 1)),
-            );
+            let sector = if point.l2_ways > 0 {
+                ArraySet::MATRIX_STREAM
+            } else {
+                ArraySet::EMPTY
+            };
+            group.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, &t| {
+                b.iter(|| simulate_spmv(m, &cfg, sector, t, 1))
+            });
         }
     }
     group.finish();

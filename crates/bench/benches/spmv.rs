@@ -41,9 +41,7 @@ fn bench_kernels(c: &mut Criterion) {
         let mut group = c.benchmark_group(format!("spmv/{name}"));
         group.throughput(Throughput::Elements(a.nnz() as u64));
 
-        group.bench_function("sequential", |b| {
-            b.iter(|| spmv::spmv_seq(&a, &x, &mut y))
-        });
+        group.bench_function("sequential", |b| b.iter(|| spmv::spmv_seq(&a, &x, &mut y)));
         for threads in [2usize, 4, 8] {
             let p = RowPartition::static_rows(a.num_rows(), threads);
             group.bench_with_input(

@@ -8,8 +8,9 @@
 //! (B) without partitioning.
 
 use crate::runner::{machine_for, measure, parallel_map, ExpArgs, SweepPoint};
-use locality_core::predict::{predict, Method, SectorSetting};
+use locality_core::predict::{Method, SectorSetting};
 use locality_core::ErrorSummary;
+use locality_engine::BatchSpec;
 use sparsemat::MatrixStats;
 
 /// Per-matrix accuracy record.
@@ -24,14 +25,6 @@ pub struct MatrixAccuracy {
     pub pred_b: Vec<u64>,
     /// Row-length statistics (for the restricted subset).
     pub stats: MatrixStats,
-}
-
-/// Maps a model setting onto the simulator sweep point.
-fn sweep_point(setting: SectorSetting) -> SweepPoint {
-    match setting {
-        SectorSetting::Off => SweepPoint::BASELINE,
-        SectorSetting::L2Ways(w) => SweepPoint { l2_ways: w, l1_ways: 0 },
-    }
 }
 
 /// Runs the accuracy experiment and prints the table.
@@ -55,27 +48,62 @@ pub fn run(args: &ExpArgs, threads: usize) {
         threshold >> 10
     );
 
-    let records: Vec<MatrixAccuracy> = parallel_map(&included, |nm| {
-        let measured: Vec<u64> = settings
+    // Predictions go through the batch engine: one memoized profile per
+    // (matrix, method) serves the whole 7-setting sweep, and the jobs are
+    // spread over the work-stealing pool.
+    let spec = BatchSpec {
+        sources: Vec::new(),
+        methods: vec![Method::A, Method::B],
+        settings: settings.clone(),
+        threads,
+        scale: args.scale,
+        workers: 0,
+    };
+    let refs: Vec<(&str, &sparsemat::CsrMatrix)> = included
+        .iter()
+        .map(|nm| (nm.name.as_str(), &nm.matrix))
+        .collect();
+    let batch = locality_engine::run_on(&spec, &refs);
+    println!(
+        "# engine: {} jobs, {} profiles computed, {} cache hits",
+        batch.stats.jobs, batch.stats.profile_computations, batch.stats.profile_hits
+    );
+
+    // The simulator side of the table (the "measurement") stays outside
+    // the engine: it is per-setting by nature, nothing to memoize.
+    let measured_all: Vec<Vec<u64>> = parallel_map(&included, |nm| {
+        settings
             .iter()
-            .map(|&s| measure(&nm.matrix, args.scale, threads, sweep_point(s)).0.pmu.l2_misses())
-            .collect();
-        let pred_a: Vec<u64> = predict(&nm.matrix, &cfg, Method::A, &settings, threads)
-            .iter()
-            .map(|p| p.l2_misses)
-            .collect();
-        let pred_b: Vec<u64> = predict(&nm.matrix, &cfg, Method::B, &settings, threads)
-            .iter()
-            .map(|p| p.l2_misses)
-            .collect();
-        MatrixAccuracy {
-            name: nm.name.clone(),
-            measured,
-            pred_a,
-            pred_b,
-            stats: MatrixStats::compute(&nm.matrix),
-        }
+            .map(|&s| {
+                measure(&nm.matrix, args.scale, threads, s.into())
+                    .0
+                    .pmu
+                    .l2_misses()
+            })
+            .collect()
     });
+
+    let per_matrix = spec.jobs_per_matrix();
+    let records: Vec<MatrixAccuracy> = included
+        .iter()
+        .zip(measured_all)
+        .enumerate()
+        .map(|(i, (nm, measured))| {
+            // Matrix i's reports: method A's sweep, then method B's.
+            let reports = &batch.reports[i * per_matrix..(i + 1) * per_matrix];
+            let (a, b) = reports.split_at(settings.len());
+            debug_assert!(a
+                .iter()
+                .all(|r| r.method == Method::A && r.matrix == nm.name));
+            MatrixAccuracy {
+                name: nm.name.clone(),
+                measured,
+                pred_a: a.iter().map(|r| r.prediction.l2_misses).collect(),
+                pred_b: b.iter().map(|r| r.prediction.l2_misses).collect(),
+                stats: MatrixStats::compute(&nm.matrix),
+            }
+        })
+        .collect();
 
     println!(
         "{:<16} {:>10} {:>10} {:>10} {:>10}",
@@ -83,10 +111,14 @@ pub fn run(args: &ExpArgs, threads: usize) {
     );
     for (i, setting) in settings.iter().enumerate() {
         let ea = ErrorSummary::from_pairs(
-            records.iter().map(|r| (r.measured[i] as f64, r.pred_a[i] as f64)),
+            records
+                .iter()
+                .map(|r| (r.measured[i] as f64, r.pred_a[i] as f64)),
         );
         let eb = ErrorSummary::from_pairs(
-            records.iter().map(|r| (r.measured[i] as f64, r.pred_b[i] as f64)),
+            records
+                .iter()
+                .map(|r| (r.measured[i] as f64, r.pred_b[i] as f64)),
         );
         let label = match setting {
             SectorSetting::Off => "No Sector Cache".to_string(),
@@ -104,7 +136,9 @@ pub fn run(args: &ExpArgs, threads: usize) {
         .filter(|r| r.stats.is_method_b_friendly())
         .collect();
     let eb = ErrorSummary::from_pairs(
-        friendly.iter().map(|r| (r.measured[0] as f64, r.pred_b[0] as f64)),
+        friendly
+            .iter()
+            .map(|r| (r.measured[0] as f64, r.pred_b[0] as f64)),
     );
     println!(
         "\n# method (B), no partitioning, restricted to mu_K >= 8 and CV_K <= 1 ({} matrices): {}",

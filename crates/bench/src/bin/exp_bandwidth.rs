@@ -17,7 +17,10 @@ fn main() {
         args.count, args.threads, args.scale
     );
     let suite = corpus::corpus(args.count, args.scale, args.seed);
-    let point = SweepPoint { l2_ways: 5, l1_ways: 0 };
+    let point = SweepPoint {
+        l2_ways: 5,
+        l1_ways: 0,
+    };
 
     struct Row {
         name: String,
@@ -36,9 +39,7 @@ fn main() {
             bandwidth_base: bperf.bandwidth_gbs,
             bandwidth_sector: pperf.bandwidth_gbs,
             speedup: bperf.seconds / pperf.seconds,
-            demand_reduction_pct: 100.0
-                * (base_dm - psim.pmu.l2_demand_misses() as f64)
-                / base_dm,
+            demand_reduction_pct: 100.0 * (base_dm - psim.pmu.l2_demand_misses() as f64) / base_dm,
         }
     });
 
@@ -47,7 +48,10 @@ fn main() {
     println!("\n# top 20 by baseline bandwidth utilisation [GB/s]");
     println!("{:<18} {:>10} {:>9}", "matrix", "BW base", "speedup");
     for r in by_bw.iter().take(20) {
-        println!("{:<18} {:>10.1} {:>9.3}", r.name, r.bandwidth_base, r.speedup);
+        println!(
+            "{:<18} {:>10.1} {:>9.3}",
+            r.name, r.bandwidth_base, r.speedup
+        );
     }
     if by_bw.len() >= 20 {
         println!(
@@ -75,16 +79,12 @@ fn main() {
             .take(20)
             .map(|r| r.bandwidth_base)
             .fold(0.0f64, f64::max);
-        println!(
-            "# max baseline bandwidth among top-20 speedups: {max_bw_of_top_speedup:.0} GB/s"
-        );
+        println!("# max baseline bandwidth among top-20 speedups: {max_bw_of_top_speedup:.0} GB/s");
         let increased = by_speedup
             .iter()
             .take(20)
             .filter(|r| r.bandwidth_sector > r.bandwidth_base)
             .count();
-        println!(
-            "# {increased}/20 top-speedup matrices draw MORE bandwidth with the sector cache"
-        );
+        println!("# {increased}/20 top-speedup matrices draw MORE bandwidth with the sector cache");
     }
 }

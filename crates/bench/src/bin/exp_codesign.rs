@@ -73,12 +73,12 @@ fn main() {
     }
 
     println!("\n# aggregate reusable-data miss curve (co-design: misses vs capacity)");
-    println!("{:>5} {:>12} {:>14}", "ways", "capacity KiB", "total misses");
+    println!(
+        "{:>5} {:>12} {:>14}",
+        "ways", "capacity KiB", "total misses"
+    );
     for w in 1..=cfg.l2.ways {
-        let total: u64 = rows
-            .iter()
-            .map(|r| r.curve_reusable[w - 1].1)
-            .sum();
+        let total: u64 = rows.iter().map(|r| r.curve_reusable[w - 1].1).sum();
         let kib = cfg.l2.num_sets() * w * cfg.l2.line_bytes / 1024;
         println!("{w:>5} {kib:>12} {total:>14}");
     }

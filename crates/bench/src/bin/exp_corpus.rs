@@ -8,16 +8,27 @@
 //! Run: `cargo run --release -p spmv-bench --bin exp_corpus [--count N --scale N --threads N]`
 
 use locality_core::{classify_for, MatrixClass};
-use spmv_bench::runner::{machine_for, ExpArgs, SweepPoint};
 use sparsemat::MatrixStats;
+use spmv_bench::runner::{machine_for, ExpArgs, SweepPoint};
 use std::collections::BTreeMap;
 
 fn main() {
     let args = ExpArgs::parse(490);
     let suite = corpus::corpus(args.count, args.scale, args.seed);
-    let cfg = machine_for(args.scale, args.threads, SweepPoint { l2_ways: 5, l1_ways: 0 });
+    let cfg = machine_for(
+        args.scale,
+        args.threads,
+        SweepPoint {
+            l2_ways: 5,
+            l1_ways: 0,
+        },
+    );
 
-    println!("# corpus census: {} matrices, scale 1/{}", suite.len(), args.scale);
+    println!(
+        "# corpus census: {} matrices, scale 1/{}",
+        suite.len(),
+        args.scale
+    );
 
     let mut families: BTreeMap<&str, usize> = BTreeMap::new();
     let mut classes: BTreeMap<&str, usize> = BTreeMap::new();
@@ -44,13 +55,19 @@ fn main() {
         cfg.l2.size_bytes as f64 / (1 << 20) as f64,
         total_nnz as f64 / 1e6
     );
-    println!("method-(B)-friendly (mu_K >= 8, CV_K <= 1): {friendly}/{}", suite.len());
+    println!(
+        "method-(B)-friendly (mu_K >= 8, CV_K <= 1): {friendly}/{}",
+        suite.len()
+    );
 
     println!("\n# families");
     for (f, n) in &families {
         println!("{f:<14} {n}");
     }
-    println!("\n# classes under 5 sector-1 ways, {} threads", args.threads);
+    println!(
+        "\n# classes under 5 sector-1 ways, {} threads",
+        args.threads
+    );
     for class in [
         MatrixClass::Class1,
         MatrixClass::Class2,

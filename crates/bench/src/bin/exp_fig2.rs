@@ -31,8 +31,15 @@ fn main() {
         let mut cfgs = Vec::with_capacity(l1_settings.len() * l2_settings.len());
         for &l1 in &l1_settings {
             for &l2 in &l2_settings {
-                let (sim, _) =
-                    measure(&nm.matrix, args.scale, args.threads, SweepPoint { l2_ways: l2, l1_ways: l1 });
+                let (sim, _) = measure(
+                    &nm.matrix,
+                    args.scale,
+                    args.threads,
+                    SweepPoint {
+                        l2_ways: l2,
+                        l1_ways: l1,
+                    },
+                );
                 cfgs.push(sim.pmu.l2_misses());
             }
         }
@@ -49,11 +56,13 @@ fn main() {
             let samples: Vec<f64> = per_matrix
                 .iter()
                 .filter(|(base, cfgs)| *base > 0 && cfgs[idx] > 0)
-                .map(|(base, cfgs)| {
-                    100.0 * (*base as f64 - cfgs[idx] as f64) / cfgs[idx] as f64
-                })
+                .map(|(base, cfgs)| 100.0 * (*base as f64 - cfgs[idx] as f64) / cfgs[idx] as f64)
                 .collect();
-            let label = SweepPoint { l2_ways: l2, l1_ways: l1 }.label();
+            let label = SweepPoint {
+                l2_ways: l2,
+                l1_ways: l1,
+            }
+            .label();
             match BoxStats::compute(&samples) {
                 Some(s) => println!("{label:<14} {}", s.row()),
                 None => println!("{label:<14} (no samples)"),

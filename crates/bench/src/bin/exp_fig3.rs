@@ -25,8 +25,15 @@ fn main() {
         let mut cfgs = Vec::with_capacity(l1_settings.len() * l2_settings.len());
         for &l1 in &l1_settings {
             for &l2 in &l2_settings {
-                let (_, perf) =
-                    measure(&nm.matrix, args.scale, args.threads, SweepPoint { l2_ways: l2, l1_ways: l1 });
+                let (_, perf) = measure(
+                    &nm.matrix,
+                    args.scale,
+                    args.threads,
+                    SweepPoint {
+                        l2_ways: l2,
+                        l1_ways: l1,
+                    },
+                );
                 cfgs.push(perf.seconds);
             }
         }
@@ -41,7 +48,11 @@ fn main() {
                 .iter()
                 .map(|(base, cfgs)| base / cfgs[idx])
                 .collect();
-            let label = SweepPoint { l2_ways: l2, l1_ways: l1 }.label();
+            let label = SweepPoint {
+                l2_ways: l2,
+                l1_ways: l1,
+            }
+            .label();
             match BoxStats::compute(&samples) {
                 Some(s) => println!("{label:<14} {}", s.row()),
                 None => println!("{label:<14} (no samples)"),

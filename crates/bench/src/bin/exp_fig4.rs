@@ -14,7 +14,10 @@ use spmv_bench::runner::{machine_for, measure, parallel_map, ExpArgs, SweepPoint
 
 fn main() {
     let args = ExpArgs::parse(490);
-    let point = SweepPoint { l2_ways: 5, l1_ways: 0 };
+    let point = SweepPoint {
+        l2_ways: 5,
+        l1_ways: 0,
+    };
     println!(
         "# Fig. 4: speedup vs matrix columns, sector cache 5 L2 ways ({} matrices, {} threads, scale 1/{})",
         args.count, args.threads, args.scale
@@ -26,10 +29,18 @@ fn main() {
         let (_, base) = measure(&nm.matrix, args.scale, args.threads, SweepPoint::BASELINE);
         let (_, part) = measure(&nm.matrix, args.scale, args.threads, point);
         let class = classify_for(&nm.matrix, &class_cfg, args.threads);
-        (nm.name.clone(), nm.matrix.num_cols(), class, base.seconds / part.seconds)
+        (
+            nm.name.clone(),
+            nm.matrix.num_cols(),
+            class,
+            base.seconds / part.seconds,
+        )
     });
 
-    println!("{:<18} {:>12} {:<11} {:>8}", "matrix", "columns", "class", "speedup");
+    println!(
+        "{:<18} {:>12} {:<11} {:>8}",
+        "matrix", "columns", "class", "speedup"
+    );
     for (name, cols, class, speedup) in &rows {
         println!("{name:<18} {cols:>12} {:<11} {speedup:>8.3}", class.label());
     }

@@ -13,7 +13,10 @@ use spmv_bench::runner::{machine_for, measure, parallel_map, ExpArgs, SweepPoint
 
 fn main() {
     let args = ExpArgs::parse(490);
-    let point = SweepPoint { l2_ways: 5, l1_ways: 0 };
+    let point = SweepPoint {
+        l2_ways: 5,
+        l1_ways: 0,
+    };
     println!(
         "# Fig. 5: speedup vs %change in L2 demand misses, 5 L2 ways ({} matrices, {} threads, scale 1/{})",
         args.count, args.threads, args.scale
@@ -36,7 +39,12 @@ fn main() {
         let diff_pct =
             100.0 * (psim.pmu.l2_demand_misses() as f64 - base_dm as f64) / base_dm as f64;
         let class = classify_for(&nm.matrix, &class_cfg, args.threads);
-        Some((nm.name.clone(), class, diff_pct, bperf.seconds / pperf.seconds))
+        Some((
+            nm.name.clone(),
+            class,
+            diff_pct,
+            bperf.seconds / pperf.seconds,
+        ))
     });
     let rows: Vec<_> = rows.into_iter().flatten().collect();
 
@@ -45,7 +53,10 @@ fn main() {
         "matrix", "class", "ddemand-miss[%]", "speedup"
     );
     for (name, class, diff, speedup) in &rows {
-        println!("{name:<18} {:<11} {diff:>16.1} {speedup:>8.3}", class.label());
+        println!(
+            "{name:<18} {:<11} {diff:>16.1} {speedup:>8.3}",
+            class.label()
+        );
     }
 
     // Correlation between demand-miss reduction and speedup.
@@ -62,7 +73,10 @@ fn main() {
             syy += dy * dy;
         }
         let r = sxy / (sxx.sqrt() * syy.sqrt()).max(1e-12);
-        println!("\n# correlation(demand-miss reduction, speedup) = {r:.3} over {} matrices", rows.len());
+        println!(
+            "\n# correlation(demand-miss reduction, speedup) = {r:.3} over {} matrices",
+            rows.len()
+        );
     }
 
     // The figure's headline: top speedups come with 30-80% reductions.
@@ -70,6 +84,9 @@ fn main() {
     by_speedup.sort_by(|a, b| b.3.total_cmp(&a.3));
     println!("\n# top 10 speedups and their demand-miss change");
     for (name, class, diff, speedup) in by_speedup.iter().take(10) {
-        println!("{name:<18} {:<11} {diff:>16.1} {speedup:>8.3}", class.label());
+        println!(
+            "{name:<18} {:<11} {diff:>16.1} {speedup:>8.3}",
+            class.label()
+        );
     }
 }

@@ -53,12 +53,10 @@ fn main() {
     });
 
     for (i, setting) in settings.iter().enumerate() {
-        let e_plain = ErrorSummary::from_pairs(
-            rows.iter().map(|(m, p, _)| (m[i] as f64, p[i] as f64)),
-        );
-        let e_filt = ErrorSummary::from_pairs(
-            rows.iter().map(|(m, _, f)| (m[i] as f64, f[i] as f64)),
-        );
+        let e_plain =
+            ErrorSummary::from_pairs(rows.iter().map(|(m, p, _)| (m[i] as f64, p[i] as f64)));
+        let e_filt =
+            ErrorSummary::from_pairs(rows.iter().map(|(m, _, f)| (m[i] as f64, f[i] as f64)));
         println!(
             "{:<10} single-level: {e_plain}   L1-filtered: {e_filt}",
             match setting {

@@ -9,9 +9,10 @@
 //!
 //! Run: `cargo run --release -p spmv-bench --bin exp_hard [--count N --scale N]`
 
-use locality_core::predict::{predict, Method, SectorSetting};
+use locality_core::predict::{Method, SectorSetting};
 use locality_core::ErrorSummary;
-use spmv_bench::runner::{machine_for, measure, parallel_map, ExpArgs, SweepPoint};
+use locality_engine::BatchSpec;
+use spmv_bench::runner::{measure, parallel_map, ExpArgs, SweepPoint};
 
 fn main() {
     let args = ExpArgs::parse(490);
@@ -20,7 +21,6 @@ fn main() {
         args.count, args.scale
     );
     let suite = corpus::corpus(args.count, args.scale, args.seed);
-    let cfg = machine_for(args.scale, 1, SweepPoint::BASELINE);
     let settings = [SectorSetting::Off, SectorSetting::L2Ways(5)];
 
     struct Row {
@@ -31,18 +31,52 @@ fn main() {
         pred_5w: u64,
     }
 
-    let rows: Vec<Row> = parallel_map(&suite, |nm| {
-        let preds = predict(&nm.matrix, &cfg, Method::A, &settings, 1);
+    // Predictions through the batch engine (method A only, both settings
+    // from one memoized profile per matrix); measurements via the
+    // simulator as before.
+    let spec = BatchSpec {
+        sources: Vec::new(),
+        methods: vec![Method::A],
+        settings: settings.to_vec(),
+        threads: 1,
+        scale: args.scale,
+        workers: 0,
+    };
+    let refs: Vec<(&str, &sparsemat::CsrMatrix)> = suite
+        .iter()
+        .map(|nm| (nm.name.as_str(), &nm.matrix))
+        .collect();
+    let batch = locality_engine::run_on(&spec, &refs);
+
+    let measured: Vec<(u64, u64)> = parallel_map(&suite, |nm| {
         let (m_off, _) = measure(&nm.matrix, args.scale, 1, SweepPoint::BASELINE);
-        let (m_5w, _) = measure(&nm.matrix, args.scale, 1, SweepPoint { l2_ways: 5, l1_ways: 0 });
-        Row {
-            x_fraction: preds[0].x_traffic_fraction(),
-            measured_off: m_off.pmu.l2_misses(),
-            measured_5w: m_5w.pmu.l2_misses(),
-            pred_off: preds[0].l2_misses,
-            pred_5w: preds[1].l2_misses,
-        }
+        let (m_5w, _) = measure(
+            &nm.matrix,
+            args.scale,
+            1,
+            SweepPoint {
+                l2_ways: 5,
+                l1_ways: 0,
+            },
+        );
+        (m_off.pmu.l2_misses(), m_5w.pmu.l2_misses())
     });
+
+    let rows: Vec<Row> = measured
+        .iter()
+        .enumerate()
+        .map(|(i, &(measured_off, measured_5w))| {
+            let off = &batch.reports[2 * i].prediction;
+            let with = &batch.reports[2 * i + 1].prediction;
+            Row {
+                x_fraction: off.x_traffic_fraction(),
+                measured_off,
+                measured_5w,
+                pred_off: off.l2_misses,
+                pred_5w: with.l2_misses,
+            }
+        })
+        .collect();
 
     let hard: Vec<&Row> = rows.iter().filter(|r| r.x_fraction >= 0.5).collect();
     println!(
@@ -50,14 +84,20 @@ fn main() {
         hard.len(),
         rows.len()
     );
-    let e_off =
-        ErrorSummary::from_pairs(hard.iter().map(|r| (r.measured_off as f64, r.pred_off as f64)));
-    let e_5w =
-        ErrorSummary::from_pairs(hard.iter().map(|r| (r.measured_5w as f64, r.pred_5w as f64)));
+    let e_off = ErrorSummary::from_pairs(
+        hard.iter()
+            .map(|r| (r.measured_off as f64, r.pred_off as f64)),
+    );
+    let e_5w = ErrorSummary::from_pairs(
+        hard.iter()
+            .map(|r| (r.measured_5w as f64, r.pred_5w as f64)),
+    );
     println!("hard subset, method (A), no sector cache : {e_off}");
     println!("hard subset, method (A), 5 L2 ways       : {e_5w}");
 
-    let a_off =
-        ErrorSummary::from_pairs(rows.iter().map(|r| (r.measured_off as f64, r.pred_off as f64)));
+    let a_off = ErrorSummary::from_pairs(
+        rows.iter()
+            .map(|r| (r.measured_off as f64, r.pred_off as f64)),
+    );
     println!("all matrices, method (A), no sector cache: {a_off}");
 }

@@ -14,7 +14,10 @@ use spmv_bench::runner::{machine_for, measure, parallel_map, ExpArgs, SweepPoint
 
 fn main() {
     let args = ExpArgs::parse(490);
-    println!("# §4.5.4: L1 miss prediction error, no partitioning (scale 1/{})", args.scale);
+    println!(
+        "# §4.5.4: L1 miss prediction error, no partitioning (scale 1/{})",
+        args.scale
+    );
     let suite = corpus::corpus(args.count, args.scale, args.seed);
 
     for threads in [1usize, args.threads] {
@@ -28,7 +31,11 @@ fn main() {
         });
         let ea = ErrorSummary::from_pairs(pairs.iter().map(|&(m, a, _)| (m, a)));
         let eb = ErrorSummary::from_pairs(pairs.iter().map(|&(m, _, b)| (m, b)));
-        let label = if threads == 1 { "sequential".to_string() } else { format!("{threads} threads") };
+        let label = if threads == 1 {
+            "sequential".to_string()
+        } else {
+            format!("{threads} threads")
+        };
         println!("{label:<12} method (A): {ea}   method (B): {eb}");
     }
 }

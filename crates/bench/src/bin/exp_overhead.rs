@@ -37,7 +37,11 @@ fn main() {
         let sum_b: f64 = times.iter().map(|t| t.1).sum();
         let mean_ratio: f64 =
             times.iter().map(|t| t.0 / t.1.max(1e-9)).sum::<f64>() / times.len() as f64;
-        let label = if threads == 1 { "sequential".to_string() } else { format!("{threads} threads") };
+        let label = if threads == 1 {
+            "sequential".to_string()
+        } else {
+            format!("{threads} threads")
+        };
         println!(
             "{label:<12} mean t_A/t_B = {mean_ratio:.2}x   total t_A = {sum_a:.2}s   total t_B = {sum_b:.2}s   mean t_B = {:.4}s",
             sum_b / times.len() as f64

@@ -13,7 +13,9 @@
 
 use a64fx::PrefetchConfig;
 use spmv_bench::boxplot::BoxStats;
-use spmv_bench::runner::{machine_for, measure, measure_with_prefetch, parallel_map, ExpArgs, SweepPoint};
+use spmv_bench::runner::{
+    machine_for, measure, measure_with_prefetch, parallel_map, ExpArgs, SweepPoint,
+};
 
 fn main() {
     let args = ExpArgs::parse(120);
@@ -24,7 +26,10 @@ fn main() {
     let suite = corpus::corpus(args.count, args.scale, args.seed);
 
     let default_pf = machine_for(args.scale, args.threads, SweepPoint::BASELINE).prefetch;
-    let short_pf = PrefetchConfig { l2_distance: 1, ..default_pf };
+    let short_pf = PrefetchConfig {
+        l2_distance: 1,
+        ..default_pf
+    };
     println!(
         "# default distance = {} lines (scaled), short = {} line",
         default_pf.l2_distance, short_pf.l2_distance
@@ -38,22 +43,34 @@ fn main() {
     let cfgs = [
         Cfg {
             label: "2 ways, default distance",
-            point: SweepPoint { l2_ways: 2, l1_ways: 0 },
+            point: SweepPoint {
+                l2_ways: 2,
+                l1_ways: 0,
+            },
             prefetch: default_pf,
         },
         Cfg {
             label: "2 ways, short distance",
-            point: SweepPoint { l2_ways: 2, l1_ways: 0 },
+            point: SweepPoint {
+                l2_ways: 2,
+                l1_ways: 0,
+            },
             prefetch: short_pf,
         },
         Cfg {
             label: "4 ways, default distance",
-            point: SweepPoint { l2_ways: 4, l1_ways: 0 },
+            point: SweepPoint {
+                l2_ways: 4,
+                l1_ways: 0,
+            },
             prefetch: default_pf,
         },
         Cfg {
             label: "5 ways, default distance",
-            point: SweepPoint { l2_ways: 5, l1_ways: 0 },
+            point: SweepPoint {
+                l2_ways: 5,
+                l1_ways: 0,
+            },
             prefetch: default_pf,
         },
     ];
@@ -80,7 +97,10 @@ fn main() {
             .collect()
     });
 
-    println!("{:<28} difference in L2 misses [%] = (base - cfg)/cfg", "config");
+    println!(
+        "{:<28} difference in L2 misses [%] = (base - cfg)/cfg",
+        "config"
+    );
     for (i, c) in cfgs.iter().enumerate() {
         let diffs: Vec<f64> = per_matrix.iter().map(|r| r[i].0).collect();
         let evictions: u64 = per_matrix.iter().map(|r| r[i].1).sum();

@@ -13,8 +13,8 @@ use memtrace::sell_trace::{sell_layout, trace_sell_spmv};
 use memtrace::spmv_trace::trace_spmv;
 use memtrace::{ArraySet, DataLayout};
 use reuse::PartitionedStack;
-use spmv_bench::runner::{machine_for, parallel_map, ExpArgs, SweepPoint};
 use sparsemat::SellMatrix;
+use spmv_bench::runner::{machine_for, parallel_map, ExpArgs, SweepPoint};
 
 /// Predicted steady-state misses (off, 5 ways) for an arbitrary trace
 /// generator, via two warm-up + measure passes over a partitioned stack.
@@ -67,7 +67,14 @@ fn main() {
             cap0,
             cap1,
         );
-        (nm.name.clone(), sell.padding_ratio(), csr_off, csr_5w, sell_off, sell_5w)
+        (
+            nm.name.clone(),
+            sell.padding_ratio(),
+            csr_off,
+            csr_5w,
+            sell_off,
+            sell_5w,
+        )
     });
 
     let mut sell_wins = 0usize;

@@ -32,19 +32,42 @@ fn main() {
 
     let rows: Vec<Row> = parallel_map(&suite, |nm| {
         let (bsim, bperf) = measure(&nm.matrix, args.scale, args.threads, SweepPoint::BASELINE);
-        let (_, sperf) =
-            measure(&nm.matrix, args.scale, args.threads, SweepPoint { l2_ways: 5, l1_ways: 0 });
+        let (_, sperf) = measure(
+            &nm.matrix,
+            args.scale,
+            args.threads,
+            SweepPoint {
+                l2_ways: 5,
+                l1_ways: 0,
+            },
+        );
 
         let base_cfg = machine_for(args.scale, args.threads, SweepPoint::BASELINE);
         let psim = simulate_spmv_swpf(
-            &nm.matrix, &base_cfg, ArraySet::EMPTY, args.threads, 1, distance,
+            &nm.matrix,
+            &base_cfg,
+            ArraySet::EMPTY,
+            args.threads,
+            1,
+            distance,
         );
         let pperf = estimate(&base_cfg, nm.matrix.nnz(), &psim);
 
-        let both_cfg =
-            machine_for(args.scale, args.threads, SweepPoint { l2_ways: 5, l1_ways: 0 });
+        let both_cfg = machine_for(
+            args.scale,
+            args.threads,
+            SweepPoint {
+                l2_ways: 5,
+                l1_ways: 0,
+            },
+        );
         let bothsim = simulate_spmv_swpf(
-            &nm.matrix, &both_cfg, ArraySet::MATRIX_STREAM, args.threads, 1, distance,
+            &nm.matrix,
+            &both_cfg,
+            ArraySet::MATRIX_STREAM,
+            args.threads,
+            1,
+            distance,
         );
         let bothperf = estimate(&both_cfg, nm.matrix.nnz(), &bothsim);
 

@@ -12,8 +12,8 @@
 
 use a64fx::{estimate, simulate_spmv_partitioned};
 use memtrace::ArraySet;
-use spmv_bench::runner::{machine_for, measure, parallel_map, ExpArgs, SweepPoint};
 use sparsemat::{reorder::rcm_reorder, RowPartition};
+use spmv_bench::runner::{machine_for, measure, parallel_map, ExpArgs, SweepPoint};
 
 /// Paper Table 1 reference values: (name, Gflop/s ours, Gflop/s \[1\]).
 const PAPER: [(&str, f64, f64); 18] = [
@@ -39,8 +39,14 @@ const PAPER: [(&str, f64, f64); 18] = [
 
 fn main() {
     let args = ExpArgs::parse(18);
-    println!("# Table 1: CSR SpMV performance, {} threads, sector cache off", args.threads);
-    println!("# machine scale 1/{}, simulated Gflop/s (shape comparison, not absolute)", args.scale);
+    println!(
+        "# Table 1: CSR SpMV performance, {} threads, sector cache off",
+        args.threads
+    );
+    println!(
+        "# machine scale 1/{}, simulated Gflop/s (shape comparison, not absolute)",
+        args.scale
+    );
     println!(
         "{:<26} {:>9} {:>9} {:>10} {:>12} {:>11} {:>11}",
         "matrix", "rows", "nnz(M)", "ours", "RCM+balance", "paper-ours", "paper-[1]"
@@ -57,7 +63,13 @@ fn main() {
         let sim = simulate_spmv_partitioned(&reordered, &cfg, ArraySet::EMPTY, &partition, 1);
         let perf_opt = estimate(&cfg, reordered.nnz(), &sim);
 
-        (nm.name.clone(), nm.matrix.num_rows(), nm.matrix.nnz(), perf.gflops, perf_opt.gflops)
+        (
+            nm.name.clone(),
+            nm.matrix.num_rows(),
+            nm.matrix.nnz(),
+            perf.gflops,
+            perf_opt.gflops,
+        )
     });
 
     for (name, nrows, nnz, ours, opt) in rows {

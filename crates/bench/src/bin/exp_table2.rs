@@ -8,6 +8,9 @@ use spmv_bench::runner::ExpArgs;
 
 fn main() {
     let args = ExpArgs::parse(490);
-    println!("# Table 2: L2 miss prediction error, sequential SpMV (scale 1/{})", args.scale);
+    println!(
+        "# Table 2: L2 miss prediction error, sequential SpMV (scale 1/{})",
+        args.scale
+    );
     spmv_bench::accuracy::run(&args, 1);
 }

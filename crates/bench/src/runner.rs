@@ -1,9 +1,8 @@
 //! Shared experiment plumbing: machine setup, measurement, host-side
 //! parallelism and argument parsing for the `exp_*` binaries.
 
-use a64fx::{
-    estimate, simulate_spmv, MachineConfig, Performance, PrefetchConfig, SimResult,
-};
+use a64fx::{estimate, simulate_spmv, MachineConfig, Performance, PrefetchConfig, SimResult};
+use locality_core::SectorSetting;
 use memtrace::ArraySet;
 use sparsemat::CsrMatrix;
 
@@ -21,7 +20,10 @@ pub struct SweepPoint {
 
 impl SweepPoint {
     /// The disabled-sector-cache baseline.
-    pub const BASELINE: SweepPoint = SweepPoint { l2_ways: 0, l1_ways: 0 };
+    pub const BASELINE: SweepPoint = SweepPoint {
+        l2_ways: 0,
+        l1_ways: 0,
+    };
 
     /// Label like `base`, `L2=5`, `L2=4+L1=2`.
     pub fn label(&self) -> String {
@@ -30,6 +32,40 @@ impl SweepPoint {
             (w, 0) => format!("L2={w}"),
             (w, l) => format!("L2={w}+L1={l}"),
         }
+    }
+}
+
+/// The model's sweep type maps losslessly onto the simulator's: the model
+/// has no L1-sector dimension, so `l1_ways` is always 0.
+impl From<SectorSetting> for SweepPoint {
+    fn from(setting: SectorSetting) -> SweepPoint {
+        match setting {
+            SectorSetting::Off => SweepPoint::BASELINE,
+            SectorSetting::L2Ways(w) => SweepPoint {
+                l2_ways: w,
+                l1_ways: 0,
+            },
+        }
+    }
+}
+
+/// The reverse direction is partial: a sweep point that reserves L1 ways
+/// has no [`SectorSetting`] equivalent (the model only partitions L2) and
+/// is rejected rather than silently truncated.
+impl TryFrom<SweepPoint> for SectorSetting {
+    type Error = String;
+
+    fn try_from(point: SweepPoint) -> Result<SectorSetting, String> {
+        if point.l1_ways != 0 && point.l2_ways != 0 {
+            return Err(format!(
+                "sweep point {} reserves L1 ways, which the locality model cannot express",
+                point.label()
+            ));
+        }
+        Ok(match point.l2_ways {
+            0 => SectorSetting::Off,
+            w => SectorSetting::L2Ways(w),
+        })
     }
 }
 
@@ -144,7 +180,12 @@ impl ExpArgs {
 
     /// Parses from an explicit iterator (testable).
     pub fn parse_from(args: impl IntoIterator<Item = String>, default_count: usize) -> ExpArgs {
-        let mut out = ExpArgs { count: default_count, scale: 16, threads: 48, seed: 2023 };
+        let mut out = ExpArgs {
+            count: default_count,
+            scale: 16,
+            threads: 48,
+            seed: 2023,
+        };
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             let mut take = |what: &str| -> u64 {
@@ -174,13 +215,49 @@ mod tests {
     #[test]
     fn sweep_labels() {
         assert_eq!(SweepPoint::BASELINE.label(), "base");
-        assert_eq!(SweepPoint { l2_ways: 5, l1_ways: 0 }.label(), "L2=5");
-        assert_eq!(SweepPoint { l2_ways: 4, l1_ways: 2 }.label(), "L2=4+L1=2");
+        assert_eq!(
+            SweepPoint {
+                l2_ways: 5,
+                l1_ways: 0
+            }
+            .label(),
+            "L2=5"
+        );
+        assert_eq!(
+            SweepPoint {
+                l2_ways: 4,
+                l1_ways: 2
+            }
+            .label(),
+            "L2=4+L1=2"
+        );
+    }
+
+    #[test]
+    fn setting_conversions_round_trip() {
+        for s in SectorSetting::paper_sweep() {
+            let p = SweepPoint::from(s);
+            assert_eq!(p.l1_ways, 0);
+            assert_eq!(SectorSetting::try_from(p), Ok(s), "{s:?}");
+        }
+        assert_eq!(SweepPoint::from(SectorSetting::Off), SweepPoint::BASELINE);
+        assert!(SectorSetting::try_from(SweepPoint {
+            l2_ways: 4,
+            l1_ways: 2
+        })
+        .is_err());
     }
 
     #[test]
     fn machine_for_applies_sectors() {
-        let cfg = machine_for(16, 48, SweepPoint { l2_ways: 5, l1_ways: 1 });
+        let cfg = machine_for(
+            16,
+            48,
+            SweepPoint {
+                l2_ways: 5,
+                l1_ways: 1,
+            },
+        );
         assert_eq!(cfg.l2_sector.sector1_ways, 5);
         assert_eq!(cfg.l1_sector.sector1_ways, 1);
         assert_eq!(cfg.num_cores, 48);

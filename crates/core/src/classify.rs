@@ -139,7 +139,10 @@ mod tests {
         let m = matrix(64, 4);
         let ws = m.working_set_bytes();
         assert_eq!(classify(&m, ws, ws), MatrixClass::Class1);
-        assert_eq!(classify(&m, ws - 1, reusable_bytes(&m)), MatrixClass::Class2);
+        assert_eq!(
+            classify(&m, ws - 1, reusable_bytes(&m)),
+            MatrixClass::Class2
+        );
     }
 
     #[test]

@@ -30,10 +30,7 @@ impl ErrorSummary {
     /// Computes MAPE and its standard deviation from paired samples,
     /// skipping pairs with a zero measured value.
     pub fn from_pairs(pairs: impl IntoIterator<Item = (f64, f64)>) -> Self {
-        let apes: Vec<f64> = pairs
-            .into_iter()
-            .filter_map(|(m, p)| ape(m, p))
-            .collect();
+        let apes: Vec<f64> = pairs.into_iter().filter_map(|(m, p)| ape(m, p)).collect();
         Self::from_apes(&apes)
     }
 
@@ -41,17 +38,29 @@ impl ErrorSummary {
     pub fn from_apes(apes: &[f64]) -> Self {
         let n = apes.len();
         if n == 0 {
-            return ErrorSummary { mape: 0.0, std: 0.0, count: 0 };
+            return ErrorSummary {
+                mape: 0.0,
+                std: 0.0,
+                count: 0,
+            };
         }
         let mean = apes.iter().sum::<f64>() / n as f64;
         let var = apes.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>() / n as f64;
-        ErrorSummary { mape: mean, std: var.sqrt(), count: n }
+        ErrorSummary {
+            mape: mean,
+            std: var.sqrt(),
+            count: n,
+        }
     }
 }
 
 impl std::fmt::Display for ErrorSummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:.2} % ± {:.2} % (n = {})", self.mape, self.std, self.count)
+        write!(
+            f,
+            "{:.2} % ± {:.2} % (n = {})",
+            self.mape, self.std, self.count
+        )
     }
 }
 
@@ -92,7 +101,11 @@ mod tests {
 
     #[test]
     fn display_format() {
-        let s = ErrorSummary { mape: 2.487, std: 4.0, count: 3 };
+        let s = ErrorSummary {
+            mape: 2.487,
+            std: 4.0,
+            count: 3,
+        };
         assert_eq!(s.to_string(), "2.49 % ± 4.00 % (n = 3)");
     }
 }

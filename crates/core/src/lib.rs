@@ -17,6 +17,10 @@
 //!   multi-threaded shared-cache analysis.
 //! * [`predict`] — the unified API ([`predict::predict`]) and the
 //!   [`predict::SectorSetting`] sweep type.
+//! * [`profile`] — capacity-independent [`LocalityProfile`]s: the
+//!   expensive trace analysis distilled into reuse histograms that any
+//!   number of sector settings (and capacity scales) evaluate cheaply —
+//!   the memoization unit of the batch engine.
 //! * [`error`] — MAPE and APE-std metrics (Eq. 3) used by the evaluation.
 //!
 //! # Example
@@ -51,8 +55,10 @@ pub mod method_a;
 pub mod method_b;
 pub mod optimize;
 pub mod predict;
+pub mod profile;
 pub mod two_level;
 
 pub use classify::{classify, classify_for, MatrixClass};
 pub use error::ErrorSummary;
 pub use predict::{Method, Prediction, SectorSetting};
+pub use profile::LocalityProfile;

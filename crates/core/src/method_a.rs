@@ -10,15 +10,14 @@
 //! misses.
 //!
 //! All way splits of a sweep share one pass: partition contents under LRU
-//! depend only on the reference routing, not on the capacities, so a
-//! multi-capacity marker stack evaluates every split at once.
+//! depend only on the reference routing, not on the capacities, so the
+//! trace analysis is distilled into capacity-independent reuse histograms
+//! ([`LocalityProfile`]) evaluated per split — one histogram serves every
+//! [`SectorSetting`] capacity, and batch drivers can memoize the profile.
 
-use crate::concurrent::{thread_partition, DomainTraces};
-use crate::predict::{Prediction, SectorSetting};
+use crate::predict::{Method, Prediction, SectorSetting};
+use crate::profile::LocalityProfile;
 use a64fx::MachineConfig;
-use memtrace::spmv_trace::trace_spmv_partitioned;
-use memtrace::{Array, ArraySet, DataLayout};
-use reuse::PartitionedStack;
 use sparsemat::CsrMatrix;
 
 /// Predicts steady-state L2 misses for the given settings using method (A).
@@ -28,89 +27,13 @@ pub fn predict(
     settings: &[SectorSetting],
     threads: usize,
 ) -> Vec<Prediction> {
-    assert!(threads >= 1, "need at least one thread");
-    let layout = DataLayout::new(matrix, cfg.l2.line_bytes);
-    let partition = thread_partition(matrix, threads);
-    let per_thread = trace_spmv_partitioned(matrix, &layout, &partition);
-    let domains = DomainTraces::group(per_thread, cfg.cores_per_domain);
-
-    let want_off = settings.iter().any(|s| matches!(s, SectorSetting::Off));
-    let way_settings: Vec<usize> = settings
-        .iter()
-        .filter_map(|s| match s {
-            SectorSetting::L2Ways(w) => Some(*w),
-            SectorSetting::Off => None,
-        })
-        .collect();
-
-    // Accumulators per setting: (total, by_array).
-    let mut off_total = 0u64;
-    let mut off_by_array = [0u64; 5];
-    let mut ways_total = vec![0u64; way_settings.len()];
-    let mut ways_by_array = vec![[0u64; 5]; way_settings.len()];
-
-    // Pass 1: no partitioning — all references counted in one partition.
-    if want_off {
-        let caps0 = [cfg.l2.total_lines()];
-        for d in 0..domains.num_domains() {
-            let mut stack = PartitionedStack::new(ArraySet::EMPTY, &caps0, &[1]);
-            domains.feed_domain(d, &mut stack); // warm-up
-            stack.reset_counters();
-            domains.feed_domain(d, &mut stack); // measured
-            off_total += stack.partition0().misses(0);
-            for a in Array::ALL {
-                off_by_array[a as usize] += stack.partition0().misses_by_array(0, a);
-            }
-        }
-    }
-
-    // Pass 2: Listing 1 partitioning — a/colidx in partition 1, evaluated
-    // for every way split at once.
-    if !way_settings.is_empty() {
-        let sets = cfg.l2.num_sets();
-        let caps0: Vec<usize> = way_settings.iter().map(|w| sets * (cfg.l2.ways - w)).collect();
-        let caps1: Vec<usize> = way_settings.iter().map(|w| sets * w).collect();
-        for d in 0..domains.num_domains() {
-            let mut stack = PartitionedStack::new(ArraySet::MATRIX_STREAM, &caps0, &caps1);
-            domains.feed_domain(d, &mut stack);
-            stack.reset_counters();
-            domains.feed_domain(d, &mut stack);
-            for (i, w) in way_settings.iter().enumerate() {
-                let c0 = sets * (cfg.l2.ways - w);
-                let c1 = sets * w;
-                ways_total[i] += stack.partition0().misses_at(c0)
-                    + stack.partition1().misses_at(c1);
-                for a in [Array::X, Array::Y, Array::RowPtr] {
-                    ways_by_array[i][a as usize] +=
-                        stack.partition0().misses_by_array_at(c0, a);
-                }
-                for a in [Array::A, Array::ColIdx] {
-                    ways_by_array[i][a as usize] +=
-                        stack.partition1().misses_by_array_at(c1, a);
-                }
-            }
-        }
-    }
-
-    settings
-        .iter()
-        .map(|&setting| match setting {
-            SectorSetting::Off => Prediction {
-                setting,
-                l2_misses: off_total,
-                by_array: off_by_array,
-            },
-            SectorSetting::L2Ways(w) => {
-                let i = way_settings.iter().position(|&x| x == w).unwrap();
-                Prediction { setting, l2_misses: ways_total[i], by_array: ways_by_array[i] }
-            }
-        })
-        .collect()
+    LocalityProfile::compute(matrix, cfg, Method::A, threads).evaluate(cfg, settings)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use memtrace::Array;
     use sparsemat::CooMatrix;
 
     fn random_matrix(n: usize, nnz_per_row: usize, seed: u64) -> CsrMatrix {

@@ -28,196 +28,31 @@
 //! the average-based scaling factor is then a poor stand-in for the true
 //! interleaving of references.
 
-use crate::analytic::{scale_s1, scale_s2, StreamTerms};
-use crate::concurrent::{thread_partition, DomainTraces};
-use crate::predict::{Prediction, SectorSetting};
+use crate::predict::{Method, Prediction, SectorSetting};
+use crate::profile::LocalityProfile;
 use a64fx::MachineConfig;
-use memtrace::xtrace::trace_x_partitioned;
-use memtrace::{Array, DataLayout};
-use reuse::ExactStack;
 use sparsemat::CsrMatrix;
-use std::collections::HashMap;
 
 /// Predicts steady-state L2 misses for the given settings using method (B).
+///
+/// The `x`-trace pass is capacity-independent: one [`LocalityProfile`]
+/// records the `(RD_x, g)` pair distribution plus per-domain shares, and
+/// every sweep setting is evaluated from it analytically.
 pub fn predict(
     matrix: &CsrMatrix,
     cfg: &MachineConfig,
     settings: &[SectorSetting],
     threads: usize,
 ) -> Vec<Prediction> {
-    assert!(threads >= 1, "need at least one thread");
-    if matrix.nnz() == 0 {
-        return settings
-            .iter()
-            .map(|&setting| Prediction { setting, l2_misses: 0, by_array: [0; 5] })
-            .collect();
-    }
-    let layout = DataLayout::new(matrix, cfg.l2.line_bytes);
-    let partition = thread_partition(matrix, threads);
-    let per_thread = trace_x_partitioned(matrix, &layout, &partition);
-    let domains = DomainTraces::group(per_thread, cfg.cores_per_domain);
-
-    let m = matrix.num_rows();
-    let k = matrix.nnz();
-    let s1 = scale_s1(m, k);
-    let s2 = scale_s2(m, k);
-    let line = cfg.l2.line_bytes;
-
-    // Per setting: (companion lines per intervening x access, partition-0
-    // capacity in lines). (s - 1) * 8 bytes of companion data accompany
-    // every x access; companions are streams, so all of it is distinct.
-    let params: Vec<(f64, f64)> = settings
-        .iter()
-        .map(|s| {
-            let scale = match s {
-                SectorSetting::Off => s2,
-                SectorSetting::L2Ways(_) => s1,
-            };
-            ((scale - 1.0) * 8.0 / line as f64, s.cap0_lines(cfg) as f64)
-        })
-        .collect();
-
-    // One exact-stack pass per domain: a warm-up iteration, then a
-    // measured one in which each x access yields its line reuse distance
-    // `rd` and access-count gap `g`; it misses setting i iff
-    // `rd + g * companion_i >= cap0_i`.
-    let mut x_misses = vec![0u64; settings.len()];
-    for d in 0..domains.num_domains() {
-        let mut interleaved = memtrace::VecSink::new();
-        domains.feed_domain(d, &mut interleaved);
-        let trace = &interleaved.trace;
-        let mut stack = ExactStack::with_capacity(trace.len() * 2);
-        let mut last_seen: HashMap<u64, u64> = HashMap::new();
-        // Warm-up iteration.
-        for (t, a) in trace.iter().enumerate() {
-            stack.access(a.line);
-            last_seen.insert(a.line, t as u64);
-        }
-        // Measured iteration.
-        let offset = trace.len() as u64;
-        for (t, a) in trace.iter().enumerate() {
-            let now = offset + t as u64;
-            let rd = stack.access(a.line);
-            let g = last_seen.insert(a.line, now).map(|prev| now - prev);
-            match (rd, g) {
-                (Some(rd), Some(g)) => {
-                    for (i, &(companion, cap0)) in params.iter().enumerate() {
-                        if rd as f64 + g as f64 * companion >= cap0 {
-                            x_misses[i] += 1;
-                        }
-                    }
-                }
-                // Cold in the measured iteration cannot happen (the warm-up
-                // touched every line), but count it as a miss if it does.
-                _ => {
-                    for misses in x_misses.iter_mut() {
-                        *misses += 1;
-                    }
-                }
-            }
-        }
-    }
-
-    // Analytic streaming terms, accounted per domain so the fit checks use
-    // each domain's share of the matrix.
-    let line = cfg.l2.line_bytes;
-    let num_domains = domains.num_domains();
-    let mut preds: Vec<Prediction> = settings
-        .iter()
-        .zip(&x_misses)
-        .map(|(&setting, &xm)| {
-            let mut by_array = [0u64; 5];
-            by_array[Array::X as usize] = xm;
-            Prediction { setting, l2_misses: xm, by_array }
-        })
-        .collect();
-
-    for d in 0..num_domains {
-        // Rows and nonzeros handled by this domain's threads.
-        let t0 = d * cfg.cores_per_domain;
-        let t1 = ((d + 1) * cfg.cores_per_domain).min(partition.num_parts());
-        let rows_d = partition.range(t1 - 1).end - partition.range(t0).start;
-        let row_start = partition.range(t0).start;
-        let row_end = partition.range(t1 - 1).end;
-        let nnz_d =
-            (matrix.rowptr()[row_end] - matrix.rowptr()[row_start]) as usize;
-        if nnz_d == 0 && rows_d == 0 {
-            continue;
-        }
-        let terms = StreamTerms {
-            a: crate::analytic::stream_misses_a(nnz_d, line),
-            colidx: crate::analytic::stream_misses_colidx(nnz_d, line),
-            rowptr: crate::analytic::stream_misses_rowptr(rows_d, line),
-            y: crate::analytic::stream_misses_y(rows_d, line),
-        };
-        // Bytes of this domain's share of each region.
-        let matrix_bytes_d = nnz_d * 12 + (rows_d + 1) * 8;
-        let reusable_bytes_d = matrix.num_cols() * 8 + rows_d * 8 + (rows_d + 1) * 8;
-        let working_set_d = matrix_bytes_d + matrix.num_cols() * 8 + rows_d * 8;
-
-        for (i, &setting) in settings.iter().enumerate() {
-            let p = &mut preds[i];
-            match setting {
-                SectorSetting::Off => {
-                    // Class (1): everything fits, no steady-state misses at
-                    // all — including the x misses the stack predicted from
-                    // the scaled distances, which the classification
-                    // overrides per the paper's §3.1.
-                    if working_set_d <= cfg.l2.size_bytes {
-                        continue;
-                    }
-                    p.by_array[Array::A as usize] += terms.a;
-                    p.by_array[Array::ColIdx as usize] += terms.colidx;
-                    p.by_array[Array::RowPtr as usize] += terms.rowptr;
-                    p.by_array[Array::Y as usize] += terms.y;
-                }
-                SectorSetting::L2Ways(_) => {
-                    let cap1_bytes = setting.cap1_lines(cfg) * line;
-                    let cap0_bytes = setting.cap0_lines(cfg) * line;
-                    if matrix_bytes_d > cap1_bytes {
-                        p.by_array[Array::A as usize] += terms.a;
-                        p.by_array[Array::ColIdx as usize] += terms.colidx;
-                    }
-                    if reusable_bytes_d > cap0_bytes {
-                        p.by_array[Array::RowPtr as usize] += terms.rowptr;
-                        p.by_array[Array::Y as usize] += terms.y;
-                    }
-                }
-            }
-        }
-    }
-
-    // Class-(1) override for the unpartitioned case: when every domain's
-    // working set fits, zero the x term too.
-    for (i, &setting) in settings.iter().enumerate() {
-        if setting == SectorSetting::Off {
-            let all_fit = (0..num_domains).all(|d| {
-                let t0 = d * cfg.cores_per_domain;
-                let t1 = ((d + 1) * cfg.cores_per_domain).min(partition.num_parts());
-                let row_start = partition.range(t0).start;
-                let row_end = partition.range(t1 - 1).end;
-                let rows_d = row_end - row_start;
-                let nnz_d =
-                    (matrix.rowptr()[row_end] - matrix.rowptr()[row_start]) as usize;
-                let ws = nnz_d * 12 + (rows_d + 1) * 8 + matrix.num_cols() * 8 + rows_d * 8;
-                ws <= cfg.l2.size_bytes
-            });
-            if all_fit {
-                preds[i].by_array = [0; 5];
-            }
-        }
-    }
-
-    for p in &mut preds {
-        p.l2_misses = p.by_array.iter().sum();
-    }
-    preds
+    LocalityProfile::compute(matrix, cfg, Method::B, threads).evaluate(cfg, settings)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::analytic::StreamTerms;
     use crate::method_a;
+    use memtrace::Array;
     use sparsemat::CooMatrix;
 
     fn random_matrix(n: usize, nnz_per_row: usize, seed: u64) -> CsrMatrix {
@@ -274,8 +109,8 @@ mod tests {
         let a = method_a::predict(&m, &cfg(), &settings, 1);
         let b = predict(&m, &cfg(), &settings, 1);
         for (pa, pb) in a.iter().zip(&b) {
-            let err = (pa.l2_misses as f64 - pb.l2_misses as f64).abs()
-                / pa.l2_misses.max(1) as f64;
+            let err =
+                (pa.l2_misses as f64 - pb.l2_misses as f64).abs() / pa.l2_misses.max(1) as f64;
             assert!(
                 err < 0.10,
                 "method B off by {:.1}% at {:?}: A={} B={}",

@@ -58,7 +58,8 @@ impl PartitionOptimizer {
         for array in Array::ALL {
             let owners = groups.iter().filter(|g| g.contains(array)).count();
             assert_eq!(
-                owners, 1,
+                owners,
+                1,
                 "array {} must belong to exactly one group (found {owners})",
                 array.name()
             );
@@ -76,20 +77,12 @@ impl PartitionOptimizer {
             for (gi, group) in groups.iter().enumerate() {
                 let mut stack = ExactStack::new();
                 // Warm-up iteration.
-                for a in interleaved
-                    .trace
-                    .iter()
-                    .filter(|a| group.contains(a.array))
-                {
+                for a in interleaved.trace.iter().filter(|a| group.contains(a.array)) {
                     stack.access(a.line);
                 }
                 // Measured iteration.
                 let mut hist = ReuseHistogram::new();
-                for a in interleaved
-                    .trace
-                    .iter()
-                    .filter(|a| group.contains(a.array))
-                {
+                for a in interleaved.trace.iter().filter(|a| group.contains(a.array)) {
                     hist.record(stack.access(a.line));
                 }
                 histograms[gi].push(hist);
@@ -130,8 +123,15 @@ impl PartitionOptimizer {
     ///
     /// Panics on a malformed allocation.
     pub fn misses_for(&self, allocation: &[usize]) -> u64 {
-        assert_eq!(allocation.len(), self.groups.len(), "one way count per group");
-        assert!(allocation.iter().all(|&w| w >= 1), "every group needs a way");
+        assert_eq!(
+            allocation.len(),
+            self.groups.len(),
+            "one way count per group"
+        );
+        assert!(
+            allocation.iter().all(|&w| w >= 1),
+            "every group needs a way"
+        );
         assert_eq!(
             allocation.iter().sum::<usize>(),
             self.ways,
@@ -259,7 +259,10 @@ mod tests {
         // With an oversized stream, the optimum gives the stream group the
         // minimum and the reusable group the rest.
         if m.matrix_bytes() > cfg.l2.size_bytes {
-            assert!(alloc[0] >= alloc[1], "reusable data should get more ways: {alloc:?}");
+            assert!(
+                alloc[0] >= alloc[1],
+                "reusable data should get more ways: {alloc:?}"
+            );
         }
     }
 
@@ -296,7 +299,10 @@ mod tests {
     fn overlapping_groups_rejected() {
         let m = random_matrix(64, 2, 3);
         let cfg = MachineConfig::a64fx_scaled(64);
-        let groups = vec![ArraySet::of(&[Array::X]), ArraySet::of(&[Array::X, Array::Y])];
+        let groups = vec![
+            ArraySet::of(&[Array::X]),
+            ArraySet::of(&[Array::X, Array::Y]),
+        ];
         PartitionOptimizer::from_spmv(&m, &cfg, &groups, 1);
     }
 

@@ -83,7 +83,7 @@ impl Prediction {
 }
 
 /// Which model variant to run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Method {
     /// Full-trace stack processing (§3.2.1).
     A,

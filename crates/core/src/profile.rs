@@ -1,0 +1,607 @@
+//! Capacity-independent reuse profiles: compute once, evaluate per setting.
+//!
+//! Both prediction methods factor into an expensive *trace analysis* that
+//! depends only on the sparsity pattern, the thread count, and the machine
+//! *shape* (line size, cores per domain) — and a cheap *capacity
+//! evaluation* that additionally depends on the cache geometry and the
+//! [`SectorSetting`]. This module makes the split explicit:
+//!
+//! * [`LocalityProfile::compute`] runs the trace machinery and distills it
+//!   into reuse-distance histograms (method A) or `(RD, gap)` pair counts
+//!   (method B) — Eq. (1)'s insight that a reuse histogram determines LRU
+//!   misses for *every* capacity at once;
+//! * [`LocalityProfile::evaluate`] turns a profile into [`Prediction`]s
+//!   for any sector-setting sweep in time independent of the trace length.
+//!
+//! [`method_a::predict`](crate::method_a::predict) and
+//! [`method_b::predict`](crate::method_b::predict) are thin wrappers over
+//! this pair, so profiles are guaranteed to reproduce their results. The
+//! batch engine (`locality-engine`) memoizes profiles keyed by matrix
+//! fingerprint, which is what makes corpus-scale sector sweeps cheap:
+//! seven settings share one trace analysis instead of re-deriving it.
+
+use crate::analytic::{scale_s1, scale_s2, StreamTerms};
+use crate::concurrent::{thread_partition, DomainTraces};
+use crate::predict::{Method, Prediction, SectorSetting};
+use a64fx::MachineConfig;
+use memtrace::spmv_trace::trace_spmv_partitioned;
+use memtrace::xtrace::trace_x_partitioned;
+use memtrace::{Access, Array, ArraySet, DataLayout, TraceSink};
+use reuse::{ExactStack, ReuseHistogram};
+use sparsemat::CsrMatrix;
+use std::collections::HashMap;
+
+/// One NUMA domain's share of the row space (for the analytic terms and
+/// working-set fit checks of method B).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DomainShare {
+    /// Rows handled by this domain's threads.
+    pub rows: usize,
+    /// Nonzeros handled by this domain's threads.
+    pub nnz: usize,
+}
+
+/// Per-array reuse histograms of one routed reference stream.
+#[derive(Clone, Debug, Default)]
+pub struct ArrayHistograms {
+    /// One histogram per [`Array`] (indexed by `Array as usize`),
+    /// recording the measured (steady-state) iteration only.
+    pub by_array: [ReuseHistogram; 5],
+}
+
+impl ArrayHistograms {
+    /// Misses of a fully associative LRU partition of `capacity` lines,
+    /// summed over arrays.
+    pub fn misses(&self, capacity: usize) -> u64 {
+        self.by_array.iter().map(|h| h.misses(capacity)).sum()
+    }
+
+    /// Misses attributed to one array at `capacity` lines.
+    pub fn misses_of(&self, array: Array, capacity: usize) -> u64 {
+        self.by_array[array as usize].misses(capacity)
+    }
+
+    fn merge(&mut self, other: &ArrayHistograms) {
+        for (mine, theirs) in self.by_array.iter_mut().zip(&other.by_array) {
+            mine.merge(theirs);
+        }
+    }
+}
+
+/// Trace sink recording steady-state reuse distances of a two-partition
+/// routed stream into per-array histograms.
+struct HistogramSink {
+    sector1: ArraySet,
+    stack0: ExactStack,
+    stack1: ExactStack,
+    hist0: ArrayHistograms,
+    hist1: ArrayHistograms,
+    recording: bool,
+}
+
+impl HistogramSink {
+    fn new(sector1: ArraySet, expected_len: usize) -> Self {
+        HistogramSink {
+            sector1,
+            stack0: ExactStack::with_capacity(expected_len),
+            stack1: ExactStack::with_capacity(expected_len.min(1024)),
+            hist0: ArrayHistograms::default(),
+            hist1: ArrayHistograms::default(),
+            recording: false,
+        }
+    }
+}
+
+impl TraceSink for HistogramSink {
+    fn access(&mut self, access: Access) {
+        let (stack, hist) = if self.sector1.contains(access.array) {
+            (&mut self.stack1, &mut self.hist1)
+        } else {
+            (&mut self.stack0, &mut self.hist0)
+        };
+        let distance = stack.access(access.line);
+        if self.recording {
+            hist.by_array[access.array as usize].record(distance);
+        }
+    }
+}
+
+/// Method (A) profile: steady-state per-array reuse histograms under both
+/// reference routings the paper evaluates.
+#[derive(Clone, Debug)]
+pub struct TraceProfile {
+    /// Unpartitioned routing (sector cache off): all arrays in one stream.
+    pub shared: ArrayHistograms,
+    /// Listing-1 routing, partition 0: `x`, `y`, `rowptr`.
+    pub part0: ArrayHistograms,
+    /// Listing-1 routing, partition 1: `a`, `colidx`.
+    pub part1: ArrayHistograms,
+}
+
+/// Method (B) profile: the measured-iteration `x`-trace distilled to
+/// `(reuse distance, access gap)` pair counts (plus the cold tail).
+#[derive(Clone, Debug)]
+pub struct XProfile {
+    /// `(line reuse distance, access-count gap) -> occurrences`, summed
+    /// over domains.
+    pub pairs: Vec<((u64, u64), u64)>,
+    /// Accesses cold in the measured iteration (counted as misses at
+    /// every setting; cannot happen after a full warm-up, kept for
+    /// fidelity with the streaming evaluation).
+    pub cold: u64,
+}
+
+/// The method-specific payload of a [`LocalityProfile`].
+#[derive(Clone, Debug)]
+pub enum ProfileKind {
+    /// Method (A): full-trace histograms.
+    Trace(TraceProfile),
+    /// Method (B): `x`-trace pair counts.
+    XTrace(XProfile),
+}
+
+/// A capacity-independent distillation of one matrix's trace analysis.
+///
+/// Valid for any [`SectorSetting`] sweep against a machine with the same
+/// line size and cores-per-domain topology ([`Self::evaluate`] asserts
+/// this); the cache *size* and way split may vary freely.
+#[derive(Clone, Debug)]
+pub struct LocalityProfile {
+    method: Method,
+    threads: usize,
+    line_bytes: usize,
+    cores_per_domain: usize,
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+    domains: Vec<DomainShare>,
+    kind: ProfileKind,
+}
+
+impl LocalityProfile {
+    /// Runs the trace analysis for `method` on `matrix` with `threads`
+    /// threads.
+    ///
+    /// Only the machine *shape* is read from `cfg` (`l2.line_bytes`,
+    /// `cores_per_domain`) — capacities and way splits are supplied at
+    /// [`evaluate`](Self::evaluate) time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn compute(
+        matrix: &CsrMatrix,
+        cfg: &MachineConfig,
+        method: Method,
+        threads: usize,
+    ) -> Self {
+        assert!(threads >= 1, "need at least one thread");
+        let line_bytes = cfg.l2.line_bytes;
+        let cores_per_domain = cfg.cores_per_domain;
+
+        let mut profile = LocalityProfile {
+            method,
+            threads,
+            line_bytes,
+            cores_per_domain,
+            rows: matrix.num_rows(),
+            cols: matrix.num_cols(),
+            nnz: matrix.nnz(),
+            domains: Vec::new(),
+            kind: ProfileKind::XTrace(XProfile {
+                pairs: Vec::new(),
+                cold: 0,
+            }),
+        };
+
+        // Method (B) predicts all-zero for an empty matrix before tracing;
+        // mirror that so evaluation stays exact.
+        if method == Method::B && matrix.nnz() == 0 {
+            return profile;
+        }
+
+        let layout = DataLayout::new(matrix, line_bytes);
+        let partition = thread_partition(matrix, threads);
+
+        // Domain shares (contiguous row spans, as in the per-domain
+        // accounting of both methods).
+        let num_parts = partition.num_parts();
+        let num_domains = num_parts.div_ceil(cores_per_domain);
+        for d in 0..num_domains {
+            let t0 = d * cores_per_domain;
+            let t1 = ((d + 1) * cores_per_domain).min(num_parts);
+            let row_start = partition.range(t0).start;
+            let row_end = partition.range(t1 - 1).end;
+            let nnz_d = (matrix.rowptr()[row_end] - matrix.rowptr()[row_start]) as usize;
+            profile.domains.push(DomainShare {
+                rows: row_end - row_start,
+                nnz: nnz_d,
+            });
+        }
+
+        match method {
+            Method::A => {
+                let per_thread = trace_spmv_partitioned(matrix, &layout, &partition);
+                let domains = DomainTraces::group(per_thread, cores_per_domain);
+                let expected = memtrace::spmv_trace::trace_len(matrix.num_rows(), matrix.nnz());
+
+                let mut shared = ArrayHistograms::default();
+                let mut part0 = ArrayHistograms::default();
+                let mut part1 = ArrayHistograms::default();
+                for d in 0..domains.num_domains() {
+                    // Unpartitioned routing.
+                    let mut sink = HistogramSink::new(ArraySet::EMPTY, expected);
+                    domains.feed_domain(d, &mut sink); // warm-up
+                    sink.recording = true;
+                    domains.feed_domain(d, &mut sink); // measured
+                    shared.merge(&sink.hist0);
+
+                    // Listing-1 routing.
+                    let mut sink = HistogramSink::new(ArraySet::MATRIX_STREAM, expected);
+                    domains.feed_domain(d, &mut sink);
+                    sink.recording = true;
+                    domains.feed_domain(d, &mut sink);
+                    part0.merge(&sink.hist0);
+                    part1.merge(&sink.hist1);
+                }
+                profile.kind = ProfileKind::Trace(TraceProfile {
+                    shared,
+                    part0,
+                    part1,
+                });
+            }
+            Method::B => {
+                let per_thread = trace_x_partitioned(matrix, &layout, &partition);
+                let domains = DomainTraces::group(per_thread, cores_per_domain);
+
+                let mut pairs: HashMap<(u64, u64), u64> = HashMap::new();
+                let mut cold = 0u64;
+                for d in 0..domains.num_domains() {
+                    let mut interleaved = memtrace::VecSink::new();
+                    domains.feed_domain(d, &mut interleaved);
+                    let trace = &interleaved.trace;
+                    let mut stack = ExactStack::with_capacity(trace.len() * 2);
+                    let mut last_seen: HashMap<u64, u64> = HashMap::new();
+                    // Warm-up iteration.
+                    for (t, a) in trace.iter().enumerate() {
+                        stack.access(a.line);
+                        last_seen.insert(a.line, t as u64);
+                    }
+                    // Measured iteration.
+                    let offset = trace.len() as u64;
+                    for (t, a) in trace.iter().enumerate() {
+                        let now = offset + t as u64;
+                        let rd = stack.access(a.line);
+                        let g = last_seen.insert(a.line, now).map(|prev| now - prev);
+                        match (rd, g) {
+                            (Some(rd), Some(g)) => *pairs.entry((rd, g)).or_insert(0) += 1,
+                            _ => cold += 1,
+                        }
+                    }
+                }
+                let mut pairs: Vec<((u64, u64), u64)> = pairs.into_iter().collect();
+                pairs.sort_unstable();
+                profile.kind = ProfileKind::XTrace(XProfile { pairs, cold });
+            }
+        }
+        profile
+    }
+
+    /// The method this profile was computed for.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// The thread count this profile was computed for.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The cache-line size the trace was laid out with.
+    pub fn line_bytes(&self) -> usize {
+        self.line_bytes
+    }
+
+    /// The cores-per-domain topology the trace was grouped with.
+    pub fn cores_per_domain(&self) -> usize {
+        self.cores_per_domain
+    }
+
+    /// The per-domain row/nonzero shares.
+    pub fn domains(&self) -> &[DomainShare] {
+        &self.domains
+    }
+
+    /// The method-specific payload (histograms or pair counts).
+    pub fn kind(&self) -> &ProfileKind {
+        &self.kind
+    }
+
+    /// Evaluates the profile for every setting of a sweep.
+    ///
+    /// Reproduces [`predict`](crate::predict::predict) for the matrix the
+    /// profile was computed from, in time independent of the trace length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` disagrees with the profile's machine shape
+    /// (line size or cores per domain).
+    pub fn evaluate(&self, cfg: &MachineConfig, settings: &[SectorSetting]) -> Vec<Prediction> {
+        assert_eq!(
+            cfg.l2.line_bytes, self.line_bytes,
+            "profile computed for a different line size"
+        );
+        assert_eq!(
+            cfg.cores_per_domain, self.cores_per_domain,
+            "profile computed for a different domain topology"
+        );
+        match &self.kind {
+            ProfileKind::Trace(t) => self.evaluate_trace(t, cfg, settings),
+            ProfileKind::XTrace(x) => self.evaluate_xtrace(x, cfg, settings),
+        }
+    }
+
+    fn evaluate_trace(
+        &self,
+        t: &TraceProfile,
+        cfg: &MachineConfig,
+        settings: &[SectorSetting],
+    ) -> Vec<Prediction> {
+        let sets = cfg.l2.num_sets();
+        settings
+            .iter()
+            .map(|&setting| {
+                let mut by_array = [0u64; 5];
+                match setting {
+                    SectorSetting::Off => {
+                        let cap = cfg.l2.total_lines();
+                        for a in Array::ALL {
+                            by_array[a as usize] = t.shared.misses_of(a, cap);
+                        }
+                    }
+                    SectorSetting::L2Ways(w) => {
+                        let cap0 = sets * (cfg.l2.ways - w);
+                        let cap1 = sets * w;
+                        for a in [Array::X, Array::Y, Array::RowPtr] {
+                            by_array[a as usize] = t.part0.misses_of(a, cap0);
+                        }
+                        for a in [Array::A, Array::ColIdx] {
+                            by_array[a as usize] = t.part1.misses_of(a, cap1);
+                        }
+                    }
+                }
+                Prediction {
+                    setting,
+                    l2_misses: by_array.iter().sum(),
+                    by_array,
+                }
+            })
+            .collect()
+    }
+
+    fn evaluate_xtrace(
+        &self,
+        x: &XProfile,
+        cfg: &MachineConfig,
+        settings: &[SectorSetting],
+    ) -> Vec<Prediction> {
+        if self.nnz == 0 {
+            return settings
+                .iter()
+                .map(|&setting| Prediction {
+                    setting,
+                    l2_misses: 0,
+                    by_array: [0; 5],
+                })
+                .collect();
+        }
+        let line = cfg.l2.line_bytes;
+        let s1 = scale_s1(self.rows, self.nnz);
+        let s2 = scale_s2(self.rows, self.nnz);
+
+        // Per setting: companion lines per intervening x access, and
+        // partition-0 capacity (see method_b's derivation).
+        let params: Vec<(f64, f64)> = settings
+            .iter()
+            .map(|s| {
+                let scale = match s {
+                    SectorSetting::Off => s2,
+                    SectorSetting::L2Ways(_) => s1,
+                };
+                ((scale - 1.0) * 8.0 / line as f64, s.cap0_lines(cfg) as f64)
+            })
+            .collect();
+
+        let mut x_misses = vec![x.cold; settings.len()];
+        for &((rd, g), count) in &x.pairs {
+            for (i, &(companion, cap0)) in params.iter().enumerate() {
+                if rd as f64 + g as f64 * companion >= cap0 {
+                    x_misses[i] += count;
+                }
+            }
+        }
+
+        let mut preds: Vec<Prediction> = settings
+            .iter()
+            .zip(&x_misses)
+            .map(|(&setting, &xm)| {
+                let mut by_array = [0u64; 5];
+                by_array[Array::X as usize] = xm;
+                Prediction {
+                    setting,
+                    l2_misses: xm,
+                    by_array,
+                }
+            })
+            .collect();
+
+        // Analytic streaming terms per domain.
+        for share in &self.domains {
+            let (rows_d, nnz_d) = (share.rows, share.nnz);
+            if nnz_d == 0 && rows_d == 0 {
+                continue;
+            }
+            let terms = StreamTerms {
+                a: crate::analytic::stream_misses_a(nnz_d, line),
+                colidx: crate::analytic::stream_misses_colidx(nnz_d, line),
+                rowptr: crate::analytic::stream_misses_rowptr(rows_d, line),
+                y: crate::analytic::stream_misses_y(rows_d, line),
+            };
+            let matrix_bytes_d = nnz_d * 12 + (rows_d + 1) * 8;
+            let reusable_bytes_d = self.cols * 8 + rows_d * 8 + (rows_d + 1) * 8;
+            let working_set_d = matrix_bytes_d + self.cols * 8 + rows_d * 8;
+
+            for (i, &setting) in settings.iter().enumerate() {
+                let p = &mut preds[i];
+                match setting {
+                    SectorSetting::Off => {
+                        if working_set_d <= cfg.l2.size_bytes {
+                            continue;
+                        }
+                        p.by_array[Array::A as usize] += terms.a;
+                        p.by_array[Array::ColIdx as usize] += terms.colidx;
+                        p.by_array[Array::RowPtr as usize] += terms.rowptr;
+                        p.by_array[Array::Y as usize] += terms.y;
+                    }
+                    SectorSetting::L2Ways(_) => {
+                        let cap1_bytes = setting.cap1_lines(cfg) * line;
+                        let cap0_bytes = setting.cap0_lines(cfg) * line;
+                        if matrix_bytes_d > cap1_bytes {
+                            p.by_array[Array::A as usize] += terms.a;
+                            p.by_array[Array::ColIdx as usize] += terms.colidx;
+                        }
+                        if reusable_bytes_d > cap0_bytes {
+                            p.by_array[Array::RowPtr as usize] += terms.rowptr;
+                            p.by_array[Array::Y as usize] += terms.y;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Class-(1) override for the unpartitioned case: when every
+        // domain's working set fits, steady state has no misses at all.
+        let all_fit = self.domains.iter().all(|share| {
+            let ws = share.nnz * 12 + (share.rows + 1) * 8 + self.cols * 8 + share.rows * 8;
+            ws <= cfg.l2.size_bytes
+        });
+        if all_fit {
+            for (i, &setting) in settings.iter().enumerate() {
+                if setting == SectorSetting::Off {
+                    preds[i].by_array = [0; 5];
+                }
+            }
+        }
+
+        for p in &mut preds {
+            p.l2_misses = p.by_array.iter().sum();
+        }
+        preds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predict::predict;
+    use sparsemat::CooMatrix;
+
+    fn random_matrix(n: usize, nnz_per_row: usize, seed: u64) -> CsrMatrix {
+        let mut state = seed | 1;
+        let mut coo = CooMatrix::new(n, n);
+        for r in 0..n {
+            for _ in 0..nnz_per_row {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(13);
+                coo.push(r, (state >> 33) as usize % n, 1.0);
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn one_profile_serves_every_setting() {
+        let m = random_matrix(2048, 12, 3);
+        let cfg = MachineConfig::a64fx_scaled(64);
+        let settings = SectorSetting::paper_sweep();
+        for method in [Method::A, Method::B] {
+            let profile = LocalityProfile::compute(&m, &cfg, method, 1);
+            let batch = profile.evaluate(&cfg, &settings);
+            // Per-setting evaluation of the same profile agrees with the
+            // batch evaluation and with the one-shot API.
+            for (i, &s) in settings.iter().enumerate() {
+                assert_eq!(
+                    profile.evaluate(&cfg, &[s])[0],
+                    batch[i],
+                    "{method:?} {s:?}"
+                );
+            }
+            assert_eq!(batch, predict(&m, &cfg, method, &settings, 1), "{method:?}");
+        }
+    }
+
+    #[test]
+    fn profile_is_reusable_across_capacity_scales() {
+        // The same profile answers for machines differing only in cache
+        // size (same line size and topology).
+        let m = random_matrix(1024, 8, 11);
+        let small = MachineConfig::a64fx_scaled(64);
+        let large = MachineConfig::a64fx_scaled(16);
+        assert_eq!(small.l2.line_bytes, large.l2.line_bytes);
+        let settings = [SectorSetting::Off, SectorSetting::L2Ways(4)];
+        for method in [Method::A, Method::B] {
+            let profile = LocalityProfile::compute(&m, &small, method, 1);
+            assert_eq!(
+                profile.evaluate(&large, &settings),
+                predict(&m, &large, method, &settings, 1),
+                "{method:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_profiles_match_predict() {
+        let m = random_matrix(2048, 12, 31);
+        let mut cfg = MachineConfig::a64fx_scaled(64);
+        cfg.cores_per_domain = 2;
+        let settings = [SectorSetting::Off, SectorSetting::L2Ways(4)];
+        for method in [Method::A, Method::B] {
+            let profile = LocalityProfile::compute(&m, &cfg, method, 8);
+            assert_eq!(
+                profile.evaluate(&cfg, &settings),
+                predict(&m, &cfg, method, &settings, 8),
+                "{method:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_matrix_profiles() {
+        let m = CooMatrix::new(8, 8).to_csr();
+        let cfg = MachineConfig::a64fx_scaled(64);
+        for method in [Method::A, Method::B] {
+            let profile = LocalityProfile::compute(&m, &cfg, method, 1);
+            let preds = profile.evaluate(&cfg, &[SectorSetting::Off, SectorSetting::L2Ways(3)]);
+            assert_eq!(
+                preds,
+                predict(
+                    &m,
+                    &cfg,
+                    method,
+                    &[SectorSetting::Off, SectorSetting::L2Ways(3)],
+                    1
+                )
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different line size")]
+    fn mismatched_line_size_rejected() {
+        let m = random_matrix(64, 3, 1);
+        let cfg = MachineConfig::a64fx_scaled(64);
+        let profile = LocalityProfile::compute(&m, &cfg, Method::A, 1);
+        let mut other = cfg.clone();
+        other.l2.line_bytes = 128;
+        profile.evaluate(&other, &[SectorSetting::Off]);
+    }
+}

@@ -82,7 +82,11 @@ pub fn predict_filtered(
                         + stack.partition1().misses_by_array(0, a);
                 }
             }
-            Prediction { setting, l2_misses: total, by_array }
+            Prediction {
+                setting,
+                l2_misses: total,
+                by_array,
+            }
         })
         .collect()
 }
@@ -127,7 +131,10 @@ mod tests {
         let mut sink = memtrace::VecSink::new();
         memtrace::spmv_trace::trace_spmv(&m, &layout, &mut sink);
         let filtered = l1_filter(&sink.trace, 1 << 20);
-        assert!(filtered.is_empty(), "warm, giant L1 absorbs all steady-state reuse");
+        assert!(
+            filtered.is_empty(),
+            "warm, giant L1 absorbs all steady-state reuse"
+        );
     }
 
     #[test]
@@ -152,8 +159,7 @@ mod tests {
         let plain = method_a::predict(&m, &cfg, &settings, 1);
         let filtered = predict_filtered(&m, &cfg, &settings, 1);
         for (p, f) in plain.iter().zip(&filtered) {
-            let rel = (p.l2_misses as f64 - f.l2_misses as f64).abs()
-                / p.l2_misses.max(1) as f64;
+            let rel = (p.l2_misses as f64 - f.l2_misses as f64).abs() / p.l2_misses.max(1) as f64;
             assert!(
                 rel < 0.05,
                 "{:?}: plain {} vs filtered {}",

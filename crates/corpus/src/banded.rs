@@ -37,7 +37,10 @@ pub fn block_banded(
     block_band: usize,
     seed: u64,
 ) -> CsrMatrix {
-    assert!(block > 0 && n.is_multiple_of(block), "n must be a multiple of the block size");
+    assert!(
+        block > 0 && n.is_multiple_of(block),
+        "n must be a multiple of the block size"
+    );
     let nb = n / block;
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut coo = CooMatrix::with_capacity(n, n, n * block * blocks_per_row);
@@ -54,7 +57,11 @@ pub fn block_banded(
         for &bcol in &cols {
             for i in 0..block {
                 for j in 0..block {
-                    let v = if brow == bcol && i == j { block as f64 } else { -0.25 };
+                    let v = if brow == bcol && i == j {
+                        block as f64
+                    } else {
+                        -0.25
+                    };
                     coo.push(brow * block + i, bcol * block + j, v);
                 }
             }

@@ -25,12 +25,20 @@ pub struct RmatParams {
 impl RmatParams {
     /// The classic skewed setting (a=0.57, b=c=0.19, d=0.05).
     pub fn graph500() -> Self {
-        RmatParams { a: 0.57, b: 0.19, c: 0.19 }
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+        }
     }
 
     /// A mildly skewed setting producing less extreme hubs.
     pub fn mild() -> Self {
-        RmatParams { a: 0.45, b: 0.22, c: 0.22 }
+        RmatParams {
+            a: 0.45,
+            b: 0.22,
+            c: 0.22,
+        }
     }
 }
 

@@ -80,8 +80,7 @@ pub fn stencil_3d_27pt(nx: usize, ny: usize, nz: usize) -> CsrMatrix {
                 for di in -1i64..=1 {
                     for dj in -1i64..=1 {
                         for dk in -1i64..=1 {
-                            let (ii, jj, kk) =
-                                (i as i64 + di, j as i64 + dj, k as i64 + dk);
+                            let (ii, jj, kk) = (i as i64 + di, j as i64 + dj, k as i64 + dk);
                             if ii >= 0
                                 && jj >= 0
                                 && kk >= 0

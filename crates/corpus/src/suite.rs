@@ -65,11 +65,19 @@ pub fn table1_suite(scale: usize) -> Vec<NamedMatrix> {
 
     vec![
         mk("pdb1HYS", "block-banded", blockb(36_000 / s, 6, 120, 101)),
-        mk("Hamrle3", "circuit", tridiag_plus_random(1_447_000 / s, 1, 102)),
+        mk(
+            "Hamrle3",
+            "circuit",
+            tridiag_plus_random(1_447_000 / s, 1, 102),
+        ),
         mk("G3_circuit", "grid-2d", grid2(1_585_000 / s)),
         mk("shipsec1", "block-banded", blockb(141_000 / s, 6, 55, 103)),
         mk("pwtk", "block-banded", blockb(218_000 / s, 6, 53, 104)),
-        mk("kkt_power", "power-law", power_law(2_063_000 / s, 7, 0.8, 105)),
+        mk(
+            "kkt_power",
+            "power-law",
+            power_law(2_063_000 / s, 7, 0.8, 105),
+        ),
         mk(
             "Si41Ge41H72",
             "banded",
@@ -80,7 +88,11 @@ pub fn table1_suite(scale: usize) -> Vec<NamedMatrix> {
         mk("bundle_adj", "arrow", arrow(513_000 / s, 9, 30, 107)),
         mk("msdoor", "block-banded", blockb(416_000 / s, 6, 49, 108)),
         mk("Fault_639", "block-banded", blockb(639_000 / s, 6, 45, 109)),
-        mk("af_shell10", "block-banded", blockb(1_508_000 / s, 5, 35, 110)),
+        mk(
+            "af_shell10",
+            "block-banded",
+            blockb(1_508_000 / s, 5, 35, 110),
+        ),
         mk("Serena", "block-banded", blockb(1_391_000 / s, 6, 46, 111)),
         mk("bone010", "grid-27pt", grid27(987_000 / s)),
         mk("audikw_1", "block-banded", blockb(944_000 / s, 9, 82, 112)),
@@ -88,7 +100,11 @@ pub fn table1_suite(scale: usize) -> Vec<NamedMatrix> {
         // structural family (the analogue ends up slightly sparser per row).
         mk("channel-500x100x100-b050", "grid-3d", grid3(4_802_000 / s)),
         mk("nlpkkt120", "grid-27pt", grid27(3_542_000 / s)),
-        mk("delaunay_n24", "random", uniform_random(16_777_000 / s, 6, 114)),
+        mk(
+            "delaunay_n24",
+            "random",
+            uniform_random(16_777_000 / s, 6, 114),
+        ),
         mk("ML_Geer", "block-banded", blockb(1_504_000 / s, 6, 74, 115)),
     ]
 }
@@ -171,7 +187,13 @@ fn build_family(family: usize, target_bytes: usize, seed: u64, index: usize) -> 
             named(
                 format!("fem-{index}"),
                 "block-banded",
-                block_banded(n, block, (per_row / block).max(2), (per_row / block) * 3, seed),
+                block_banded(
+                    n,
+                    block,
+                    (per_row / block).max(2),
+                    (per_row / block) * 3,
+                    seed,
+                ),
             )
         }
         3 => {
@@ -237,7 +259,11 @@ mod tests {
         }
         // Nonzeros-per-row in the right ballpark for a dense FEM matrix.
         let s = MatrixStats::compute(&by_name["audikw_1"].matrix);
-        assert!(s.row_nnz_mean > 40.0, "audikw analog too sparse: {}", s.row_nnz_mean);
+        assert!(
+            s.row_nnz_mean > 40.0,
+            "audikw analog too sparse: {}",
+            s.row_nnz_mean
+        );
         // And sparse for the circuit matrix.
         let s = MatrixStats::compute(&by_name["Hamrle3"].matrix);
         assert!(s.row_nnz_mean < 5.0);
@@ -267,8 +293,7 @@ mod tests {
     #[test]
     fn corpus_cycles_families() {
         let c = corpus(14, 64, 7);
-        let families: std::collections::HashSet<&str> =
-            c.iter().map(|m| m.family).collect();
+        let families: std::collections::HashSet<&str> = c.iter().map(|m| m.family).collect();
         assert!(families.len() >= 7, "families: {families:?}");
     }
 

@@ -1,0 +1,136 @@
+//! Fingerprint-keyed memoization of [`LocalityProfile`]s.
+//!
+//! The expensive part of a prediction is the trace analysis; evaluating a
+//! profile at one more sector setting is nearly free. The cache therefore
+//! keys on everything [`LocalityProfile::compute`] depends on — the
+//! matrix's structural fingerprint, the method, the modeled thread count,
+//! and the two machine parameters baked into a profile (line size and
+//! domain width) — and deliberately **not** on the sector settings, so a
+//! 7-setting sweep of one matrix costs one computation and 6 hits.
+//!
+//! Concurrent requests for the same key block on a shared [`OnceLock`]:
+//! exactly one worker computes, the rest wait for the slot rather than
+//! duplicating the work, so the computation count equals the number of
+//! distinct keys regardless of scheduling.
+
+use locality_core::{LocalityProfile, Method};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Everything a memoized profile depends on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ProfileKey {
+    /// [`sparsemat::CsrMatrix::fingerprint`] of the matrix structure.
+    pub fingerprint: u64,
+    /// Model variant.
+    pub method: Method,
+    /// Modeled SpMV thread count.
+    pub threads: usize,
+    /// Cache line size the trace was folded to.
+    pub line_bytes: usize,
+    /// Cores per NUMA domain (thread-to-domain grouping).
+    pub cores_per_domain: usize,
+}
+
+/// A thread-safe profile memo with hit/computation counters.
+#[derive(Debug, Default)]
+pub struct ProfileCache {
+    slots: Mutex<HashMap<ProfileKey, Arc<OnceLock<Arc<LocalityProfile>>>>>,
+    hits: AtomicU64,
+    computations: AtomicU64,
+}
+
+impl ProfileCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the profile for `key`, computing it with `compute` exactly
+    /// once per key no matter how many threads ask concurrently.
+    pub fn get_or_compute(
+        &self,
+        key: ProfileKey,
+        compute: impl FnOnce() -> LocalityProfile,
+    ) -> Arc<LocalityProfile> {
+        let slot = {
+            let mut slots = self.slots.lock().expect("profile cache poisoned");
+            Arc::clone(slots.entry(key).or_default())
+        };
+        let mut computed = false;
+        let profile = slot.get_or_init(|| {
+            computed = true;
+            self.computations.fetch_add(1, Ordering::Relaxed);
+            Arc::new(compute())
+        });
+        if !computed {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        Arc::clone(profile)
+    }
+
+    /// Requests served from an already-(being-)computed slot.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Profiles actually computed (= distinct keys requested).
+    pub fn computations(&self) -> u64 {
+        self.computations.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a64fx::MachineConfig;
+    use sparsemat::CsrMatrix;
+
+    fn key(fp: u64, method: Method) -> ProfileKey {
+        ProfileKey {
+            fingerprint: fp,
+            method,
+            threads: 1,
+            line_bytes: 256,
+            cores_per_domain: 12,
+        }
+    }
+
+    fn profile() -> LocalityProfile {
+        LocalityProfile::compute(
+            &CsrMatrix::identity(64),
+            &MachineConfig::a64fx_scaled(64),
+            Method::B,
+            1,
+        )
+    }
+
+    #[test]
+    fn computes_once_per_key() {
+        let cache = ProfileCache::new();
+        for _ in 0..5 {
+            cache.get_or_compute(key(1, Method::A), profile);
+        }
+        cache.get_or_compute(key(1, Method::B), profile);
+        cache.get_or_compute(key(2, Method::A), profile);
+        assert_eq!(cache.computations(), 3);
+        assert_eq!(cache.hits(), 4);
+    }
+
+    #[test]
+    fn concurrent_requests_share_one_computation() {
+        let cache = ProfileCache::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for fp in 0..4 {
+                        cache.get_or_compute(key(fp, Method::A), profile);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.computations(), 4);
+        assert_eq!(cache.hits(), 8 * 4 - 4);
+    }
+}

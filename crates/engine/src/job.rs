@@ -1,0 +1,389 @@
+//! Batch specifications: what to predict, for which matrices, under which
+//! sweep — plus the line-based on-disk spec format of `spmv-locality batch`.
+
+use locality_core::{Method, SectorSetting};
+use std::fmt;
+use std::path::PathBuf;
+
+/// Where a job's matrix comes from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MatrixSource {
+    /// `count` synthetic corpus matrices (the §4.1 population) at
+    /// `1/scale` size from `seed`.
+    Corpus {
+        /// Number of matrices to generate.
+        count: usize,
+        /// Size divisor (matches the machine scale).
+        scale: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// The 18 Table 1 analogues at `1/scale` size.
+    Table1 {
+        /// Size divisor.
+        scale: usize,
+    },
+    /// A MatrixMarket file on disk.
+    MtxFile(PathBuf),
+}
+
+/// A full batch: the cross product of matrices × methods × settings.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchSpec {
+    /// Matrix sources, resolved in order.
+    pub sources: Vec<MatrixSource>,
+    /// Model variants to run per matrix.
+    pub methods: Vec<Method>,
+    /// Sector settings to evaluate per matrix and method.
+    pub settings: Vec<SectorSetting>,
+    /// Modeled SpMV thread count.
+    pub threads: usize,
+    /// Machine scale divisor (1 = full A64FX).
+    pub scale: usize,
+    /// Engine worker threads (0 = all host cores).
+    pub workers: usize,
+}
+
+impl Default for BatchSpec {
+    fn default() -> Self {
+        BatchSpec {
+            sources: Vec::new(),
+            methods: vec![Method::A, Method::B],
+            settings: SectorSetting::paper_sweep(),
+            threads: 1,
+            scale: 16,
+            workers: 0,
+        }
+    }
+}
+
+/// A malformed batch spec, with the offending line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpecError {
+    /// 1-based line number in the spec text.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spec line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn err(line: usize, message: impl Into<String>) -> SpecError {
+    SpecError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses `key=value` pairs, all keys optional.
+fn parse_kv<'a>(
+    line: usize,
+    parts: impl Iterator<Item = &'a str>,
+    allowed: &[&str],
+) -> Result<Vec<(&'a str, u64)>, SpecError> {
+    let mut out = Vec::new();
+    for part in parts {
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| err(line, format!("expected key=value, got '{part}'")))?;
+        if !allowed.contains(&key) {
+            return Err(err(
+                line,
+                format!("unknown key '{key}' (expected {})", allowed.join("/")),
+            ));
+        }
+        let value: u64 = value
+            .parse()
+            .map_err(|_| err(line, format!("'{value}' is not a number (for {key})")))?;
+        out.push((key, value));
+    }
+    Ok(out)
+}
+
+impl BatchSpec {
+    /// Parses the line-based spec format:
+    ///
+    /// ```text
+    /// # comment
+    /// corpus count=20 scale=16 seed=2023   # synthetic §4.1 corpus
+    /// table1 scale=16                      # the 18 Table 1 analogues
+    /// mtx path/to/matrix.mtx               # a MatrixMarket file
+    /// methods A,B                          # default: A,B
+    /// settings off,2..7                    # or "paper" or "off,3,5"
+    /// threads 1                            # modeled SpMV threads
+    /// scale 16                             # machine scale divisor
+    /// workers 0                            # engine threads (0 = all cores)
+    /// ```
+    ///
+    /// Directives may appear in any order; matrix sources accumulate,
+    /// scalar directives overwrite. At least one source is required.
+    pub fn parse(text: &str) -> Result<BatchSpec, SpecError> {
+        let mut spec = BatchSpec::default();
+        for (i, raw) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut words = line.split_whitespace();
+            let directive = words.next().expect("non-empty line");
+            match directive {
+                "corpus" => {
+                    let (mut count, mut scale, mut seed) = (20, spec.scale as u64, 2023);
+                    for (k, v) in parse_kv(line_no, &mut words, &["count", "scale", "seed"])? {
+                        match k {
+                            "count" => count = v as usize,
+                            "scale" => scale = v,
+                            _ => seed = v,
+                        }
+                    }
+                    if count == 0 {
+                        return Err(err(line_no, "corpus count must be at least 1"));
+                    }
+                    spec.sources.push(MatrixSource::Corpus {
+                        count,
+                        scale: scale as usize,
+                        seed,
+                    });
+                }
+                "table1" => {
+                    let mut scale = spec.scale as u64;
+                    for (_, v) in parse_kv(line_no, &mut words, &["scale"])? {
+                        scale = v;
+                    }
+                    spec.sources.push(MatrixSource::Table1 {
+                        scale: scale as usize,
+                    });
+                }
+                "mtx" => {
+                    // The path is the rest of the line (it may contain
+                    // spaces), so consume the word iterator wholesale.
+                    words.by_ref().for_each(drop);
+                    let path = line["mtx".len()..].trim();
+                    if path.is_empty() {
+                        return Err(err(line_no, "mtx needs a file path"));
+                    }
+                    spec.sources
+                        .push(MatrixSource::MtxFile(PathBuf::from(path)));
+                }
+                "methods" => {
+                    let arg = words
+                        .next()
+                        .ok_or_else(|| err(line_no, "methods needs A, B or A,B"))?;
+                    spec.methods = arg
+                        .split(',')
+                        .map(|m| match m.trim() {
+                            "A" | "a" => Ok(Method::A),
+                            "B" | "b" => Ok(Method::B),
+                            "both" => Err(err(line_no, "write 'methods A,B' instead of 'both'")),
+                            other => Err(err(line_no, format!("unknown method '{other}'"))),
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                }
+                "settings" => {
+                    let arg = words
+                        .next()
+                        .ok_or_else(|| err(line_no, "settings needs off,2..7 / paper / a list"))?;
+                    spec.settings = parse_settings(line_no, arg)?;
+                }
+                "threads" | "scale" | "workers" => {
+                    let arg = words
+                        .next()
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .ok_or_else(|| err(line_no, format!("{directive} needs a number")))?;
+                    match directive {
+                        "threads" => {
+                            if arg == 0 {
+                                return Err(err(line_no, "threads must be at least 1"));
+                            }
+                            spec.threads = arg as usize;
+                        }
+                        "scale" => {
+                            if arg == 0 {
+                                return Err(err(line_no, "scale must be at least 1"));
+                            }
+                            spec.scale = arg as usize;
+                        }
+                        _ => spec.workers = arg as usize,
+                    }
+                }
+                other => {
+                    return Err(err(
+                        line_no,
+                        format!(
+                            "unknown directive '{other}' (expected corpus/table1/mtx/methods/settings/threads/scale/workers)"
+                        ),
+                    ));
+                }
+            }
+            if let Some(extra) = words.next() {
+                return Err(err(line_no, format!("unexpected trailing '{extra}'")));
+            }
+        }
+        if spec.sources.is_empty() {
+            return Err(err(
+                0,
+                "spec names no matrices (add corpus/table1/mtx lines)",
+            ));
+        }
+        Ok(spec)
+    }
+
+    /// Total jobs this spec expands to per resolved matrix.
+    pub fn jobs_per_matrix(&self) -> usize {
+        self.methods.len() * self.settings.len()
+    }
+}
+
+/// Parses a settings list: `paper`, or comma-separated items where each
+/// item is `off`, a way count `w`, or a way range `lo..hi` (inclusive).
+fn parse_settings(line: usize, arg: &str) -> Result<Vec<SectorSetting>, SpecError> {
+    if arg == "paper" {
+        return Ok(SectorSetting::paper_sweep());
+    }
+    let mut out = Vec::new();
+    for item in arg.split(',') {
+        let item = item.trim();
+        if item.eq_ignore_ascii_case("off") {
+            out.push(SectorSetting::Off);
+        } else if let Some((lo, hi)) = item.split_once("..") {
+            let lo: usize = lo
+                .parse()
+                .map_err(|_| err(line, format!("bad range start '{lo}'")))?;
+            let hi: usize = hi
+                .parse()
+                .map_err(|_| err(line, format!("bad range end '{hi}'")))?;
+            if lo == 0 || hi < lo {
+                return Err(err(line, format!("bad way range '{item}'")));
+            }
+            out.extend((lo..=hi).map(SectorSetting::L2Ways));
+        } else {
+            let w: usize = item
+                .parse()
+                .map_err(|_| err(line, format!("bad setting '{item}'")))?;
+            if w == 0 {
+                return Err(err(line, "0 ways means off — write 'off'"));
+            }
+            out.push(SectorSetting::L2Ways(w));
+        }
+    }
+    if out.is_empty() {
+        return Err(err(line, "empty settings list"));
+    }
+    Ok(out)
+}
+
+/// One unit of work: one matrix, one method, one sector setting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Job {
+    /// Position in the batch (stable output order).
+    pub id: usize,
+    /// Index into the resolved matrix list.
+    pub matrix: usize,
+    /// Model variant.
+    pub method: Method,
+    /// Sector setting to evaluate.
+    pub setting: SectorSetting,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_spec() {
+        let spec = BatchSpec::parse(
+            "# demo\n\
+             corpus count=20 scale=32 seed=7\n\
+             table1 scale=32\n\
+             mtx data/a file.mtx\n\
+             methods A,B\n\
+             settings off,2..7\n\
+             threads 4\n\
+             scale 32   # trailing comment\n\
+             workers 8\n",
+        )
+        .unwrap();
+        assert_eq!(spec.sources.len(), 3);
+        assert_eq!(
+            spec.sources[0],
+            MatrixSource::Corpus {
+                count: 20,
+                scale: 32,
+                seed: 7
+            }
+        );
+        assert_eq!(spec.sources[1], MatrixSource::Table1 { scale: 32 });
+        assert_eq!(
+            spec.sources[2],
+            MatrixSource::MtxFile(PathBuf::from("data/a file.mtx"))
+        );
+        assert_eq!(spec.methods, vec![Method::A, Method::B]);
+        assert_eq!(spec.settings, SectorSetting::paper_sweep());
+        assert_eq!((spec.threads, spec.scale, spec.workers), (4, 32, 8));
+        assert_eq!(spec.jobs_per_matrix(), 14);
+    }
+
+    #[test]
+    fn settings_forms() {
+        let s = |arg: &str| parse_settings(1, arg).unwrap();
+        assert_eq!(s("paper"), SectorSetting::paper_sweep());
+        assert_eq!(s("off"), vec![SectorSetting::Off]);
+        assert_eq!(
+            s("off,3,5"),
+            vec![
+                SectorSetting::Off,
+                SectorSetting::L2Ways(3),
+                SectorSetting::L2Ways(5)
+            ]
+        );
+        assert_eq!(s("2..4").len(), 3);
+        assert!(parse_settings(1, "0").is_err());
+        assert!(parse_settings(1, "5..2").is_err());
+        assert!(parse_settings(1, "banana").is_err());
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let spec = BatchSpec::parse("corpus count=5\n").unwrap();
+        assert_eq!(spec.methods, vec![Method::A, Method::B]);
+        assert_eq!(spec.settings.len(), 7);
+        assert_eq!(spec.threads, 1);
+        // Source without explicit scale inherits the spec default.
+        assert_eq!(
+            spec.sources[0],
+            MatrixSource::Corpus {
+                count: 5,
+                scale: 16,
+                seed: 2023
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        assert!(BatchSpec::parse("").is_err(), "no sources");
+        assert!(BatchSpec::parse("corpus count=banana\n").is_err());
+        assert!(BatchSpec::parse("warp 9\n").is_err(), "unknown directive");
+        assert!(
+            BatchSpec::parse("corpus count=1 speed=3\n").is_err(),
+            "unknown key"
+        );
+        assert!(
+            BatchSpec::parse("mtx\ncorpus count=1\n").is_err(),
+            "mtx without path"
+        );
+        assert!(BatchSpec::parse("threads 0\ncorpus count=1\n").is_err());
+        assert!(BatchSpec::parse("methods C\ncorpus count=1\n").is_err());
+        assert!(
+            BatchSpec::parse("threads 1 2\ncorpus count=1\n").is_err(),
+            "trailing word"
+        );
+    }
+}

@@ -1,0 +1,355 @@
+//! Parallel batch prediction engine with fingerprint-keyed result caching.
+//!
+//! Sweeping the locality model over a corpus is embarrassingly parallel
+//! across matrices but wasteful if done naively: the paper's Table 2/3
+//! sweep evaluates 7 sector settings per matrix and method, and the
+//! expensive part — the trace analysis — is *identical* for all 7. This
+//! crate runs such batches on a work-stealing pool of plain `std`
+//! threads, memoizing each matrix's [`LocalityProfile`] under its
+//! structural fingerprint so a `matrices × methods × settings` batch
+//! computes only `matrices × methods` profiles.
+//!
+//! * [`job`] — [`BatchSpec`] (what to run) and its line-based spec format.
+//! * [`cache`] — the [`ProfileCache`], keyed by
+//!   [`CsrMatrix::fingerprint`](sparsemat::CsrMatrix::fingerprint) +
+//!   method + threads + machine geometry.
+//! * [`pool`] — the work-stealing worker pool ([`pool::run_indexed`]).
+//! * [`report`] — per-job [`Report`]s and the deterministic JSON-lines
+//!   output (no timestamps; identical bytes for any worker count).
+//!
+//! # Example
+//!
+//! ```
+//! use locality_engine::{run_batch, BatchSpec};
+//!
+//! let spec = BatchSpec::parse(
+//!     "corpus count=3 scale=64 seed=1\n\
+//!      settings paper\n\
+//!      scale 64\n",
+//! )
+//! .unwrap();
+//! let result = run_batch(&spec).unwrap();
+//! // 3 matrices x 2 methods x 7 settings:
+//! assert_eq!(result.reports.len(), 42);
+//! // ...but only 3 x 2 profile computations; the rest hit the cache.
+//! assert_eq!(result.stats.profile_computations, 6);
+//! assert_eq!(result.stats.profile_hits, 36);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod job;
+pub mod pool;
+pub mod report;
+
+pub use cache::{ProfileCache, ProfileKey};
+pub use job::{BatchSpec, Job, MatrixSource, SpecError};
+pub use report::{BatchResult, BatchStats, Report};
+
+use a64fx::MachineConfig;
+use locality_core::{LocalityProfile, Method, SectorSetting};
+use sparsemat::CsrMatrix;
+use std::fmt;
+
+/// A batch that could not run: bad spec or unreadable matrix file.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The spec text was malformed.
+    Spec(SpecError),
+    /// A `mtx` source failed to load.
+    Matrix {
+        /// The path that failed.
+        path: std::path::PathBuf,
+        /// Reader error text.
+        message: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Spec(e) => write!(f, "{e}"),
+            EngineError::Matrix { path, message } => {
+                write!(f, "cannot load '{}': {message}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<SpecError> for EngineError {
+    fn from(e: SpecError) -> Self {
+        EngineError::Spec(e)
+    }
+}
+
+/// A resolved matrix: the data plus everything the reports need.
+struct BatchMatrix {
+    name: String,
+    matrix: CsrMatrix,
+}
+
+/// Resolves the spec's sources, in order, into concrete matrices.
+fn resolve_sources(spec: &BatchSpec) -> Result<Vec<BatchMatrix>, EngineError> {
+    let mut out = Vec::new();
+    for source in &spec.sources {
+        match source {
+            MatrixSource::Corpus { count, scale, seed } => {
+                for nm in corpus::corpus(*count, *scale, *seed) {
+                    out.push(BatchMatrix {
+                        name: nm.name,
+                        matrix: nm.matrix,
+                    });
+                }
+            }
+            MatrixSource::Table1 { scale } => {
+                for nm in corpus::table1_suite(*scale) {
+                    out.push(BatchMatrix {
+                        name: nm.name,
+                        matrix: nm.matrix,
+                    });
+                }
+            }
+            MatrixSource::MtxFile(path) => {
+                let matrix =
+                    sparsemat::mm::read_csr_file(path).map_err(|e| EngineError::Matrix {
+                        path: path.clone(),
+                        message: e.to_string(),
+                    })?;
+                let name = path
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| path.display().to_string());
+                out.push(BatchMatrix { name, matrix });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Expands the spec into per-(matrix, method, setting) jobs, in the
+/// deterministic order: matrices outermost, then methods, then settings.
+fn expand_jobs(spec: &BatchSpec, num_matrices: usize) -> Vec<Job> {
+    let mut jobs = Vec::with_capacity(num_matrices * spec.jobs_per_matrix());
+    let mut id = 0;
+    for matrix in 0..num_matrices {
+        for &method in &spec.methods {
+            for &setting in &spec.settings {
+                jobs.push(Job {
+                    id,
+                    matrix,
+                    method,
+                    setting,
+                });
+                id += 1;
+            }
+        }
+    }
+    jobs
+}
+
+/// The machine the batch models.
+fn machine_for(spec: &BatchSpec) -> MachineConfig {
+    let cfg = if spec.scale <= 1 {
+        MachineConfig::a64fx()
+    } else {
+        MachineConfig::a64fx_scaled(spec.scale)
+    };
+    cfg.with_cores(spec.threads.max(1))
+}
+
+/// Runs a batch: resolves matrices from the spec's sources, then fans the
+/// jobs out via [`run_on`].
+pub fn run_batch(spec: &BatchSpec) -> Result<BatchResult, EngineError> {
+    let matrices = resolve_sources(spec)?;
+    let refs: Vec<(&str, &CsrMatrix)> = matrices
+        .iter()
+        .map(|m| (m.name.as_str(), &m.matrix))
+        .collect();
+    Ok(run_on(spec, &refs))
+}
+
+/// Runs the spec's methods × settings sweep over an explicit matrix list
+/// (the spec's own `sources` are ignored). This is the entry point for
+/// experiment drivers that build or filter their matrix population
+/// themselves — e.g. the Table 2/3 accuracy tables, which keep only
+/// matrices above the L2-capacity threshold.
+///
+/// Jobs run on the work-stealing pool; each (matrix, method) profile is
+/// computed once and shared by every setting via the fingerprint-keyed
+/// cache. Reports come back sorted by job id — matrix outermost, then
+/// method, then setting, matching the spec's orders — and carry no
+/// timing, so the output is byte-identical for any worker count.
+pub fn run_on(spec: &BatchSpec, matrices: &[(&str, &CsrMatrix)]) -> BatchResult {
+    let fingerprints: Vec<u64> = matrices.iter().map(|(_, m)| m.fingerprint()).collect();
+    let jobs = expand_jobs(spec, matrices.len());
+    let cfg = machine_for(spec);
+    let cache = ProfileCache::new();
+
+    let reports = pool::run_indexed(spec.workers, &jobs, |_, job| {
+        let (name, matrix) = matrices[job.matrix];
+        let fingerprint = fingerprints[job.matrix];
+        let key = ProfileKey {
+            fingerprint,
+            method: job.method,
+            threads: spec.threads,
+            line_bytes: cfg.l2.line_bytes,
+            cores_per_domain: cfg.cores_per_domain,
+        };
+        let profile = cache.get_or_compute(key, || {
+            LocalityProfile::compute(matrix, &cfg, job.method, spec.threads)
+        });
+        let prediction = profile.evaluate(&cfg, &[job.setting])[0];
+        report::report_for(
+            job,
+            name,
+            fingerprint,
+            (matrix.num_rows(), matrix.num_cols(), matrix.nnz()),
+            spec.threads,
+            prediction,
+        )
+    });
+
+    BatchResult {
+        stats: BatchStats {
+            matrices: matrices.len(),
+            jobs: jobs.len(),
+            profile_computations: cache.computations(),
+            profile_hits: cache.hits(),
+        },
+        reports,
+    }
+}
+
+/// Convenience: predictions for one matrix across a sweep, through the
+/// same cache type the batch path uses. Exists so experiment drivers can
+/// share a long-lived [`ProfileCache`] across calls.
+pub fn predict_cached(
+    cache: &ProfileCache,
+    matrix: &CsrMatrix,
+    cfg: &MachineConfig,
+    method: Method,
+    settings: &[SectorSetting],
+    threads: usize,
+) -> Vec<locality_core::Prediction> {
+    let key = ProfileKey {
+        fingerprint: matrix.fingerprint(),
+        method,
+        threads,
+        line_bytes: cfg.l2.line_bytes,
+        cores_per_domain: cfg.cores_per_domain,
+    };
+    let profile = cache.get_or_compute(key, || {
+        LocalityProfile::compute(matrix, cfg, method, threads)
+    });
+    profile.evaluate(cfg, settings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locality_core::predict::predict;
+
+    fn small_spec() -> BatchSpec {
+        BatchSpec::parse(
+            "corpus count=4 scale=64 seed=11\n\
+             settings paper\n\
+             threads 1\n\
+             scale 64\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn batch_matches_direct_predictions() {
+        let spec = small_spec();
+        let result = run_batch(&spec).unwrap();
+        let cfg = machine_for(&spec);
+        let suite = corpus::corpus(4, 64, 11);
+        assert_eq!(result.reports.len(), 4 * 2 * 7);
+        for report in &result.reports {
+            let nm = &suite[report.id / spec.jobs_per_matrix()];
+            assert_eq!(report.matrix, nm.name);
+            let direct = predict(&nm.matrix, &cfg, report.method, &[report.setting], 1);
+            assert_eq!(report.prediction, direct[0], "job {}", report.id);
+        }
+    }
+
+    #[test]
+    fn identical_output_for_any_worker_count() {
+        let mut spec = small_spec();
+        spec.workers = 1;
+        let reference = run_batch(&spec).unwrap();
+        for workers in [2, 8] {
+            spec.workers = workers;
+            let result = run_batch(&spec).unwrap();
+            assert_eq!(result, reference, "{workers} workers");
+            assert_eq!(
+                result.to_json_lines(),
+                reference.to_json_lines(),
+                "{workers} workers (bytes)"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_settings_share_profiles() {
+        let result = run_batch(&small_spec()).unwrap();
+        // 4 matrices x 2 methods x 7 settings = 56 jobs, but only
+        // 4 x 2 = 8 profile computations: the sweep dimension is free.
+        assert_eq!(result.stats.jobs, 56);
+        assert_eq!(result.stats.profile_computations, 8);
+        assert_eq!(result.stats.profile_hits, 48);
+        assert!(
+            result.stats.profile_computations < result.stats.jobs as u64,
+            "cache must beat matrices x settings"
+        );
+    }
+
+    #[test]
+    fn duplicate_matrices_share_profiles_across_sources() {
+        // The same corpus twice: fingerprints collide, profiles are shared.
+        let spec = BatchSpec::parse(
+            "corpus count=2 scale=64 seed=3\n\
+             corpus count=2 scale=64 seed=3\n\
+             settings off\n\
+             methods A\n\
+             scale 64\n",
+        )
+        .unwrap();
+        let result = run_batch(&spec).unwrap();
+        assert_eq!(result.stats.matrices, 4);
+        assert_eq!(result.stats.profile_computations, 2);
+    }
+
+    #[test]
+    fn mtx_sources_load() {
+        let dir = std::env::temp_dir().join("locality-engine-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("diag4.mtx");
+        let m = CsrMatrix::identity(4);
+        let mut file = std::fs::File::create(&path).unwrap();
+        sparsemat::mm::write_csr(&mut file, &m).unwrap();
+        drop(file);
+
+        let spec = BatchSpec::parse(&format!(
+            "mtx {}\nsettings off\nmethods B\nscale 64\n",
+            path.display()
+        ))
+        .unwrap();
+        let result = run_batch(&spec).unwrap();
+        assert_eq!(result.reports.len(), 1);
+        assert_eq!(result.reports[0].matrix, "diag4");
+        assert_eq!(result.reports[0].fingerprint, m.fingerprint());
+        assert_eq!(result.reports[0].nnz, 4);
+
+        let missing = BatchSpec::parse("mtx /no/such/file.mtx\n").unwrap();
+        assert!(matches!(
+            run_batch(&missing),
+            Err(EngineError::Matrix { .. })
+        ));
+    }
+}

@@ -1,0 +1,221 @@
+//! Batch results and their JSON-lines serialization.
+//!
+//! No serde in the offline build environment, so the (flat, fixed-schema)
+//! records are written by hand. Field order is fixed and no timestamps or
+//! durations are recorded, keeping the output byte-identical across runs
+//! and worker counts.
+
+use crate::job::Job;
+use locality_core::{Method, Prediction, SectorSetting};
+use memtrace::Array;
+use std::fmt::Write as _;
+
+/// The outcome of one [`Job`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Report {
+    /// Batch position (output order).
+    pub id: usize,
+    /// Matrix display name.
+    pub matrix: String,
+    /// Structural fingerprint of the matrix.
+    pub fingerprint: u64,
+    /// Matrix shape.
+    pub rows: usize,
+    /// Matrix shape.
+    pub cols: usize,
+    /// Nonzero count.
+    pub nnz: usize,
+    /// Model variant used.
+    pub method: Method,
+    /// Sector setting evaluated.
+    pub setting: SectorSetting,
+    /// Modeled SpMV thread count.
+    pub threads: usize,
+    /// The prediction itself.
+    pub prediction: Prediction,
+}
+
+/// Whole-batch accounting, emitted as the final JSON line.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Matrices resolved from the spec's sources.
+    pub matrices: usize,
+    /// Jobs run (matrices × methods × settings).
+    pub jobs: usize,
+    /// Profiles actually computed (distinct cache keys).
+    pub profile_computations: u64,
+    /// Jobs served from the profile cache.
+    pub profile_hits: u64,
+}
+
+/// A finished batch: per-job reports in job order, plus cache accounting.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchResult {
+    /// One report per job, sorted by job id.
+    pub reports: Vec<Report>,
+    /// Cache and size accounting.
+    pub stats: BatchStats,
+}
+
+fn json_escape(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn setting_json(setting: SectorSetting) -> String {
+    match setting {
+        SectorSetting::Off => "\"off\"".to_string(),
+        SectorSetting::L2Ways(w) => w.to_string(),
+    }
+}
+
+impl Report {
+    /// One JSON object on one line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(256);
+        let _ = write!(out, "{{\"job\":{},\"matrix\":\"", self.id);
+        json_escape(&mut out, &self.matrix);
+        let _ = write!(
+            out,
+            "\",\"fingerprint\":\"{:016x}\",\"rows\":{},\"cols\":{},\"nnz\":{},\
+             \"method\":\"{:?}\",\"setting\":{},\"threads\":{},\"l2_misses\":{}",
+            self.fingerprint,
+            self.rows,
+            self.cols,
+            self.nnz,
+            self.method,
+            setting_json(self.setting),
+            self.threads,
+            self.prediction.l2_misses,
+        );
+        out.push_str(",\"by_array\":{");
+        for (i, (array, label)) in Array::ALL
+            .iter()
+            .zip(["x", "y", "a", "colidx", "rowptr"])
+            .enumerate()
+        {
+            let _ = write!(
+                out,
+                "{}\"{label}\":{}",
+                if i == 0 { "" } else { "," },
+                self.prediction.misses_of(*array)
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+impl BatchStats {
+    /// The final summary line of a batch's JSON-lines output.
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"summary\":{{\"matrices\":{},\"jobs\":{},\"profile_computations\":{},\
+             \"profile_hits\":{}}}}}",
+            self.matrices, self.jobs, self.profile_computations, self.profile_hits
+        )
+    }
+}
+
+impl BatchResult {
+    /// The full JSON-lines document: one line per job, then the summary.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for r in &self.reports {
+            out.push_str(&r.to_json_line());
+            out.push('\n');
+        }
+        out.push_str(&self.stats.to_json_line());
+        out.push('\n');
+        out
+    }
+}
+
+/// Builds a report from a finished job (helper for the engine).
+pub(crate) fn report_for(
+    job: &Job,
+    name: &str,
+    fingerprint: u64,
+    shape: (usize, usize, usize),
+    threads: usize,
+    prediction: Prediction,
+) -> Report {
+    Report {
+        id: job.id,
+        matrix: name.to_string(),
+        fingerprint,
+        rows: shape.0,
+        cols: shape.1,
+        nnz: shape.2,
+        method: job.method,
+        setting: job.setting,
+        threads,
+        prediction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            id: 3,
+            matrix: "band \"w\"=2".to_string(),
+            fingerprint: 0xDEAD_BEEF,
+            rows: 10,
+            cols: 11,
+            nnz: 12,
+            method: Method::A,
+            setting: SectorSetting::L2Ways(5),
+            threads: 4,
+            prediction: Prediction {
+                setting: SectorSetting::L2Ways(5),
+                l2_misses: 15,
+                by_array: [1, 2, 3, 4, 5],
+            },
+        }
+    }
+
+    #[test]
+    fn report_json_schema() {
+        let line = sample().to_json_line();
+        assert_eq!(
+            line,
+            "{\"job\":3,\"matrix\":\"band \\\"w\\\"=2\",\
+             \"fingerprint\":\"00000000deadbeef\",\"rows\":10,\"cols\":11,\"nnz\":12,\
+             \"method\":\"A\",\"setting\":5,\"threads\":4,\"l2_misses\":15,\
+             \"by_array\":{\"x\":1,\"y\":2,\"a\":3,\"colidx\":4,\"rowptr\":5}}"
+        );
+    }
+
+    #[test]
+    fn off_setting_is_a_string() {
+        let mut r = sample();
+        r.setting = SectorSetting::Off;
+        assert!(r.to_json_line().contains("\"setting\":\"off\""));
+    }
+
+    #[test]
+    fn summary_line() {
+        let stats = BatchStats {
+            matrices: 20,
+            jobs: 140,
+            profile_computations: 20,
+            profile_hits: 120,
+        };
+        assert_eq!(
+            stats.to_json_line(),
+            "{\"summary\":{\"matrices\":20,\"jobs\":140,\
+             \"profile_computations\":20,\"profile_hits\":120}}"
+        );
+    }
+}

@@ -89,13 +89,23 @@ impl DataLayout {
             lines[i] = n_lines;
             next += n_lines;
         }
-        DataLayout { line_bytes, base, lines, elements: counts }
+        DataLayout {
+            line_bytes,
+            base,
+            lines,
+            elements: counts,
+        }
     }
 
     /// Builds the layout for `matrix` (A64FX default when `line_bytes` is
     /// [`A64FX_LINE_BYTES`]).
     pub fn new(matrix: &CsrMatrix, line_bytes: usize) -> Self {
-        Self::from_dims(matrix.num_rows(), matrix.num_cols(), matrix.nnz(), line_bytes)
+        Self::from_dims(
+            matrix.num_rows(),
+            matrix.num_cols(),
+            matrix.nnz(),
+            line_bytes,
+        )
     }
 
     /// Builds a layout with explicit per-array element counts, in
@@ -121,7 +131,12 @@ impl DataLayout {
             lines[i] = n_lines;
             next += n_lines;
         }
-        DataLayout { line_bytes, base, lines, elements: counts }
+        DataLayout {
+            line_bytes,
+            base,
+            lines,
+            elements: counts,
+        }
     }
 
     /// The cache-line size this layout was built for.
@@ -246,7 +261,10 @@ mod tests {
         assert_eq!(l.elements_per_line(Array::X), 32);
         assert_eq!(l.elements_per_line(Array::ColIdx), 64);
         assert_eq!(l.array_lines(Array::X), 32); // ceil(8000/256) = 32 (exact: 31.25 -> 32)
-        assert_eq!(l.array_lines(Array::ColIdx), (5000 * 4usize).div_ceil(256) as u64);
+        assert_eq!(
+            l.array_lines(Array::ColIdx),
+            (5000 * 4usize).div_ceil(256) as u64
+        );
     }
 
     #[test]

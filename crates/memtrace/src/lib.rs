@@ -55,19 +55,34 @@ impl Access {
     /// Convenience constructor for a load.
     #[inline]
     pub fn load(line: u64, array: Array) -> Self {
-        Access { line, array, write: false, sw_prefetch: false }
+        Access {
+            line,
+            array,
+            write: false,
+            sw_prefetch: false,
+        }
     }
 
     /// Convenience constructor for a store.
     #[inline]
     pub fn store(line: u64, array: Array) -> Self {
-        Access { line, array, write: true, sw_prefetch: false }
+        Access {
+            line,
+            array,
+            write: true,
+            sw_prefetch: false,
+        }
     }
 
     /// Convenience constructor for a software-prefetch hint.
     #[inline]
     pub fn prefetch(line: u64, array: Array) -> Self {
-        Access { line, array, write: false, sw_prefetch: true }
+        Access {
+            line,
+            array,
+            write: false,
+            sw_prefetch: true,
+        }
     }
 }
 

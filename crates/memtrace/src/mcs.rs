@@ -48,7 +48,10 @@ impl McsLock {
                 in_use: AtomicBool::new(false),
             })
             .collect();
-        McsLock { tail: AtomicUsize::new(NIL), nodes }
+        McsLock {
+            tail: AtomicUsize::new(NIL),
+            nodes,
+        }
     }
 
     /// Number of slots.
@@ -188,7 +191,11 @@ mod tests {
             });
             // Give B time to enqueue behind us.
             std::thread::sleep(std::time::Duration::from_millis(20));
-            assert_eq!(order.load(Ordering::SeqCst), 0, "B acquired while A held the lock");
+            assert_eq!(
+                order.load(Ordering::SeqCst),
+                0,
+                "B acquired while A held the lock"
+            );
             drop(g);
             h.join().unwrap();
             assert_eq!(order.load(Ordering::SeqCst), 1);

@@ -50,12 +50,18 @@ pub fn trace_sell_chunks<S: TraceSink>(
     chunks: std::ops::Range<usize>,
     sink: &mut S,
 ) {
-    assert!(chunks.end <= matrix.num_chunks(), "chunk range out of bounds");
+    assert!(
+        chunks.end <= matrix.num_chunks(),
+        "chunk range out of bounds"
+    );
     let c = matrix.chunk_size();
     let colidx = matrix.colidx();
     for k in chunks {
         // Chunk metadata (width + offset) plays the rowptr role.
-        sink.access(Access::load(layout.line_of(Array::RowPtr, k), Array::RowPtr));
+        sink.access(Access::load(
+            layout.line_of(Array::RowPtr, k),
+            Array::RowPtr,
+        ));
         let base = matrix.chunk_ptr()[k];
         let width = matrix.chunk_width()[k] as usize;
         let row_base = k * c;
@@ -64,7 +70,10 @@ pub fn trace_sell_chunks<S: TraceSink>(
             for lane in 0..c {
                 let idx = base + j * c + lane;
                 sink.access(Access::load(layout.line_of(Array::A, idx), Array::A));
-                sink.access(Access::load(layout.line_of(Array::ColIdx, idx), Array::ColIdx));
+                sink.access(Access::load(
+                    layout.line_of(Array::ColIdx, idx),
+                    Array::ColIdx,
+                ));
                 sink.access(Access::load(
                     layout.line_of(Array::X, colidx[idx] as usize),
                     Array::X,
@@ -73,7 +82,10 @@ pub fn trace_sell_chunks<S: TraceSink>(
         }
         for lane in 0..rows_in_chunk {
             let original_row = matrix.row_perm()[row_base + lane];
-            sink.access(Access::store(layout.line_of(Array::Y, original_row), Array::Y));
+            sink.access(Access::store(
+                layout.line_of(Array::Y, original_row),
+                Array::Y,
+            ));
         }
     }
 }
@@ -108,7 +120,10 @@ mod tests {
         assert_eq!(sink.counts[Array::ColIdx as usize], padded);
         assert_eq!(sink.counts[Array::X as usize], padded);
         assert_eq!(sink.counts[Array::Y as usize], 10);
-        assert_eq!(sink.counts[Array::RowPtr as usize], sell.num_chunks() as u64);
+        assert_eq!(
+            sink.counts[Array::RowPtr as usize],
+            sell.num_chunks() as u64
+        );
         assert_eq!(sink.writes, 10);
     }
 

@@ -36,7 +36,9 @@ impl VecSink {
 
     /// Creates an empty sink with reserved capacity.
     pub fn with_capacity(n: usize) -> Self {
-        VecSink { trace: Vec::with_capacity(n) }
+        VecSink {
+            trace: Vec::with_capacity(n),
+        }
     }
 }
 
@@ -133,7 +135,10 @@ mod tests {
         let mut a = VecSink::new();
         let mut b = CountSink::new();
         {
-            let mut tee = TeeSink { first: &mut a, second: &mut b };
+            let mut tee = TeeSink {
+                first: &mut a,
+                second: &mut b,
+            };
             tee.access(Access::load(9, Array::A));
             tee.access_all(&[Access::load(10, Array::A), Access::load(11, Array::ColIdx)]);
         }

@@ -42,13 +42,22 @@ pub fn trace_spmv_rows<S: TraceSink>(
     }
     let colidx = matrix.colidx();
     // Loop entry: rowptr[r0].
-    sink.access(Access::load(layout.line_of(Array::RowPtr, rows.start), Array::RowPtr));
+    sink.access(Access::load(
+        layout.line_of(Array::RowPtr, rows.start),
+        Array::RowPtr,
+    ));
     for r in rows {
         // Loop bound for row r.
-        sink.access(Access::load(layout.line_of(Array::RowPtr, r + 1), Array::RowPtr));
+        sink.access(Access::load(
+            layout.line_of(Array::RowPtr, r + 1),
+            Array::RowPtr,
+        ));
         for i in matrix.row_range(r) {
             sink.access(Access::load(layout.line_of(Array::A, i), Array::A));
-            sink.access(Access::load(layout.line_of(Array::ColIdx, i), Array::ColIdx));
+            sink.access(Access::load(
+                layout.line_of(Array::ColIdx, i),
+                Array::ColIdx,
+            ));
             let c = colidx[i] as usize;
             sink.access(Access::load(layout.line_of(Array::X, c), Array::X));
         }
@@ -87,12 +96,21 @@ pub fn trace_spmv_rows_swpf<S: TraceSink>(
     }
     let colidx = matrix.colidx();
     let block_end = matrix.rowptr()[rows.end] as usize;
-    sink.access(Access::load(layout.line_of(Array::RowPtr, rows.start), Array::RowPtr));
+    sink.access(Access::load(
+        layout.line_of(Array::RowPtr, rows.start),
+        Array::RowPtr,
+    ));
     for r in rows {
-        sink.access(Access::load(layout.line_of(Array::RowPtr, r + 1), Array::RowPtr));
+        sink.access(Access::load(
+            layout.line_of(Array::RowPtr, r + 1),
+            Array::RowPtr,
+        ));
         for i in matrix.row_range(r) {
             sink.access(Access::load(layout.line_of(Array::A, i), Array::A));
-            sink.access(Access::load(layout.line_of(Array::ColIdx, i), Array::ColIdx));
+            sink.access(Access::load(
+                layout.line_of(Array::ColIdx, i),
+                Array::ColIdx,
+            ));
             let c = colidx[i] as usize;
             sink.access(Access::load(layout.line_of(Array::X, c), Array::X));
             let ahead = i + distance;
@@ -250,8 +268,12 @@ mod tests {
         assert_eq!(hints.len(), m.nnz() - 2);
         assert!(hints.iter().all(|a| a.array == Array::X && !a.write));
         // Stripping the hints recovers the plain trace.
-        let stripped: Vec<Access> =
-            swpf.trace.iter().copied().filter(|a| !a.sw_prefetch).collect();
+        let stripped: Vec<Access> = swpf
+            .trace
+            .iter()
+            .copied()
+            .filter(|a| !a.sw_prefetch)
+            .collect();
         assert_eq!(stripped, plain.trace);
         // The first hint targets the x line of the nonzero 2 ahead:
         // colidx[2] = 0 -> x line 0.

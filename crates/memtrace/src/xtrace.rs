@@ -76,8 +76,7 @@ pub fn trace_x_elements_partitioned(
     partition
         .iter()
         .map(|rows| {
-            let nnz =
-                (matrix.rowptr()[rows.end] - matrix.rowptr()[rows.start]) as usize;
+            let nnz = (matrix.rowptr()[rows.end] - matrix.rowptr()[rows.start]) as usize;
             let mut sink = Vec::with_capacity(nnz);
             trace_x_elements_rows(matrix, rows, &mut sink);
             sink
@@ -94,8 +93,7 @@ pub fn trace_x_partitioned(
     partition
         .iter()
         .map(|rows| {
-            let nnz =
-                (matrix.rowptr()[rows.end] - matrix.rowptr()[rows.start]) as usize;
+            let nnz = (matrix.rowptr()[rows.end] - matrix.rowptr()[rows.start]) as usize;
             let mut sink = Vec::with_capacity(nnz);
             trace_x_rows(matrix, layout, rows, &mut sink);
             sink

@@ -136,13 +136,19 @@ mod tests {
         let mut state = 7u64;
         let trace: Vec<u64> = (0..1500)
             .map(|_| {
-                state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                state = state
+                    .wrapping_mul(2862933555777941757)
+                    .wrapping_add(3037000493);
                 (state >> 40) % 48
             })
             .collect();
         let h = ExactStack::histogram_of(trace.iter().copied());
         for cap in [1, 2, 4, 8, 16, 32, 48, 64] {
-            assert_eq!(h.misses(cap), naive::lru_misses(&trace, cap), "capacity {cap}");
+            assert_eq!(
+                h.misses(cap),
+                naive::lru_misses(&trace, cap),
+                "capacity {cap}"
+            );
         }
     }
 

@@ -14,7 +14,9 @@ pub struct Fenwick {
 impl Fenwick {
     /// Creates a zeroed tree with `len` slots (indices `0..len`).
     pub fn new(len: usize) -> Self {
-        Fenwick { tree: vec![0; len + 1] }
+        Fenwick {
+            tree: vec![0; len + 1],
+        }
     }
 
     /// Number of slots.
@@ -57,7 +59,11 @@ impl Fenwick {
             return 0;
         }
         let hi = self.prefix_sum(range.end - 1);
-        let lo = if range.start == 0 { 0 } else { self.prefix_sum(range.start - 1) };
+        let lo = if range.start == 0 {
+            0
+        } else {
+            self.prefix_sum(range.start - 1)
+        };
         hi.wrapping_sub(lo)
     }
 

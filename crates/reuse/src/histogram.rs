@@ -73,7 +73,11 @@ impl ReuseHistogram {
         if count == 0 {
             return None;
         }
-        let sum: u128 = self.finite.iter().map(|(&d, &c)| d as u128 * c as u128).sum();
+        let sum: u128 = self
+            .finite
+            .iter()
+            .map(|(&d, &c)| d as u128 * c as u128)
+            .sum();
         Some(sum as f64 / count as f64)
     }
 }

@@ -232,7 +232,12 @@ impl MarkerStack {
             n.group = 0;
             slot
         } else {
-            self.nodes.push(Node { prev: NIL, next: NIL, line, group: 0 });
+            self.nodes.push(Node {
+                prev: NIL,
+                next: NIL,
+                line,
+                group: 0,
+            });
             (self.nodes.len() - 1) as u32
         }
     }
@@ -323,7 +328,9 @@ mod tests {
         let mut state = seed | 1;
         (0..len)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (state >> 33) % universe
             })
             .collect()

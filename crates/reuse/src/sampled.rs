@@ -47,9 +47,16 @@ impl SampledStack {
     ///
     /// Panics if `sample_shift >= 32` (rate too low to be useful).
     pub fn new(sample_shift: u32) -> Self {
-        assert!(sample_shift < 32, "sampling rate 2^-{sample_shift} is too low");
+        assert!(
+            sample_shift < 32,
+            "sampling rate 2^-{sample_shift} is too low"
+        );
         SampledStack {
-            threshold: if sample_shift == 0 { u64::MAX } else { u64::MAX >> sample_shift },
+            threshold: if sample_shift == 0 {
+                u64::MAX
+            } else {
+                u64::MAX >> sample_shift
+            },
             rate_inv: 1u64 << sample_shift,
             inner: crate::exact::ExactStack::new(),
             sampled_lines: HashMap::new(),

@@ -77,8 +77,16 @@ impl CooMatrix {
     ///
     /// Panics if `row` or `col` is out of bounds.
     pub fn push(&mut self, row: usize, col: usize, value: f64) {
-        assert!(row < self.num_rows, "row {row} out of bounds ({})", self.num_rows);
-        assert!(col < self.num_cols, "col {col} out of bounds ({})", self.num_cols);
+        assert!(
+            row < self.num_rows,
+            "row {row} out of bounds ({})",
+            self.num_rows
+        );
+        assert!(
+            col < self.num_cols,
+            "col {col} out of bounds ({})",
+            self.num_cols
+        );
         self.rows.push(row);
         self.cols.push(col as u32);
         self.values.push(value);

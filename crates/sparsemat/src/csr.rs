@@ -42,8 +42,16 @@ impl CsrMatrix {
         colidx: Vec<u32>,
         values: Vec<f64>,
     ) -> Self {
-        assert_eq!(rowptr.len(), num_rows + 1, "rowptr length must be num_rows + 1");
-        assert_eq!(colidx.len(), values.len(), "colidx and values must have equal length");
+        assert_eq!(
+            rowptr.len(),
+            num_rows + 1,
+            "rowptr length must be num_rows + 1"
+        );
+        assert_eq!(
+            colidx.len(),
+            values.len(),
+            "colidx and values must have equal length"
+        );
         assert_eq!(rowptr[0], 0, "rowptr must start at 0");
         assert_eq!(
             rowptr[num_rows] as usize,
@@ -51,14 +59,20 @@ impl CsrMatrix {
             "rowptr must end at nnz"
         );
         for r in 0..num_rows {
-            assert!(rowptr[r] <= rowptr[r + 1], "rowptr must be non-decreasing at row {r}");
+            assert!(
+                rowptr[r] <= rowptr[r + 1],
+                "rowptr must be non-decreasing at row {r}"
+            );
         }
         assert!(
             u32::try_from(num_cols).is_ok(),
             "number of columns {num_cols} exceeds u32 range"
         );
         for &c in &colidx {
-            assert!((c as usize) < num_cols, "column index {c} out of bounds ({num_cols})");
+            assert!(
+                (c as usize) < num_cols,
+                "column index {c} out of bounds ({num_cols})"
+            );
         }
         CsrMatrix {
             num_rows,
@@ -195,12 +209,18 @@ impl CsrMatrix {
     /// Panics if the matrix is not square or `perm` is not a permutation of
     /// `0..num_rows`.
     pub fn permute_symmetric(&self, perm: &[usize]) -> CsrMatrix {
-        assert_eq!(self.num_rows, self.num_cols, "symmetric permutation needs a square matrix");
+        assert_eq!(
+            self.num_rows, self.num_cols,
+            "symmetric permutation needs a square matrix"
+        );
         assert_eq!(perm.len(), self.num_rows, "permutation length mismatch");
         let mut inv = vec![usize::MAX; perm.len()];
         for (new, &old) in perm.iter().enumerate() {
             assert!(old < perm.len(), "permutation entry out of range");
-            assert!(inv[old] == usize::MAX, "permutation has duplicate entry {old}");
+            assert!(
+                inv[old] == usize::MAX,
+                "permutation has duplicate entry {old}"
+            );
             inv[old] = new;
         }
 
@@ -234,6 +254,37 @@ impl CsrMatrix {
     /// (`num_cols` elements) and `y` (`num_rows` elements) vectors.
     pub fn working_set_bytes(&self) -> usize {
         self.matrix_bytes() + (self.num_rows + self.num_cols) * VECTOR_BYTES
+    }
+
+    /// A stable 64-bit fingerprint of the *sparsity structure*: dimensions,
+    /// `rowptr`, and `colidx`. Numerical values are deliberately excluded —
+    /// the locality model depends only on the access pattern, so two
+    /// matrices with equal structure but different values share reuse
+    /// profiles (and may share a memoized prediction).
+    ///
+    /// The hash is FNV-1a over a fixed little-endian serialization, so it
+    /// is identical across runs, platforms, and processes — safe to use as
+    /// a persistent cache key.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        #[inline]
+        fn mix(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h ^= b as u64;
+                *h = h.wrapping_mul(PRIME);
+            }
+        }
+        let mut h = OFFSET;
+        mix(&mut h, &(self.num_rows as u64).to_le_bytes());
+        mix(&mut h, &(self.num_cols as u64).to_le_bytes());
+        for &p in &self.rowptr {
+            mix(&mut h, &p.to_le_bytes());
+        }
+        for &c in &self.colidx {
+            mix(&mut h, &c.to_le_bytes());
+        }
+        h
     }
 }
 
@@ -344,5 +395,51 @@ mod tests {
     #[should_panic(expected = "non-decreasing")]
     fn decreasing_rowptr_rejected() {
         CsrMatrix::from_parts(3, 2, vec![0, 2, 1, 2], vec![0, 1], vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_structural() {
+        let a = example();
+        // Equal structure, equal fingerprint — deterministic across calls.
+        assert_eq!(a.fingerprint(), example().fingerprint());
+        // Values do not participate: the model only sees the pattern.
+        let mut b = example();
+        for v in b.values_mut() {
+            *v *= -3.5;
+        }
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_patterns() {
+        let a = example();
+        // Moving one nonzero to a different column changes the print.
+        let shifted = CsrMatrix::from_parts(
+            4,
+            4,
+            vec![0, 2, 3, 5, 7],
+            vec![1, 3, 0, 2, 3, 1, 3],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0],
+        );
+        assert_ne!(a.fingerprint(), shifted.fingerprint());
+        // Same arrays, different dimensions (extra empty column).
+        let wider = CsrMatrix::from_parts(
+            4,
+            5,
+            vec![0, 2, 3, 5, 7],
+            vec![1, 2, 0, 2, 3, 1, 3],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0],
+        );
+        assert_ne!(a.fingerprint(), wider.fingerprint());
+        // Same flat nonzero sequence, different row boundaries.
+        let rebalanced = CsrMatrix::from_parts(
+            4,
+            4,
+            vec![0, 1, 3, 5, 7],
+            vec![1, 2, 0, 2, 3, 1, 3],
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0],
+        );
+        assert_ne!(a.fingerprint(), rebalanced.fingerprint());
+        assert_ne!(a.fingerprint(), CsrMatrix::identity(4).fingerprint());
     }
 }

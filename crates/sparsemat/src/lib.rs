@@ -56,8 +56,8 @@ pub mod stats;
 
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
-pub use sell::SellMatrix;
 pub use partition::RowPartition;
+pub use sell::SellMatrix;
 pub use stats::MatrixStats;
 
 /// Size in bytes of a nonzero matrix value (`f64`), as in the paper.

@@ -236,7 +236,10 @@ mod tests {
         spmv_seq(a, &x, &mut y_csr);
         sell.spmv(&x, &mut y_sell);
         for (i, (s, g)) in y_csr.iter().zip(&y_sell).enumerate() {
-            assert!((s - g).abs() < 1e-10, "row {i}: {s} vs {g} (C={c}, sigma={sigma})");
+            assert!(
+                (s - g).abs() < 1e-10,
+                "row {i}: {s} vs {g} (C={c}, sigma={sigma})"
+            );
         }
     }
 

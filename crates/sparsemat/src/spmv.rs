@@ -211,7 +211,9 @@ mod tests {
         // Deterministic LCG so the test needs no external crates here.
         let mut state = seed | 1;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as usize
         };
         let mut coo = CooMatrix::new(rows, cols);

@@ -63,7 +63,11 @@ impl MatrixStats {
             }
         }
         let mean = if m > 0 { sum / m as f64 } else { 0.0 };
-        let var = if m > 0 { (sum_sq / m as f64 - mean * mean).max(0.0) } else { 0.0 };
+        let var = if m > 0 {
+            (sum_sq / m as f64 - mean * mean).max(0.0)
+        } else {
+            0.0
+        };
         let std = var.sqrt();
         MatrixStats {
             num_rows: m,
@@ -119,7 +123,7 @@ mod tests {
         assert_eq!(s.empty_rows, 1);
         assert_eq!(s.row_nnz_max, 4);
         assert_eq!(s.bandwidth, 5); // |2 - 7|
-        // Diagonal entries: (0,0) and (2,2) out of 6 stored.
+                                    // Diagonal entries: (0,0) and (2,2) out of 6 stored.
         assert!((s.diag_fraction - 2.0 / 6.0).abs() < 1e-12);
     }
 

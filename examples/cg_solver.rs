@@ -53,7 +53,11 @@ fn main() {
     let side = 192;
     let a = corpus::stencil::laplacian_2d(side, side);
     let n = a.num_rows();
-    println!("2-D Poisson, {side}x{side} grid: {} unknowns, {} nonzeros", n, a.nnz());
+    println!(
+        "2-D Poisson, {side}x{side} grid: {} unknowns, {} nonzeros",
+        n,
+        a.nnz()
+    );
 
     // Right-hand side: a point source in the middle.
     let mut b = vec![0.0; n];
@@ -68,7 +72,10 @@ fn main() {
         "CG converged in {iters} iterations (residual {residual:.3e}) in {:.1} ms on {threads} threads",
         elapsed.as_secs_f64() * 1000.0
     );
-    println!("solution peak: {:.6}", x.iter().cloned().fold(f64::MIN, f64::max));
+    println!(
+        "solution peak: {:.6}",
+        x.iter().cloned().fold(f64::MIN, f64::max)
+    );
 
     // What would the sector cache do for this solve on the A64FX?
     let cfg = MachineConfig::a64fx_scaled(16);

@@ -48,7 +48,10 @@ fn main() {
     }
 
     let best = preds.iter().min_by_key(|p| p.l2_misses).unwrap();
-    println!("\nmodel recommendation: sector cache {}", best.setting.label());
+    println!(
+        "\nmodel recommendation: sector cache {}",
+        best.setting.label()
+    );
 
     // Validate the recommendation in the simulator.
     let base = simulate_spmv(&matrix, &cfg, ArraySet::EMPTY, threads, 1);

@@ -36,7 +36,10 @@ fn main() {
         println!("  {:>2}+{:<2} {:>13}", cfg.l2.ways - w1, w1, total);
     }
     let (alloc, best) = opt.best_allocation();
-    println!("  optimum: {}+{} ways -> {} misses/iteration\n", alloc[0], alloc[1], best);
+    println!(
+        "  optimum: {}+{} ways -> {} misses/iteration\n",
+        alloc[0], alloc[1], best
+    );
 
     // A finer routing the FCC directives cannot express (max 2 sectors),
     // but the A64FX hardware could (up to 4): isolate x alone.

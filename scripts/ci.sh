@@ -1,0 +1,19 @@
+#!/bin/sh
+# Tier-1 gate: everything must pass before a change lands.
+#
+# The build environment has no crates registry, so every cargo call runs
+# --offline; the workspace is self-contained (see crates/compat/).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release (offline) =="
+cargo build --workspace --release --offline
+
+echo "== cargo test (offline) =="
+cargo test --workspace -q --offline
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "ci: all gates passed"

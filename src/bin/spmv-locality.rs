@@ -5,12 +5,16 @@
 //! spmv-locality analyze  <matrix.mtx> [--threads N] [--scale N]
 //! spmv-locality tune     <matrix.mtx> [--threads N] [--scale N]
 //! spmv-locality simulate <matrix.mtx> [--threads N] [--scale N] [--l2-ways W]
+//! spmv-locality batch    <spec-file>  [--workers N]
 //! ```
 //!
 //! `analyze` prints the matrix statistics, its §3.1 classification and the
 //! model's predicted misses; `tune` sweeps every legal sector split and
 //! recommends one; `simulate` runs the machine simulator and reports the
-//! PMU counters and estimated performance.
+//! PMU counters and estimated performance; `batch` runs a whole work list
+//! of predictions on the parallel engine (see `BatchSpec::parse` for the
+//! spec format) and prints one JSON line per job plus a summary line with
+//! the profile-cache accounting.
 
 use a64fx_spmv::prelude::*;
 
@@ -25,16 +29,66 @@ struct Cli {
 fn usage() -> ! {
     eprintln!(
         "usage: spmv-locality <analyze|tune|simulate> <matrix.mtx> \
-         [--threads N] [--scale N] [--l2-ways W]"
+         [--threads N] [--scale N] [--l2-ways W]\n\
+         \x20      spmv-locality batch <spec-file> [--workers N]"
     );
     std::process::exit(2);
+}
+
+/// `batch` subcommand: run a spec file on the engine, JSON lines out.
+fn run_batch_command(spec_path: &str, workers: Option<usize>) -> ! {
+    let text = std::fs::read_to_string(spec_path).unwrap_or_else(|e| {
+        eprintln!("failed to read {spec_path}: {e}");
+        std::process::exit(1);
+    });
+    let mut spec = BatchSpec::parse(&text).unwrap_or_else(|e| {
+        eprintln!("{spec_path}: {e}");
+        std::process::exit(1);
+    });
+    if let Some(w) = workers {
+        spec.workers = w;
+    }
+    match run_batch(&spec) {
+        Ok(result) => {
+            print!("{}", result.to_json_lines());
+            eprintln!(
+                "# {} jobs over {} matrices: {} profiles computed, {} cache hits",
+                result.stats.jobs,
+                result.stats.matrices,
+                result.stats.profile_computations,
+                result.stats.profile_hits
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("{spec_path}: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn parse_cli() -> Cli {
     let mut args = std::env::args().skip(1);
     let command = args.next().unwrap_or_else(|| usage());
     let path = args.next().unwrap_or_else(|| usage());
-    let mut cli = Cli { command, path, threads: 48, scale: 1, l2_ways: 5 };
+    if command == "batch" {
+        let workers = match (args.next().as_deref(), args.next()) {
+            (None, _) => None,
+            (Some("--workers"), Some(n)) => match n.parse() {
+                Ok(n) => Some(n),
+                Err(_) => usage(),
+            },
+            _ => usage(),
+        };
+        run_batch_command(&path, workers);
+    }
+    let mut cli = Cli {
+        command,
+        path,
+        threads: 48,
+        scale: 1,
+        l2_ways: 5,
+    };
     while let Some(flag) = args.next() {
         let mut value = |what: &str| -> usize {
             args.next()
@@ -52,7 +106,11 @@ fn parse_cli() -> Cli {
 }
 
 fn machine(scale: usize, threads: usize) -> MachineConfig {
-    let cfg = if scale <= 1 { MachineConfig::a64fx() } else { MachineConfig::a64fx_scaled(scale) };
+    let cfg = if scale <= 1 {
+        MachineConfig::a64fx()
+    } else {
+        MachineConfig::a64fx_scaled(scale)
+    };
     cfg.with_cores(threads.max(1))
 }
 
@@ -70,10 +128,25 @@ fn main() {
     match cli.command.as_str() {
         "analyze" => {
             println!("matrix      : {}", cli.path);
-            println!("rows x cols : {} x {}", matrix.num_rows(), matrix.num_cols());
-            println!("nonzeros    : {} ({:.2}/row, CV {:.2})", matrix.nnz(), stats.row_nnz_mean, stats.row_nnz_cv);
-            println!("CSR bytes   : {:.2} MiB", matrix.matrix_bytes() as f64 / (1 << 20) as f64);
-            println!("working set : {:.2} MiB", matrix.working_set_bytes() as f64 / (1 << 20) as f64);
+            println!(
+                "rows x cols : {} x {}",
+                matrix.num_rows(),
+                matrix.num_cols()
+            );
+            println!(
+                "nonzeros    : {} ({:.2}/row, CV {:.2})",
+                matrix.nnz(),
+                stats.row_nnz_mean,
+                stats.row_nnz_cv
+            );
+            println!(
+                "CSR bytes   : {:.2} MiB",
+                matrix.matrix_bytes() as f64 / (1 << 20) as f64
+            );
+            println!(
+                "working set : {:.2} MiB",
+                matrix.working_set_bytes() as f64 / (1 << 20) as f64
+            );
             println!("bandwidth   : {}", stats.bandwidth);
             let class_cfg = cfg.clone().with_l2_sector(cli.l2_ways.min(cfg.l2.ways - 1));
             println!(
@@ -122,9 +195,15 @@ fn main() {
             println!("L2D_CACHE_WB        : {}", sim.pmu.l2d_cache_wb);
             println!("L1D_CACHE_REFILL    : {}", sim.pmu.l1d_cache_refill);
             println!("L2 misses (paper)   : {}", sim.pmu.l2_misses());
-            println!("memory traffic      : {:.2} MiB/iter", sim.pmu.memory_bytes(cfg.l2.line_bytes) as f64 / (1 << 20) as f64);
+            println!(
+                "memory traffic      : {:.2} MiB/iter",
+                sim.pmu.memory_bytes(cfg.l2.line_bytes) as f64 / (1 << 20) as f64
+            );
             println!("est. time           : {:.3} ms/iter", perf.seconds * 1e3);
-            println!("est. performance    : {:.1} Gflop/s ({:?}-bound)", perf.gflops, perf.bottleneck);
+            println!(
+                "est. performance    : {:.1} Gflop/s ({:?}-bound)",
+                perf.gflops, perf.bottleneck
+            );
             println!("est. bandwidth      : {:.1} GB/s", perf.bandwidth_gbs);
         }
         _ => usage(),

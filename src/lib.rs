@@ -15,7 +15,9 @@
 //!   partitioning, stream prefetcher, PMU counters, timing model;
 //! * [`locality_core`] — the paper's cache-miss model: classification,
 //!   methods (A)/(B), concurrent prediction, error metrics;
-//! * [`corpus`] — synthetic matrix corpus and Table 1 analogues.
+//! * [`corpus`] — synthetic matrix corpus and Table 1 analogues;
+//! * [`locality_engine`] — parallel batch prediction engine with
+//!   fingerprint-keyed profile caching (`spmv-locality batch`).
 //!
 //! ## Quickstart
 //!
@@ -46,6 +48,7 @@
 pub use a64fx;
 pub use corpus;
 pub use locality_core;
+pub use locality_engine;
 pub use memtrace;
 pub use reuse;
 pub use sparsemat;
@@ -53,11 +56,11 @@ pub use sparsemat;
 /// Commonly used items in one import.
 pub mod prelude {
     pub use a64fx::{
-        estimate, simulate_spmv, MachineConfig, Performance, PmuSnapshot, PrefetchConfig,
-        SimResult,
+        estimate, simulate_spmv, MachineConfig, Performance, PmuSnapshot, PrefetchConfig, SimResult,
     };
     pub use locality_core::predict::{predict, Method, Prediction, SectorSetting};
-    pub use locality_core::{classify_for, ErrorSummary, MatrixClass};
+    pub use locality_core::{classify_for, ErrorSummary, LocalityProfile, MatrixClass};
+    pub use locality_engine::{run_batch, BatchResult, BatchSpec, ProfileCache};
     pub use memtrace::{Access, Array, ArraySet, DataLayout};
     pub use reuse::{ExactStack, MarkerStack, PartitionedStack, ReuseHistogram};
     pub use sparsemat::{spmv, CooMatrix, CsrMatrix, MatrixStats, RowPartition};

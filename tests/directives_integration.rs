@@ -30,7 +30,10 @@ fn listing1_pragmas_reproduce_builder_config() {
 fn l1_way_pragma_applies_to_l1() {
     let (cfg, _) = directives::apply(
         MachineConfig::a64fx_scaled(16),
-        &["scache_isolate_way L2=4 L1=1", "scache_isolate_assign a colidx"],
+        &[
+            "scache_isolate_way L2=4 L1=1",
+            "scache_isolate_assign a colidx",
+        ],
     )
     .unwrap();
     assert_eq!(cfg.l2_sector.sector1_ways, 4);

@@ -35,7 +35,9 @@ fn misses(trace: &[Access], caps: &[usize]) -> Vec<u64> {
     for a in trace {
         stack.access(a.line, a.array);
     }
-    (0..stack.capacities().len()).map(|j| stack.misses(j)).collect()
+    (0..stack.capacities().len())
+        .map(|j| stack.misses(j))
+        .collect()
 }
 
 #[test]
@@ -44,11 +46,8 @@ fn interleaving_invariant_miss_counts_at_footprint_capacity() {
     // interleaving produces exactly the cold misses — MCS and round-robin
     // must agree bit-for-bit regardless of scheduling.
     let traces = per_thread_traces(8, 4000, 42);
-    let footprint: std::collections::HashSet<u64> = traces
-        .iter()
-        .flatten()
-        .map(|a| a.line)
-        .collect();
+    let footprint: std::collections::HashSet<u64> =
+        traces.iter().flatten().map(|a| a.line).collect();
     let caps = [footprint.len()];
     let rr = misses(&round_robin(&traces, 1), &caps);
     let mcs = misses(&mcs_interleave(&traces, 1), &caps);
@@ -62,7 +61,9 @@ fn mcs_and_round_robin_give_similar_miss_counts() {
     // concurrently at similar rates; on a single-CPU host the OS serialises
     // them into large bursts (the timing dependence the paper's §4.5.5
     // acknowledges), so this check only runs with real parallelism.
-    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     if cpus < 4 {
         eprintln!("skipping fine-grained MCS comparison: only {cpus} CPU(s)");
         return;

@@ -120,8 +120,7 @@ fn model_and_simulator_agree_on_sector_benefit_magnitude() {
     for (name, matrix) in small_corpus() {
         let cfg = MachineConfig::a64fx_scaled(64).with_prefetch(PrefetchConfig::off());
         let settings = [SectorSetting::Off, SectorSetting::L2Ways(5)];
-        let preds =
-            locality_core::predict::predict(&matrix, &cfg, Method::A, &settings, 1);
+        let preds = locality_core::predict::predict(&matrix, &cfg, Method::A, &settings, 1);
         let base = simulate_spmv(&matrix, &cfg, ArraySet::EMPTY, 1, 1);
         let cfg5 = cfg.clone().with_l2_sector(5);
         let part = simulate_spmv(&matrix, &cfg5, ArraySet::MATRIX_STREAM, 1, 1);

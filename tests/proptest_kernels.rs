@@ -9,10 +9,7 @@ use sparsemat::{reorder, spmv, CooMatrix, CsrMatrix, RowPartition};
 fn arb_matrix() -> impl Strategy<Value = CsrMatrix> {
     (1usize..40, 1usize..40)
         .prop_flat_map(|(rows, cols)| {
-            let entries = prop::collection::vec(
-                (0..rows, 0..cols, -100i32..100),
-                0..rows * 4,
-            );
+            let entries = prop::collection::vec((0..rows, 0..cols, -100i32..100), 0..rows * 4);
             (Just(rows), Just(cols), entries)
         })
         .prop_map(|(rows, cols, entries)| {

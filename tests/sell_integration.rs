@@ -27,11 +27,7 @@ fn sell_numerics_match_csr_on_corpus_matrices() {
 }
 
 /// Replays a SELL trace through the machine (warm-up + measured).
-fn simulate_sell(
-    sell: &sparsemat::SellMatrix,
-    cfg: &MachineConfig,
-    sector1: ArraySet,
-) -> u64 {
+fn simulate_sell(sell: &sparsemat::SellMatrix, cfg: &MachineConfig, sector1: ArraySet) -> u64 {
     let layout = sell_layout(sell, cfg.l2.line_bytes);
     let mut trace = memtrace::VecSink::new();
     trace_sell_spmv(sell, &layout, &mut trace);
