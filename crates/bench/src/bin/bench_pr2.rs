@@ -1,0 +1,175 @@
+//! Streaming-pipeline acceptance benchmark: analysis throughput of the
+//! streaming trace pipeline against the seed materialise-then-replay
+//! pipeline, written as `BENCH_pr2.json`.
+//!
+//! Four method (A) pipelines run over the same synthetic corpus:
+//!
+//! * `streaming_marker` — per-thread cursors + marker stacks restricted
+//!   to the paper sweep's capacities (the batch engine's default path),
+//! * `streaming_marker_parallel` — the same with L2 domains fanned out
+//!   over the work-stealing pool,
+//! * `streaming_exact` — per-thread cursors + exact (Fenwick) stacks,
+//! * `seed_materialized_exact` — the original pipeline: buffer every
+//!   per-thread trace, then replay each domain through exact stacks.
+//!
+//! Throughput is SpMV references analysed per second (one modeled
+//! iteration per matrix; every pipeline analyses the same reference
+//! stream). Peak memory is proxied by Linux `VmHWM` checkpoints: the
+//! high-water mark only ever grows, so the streaming modes run first and
+//! a jump at the final (materialised) mode is attributable to its trace
+//! buffers.
+//!
+//! Run: `cargo run --release -p spmv-bench --bin bench_pr2
+//! [--count N --scale N --threads N --seed N]`
+
+use locality_core::{LocalityProfile, Method, SectorSetting};
+use locality_engine::compute_profile_parallel;
+use memtrace::spmv_trace::trace_len;
+use sparsemat::CsrMatrix;
+use spmv_bench::runner::{machine_for, ExpArgs, SweepPoint};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Peak resident set (`VmHWM`) in kiB from `/proc/self/status`; 0 when
+/// the proc filesystem is unavailable.
+fn vm_hwm_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+struct Mode {
+    name: &'static str,
+    secs: f64,
+    refs_per_sec: f64,
+    vm_hwm_kb_after: u64,
+}
+
+fn main() {
+    let args = ExpArgs::parse(6);
+    let suite = corpus::corpus(args.count, args.scale, args.seed);
+    let cfg = machine_for(args.scale, args.threads, SweepPoint::BASELINE);
+    let settings = SectorSetting::paper_sweep();
+    let total_refs: u64 = suite
+        .iter()
+        .map(|nm| trace_len(nm.matrix.num_rows(), nm.matrix.nnz()) as u64)
+        .sum();
+    println!(
+        "# streaming pipeline benchmark: {} matrices, scale 1/{}, {} threads, {} refs/iteration",
+        suite.len(),
+        args.scale,
+        args.threads,
+        total_refs
+    );
+
+    let mut modes: Vec<Mode> = Vec::new();
+    let mut run = |name: &'static str, analyse: &dyn Fn(&CsrMatrix)| {
+        let t0 = Instant::now();
+        for nm in &suite {
+            analyse(&nm.matrix);
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        let refs_per_sec = total_refs as f64 / secs.max(1e-9);
+        let vm = vm_hwm_kb();
+        println!("{name:<26} {secs:8.3}s   {refs_per_sec:12.0} refs/s   VmHWM {vm} kB");
+        modes.push(Mode {
+            name,
+            secs,
+            refs_per_sec,
+            vm_hwm_kb_after: vm,
+        });
+    };
+
+    // Streaming modes first, the trace-buffering seed pipeline last (see
+    // module docs for why the checkpoint order matters).
+    run("streaming_marker", &|m| {
+        std::hint::black_box(LocalityProfile::compute_for_sweep(
+            m,
+            &cfg,
+            Method::A,
+            args.threads,
+            &settings,
+        ));
+    });
+    run("streaming_marker_parallel", &|m| {
+        std::hint::black_box(compute_profile_parallel(
+            m,
+            &cfg,
+            Method::A,
+            args.threads,
+            Some(&settings),
+            0,
+        ));
+    });
+    run("streaming_exact", &|m| {
+        std::hint::black_box(LocalityProfile::compute(m, &cfg, Method::A, args.threads));
+    });
+    run("seed_materialized_exact", &|m| {
+        std::hint::black_box(LocalityProfile::compute_materialized(
+            m,
+            &cfg,
+            Method::A,
+            args.threads,
+        ));
+    });
+
+    let seed_rate = modes
+        .iter()
+        .find(|m| m.name == "seed_materialized_exact")
+        .expect("seed mode ran")
+        .refs_per_sec;
+    let speedup = |name: &str| {
+        modes
+            .iter()
+            .find(|m| m.name == name)
+            .expect("mode ran")
+            .refs_per_sec
+            / seed_rate
+    };
+    let marker_speedup = speedup("streaming_marker");
+    let exact_speedup = speedup("streaming_exact");
+    println!("speedup vs seed: marker {marker_speedup:.2}x, exact {exact_speedup:.2}x");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"pr2_streaming_pipeline\",");
+    let _ = writeln!(
+        json,
+        "  \"count\": {}, \"scale\": {}, \"seed\": {}, \"threads\": {},",
+        suite.len(),
+        args.scale,
+        args.seed,
+        args.threads
+    );
+    let _ = writeln!(json, "  \"total_refs\": {total_refs},");
+    json.push_str("  \"modes\": [\n");
+    for (i, m) in modes.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"secs\": {:.6}, \"refs_per_sec\": {:.0}, \"vm_hwm_kb_after\": {}}}{}",
+            m.name,
+            m.secs,
+            m.refs_per_sec,
+            m.vm_hwm_kb_after,
+            if i + 1 < modes.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"speedup_streaming_marker_vs_seed\": {marker_speedup:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"speedup_streaming_exact_vs_seed\": {exact_speedup:.2}"
+    );
+    json.push_str("}\n");
+    std::fs::write("BENCH_pr2.json", &json).expect("write BENCH_pr2.json");
+    println!("wrote BENCH_pr2.json");
+}

@@ -11,9 +11,11 @@
 //! concurrent variant for validation.
 
 use a64fx::MachineConfig;
-use memtrace::interleave::{domain_groups, round_robin_into};
-use memtrace::{Access, TraceSink};
+use memtrace::cursor::{SpmvCursor, TraceCursor, XCursor};
+use memtrace::interleave::{domain_groups, round_robin_cursors, round_robin_into};
+use memtrace::{Access, DataLayout, TraceSink};
 use sparsemat::{CsrMatrix, RowPartition};
+use std::ops::Range;
 
 /// Per-thread traces grouped by L2 domain.
 pub struct DomainTraces {
@@ -43,6 +45,86 @@ impl DomainTraces {
     /// would submit them).
     pub fn feed_domain<S: TraceSink>(&self, d: usize, sink: &mut S) {
         round_robin_into(&self.groups[d], 1, sink);
+    }
+}
+
+/// Streaming per-domain trace access — the zero-materialization
+/// counterpart of [`DomainTraces`].
+///
+/// Instead of grouping buffered per-thread traces, this factory hands out
+/// fresh per-thread *cursors* for any domain on demand and merges them in
+/// the same round-robin order [`DomainTraces::feed_domain`] uses. A replay
+/// (e.g. the warm-up and measured iterations of the locality model) is
+/// just another `feed_*` call: total state is O(threads in the domain) and
+/// no reference is ever buffered.
+pub struct DomainCursors<'a> {
+    matrix: &'a CsrMatrix,
+    layout: &'a DataLayout,
+    partition: &'a RowPartition,
+    spans: Vec<Range<usize>>,
+}
+
+impl<'a> DomainCursors<'a> {
+    /// Groups the partition's threads into domains of `cores_per_domain`.
+    pub fn new(
+        matrix: &'a CsrMatrix,
+        layout: &'a DataLayout,
+        partition: &'a RowPartition,
+        cores_per_domain: usize,
+    ) -> Self {
+        let spans = domain_groups(partition.num_parts(), cores_per_domain);
+        DomainCursors {
+            matrix,
+            layout,
+            partition,
+            spans,
+        }
+    }
+
+    /// Number of domains.
+    pub fn num_domains(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Fresh method (A) cursors for domain `d`'s threads.
+    pub fn spmv_cursors(&self, d: usize) -> Vec<SpmvCursor<'a>> {
+        self.spans[d]
+            .clone()
+            .map(|t| SpmvCursor::new(self.matrix, self.layout, self.partition.range(t)))
+            .collect()
+    }
+
+    /// Fresh method (B) cursors for domain `d`'s threads.
+    pub fn x_cursors(&self, d: usize) -> Vec<XCursor<'a>> {
+        self.spans[d]
+            .clone()
+            .map(|t| XCursor::new(self.matrix, self.layout, self.partition.range(t)))
+            .collect()
+    }
+
+    /// Length of domain `d`'s interleaved method (A) stream.
+    pub fn spmv_len(&self, d: usize) -> usize {
+        self.spmv_cursors(d).iter().map(|c| c.remaining()).sum()
+    }
+
+    /// Length of domain `d`'s interleaved method (B) stream.
+    pub fn x_len(&self, d: usize) -> usize {
+        self.x_cursors(d).iter().map(|c| c.remaining()).sum()
+    }
+
+    /// Streams domain `d`'s round-robin interleaved method (A) references
+    /// into a sink — same order as [`DomainTraces::feed_domain`] over the
+    /// materialised traces.
+    pub fn feed_spmv<S: TraceSink>(&self, d: usize, sink: &mut S) {
+        let mut cursors = self.spmv_cursors(d);
+        round_robin_cursors(&mut cursors, 1, sink);
+    }
+
+    /// Streams domain `d`'s round-robin interleaved method (B) references
+    /// into a sink.
+    pub fn feed_x<S: TraceSink>(&self, d: usize, sink: &mut S) {
+        let mut cursors = self.x_cursors(d);
+        round_robin_cursors(&mut cursors, 1, sink);
     }
 }
 
@@ -91,6 +173,46 @@ mod tests {
         let mut sink1 = VecSink::new();
         dt.feed_domain(1, &mut sink1);
         assert_eq!(sink1.trace.len(), 2);
+    }
+
+    #[test]
+    fn domain_cursors_match_materialized_feed() {
+        use sparsemat::CooMatrix;
+        let mut state = 5u64;
+        let mut coo = CooMatrix::new(60, 60);
+        for r in 0..60 {
+            for _ in 0..4 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(13);
+                coo.push(r, (state >> 33) as usize % 60, 1.0);
+            }
+        }
+        let m = coo.to_csr();
+        let layout = DataLayout::new(&m, 64);
+        let partition = thread_partition(&m, 7);
+        let cursors = DomainCursors::new(&m, &layout, &partition, 3);
+
+        let spmv = memtrace::spmv_trace::trace_spmv_partitioned(&m, &layout, &partition);
+        let materialized = DomainTraces::group(spmv, 3);
+        assert_eq!(cursors.num_domains(), materialized.num_domains());
+        for d in 0..cursors.num_domains() {
+            let mut want = VecSink::new();
+            materialized.feed_domain(d, &mut want);
+            let mut got = VecSink::new();
+            cursors.feed_spmv(d, &mut got);
+            assert_eq!(got.trace, want.trace, "spmv domain {d}");
+            assert_eq!(cursors.spmv_len(d), want.trace.len(), "spmv len {d}");
+        }
+
+        let x = memtrace::xtrace::trace_x_partitioned(&m, &layout, &partition);
+        let materialized = DomainTraces::group(x, 3);
+        for d in 0..cursors.num_domains() {
+            let mut want = VecSink::new();
+            materialized.feed_domain(d, &mut want);
+            let mut got = VecSink::new();
+            cursors.feed_x(d, &mut got);
+            assert_eq!(got.trace, want.trace, "x domain {d}");
+            assert_eq!(cursors.x_len(d), want.trace.len(), "x len {d}");
+        }
     }
 
     #[test]

@@ -61,4 +61,4 @@ pub mod two_level;
 pub use classify::{classify, classify_for, MatrixClass};
 pub use error::ErrorSummary;
 pub use predict::{Method, Prediction, SectorSetting};
-pub use profile::LocalityProfile;
+pub use profile::{DomainPartial, LocalityProfile, ProfileBuilder, TrackedCaps};

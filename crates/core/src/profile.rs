@@ -21,14 +21,15 @@
 //! seven settings share one trace analysis instead of re-deriving it.
 
 use crate::analytic::{scale_s1, scale_s2, StreamTerms};
-use crate::concurrent::{thread_partition, DomainTraces};
+use crate::concurrent::{thread_partition, DomainCursors, DomainTraces};
 use crate::predict::{Method, Prediction, SectorSetting};
 use a64fx::MachineConfig;
+use memtrace::sink::TeeSink;
 use memtrace::spmv_trace::trace_spmv_partitioned;
 use memtrace::xtrace::trace_x_partitioned;
 use memtrace::{Access, Array, ArraySet, DataLayout, TraceSink};
-use reuse::{ExactStack, ReuseHistogram};
-use sparsemat::CsrMatrix;
+use reuse::{ExactStack, LineTable, MarkerStack, ReuseHistogram};
+use sparsemat::{CsrMatrix, RowPartition};
 use std::collections::HashMap;
 
 /// One NUMA domain's share of the row space (for the analytic terms and
@@ -80,11 +81,16 @@ struct HistogramSink {
 }
 
 impl HistogramSink {
-    fn new(sector1: ArraySet, expected_len: usize) -> Self {
+    /// Creates a routed sink whose two stacks are sized from the *actual*
+    /// access counts each will see (partition 1 receives only `a` and
+    /// `colidx` references — `4·nnz` over warm-up plus measured — not the
+    /// full trace length the old `expected_len.min(1024)` heuristic
+    /// assumed).
+    fn new(sector1: ArraySet, expected0: usize, expected1: usize) -> Self {
         HistogramSink {
             sector1,
-            stack0: ExactStack::with_capacity(expected_len),
-            stack1: ExactStack::with_capacity(expected_len.min(1024)),
+            stack0: ExactStack::with_capacity(expected0),
+            stack1: ExactStack::with_capacity(expected1),
             hist0: ArrayHistograms::default(),
             hist1: ArrayHistograms::default(),
             recording: false,
@@ -103,6 +109,172 @@ impl TraceSink for HistogramSink {
         if self.recording {
             hist.by_array[access.array as usize].record(distance);
         }
+    }
+}
+
+/// Trace sink classifying a two-partition routed stream against fixed
+/// capacity grids with [`MarkerStack`]s — O(#capacities) per reference,
+/// no Fenwick log factor. A stack is only instantiated for a routing that
+/// tracks at least one capacity.
+struct MarkerSink {
+    sector1: ArraySet,
+    stack0: Option<MarkerStack>,
+    stack1: Option<MarkerStack>,
+}
+
+impl MarkerSink {
+    fn new(sector1: ArraySet, caps0: &[usize], caps1: &[usize]) -> Self {
+        let mk = |caps: &[usize]| (!caps.is_empty()).then(|| MarkerStack::new(caps));
+        MarkerSink {
+            sector1,
+            stack0: mk(caps0),
+            stack1: mk(caps1),
+        }
+    }
+
+    /// Discards the warm-up iteration's counters (stack state is kept).
+    fn reset_counters(&mut self) {
+        if let Some(s) = &mut self.stack0 {
+            s.reset_counters();
+        }
+        if let Some(s) = &mut self.stack1 {
+            s.reset_counters();
+        }
+    }
+
+    fn histograms(stack: &Option<MarkerStack>) -> ArrayHistograms {
+        let mut h = ArrayHistograms::default();
+        if let Some(s) = stack {
+            for a in Array::ALL {
+                h.by_array[a as usize] = s.quantized_histogram(a);
+            }
+        }
+        h
+    }
+
+    fn histograms0(&self) -> ArrayHistograms {
+        Self::histograms(&self.stack0)
+    }
+
+    fn histograms1(&self) -> ArrayHistograms {
+        Self::histograms(&self.stack1)
+    }
+}
+
+impl TraceSink for MarkerSink {
+    #[inline]
+    fn access(&mut self, access: Access) {
+        let stack = if self.sector1.contains(access.array) {
+            &mut self.stack1
+        } else {
+            &mut self.stack0
+        };
+        if let Some(s) = stack {
+            s.access(access.line, access.array);
+        }
+    }
+}
+
+/// Trace sink distilling the method (B) `x`-stream into `(RD, gap)` pair
+/// counts on the fly — the streaming replacement for the materialise-
+/// then-replay loop.
+struct XPairSink {
+    stack: ExactStack,
+    last_seen: LineTable,
+    pairs: HashMap<(u64, u64), u64>,
+    cold: u64,
+    now: u32,
+    recording: bool,
+}
+
+impl XPairSink {
+    fn new(expected_len: usize) -> Self {
+        XPairSink {
+            stack: ExactStack::with_capacity(expected_len),
+            last_seen: LineTable::new(),
+            pairs: HashMap::new(),
+            cold: 0,
+            now: 0,
+            recording: false,
+        }
+    }
+}
+
+impl TraceSink for XPairSink {
+    fn access(&mut self, access: Access) {
+        // The stack asserts the u32 time range before `now` can wrap.
+        let rd = self.stack.access(access.line);
+        let t = self.now;
+        self.now += 1;
+        let gap = self
+            .last_seen
+            .insert(access.line, t)
+            .map(|prev| (t - prev) as u64);
+        if self.recording {
+            match (rd, gap) {
+                (Some(rd), Some(g)) => *self.pairs.entry((rd, g)).or_insert(0) += 1,
+                _ => self.cold += 1,
+            }
+        }
+    }
+}
+
+/// The capacity grids a sweep (marker-quantized) profile is exact at.
+///
+/// Derived from a machine plus a sector-setting sweep: one grid per
+/// routing (shared stream, Listing-1 partition 0, partition 1). A profile
+/// carrying tracked capacities answers [`LocalityProfile::evaluate`]
+/// *only* at these capacities (asserted); in exchange its trace analysis
+/// runs on marker stacks instead of exact stacks.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TrackedCaps {
+    /// Capacities queried against the unpartitioned routing.
+    pub shared: Vec<usize>,
+    /// Capacities queried against Listing-1 partition 0 (`x`/`y`/`rowptr`).
+    pub part0: Vec<usize>,
+    /// Capacities queried against Listing-1 partition 1 (`a`/`colidx`).
+    pub part1: Vec<usize>,
+}
+
+impl TrackedCaps {
+    /// The capacity grids `settings` will query under `cfg`.
+    pub fn for_sweep(cfg: &MachineConfig, settings: &[SectorSetting]) -> Self {
+        let mut t = TrackedCaps::default();
+        for &s in settings {
+            match s {
+                SectorSetting::Off => t.shared.push(s.cap0_lines(cfg)),
+                SectorSetting::L2Ways(_) => {
+                    t.part0.push(s.cap0_lines(cfg));
+                    t.part1.push(s.cap1_lines(cfg));
+                }
+            }
+        }
+        for grid in [&mut t.shared, &mut t.part0, &mut t.part1] {
+            // Capacity 0 means "everything misses" — exact in any
+            // histogram, so it needs no marker.
+            grid.retain(|&c| c > 0);
+            grid.sort_unstable();
+            grid.dedup();
+        }
+        t
+    }
+
+    /// A cache-key discriminator for the grids. Never 0 — that value is
+    /// reserved for capacity-independent (exact) profiles.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::Hasher;
+        let mut h = reuse::fxhash::FxHasher::default();
+        for grid in [&self.shared, &self.part0, &self.part1] {
+            h.write_usize(grid.len());
+            for &c in grid.iter() {
+                h.write_usize(c);
+            }
+        }
+        h.finish().max(1)
+    }
+
+    fn covers(grid: &[usize], cap: usize) -> bool {
+        cap == 0 || grid.binary_search(&cap).is_ok()
     }
 }
 
@@ -155,7 +327,306 @@ pub struct LocalityProfile {
     cols: usize,
     nnz: usize,
     domains: Vec<DomainShare>,
+    tracked: Option<TrackedCaps>,
     kind: ProfileKind,
+}
+
+/// One L2 domain's contribution to a profile, produced by
+/// [`ProfileBuilder::domain_partial`] and merged by
+/// [`ProfileBuilder::finish`]. Domains are independent, so partials may be
+/// computed on any thread in any order; merging in domain order keeps the
+/// result identical to the sequential pipeline.
+#[derive(Clone, Debug)]
+pub enum DomainPartial {
+    /// Method (A): one domain's histograms under both routings.
+    Trace {
+        /// Unpartitioned routing.
+        shared: ArrayHistograms,
+        /// Listing-1 routing, partition 0.
+        part0: ArrayHistograms,
+        /// Listing-1 routing, partition 1.
+        part1: ArrayHistograms,
+    },
+    /// Method (B): one domain's `(RD, gap)` pair counts (sorted) and cold
+    /// tail.
+    XTrace {
+        /// Sorted pair counts of this domain's measured iteration.
+        pairs: Vec<((u64, u64), u64)>,
+        /// Cold accesses of this domain's measured iteration.
+        cold: u64,
+    },
+}
+
+/// The streaming trace pipeline behind [`LocalityProfile::compute`],
+/// factored so independent L2 domains can run on separate threads.
+///
+/// Construction does the cheap shared setup (layout, row partition,
+/// domain shares); [`domain_partial`](Self::domain_partial) is a pure
+/// function of `&self` and the domain index — it streams the domain's
+/// interleaved references from cursors (no trace is materialised), feeding
+/// both routings of one replay through a single generation pass via a tee
+/// sink. [`finish`](Self::finish) merges the partials in domain order, so
+/// any parallel schedule produces the byte-identical profile.
+pub struct ProfileBuilder<'m> {
+    matrix: &'m CsrMatrix,
+    method: Method,
+    threads: usize,
+    line_bytes: usize,
+    cores_per_domain: usize,
+    layout: DataLayout,
+    partition: RowPartition,
+    domains: Vec<DomainShare>,
+    tracked: Option<TrackedCaps>,
+}
+
+impl<'m> ProfileBuilder<'m> {
+    /// Sets up the capacity-independent (exact-stack) pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(matrix: &'m CsrMatrix, cfg: &MachineConfig, method: Method, threads: usize) -> Self {
+        Self::build(matrix, cfg, method, threads, None)
+    }
+
+    /// Sets up the sweep pipeline: for method (A) the trace analysis runs
+    /// on marker stacks over the capacity grids `settings` will query
+    /// under `cfg` — O(#capacities) per reference instead of the exact
+    /// stack's O(log N) — and the resulting profile answers `evaluate`
+    /// exactly at those capacities (and only there, asserted). Method (B)
+    /// profiles are capacity-independent by construction, so `settings`
+    /// is ignored and the exact pipeline is used.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn for_sweep(
+        matrix: &'m CsrMatrix,
+        cfg: &MachineConfig,
+        method: Method,
+        threads: usize,
+        settings: &[SectorSetting],
+    ) -> Self {
+        let tracked = (method == Method::A).then(|| TrackedCaps::for_sweep(cfg, settings));
+        Self::build(matrix, cfg, method, threads, tracked)
+    }
+
+    fn build(
+        matrix: &'m CsrMatrix,
+        cfg: &MachineConfig,
+        method: Method,
+        threads: usize,
+        tracked: Option<TrackedCaps>,
+    ) -> Self {
+        assert!(threads >= 1, "need at least one thread");
+        let line_bytes = cfg.l2.line_bytes;
+        let cores_per_domain = cfg.cores_per_domain;
+        let layout = DataLayout::new(matrix, line_bytes);
+        let partition = thread_partition(matrix, threads);
+
+        // Method (B) predicts all-zero for an empty matrix before tracing;
+        // mirror that so evaluation stays exact.
+        let trivial = method == Method::B && matrix.nnz() == 0;
+
+        // Domain shares (contiguous row spans, as in the per-domain
+        // accounting of both methods).
+        let mut domains = Vec::new();
+        if !trivial {
+            let num_parts = partition.num_parts();
+            let num_domains = num_parts.div_ceil(cores_per_domain);
+            for d in 0..num_domains {
+                let t0 = d * cores_per_domain;
+                let t1 = ((d + 1) * cores_per_domain).min(num_parts);
+                let row_start = partition.range(t0).start;
+                let row_end = partition.range(t1 - 1).end;
+                let nnz_d = (matrix.rowptr()[row_end] - matrix.rowptr()[row_start]) as usize;
+                domains.push(DomainShare {
+                    rows: row_end - row_start,
+                    nnz: nnz_d,
+                });
+            }
+        }
+
+        ProfileBuilder {
+            matrix,
+            method,
+            threads,
+            line_bytes,
+            cores_per_domain,
+            layout,
+            partition,
+            domains,
+            tracked,
+        }
+    }
+
+    /// Number of L2 domains (= number of partials [`finish`](Self::finish)
+    /// expects).
+    pub fn num_domains(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Computes domain `d`'s contribution. Pure in `&self`: safe to call
+    /// from any thread, in any order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d >= num_domains()`.
+    pub fn domain_partial(&self, d: usize) -> DomainPartial {
+        let cursors = DomainCursors::new(
+            self.matrix,
+            &self.layout,
+            &self.partition,
+            self.cores_per_domain,
+        );
+        match self.method {
+            Method::A => {
+                if let Some(t) = &self.tracked {
+                    let mut shared = MarkerSink::new(ArraySet::EMPTY, &t.shared, &[]);
+                    let mut routed = MarkerSink::new(ArraySet::MATRIX_STREAM, &t.part0, &t.part1);
+                    // Warm-up: populate stack state, then discard counters.
+                    cursors.feed_spmv(
+                        d,
+                        &mut TeeSink {
+                            first: &mut shared,
+                            second: &mut routed,
+                        },
+                    );
+                    shared.reset_counters();
+                    routed.reset_counters();
+                    // Measured iteration.
+                    cursors.feed_spmv(
+                        d,
+                        &mut TeeSink {
+                            first: &mut shared,
+                            second: &mut routed,
+                        },
+                    );
+                    DomainPartial::Trace {
+                        shared: shared.histograms0(),
+                        part0: routed.histograms0(),
+                        part1: routed.histograms1(),
+                    }
+                } else {
+                    let len = cursors.spmv_len(d);
+                    let nnz_d = self.domains[d].nnz;
+                    // Partition 1 sees only `a` + `colidx`: 2·nnz per pass.
+                    let mut shared = HistogramSink::new(ArraySet::EMPTY, 2 * len, 16);
+                    let mut routed = HistogramSink::new(
+                        ArraySet::MATRIX_STREAM,
+                        2 * (len - 2 * nnz_d),
+                        4 * nnz_d,
+                    );
+                    cursors.feed_spmv(
+                        d,
+                        &mut TeeSink {
+                            first: &mut shared,
+                            second: &mut routed,
+                        },
+                    );
+                    shared.recording = true;
+                    routed.recording = true;
+                    cursors.feed_spmv(
+                        d,
+                        &mut TeeSink {
+                            first: &mut shared,
+                            second: &mut routed,
+                        },
+                    );
+                    DomainPartial::Trace {
+                        shared: shared.hist0,
+                        part0: routed.hist0,
+                        part1: routed.hist1,
+                    }
+                }
+            }
+            Method::B => {
+                let mut sink = XPairSink::new(2 * cursors.x_len(d));
+                cursors.feed_x(d, &mut sink); // warm-up
+                sink.recording = true;
+                cursors.feed_x(d, &mut sink); // measured
+                let mut pairs: Vec<((u64, u64), u64)> = sink.pairs.into_iter().collect();
+                pairs.sort_unstable();
+                DomainPartial::XTrace {
+                    pairs,
+                    cold: sink.cold,
+                }
+            }
+        }
+    }
+
+    /// Merges the per-domain partials (in domain order) into the profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partial count or kinds don't match the builder.
+    pub fn finish(self, partials: Vec<DomainPartial>) -> LocalityProfile {
+        assert_eq!(
+            partials.len(),
+            self.num_domains(),
+            "one partial per domain required"
+        );
+        let kind = match self.method {
+            Method::A => {
+                let mut shared = ArrayHistograms::default();
+                let mut part0 = ArrayHistograms::default();
+                let mut part1 = ArrayHistograms::default();
+                for partial in &partials {
+                    match partial {
+                        DomainPartial::Trace {
+                            shared: s,
+                            part0: p0,
+                            part1: p1,
+                        } => {
+                            shared.merge(s);
+                            part0.merge(p0);
+                            part1.merge(p1);
+                        }
+                        DomainPartial::XTrace { .. } => {
+                            panic!("method (B) partial in method (A) build")
+                        }
+                    }
+                }
+                ProfileKind::Trace(TraceProfile {
+                    shared,
+                    part0,
+                    part1,
+                })
+            }
+            Method::B => {
+                let mut merged: HashMap<(u64, u64), u64> = HashMap::new();
+                let mut cold = 0u64;
+                for partial in &partials {
+                    match partial {
+                        DomainPartial::XTrace { pairs, cold: c } => {
+                            for &(key, count) in pairs {
+                                *merged.entry(key).or_insert(0) += count;
+                            }
+                            cold += c;
+                        }
+                        DomainPartial::Trace { .. } => {
+                            panic!("method (A) partial in method (B) build")
+                        }
+                    }
+                }
+                let mut pairs: Vec<((u64, u64), u64)> = merged.into_iter().collect();
+                pairs.sort_unstable();
+                ProfileKind::XTrace(XProfile { pairs, cold })
+            }
+        };
+        LocalityProfile {
+            method: self.method,
+            threads: self.threads,
+            line_bytes: self.line_bytes,
+            cores_per_domain: self.cores_per_domain,
+            rows: self.matrix.num_rows(),
+            cols: self.matrix.num_cols(),
+            nnz: self.matrix.nnz(),
+            domains: self.domains,
+            tracked: self.tracked,
+            kind,
+        }
+    }
 }
 
 impl LocalityProfile {
@@ -166,10 +637,55 @@ impl LocalityProfile {
     /// `cores_per_domain`) — capacities and way splits are supplied at
     /// [`evaluate`](Self::evaluate) time.
     ///
+    /// The default pipeline is fully streaming: per-thread cursors are
+    /// interleaved on demand and both routings of each replay share one
+    /// generation pass, so no trace is ever materialised.
+    ///
     /// # Panics
     ///
     /// Panics if `threads` is zero.
     pub fn compute(
+        matrix: &CsrMatrix,
+        cfg: &MachineConfig,
+        method: Method,
+        threads: usize,
+    ) -> Self {
+        let builder = ProfileBuilder::new(matrix, cfg, method, threads);
+        let partials = (0..builder.num_domains())
+            .map(|d| builder.domain_partial(d))
+            .collect();
+        builder.finish(partials)
+    }
+
+    /// Like [`compute`](Self::compute), but specialised to a known sector
+    /// sweep: method (A) runs on marker stacks over exactly the capacities
+    /// `settings` query under `cfg` (see [`ProfileBuilder::for_sweep`]).
+    /// The profile's answers at those capacities are identical to the
+    /// exact pipeline's; querying any other capacity panics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn compute_for_sweep(
+        matrix: &CsrMatrix,
+        cfg: &MachineConfig,
+        method: Method,
+        threads: usize,
+        settings: &[SectorSetting],
+    ) -> Self {
+        let builder = ProfileBuilder::for_sweep(matrix, cfg, method, threads, settings);
+        let partials = (0..builder.num_domains())
+            .map(|d| builder.domain_partial(d))
+            .collect();
+        builder.finish(partials)
+    }
+
+    /// The original materialise-then-replay pipeline, kept verbatim as the
+    /// reference oracle for the streaming path (tests compare the two
+    /// bit-for-bit; the benchmark suite uses it as the "seed" baseline).
+    /// Buffers every per-thread trace and replays each domain four times —
+    /// prefer [`compute`](Self::compute).
+    pub fn compute_materialized(
         matrix: &CsrMatrix,
         cfg: &MachineConfig,
         method: Method,
@@ -188,6 +704,7 @@ impl LocalityProfile {
             cols: matrix.num_cols(),
             nnz: matrix.nnz(),
             domains: Vec::new(),
+            tracked: None,
             kind: ProfileKind::XTrace(XProfile {
                 pairs: Vec::new(),
                 cold: 0,
@@ -230,14 +747,14 @@ impl LocalityProfile {
                 let mut part1 = ArrayHistograms::default();
                 for d in 0..domains.num_domains() {
                     // Unpartitioned routing.
-                    let mut sink = HistogramSink::new(ArraySet::EMPTY, expected);
+                    let mut sink = HistogramSink::new(ArraySet::EMPTY, expected, 16);
                     domains.feed_domain(d, &mut sink); // warm-up
                     sink.recording = true;
                     domains.feed_domain(d, &mut sink); // measured
                     shared.merge(&sink.hist0);
 
                     // Listing-1 routing.
-                    let mut sink = HistogramSink::new(ArraySet::MATRIX_STREAM, expected);
+                    let mut sink = HistogramSink::new(ArraySet::MATRIX_STREAM, expected, expected);
                     domains.feed_domain(d, &mut sink);
                     sink.recording = true;
                     domains.feed_domain(d, &mut sink);
@@ -317,6 +834,13 @@ impl LocalityProfile {
         &self.kind
     }
 
+    /// The capacity grids this profile is restricted to, if it was built
+    /// by the sweep (marker-quantized) pipeline. `None` means the profile
+    /// is exact at every capacity.
+    pub fn tracked_caps(&self) -> Option<&TrackedCaps> {
+        self.tracked.as_ref()
+    }
+
     /// Evaluates the profile for every setting of a sweep.
     ///
     /// Reproduces [`predict`](crate::predict::predict) for the matrix the
@@ -355,6 +879,12 @@ impl LocalityProfile {
                 match setting {
                     SectorSetting::Off => {
                         let cap = cfg.l2.total_lines();
+                        if let Some(tracked) = &self.tracked {
+                            assert!(
+                                TrackedCaps::covers(&tracked.shared, cap),
+                                "sweep profile does not track shared capacity {cap}"
+                            );
+                        }
                         for a in Array::ALL {
                             by_array[a as usize] = t.shared.misses_of(a, cap);
                         }
@@ -362,6 +892,14 @@ impl LocalityProfile {
                     SectorSetting::L2Ways(w) => {
                         let cap0 = sets * (cfg.l2.ways - w);
                         let cap1 = sets * w;
+                        if let Some(tracked) = &self.tracked {
+                            assert!(
+                                TrackedCaps::covers(&tracked.part0, cap0)
+                                    && TrackedCaps::covers(&tracked.part1, cap1),
+                                "sweep profile does not track partition capacities \
+                                 ({cap0}, {cap1})"
+                            );
+                        }
                         for a in [Array::X, Array::Y, Array::RowPtr] {
                             by_array[a as usize] = t.part0.misses_of(a, cap0);
                         }
@@ -592,6 +1130,100 @@ mod tests {
                 )
             );
         }
+    }
+
+    #[test]
+    fn streaming_matches_materialized_oracle() {
+        // The zero-materialization pipeline must reproduce the buffered
+        // reference pipeline bit-for-bit, for both methods, across thread
+        // counts and domain widths.
+        let m = random_matrix(1024, 10, 77);
+        for (threads, cores_per_domain) in [(1, 12), (5, 2), (8, 3)] {
+            let mut cfg = MachineConfig::a64fx_scaled(64);
+            cfg.cores_per_domain = cores_per_domain;
+            for method in [Method::A, Method::B] {
+                let streaming = LocalityProfile::compute(&m, &cfg, method, threads);
+                let oracle = LocalityProfile::compute_materialized(&m, &cfg, method, threads);
+                let settings = SectorSetting::paper_sweep();
+                assert_eq!(
+                    streaming.evaluate(&cfg, &settings),
+                    oracle.evaluate(&cfg, &settings),
+                    "{method:?} threads={threads} cpd={cores_per_domain}"
+                );
+                assert_eq!(streaming.domains(), oracle.domains());
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_profile_matches_exact_at_tracked_capacities() {
+        let m = random_matrix(2048, 12, 19);
+        let mut cfg = MachineConfig::a64fx_scaled(64);
+        cfg.cores_per_domain = 4;
+        let settings = SectorSetting::paper_sweep();
+        for method in [Method::A, Method::B] {
+            for threads in [1, 8] {
+                let sweep =
+                    LocalityProfile::compute_for_sweep(&m, &cfg, method, threads, &settings);
+                let exact = LocalityProfile::compute(&m, &cfg, method, threads);
+                assert_eq!(
+                    sweep.evaluate(&cfg, &settings),
+                    exact.evaluate(&cfg, &settings),
+                    "{method:?} threads={threads}"
+                );
+                assert_eq!(sweep.tracked_caps().is_some(), method == Method::A);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not track")]
+    fn sweep_profile_rejects_untracked_capacity() {
+        let m = random_matrix(256, 6, 23);
+        let cfg = MachineConfig::a64fx_scaled(64);
+        let profile =
+            LocalityProfile::compute_for_sweep(&m, &cfg, Method::A, 1, &[SectorSetting::L2Ways(4)]);
+        profile.evaluate(&cfg, &[SectorSetting::L2Ways(5)]);
+    }
+
+    #[test]
+    fn domain_partials_merge_identically_in_any_computation_order() {
+        let m = random_matrix(900, 9, 41);
+        let mut cfg = MachineConfig::a64fx_scaled(64);
+        cfg.cores_per_domain = 2;
+        for method in [Method::A, Method::B] {
+            let builder = ProfileBuilder::new(&m, &cfg, method, 8);
+            assert!(builder.num_domains() > 1, "test needs several domains");
+            // Compute partials back-to-front, hand them over in order.
+            let mut partials: Vec<DomainPartial> = (0..builder.num_domains())
+                .rev()
+                .map(|d| builder.domain_partial(d))
+                .collect();
+            partials.reverse();
+            let profile = builder.finish(partials);
+            let reference = LocalityProfile::compute(&m, &cfg, method, 8);
+            let settings = SectorSetting::paper_sweep();
+            assert_eq!(
+                profile.evaluate(&cfg, &settings),
+                reference.evaluate(&cfg, &settings),
+                "{method:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn tracked_caps_fingerprints_discriminate() {
+        let cfg = MachineConfig::a64fx_scaled(64);
+        let sweep = TrackedCaps::for_sweep(&cfg, &SectorSetting::paper_sweep());
+        let off_only = TrackedCaps::for_sweep(&cfg, &[SectorSetting::Off]);
+        assert_ne!(sweep.fingerprint(), off_only.fingerprint());
+        assert_ne!(sweep.fingerprint(), 0, "0 is reserved for exact profiles");
+        assert_eq!(
+            sweep.fingerprint(),
+            TrackedCaps::for_sweep(&cfg, &SectorSetting::paper_sweep()).fingerprint(),
+            "fingerprint must be deterministic"
+        );
+        assert!(off_only.part0.is_empty() && off_only.part1.is_empty());
     }
 
     #[test]

@@ -5,8 +5,12 @@
 //! keys on everything [`LocalityProfile::compute`] depends on — the
 //! matrix's structural fingerprint, the method, the modeled thread count,
 //! and the two machine parameters baked into a profile (line size and
-//! domain width) — and deliberately **not** on the sector settings, so a
-//! 7-setting sweep of one matrix costs one computation and 6 hits.
+//! domain width) — and deliberately **not** on the individual sector
+//! setting, so a 7-setting sweep of one matrix costs one computation and
+//! 6 hits. Sweep-restricted (marker-quantized) profiles additionally key
+//! on the *fingerprint of their capacity grids* (`caps_fingerprint`; 0 =
+//! capacity-independent exact profile), because such a profile only
+//! answers at the capacities it tracked.
 //!
 //! Concurrent requests for the same key block on a shared [`OnceLock`]:
 //! exactly one worker computes, the rest wait for the slot rather than
@@ -31,6 +35,10 @@ pub struct ProfileKey {
     pub line_bytes: usize,
     /// Cores per NUMA domain (thread-to-domain grouping).
     pub cores_per_domain: usize,
+    /// [`locality_core::TrackedCaps::fingerprint`] of a sweep-restricted
+    /// profile's capacity grids; 0 for capacity-independent (exact)
+    /// profiles.
+    pub caps_fingerprint: u64,
 }
 
 /// A thread-safe profile memo with hit/computation counters.
@@ -94,6 +102,7 @@ mod tests {
             threads: 1,
             line_bytes: 256,
             cores_per_domain: 12,
+            caps_fingerprint: 0,
         }
     }
 
@@ -116,6 +125,20 @@ mod tests {
         cache.get_or_compute(key(2, Method::A), profile);
         assert_eq!(cache.computations(), 3);
         assert_eq!(cache.hits(), 4);
+    }
+
+    #[test]
+    fn distinct_caps_fingerprints_get_distinct_slots() {
+        // A sweep-restricted profile only answers at its own capacity
+        // grid, so another grid must trigger a fresh computation.
+        let cache = ProfileCache::new();
+        let mut sweep_key = key(1, Method::A);
+        sweep_key.caps_fingerprint = 0xfeed;
+        cache.get_or_compute(key(1, Method::A), profile);
+        cache.get_or_compute(sweep_key, profile);
+        cache.get_or_compute(sweep_key, profile);
+        assert_eq!(cache.computations(), 2);
+        assert_eq!(cache.hits(), 1);
     }
 
     #[test]

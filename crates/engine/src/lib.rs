@@ -49,7 +49,9 @@ pub use job::{BatchSpec, Job, MatrixSource, SpecError};
 pub use report::{BatchResult, BatchStats, Report};
 
 use a64fx::MachineConfig;
-use locality_core::{LocalityProfile, Method, SectorSetting};
+use locality_core::{
+    DomainPartial, LocalityProfile, Method, ProfileBuilder, SectorSetting, TrackedCaps,
+};
 use sparsemat::CsrMatrix;
 use std::fmt;
 
@@ -161,6 +163,32 @@ fn machine_for(spec: &BatchSpec) -> MachineConfig {
     cfg.with_cores(spec.threads.max(1))
 }
 
+/// Computes a profile with its independent L2 domains fanned out over the
+/// work-stealing pool: each domain's trace analysis is a pure function of
+/// the builder, so the partials run on `workers` threads and are merged in
+/// domain order — the result is byte-identical to the sequential pipeline
+/// for any worker count. With `settings`, method (A) runs the
+/// sweep-restricted marker pipeline (see
+/// [`ProfileBuilder::for_sweep`]); without, the capacity-independent
+/// exact pipeline.
+pub fn compute_profile_parallel(
+    matrix: &CsrMatrix,
+    cfg: &MachineConfig,
+    method: Method,
+    threads: usize,
+    settings: Option<&[SectorSetting]>,
+    workers: usize,
+) -> LocalityProfile {
+    let builder = match settings {
+        Some(s) => ProfileBuilder::for_sweep(matrix, cfg, method, threads, s),
+        None => ProfileBuilder::new(matrix, cfg, method, threads),
+    };
+    let domains: Vec<usize> = (0..builder.num_domains()).collect();
+    let partials: Vec<DomainPartial> =
+        pool::run_indexed(workers, &domains, |_, &d| builder.domain_partial(d));
+    builder.finish(partials)
+}
+
 /// Runs a batch: resolves matrices from the spec's sources, then fans the
 /// jobs out via [`run_on`].
 pub fn run_batch(spec: &BatchSpec) -> Result<BatchResult, EngineError> {
@@ -189,6 +217,12 @@ pub fn run_on(spec: &BatchSpec, matrices: &[(&str, &CsrMatrix)]) -> BatchResult 
     let cfg = machine_for(spec);
     let cache = ProfileCache::new();
 
+    // Method (A) profiles are sweep-restricted to exactly the capacities
+    // the spec's settings query — marker stacks instead of exact stacks,
+    // identical predictions at those capacities. Method (B) profiles are
+    // capacity-independent (fingerprint 0).
+    let caps_fingerprint = TrackedCaps::for_sweep(&cfg, &spec.settings).fingerprint();
+
     let reports = pool::run_indexed(spec.workers, &jobs, |_, job| {
         let (name, matrix) = matrices[job.matrix];
         let fingerprint = fingerprints[job.matrix];
@@ -198,9 +232,20 @@ pub fn run_on(spec: &BatchSpec, matrices: &[(&str, &CsrMatrix)]) -> BatchResult 
             threads: spec.threads,
             line_bytes: cfg.l2.line_bytes,
             cores_per_domain: cfg.cores_per_domain,
+            caps_fingerprint: match job.method {
+                Method::A => caps_fingerprint,
+                Method::B => 0,
+            },
         };
         let profile = cache.get_or_compute(key, || {
-            LocalityProfile::compute(matrix, &cfg, job.method, spec.threads)
+            compute_profile_parallel(
+                matrix,
+                &cfg,
+                job.method,
+                spec.threads,
+                Some(&spec.settings),
+                spec.workers,
+            )
         });
         let prediction = profile.evaluate(&cfg, &[job.setting])[0];
         report::report_for(
@@ -235,12 +280,15 @@ pub fn predict_cached(
     settings: &[SectorSetting],
     threads: usize,
 ) -> Vec<locality_core::Prediction> {
+    // Capacity-independent profile (caps_fingerprint 0): callers may hit
+    // the same cache entry with arbitrary follow-up sweeps.
     let key = ProfileKey {
         fingerprint: matrix.fingerprint(),
         method,
         threads,
         line_bytes: cfg.l2.line_bytes,
         cores_per_domain: cfg.cores_per_domain,
+        caps_fingerprint: 0,
     };
     let profile = cache.get_or_compute(key, || {
         LocalityProfile::compute(matrix, cfg, method, threads)

@@ -1,0 +1,416 @@
+//! Resumable trace *cursors*: row-block generators that yield [`Access`]es
+//! on demand.
+//!
+//! The sink-based generators ([`spmv_trace`](crate::spmv_trace),
+//! [`xtrace`](crate::xtrace)) push a whole row block's references in one
+//! call, which forces callers that need to *interleave* several threads'
+//! references (the shared-L2 collation of §3.2.1) to materialise every
+//! per-thread trace first — `~3·nnz` 16-byte events per routing replay.
+//! A cursor inverts the control flow: it carries the generator's loop
+//! state (row, nonzero, emission stage) in O(1) space and produces the
+//! next reference each time it is asked, so
+//! [`round_robin_cursors`](crate::interleave::round_robin_cursors) can
+//! merge an arbitrary number of threads with O(threads) total state and
+//! zero trace allocation.
+//!
+//! Cursors are cheap to construct (they borrow the matrix and layout), so
+//! replaying a stream — e.g. the warm-up and measured iterations of the
+//! locality model — is done by building fresh cursors rather than storing
+//! the trace.
+
+use crate::layout::{Array, DataLayout};
+use crate::sink::TraceSink;
+use crate::Access;
+use sparsemat::CsrMatrix;
+use std::ops::Range;
+
+/// A resumable generator of [`Access`] events.
+pub trait TraceCursor {
+    /// Produces the next reference, or `None` when the trace is exhausted.
+    fn next_access(&mut self) -> Option<Access>;
+
+    /// Exact number of references this cursor will still produce.
+    fn remaining(&self) -> usize;
+
+    /// Drains the cursor into a sink (convenience; equivalent to calling
+    /// [`next_access`](Self::next_access) until exhaustion).
+    fn drain_into<S: TraceSink>(&mut self, sink: &mut S)
+    where
+        Self: Sized,
+    {
+        while let Some(a) = self.next_access() {
+            sink.access(a);
+        }
+    }
+}
+
+/// Emission stage of the method (A) generator's inner loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Stage {
+    /// Loop entry: `rowptr[r0]`.
+    Entry,
+    /// Loop bound of the current row: `rowptr[r + 1]`.
+    Bound,
+    /// `a[i]` of the current nonzero.
+    A,
+    /// `colidx[i]` of the current nonzero.
+    Col,
+    /// `x[colidx[i]]` of the current nonzero.
+    X,
+    /// `y[r]` store closing the current row.
+    Y,
+    /// Exhausted.
+    Done,
+}
+
+/// Streaming equivalent of
+/// [`trace_spmv_rows`](crate::spmv_trace::trace_spmv_rows): yields the
+/// method (A) trace of one row block reference-by-reference.
+///
+/// The emission order is identical to the sink generator's (verified by
+/// tests): `rowptr[r0]`, then per row the bound load, the per-nonzero
+/// `a`/`colidx`/`x` triple, and the `y` store.
+#[derive(Clone, Debug)]
+pub struct SpmvCursor<'a> {
+    matrix: &'a CsrMatrix,
+    layout: &'a DataLayout,
+    rows: Range<usize>,
+    row: usize,
+    nz: usize,
+    nz_end: usize,
+    stage: Stage,
+    remaining: usize,
+}
+
+impl<'a> SpmvCursor<'a> {
+    /// Creates a cursor over rows `rows` of `matrix`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row range is out of bounds.
+    pub fn new(matrix: &'a CsrMatrix, layout: &'a DataLayout, rows: Range<usize>) -> Self {
+        assert!(rows.end <= matrix.num_rows(), "row range out of bounds");
+        let nnz = if rows.is_empty() {
+            0
+        } else {
+            (matrix.rowptr()[rows.end] - matrix.rowptr()[rows.start]) as usize
+        };
+        let remaining = if rows.is_empty() {
+            0
+        } else {
+            crate::spmv_trace::trace_len(rows.len(), nnz)
+        };
+        SpmvCursor {
+            matrix,
+            layout,
+            row: rows.start,
+            rows,
+            nz: 0,
+            nz_end: 0,
+            stage: Stage::Entry,
+            remaining,
+        }
+    }
+}
+
+impl TraceCursor for SpmvCursor<'_> {
+    fn next_access(&mut self) -> Option<Access> {
+        let access = match self.stage {
+            Stage::Done => return None,
+            Stage::Entry => {
+                if self.rows.is_empty() {
+                    self.stage = Stage::Done;
+                    return None;
+                }
+                self.stage = Stage::Bound;
+                Access::load(
+                    self.layout.line_of(Array::RowPtr, self.rows.start),
+                    Array::RowPtr,
+                )
+            }
+            Stage::Bound => {
+                let r = self.row;
+                let range = self.matrix.row_range(r);
+                self.nz = range.start;
+                self.nz_end = range.end;
+                self.stage = if self.nz < self.nz_end {
+                    Stage::A
+                } else {
+                    Stage::Y
+                };
+                Access::load(self.layout.line_of(Array::RowPtr, r + 1), Array::RowPtr)
+            }
+            Stage::A => {
+                self.stage = Stage::Col;
+                Access::load(self.layout.line_of(Array::A, self.nz), Array::A)
+            }
+            Stage::Col => {
+                self.stage = Stage::X;
+                Access::load(self.layout.line_of(Array::ColIdx, self.nz), Array::ColIdx)
+            }
+            Stage::X => {
+                let c = self.matrix.colidx()[self.nz] as usize;
+                self.nz += 1;
+                self.stage = if self.nz < self.nz_end {
+                    Stage::A
+                } else {
+                    Stage::Y
+                };
+                Access::load(self.layout.line_of(Array::X, c), Array::X)
+            }
+            Stage::Y => {
+                let r = self.row;
+                self.row += 1;
+                self.stage = if self.row < self.rows.end {
+                    Stage::Bound
+                } else {
+                    Stage::Done
+                };
+                Access::store(self.layout.line_of(Array::Y, r), Array::Y)
+            }
+        };
+        self.remaining -= 1;
+        Some(access)
+    }
+
+    fn remaining(&self) -> usize {
+        self.remaining
+    }
+}
+
+/// Streaming equivalent of
+/// [`trace_x_rows`](crate::xtrace::trace_x_rows): yields the method (B)
+/// trace (one `x` load per nonzero) of one row block.
+#[derive(Clone, Debug)]
+pub struct XCursor<'a> {
+    colidx: &'a [u32],
+    layout: &'a DataLayout,
+    nz: usize,
+    nz_end: usize,
+}
+
+impl<'a> XCursor<'a> {
+    /// Creates a cursor over rows `rows` of `matrix`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row range is out of bounds.
+    pub fn new(matrix: &'a CsrMatrix, layout: &'a DataLayout, rows: Range<usize>) -> Self {
+        assert!(rows.end <= matrix.num_rows(), "row range out of bounds");
+        let (nz, nz_end) = if rows.is_empty() {
+            (0, 0)
+        } else {
+            (
+                matrix.rowptr()[rows.start] as usize,
+                matrix.rowptr()[rows.end] as usize,
+            )
+        };
+        XCursor {
+            colidx: matrix.colidx(),
+            layout,
+            nz,
+            nz_end,
+        }
+    }
+}
+
+impl TraceCursor for XCursor<'_> {
+    fn next_access(&mut self) -> Option<Access> {
+        if self.nz >= self.nz_end {
+            return None;
+        }
+        let c = self.colidx[self.nz] as usize;
+        self.nz += 1;
+        Some(Access::load(self.layout.line_of(Array::X, c), Array::X))
+    }
+
+    fn remaining(&self) -> usize {
+        self.nz_end - self.nz
+    }
+}
+
+/// A cursor over an already-materialised trace slice (tests and adapters).
+#[derive(Clone, Debug)]
+pub struct SliceCursor<'a> {
+    trace: &'a [Access],
+    pos: usize,
+}
+
+impl<'a> SliceCursor<'a> {
+    /// Creates a cursor yielding `trace` in order.
+    pub fn new(trace: &'a [Access]) -> Self {
+        SliceCursor { trace, pos: 0 }
+    }
+}
+
+impl TraceCursor for SliceCursor<'_> {
+    fn next_access(&mut self) -> Option<Access> {
+        let a = self.trace.get(self.pos).copied();
+        self.pos += a.is_some() as usize;
+        a
+    }
+
+    fn remaining(&self) -> usize {
+        self.trace.len() - self.pos
+    }
+}
+
+/// Per-thread method (A) cursors for a row partition — the streaming
+/// counterpart of
+/// [`trace_spmv_partitioned`](crate::spmv_trace::trace_spmv_partitioned).
+pub fn spmv_cursors<'a>(
+    matrix: &'a CsrMatrix,
+    layout: &'a DataLayout,
+    partition: &sparsemat::RowPartition,
+) -> Vec<SpmvCursor<'a>> {
+    partition
+        .iter()
+        .map(|rows| SpmvCursor::new(matrix, layout, rows))
+        .collect()
+}
+
+/// Per-thread method (B) cursors for a row partition — the streaming
+/// counterpart of
+/// [`trace_x_partitioned`](crate::xtrace::trace_x_partitioned).
+pub fn x_cursors<'a>(
+    matrix: &'a CsrMatrix,
+    layout: &'a DataLayout,
+    partition: &sparsemat::RowPartition,
+) -> Vec<XCursor<'a>> {
+    partition
+        .iter()
+        .map(|rows| XCursor::new(matrix, layout, rows))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::VecSink;
+    use crate::spmv_trace::{trace_spmv_partitioned, trace_spmv_rows};
+    use crate::xtrace::trace_x_rows;
+    use sparsemat::{CooMatrix, RowPartition};
+
+    fn fig1() -> (CsrMatrix, DataLayout) {
+        let m = CsrMatrix::from_parts(
+            4,
+            4,
+            vec![0, 2, 3, 5, 7],
+            vec![1, 2, 0, 2, 3, 1, 3],
+            vec![1.0; 7],
+        );
+        let l = DataLayout::new(&m, 16);
+        (m, l)
+    }
+
+    fn random_csr(n: usize, per_row: usize, seed: u64) -> CsrMatrix {
+        let mut state = seed | 1;
+        let mut coo = CooMatrix::new(n, n);
+        for r in 0..n {
+            for _ in 0..per_row {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(13);
+                coo.push(r, (state >> 33) as usize % n, 1.0);
+            }
+        }
+        coo.to_csr()
+    }
+
+    fn collect<C: TraceCursor>(mut c: C) -> Vec<Access> {
+        let mut out = Vec::new();
+        while let Some(a) = c.next_access() {
+            out.push(a);
+        }
+        out
+    }
+
+    #[test]
+    fn spmv_cursor_matches_sink_generator() {
+        let (m, l) = fig1();
+        for rows in [0..4, 0..1, 1..3, 2..2, 0..0] {
+            let mut sink = VecSink::new();
+            trace_spmv_rows(&m, &l, rows.clone(), &mut sink);
+            let got = collect(SpmvCursor::new(&m, &l, rows.clone()));
+            assert_eq!(got, sink.trace, "rows {rows:?}");
+        }
+    }
+
+    #[test]
+    fn spmv_cursor_matches_on_random_matrix_with_empty_rows() {
+        let mut coo = CooMatrix::new(10, 10);
+        // Rows 0, 4, 9 empty; others sparse.
+        for (r, c) in [(1, 3), (2, 0), (2, 9), (3, 3), (5, 5), (6, 1), (8, 8)] {
+            coo.push(r, c, 1.0);
+        }
+        let m = coo.to_csr();
+        let l = DataLayout::new(&m, 16);
+        let mut sink = VecSink::new();
+        trace_spmv_rows(&m, &l, 0..10, &mut sink);
+        assert_eq!(collect(SpmvCursor::new(&m, &l, 0..10)), sink.trace);
+    }
+
+    #[test]
+    fn x_cursor_matches_sink_generator() {
+        let (m, l) = fig1();
+        for rows in [0..4, 1..3, 3..3] {
+            let mut sink = VecSink::new();
+            trace_x_rows(&m, &l, rows.clone(), &mut sink);
+            assert_eq!(collect(XCursor::new(&m, &l, rows.clone())), sink.trace);
+        }
+    }
+
+    #[test]
+    fn remaining_counts_down_exactly() {
+        let m = random_csr(64, 5, 9);
+        let l = DataLayout::new(&m, 64);
+        let mut c = SpmvCursor::new(&m, &l, 0..64);
+        let total = c.remaining();
+        assert_eq!(total, crate::spmv_trace::trace_len(64, m.nnz()));
+        let mut seen = 0;
+        while let Some(_) = c.next_access() {
+            seen += 1;
+            assert_eq!(c.remaining(), total - seen);
+        }
+        assert_eq!(seen, total);
+        assert_eq!(c.next_access(), None);
+        assert_eq!(c.remaining(), 0);
+    }
+
+    #[test]
+    fn partitioned_cursors_match_partitioned_traces() {
+        let m = random_csr(100, 4, 3);
+        let l = DataLayout::new(&m, 64);
+        let p = RowPartition::static_rows(100, 7);
+        let traces = trace_spmv_partitioned(&m, &l, &p);
+        let cursors = spmv_cursors(&m, &l, &p);
+        for (cursor, trace) in cursors.into_iter().zip(traces) {
+            assert_eq!(collect(cursor), trace);
+        }
+    }
+
+    #[test]
+    fn slice_cursor_round_trips() {
+        let (m, l) = fig1();
+        let mut sink = VecSink::new();
+        trace_spmv_rows(&m, &l, 0..4, &mut sink);
+        let c = SliceCursor::new(&sink.trace);
+        assert_eq!(c.remaining(), sink.trace.len());
+        assert_eq!(collect(c), sink.trace);
+    }
+
+    #[test]
+    fn drain_into_feeds_whole_trace() {
+        let (m, l) = fig1();
+        let mut direct = VecSink::new();
+        trace_spmv_rows(&m, &l, 0..4, &mut direct);
+        let mut drained = VecSink::new();
+        SpmvCursor::new(&m, &l, 0..4).drain_into(&mut drained);
+        assert_eq!(drained.trace, direct.trace);
+    }
+
+    #[test]
+    #[should_panic(expected = "row range out of bounds")]
+    fn out_of_bounds_rejected() {
+        let (m, l) = fig1();
+        SpmvCursor::new(&m, &l, 0..5);
+    }
+}

@@ -16,6 +16,7 @@
 //! cores per L2/NUMA domain) so each shared L2 can be analysed with only
 //! its own threads' references.
 
+use crate::cursor::TraceCursor;
 use crate::mcs::McsLock;
 use crate::sink::TraceSink;
 use crate::Access;
@@ -71,6 +72,40 @@ pub fn round_robin_into<S: TraceSink>(traces: &[Vec<Access>], chunk: usize, sink
             sink.access_all(&t[*cursor..end]);
             remaining -= end - *cursor;
             *cursor = end;
+        }
+    }
+}
+
+/// Streams the round-robin interleaving of per-thread trace *cursors*
+/// directly into a sink.
+///
+/// The order is identical to [`round_robin_into`] over the traces the
+/// cursors would produce, but the merged stream is generated on demand:
+/// total state is O(threads) regardless of trace length, and no
+/// per-thread trace is ever materialised. This is the collation the
+/// streaming profile pipeline uses per L2 domain.
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero.
+pub fn round_robin_cursors<C: TraceCursor, S: TraceSink>(
+    cursors: &mut [C],
+    chunk: usize,
+    sink: &mut S,
+) {
+    assert!(chunk > 0, "chunk size must be positive");
+    let mut remaining: usize = cursors.iter().map(|c| c.remaining()).sum();
+    while remaining > 0 {
+        for cursor in cursors.iter_mut() {
+            for _ in 0..chunk {
+                match cursor.next_access() {
+                    Some(a) => {
+                        sink.access(a);
+                        remaining -= 1;
+                    }
+                    None => break,
+                }
+            }
         }
     }
 }
@@ -187,6 +222,22 @@ mod tests {
         let mut sink = crate::sink::VecSink::new();
         round_robin_into(&traces, 2, &mut sink);
         assert_eq!(sink.trace, direct);
+    }
+
+    #[test]
+    fn round_robin_cursors_matches_materialized() {
+        use crate::cursor::SliceCursor;
+        for lens in [vec![5, 3, 7], vec![1, 4], vec![0, 0, 2], vec![]] {
+            for chunk in [1, 2, 5] {
+                let traces = traces_of(&lens);
+                let direct = round_robin(&traces, chunk);
+                let mut cursors: Vec<SliceCursor> =
+                    traces.iter().map(|t| SliceCursor::new(t)).collect();
+                let mut sink = crate::sink::VecSink::new();
+                round_robin_cursors(&mut cursors, chunk, &mut sink);
+                assert_eq!(sink.trace, direct, "lens {lens:?} chunk {chunk}");
+            }
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cursor;
 pub mod interleave;
 pub mod layout;
 pub mod mcs;
@@ -34,8 +35,9 @@ pub mod sink;
 pub mod spmv_trace;
 pub mod xtrace;
 
+pub use cursor::TraceCursor;
 pub use layout::{Array, DataLayout, A64FX_LINE_BYTES};
-pub use sink::{CountSink, TraceSink, VecSink};
+pub use sink::{CountSink, PackedVecSink, TraceSink, VecSink};
 
 /// A single memory reference at cache-line granularity.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -83,6 +85,82 @@ impl Access {
             write: false,
             sw_prefetch: true,
         }
+    }
+}
+
+/// An [`Access`] packed into 8 bytes, for the paths that still *buffer*
+/// references (MCS collation, two-level replay) rather than streaming
+/// them through a cursor.
+///
+/// Layout: array tag in the line's high bits — bits 63..61 the [`Array`]
+/// discriminant, bit 60 the write flag, bit 59 the software-prefetch
+/// flag, bits 58..0 the global cache-line number. Halves the footprint of
+/// a buffered trace relative to the 16-byte `Access` (the compiler pads
+/// the `u64` + 3 small fields to 16).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PackedAccess(u64);
+
+impl PackedAccess {
+    /// Highest representable cache-line number (59 bits).
+    pub const MAX_LINE: u64 = (1 << 59) - 1;
+
+    /// Packs an access.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the line number needs more than 59
+    /// bits — unreachable for any [`DataLayout`] of a matrix that fits in
+    /// memory.
+    #[inline]
+    pub fn pack(access: Access) -> Self {
+        debug_assert!(
+            access.line <= Self::MAX_LINE,
+            "line number overflows 59 bits"
+        );
+        PackedAccess(
+            ((access.array as u64) << 61)
+                | ((access.write as u64) << 60)
+                | ((access.sw_prefetch as u64) << 59)
+                | (access.line & Self::MAX_LINE),
+        )
+    }
+
+    /// Unpacks back to the full event.
+    #[inline]
+    pub fn unpack(self) -> Access {
+        let array = match (self.0 >> 61) as u8 {
+            0 => Array::X,
+            1 => Array::Y,
+            2 => Array::A,
+            3 => Array::ColIdx,
+            _ => Array::RowPtr,
+        };
+        Access {
+            line: self.0 & Self::MAX_LINE,
+            array,
+            write: self.0 & (1 << 60) != 0,
+            sw_prefetch: self.0 & (1 << 59) != 0,
+        }
+    }
+
+    /// The packed line number without unpacking the rest.
+    #[inline]
+    pub fn line(self) -> u64 {
+        self.0 & Self::MAX_LINE
+    }
+}
+
+impl From<Access> for PackedAccess {
+    #[inline]
+    fn from(a: Access) -> Self {
+        PackedAccess::pack(a)
+    }
+}
+
+impl From<PackedAccess> for Access {
+    #[inline]
+    fn from(p: PackedAccess) -> Self {
+        p.unpack()
     }
 }
 
@@ -159,6 +237,37 @@ mod tests {
         assert!(!s.contains(Array::A));
         let s2 = ArraySet::EMPTY.with(Array::RowPtr);
         assert!(s2.contains(Array::RowPtr));
+    }
+
+    #[test]
+    fn packed_access_round_trips() {
+        for array in Array::ALL {
+            for (write, pf) in [(false, false), (true, false), (false, true)] {
+                let a = Access {
+                    line: 0x0123_4567_89AB,
+                    array,
+                    write,
+                    sw_prefetch: pf,
+                };
+                let p = PackedAccess::pack(a);
+                assert_eq!(p.unpack(), a);
+                assert_eq!(p.line(), a.line);
+            }
+        }
+    }
+
+    #[test]
+    fn packed_access_extremes() {
+        let a = Access::store(PackedAccess::MAX_LINE, Array::RowPtr);
+        assert_eq!(PackedAccess::pack(a).unpack(), a);
+        let b = Access::load(0, Array::X);
+        assert_eq!(PackedAccess::from(b).unpack(), b);
+    }
+
+    #[test]
+    fn packed_access_is_8_bytes() {
+        assert_eq!(std::mem::size_of::<PackedAccess>(), 8);
+        assert!(std::mem::size_of::<Access>() > 8);
     }
 
     #[test]

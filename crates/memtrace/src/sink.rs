@@ -6,7 +6,7 @@
 //! `M + 1 + 3K + M` references; for the larger corpus matrices that is far
 //! too many to want to materialise per configuration.
 
-use crate::Access;
+use crate::{Access, PackedAccess};
 
 /// A consumer of a stream of memory references.
 pub trait TraceSink {
@@ -53,6 +53,43 @@ impl TraceSink for Vec<Access> {
     #[inline]
     fn access(&mut self, access: Access) {
         self.push(access);
+    }
+}
+
+/// Collects the trace as 8-byte [`PackedAccess`]es — half the memory of
+/// [`VecSink`] for the paths that must buffer (e.g. a materialised
+/// interleaving replayed against several stack configurations).
+#[derive(Clone, Debug, Default)]
+pub struct PackedVecSink {
+    /// The recorded references, packed, in order.
+    pub trace: Vec<PackedAccess>,
+}
+
+impl PackedVecSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty sink with reserved capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        PackedVecSink {
+            trace: Vec::with_capacity(n),
+        }
+    }
+
+    /// Replays the buffered trace into another sink.
+    pub fn replay<S: TraceSink>(&self, sink: &mut S) {
+        for &p in &self.trace {
+            sink.access(p.unpack());
+        }
+    }
+}
+
+impl TraceSink for PackedVecSink {
+    #[inline]
+    fn access(&mut self, access: Access) {
+        self.trace.push(PackedAccess::pack(access));
     }
 }
 

@@ -43,7 +43,17 @@ impl Fenwick {
     }
 
     /// Sum of slots `0..=i`.
+    ///
+    /// `i` must be a valid slot index (`i < len`). Debug builds assert
+    /// this; release builds clamp to the last slot, returning the total —
+    /// out-of-range queries are a caller bug, and the clamp merely keeps
+    /// the answer monotone instead of panicking mid-experiment.
     pub fn prefix_sum(&self, i: usize) -> u64 {
+        debug_assert!(
+            i < self.len(),
+            "prefix_sum index {i} out of range for {} slots",
+            self.len()
+        );
         let mut i = (i + 1).min(self.tree.len() - 1);
         let mut sum = 0u64;
         while i > 0 {
@@ -155,6 +165,24 @@ mod tests {
         let f = Fenwick::new(0);
         assert!(f.is_empty());
         assert_eq!(f.total(), 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out of range")]
+    fn prefix_sum_out_of_range_asserts_in_debug() {
+        let f = Fenwick::new(4);
+        f.prefix_sum(4);
+    }
+
+    #[test]
+    fn prefix_sum_last_slot_equals_total() {
+        // The documented release-mode clamp target: the last valid index
+        // must already cover the whole tree.
+        let mut f = Fenwick::new(6);
+        f.add(0, 2);
+        f.add(5, 3);
+        assert_eq!(f.prefix_sum(5), f.total());
     }
 
     #[test]

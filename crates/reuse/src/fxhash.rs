@@ -1,0 +1,292 @@
+//! Fast hashing for the stack processors' hot path.
+//!
+//! The standard library's default `HashMap` hasher is SipHash-1-3 — a
+//! keyed, DoS-resistant function that costs tens of cycles per lookup.
+//! The stack processors perform exactly one map operation *per trace
+//! reference*, on offline data derived from a matrix the user chose, so
+//! there is no adversary to resist and the SipHash cost is pure
+//! overhead. Two replacements:
+//!
+//! * [`FxHasher`] — the rustc `FxHash` multiply-rotate mix (one rotate,
+//!   one xor, one multiply per word), for drop-in `HashMap` replacement
+//!   via [`FxHashMap`];
+//! * [`LineTable`] — an open-addressing `u64 → u32` table for the
+//!   last-access/index maps, which are *insert-or-update only* (a cache
+//!   line, once seen, is never forgotten). Fibonacci-hashed linear
+//!   probing over a flat pair of arrays: no bucket pointers, no
+//!   tombstones, one cache line touched per lookup in the common case.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant of the FxHash mix (same as rustc's).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The rustc `FxHash` hasher: not cryptographic, extremely cheap, good
+/// enough dispersion for trust-the-input workloads like trace analysis.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`] instead of SipHash.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// Sentinel marking an empty [`LineTable`] slot. Cache-line numbers come
+/// from a [`memtrace::DataLayout`], whose line space is far below
+/// `u64::MAX`, so the sentinel can never collide with a real key.
+const EMPTY: u64 = u64::MAX;
+
+/// Open-addressing `u64 → u32` hash table specialised for the stack
+/// processors' last-access and node-index maps.
+///
+/// Supports insert-or-update and lookup only — entries are never removed,
+/// which is exactly the lifecycle of a cache line in a stack processor —
+/// so linear probing needs no tombstones. Capacity is a power of two;
+/// the table grows at 70 % load.
+#[derive(Clone, Debug)]
+pub struct LineTable {
+    keys: Vec<u64>,
+    vals: Vec<u32>,
+    len: usize,
+    mask: usize,
+}
+
+impl Default for LineTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LineTable {
+    /// An empty table with a small initial capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(16)
+    }
+
+    /// An empty table pre-sized to hold `n` entries without growing.
+    pub fn with_capacity(n: usize) -> Self {
+        // Slots so that n entries stay under the 70 % load factor.
+        let slots = (n.max(8) * 10 / 7).next_power_of_two();
+        LineTable {
+            keys: vec![EMPTY; slots],
+            vals: vec![0; slots],
+            len: 0,
+            mask: slots - 1,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Fibonacci-hash probe start for a key.
+    #[inline]
+    fn slot_of(&self, key: u64) -> usize {
+        // High bits of the golden-ratio product disperse best; fold them
+        // down to the table size.
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & self.mask
+    }
+
+    /// Inserts `key → val`, returning the previous value if the key was
+    /// already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `key` is the reserved sentinel
+    /// `u64::MAX`.
+    #[inline]
+    pub fn insert(&mut self, key: u64, val: u32) -> Option<u32> {
+        debug_assert_ne!(key, EMPTY, "u64::MAX is the reserved empty sentinel");
+        if (self.len + 1) * 10 > self.keys.len() * 7 {
+            self.grow();
+        }
+        let mut slot = self.slot_of(key);
+        loop {
+            let k = self.keys[slot];
+            if k == key {
+                let prev = self.vals[slot];
+                self.vals[slot] = val;
+                return Some(prev);
+            }
+            if k == EMPTY {
+                self.keys[slot] = key;
+                self.vals[slot] = val;
+                self.len += 1;
+                return None;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Looks a key up.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<u32> {
+        let mut slot = self.slot_of(key);
+        loop {
+            let k = self.keys[slot];
+            if k == key {
+                return Some(self.vals[slot]);
+            }
+            if k == EMPTY {
+                return None;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; 0]);
+        let old_vals = std::mem::take(&mut self.vals);
+        let slots = (old_keys.len() * 2).max(16);
+        self.keys = vec![EMPTY; slots];
+        self.vals = vec![0; slots];
+        self.mask = slots - 1;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k == EMPTY {
+                continue;
+            }
+            let mut slot = self.slot_of(k);
+            while self.keys[slot] != EMPTY {
+                slot = (slot + 1) & self.mask;
+            }
+            self.keys[slot] = k;
+            self.vals[slot] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_update() {
+        let mut t = LineTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.insert(42, 7), None);
+        assert_eq!(t.get(42), Some(7));
+        assert_eq!(t.insert(42, 9), Some(7));
+        assert_eq!(t.get(42), Some(9));
+        assert_eq!(t.get(43), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn matches_std_hashmap_under_growth() {
+        let mut t = LineTable::with_capacity(4);
+        let mut reference: HashMap<u64, u32> = HashMap::new();
+        let mut state = 1u64;
+        for i in 0..10_000u32 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let key = (state >> 30) % 3000; // plenty of updates
+            assert_eq!(t.insert(key, i), reference.insert(key, i), "step {i}");
+        }
+        assert_eq!(t.len(), reference.len());
+        for (&k, &v) in &reference {
+            assert_eq!(t.get(k), Some(v), "key {k}");
+        }
+    }
+
+    #[test]
+    fn adversarially_clustered_keys() {
+        // Sequential keys (dense line ranges) and strided keys both occur
+        // in real layouts; the table must stay correct under clustering.
+        let mut t = LineTable::new();
+        for k in 0..5000u64 {
+            t.insert(k, k as u32);
+        }
+        for k in (0..5_000_000u64).step_by(4096) {
+            t.insert(k, 1);
+        }
+        for k in 0..5000u64 {
+            let expect = if k == 0 || (k % 4096 == 0) {
+                1
+            } else {
+                k as u32
+            };
+            assert_eq!(t.get(k), Some(expect));
+        }
+        assert_eq!(t.get(5001), None);
+    }
+
+    #[test]
+    fn fx_hashmap_smoke() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(i, i * i);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&31), Some(&961));
+    }
+
+    #[test]
+    fn fx_hasher_mixes_bytes_and_words() {
+        use std::hash::Hasher as _;
+        let mut a = FxHasher::default();
+        a.write(b"hello world");
+        let mut b = FxHasher::default();
+        b.write(b"hello worlt"); // different tail byte
+        assert_ne!(a.finish(), b.finish());
+        let mut c = FxHasher::default();
+        c.write_u64(77);
+        assert_ne!(c.finish(), 0);
+    }
+}

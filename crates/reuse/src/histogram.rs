@@ -22,9 +22,19 @@ impl ReuseHistogram {
 
     /// Records one access with the given reuse distance (`None` = cold).
     pub fn record(&mut self, distance: Option<u64>) {
+        self.record_n(distance, 1);
+    }
+
+    /// Records `count` accesses sharing one reuse distance. Recording a
+    /// zero count is a no-op (no empty bucket is created, so equality
+    /// with an access-by-access histogram is preserved).
+    pub fn record_n(&mut self, distance: Option<u64>, count: u64) {
+        if count == 0 {
+            return;
+        }
         match distance {
-            Some(d) => *self.finite.entry(d).or_insert(0) += 1,
-            None => self.infinite += 1,
+            Some(d) => *self.finite.entry(d).or_insert(0) += count,
+            None => self.infinite += count,
         }
     }
 

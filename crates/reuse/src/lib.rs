@@ -8,6 +8,8 @@
 //! * [`naive::NaiveStack`] — O(N·n) LRU-stack oracle for tests.
 //! * [`exact::ExactStack`] — exact distances in O(log N) per reference via
 //!   a hash map of last-access times and a [`fenwick::Fenwick`] tree.
+//! * [`fxhash`] — FxHash hasher and the open-addressing [`fxhash::LineTable`]
+//!   backing the processors' per-reference map operations.
 //! * [`markers::MarkerStack`] — the Kim et al. (1991) algorithm the paper
 //!   uses: hit/miss classification against a fixed set of capacities in
 //!   O(#capacities) per reference, *independent of locality*. Counts are
@@ -22,6 +24,7 @@
 
 pub mod exact;
 pub mod fenwick;
+pub mod fxhash;
 pub mod histogram;
 pub mod markers;
 pub mod naive;
@@ -29,6 +32,7 @@ pub mod partitioned;
 pub mod sampled;
 
 pub use exact::ExactStack;
+pub use fxhash::{FxHashMap, LineTable};
 pub use histogram::ReuseHistogram;
 pub use markers::MarkerStack;
 pub use partitioned::PartitionedStack;

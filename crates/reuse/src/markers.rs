@@ -15,8 +15,9 @@
 //! model uses to decompose traffic (`x`-traffic fraction, §4.5.5) and to
 //! account partitions separately (Eq. 2).
 
+use crate::fxhash::LineTable;
+use crate::histogram::ReuseHistogram;
 use memtrace::{Access, Array, TraceSink};
-use std::collections::HashMap;
 
 const NIL: u32 = u32::MAX;
 
@@ -37,7 +38,7 @@ pub struct MarkerStack {
     caps: Vec<usize>,
     nodes: Vec<Node>,
     free: Vec<u32>,
-    index: HashMap<u64, u32>,
+    index: LineTable,
     head: u32,
     tail: u32,
     len: usize,
@@ -48,6 +49,8 @@ pub struct MarkerStack {
     misses: Vec<[u64; 5]>,
     /// Cold (infinite-distance) accesses per array.
     cold: [u64; 5],
+    /// Accesses per array since the last counter reset.
+    accesses_by_array: [u64; 5],
     accesses: u64,
 }
 
@@ -74,15 +77,26 @@ impl MarkerStack {
             caps,
             nodes: Vec::new(),
             free: Vec::new(),
-            index: HashMap::new(),
+            index: LineTable::new(),
             head: NIL,
             tail: NIL,
             len: 0,
             markers: vec![NIL; n],
             misses: vec![[0; 5]; n],
             cold: [0; 5],
+            accesses_by_array: [0; 5],
             accesses: 0,
         }
+    }
+
+    /// Like [`new`](Self::new), but pre-sizes the line index for an
+    /// expected number of distinct lines (avoids rehashing when the
+    /// footprint is known, e.g. from a [`memtrace::DataLayout`]).
+    pub fn with_line_capacity(capacities: &[usize], distinct_lines: usize) -> Self {
+        let mut s = Self::new(capacities);
+        s.index = LineTable::with_capacity(distinct_lines);
+        s.nodes.reserve(distinct_lines);
+        s
     }
 
     /// The (sorted, deduplicated) capacities this stack tracks.
@@ -103,6 +117,11 @@ impl MarkerStack {
     /// Cold accesses of one array since the last counter reset.
     pub fn cold_by_array(&self, array: Array) -> u64 {
         self.cold[array as usize]
+    }
+
+    /// Accesses of one array since the last counter reset.
+    pub fn accesses_by_array(&self, array: Array) -> u64 {
+        self.accesses_by_array[array as usize]
     }
 
     /// Misses (cold included) at capacity index `j` since the last reset.
@@ -157,6 +176,7 @@ impl MarkerStack {
             *m = [0; 5];
         }
         self.cold = [0; 5];
+        self.accesses_by_array = [0; 5];
         self.accesses = 0;
     }
 
@@ -164,7 +184,8 @@ impl MarkerStack {
     pub fn access(&mut self, line: u64, array: Array) {
         self.accesses += 1;
         let ai = array as usize;
-        if let Some(&slot) = self.index.get(&line) {
+        self.accesses_by_array[ai] += 1;
+        if let Some(slot) = self.index.get(line) {
             if self.head == slot {
                 // Depth 1: hit everywhere, nothing moves.
                 return;
@@ -206,6 +227,10 @@ impl MarkerStack {
             self.push_front(slot);
             self.len += 1;
             self.index.insert(line, slot);
+            debug_assert!(
+                self.len < u32::MAX as usize,
+                "line universe overflows u32 slots"
+            );
             self.fix_depth1_markers();
             // Markers spring into existence when the stack first reaches
             // their capacity: the tail is then exactly at that depth.
@@ -223,6 +248,40 @@ impl MarkerStack {
         if self.caps[0] == 1 && self.markers[0] == NIL && self.len >= 1 {
             self.markers[0] = self.head;
         }
+    }
+
+    /// Distils one array's counters into a reuse-distance histogram that
+    /// is **exact at every tracked capacity**.
+    ///
+    /// An access classified into inter-marker group `g` has a true
+    /// distance `d` with `caps[g-1] <= d < caps[g]`; the histogram
+    /// records it at the representative distance `caps[g-1]` (0 for
+    /// accesses that hit at every capacity, infinite for cold ones). For
+    /// any tracked capacity `c`, `histogram.misses(c)` then equals the
+    /// marker counter exactly; between tracked capacities the curve is a
+    /// step-function approximation. This is how the streaming profile
+    /// pipeline routes the Kim et al. counter under evaluate-compatible
+    /// histograms: a way sweep pays O(#capacities) per reference instead
+    /// of the exact processor's O(log N) Fenwick updates.
+    pub fn quantized_histogram(&self, array: Array) -> ReuseHistogram {
+        let ai = array as usize;
+        let n = self.caps.len();
+        let total = self.accesses_by_array[ai];
+        let cold = self.cold[ai];
+        let mut h = ReuseHistogram::new();
+        // Hits at every capacity: distance below caps[0].
+        h.record_n(Some(0), total - self.misses[0][ai]);
+        // Between adjacent capacities: misses at caps[j], hits at caps[j+1].
+        for j in 0..n - 1 {
+            h.record_n(
+                Some(self.caps[j] as u64),
+                self.misses[j][ai] - self.misses[j + 1][ai],
+            );
+        }
+        // Warm misses beyond the largest capacity, then the cold tail.
+        h.record_n(Some(self.caps[n - 1] as u64), self.misses[n - 1][ai] - cold);
+        h.record_n(None, cold);
+        h
     }
 
     fn alloc(&mut self, line: u64) -> u32 {
@@ -443,6 +502,75 @@ mod tests {
         // Distance of final access to 1 is 2: miss at cap 2, hit at cap 8.
         assert_eq!(ms.misses_at(2), 4); // 3 cold + 1
         assert_eq!(ms.misses_at(8), 3); // cold only
+    }
+
+    #[test]
+    fn quantized_histogram_exact_at_tracked_capacities() {
+        let trace = pseudorandom_trace(3000, 120, 5);
+        let caps = [1, 4, 16, 64, 128];
+        let mut ms = MarkerStack::new(&caps);
+        let mut ex = ExactStack::new();
+        let mut hist = ReuseHistogram::new();
+        for &l in &trace {
+            ms.access(l, Array::A);
+            hist.record(ex.access(l));
+        }
+        let q = ms.quantized_histogram(Array::A);
+        assert_eq!(q.total(), hist.total());
+        assert_eq!(q.cold(), hist.cold());
+        for &c in &caps {
+            assert_eq!(q.misses(c), hist.misses(c), "capacity {c}");
+        }
+        // Arrays that never appeared produce an empty histogram.
+        assert_eq!(ms.quantized_histogram(Array::X).total(), 0);
+    }
+
+    #[test]
+    fn quantized_histogram_steps_conservatively_between_capacities() {
+        // Between tracked capacities the quantized curve must report the
+        // miss count of the next tracked capacity (distances are rounded
+        // down to the representative), never fewer misses than reality.
+        let trace = pseudorandom_trace(2000, 60, 11);
+        let caps = [2, 8, 32];
+        let mut ms = MarkerStack::new(&caps);
+        let mut ex = ExactStack::new();
+        let mut hist = ReuseHistogram::new();
+        for &l in &trace {
+            ms.access(l, Array::X);
+            hist.record(ex.access(l));
+        }
+        let q = ms.quantized_histogram(Array::X);
+        for c in 3..=8 {
+            assert_eq!(q.misses(c), hist.misses(8), "capacity {c}");
+            assert!(q.misses(c) <= hist.misses(c));
+        }
+    }
+
+    #[test]
+    fn quantized_histogram_partitions_by_array() {
+        let mut ms = MarkerStack::new(&[2, 4]);
+        for (l, a) in [
+            (0, Array::X),
+            (10, Array::A),
+            (20, Array::A),
+            (0, Array::X),
+            (30, Array::Y),
+            (10, Array::A),
+        ] {
+            ms.access(l, a);
+        }
+        let qx = ms.quantized_histogram(Array::X);
+        let qa = ms.quantized_histogram(Array::A);
+        let qy = ms.quantized_histogram(Array::Y);
+        assert_eq!(qx.total() + qa.total() + qy.total(), ms.accesses());
+        assert_eq!(qx.cold() + qa.cold() + qy.cold(), ms.cold_total());
+        for (j, &c) in ms.capacities().to_vec().iter().enumerate() {
+            assert_eq!(
+                qx.misses(c) + qa.misses(c) + qy.misses(c),
+                ms.misses(j),
+                "capacity {c}"
+            );
+        }
     }
 
     #[test]

@@ -16,4 +16,11 @@ cargo test --workspace -q --offline
 echo "== cargo fmt --check =="
 cargo fmt --check
 
+echo "== bench smoke: streaming pipeline (BENCH_pr2.json) =="
+# Small corpus so the gate stays fast; emits refs/sec for the marker and
+# exact streaming pipelines vs the seed materialised replay, plus VmHWM
+# peak-RSS checkpoints, as BENCH_pr2.json at the repo root.
+cargo run --release --offline -p spmv-bench --bin bench_pr2 -- \
+    --count 4 --scale 64 --threads 8
+
 echo "ci: all gates passed"

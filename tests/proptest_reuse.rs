@@ -3,6 +3,7 @@
 //! processor and the naive LRU-stack oracle on arbitrary traces, and the
 //! partitioned accounting must decompose into independent caches.
 
+use memtrace::interleave::{domain_groups, round_robin};
 use memtrace::{Access, Array, ArraySet};
 use proptest::prelude::*;
 use reuse::{naive, ExactStack, MarkerStack, PartitionedStack, ReuseHistogram};
@@ -43,6 +44,41 @@ proptest! {
             prop_assert_eq!(ms.misses(j), hist.misses(c), "capacity {}", c);
         }
         ms.check_invariants();
+    }
+
+    /// Marker-stack and exact-stack miss counts agree on round-robin
+    /// interleaved multi-domain traces — the exact reference order the
+    /// streaming pipeline replays per L2 domain. Each domain is an
+    /// independent cache, so the agreement must hold domain by domain,
+    /// and the marker stack's quantized histogram must reproduce the
+    /// same miss counts at every tracked capacity.
+    #[test]
+    fn markers_equal_exact_on_interleaved_domains(
+        per_thread in prop::collection::vec(arb_trace(150, 48), 1..7),
+        cores_per_domain in 1usize..4,
+        caps in prop::collection::btree_set(1usize..64, 1..5),
+    ) {
+        let caps: Vec<usize> = caps.into_iter().collect();
+        let traces: Vec<Vec<Access>> = per_thread
+            .iter()
+            .map(|t| t.iter().map(|&l| Access::load(l, Array::X)).collect())
+            .collect();
+        for (d, span) in domain_groups(traces.len(), cores_per_domain).into_iter().enumerate() {
+            let interleaved = round_robin(&traces[span], 1);
+            let mut ms = MarkerStack::new(&caps);
+            let mut hist = ReuseHistogram::new();
+            let mut ex = ExactStack::new();
+            for a in &interleaved {
+                ms.access(a.line, a.array);
+                hist.record(ex.access(a.line));
+            }
+            let quantized = ms.quantized_histogram(Array::X);
+            for (j, &c) in caps.iter().enumerate() {
+                prop_assert_eq!(ms.misses(j), hist.misses(c), "domain {} capacity {}", d, c);
+                prop_assert_eq!(quantized.misses(c), hist.misses(c), "domain {} capacity {}", d, c);
+            }
+            ms.check_invariants();
+        }
     }
 
     /// The marker stack's internal invariants survive arbitrary
