@@ -38,8 +38,10 @@ pub struct Machine {
     sector1: ArraySet,
     cores: Vec<Core>,
     domains: Vec<Cache>,
-    /// Writebacks that missed L2 and went straight to memory.
-    direct_memory_writebacks: u64,
+    /// Per-domain writebacks that missed L2 and went straight to memory.
+    /// Still memory traffic from that domain, so they count toward both
+    /// the aggregate `L2D_CACHE_WB` and the domain's writeback row.
+    direct_memory_writebacks: Vec<u64>,
 }
 
 impl Machine {
@@ -61,12 +63,13 @@ impl Machine {
         let domains = (0..cfg.num_domains())
             .map(|_| Cache::new(cfg.l2, cfg.l2_sector, cfg.replacement))
             .collect();
+        let num_domains = cfg.num_domains();
         Machine {
             cfg,
             sector1,
             cores,
             domains,
-            direct_memory_writebacks: 0,
+            direct_memory_writebacks: vec![0; num_domains],
         }
     }
 
@@ -160,7 +163,7 @@ impl Machine {
 
     fn writeback_to_l2(&mut self, domain: usize, line: u64) {
         if self.domains[domain].access(line, 0, Request::Writeback) == Outcome::WritebackMiss {
-            self.direct_memory_writebacks += 1;
+            self.direct_memory_writebacks[domain] += 1;
         }
     }
 
@@ -174,7 +177,7 @@ impl Machine {
         for l2 in &mut self.domains {
             l2.reset_stats();
         }
-        self.direct_memory_writebacks = 0;
+        self.direct_memory_writebacks.fill(0);
     }
 
     /// Aggregates all counters into a [`PmuSnapshot`].
@@ -188,17 +191,16 @@ impl Machine {
             snap.per_core_l1_demand_misses.push(s.demand_misses);
             snap.per_core_l2_demand_misses.push(core.l2_demand_misses);
         }
-        for l2 in &self.domains {
+        for (l2, &direct_wb) in self.domains.iter().zip(&self.direct_memory_writebacks) {
             let s = l2.stats();
             snap.l2d_cache_refill += s.fills();
             snap.l2d_cache_refill_dm += s.demand_misses;
             snap.l2d_cache_refill_prf += s.prefetch_fills;
-            snap.l2d_cache_wb += s.writebacks;
+            snap.l2d_cache_wb += s.writebacks + direct_wb;
             snap.evicted_unused_prefetches += s.evicted_unused_prefetches;
             snap.per_domain_l2_refill.push(s.fills());
-            snap.per_domain_l2_wb.push(s.writebacks);
+            snap.per_domain_l2_wb.push(s.writebacks + direct_wb);
         }
-        snap.l2d_cache_wb += self.direct_memory_writebacks;
         snap
     }
 

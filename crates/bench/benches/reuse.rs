@@ -34,7 +34,7 @@ fn bench_algorithms(c: &mut Criterion) {
     });
     group.bench_function("sampled-1/16", |b| {
         b.iter(|| {
-            let mut s = SampledStack::new(4);
+            let mut s = SampledStack::new(4).expect("shift 4 is in range");
             for &l in &t {
                 s.access(l);
             }

@@ -289,7 +289,7 @@ mod tests {
 
         #[test]
         fn mapped_strategies(n in (1usize..5).prop_map(|n| n * 2)) {
-            prop_assert!(n % 2 == 0 && n >= 2 && n < 10);
+            prop_assert!(n % 2 == 0 && (2..10).contains(&n));
         }
 
         #[test]

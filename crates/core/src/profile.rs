@@ -304,6 +304,12 @@ pub struct XProfile {
 }
 
 /// The method-specific payload of a [`LocalityProfile`].
+//
+// The variants differ in stack size, but there is exactly one of these
+// per profile (and one partial per domain), never a collection of them —
+// boxing the big variant would buy nothing and cost an indirection on
+// every evaluation.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 pub enum ProfileKind {
     /// Method (A): full-trace histograms.
@@ -336,6 +342,10 @@ pub struct LocalityProfile {
 /// [`ProfileBuilder::finish`]. Domains are independent, so partials may be
 /// computed on any thread in any order; merging in domain order keeps the
 /// result identical to the sequential pipeline.
+//
+// Same trade-off as [`ProfileKind`]: a handful of instances per matrix,
+// so the variant size gap is not worth a box.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 pub enum DomainPartial {
     /// Method (A): one domain's histograms under both routings.

@@ -366,7 +366,7 @@ mod tests {
         let total = c.remaining();
         assert_eq!(total, crate::spmv_trace::trace_len(64, m.nnz()));
         let mut seen = 0;
-        while let Some(_) = c.next_access() {
+        while c.next_access().is_some() {
             seen += 1;
             assert_eq!(c.remaining(), total - seen);
         }

@@ -199,8 +199,8 @@ mod tests {
             naive[i] += delta;
         }
         let mut acc = 0i64;
-        for i in 0..64 {
-            acc += naive[i];
+        for (i, &n) in naive.iter().enumerate() {
+            acc += n;
             assert_eq!(f.prefix_sum(i), acc as u64, "prefix {i}");
         }
     }

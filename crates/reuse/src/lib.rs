@@ -18,6 +18,8 @@
 //!   queries.
 //! * [`partitioned::PartitionedStack`] — Eq. (2): two marker stacks with
 //!   array-based routing, modelling a way-partitioned (sector) cache.
+//! * [`sampled::SampledStack`] — SHARDS-style spatially hashed sampling
+//!   estimator of the same miss curve at a fraction of the cost.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -36,3 +38,4 @@ pub use fxhash::{FxHashMap, LineTable};
 pub use histogram::ReuseHistogram;
 pub use markers::MarkerStack;
 pub use partitioned::PartitionedStack;
+pub use sampled::{SampleShiftError, SampledStack, MAX_SAMPLE_SHIFT};

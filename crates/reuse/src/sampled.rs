@@ -12,6 +12,31 @@
 
 use crate::histogram::ReuseHistogram;
 use std::collections::HashMap;
+use std::fmt;
+
+/// Maximum accepted `sample_shift`: rates below `2^-31` leave too few
+/// sampled lines to estimate anything.
+pub const MAX_SAMPLE_SHIFT: u32 = 31;
+
+/// Error returned by [`SampledStack::new`] for an unusably low sampling
+/// rate (`sample_shift > MAX_SAMPLE_SHIFT`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SampleShiftError {
+    /// The rejected shift (requested rate `2^-shift`).
+    pub shift: u32,
+}
+
+impl fmt::Display for SampleShiftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sample shift {} out of range: rate 2^-{} is too low (max shift {})",
+            self.shift, self.shift, MAX_SAMPLE_SHIFT
+        )
+    }
+}
+
+impl std::error::Error for SampleShiftError {}
 
 /// Splitmix64: a fast, well-distributed 64-bit hash.
 #[inline]
@@ -43,15 +68,17 @@ pub struct SampledStack {
 impl SampledStack {
     /// Creates an estimator sampling `2^-sample_shift` of all lines.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `sample_shift >= 32` (rate too low to be useful).
-    pub fn new(sample_shift: u32) -> Self {
-        assert!(
-            sample_shift < 32,
-            "sampling rate 2^-{sample_shift} is too low"
-        );
-        SampledStack {
+    /// Returns [`SampleShiftError`] if `sample_shift > MAX_SAMPLE_SHIFT`
+    /// (rate too low to be useful).
+    pub fn new(sample_shift: u32) -> Result<Self, SampleShiftError> {
+        if sample_shift > MAX_SAMPLE_SHIFT {
+            return Err(SampleShiftError {
+                shift: sample_shift,
+            });
+        }
+        Ok(SampledStack {
             threshold: if sample_shift == 0 {
                 u64::MAX
             } else {
@@ -63,7 +90,7 @@ impl SampledStack {
             accesses: 0,
             sampled_accesses: 0,
             hist: ReuseHistogram::new(),
-        }
+        })
     }
 
     /// Processes one access.
@@ -137,7 +164,7 @@ mod tests {
     #[test]
     fn shift_zero_is_exact() {
         let t = trace(5000, 200, 3);
-        let mut s = SampledStack::new(0);
+        let mut s = SampledStack::new(0).unwrap();
         let mut hist = crate::histogram::ReuseHistogram::new();
         let mut ex = ExactStack::new();
         for &l in &t {
@@ -156,7 +183,7 @@ mod tests {
         let t = trace(400_000, 20_000, 9);
         let mut exact = ExactStack::new();
         let mut hist = crate::histogram::ReuseHistogram::new();
-        let mut sampled = SampledStack::new(3); // rate 1/8
+        let mut sampled = SampledStack::new(3).unwrap(); // rate 1/8
         for &l in &t {
             hist.record(exact.access(l));
             sampled.access(l);
@@ -180,7 +207,7 @@ mod tests {
         let t = trace(200_000, 10_000, 21);
         let mut hist = crate::histogram::ReuseHistogram::new();
         let mut exact = ExactStack::new();
-        let mut sampled = SampledStack::new(2); // rate 1/4
+        let mut sampled = SampledStack::new(2).unwrap(); // rate 1/4
         for &l in &t {
             hist.record(exact.access(l));
             sampled.access(l);
@@ -196,8 +223,8 @@ mod tests {
     #[test]
     fn deterministic_sampling() {
         let t = trace(10_000, 1000, 5);
-        let mut a = SampledStack::new(4);
-        let mut b = SampledStack::new(4);
+        let mut a = SampledStack::new(4).unwrap();
+        let mut b = SampledStack::new(4).unwrap();
         for &l in &t {
             a.access(l);
             b.access(l);
@@ -207,8 +234,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "too low")]
     fn absurd_rate_rejected() {
-        SampledStack::new(40);
+        let err = SampledStack::new(40).unwrap_err();
+        assert_eq!(err, SampleShiftError { shift: 40 });
+        assert!(err.to_string().contains("too low"));
+        // The boundary shift is still accepted.
+        assert!(SampledStack::new(MAX_SAMPLE_SHIFT).is_ok());
     }
 }

@@ -8,6 +8,7 @@
 //! available. Writing is supported for round-tripping and for exporting
 //! generated corpus matrices.
 
+use std::collections::HashSet;
 use std::fmt;
 use std::io::{self, BufRead, Write};
 use std::path::Path;
@@ -23,6 +24,27 @@ pub enum MmError {
     /// Structurally invalid or unsupported file content; the string names
     /// the offending line or construct.
     Parse(String),
+    /// An entry `(row, col)` (1-based) outside the declared dimensions.
+    OutOfBounds {
+        /// 1-based row index as written in the file.
+        row: usize,
+        /// 1-based column index as written in the file.
+        col: usize,
+        /// Declared row count.
+        num_rows: usize,
+        /// Declared column count.
+        num_cols: usize,
+    },
+    /// The same coordinate appeared twice (directly, or via the symmetric
+    /// mirror of another entry). Silently summing duplicates — what COO
+    /// assembly would do — corrupts the nonzero count every downstream
+    /// byte-accounting formula depends on, so the reader rejects them.
+    Duplicate {
+        /// 1-based row index.
+        row: usize,
+        /// 1-based column index.
+        col: usize,
+    },
 }
 
 impl fmt::Display for MmError {
@@ -30,6 +52,20 @@ impl fmt::Display for MmError {
         match self {
             MmError::Io(e) => write!(f, "I/O error: {e}"),
             MmError::Parse(msg) => write!(f, "Matrix Market parse error: {msg}"),
+            MmError::OutOfBounds {
+                row,
+                col,
+                num_rows,
+                num_cols,
+            } => write!(
+                f,
+                "Matrix Market parse error: entry ({row}, {col}) out of bounds \
+                 for {num_rows}x{num_cols} (1-based)"
+            ),
+            MmError::Duplicate { row, col } => write!(
+                f,
+                "Matrix Market parse error: duplicate entry ({row}, {col})"
+            ),
         }
     }
 }
@@ -64,6 +100,13 @@ enum Symmetry {
 /// `{general, symmetric, skew-symmetric}` symmetry. Pattern entries get
 /// value `1.0`. Symmetric entries are mirrored. Complex and array (dense)
 /// files are rejected with [`MmError::Parse`].
+///
+/// Malformed coordinate data is rejected with a typed error instead of
+/// being silently absorbed into the CSR: out-of-bounds entries
+/// ([`MmError::OutOfBounds`]), repeated coordinates
+/// ([`MmError::Duplicate`]), upper-triangle entries in symmetric or
+/// skew-symmetric files, diagonal entries in skew-symmetric files, and
+/// trailing tokens on entry lines.
 pub fn read_coo<R: BufRead>(reader: R) -> Result<CooMatrix, MmError> {
     let mut lines = reader.lines();
 
@@ -94,6 +137,14 @@ pub fn read_coo<R: BufRead>(reader: R) -> Result<CooMatrix, MmError> {
         "skew-symmetric" => Symmetry::SkewSymmetric,
         other => return Err(MmError::Parse(format!("unsupported symmetry '{other}'"))),
     };
+    if field == Field::Pattern && symmetry == Symmetry::SkewSymmetric {
+        // The format specification has no skew-symmetric pattern matrices
+        // (the mirrored entries would need value -1); mirroring them as if
+        // they were symmetric would silently fabricate values.
+        return Err(MmError::Parse(
+            "'pattern skew-symmetric' is not a valid Matrix Market banner".into(),
+        ));
+    }
 
     // Size line: first non-comment, non-empty line.
     let mut size_line = None;
@@ -119,6 +170,7 @@ pub fn read_coo<R: BufRead>(reader: R) -> Result<CooMatrix, MmError> {
 
     let mut coo = CooMatrix::with_capacity(num_rows, num_cols, declared_nnz);
     let mut seen = 0usize;
+    let mut occupied: HashSet<(usize, usize)> = HashSet::with_capacity(declared_nnz);
     for line in lines {
         let line = line?;
         let trimmed = line.trim();
@@ -135,9 +187,12 @@ pub fn read_coo<R: BufRead>(reader: R) -> Result<CooMatrix, MmError> {
             .and_then(|t| t.parse().ok())
             .ok_or_else(|| MmError::Parse(format!("bad column index in '{trimmed}'")))?;
         if r == 0 || c == 0 || r > num_rows || c > num_cols {
-            return Err(MmError::Parse(format!(
-                "entry ({r}, {c}) out of bounds for {num_rows}x{num_cols} (1-based)"
-            )));
+            return Err(MmError::OutOfBounds {
+                row: r,
+                col: c,
+                num_rows,
+                num_cols,
+            });
         }
         let v = match field {
             Field::Pattern => 1.0,
@@ -146,15 +201,41 @@ pub fn read_coo<R: BufRead>(reader: R) -> Result<CooMatrix, MmError> {
                 .and_then(|t| t.parse::<f64>().ok())
                 .ok_or_else(|| MmError::Parse(format!("bad value in '{trimmed}'")))?,
         };
+        if it.next().is_some() {
+            return Err(MmError::Parse(format!(
+                "trailing tokens after entry '{trimmed}'"
+            )));
+        }
+        if symmetry != Symmetry::General {
+            // Symmetric and skew-symmetric files store the lower triangle
+            // only; an upper-triangle entry would collide with the mirror
+            // of its transpose and double-count the nonzero.
+            if r < c {
+                return Err(MmError::Parse(format!(
+                    "entry ({r}, {c}) above the diagonal in a {} file",
+                    if symmetry == Symmetry::Symmetric {
+                        "symmetric"
+                    } else {
+                        "skew-symmetric"
+                    }
+                )));
+            }
+            if symmetry == Symmetry::SkewSymmetric && r == c {
+                return Err(MmError::Parse(format!(
+                    "diagonal entry ({r}, {c}) in a skew-symmetric file"
+                )));
+            }
+        }
+        if !occupied.insert((r, c)) {
+            return Err(MmError::Duplicate { row: r, col: c });
+        }
         let (r, c) = (r - 1, c - 1);
         match symmetry {
             Symmetry::General => coo.push(r, c, v),
             Symmetry::Symmetric => coo.push_symmetric(r, c, v),
             Symmetry::SkewSymmetric => {
                 coo.push(r, c, v);
-                if r != c {
-                    coo.push(c, r, -v);
-                }
+                coo.push(c, r, -v);
             }
         }
         seen += 1;
@@ -263,7 +344,78 @@ mod tests {
     fn rejects_out_of_bounds_entry() {
         let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
         let err = read_coo(Cursor::new(text)).unwrap_err();
+        assert!(matches!(
+            err,
+            MmError::OutOfBounds {
+                row: 3,
+                col: 1,
+                num_rows: 2,
+                num_cols: 2
+            }
+        ));
         assert!(err.to_string().contains("out of bounds"));
+    }
+
+    #[test]
+    fn rejects_duplicate_entry() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    2 2 2\n1 2 1.0\n1 2 4.0\n";
+        let err = read_coo(Cursor::new(text)).unwrap_err();
+        assert!(matches!(err, MmError::Duplicate { row: 1, col: 2 }));
+        assert!(err.to_string().contains("duplicate entry (1, 2)"));
+    }
+
+    #[test]
+    fn rejects_duplicate_pattern_entry() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    3 3 2\n2 1\n2 1\n";
+        let err = read_coo(Cursor::new(text)).unwrap_err();
+        assert!(matches!(err, MmError::Duplicate { row: 2, col: 1 }));
+    }
+
+    #[test]
+    fn rejects_upper_triangle_in_symmetric() {
+        // (1, 2) in a symmetric file collides with the mirror of (2, 1);
+        // the old reader mirrored both and produced nnz = 4, not 3.
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    2 2 2\n2 1 5.0\n1 2 5.0\n";
+        let err = read_coo(Cursor::new(text)).unwrap_err();
+        assert!(err.to_string().contains("above the diagonal"), "got: {err}");
+    }
+
+    #[test]
+    fn rejects_upper_triangle_in_skew_symmetric() {
+        let text = "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+                    3 3 1\n1 3 2.0\n";
+        let err = read_coo(Cursor::new(text)).unwrap_err();
+        assert!(err.to_string().contains("above the diagonal"));
+    }
+
+    #[test]
+    fn rejects_skew_symmetric_diagonal() {
+        // A skew-symmetric matrix has a zero diagonal by definition; a
+        // stored diagonal entry is malformed, and the old reader kept it
+        // without the (impossible) mirror.
+        let text = "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+                    2 2 1\n1 1 3.0\n";
+        let err = read_coo(Cursor::new(text)).unwrap_err();
+        assert!(err.to_string().contains("diagonal entry (1, 1)"));
+    }
+
+    #[test]
+    fn rejects_pattern_skew_symmetric_banner() {
+        let text = "%%MatrixMarket matrix coordinate pattern skew-symmetric\n\
+                    2 2 1\n2 1\n";
+        let err = read_coo(Cursor::new(text)).unwrap_err();
+        assert!(err.to_string().contains("pattern skew-symmetric"));
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    2 2 1\n1 1 1.0 9.0\n";
+        let err = read_coo(Cursor::new(text)).unwrap_err();
+        assert!(err.to_string().contains("trailing tokens"));
     }
 
     #[test]

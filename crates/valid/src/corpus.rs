@@ -1,0 +1,210 @@
+//! Stratified random corpus generation over the §3.1 working-set classes.
+//!
+//! The validation harness needs matrices in every class — (1) everything
+//! cached, (2) reusable data fits the partition, (3a) only `x` fits,
+//! (3b) nothing fits — at the scaled machine geometry. The strata are
+//! sized against `MachineConfig::a64fx_scaled(SCALE)` with the paper's
+//! 5-way sector split: one L2 segment holds `8 MiB / SCALE` bytes and
+//! partition 0 holds `11/16` of that. Sizes inside each stratum are drawn
+//! deterministically from the harness seed, cycling through structural
+//! families, so every case is reproducible from `(seed, index)` alone.
+
+use sparsemat::CsrMatrix;
+
+/// Machine scale divisor the harness validates at (also used by the
+/// repo's model-vs-simulator calibration tests).
+pub const SCALE: usize = 64;
+
+/// Number of working-set strata (classes 1, 2, 3a, 3b).
+pub const NUM_CLASSES: usize = 4;
+
+/// One corpus member, fully determined by its fields: `build` maps a spec
+/// back to the same matrix bit-for-bit, so a divergence record holding
+/// these fields is a complete reproduction recipe.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CaseSpec {
+    /// Display name (`c2-banded-17`).
+    pub name: String,
+    /// Stratum index 0..4 (classes 1, 2, 3a, 3b).
+    pub class_target: usize,
+    /// Structural family of the generator.
+    pub family: &'static str,
+    /// Rows (== cols).
+    pub n: usize,
+    /// Target nonzeros per row.
+    pub p: usize,
+    /// Generator seed (already mixed from the harness seed and index).
+    pub seed: u64,
+    /// Position in the corpus.
+    pub index: usize,
+}
+
+/// Splitmix64 step, used to derive per-case dimensions from the seed.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// A deterministic value in `[lo, hi]` from a hash state.
+fn pick(state: u64, lo: usize, hi: usize) -> usize {
+    lo + (state % (hi - lo + 1) as u64) as usize
+}
+
+/// Class-1 partition-0 capacity in bytes at [`SCALE`] with the 5-way
+/// sector split (`11/16` of one segment).
+pub fn partition0_bytes() -> usize {
+    (8 << 20) / SCALE * 11 / 16
+}
+
+/// One L2 segment in bytes at [`SCALE`].
+pub fn segment_bytes() -> usize {
+    (8 << 20) / SCALE
+}
+
+/// Builds the stratified corpus: `count` specs split evenly over the four
+/// classes (remainder to the lower classes), all derived from `seed`.
+///
+/// # Panics
+///
+/// Panics if `count == 0`.
+pub fn stratified(count: usize, seed: u64) -> Vec<CaseSpec> {
+    assert!(count > 0, "need at least one matrix");
+    let per_class = count / NUM_CLASSES;
+    let extra = count % NUM_CLASSES;
+    let mut specs = Vec::with_capacity(count);
+    let mut index = 0;
+    for class in 0..NUM_CLASSES {
+        let in_class = per_class + usize::from(class < extra);
+        for i in 0..in_class {
+            specs.push(case_spec(class, i, index, seed));
+            index += 1;
+        }
+    }
+    specs
+}
+
+/// Families compatible with each stratum's `(n, p)` envelope.
+const FAMILIES: [&[&str]; NUM_CLASSES] = [
+    &["random", "banded", "grid-2d", "circuit"],
+    &["random", "banded", "block-banded"],
+    &["random", "banded", "power-law", "grid-2d"],
+    &["random", "circuit", "power-law", "banded"],
+];
+
+/// Draws one spec for stratum `class`, member `i`.
+///
+/// Dimension envelopes (sequential classification at [`SCALE`], sector
+/// 5 ways; segment = 128 KiB, partition 0 = 88 KiB):
+///
+/// * class (1): working set `n·(12p + 24) + 8` within ~85 % of a segment;
+/// * class (2): working set over a segment, reusable `24n + 8 ≤` part-0
+///   (`n ≤ 3754`), dense rows so the matrix streams;
+/// * class (3a): reusable over part-0 (`n ≥ 3755`) but `8n ≤` part-0
+///   (`n ≤ 11264`);
+/// * class (3b): `8n >` part-0 (`n ≥ 11265`).
+fn case_spec(class: usize, i: usize, index: usize, seed: u64) -> CaseSpec {
+    let h = mix(seed ^ ((class as u64) << 32) ^ (i as u64).wrapping_mul(0x517C_C1B7_2722_0A95));
+    let family = FAMILIES[class][i % FAMILIES[class].len()];
+    let (mut n, p) = match class {
+        0 => {
+            let p = pick(h, 3, 8);
+            // Keep the working set under ~85 % of one segment.
+            let n_max = (segment_bytes() * 85 / 100) / (12 * p + 24);
+            (pick(mix(h), 400, n_max.max(401)), p)
+        }
+        1 => (pick(mix(h), 1300, 3600), pick(h, 16, 40)),
+        2 => (pick(mix(h), 4000, 11000), pick(h, 6, 12)),
+        _ => (pick(mix(h), 12000, 24000), pick(h, 3, 5)),
+    };
+    if family == "grid-2d" {
+        // n becomes side^2; keep it inside the stratum envelope.
+        let side = (n as f64).sqrt().round() as usize;
+        n = side.max(2) * side.max(2);
+    }
+    CaseSpec {
+        name: format!("c{}-{family}-{index}", ["1", "2", "3a", "3b"][class.min(3)]),
+        class_target: class,
+        family,
+        n,
+        p,
+        seed: mix(h ^ 0xA076_1D64_78BD_642F),
+        index,
+    }
+}
+
+/// Materialises a spec into its matrix. Deterministic: the same spec
+/// always yields the same matrix.
+pub fn build(spec: &CaseSpec) -> CsrMatrix {
+    let (n, p, seed) = (spec.n, spec.p, spec.seed);
+    match spec.family {
+        "random" => corpus::random::uniform_random(n, p, seed),
+        "banded" => corpus::banded::random_banded(n, (n / 16).max(8), p, seed),
+        "power-law" => corpus::random::power_law(n, p, 0.7, seed),
+        "circuit" => corpus::banded::tridiag_plus_random(n, p.saturating_sub(3).max(1), seed),
+        "block-banded" => {
+            let block = 4;
+            let per = (p / block).max(2);
+            corpus::banded::block_banded(n.div_ceil(block) * block, block, per, per * 3, seed)
+        }
+        "grid-2d" => {
+            let side = ((n as f64).sqrt().round() as usize).max(2);
+            corpus::stencil::laplacian_2d(side, side)
+        }
+        other => unreachable!("unknown family {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use a64fx::MachineConfig;
+    use locality_core::{classify_for, MatrixClass};
+
+    #[test]
+    fn stratified_is_deterministic() {
+        let a = stratified(8, 7);
+        let b = stratified(8, 7);
+        assert_eq!(a, b);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(build(x), build(y));
+        }
+    }
+
+    #[test]
+    fn strata_split_evenly_with_remainder_low() {
+        let specs = stratified(10, 1);
+        let counts: Vec<usize> = (0..NUM_CLASSES)
+            .map(|c| specs.iter().filter(|s| s.class_target == c).count())
+            .collect();
+        assert_eq!(counts, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn sequential_classification_matches_target() {
+        // The envelopes are sized so the sequential classification at the
+        // harness geometry lands in the targeted stratum.
+        let cfg = MachineConfig::a64fx_scaled(SCALE).with_l2_sector(5);
+        let expect = [
+            MatrixClass::Class1,
+            MatrixClass::Class2,
+            MatrixClass::Class3a,
+            MatrixClass::Class3b,
+        ];
+        for spec in stratified(16, 2023) {
+            let m = build(&spec);
+            let got = classify_for(&m, &cfg, 1);
+            assert_eq!(
+                got, expect[spec.class_target],
+                "{}: n={} p={} landed in {:?}",
+                spec.name, spec.n, spec.p, got
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(stratified(4, 1), stratified(4, 2));
+    }
+}

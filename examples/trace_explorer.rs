@@ -45,10 +45,7 @@ fn main() {
     let mut sink = memtrace::VecSink::new();
     spmv_trace::trace_spmv(&matrix, &layout, &mut sink);
     let mut stack = ExactStack::new();
-    println!(
-        "  {:<4} {:<7} {:>4}  {}",
-        "#", "array", "line", "reuse distance"
-    );
+    println!("  {:<4} {:<7} {:>4}  reuse distance", "#", "array", "line");
     for (i, a) in sink.trace.iter().enumerate() {
         let rd = stack.access(a.line);
         let rd_str = match rd {

@@ -16,6 +16,17 @@ cargo test --workspace -q --offline
 echo "== cargo fmt --check =="
 cargo fmt --check
 
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== validate smoke: differential harness =="
+# Fast tier of the differential validation harness (spmv-locality
+# validate): 16 stratified matrices through every prediction pipeline
+# and the simulator, exits nonzero on any invariant divergence. The full
+# 200-matrix corpus is the release gate (see EXPERIMENTS.md).
+cargo run --release --offline --bin spmv-locality -- \
+    validate --matrices 16 --smoke
+
 echo "== bench smoke: streaming pipeline (BENCH_pr2.json) =="
 # Small corpus so the gate stays fast; emits refs/sec for the marker and
 # exact streaming pipelines vs the seed materialised replay, plus VmHWM

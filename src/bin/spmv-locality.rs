@@ -6,6 +6,7 @@
 //! spmv-locality tune     <matrix.mtx> [--threads N] [--scale N]
 //! spmv-locality simulate <matrix.mtx> [--threads N] [--scale N] [--l2-ways W]
 //! spmv-locality batch    <spec-file>  [--workers N]
+//! spmv-locality validate [--matrices N] [--seed S] [--workers N] [--smoke]
 //! ```
 //!
 //! `analyze` prints the matrix statistics, its §3.1 classification and the
@@ -14,7 +15,10 @@
 //! PMU counters and estimated performance; `batch` runs a whole work list
 //! of predictions on the parallel engine (see `BatchSpec::parse` for the
 //! spec format) and prints one JSON line per job plus a summary line with
-//! the profile-cache accounting.
+//! the profile-cache accounting; `validate` runs the differential
+//! validation harness over a stratified random corpus, printing one JSON
+//! line per divergence plus a summary line, and exits nonzero if any
+//! invariant was violated (see `EXPERIMENTS.md`, "Divergence triage").
 
 use a64fx_spmv::prelude::*;
 
@@ -30,9 +34,48 @@ fn usage() -> ! {
     eprintln!(
         "usage: spmv-locality <analyze|tune|simulate> <matrix.mtx> \
          [--threads N] [--scale N] [--l2-ways W]\n\
-         \x20      spmv-locality batch <spec-file> [--workers N]"
+         \x20      spmv-locality batch <spec-file> [--workers N]\n\
+         \x20      spmv-locality validate [--matrices N] [--seed S] \
+         [--workers N] [--smoke]"
     );
     std::process::exit(2);
+}
+
+/// `validate` subcommand: the differential validation harness. JSON
+/// divergence lines plus a summary on stdout, human accounting on
+/// stderr; exit 1 if any invariant was violated.
+fn run_validate_command(args: impl Iterator<Item = String>) -> ! {
+    let mut config = valid::ValidationConfig::default();
+    let mut args = args.peekable();
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| -> usize {
+            args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("spmv-locality: expected a number after {what}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--matrices" => config.matrices = value("--matrices").max(1),
+            "--seed" => config.seed = value("--seed") as u64,
+            "--workers" => config.workers = value("--workers"),
+            "--smoke" => config.smoke = true,
+            _ => usage(),
+        }
+    }
+    let report = valid::run_validation(&config);
+    print!("{}", report.to_json_lines());
+    let s = &report.stats;
+    eprintln!(
+        "# {} matrices (class 1/2/3a/3b: {}/{}/{}/{}), {} checks, {} divergences",
+        s.matrices,
+        s.by_class[0],
+        s.by_class[1],
+        s.by_class[2],
+        s.by_class[3],
+        s.checks_run,
+        s.divergences
+    );
+    std::process::exit(if report.passed() { 0 } else { 1 });
 }
 
 /// `batch` subcommand: run a spec file on the engine, JSON lines out.
@@ -70,6 +113,9 @@ fn run_batch_command(spec_path: &str, workers: Option<usize>) -> ! {
 fn parse_cli() -> Cli {
     let mut args = std::env::args().skip(1);
     let command = args.next().unwrap_or_else(|| usage());
+    if command == "validate" {
+        run_validate_command(args);
+    }
     let path = args.next().unwrap_or_else(|| usage());
     if command == "batch" {
         let workers = match (args.next().as_deref(), args.next()) {
@@ -91,9 +137,10 @@ fn parse_cli() -> Cli {
     };
     while let Some(flag) = args.next() {
         let mut value = |what: &str| -> usize {
-            args.next()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| panic!("expected a number after {what}"))
+            args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("spmv-locality: expected a number after {what}");
+                std::process::exit(2);
+            })
         };
         match flag.as_str() {
             "--threads" => cli.threads = value("--threads"),

@@ -17,7 +17,11 @@
 //!   methods (A)/(B), concurrent prediction, error metrics;
 //! * [`corpus`] — synthetic matrix corpus and Table 1 analogues;
 //! * [`locality_engine`] — parallel batch prediction engine with
-//!   fingerprint-keyed profile caching (`spmv-locality batch`).
+//!   fingerprint-keyed profile caching (`spmv-locality batch`);
+//! * [`valid`] — differential validation harness cross-checking the
+//!   prediction pipelines against each other and against the simulator
+//!   over a stratified working-set-class corpus
+//!   (`spmv-locality validate`).
 //!
 //! ## Quickstart
 //!
@@ -52,6 +56,7 @@ pub use locality_engine;
 pub use memtrace;
 pub use reuse;
 pub use sparsemat;
+pub use valid;
 
 /// Commonly used items in one import.
 pub mod prelude {
@@ -64,4 +69,5 @@ pub mod prelude {
     pub use memtrace::{Access, Array, ArraySet, DataLayout};
     pub use reuse::{ExactStack, MarkerStack, PartitionedStack, ReuseHistogram};
     pub use sparsemat::{spmv, CooMatrix, CsrMatrix, MatrixStats, RowPartition};
+    pub use valid::{run_validation, ValidationConfig, ValidationReport};
 }

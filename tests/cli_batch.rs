@@ -1,0 +1,108 @@
+//! Integration tests driving the `spmv-locality` binary: error paths must
+//! exit nonzero with a diagnostic on stderr (never a panic backtrace), and
+//! the happy path must emit the documented JSON lines.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_spmv-locality");
+
+/// A per-test scratch directory under the target temp dir.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("spmv-cli-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn batch_missing_matrix_path_reports_engine_error() {
+    let dir = scratch("missing-matrix");
+    let spec = dir.join("jobs.spec");
+    let missing = dir.join("no-such-matrix.mtx");
+    std::fs::write(
+        &spec,
+        format!(
+            "mtx {}\nsettings off\nthreads 1\nscale 64\n",
+            missing.display()
+        ),
+    )
+    .unwrap();
+
+    let out = Command::new(BIN)
+        .args(["batch", spec.to_str().unwrap()])
+        .output()
+        .expect("spawn spmv-locality");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "stderr: {stderr}");
+    assert!(
+        stderr.contains("cannot load") && stderr.contains("no-such-matrix.mtx"),
+        "stderr: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+}
+
+#[test]
+fn batch_bad_spec_reports_line_number() {
+    let dir = scratch("bad-spec");
+    let spec = dir.join("jobs.spec");
+    std::fs::write(&spec, "corpus count=banana\n").unwrap();
+
+    let out = Command::new(BIN)
+        .args(["batch", spec.to_str().unwrap()])
+        .output()
+        .expect("spawn spmv-locality");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "stderr: {stderr}");
+    assert!(stderr.contains("line 1"), "stderr: {stderr}");
+}
+
+#[test]
+fn bad_flag_value_exits_cleanly() {
+    let out = Command::new(BIN)
+        .args(["analyze", "whatever.mtx", "--threads", "notanumber"])
+        .output()
+        .expect("spawn spmv-locality");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(2), "stderr: {stderr}");
+    assert!(
+        stderr.contains("expected a number after --threads"),
+        "stderr: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+}
+
+#[test]
+fn batch_happy_path_emits_json_lines() {
+    let dir = scratch("happy");
+    let mtx = dir.join("tiny.mtx");
+    // 4x4 tridiagonal-ish matrix, general real.
+    std::fs::write(
+        &mtx,
+        "%%MatrixMarket matrix coordinate real general\n\
+         4 4 7\n1 1 2.0\n1 2 -1.0\n2 2 2.0\n2 3 -1.0\n3 3 2.0\n3 4 -1.0\n4 4 2.0\n",
+    )
+    .unwrap();
+    let spec = dir.join("jobs.spec");
+    std::fs::write(
+        &spec,
+        format!(
+            "mtx {}\nmethods A,B\nsettings off,5\nthreads 1\nscale 64\nworkers 1\n",
+            mtx.display()
+        ),
+    )
+    .unwrap();
+
+    let out = Command::new(BIN)
+        .args(["batch", spec.to_str().unwrap()])
+        .output()
+        .expect("spawn spmv-locality");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(0), "stderr: {stderr}");
+    // 2 methods x 2 settings = 4 job lines plus one summary line.
+    let job_lines: Vec<&str> = stdout.lines().filter(|l| l.contains("\"job\":")).collect();
+    assert_eq!(job_lines.len(), 4, "stdout: {stdout}");
+    assert!(job_lines.iter().all(|l| l.contains("\"l2_misses\":")));
+    assert!(stdout.lines().any(|l| l.contains("\"summary\":")));
+}

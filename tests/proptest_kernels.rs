@@ -42,9 +42,9 @@ fn arb_square() -> impl Strategy<Value = CsrMatrix> {
 
 fn dense_ref(a: &CsrMatrix, x: &[f64], y0: &[f64]) -> Vec<f64> {
     let mut y = y0.to_vec();
-    for r in 0..a.num_rows() {
+    for (r, yr) in y.iter_mut().enumerate() {
         for (c, v) in a.row(r) {
-            y[r] += v * x[c];
+            *yr += v * x[c];
         }
     }
     y
