@@ -13,7 +13,7 @@ use crate::config::MachineConfig;
 use crate::counters::PmuSnapshot;
 use crate::hierarchy::Machine;
 use memtrace::spmv_trace::trace_spmv_partitioned;
-use memtrace::{Access, ArraySet, DataLayout};
+use memtrace::{Access, ArraySet, SpmvWorkload};
 use sparsemat::{CsrMatrix, RowPartition};
 
 /// Result of a simulated SpMV measurement.
@@ -68,7 +68,7 @@ pub fn simulate_spmv_partitioned(
         "more threads ({num_threads}) than cores ({})",
         cfg.num_cores
     );
-    let layout = DataLayout::new(matrix, cfg.l2.line_bytes);
+    let layout = matrix.layout(cfg.l2.line_bytes);
     let traces = trace_spmv_partitioned(matrix, &layout, partition);
     let max_thread_nnz = partition.max_block_nnz(matrix);
 
@@ -99,7 +99,7 @@ pub fn simulate_spmv_swpf(
     distance: usize,
 ) -> SimResult {
     assert!(num_threads > 0, "need at least one thread");
-    let layout = DataLayout::new(matrix, cfg.l2.line_bytes);
+    let layout = matrix.layout(cfg.l2.line_bytes);
     let partition = RowPartition::static_rows(matrix.num_rows(), num_threads);
     let traces =
         memtrace::spmv_trace::trace_spmv_swpf_partitioned(matrix, &layout, &partition, distance);
@@ -198,7 +198,7 @@ mod tests {
         let cfg = cfg_seq();
         assert!(m.matrix_bytes() > 2 * cfg.l2.size_bytes);
         let r = simulate_spmv(&m, &cfg, ArraySet::EMPTY, 1, 1);
-        let layout = DataLayout::new(&m, 256);
+        let layout = m.layout(256);
         let stream_lines =
             layout.array_lines(memtrace::Array::A) + layout.array_lines(memtrace::Array::ColIdx);
         assert!(

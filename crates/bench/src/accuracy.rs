@@ -58,6 +58,7 @@ pub fn run(args: &ExpArgs, threads: usize) {
         threads,
         scale: args.scale,
         workers: 0,
+        ..BatchSpec::default()
     };
     let refs: Vec<(&str, &sparsemat::CsrMatrix)> = included
         .iter()

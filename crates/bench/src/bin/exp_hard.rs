@@ -41,6 +41,7 @@ fn main() {
         threads: 1,
         scale: args.scale,
         workers: 0,
+        ..BatchSpec::default()
     };
     let refs: Vec<(&str, &sparsemat::CsrMatrix)> = suite
         .iter()

@@ -33,9 +33,16 @@ pub fn stream_misses_colidx(nnz: usize, line_bytes: usize) -> u64 {
     (4 * nnz).div_ceil(line_bytes) as u64
 }
 
+/// Streaming-miss term for the metadata stream (the `rowptr` role):
+/// `⌈8·meta/L⌉` for `meta` 8-byte elements streamed per iteration —
+/// `M + 1` row pointers for CSR, one descriptor per chunk for SELL-C-σ.
+pub fn stream_misses_meta(meta_elems: usize, line_bytes: usize) -> u64 {
+    (8 * meta_elems).div_ceil(line_bytes) as u64
+}
+
 /// Streaming-miss term for `rowptr`: `⌈8(M+1)/L⌉`.
 pub fn stream_misses_rowptr(num_rows: usize, line_bytes: usize) -> u64 {
-    (8 * (num_rows + 1)).div_ceil(line_bytes) as u64
+    stream_misses_meta(num_rows + 1, line_bytes)
 }
 
 /// Streaming-miss term for `y`: `⌈8M/L⌉`.
@@ -69,6 +76,31 @@ pub fn scale_s1(num_rows: usize, nnz: usize) -> f64 {
 pub fn scale_s2(num_rows: usize, nnz: usize) -> f64 {
     assert!(nnz > 0, "scaling factor undefined for an empty matrix");
     (16.0 * num_rows as f64 / nnz as f64 + 20.0) / 8.0
+}
+
+/// Format-generic `s1`: partition-0 companion bytes per `x` reference
+/// relative to the 8-byte `x` element, `(c/K + 8)/8` for `c` companion
+/// bytes over `K` `x` references. With CSR's `c = 16·M` this is
+/// bit-identical to [`scale_s1`] (the integer `16·M` converts to the same
+/// `f64` as `16.0 · M` for any matrix that fits in memory).
+///
+/// # Panics
+///
+/// Panics if the workload issues no `x` references.
+pub fn scale_part0(companion0_bytes: usize, x_refs: usize) -> f64 {
+    assert!(x_refs > 0, "scaling factor undefined for an empty workload");
+    (companion0_bytes as f64 / x_refs as f64 + 8.0) / 8.0
+}
+
+/// Format-generic `s2`: like [`scale_part0`] plus the 12 bytes of matrix
+/// stream (`a` + index) per `x` reference, `(c/K + 20)/8`.
+///
+/// # Panics
+///
+/// Panics if the workload issues no `x` references.
+pub fn scale_unpart(companion0_bytes: usize, x_refs: usize) -> f64 {
+    assert!(x_refs > 0, "scaling factor undefined for an empty workload");
+    (companion0_bytes as f64 / x_refs as f64 + 20.0) / 8.0
 }
 
 /// Convenience: all four streaming terms for a matrix.

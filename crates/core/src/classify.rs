@@ -13,7 +13,7 @@
 //! 4. **Class (3b)** — even `x` alone exceeds the partition.
 
 use a64fx::MachineConfig;
-use sparsemat::{CsrMatrix, ROWPTR_BYTES, VECTOR_BYTES};
+use memtrace::SpmvWorkload;
 
 /// The paper's §3.1 matrix classes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -40,34 +40,37 @@ impl MatrixClass {
     }
 }
 
-/// Bytes of the reusable data: `x` + `y` + `rowptr`.
-pub fn reusable_bytes(matrix: &CsrMatrix) -> usize {
-    matrix.num_cols() * VECTOR_BYTES
-        + matrix.num_rows() * VECTOR_BYTES
-        + (matrix.num_rows() + 1) * ROWPTR_BYTES
+/// Bytes of the reusable data: `x` + `y` + the metadata stream (`rowptr`
+/// for CSR, chunk descriptors for SELL-C-σ).
+pub fn reusable_bytes<W: SpmvWorkload>(workload: &W) -> usize {
+    workload.reusable_bytes()
 }
 
 /// Bytes of the `x` vector alone.
-pub fn x_bytes(matrix: &CsrMatrix) -> usize {
-    matrix.num_cols() * VECTOR_BYTES
+pub fn x_bytes<W: SpmvWorkload>(workload: &W) -> usize {
+    workload.x_bytes()
 }
 
-/// Classifies a matrix against explicit capacities: `cache_bytes` is the
+/// Classifies a workload against explicit capacities: `cache_bytes` is the
 /// capacity available without partitioning, `partition0_bytes` the capacity
 /// of the sector-0 partition holding the reusable data.
-pub fn classify(matrix: &CsrMatrix, cache_bytes: usize, partition0_bytes: usize) -> MatrixClass {
-    if matrix.working_set_bytes() <= cache_bytes {
+pub fn classify<W: SpmvWorkload>(
+    workload: &W,
+    cache_bytes: usize,
+    partition0_bytes: usize,
+) -> MatrixClass {
+    if workload.working_set_bytes() <= cache_bytes {
         MatrixClass::Class1
-    } else if reusable_bytes(matrix) <= partition0_bytes {
+    } else if workload.reusable_bytes() <= partition0_bytes {
         MatrixClass::Class2
-    } else if x_bytes(matrix) <= partition0_bytes {
+    } else if workload.x_bytes() <= partition0_bytes {
         MatrixClass::Class3a
     } else {
         MatrixClass::Class3b
     }
 }
 
-/// Classifies a matrix for a machine configuration's L2, with the given
+/// Classifies a workload for a machine configuration's L2, with the given
 /// number of threads.
 ///
 /// For parallel runs the effective capacity is one L2 segment per domain
@@ -76,17 +79,21 @@ pub fn classify(matrix: &CsrMatrix, cache_bytes: usize, partition0_bytes: usize)
 /// *matrix* data is split across domains; we follow the paper's Fig. 4 in
 /// comparing the total working set against the aggregate cache and the
 /// reusable data against one partition.
-pub fn classify_for(matrix: &CsrMatrix, cfg: &MachineConfig, num_threads: usize) -> MatrixClass {
+pub fn classify_for<W: SpmvWorkload>(
+    workload: &W,
+    cfg: &MachineConfig,
+    num_threads: usize,
+) -> MatrixClass {
     let domains = num_threads.div_ceil(cfg.cores_per_domain).max(1);
     let cache_bytes = cfg.l2.size_bytes * domains;
     let partition0_bytes = cfg.l2_partition_lines(0) * cfg.l2.line_bytes;
-    classify(matrix, cache_bytes, partition0_bytes)
+    classify(workload, cache_bytes, partition0_bytes)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sparsemat::CooMatrix;
+    use sparsemat::{CooMatrix, CsrMatrix};
 
     /// Square matrix with `n` rows and ~`nnz_per_row` random nonzeros.
     fn matrix(n: usize, nnz_per_row: usize) -> CsrMatrix {
@@ -162,5 +169,18 @@ mod tests {
     fn labels() {
         assert_eq!(MatrixClass::Class1.label(), "class (1)");
         assert_eq!(MatrixClass::Class3b.label(), "class (3b)");
+    }
+
+    #[test]
+    fn sell_workloads_classify_with_padded_working_set() {
+        let m = matrix(1000, 50);
+        let sell = sparsemat::SellMatrix::from_csr(&m, 8, 1000);
+        // Padding enlarges the value/index stream, never shrinks it, while
+        // the metadata shrinks to one descriptor per chunk.
+        assert!(sell.stored_entries() >= m.nnz());
+        assert!(reusable_bytes(&sell) <= reusable_bytes(&m));
+        // Same capacities, same class boundaries, any workload view.
+        assert_eq!(classify(&m, 64 << 10, 32 << 10), MatrixClass::Class2);
+        assert_eq!(classify(&sell, 64 << 10, 32 << 10), MatrixClass::Class2);
     }
 }

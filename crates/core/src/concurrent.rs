@@ -11,10 +11,10 @@
 //! concurrent variant for validation.
 
 use a64fx::MachineConfig;
-use memtrace::cursor::{SpmvCursor, TraceCursor, XCursor};
+use memtrace::cursor::TraceCursor;
 use memtrace::interleave::{domain_groups, round_robin_cursors, round_robin_into};
-use memtrace::{Access, DataLayout, TraceSink};
-use sparsemat::{CsrMatrix, RowPartition};
+use memtrace::{Access, DataLayout, SpmvWorkload, TraceSink};
+use sparsemat::RowPartition;
 use std::ops::Range;
 
 /// Per-thread traces grouped by L2 domain.
@@ -57,24 +57,28 @@ impl DomainTraces {
 /// (e.g. the warm-up and measured iterations of the locality model) is
 /// just another `feed_*` call: total state is O(threads in the domain) and
 /// no reference is ever buffered.
-pub struct DomainCursors<'a> {
-    matrix: &'a CsrMatrix,
+///
+/// Generic over the storage format: the cursors come from the
+/// [`SpmvWorkload`] trait, so the same plumbing serves CSR row blocks and
+/// SELL-C-σ chunk blocks.
+pub struct DomainCursors<'a, W: SpmvWorkload> {
+    workload: &'a W,
     layout: &'a DataLayout,
     partition: &'a RowPartition,
     spans: Vec<Range<usize>>,
 }
 
-impl<'a> DomainCursors<'a> {
+impl<'a, W: SpmvWorkload> DomainCursors<'a, W> {
     /// Groups the partition's threads into domains of `cores_per_domain`.
     pub fn new(
-        matrix: &'a CsrMatrix,
+        workload: &'a W,
         layout: &'a DataLayout,
         partition: &'a RowPartition,
         cores_per_domain: usize,
     ) -> Self {
         let spans = domain_groups(partition.num_parts(), cores_per_domain);
         DomainCursors {
-            matrix,
+            workload,
             layout,
             partition,
             spans,
@@ -87,18 +91,24 @@ impl<'a> DomainCursors<'a> {
     }
 
     /// Fresh method (A) cursors for domain `d`'s threads.
-    pub fn spmv_cursors(&self, d: usize) -> Vec<SpmvCursor<'a>> {
+    pub fn spmv_cursors(&self, d: usize) -> Vec<W::Cursor<'a>> {
         self.spans[d]
             .clone()
-            .map(|t| SpmvCursor::new(self.matrix, self.layout, self.partition.range(t)))
+            .map(|t| {
+                self.workload
+                    .trace_cursor(self.layout, self.partition.range(t))
+            })
             .collect()
     }
 
     /// Fresh method (B) cursors for domain `d`'s threads.
-    pub fn x_cursors(&self, d: usize) -> Vec<XCursor<'a>> {
+    pub fn x_cursors(&self, d: usize) -> Vec<W::XCursor<'a>> {
         self.spans[d]
             .clone()
-            .map(|t| XCursor::new(self.matrix, self.layout, self.partition.range(t)))
+            .map(|t| {
+                self.workload
+                    .x_trace_cursor(self.layout, self.partition.range(t))
+            })
             .collect()
     }
 
@@ -128,10 +138,11 @@ impl<'a> DomainCursors<'a> {
     }
 }
 
-/// The static row partition used for `threads`-way SpMV (contiguous row
-/// blocks, as the paper's OpenMP static schedule).
-pub fn thread_partition(matrix: &CsrMatrix, threads: usize) -> RowPartition {
-    RowPartition::static_rows(matrix.num_rows(), threads)
+/// The static work partition used for `threads`-way SpMV (contiguous
+/// blocks of the workload's work items — rows for CSR, chunks for
+/// SELL-C-σ — as the paper's OpenMP static schedule).
+pub fn thread_partition<W: SpmvWorkload>(workload: &W, threads: usize) -> RowPartition {
+    RowPartition::static_rows(workload.num_work_items(), threads)
 }
 
 /// Convenience: domain count for a thread count under `cfg`.

@@ -13,7 +13,7 @@ use crate::predict::Method;
 use a64fx::MachineConfig;
 use memtrace::spmv_trace::trace_spmv_partitioned;
 use memtrace::xtrace::trace_x_partitioned;
-use memtrace::DataLayout;
+use memtrace::SpmvWorkload;
 use reuse::MarkerStack;
 use sparsemat::CsrMatrix;
 
@@ -29,7 +29,7 @@ pub fn predict_l1_misses(
     if matrix.nnz() == 0 {
         return 0;
     }
-    let layout = DataLayout::new(matrix, cfg.l1.line_bytes);
+    let layout = matrix.layout(cfg.l1.line_bytes);
     let partition = thread_partition(matrix, threads);
     let l1_lines = cfg.l1.total_lines();
 

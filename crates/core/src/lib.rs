@@ -60,5 +60,6 @@ pub mod two_level;
 
 pub use classify::{classify, classify_for, MatrixClass};
 pub use error::ErrorSummary;
+pub use memtrace::{FormatSpec, ReorderSpec, SpmvWorkload, WorkShare, Workload};
 pub use predict::{Method, Prediction, SectorSetting};
 pub use profile::{DomainPartial, LocalityProfile, ProfileBuilder, TrackedCaps};

@@ -18,23 +18,23 @@
 use crate::predict::{Method, Prediction, SectorSetting};
 use crate::profile::LocalityProfile;
 use a64fx::MachineConfig;
-use sparsemat::CsrMatrix;
+use memtrace::SpmvWorkload;
 
 /// Predicts steady-state L2 misses for the given settings using method (A).
-pub fn predict(
-    matrix: &CsrMatrix,
+pub fn predict<W: SpmvWorkload>(
+    workload: &W,
     cfg: &MachineConfig,
     settings: &[SectorSetting],
     threads: usize,
 ) -> Vec<Prediction> {
-    LocalityProfile::compute(matrix, cfg, Method::A, threads).evaluate(cfg, settings)
+    LocalityProfile::compute(workload, cfg, Method::A, threads).evaluate(cfg, settings)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use memtrace::Array;
-    use sparsemat::CooMatrix;
+    use sparsemat::{CooMatrix, CsrMatrix};
 
     fn random_matrix(n: usize, nnz_per_row: usize, seed: u64) -> CsrMatrix {
         let mut state = seed | 1;

@@ -31,20 +31,23 @@
 use crate::predict::{Method, Prediction, SectorSetting};
 use crate::profile::LocalityProfile;
 use a64fx::MachineConfig;
-use sparsemat::CsrMatrix;
+use memtrace::SpmvWorkload;
 
 /// Predicts steady-state L2 misses for the given settings using method (B).
 ///
 /// The `x`-trace pass is capacity-independent: one [`LocalityProfile`]
 /// records the `(RD_x, g)` pair distribution plus per-domain shares, and
-/// every sweep setting is evaluated from it analytically.
-pub fn predict(
-    matrix: &CsrMatrix,
+/// every sweep setting is evaluated from it analytically. The scaling
+/// factors come from the workload's partition-0 companion volume
+/// ([`SpmvWorkload::companion0_bytes`]), which reduces to the paper's
+/// `s1`/`s2` for CSR.
+pub fn predict<W: SpmvWorkload>(
+    workload: &W,
     cfg: &MachineConfig,
     settings: &[SectorSetting],
     threads: usize,
 ) -> Vec<Prediction> {
-    LocalityProfile::compute(matrix, cfg, Method::B, threads).evaluate(cfg, settings)
+    LocalityProfile::compute(workload, cfg, Method::B, threads).evaluate(cfg, settings)
 }
 
 #[cfg(test)]
@@ -53,7 +56,7 @@ mod tests {
     use crate::analytic::StreamTerms;
     use crate::method_a;
     use memtrace::Array;
-    use sparsemat::CooMatrix;
+    use sparsemat::{CooMatrix, CsrMatrix};
 
     fn random_matrix(n: usize, nnz_per_row: usize, seed: u64) -> CsrMatrix {
         let mut state = seed | 1;

@@ -19,7 +19,7 @@
 use crate::concurrent::{thread_partition, DomainTraces};
 use a64fx::MachineConfig;
 use memtrace::spmv_trace::trace_spmv_partitioned;
-use memtrace::{Array, ArraySet, DataLayout};
+use memtrace::{Array, ArraySet, SpmvWorkload};
 use reuse::{ExactStack, ReuseHistogram};
 use sparsemat::CsrMatrix;
 
@@ -65,7 +65,7 @@ impl PartitionOptimizer {
             );
         }
 
-        let layout = DataLayout::new(matrix, cfg.l2.line_bytes);
+        let layout = matrix.layout(cfg.l2.line_bytes);
         let partition = thread_partition(matrix, threads);
         let per_thread = trace_spmv_partitioned(matrix, &layout, &partition);
         let domains = DomainTraces::group(per_thread, cfg.cores_per_domain);

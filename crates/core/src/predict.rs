@@ -8,8 +8,7 @@
 //! `w` ways of an `S`-set cache hold `S·w` lines.
 
 use a64fx::MachineConfig;
-use memtrace::Array;
-use sparsemat::CsrMatrix;
+use memtrace::{Array, SpmvWorkload};
 
 /// One sector-cache configuration of the sweep.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -98,16 +97,19 @@ pub enum Method {
 /// * `threads > 1`: per-domain concurrent analysis; threads are grouped
 ///   `cfg.cores_per_domain` per shared L2 and per-domain predictions are
 ///   summed (every domain replicates shared data, as on the A64FX).
-pub fn predict(
-    matrix: &CsrMatrix,
+///
+/// Accepts any [`SpmvWorkload`] (a `&CsrMatrix`, a `&SellMatrix`, or the
+/// runtime-dispatched `memtrace::Workload`).
+pub fn predict<W: SpmvWorkload>(
+    workload: &W,
     cfg: &MachineConfig,
     method: Method,
     settings: &[SectorSetting],
     threads: usize,
 ) -> Vec<Prediction> {
     match method {
-        Method::A => crate::method_a::predict(matrix, cfg, settings, threads),
-        Method::B => crate::method_b::predict(matrix, cfg, settings, threads),
+        Method::A => crate::method_a::predict(workload, cfg, settings, threads),
+        Method::B => crate::method_b::predict(workload, cfg, settings, threads),
     }
 }
 

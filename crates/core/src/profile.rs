@@ -20,27 +20,22 @@
 //! fingerprint, which is what makes corpus-scale sector sweeps cheap:
 //! seven settings share one trace analysis instead of re-deriving it.
 
-use crate::analytic::{scale_s1, scale_s2, StreamTerms};
+use crate::analytic::{scale_part0, scale_unpart, StreamTerms};
 use crate::concurrent::{thread_partition, DomainCursors, DomainTraces};
 use crate::predict::{Method, Prediction, SectorSetting};
 use a64fx::MachineConfig;
 use memtrace::sink::TeeSink;
 use memtrace::spmv_trace::trace_spmv_partitioned;
 use memtrace::xtrace::trace_x_partitioned;
-use memtrace::{Access, Array, ArraySet, DataLayout, TraceSink};
+use memtrace::{Access, Array, ArraySet, DataLayout, SpmvWorkload, TraceCursor, TraceSink};
 use reuse::{ExactStack, LineTable, MarkerStack, ReuseHistogram};
 use sparsemat::{CsrMatrix, RowPartition};
 use std::collections::HashMap;
 
-/// One NUMA domain's share of the row space (for the analytic terms and
-/// working-set fit checks of method B).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct DomainShare {
-    /// Rows handled by this domain's threads.
-    pub rows: usize,
-    /// Nonzeros handled by this domain's threads.
-    pub nnz: usize,
-}
+/// One NUMA domain's share of the workload (for the analytic terms and
+/// working-set fit checks of method B) — a [`memtrace::WorkShare`] in the
+/// model's units (`rows`, `x_refs`, `meta_elems`).
+pub use memtrace::WorkShare as DomainShare;
 
 /// Per-array reuse histograms of one routed reference stream.
 #[derive(Clone, Debug, Default)]
@@ -329,9 +324,9 @@ pub struct LocalityProfile {
     threads: usize,
     line_bytes: usize,
     cores_per_domain: usize,
-    rows: usize,
     cols: usize,
-    nnz: usize,
+    x_refs: usize,
+    companion0_bytes: usize,
     domains: Vec<DomainShare>,
     tracked: Option<TrackedCaps>,
     kind: ProfileKind,
@@ -370,15 +365,19 @@ pub enum DomainPartial {
 /// The streaming trace pipeline behind [`LocalityProfile::compute`],
 /// factored so independent L2 domains can run on separate threads.
 ///
-/// Construction does the cheap shared setup (layout, row partition,
+/// Construction does the cheap shared setup (layout, work partition,
 /// domain shares); [`domain_partial`](Self::domain_partial) is a pure
 /// function of `&self` and the domain index — it streams the domain's
 /// interleaved references from cursors (no trace is materialised), feeding
 /// both routings of one replay through a single generation pass via a tee
 /// sink. [`finish`](Self::finish) merges the partials in domain order, so
 /// any parallel schedule produces the byte-identical profile.
-pub struct ProfileBuilder<'m> {
-    matrix: &'m CsrMatrix,
+///
+/// Generic over the storage format via [`SpmvWorkload`] (defaulting to
+/// CSR, whose results are byte-identical to the historical CSR-only
+/// pipeline).
+pub struct ProfileBuilder<'m, W: SpmvWorkload = CsrMatrix> {
+    workload: &'m W,
     method: Method,
     threads: usize,
     line_bytes: usize,
@@ -389,14 +388,14 @@ pub struct ProfileBuilder<'m> {
     tracked: Option<TrackedCaps>,
 }
 
-impl<'m> ProfileBuilder<'m> {
+impl<'m, W: SpmvWorkload> ProfileBuilder<'m, W> {
     /// Sets up the capacity-independent (exact-stack) pipeline.
     ///
     /// # Panics
     ///
     /// Panics if `threads` is zero.
-    pub fn new(matrix: &'m CsrMatrix, cfg: &MachineConfig, method: Method, threads: usize) -> Self {
-        Self::build(matrix, cfg, method, threads, None)
+    pub fn new(workload: &'m W, cfg: &MachineConfig, method: Method, threads: usize) -> Self {
+        Self::build(workload, cfg, method, threads, None)
     }
 
     /// Sets up the sweep pipeline: for method (A) the trace analysis runs
@@ -411,18 +410,18 @@ impl<'m> ProfileBuilder<'m> {
     ///
     /// Panics if `threads` is zero.
     pub fn for_sweep(
-        matrix: &'m CsrMatrix,
+        workload: &'m W,
         cfg: &MachineConfig,
         method: Method,
         threads: usize,
         settings: &[SectorSetting],
     ) -> Self {
         let tracked = (method == Method::A).then(|| TrackedCaps::for_sweep(cfg, settings));
-        Self::build(matrix, cfg, method, threads, tracked)
+        Self::build(workload, cfg, method, threads, tracked)
     }
 
     fn build(
-        matrix: &'m CsrMatrix,
+        workload: &'m W,
         cfg: &MachineConfig,
         method: Method,
         threads: usize,
@@ -431,14 +430,14 @@ impl<'m> ProfileBuilder<'m> {
         assert!(threads >= 1, "need at least one thread");
         let line_bytes = cfg.l2.line_bytes;
         let cores_per_domain = cfg.cores_per_domain;
-        let layout = DataLayout::new(matrix, line_bytes);
-        let partition = thread_partition(matrix, threads);
+        let layout = workload.layout(line_bytes);
+        let partition = thread_partition(workload, threads);
 
-        // Method (B) predicts all-zero for an empty matrix before tracing;
-        // mirror that so evaluation stays exact.
-        let trivial = method == Method::B && matrix.nnz() == 0;
+        // Method (B) predicts all-zero for an empty workload before
+        // tracing; mirror that so evaluation stays exact.
+        let trivial = method == Method::B && workload.x_refs() == 0;
 
-        // Domain shares (contiguous row spans, as in the per-domain
+        // Domain shares (contiguous work-item spans, as in the per-domain
         // accounting of both methods).
         let mut domains = Vec::new();
         if !trivial {
@@ -447,18 +446,13 @@ impl<'m> ProfileBuilder<'m> {
             for d in 0..num_domains {
                 let t0 = d * cores_per_domain;
                 let t1 = ((d + 1) * cores_per_domain).min(num_parts);
-                let row_start = partition.range(t0).start;
-                let row_end = partition.range(t1 - 1).end;
-                let nnz_d = (matrix.rowptr()[row_end] - matrix.rowptr()[row_start]) as usize;
-                domains.push(DomainShare {
-                    rows: row_end - row_start,
-                    nnz: nnz_d,
-                });
+                let span = partition.range(t0).start..partition.range(t1 - 1).end;
+                domains.push(workload.share(span));
             }
         }
 
         ProfileBuilder {
-            matrix,
+            workload,
             method,
             threads,
             line_bytes,
@@ -484,7 +478,7 @@ impl<'m> ProfileBuilder<'m> {
     /// Panics if `d >= num_domains()`.
     pub fn domain_partial(&self, d: usize) -> DomainPartial {
         let cursors = DomainCursors::new(
-            self.matrix,
+            self.workload,
             &self.layout,
             &self.partition,
             self.cores_per_domain,
@@ -519,13 +513,14 @@ impl<'m> ProfileBuilder<'m> {
                     }
                 } else {
                     let len = cursors.spmv_len(d);
-                    let nnz_d = self.domains[d].nnz;
-                    // Partition 1 sees only `a` + `colidx`: 2·nnz per pass.
+                    let x_refs_d = self.domains[d].x_refs;
+                    // Partition 1 sees only `a` + `colidx`: two references
+                    // per `x` gather per pass.
                     let mut shared = HistogramSink::new(ArraySet::EMPTY, 2 * len, 16);
                     let mut routed = HistogramSink::new(
                         ArraySet::MATRIX_STREAM,
-                        2 * (len - 2 * nnz_d),
-                        4 * nnz_d,
+                        2 * (len - 2 * x_refs_d),
+                        4 * x_refs_d,
                     );
                     cursors.feed_spmv(
                         d,
@@ -629,9 +624,9 @@ impl<'m> ProfileBuilder<'m> {
             threads: self.threads,
             line_bytes: self.line_bytes,
             cores_per_domain: self.cores_per_domain,
-            rows: self.matrix.num_rows(),
-            cols: self.matrix.num_cols(),
-            nnz: self.matrix.nnz(),
+            cols: self.workload.num_cols(),
+            x_refs: self.workload.x_refs(),
+            companion0_bytes: self.workload.companion0_bytes(),
             domains: self.domains,
             tracked: self.tracked,
             kind,
@@ -640,7 +635,7 @@ impl<'m> ProfileBuilder<'m> {
 }
 
 impl LocalityProfile {
-    /// Runs the trace analysis for `method` on `matrix` with `threads`
+    /// Runs the trace analysis for `method` on `workload` with `threads`
     /// threads.
     ///
     /// Only the machine *shape* is read from `cfg` (`l2.line_bytes`,
@@ -649,18 +644,20 @@ impl LocalityProfile {
     ///
     /// The default pipeline is fully streaming: per-thread cursors are
     /// interleaved on demand and both routings of each replay share one
-    /// generation pass, so no trace is ever materialised.
+    /// generation pass, so no trace is ever materialised. Any
+    /// [`SpmvWorkload`] is accepted; a plain `&CsrMatrix` reproduces the
+    /// historical CSR-only results byte for byte.
     ///
     /// # Panics
     ///
     /// Panics if `threads` is zero.
-    pub fn compute(
-        matrix: &CsrMatrix,
+    pub fn compute<W: SpmvWorkload>(
+        workload: &W,
         cfg: &MachineConfig,
         method: Method,
         threads: usize,
     ) -> Self {
-        let builder = ProfileBuilder::new(matrix, cfg, method, threads);
+        let builder = ProfileBuilder::new(workload, cfg, method, threads);
         let partials = (0..builder.num_domains())
             .map(|d| builder.domain_partial(d))
             .collect();
@@ -676,14 +673,14 @@ impl LocalityProfile {
     /// # Panics
     ///
     /// Panics if `threads` is zero.
-    pub fn compute_for_sweep(
-        matrix: &CsrMatrix,
+    pub fn compute_for_sweep<W: SpmvWorkload>(
+        workload: &W,
         cfg: &MachineConfig,
         method: Method,
         threads: usize,
         settings: &[SectorSetting],
     ) -> Self {
-        let builder = ProfileBuilder::for_sweep(matrix, cfg, method, threads, settings);
+        let builder = ProfileBuilder::for_sweep(workload, cfg, method, threads, settings);
         let partials = (0..builder.num_domains())
             .map(|d| builder.domain_partial(d))
             .collect();
@@ -710,9 +707,9 @@ impl LocalityProfile {
             threads,
             line_bytes,
             cores_per_domain,
-            rows: matrix.num_rows(),
             cols: matrix.num_cols(),
-            nnz: matrix.nnz(),
+            x_refs: matrix.nnz(),
+            companion0_bytes: 16 * matrix.num_rows(),
             domains: Vec::new(),
             tracked: None,
             kind: ProfileKind::XTrace(XProfile {
@@ -727,7 +724,7 @@ impl LocalityProfile {
             return profile;
         }
 
-        let layout = DataLayout::new(matrix, line_bytes);
+        let layout = matrix.layout(line_bytes);
         let partition = thread_partition(matrix, threads);
 
         // Domain shares (contiguous row spans, as in the per-domain
@@ -742,7 +739,8 @@ impl LocalityProfile {
             let nnz_d = (matrix.rowptr()[row_end] - matrix.rowptr()[row_start]) as usize;
             profile.domains.push(DomainShare {
                 rows: row_end - row_start,
-                nnz: nnz_d,
+                x_refs: nnz_d,
+                meta_elems: row_end - row_start + 1,
             });
         }
 
@@ -814,6 +812,139 @@ impl LocalityProfile {
         profile
     }
 
+    /// Format-generic materialise-then-replay oracle: buffers every
+    /// per-thread trace from the workload's cursors, then replays each
+    /// domain through the buffered [`DomainTraces`] pipeline — an
+    /// independent cross-check of the streaming [`DomainCursors`]
+    /// interleaving for any [`SpmvWorkload`]. For CSR it reproduces
+    /// [`compute_materialized`](Self::compute_materialized) exactly;
+    /// prefer [`compute`](Self::compute) outside validation.
+    pub fn compute_materialized_workload<W: SpmvWorkload>(
+        workload: &W,
+        cfg: &MachineConfig,
+        method: Method,
+        threads: usize,
+    ) -> Self {
+        assert!(threads >= 1, "need at least one thread");
+        let line_bytes = cfg.l2.line_bytes;
+        let cores_per_domain = cfg.cores_per_domain;
+
+        let mut profile = LocalityProfile {
+            method,
+            threads,
+            line_bytes,
+            cores_per_domain,
+            cols: workload.num_cols(),
+            x_refs: workload.x_refs(),
+            companion0_bytes: workload.companion0_bytes(),
+            domains: Vec::new(),
+            tracked: None,
+            kind: ProfileKind::XTrace(XProfile {
+                pairs: Vec::new(),
+                cold: 0,
+            }),
+        };
+
+        if method == Method::B && workload.x_refs() == 0 {
+            return profile;
+        }
+
+        let layout = workload.layout(line_bytes);
+        let partition = thread_partition(workload, threads);
+        let num_parts = partition.num_parts();
+        let num_domains = num_parts.div_ceil(cores_per_domain);
+        for d in 0..num_domains {
+            let t0 = d * cores_per_domain;
+            let t1 = ((d + 1) * cores_per_domain).min(num_parts);
+            let span = partition.range(t0).start..partition.range(t1 - 1).end;
+            profile.domains.push(workload.share(span));
+        }
+
+        let materialize = |x_only: bool| -> Vec<Vec<Access>> {
+            (0..num_parts)
+                .map(|t| {
+                    let mut sink = memtrace::VecSink::new();
+                    if x_only {
+                        workload
+                            .x_trace_cursor(&layout, partition.range(t))
+                            .drain_into(&mut sink);
+                    } else {
+                        workload
+                            .trace_cursor(&layout, partition.range(t))
+                            .drain_into(&mut sink);
+                    }
+                    sink.trace
+                })
+                .collect()
+        };
+
+        match method {
+            Method::A => {
+                let per_thread = materialize(false);
+                let expected: usize = per_thread.iter().map(|t| t.len()).sum();
+                let domains = DomainTraces::group(per_thread, cores_per_domain);
+
+                let mut shared = ArrayHistograms::default();
+                let mut part0 = ArrayHistograms::default();
+                let mut part1 = ArrayHistograms::default();
+                for d in 0..domains.num_domains() {
+                    // Unpartitioned routing.
+                    let mut sink = HistogramSink::new(ArraySet::EMPTY, expected, 16);
+                    domains.feed_domain(d, &mut sink); // warm-up
+                    sink.recording = true;
+                    domains.feed_domain(d, &mut sink); // measured
+                    shared.merge(&sink.hist0);
+
+                    // Listing-1 routing.
+                    let mut sink = HistogramSink::new(ArraySet::MATRIX_STREAM, expected, expected);
+                    domains.feed_domain(d, &mut sink);
+                    sink.recording = true;
+                    domains.feed_domain(d, &mut sink);
+                    part0.merge(&sink.hist0);
+                    part1.merge(&sink.hist1);
+                }
+                profile.kind = ProfileKind::Trace(TraceProfile {
+                    shared,
+                    part0,
+                    part1,
+                });
+            }
+            Method::B => {
+                let domains = DomainTraces::group(materialize(true), cores_per_domain);
+
+                let mut pairs: HashMap<(u64, u64), u64> = HashMap::new();
+                let mut cold = 0u64;
+                for d in 0..domains.num_domains() {
+                    let mut interleaved = memtrace::VecSink::new();
+                    domains.feed_domain(d, &mut interleaved);
+                    let trace = &interleaved.trace;
+                    let mut stack = ExactStack::with_capacity(trace.len() * 2);
+                    let mut last_seen: HashMap<u64, u64> = HashMap::new();
+                    // Warm-up iteration.
+                    for (t, a) in trace.iter().enumerate() {
+                        stack.access(a.line);
+                        last_seen.insert(a.line, t as u64);
+                    }
+                    // Measured iteration.
+                    let offset = trace.len() as u64;
+                    for (t, a) in trace.iter().enumerate() {
+                        let now = offset + t as u64;
+                        let rd = stack.access(a.line);
+                        let g = last_seen.insert(a.line, now).map(|prev| now - prev);
+                        match (rd, g) {
+                            (Some(rd), Some(g)) => *pairs.entry((rd, g)).or_insert(0) += 1,
+                            _ => cold += 1,
+                        }
+                    }
+                }
+                let mut pairs: Vec<((u64, u64), u64)> = pairs.into_iter().collect();
+                pairs.sort_unstable();
+                profile.kind = ProfileKind::XTrace(XProfile { pairs, cold });
+            }
+        }
+        profile
+    }
+
     /// The method this profile was computed for.
     pub fn method(&self) -> Method {
         self.method
@@ -834,7 +965,8 @@ impl LocalityProfile {
         self.cores_per_domain
     }
 
-    /// The per-domain row/nonzero shares.
+    /// The per-domain workload shares (rows, `x` references, metadata
+    /// elements).
     pub fn domains(&self) -> &[DomainShare] {
         &self.domains
     }
@@ -933,7 +1065,7 @@ impl LocalityProfile {
         cfg: &MachineConfig,
         settings: &[SectorSetting],
     ) -> Vec<Prediction> {
-        if self.nnz == 0 {
+        if self.x_refs == 0 {
             return settings
                 .iter()
                 .map(|&setting| Prediction {
@@ -944,8 +1076,8 @@ impl LocalityProfile {
                 .collect();
         }
         let line = cfg.l2.line_bytes;
-        let s1 = scale_s1(self.rows, self.nnz);
-        let s2 = scale_s2(self.rows, self.nnz);
+        let s1 = scale_part0(self.companion0_bytes, self.x_refs);
+        let s2 = scale_unpart(self.companion0_bytes, self.x_refs);
 
         // Per setting: companion lines per intervening x access, and
         // partition-0 capacity (see method_b's derivation).
@@ -985,18 +1117,18 @@ impl LocalityProfile {
 
         // Analytic streaming terms per domain.
         for share in &self.domains {
-            let (rows_d, nnz_d) = (share.rows, share.nnz);
-            if nnz_d == 0 && rows_d == 0 {
+            let (rows_d, x_refs_d, meta_d) = (share.rows, share.x_refs, share.meta_elems);
+            if x_refs_d == 0 && rows_d == 0 {
                 continue;
             }
             let terms = StreamTerms {
-                a: crate::analytic::stream_misses_a(nnz_d, line),
-                colidx: crate::analytic::stream_misses_colidx(nnz_d, line),
-                rowptr: crate::analytic::stream_misses_rowptr(rows_d, line),
+                a: crate::analytic::stream_misses_a(x_refs_d, line),
+                colidx: crate::analytic::stream_misses_colidx(x_refs_d, line),
+                rowptr: crate::analytic::stream_misses_meta(meta_d, line),
                 y: crate::analytic::stream_misses_y(rows_d, line),
             };
-            let matrix_bytes_d = nnz_d * 12 + (rows_d + 1) * 8;
-            let reusable_bytes_d = self.cols * 8 + rows_d * 8 + (rows_d + 1) * 8;
+            let matrix_bytes_d = x_refs_d * 12 + meta_d * 8;
+            let reusable_bytes_d = self.cols * 8 + rows_d * 8 + meta_d * 8;
             let working_set_d = matrix_bytes_d + self.cols * 8 + rows_d * 8;
 
             for (i, &setting) in settings.iter().enumerate() {
@@ -1030,7 +1162,7 @@ impl LocalityProfile {
         // Class-(1) override for the unpartitioned case: when every
         // domain's working set fits, steady state has no misses at all.
         let all_fit = self.domains.iter().all(|share| {
-            let ws = share.nnz * 12 + (share.rows + 1) * 8 + self.cols * 8 + share.rows * 8;
+            let ws = share.x_refs * 12 + share.meta_elems * 8 + self.cols * 8 + share.rows * 8;
             ws <= cfg.l2.size_bytes
         });
         if all_fit {
@@ -1234,6 +1366,79 @@ mod tests {
             "fingerprint must be deterministic"
         );
         assert!(off_only.part0.is_empty() && off_only.part1.is_empty());
+    }
+
+    #[test]
+    fn generic_materialized_oracle_matches_csr_oracle() {
+        // The format-generic oracle must agree with the verbatim CSR
+        // oracle (and hence with the streaming pipeline) bit for bit.
+        let m = random_matrix(700, 7, 57);
+        let mut cfg = MachineConfig::a64fx_scaled(64);
+        cfg.cores_per_domain = 3;
+        let settings = SectorSetting::paper_sweep();
+        for method in [Method::A, Method::B] {
+            for threads in [1, 8] {
+                let csr_oracle = LocalityProfile::compute_materialized(&m, &cfg, method, threads);
+                let generic =
+                    LocalityProfile::compute_materialized_workload(&m, &cfg, method, threads);
+                assert_eq!(
+                    generic.evaluate(&cfg, &settings),
+                    csr_oracle.evaluate(&cfg, &settings),
+                    "{method:?} threads={threads}"
+                );
+                assert_eq!(generic.domains(), csr_oracle.domains());
+            }
+        }
+    }
+
+    #[test]
+    fn sell_streaming_matches_sell_materialized_oracle() {
+        // The streaming pipeline and the materialise-then-replay oracle
+        // must agree for SELL-C-σ workloads too, across thread counts and
+        // domain widths.
+        let m = random_matrix(2048, 12, 91);
+        let sell = sparsemat::SellMatrix::from_csr(&m, 8, 32);
+        let settings = SectorSetting::paper_sweep();
+        for (threads, cores_per_domain) in [(1, 12), (5, 2)] {
+            let mut cfg = MachineConfig::a64fx_scaled(64);
+            cfg.cores_per_domain = cores_per_domain;
+            for method in [Method::A, Method::B] {
+                let streaming = LocalityProfile::compute(&sell, &cfg, method, threads);
+                let oracle =
+                    LocalityProfile::compute_materialized_workload(&sell, &cfg, method, threads);
+                assert_eq!(
+                    streaming.evaluate(&cfg, &settings),
+                    oracle.evaluate(&cfg, &settings),
+                    "{method:?} threads={threads} cpd={cores_per_domain}"
+                );
+                assert_eq!(streaming.domains(), oracle.domains());
+                assert!(streaming.evaluate(&cfg, &settings)[0].l2_misses > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn sell_c1_sigma1_tracks_csr_profile() {
+        // SELL with C=1, σ=1 keeps rows in order with no padding; its
+        // method (A) shared-routing misses match CSR's exactly (the trace
+        // differs only in the metadata stream: one chunk descriptor per
+        // row instead of rows+1 row pointers).
+        let m = random_matrix(1024, 9, 17);
+        let sell = sparsemat::SellMatrix::from_csr(&m, 1, 1);
+        assert_eq!(sell.stored_entries(), m.nnz());
+        let cfg = MachineConfig::a64fx_scaled(64);
+        let settings = [SectorSetting::Off, SectorSetting::L2Ways(4)];
+        for method in [Method::A, Method::B] {
+            let pc = LocalityProfile::compute(&m, &cfg, method, 1).evaluate(&cfg, &settings);
+            let ps = LocalityProfile::compute(&sell, &cfg, method, 1).evaluate(&cfg, &settings);
+            for (c, s) in pc.iter().zip(&ps) {
+                // x-gather misses see the same reference stream modulo the
+                // interleaved metadata loads; allow a small relative gap.
+                let (c, s) = (c.l2_misses as f64, s.l2_misses as f64);
+                let rel = (c - s).abs() / c.max(1.0);
+                assert!(rel < 0.05, "{method:?}: csr={c} sell={s} rel={rel}");
+            }
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::concurrent::{thread_partition, DomainTraces};
 use crate::predict::{Prediction, SectorSetting};
 use a64fx::MachineConfig;
 use memtrace::spmv_trace::trace_spmv_partitioned;
-use memtrace::{Access, Array, ArraySet, DataLayout};
+use memtrace::{Access, Array, ArraySet, SpmvWorkload};
 use reuse::{ExactStack, PartitionedStack};
 use sparsemat::CsrMatrix;
 
@@ -51,7 +51,7 @@ pub fn predict_filtered(
     threads: usize,
 ) -> Vec<Prediction> {
     assert!(threads >= 1, "need at least one thread");
-    let layout = DataLayout::new(matrix, cfg.l2.line_bytes);
+    let layout = matrix.layout(cfg.l2.line_bytes);
     let partition = thread_partition(matrix, threads);
     let per_thread: Vec<Vec<Access>> = trace_spmv_partitioned(matrix, &layout, &partition)
         .iter()
@@ -127,7 +127,7 @@ mod tests {
     #[test]
     fn filter_with_huge_l1_removes_everything() {
         let m = random_matrix(128, 4, 3);
-        let layout = DataLayout::new(&m, 256);
+        let layout = m.layout(256);
         let mut sink = memtrace::VecSink::new();
         memtrace::spmv_trace::trace_spmv(&m, &layout, &mut sink);
         let filtered = l1_filter(&sink.trace, 1 << 20);
@@ -140,7 +140,7 @@ mod tests {
     #[test]
     fn filter_with_one_line_keeps_nearly_everything() {
         let m = random_matrix(128, 4, 3);
-        let layout = DataLayout::new(&m, 256);
+        let layout = m.layout(256);
         let mut sink = memtrace::VecSink::new();
         memtrace::spmv_trace::trace_spmv(&m, &layout, &mut sink);
         let filtered = l1_filter(&sink.trace, 1);

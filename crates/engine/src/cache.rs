@@ -25,7 +25,12 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// Everything a memoized profile depends on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct ProfileKey {
-    /// [`sparsemat::CsrMatrix::fingerprint`] of the matrix structure.
+    /// The workload's format-tagged
+    /// [`fingerprint`](locality_core::SpmvWorkload::fingerprint) (CSR
+    /// keeps the legacy untagged
+    /// [`CsrMatrix::fingerprint`](sparsemat::CsrMatrix::fingerprint)),
+    /// further tagged by the batch's
+    /// [`ReorderSpec`](locality_core::ReorderSpec) when one applies.
     pub fingerprint: u64,
     /// Model variant.
     pub method: Method,

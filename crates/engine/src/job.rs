@@ -1,7 +1,7 @@
 //! Batch specifications: what to predict, for which matrices, under which
 //! sweep — plus the line-based on-disk spec format of `spmv-locality batch`.
 
-use locality_core::{Method, SectorSetting};
+use locality_core::{FormatSpec, Method, ReorderSpec, SectorSetting};
 use std::fmt;
 use std::path::PathBuf;
 
@@ -42,6 +42,10 @@ pub struct BatchSpec {
     pub scale: usize,
     /// Engine worker threads (0 = all host cores).
     pub workers: usize,
+    /// Storage format the resolved matrices are converted to.
+    pub format: FormatSpec,
+    /// Row reordering applied before format conversion.
+    pub reorder: ReorderSpec,
 }
 
 impl Default for BatchSpec {
@@ -53,6 +57,8 @@ impl Default for BatchSpec {
             threads: 1,
             scale: 16,
             workers: 0,
+            format: FormatSpec::Csr,
+            reorder: ReorderSpec::None,
         }
     }
 }
@@ -119,6 +125,8 @@ impl BatchSpec {
     /// threads 1                            # modeled SpMV threads
     /// scale 16                             # machine scale divisor
     /// workers 0                            # engine threads (0 = all cores)
+    /// format sell:32,128                   # csr (default) or sell:C,sigma
+    /// reorder rcm                          # none (default) or rcm
     /// ```
     ///
     /// Directives may appear in any order; matrix sources accumulate,
@@ -192,6 +200,18 @@ impl BatchSpec {
                         .ok_or_else(|| err(line_no, "settings needs off,2..7 / paper / a list"))?;
                     spec.settings = parse_settings(line_no, arg)?;
                 }
+                "format" => {
+                    let arg = words
+                        .next()
+                        .ok_or_else(|| err(line_no, "format needs csr or sell:C,sigma"))?;
+                    spec.format = FormatSpec::parse(arg).map_err(|e| err(line_no, e))?;
+                }
+                "reorder" => {
+                    let arg = words
+                        .next()
+                        .ok_or_else(|| err(line_no, "reorder needs none or rcm"))?;
+                    spec.reorder = ReorderSpec::parse(arg).map_err(|e| err(line_no, e))?;
+                }
                 "threads" | "scale" | "workers" => {
                     let arg = words
                         .next()
@@ -217,7 +237,7 @@ impl BatchSpec {
                     return Err(err(
                         line_no,
                         format!(
-                            "unknown directive '{other}' (expected corpus/table1/mtx/methods/settings/threads/scale/workers)"
+                            "unknown directive '{other}' (expected corpus/table1/mtx/methods/settings/threads/scale/workers/format/reorder)"
                         ),
                     ));
                 }
@@ -350,11 +370,34 @@ mod tests {
     }
 
     #[test]
+    fn parses_format_and_reorder() {
+        let spec = BatchSpec::parse(
+            "corpus count=2\n\
+             format sell:32,128\n\
+             reorder rcm\n",
+        )
+        .unwrap();
+        assert_eq!(
+            spec.format,
+            FormatSpec::Sell {
+                chunk_size: 32,
+                sigma: 128
+            }
+        );
+        assert_eq!(spec.reorder, ReorderSpec::Rcm);
+        assert!(BatchSpec::parse("corpus count=1\nformat sell\n").is_err());
+        assert!(BatchSpec::parse("corpus count=1\nformat\n").is_err());
+        assert!(BatchSpec::parse("corpus count=1\nreorder sorted\n").is_err());
+    }
+
+    #[test]
     fn defaults_apply() {
         let spec = BatchSpec::parse("corpus count=5\n").unwrap();
         assert_eq!(spec.methods, vec![Method::A, Method::B]);
         assert_eq!(spec.settings.len(), 7);
         assert_eq!(spec.threads, 1);
+        assert_eq!(spec.format, FormatSpec::Csr);
+        assert_eq!(spec.reorder, ReorderSpec::None);
         // Source without explicit scale inherits the spec default.
         assert_eq!(
             spec.sources[0],

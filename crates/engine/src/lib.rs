@@ -9,10 +9,12 @@
 //! structural fingerprint so a `matrices × methods × settings` batch
 //! computes only `matrices × methods` profiles.
 //!
-//! * [`job`] — [`BatchSpec`] (what to run) and its line-based spec format.
-//! * [`cache`] — the [`ProfileCache`], keyed by
-//!   [`CsrMatrix::fingerprint`](sparsemat::CsrMatrix::fingerprint) +
-//!   method + threads + machine geometry.
+//! * [`job`] — [`BatchSpec`] (what to run) and its line-based spec format,
+//!   including the `format`/`reorder` directives that run a batch under a
+//!   different storage format (e.g. SELL-C-σ) or row order.
+//! * [`cache`] — the [`ProfileCache`], keyed by the workload's
+//!   format-tagged [`SpmvWorkload::fingerprint`] (reorder-tagged by the
+//!   spec) + method + threads + machine geometry.
 //! * [`pool`] — the work-stealing worker pool ([`pool::run_indexed`]).
 //! * [`report`] — per-job [`Report`]s and the deterministic JSON-lines
 //!   output (no timestamps; identical bytes for any worker count).
@@ -50,7 +52,8 @@ pub use report::{BatchResult, BatchStats, Report};
 
 use a64fx::MachineConfig;
 use locality_core::{
-    DomainPartial, LocalityProfile, Method, ProfileBuilder, SectorSetting, TrackedCaps,
+    DomainPartial, FormatSpec, LocalityProfile, Method, ProfileBuilder, ReorderSpec, SectorSetting,
+    SpmvWorkload, TrackedCaps, Workload,
 };
 use sparsemat::CsrMatrix;
 use std::fmt;
@@ -88,31 +91,47 @@ impl From<SpecError> for EngineError {
     }
 }
 
-/// A resolved matrix: the data plus everything the reports need.
+/// A resolved workload: the data plus everything the reports need.
 struct BatchMatrix {
     name: String,
-    matrix: CsrMatrix,
+    workload: Workload,
 }
 
-/// Resolves the spec's sources, in order, into concrete matrices.
+/// Decorates a matrix name with the non-default format/reorder suffixes,
+/// e.g. `"band-7@rcm@sell:32,128"`. CSR with natural order keeps the bare
+/// name, so existing CSR batch outputs are byte-identical.
+fn workload_name(base: &str, format: FormatSpec, reorder: ReorderSpec) -> String {
+    let mut name = base.to_string();
+    if reorder != ReorderSpec::None {
+        name.push('@');
+        name.push_str(reorder.label());
+    }
+    if format != FormatSpec::Csr {
+        name.push('@');
+        name.push_str(&format.label());
+    }
+    name
+}
+
+/// Resolves the spec's sources, in order, into concrete workloads (the
+/// spec's reorder is applied to each CSR matrix, then the format view is
+/// built).
 fn resolve_sources(spec: &BatchSpec) -> Result<Vec<BatchMatrix>, EngineError> {
+    let make = |name: String, matrix: CsrMatrix| BatchMatrix {
+        name: workload_name(&name, spec.format, spec.reorder),
+        workload: Workload::build(matrix, spec.format, spec.reorder),
+    };
     let mut out = Vec::new();
     for source in &spec.sources {
         match source {
             MatrixSource::Corpus { count, scale, seed } => {
                 for nm in corpus::corpus(*count, *scale, *seed) {
-                    out.push(BatchMatrix {
-                        name: nm.name,
-                        matrix: nm.matrix,
-                    });
+                    out.push(make(nm.name, nm.matrix));
                 }
             }
             MatrixSource::Table1 { scale } => {
                 for nm in corpus::table1_suite(*scale) {
-                    out.push(BatchMatrix {
-                        name: nm.name,
-                        matrix: nm.matrix,
-                    });
+                    out.push(make(nm.name, nm.matrix));
                 }
             }
             MatrixSource::MtxFile(path) => {
@@ -125,7 +144,7 @@ fn resolve_sources(spec: &BatchSpec) -> Result<Vec<BatchMatrix>, EngineError> {
                     .file_stem()
                     .map(|s| s.to_string_lossy().into_owned())
                     .unwrap_or_else(|| path.display().to_string());
-                out.push(BatchMatrix { name, matrix });
+                out.push(make(name, matrix));
             }
         }
     }
@@ -171,8 +190,8 @@ fn machine_for(spec: &BatchSpec) -> MachineConfig {
 /// sweep-restricted marker pipeline (see
 /// [`ProfileBuilder::for_sweep`]); without, the capacity-independent
 /// exact pipeline.
-pub fn compute_profile_parallel(
-    matrix: &CsrMatrix,
+pub fn compute_profile_parallel<W: SpmvWorkload>(
+    workload: &W,
     cfg: &MachineConfig,
     method: Method,
     threads: usize,
@@ -180,8 +199,8 @@ pub fn compute_profile_parallel(
     workers: usize,
 ) -> LocalityProfile {
     let builder = match settings {
-        Some(s) => ProfileBuilder::for_sweep(matrix, cfg, method, threads, s),
-        None => ProfileBuilder::new(matrix, cfg, method, threads),
+        Some(s) => ProfileBuilder::for_sweep(workload, cfg, method, threads, s),
+        None => ProfileBuilder::new(workload, cfg, method, threads),
     };
     let domains: Vec<usize> = (0..builder.num_domains()).collect();
     let partials: Vec<DomainPartial> =
@@ -189,15 +208,16 @@ pub fn compute_profile_parallel(
     builder.finish(partials)
 }
 
-/// Runs a batch: resolves matrices from the spec's sources, then fans the
-/// jobs out via [`run_on`].
+/// Runs a batch: resolves workloads from the spec's sources (applying its
+/// `reorder` and `format`), then fans the jobs out via
+/// [`run_on_workloads`].
 pub fn run_batch(spec: &BatchSpec) -> Result<BatchResult, EngineError> {
     let matrices = resolve_sources(spec)?;
-    let refs: Vec<(&str, &CsrMatrix)> = matrices
+    let refs: Vec<(&str, &Workload)> = matrices
         .iter()
-        .map(|m| (m.name.as_str(), &m.matrix))
+        .map(|m| (m.name.as_str(), &m.workload))
         .collect();
-    Ok(run_on(spec, &refs))
+    Ok(run_on_workloads(spec, &refs))
 }
 
 /// Runs the spec's methods × settings sweep over an explicit matrix list
@@ -212,7 +232,20 @@ pub fn run_batch(spec: &BatchSpec) -> Result<BatchResult, EngineError> {
 /// method, then setting, matching the spec's orders — and carry no
 /// timing, so the output is byte-identical for any worker count.
 pub fn run_on(spec: &BatchSpec, matrices: &[(&str, &CsrMatrix)]) -> BatchResult {
-    let fingerprints: Vec<u64> = matrices.iter().map(|(_, m)| m.fingerprint()).collect();
+    run_on_workloads(spec, matrices)
+}
+
+/// Format-generic [`run_on`]: the sweep over an explicit list of already
+/// built workloads (any [`SpmvWorkload`] — `&CsrMatrix`, `&SellMatrix`,
+/// or the [`Workload`] enum). The spec's `sources`, `format` and
+/// `reorder` are *not* applied here — the caller owns the conversion —
+/// but `reorder` still tags the cache/report fingerprints, so callers
+/// passing reordered matrices keep them distinct from natural-order runs.
+pub fn run_on_workloads<W: SpmvWorkload>(spec: &BatchSpec, matrices: &[(&str, &W)]) -> BatchResult {
+    let fingerprints: Vec<u64> = matrices
+        .iter()
+        .map(|(_, m)| spec.reorder.tag_fingerprint(m.fingerprint()))
+        .collect();
     let jobs = expand_jobs(spec, matrices.len());
     let cfg = machine_for(spec);
     let cache = ProfileCache::new();
@@ -269,12 +302,14 @@ pub fn run_on(spec: &BatchSpec, matrices: &[(&str, &CsrMatrix)]) -> BatchResult 
     }
 }
 
-/// Convenience: predictions for one matrix across a sweep, through the
+/// Convenience: predictions for one workload across a sweep, through the
 /// same cache type the batch path uses. Exists so experiment drivers can
-/// share a long-lived [`ProfileCache`] across calls.
-pub fn predict_cached(
+/// share a long-lived [`ProfileCache`] across calls. Keys on the
+/// workload's format-tagged fingerprint, so CSR and SELL views of the
+/// same matrix occupy distinct slots.
+pub fn predict_cached<W: SpmvWorkload>(
     cache: &ProfileCache,
-    matrix: &CsrMatrix,
+    workload: &W,
     cfg: &MachineConfig,
     method: Method,
     settings: &[SectorSetting],
@@ -283,7 +318,7 @@ pub fn predict_cached(
     // Capacity-independent profile (caps_fingerprint 0): callers may hit
     // the same cache entry with arbitrary follow-up sweeps.
     let key = ProfileKey {
-        fingerprint: matrix.fingerprint(),
+        fingerprint: workload.fingerprint(),
         method,
         threads,
         line_bytes: cfg.l2.line_bytes,
@@ -291,7 +326,7 @@ pub fn predict_cached(
         caps_fingerprint: 0,
     };
     let profile = cache.get_or_compute(key, || {
-        LocalityProfile::compute(matrix, cfg, method, threads)
+        LocalityProfile::compute(workload, cfg, method, threads)
     });
     profile.evaluate(cfg, settings)
 }
@@ -371,6 +406,72 @@ mod tests {
         let result = run_batch(&spec).unwrap();
         assert_eq!(result.stats.matrices, 4);
         assert_eq!(result.stats.profile_computations, 2);
+    }
+
+    #[test]
+    fn sell_batches_run_and_key_separately() {
+        let spec = BatchSpec::parse(
+            "corpus count=2 scale=64 seed=11\n\
+             settings off,4\n\
+             methods B\n\
+             threads 1\n\
+             scale 64\n\
+             format sell:8,32\n",
+        )
+        .unwrap();
+        let result = run_batch(&spec).unwrap();
+        // 2 matrices x 1 method x 2 settings
+        assert_eq!(result.reports.len(), 4);
+        assert_eq!(result.stats.profile_computations, 2);
+        let cfg = machine_for(&spec);
+        let suite = corpus::corpus(2, 64, 11);
+        for report in &result.reports {
+            let nm = &suite[report.id / spec.jobs_per_matrix()];
+            // The name carries the format suffix and the fingerprint is
+            // format-tagged: a CSR sweep of the same corpus shares nothing.
+            assert_eq!(report.matrix, format!("{}@sell:8,32", nm.name));
+            let wl = Workload::build(nm.matrix.clone(), spec.format, spec.reorder);
+            assert_ne!(report.fingerprint, nm.matrix.fingerprint());
+            assert_eq!(report.fingerprint, wl.fingerprint());
+            let direct = predict(&wl, &cfg, report.method, &[report.setting], 1);
+            assert_eq!(report.prediction, direct[0], "job {}", report.id);
+        }
+    }
+
+    #[test]
+    fn reorder_tags_names_and_fingerprints() {
+        let spec = BatchSpec::parse(
+            "corpus count=2 scale=64 seed=5\n\
+             settings off\n\
+             methods B\n\
+             scale 64\n\
+             reorder rcm\n",
+        )
+        .unwrap();
+        let result = run_batch(&spec).unwrap();
+        let suite = corpus::corpus(2, 64, 5);
+        for report in &result.reports {
+            let nm = &suite[report.id / spec.jobs_per_matrix()];
+            assert_eq!(report.matrix, format!("{}@rcm", nm.name));
+            let reordered = spec.reorder.apply(nm.matrix.clone());
+            assert_eq!(
+                report.fingerprint,
+                spec.reorder.tag_fingerprint(reordered.fingerprint())
+            );
+        }
+    }
+
+    #[test]
+    fn csr_reports_keep_bare_names_and_legacy_fingerprints() {
+        // The format-generic resolver must leave default (CSR, natural
+        // order) batches byte-identical to the pre-workload engine.
+        let result = run_batch(&small_spec()).unwrap();
+        let suite = corpus::corpus(4, 64, 11);
+        for report in &result.reports {
+            let nm = &suite[report.id / small_spec().jobs_per_matrix()];
+            assert_eq!(report.matrix, nm.name);
+            assert_eq!(report.fingerprint, nm.matrix.fingerprint());
+        }
     }
 
     #[test]

@@ -21,7 +21,7 @@
 use crate::layout::{Array, DataLayout};
 use crate::sink::TraceSink;
 use crate::Access;
-use sparsemat::CsrMatrix;
+use sparsemat::{CsrMatrix, SellMatrix};
 use std::ops::Range;
 
 /// A resumable generator of [`Access`] events.
@@ -212,6 +212,24 @@ impl<'a> XCursor<'a> {
             nz_end,
         }
     }
+
+    /// Creates a cursor over an explicit range of gather indices in a raw
+    /// `colidx` array — the format-agnostic entry point. Any format whose
+    /// per-thread share of `x` gather targets is a contiguous `colidx`
+    /// slice (CSR row blocks, SELL-C-σ chunk blocks) reduces to this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry range is out of bounds.
+    pub fn over(colidx: &'a [u32], layout: &'a DataLayout, entries: Range<usize>) -> Self {
+        assert!(entries.end <= colidx.len(), "entry range out of bounds");
+        XCursor {
+            colidx,
+            layout,
+            nz: entries.start.min(entries.end),
+            nz_end: entries.end,
+        }
+    }
 }
 
 impl TraceCursor for XCursor<'_> {
@@ -252,6 +270,166 @@ impl TraceCursor for SliceCursor<'_> {
 
     fn remaining(&self) -> usize {
         self.trace.len() - self.pos
+    }
+}
+
+/// Emission stage of the SELL-C-σ generator's inner loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SellStage {
+    /// Chunk metadata load (`rowptr` role) opening chunk `k`.
+    Meta,
+    /// `values[idx]` of the current padded entry.
+    A,
+    /// `colidx[idx]` of the current padded entry.
+    Col,
+    /// `x[colidx[idx]]` of the current padded entry.
+    X,
+    /// `y[row_perm[row]]` store closing the chunk.
+    Y,
+    /// Exhausted.
+    Done,
+}
+
+/// Streaming equivalent of
+/// [`trace_sell_chunks`](crate::sell_trace::trace_sell_chunks): yields the
+/// method (A) trace of one chunk block of a SELL-C-σ matrix
+/// reference-by-reference.
+///
+/// The emission order is identical to the sink generator's (verified by
+/// tests): per chunk the metadata load, then the `a`/`colidx`/`x` triple
+/// of every padded entry in storage (column-major) order, then one `y`
+/// store per row of the chunk in packed order.
+#[derive(Clone, Debug)]
+pub struct SellCursor<'a> {
+    matrix: &'a SellMatrix,
+    layout: &'a DataLayout,
+    chunks: Range<usize>,
+    /// Current chunk.
+    k: usize,
+    /// Current padded entry (global index into `values`/`colidx`).
+    idx: usize,
+    /// One past the last padded entry of the current chunk.
+    idx_end: usize,
+    /// Next `y` lane of the current chunk.
+    lane: usize,
+    /// Rows actually present in the current chunk (≤ `C` on a ragged tail).
+    rows_in_chunk: usize,
+    stage: SellStage,
+    remaining: usize,
+}
+
+impl<'a> SellCursor<'a> {
+    /// Creates a cursor over chunks `chunks` of `matrix`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk range is out of bounds.
+    pub fn new(matrix: &'a SellMatrix, layout: &'a DataLayout, chunks: Range<usize>) -> Self {
+        assert!(
+            chunks.end <= matrix.num_chunks(),
+            "chunk range out of bounds"
+        );
+        let remaining = if chunks.is_empty() {
+            0
+        } else {
+            let entries = matrix.chunk_ptr()[chunks.end] - matrix.chunk_ptr()[chunks.start];
+            let c = matrix.chunk_size();
+            let rows = (chunks.end * c).min(matrix.num_rows()) - chunks.start * c;
+            3 * entries + chunks.len() + rows
+        };
+        SellCursor {
+            matrix,
+            layout,
+            k: chunks.start,
+            chunks,
+            idx: 0,
+            idx_end: 0,
+            lane: 0,
+            rows_in_chunk: 0,
+            stage: SellStage::Meta,
+            remaining,
+        }
+    }
+
+    /// Advances to the next chunk (or `Done` past the last).
+    fn advance_chunk(&mut self) {
+        self.k += 1;
+        self.stage = if self.k < self.chunks.end {
+            SellStage::Meta
+        } else {
+            SellStage::Done
+        };
+    }
+}
+
+impl TraceCursor for SellCursor<'_> {
+    fn next_access(&mut self) -> Option<Access> {
+        let access = match self.stage {
+            SellStage::Done => return None,
+            SellStage::Meta => {
+                if self.chunks.is_empty() {
+                    self.stage = SellStage::Done;
+                    return None;
+                }
+                let k = self.k;
+                let c = self.matrix.chunk_size();
+                let width = self.matrix.chunk_width()[k] as usize;
+                self.idx = self.matrix.chunk_ptr()[k];
+                self.idx_end = self.idx + width * c;
+                self.lane = 0;
+                let row_base = k * c;
+                self.rows_in_chunk =
+                    c.min(self.matrix.num_rows() - row_base.min(self.matrix.num_rows()));
+                self.stage = if self.idx < self.idx_end {
+                    SellStage::A
+                } else if self.rows_in_chunk > 0 {
+                    SellStage::Y
+                } else {
+                    // Width-0 chunk past the last row cannot occur, but a
+                    // zero-row matrix has no chunks at all; be defensive.
+                    self.advance_chunk();
+                    self.remaining -= 1;
+                    return Some(Access::load(
+                        self.layout.line_of(Array::RowPtr, k),
+                        Array::RowPtr,
+                    ));
+                };
+                Access::load(self.layout.line_of(Array::RowPtr, k), Array::RowPtr)
+            }
+            SellStage::A => {
+                self.stage = SellStage::Col;
+                Access::load(self.layout.line_of(Array::A, self.idx), Array::A)
+            }
+            SellStage::Col => {
+                self.stage = SellStage::X;
+                Access::load(self.layout.line_of(Array::ColIdx, self.idx), Array::ColIdx)
+            }
+            SellStage::X => {
+                let c = self.matrix.colidx()[self.idx] as usize;
+                self.idx += 1;
+                self.stage = if self.idx < self.idx_end {
+                    SellStage::A
+                } else {
+                    SellStage::Y
+                };
+                Access::load(self.layout.line_of(Array::X, c), Array::X)
+            }
+            SellStage::Y => {
+                let row_base = self.k * self.matrix.chunk_size();
+                let original = self.matrix.row_perm()[row_base + self.lane];
+                self.lane += 1;
+                if self.lane >= self.rows_in_chunk {
+                    self.advance_chunk();
+                }
+                Access::store(self.layout.line_of(Array::Y, original), Array::Y)
+            }
+        };
+        self.remaining -= 1;
+        Some(access)
+    }
+
+    fn remaining(&self) -> usize {
+        self.remaining
     }
 }
 
@@ -412,5 +590,93 @@ mod tests {
     fn out_of_bounds_rejected() {
         let (m, l) = fig1();
         SpmvCursor::new(&m, &l, 0..5);
+    }
+
+    #[test]
+    fn x_cursor_over_slice_matches_row_constructor() {
+        let (m, l) = fig1();
+        let by_rows = collect(XCursor::new(&m, &l, 1..3));
+        let range = m.rowptr()[1] as usize..m.rowptr()[3] as usize;
+        let by_slice = collect(XCursor::over(m.colidx(), &l, range));
+        assert_eq!(by_slice, by_rows);
+    }
+
+    fn sell_fixture(seed: u64) -> CsrMatrix {
+        let mut coo = CooMatrix::new(13, 13);
+        let mut state = seed | 1;
+        for r in 0..13usize {
+            // Rows 4 and 9 left empty; varying lengths elsewhere.
+            if r == 4 || r == 9 {
+                continue;
+            }
+            for _ in 0..(r % 5) + 1 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
+                coo.push(r, (state >> 33) as usize % 13, 1.0);
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn sell_cursor_matches_sink_generator() {
+        use crate::sell_trace::{sell_layout, trace_sell_chunks};
+        let a = sell_fixture(5);
+        for (c, sigma) in [(1, 1), (4, 8), (8, 16), (5, 5)] {
+            let sell = sparsemat::SellMatrix::from_csr(&a, c, sigma);
+            let l = sell_layout(&sell, 16);
+            let n = sell.num_chunks();
+            for chunks in [0..n, 0..1, 1..n, n..n, 0..0] {
+                let mut sink = VecSink::new();
+                trace_sell_chunks(&sell, &l, chunks.clone(), &mut sink);
+                let cursor = SellCursor::new(&sell, &l, chunks.clone());
+                assert_eq!(cursor.remaining(), sink.trace.len(), "C={c} {chunks:?}");
+                assert_eq!(collect(cursor), sink.trace, "C={c} {chunks:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sell_cursor_remaining_counts_down_exactly() {
+        use crate::sell_trace::sell_layout;
+        let a = sell_fixture(11);
+        let sell = sparsemat::SellMatrix::from_csr(&a, 4, 8);
+        let l = sell_layout(&sell, 64);
+        let mut cursor = SellCursor::new(&sell, &l, 0..sell.num_chunks());
+        let total = cursor.remaining();
+        let mut seen = 0;
+        while cursor.next_access().is_some() {
+            seen += 1;
+            assert_eq!(cursor.remaining(), total - seen);
+        }
+        assert_eq!(seen, total);
+        assert_eq!(cursor.next_access(), None);
+    }
+
+    #[test]
+    fn sell_x_cursor_matches_x_loads_of_full_trace() {
+        use crate::sell_trace::{sell_layout, trace_sell_chunks};
+        let a = sell_fixture(23);
+        let sell = sparsemat::SellMatrix::from_csr(&a, 4, 8);
+        let l = sell_layout(&sell, 16);
+        let mut sink = VecSink::new();
+        trace_sell_chunks(&sell, &l, 0..sell.num_chunks(), &mut sink);
+        let expect: Vec<Access> = sink
+            .trace
+            .iter()
+            .copied()
+            .filter(|acc| acc.array == Array::X)
+            .collect();
+        let got = collect(XCursor::over(sell.colidx(), &l, 0..sell.stored_entries()));
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk range out of bounds")]
+    fn sell_out_of_bounds_rejected() {
+        use crate::sell_trace::sell_layout;
+        let a = sell_fixture(3);
+        let sell = sparsemat::SellMatrix::from_csr(&a, 4, 8);
+        let l = sell_layout(&sell, 16);
+        SellCursor::new(&sell, &l, 0..sell.num_chunks() + 1);
     }
 }

@@ -8,7 +8,7 @@
 //!   cyclic order. This models threads progressing at identical rates and
 //!   is the reproducible default used by tests and experiments.
 //! * [`mcs_interleave`] — concurrent: real threads submit chunks guarded by
-//!   the FIFO-fair [`McsLock`](crate::mcs::McsLock), as in the paper's
+//!   the FIFO-fair [`McsLock`], as in the paper's
 //!   §3.2.1. The resulting order depends on actual scheduling; over equal-
 //!   rate threads it statistically approximates round-robin.
 //!

@@ -33,11 +33,13 @@ pub mod mcs;
 pub mod sell_trace;
 pub mod sink;
 pub mod spmv_trace;
+pub mod workload;
 pub mod xtrace;
 
 pub use cursor::TraceCursor;
 pub use layout::{Array, DataLayout, A64FX_LINE_BYTES};
 pub use sink::{CountSink, PackedVecSink, TraceSink, VecSink};
+pub use workload::{FormatSpec, ReorderSpec, SpmvWorkload, WorkShare, Workload, WorkloadCursor};
 
 /// A single memory reference at cache-line granularity.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]

@@ -21,16 +21,7 @@ use sparsemat::SellMatrix;
 /// Builds the [`DataLayout`] for a SELL-C-σ matrix: padded entry counts
 /// for `a`/`colidx`, chunk metadata in the `rowptr` role.
 pub fn sell_layout(matrix: &SellMatrix, line_bytes: usize) -> DataLayout {
-    DataLayout::from_counts(
-        [
-            matrix.num_cols(),
-            matrix.num_rows(),
-            matrix.stored_entries(),
-            matrix.stored_entries(),
-            matrix.num_chunks() + 1,
-        ],
-        line_bytes,
-    )
+    crate::workload::SpmvWorkload::layout(matrix, line_bytes)
 }
 
 /// Generates the memory trace of one SELL-C-σ SpMV iteration.

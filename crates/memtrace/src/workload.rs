@@ -1,0 +1,806 @@
+//! The format-generic SpMV workload abstraction.
+//!
+//! The locality model takes nothing but an access pattern: dimensions, a
+//! per-thread partition of the work, and the derived cache-line trace.
+//! [`SpmvWorkload`] captures exactly that contract so every layer of the
+//! pipeline — classification, profile computation, prediction, the
+//! engine's cache keys and the validation harness — is written once
+//! against the trait instead of hardwiring `&CsrMatrix`:
+//!
+//! * dimensions and working-set statistics (classify inputs),
+//! * [`DataLayout`] construction (the single entry point all layers and
+//!   the cache simulator route through),
+//! * per-thread trace / x-trace cursor generation over a partition of the
+//!   format's *work items* (rows for CSR, chunks for SELL-C-σ),
+//! * a **format-tagged fingerprint** for persistent cache keys.
+//!
+//! Implementations exist for [`CsrMatrix`] (rows are the work items; the
+//! fingerprint keeps its historical untagged value so existing cache keys
+//! and reports are unchanged) and [`SellMatrix`] (chunks are the work
+//! items; the fingerprint carries a `"sell-c-sigma"` tag plus the format
+//! parameters). The [`Workload`] enum packages both behind one runtime
+//! type for the engine, CLI and validator.
+//!
+//! # Adding a format
+//!
+//! Implement [`SpmvWorkload`] for the new storage type: map its data
+//! structures onto the five array *roles* (`x`, `y`, `a`, `colidx`,
+//! metadata in the `rowptr` slot), provide a cursor that yields the
+//! kernel's reference order, and tag the fingerprint with a distinct
+//! format label. Everything above the trait — profiles, sector sweeps,
+//! the engine cache, the validators — works unmodified.
+
+use crate::cursor::{SellCursor, SpmvCursor, TraceCursor, XCursor};
+use crate::layout::DataLayout;
+use sparsemat::{
+    reorder::rcm_reorder, CsrMatrix, SellMatrix, COLIDX_BYTES, ROWPTR_BYTES, VALUE_BYTES,
+    VECTOR_BYTES,
+};
+use std::ops::Range;
+
+/// One thread group's share of a workload (for the analytic terms and
+/// working-set fit checks of method B).
+///
+/// Shares are expressed in the model's units, not the format's: `rows`
+/// is output rows covered, `x_refs` is `x`-gather references issued, and
+/// `meta_elems` is metadata elements (the `rowptr` role) streamed. For
+/// CSR these are the row count, the nonzero count and `rows + 1`; for
+/// SELL-C-σ they are the rows of the chunk block, the *padded* stored
+/// entries and the chunk count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkShare {
+    /// Output rows covered by this share.
+    pub rows: usize,
+    /// `x` gather references issued per iteration (nonzeros for CSR,
+    /// padded stored entries for SELL).
+    pub x_refs: usize,
+    /// Metadata elements (the `rowptr` role) streamed per iteration.
+    pub meta_elems: usize,
+}
+
+/// A sparse-matrix storage format viewed as an SpMV *workload*: the
+/// access pattern the locality model analyses.
+///
+/// The trait is the format axis of the pipeline. Work is partitioned over
+/// abstract *work items* ([`num_work_items`](Self::num_work_items)); a
+/// contiguous item range maps to a [`WorkShare`] of model quantities and
+/// to trace cursors yielding the kernel's reference order.
+pub trait SpmvWorkload: Sync {
+    /// Method (A) cursor: the full per-item reference stream.
+    type Cursor<'w>: TraceCursor
+    where
+        Self: 'w;
+    /// Method (B) cursor: the `x`-gather references only.
+    type XCursor<'w>: TraceCursor
+    where
+        Self: 'w;
+
+    /// The storage format (and its parameters).
+    fn format(&self) -> FormatSpec;
+
+    /// Number of matrix rows.
+    fn num_rows(&self) -> usize;
+
+    /// Number of matrix columns.
+    fn num_cols(&self) -> usize;
+
+    /// Number of (unpadded) nonzeros.
+    fn nnz(&self) -> usize;
+
+    /// Number of schedulable work items: rows for CSR, chunks for
+    /// SELL-C-σ. Thread partitions split `0..num_work_items()` into
+    /// contiguous blocks.
+    fn num_work_items(&self) -> usize;
+
+    /// `x` gather references issued per SpMV iteration (`nnz` for CSR;
+    /// the padded [`SellMatrix::stored_entries`] for SELL).
+    fn x_refs(&self) -> usize;
+
+    /// Metadata elements (the `rowptr` role) streamed per iteration:
+    /// `rows + 1` row pointers for CSR, one descriptor per chunk for
+    /// SELL.
+    fn meta_elems(&self) -> usize;
+
+    /// Bytes of partition-0 companion traffic (everything that shares
+    /// partition 0 with `x` under the Listing-1 routing: `y` and the
+    /// metadata stream) per iteration. Feeds the method (B) reuse-distance
+    /// scaling factors; CSR uses the paper's `16·M` (8 bytes of `y` plus
+    /// nominally 8 of `rowptr` per row).
+    fn companion0_bytes(&self) -> usize;
+
+    /// A stable 64-bit fingerprint of the structure, *tagged by format*
+    /// so two storage views of one matrix can never collide in a
+    /// fingerprint-keyed cache. The plain-CSR fingerprint keeps its
+    /// historical untagged value.
+    fn fingerprint(&self) -> u64;
+
+    /// The cache-line layout of the five array roles — the single
+    /// constructor every layer (trace generation, profiles, the cache
+    /// simulator) routes through.
+    fn layout(&self, line_bytes: usize) -> DataLayout;
+
+    /// The model quantities of a contiguous work-item range.
+    fn share(&self, items: Range<usize>) -> WorkShare;
+
+    /// A method (A) cursor over a contiguous work-item range.
+    fn trace_cursor<'w>(&'w self, layout: &'w DataLayout, items: Range<usize>) -> Self::Cursor<'w>;
+
+    /// A method (B) (`x`-only) cursor over a contiguous work-item range.
+    fn x_trace_cursor<'w>(
+        &'w self,
+        layout: &'w DataLayout,
+        items: Range<usize>,
+    ) -> Self::XCursor<'w>;
+
+    /// Bytes of streamed matrix data per iteration (values + indices +
+    /// metadata).
+    fn matrix_bytes(&self) -> usize {
+        self.x_refs() * (VALUE_BYTES + COLIDX_BYTES) + self.meta_elems() * ROWPTR_BYTES
+    }
+
+    /// Bytes of the `x` vector.
+    fn x_bytes(&self) -> usize {
+        self.num_cols() * VECTOR_BYTES
+    }
+
+    /// Bytes of the reusable (non-matrix-stream) data: `x`, `y` and the
+    /// metadata stream — the classify input for the partitioned classes.
+    fn reusable_bytes(&self) -> usize {
+        self.x_bytes() + self.num_rows() * VECTOR_BYTES + self.meta_elems() * ROWPTR_BYTES
+    }
+
+    /// Total bytes of the SpMV working set.
+    fn working_set_bytes(&self) -> usize {
+        self.matrix_bytes() + (self.num_rows() + self.num_cols()) * VECTOR_BYTES
+    }
+}
+
+impl SpmvWorkload for CsrMatrix {
+    type Cursor<'w> = SpmvCursor<'w>;
+    type XCursor<'w> = XCursor<'w>;
+
+    fn format(&self) -> FormatSpec {
+        FormatSpec::Csr
+    }
+
+    fn num_rows(&self) -> usize {
+        CsrMatrix::num_rows(self)
+    }
+
+    fn num_cols(&self) -> usize {
+        CsrMatrix::num_cols(self)
+    }
+
+    fn nnz(&self) -> usize {
+        CsrMatrix::nnz(self)
+    }
+
+    fn num_work_items(&self) -> usize {
+        CsrMatrix::num_rows(self)
+    }
+
+    fn x_refs(&self) -> usize {
+        CsrMatrix::nnz(self)
+    }
+
+    fn meta_elems(&self) -> usize {
+        CsrMatrix::num_rows(self) + 1
+    }
+
+    fn companion0_bytes(&self) -> usize {
+        16 * CsrMatrix::num_rows(self)
+    }
+
+    fn fingerprint(&self) -> u64 {
+        CsrMatrix::fingerprint(self)
+    }
+
+    fn layout(&self, line_bytes: usize) -> DataLayout {
+        DataLayout::new(self, line_bytes)
+    }
+
+    fn share(&self, items: Range<usize>) -> WorkShare {
+        let x_refs = if items.is_empty() {
+            0
+        } else {
+            (self.rowptr()[items.end] - self.rowptr()[items.start]) as usize
+        };
+        WorkShare {
+            rows: items.len(),
+            x_refs,
+            // The per-domain accounting charges `rows + 1` row pointers
+            // (loop entry plus one bound per row), as in the paper.
+            meta_elems: items.len() + 1,
+        }
+    }
+
+    fn trace_cursor<'w>(&'w self, layout: &'w DataLayout, items: Range<usize>) -> SpmvCursor<'w> {
+        SpmvCursor::new(self, layout, items)
+    }
+
+    fn x_trace_cursor<'w>(&'w self, layout: &'w DataLayout, items: Range<usize>) -> XCursor<'w> {
+        XCursor::new(self, layout, items)
+    }
+}
+
+impl SpmvWorkload for SellMatrix {
+    type Cursor<'w> = SellCursor<'w>;
+    type XCursor<'w> = XCursor<'w>;
+
+    fn format(&self) -> FormatSpec {
+        FormatSpec::Sell {
+            chunk_size: self.chunk_size(),
+            sigma: self.sigma(),
+        }
+    }
+
+    fn num_rows(&self) -> usize {
+        SellMatrix::num_rows(self)
+    }
+
+    fn num_cols(&self) -> usize {
+        SellMatrix::num_cols(self)
+    }
+
+    fn nnz(&self) -> usize {
+        SellMatrix::nnz(self)
+    }
+
+    fn num_work_items(&self) -> usize {
+        self.num_chunks()
+    }
+
+    fn x_refs(&self) -> usize {
+        self.stored_entries()
+    }
+
+    fn meta_elems(&self) -> usize {
+        self.num_chunks()
+    }
+
+    fn companion0_bytes(&self) -> usize {
+        // 8 bytes of `y` per row plus one 8-byte chunk descriptor per
+        // chunk — the SELL analogue of CSR's 16·M.
+        VECTOR_BYTES * SellMatrix::num_rows(self) + ROWPTR_BYTES * self.num_chunks()
+    }
+
+    fn fingerprint(&self) -> u64 {
+        SellMatrix::fingerprint(self)
+    }
+
+    fn layout(&self, line_bytes: usize) -> DataLayout {
+        DataLayout::from_counts(
+            [
+                SellMatrix::num_cols(self),
+                SellMatrix::num_rows(self),
+                self.stored_entries(),
+                self.stored_entries(),
+                self.num_chunks() + 1,
+            ],
+            line_bytes,
+        )
+    }
+
+    fn share(&self, items: Range<usize>) -> WorkShare {
+        if items.is_empty() {
+            return WorkShare {
+                rows: 0,
+                x_refs: 0,
+                meta_elems: 0,
+            };
+        }
+        let c = self.chunk_size();
+        let n = SellMatrix::num_rows(self);
+        WorkShare {
+            rows: (items.end * c).min(n) - (items.start * c).min(n),
+            x_refs: self.chunk_ptr()[items.end] - self.chunk_ptr()[items.start],
+            meta_elems: items.len(),
+        }
+    }
+
+    fn trace_cursor<'w>(&'w self, layout: &'w DataLayout, items: Range<usize>) -> SellCursor<'w> {
+        SellCursor::new(self, layout, items)
+    }
+
+    fn x_trace_cursor<'w>(&'w self, layout: &'w DataLayout, items: Range<usize>) -> XCursor<'w> {
+        assert!(items.end <= self.num_chunks(), "chunk range out of bounds");
+        let entries = if items.is_empty() {
+            0..0
+        } else {
+            self.chunk_ptr()[items.start]..self.chunk_ptr()[items.end]
+        };
+        XCursor::over(self.colidx(), layout, entries)
+    }
+}
+
+/// A storage-format selector (with format parameters), parsed from specs
+/// and CLI flags.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FormatSpec {
+    /// Compressed Sparse Row — the paper's format.
+    Csr,
+    /// SELL-C-σ with the given chunk size `C` and sorting window `σ`.
+    Sell {
+        /// Rows per chunk (`C`).
+        chunk_size: usize,
+        /// Sorting window in rows (`σ`).
+        sigma: usize,
+    },
+}
+
+impl FormatSpec {
+    /// Parses `"csr"`, `"sell:C,σ"` or `"sell:C"` (σ defaulting to `C`).
+    pub fn parse(s: &str) -> Result<FormatSpec, String> {
+        let lower = s.trim().to_ascii_lowercase();
+        let s = lower.as_str();
+        if s == "csr" {
+            return Ok(FormatSpec::Csr);
+        }
+        if s == "sell" {
+            return Err(format!(
+                "format '{s}' needs parameters: sell:C,sigma (e.g. sell:32,128)"
+            ));
+        }
+        if let Some(params) = s.strip_prefix("sell:") {
+            let mut it = params.splitn(2, ',');
+            let c: usize = it
+                .next()
+                .unwrap()
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad SELL chunk size in '{s}'"))?;
+            if c == 0 {
+                return Err(format!("SELL chunk size must be positive in '{s}'"));
+            }
+            let sigma = match it.next() {
+                Some(v) => v
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad SELL sigma in '{s}'"))?,
+                None => c,
+            };
+            return Ok(FormatSpec::Sell {
+                chunk_size: c,
+                sigma,
+            });
+        }
+        Err(format!(
+            "unknown format '{s}' (expected csr or sell:C,sigma)"
+        ))
+    }
+
+    /// Canonical label: `"csr"` or `"sell:C,σ"`.
+    pub fn label(&self) -> String {
+        match self {
+            FormatSpec::Csr => "csr".to_string(),
+            FormatSpec::Sell { chunk_size, sigma } => format!("sell:{chunk_size},{sigma}"),
+        }
+    }
+
+    /// Builds the workload view of a CSR matrix under this format.
+    pub fn build(&self, matrix: CsrMatrix) -> Workload {
+        match *self {
+            FormatSpec::Csr => Workload::Csr(matrix),
+            FormatSpec::Sell { chunk_size, sigma } => {
+                Workload::Sell(SellMatrix::from_csr(&matrix, chunk_size, sigma))
+            }
+        }
+    }
+}
+
+/// A row-reordering selector applied before format conversion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum ReorderSpec {
+    /// Keep the natural row order.
+    #[default]
+    None,
+    /// Reverse Cuthill–McKee (bandwidth-reducing; square matrices only).
+    Rcm,
+}
+
+impl ReorderSpec {
+    /// Parses `"none"` or `"rcm"`.
+    pub fn parse(s: &str) -> Result<ReorderSpec, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "none" => Ok(ReorderSpec::None),
+            "rcm" => Ok(ReorderSpec::Rcm),
+            other => Err(format!("unknown reorder '{other}' (expected none or rcm)")),
+        }
+    }
+
+    /// Canonical label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReorderSpec::None => "none",
+            ReorderSpec::Rcm => "rcm",
+        }
+    }
+
+    /// Applies the reordering to a CSR matrix.
+    ///
+    /// # Panics
+    ///
+    /// RCM panics on non-square matrices.
+    pub fn apply(&self, matrix: CsrMatrix) -> CsrMatrix {
+        match self {
+            ReorderSpec::None => matrix,
+            ReorderSpec::Rcm => rcm_reorder(&matrix),
+        }
+    }
+
+    /// Folds the reorder discriminant into a structure fingerprint.
+    /// `None` is the identity, so plain (unreordered) fingerprints keep
+    /// their historical values; `Rcm` perturbs the key so a reordered and
+    /// an unreordered view can never share a cache entry even when the
+    /// permutation happens to be the identity.
+    pub fn tag_fingerprint(&self, fingerprint: u64) -> u64 {
+        match self {
+            ReorderSpec::None => fingerprint,
+            // Mix with FNV-style multiply-xor using a fixed tag.
+            ReorderSpec::Rcm => (fingerprint ^ 0x7263_6D5F_7461_675F) // "rcm_tag_"
+                .wrapping_mul(0x0000_0100_0000_01B3),
+        }
+    }
+}
+
+/// A runtime-dispatched workload: the engine, CLI and validator hold one
+/// of these and every layer underneath is generic over [`SpmvWorkload`].
+#[derive(Clone, Debug)]
+pub enum Workload {
+    /// A CSR matrix (rows are the work items).
+    Csr(CsrMatrix),
+    /// A SELL-C-σ matrix (chunks are the work items).
+    Sell(SellMatrix),
+}
+
+impl Workload {
+    /// Builds a workload from a CSR matrix: reorder first, then convert.
+    pub fn build(matrix: CsrMatrix, format: FormatSpec, reorder: ReorderSpec) -> Workload {
+        format.build(reorder.apply(matrix))
+    }
+
+    /// The CSR view, if this is a CSR workload.
+    pub fn as_csr(&self) -> Option<&CsrMatrix> {
+        match self {
+            Workload::Csr(m) => Some(m),
+            Workload::Sell(_) => None,
+        }
+    }
+
+    /// The SELL view, if this is a SELL workload.
+    pub fn as_sell(&self) -> Option<&SellMatrix> {
+        match self {
+            Workload::Csr(_) => None,
+            Workload::Sell(m) => Some(m),
+        }
+    }
+}
+
+/// Method (A) cursor of a [`Workload`].
+#[derive(Clone, Debug)]
+pub enum WorkloadCursor<'w> {
+    /// CSR row-block cursor.
+    Csr(SpmvCursor<'w>),
+    /// SELL chunk-block cursor.
+    Sell(SellCursor<'w>),
+}
+
+impl TraceCursor for WorkloadCursor<'_> {
+    fn next_access(&mut self) -> Option<crate::Access> {
+        match self {
+            WorkloadCursor::Csr(c) => c.next_access(),
+            WorkloadCursor::Sell(c) => c.next_access(),
+        }
+    }
+
+    fn remaining(&self) -> usize {
+        match self {
+            WorkloadCursor::Csr(c) => c.remaining(),
+            WorkloadCursor::Sell(c) => c.remaining(),
+        }
+    }
+}
+
+macro_rules! delegate {
+    ($self:ident, $m:ident => $e:expr) => {
+        match $self {
+            Workload::Csr($m) => $e,
+            Workload::Sell($m) => $e,
+        }
+    };
+}
+
+impl SpmvWorkload for Workload {
+    type Cursor<'w> = WorkloadCursor<'w>;
+    type XCursor<'w> = XCursor<'w>;
+
+    fn format(&self) -> FormatSpec {
+        delegate!(self, m => m.format())
+    }
+
+    fn num_rows(&self) -> usize {
+        delegate!(self, m => SpmvWorkload::num_rows(m))
+    }
+
+    fn num_cols(&self) -> usize {
+        delegate!(self, m => SpmvWorkload::num_cols(m))
+    }
+
+    fn nnz(&self) -> usize {
+        delegate!(self, m => SpmvWorkload::nnz(m))
+    }
+
+    fn num_work_items(&self) -> usize {
+        delegate!(self, m => m.num_work_items())
+    }
+
+    fn x_refs(&self) -> usize {
+        delegate!(self, m => m.x_refs())
+    }
+
+    fn meta_elems(&self) -> usize {
+        delegate!(self, m => m.meta_elems())
+    }
+
+    fn companion0_bytes(&self) -> usize {
+        delegate!(self, m => m.companion0_bytes())
+    }
+
+    fn fingerprint(&self) -> u64 {
+        delegate!(self, m => SpmvWorkload::fingerprint(m))
+    }
+
+    fn layout(&self, line_bytes: usize) -> DataLayout {
+        delegate!(self, m => m.layout(line_bytes))
+    }
+
+    fn share(&self, items: Range<usize>) -> WorkShare {
+        delegate!(self, m => m.share(items))
+    }
+
+    fn trace_cursor<'w>(
+        &'w self,
+        layout: &'w DataLayout,
+        items: Range<usize>,
+    ) -> WorkloadCursor<'w> {
+        match self {
+            Workload::Csr(m) => WorkloadCursor::Csr(m.trace_cursor(layout, items)),
+            Workload::Sell(m) => WorkloadCursor::Sell(m.trace_cursor(layout, items)),
+        }
+    }
+
+    fn x_trace_cursor<'w>(&'w self, layout: &'w DataLayout, items: Range<usize>) -> XCursor<'w> {
+        delegate!(self, m => m.x_trace_cursor(layout, items))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::VecSink;
+    use sparsemat::CooMatrix;
+
+    fn sample(seed: u64) -> CsrMatrix {
+        let mut state = seed | 1;
+        let mut coo = CooMatrix::new(30, 30);
+        for r in 0..30usize {
+            for _ in 0..(r % 5) + 1 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
+                coo.push(r, (state >> 33) as usize % 30, 1.0);
+            }
+        }
+        coo.to_csr()
+    }
+
+    fn collect<C: TraceCursor>(mut c: C) -> Vec<crate::Access> {
+        let mut out = Vec::new();
+        while let Some(a) = c.next_access() {
+            out.push(a);
+        }
+        out
+    }
+
+    #[test]
+    fn csr_workload_keeps_legacy_fingerprint_and_stats() {
+        let m = sample(3);
+        assert_eq!(SpmvWorkload::fingerprint(&m), m.fingerprint());
+        assert_eq!(SpmvWorkload::matrix_bytes(&m), m.matrix_bytes());
+        assert_eq!(SpmvWorkload::working_set_bytes(&m), m.working_set_bytes());
+        assert_eq!(m.x_refs(), m.nnz());
+        assert_eq!(m.num_work_items(), m.num_rows());
+        assert_eq!(m.companion0_bytes(), 16 * m.num_rows());
+    }
+
+    /// The satellite regression test: fingerprint keys of different
+    /// format (and reorder) views of the same matrix never collide.
+    #[test]
+    fn fingerprints_are_format_and_reorder_tagged() {
+        let m = sample(9);
+        let csr = Workload::Csr(m.clone());
+        let sell11 = FormatSpec::Sell {
+            chunk_size: 1,
+            sigma: 1,
+        }
+        .build(m.clone());
+        let sell48 = FormatSpec::Sell {
+            chunk_size: 4,
+            sigma: 8,
+        }
+        .build(m.clone());
+        let fp_csr = SpmvWorkload::fingerprint(&csr);
+        let fp11 = SpmvWorkload::fingerprint(&sell11);
+        let fp48 = SpmvWorkload::fingerprint(&sell48);
+        assert_ne!(fp_csr, fp11, "CSR and SELL(1,1) views must not collide");
+        assert_ne!(fp_csr, fp48);
+        assert_ne!(fp11, fp48, "different SELL parameters must not collide");
+        // Reorder discriminant: identity for None, a distinct key for RCM
+        // (even if the permutation were the identity).
+        assert_eq!(ReorderSpec::None.tag_fingerprint(fp_csr), fp_csr);
+        assert_ne!(ReorderSpec::Rcm.tag_fingerprint(fp_csr), fp_csr);
+    }
+
+    #[test]
+    fn layouts_route_through_single_constructor() {
+        let m = sample(5);
+        let direct = DataLayout::new(&m, 64);
+        assert_eq!(SpmvWorkload::layout(&m, 64), direct);
+        let sell = SellMatrix::from_csr(&m, 4, 8);
+        assert_eq!(
+            SpmvWorkload::layout(&sell, 64),
+            crate::sell_trace::sell_layout(&sell, 64)
+        );
+    }
+
+    #[test]
+    fn csr_shares_partition_the_work() {
+        let m = sample(7);
+        let a = m.share(0..10);
+        let b = m.share(10..30);
+        assert_eq!(a.rows + b.rows, 30);
+        assert_eq!(a.x_refs + b.x_refs, m.nnz());
+        assert_eq!(a.meta_elems, 11);
+        assert_eq!(
+            m.share(4..4),
+            WorkShare {
+                rows: 0,
+                x_refs: 0,
+                meta_elems: 1
+            }
+        );
+    }
+
+    #[test]
+    fn sell_shares_partition_the_work() {
+        let m = sample(11);
+        let sell = SellMatrix::from_csr(&m, 4, 8);
+        let n = sell.num_chunks();
+        let a = sell.share(0..2);
+        let b = sell.share(2..n);
+        assert_eq!(a.rows + b.rows, 30);
+        assert_eq!(a.x_refs + b.x_refs, sell.stored_entries());
+        assert_eq!(a.meta_elems + b.meta_elems, n);
+        assert_eq!(
+            sell.share(1..1),
+            WorkShare {
+                rows: 0,
+                x_refs: 0,
+                meta_elems: 0
+            }
+        );
+    }
+
+    #[test]
+    fn workload_enum_cursors_match_concrete_cursors() {
+        let m = sample(13);
+        let sell = SellMatrix::from_csr(&m, 4, 8);
+        let csr_wl = Workload::Csr(m.clone());
+        let layout = SpmvWorkload::layout(&csr_wl, 16);
+        assert_eq!(
+            collect(csr_wl.trace_cursor(&layout, 0..30)),
+            collect(m.trace_cursor(&layout, 0..30))
+        );
+        assert_eq!(
+            collect(csr_wl.x_trace_cursor(&layout, 3..17)),
+            collect(m.x_trace_cursor(&layout, 3..17))
+        );
+
+        let sell_wl = Workload::Sell(sell.clone());
+        let slayout = SpmvWorkload::layout(&sell_wl, 16);
+        let n = sell.num_chunks();
+        assert_eq!(
+            collect(sell_wl.trace_cursor(&slayout, 0..n)),
+            collect(sell.trace_cursor(&slayout, 0..n))
+        );
+        assert_eq!(
+            collect(sell_wl.x_trace_cursor(&slayout, 1..n)),
+            collect(sell.x_trace_cursor(&slayout, 1..n))
+        );
+    }
+
+    #[test]
+    fn sell_x_cursor_yields_one_load_per_stored_entry() {
+        let m = sample(17);
+        let sell = SellMatrix::from_csr(&m, 8, 16);
+        let layout = SpmvWorkload::layout(&sell, 64);
+        let mut full = VecSink::new();
+        sell.trace_cursor(&layout, 0..sell.num_chunks())
+            .drain_into(&mut full);
+        let x_only: Vec<_> = full
+            .trace
+            .into_iter()
+            .filter(|a| a.array == crate::Array::X)
+            .collect();
+        assert_eq!(x_only.len(), sell.stored_entries());
+        assert_eq!(
+            collect(sell.x_trace_cursor(&layout, 0..sell.num_chunks())),
+            x_only
+        );
+    }
+
+    #[test]
+    fn format_spec_parses_and_round_trips() {
+        assert_eq!(FormatSpec::parse("csr").unwrap(), FormatSpec::Csr);
+        assert_eq!(FormatSpec::parse("CSR").unwrap(), FormatSpec::Csr);
+        assert_eq!(
+            FormatSpec::parse("sell:32,128").unwrap(),
+            FormatSpec::Sell {
+                chunk_size: 32,
+                sigma: 128
+            }
+        );
+        assert_eq!(
+            FormatSpec::parse("sell:8").unwrap(),
+            FormatSpec::Sell {
+                chunk_size: 8,
+                sigma: 8
+            }
+        );
+        for spec in [
+            FormatSpec::Csr,
+            FormatSpec::Sell {
+                chunk_size: 32,
+                sigma: 128,
+            },
+        ] {
+            assert_eq!(FormatSpec::parse(&spec.label()).unwrap(), spec);
+        }
+        assert!(FormatSpec::parse("sell").is_err());
+        assert!(FormatSpec::parse("sell:0,8").is_err());
+        assert!(FormatSpec::parse("ellpack").is_err());
+        assert!(FormatSpec::parse("sell:x,y").is_err());
+    }
+
+    #[test]
+    fn reorder_spec_parses_and_applies() {
+        assert_eq!(ReorderSpec::parse("none").unwrap(), ReorderSpec::None);
+        assert_eq!(ReorderSpec::parse("rcm").unwrap(), ReorderSpec::Rcm);
+        assert!(ReorderSpec::parse("amd").is_err());
+        let m = sample(19);
+        let same = ReorderSpec::None.apply(m.clone());
+        assert_eq!(same.fingerprint(), m.fingerprint());
+        let rcm = ReorderSpec::Rcm.apply(m.clone());
+        assert_eq!(rcm.nnz(), m.nnz());
+    }
+
+    #[test]
+    fn workload_build_composes_reorder_and_format() {
+        let m = sample(23);
+        let wl = Workload::build(
+            m.clone(),
+            FormatSpec::Sell {
+                chunk_size: 4,
+                sigma: 8,
+            },
+            ReorderSpec::Rcm,
+        );
+        assert_eq!(SpmvWorkload::nnz(&wl), m.nnz());
+        assert!(wl.as_sell().is_some());
+        assert_eq!(
+            wl.format(),
+            FormatSpec::Sell {
+                chunk_size: 4,
+                sigma: 8
+            }
+        );
+    }
+}

@@ -266,25 +266,16 @@ impl CsrMatrix {
     /// is identical across runs, platforms, and processes — safe to use as
     /// a persistent cache key.
     pub fn fingerprint(&self) -> u64 {
-        const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
-        const PRIME: u64 = 0x0000_0100_0000_01B3;
-        #[inline]
-        fn mix(h: &mut u64, bytes: &[u8]) {
-            for &b in bytes {
-                *h ^= b as u64;
-                *h = h.wrapping_mul(PRIME);
-            }
-        }
-        let mut h = OFFSET;
-        mix(&mut h, &(self.num_rows as u64).to_le_bytes());
-        mix(&mut h, &(self.num_cols as u64).to_le_bytes());
+        let mut h = crate::fingerprint::Fnv::new();
+        h.mix_u64(self.num_rows as u64);
+        h.mix_u64(self.num_cols as u64);
         for &p in &self.rowptr {
-            mix(&mut h, &p.to_le_bytes());
+            h.mix(&p.to_le_bytes());
         }
         for &c in &self.colidx {
-            mix(&mut h, &c.to_le_bytes());
+            h.mix(&c.to_le_bytes());
         }
-        h
+        h.finish()
     }
 }
 

@@ -1,0 +1,61 @@
+//! FNV-1a structure fingerprinting shared by the storage formats.
+//!
+//! Every format hashes its sparsity structure with the same FNV-1a core
+//! over a fixed little-endian serialization, so fingerprints are stable
+//! across runs, platforms and processes. Non-CSR formats prepend a format
+//! tag (and their format parameters) to the stream, guaranteeing that two
+//! storage views of the same matrix can never share a fingerprint — the
+//! engine uses fingerprints as profile-cache keys.
+
+const OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Incremental FNV-1a hasher over little-endian byte streams.
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    /// Starts a new hash at the FNV offset basis.
+    pub(crate) fn new() -> Self {
+        Fnv(OFFSET)
+    }
+
+    /// Folds raw bytes into the hash.
+    pub(crate) fn mix(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(PRIME);
+        }
+    }
+
+    /// Folds a `u64` in little-endian order.
+    pub(crate) fn mix_u64(&mut self, v: u64) {
+        self.mix(&v.to_le_bytes());
+    }
+
+    /// The finished 64-bit hash.
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_fnv1a() {
+        // FNV-1a test vector: hash of "a" is 0xaf63dc4c8601ec8c.
+        let mut h = Fnv::new();
+        h.mix(b"a");
+        assert_eq!(h.finish(), 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn mix_u64_equals_mix_of_le_bytes() {
+        let mut a = Fnv::new();
+        a.mix_u64(0x0123_4567_89AB_CDEF);
+        let mut b = Fnv::new();
+        b.mix(&0x0123_4567_89AB_CDEFu64.to_le_bytes());
+        assert_eq!(a.finish(), b.finish());
+    }
+}

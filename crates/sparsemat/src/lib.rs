@@ -47,6 +47,7 @@
 
 pub mod coo;
 pub mod csr;
+mod fingerprint;
 pub mod mm;
 pub mod partition;
 pub mod reorder;

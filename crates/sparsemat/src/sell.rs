@@ -176,6 +176,38 @@ impl SellMatrix {
         &self.row_perm
     }
 
+    /// A stable, *format-tagged* 64-bit fingerprint of the stored
+    /// structure: a `"sell-c-sigma"` tag, the format parameters `C` and
+    /// `σ`, the dimensions, and the chunk/permutation/index arrays that
+    /// determine the access pattern. Values are excluded, exactly as in
+    /// [`CsrMatrix::fingerprint`].
+    ///
+    /// The leading tag guarantees a SELL view of a matrix never hashes
+    /// equal to the CSR view of the same (or any other) matrix, so
+    /// fingerprint-keyed caches cannot serve one format's profile for the
+    /// other.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = crate::fingerprint::Fnv::new();
+        h.mix(b"sell-c-sigma");
+        h.mix_u64(self.chunk_size as u64);
+        h.mix_u64(self.sigma as u64);
+        h.mix_u64(self.num_rows as u64);
+        h.mix_u64(self.num_cols as u64);
+        for &p in &self.chunk_ptr {
+            h.mix_u64(p as u64);
+        }
+        for &w in &self.chunk_width {
+            h.mix(&w.to_le_bytes());
+        }
+        for &c in &self.colidx {
+            h.mix(&c.to_le_bytes());
+        }
+        for &r in &self.row_perm {
+            h.mix_u64(r as u64);
+        }
+        h.finish()
+    }
+
     /// SpMV: `y ← y + A·x` (accumulating, like the CSR kernels).
     ///
     /// # Panics
@@ -311,6 +343,22 @@ mod tests {
         assert_eq!(sell.chunk_size(), 8);
         // Sigma rounds up to a chunk multiple.
         assert_eq!(sell.sigma(), 16);
+    }
+
+    #[test]
+    fn fingerprint_is_format_tagged() {
+        let a = random_matrix(40, 40, 6, 3);
+        let sell = SellMatrix::from_csr(&a, 4, 8);
+        // The SELL fingerprint never equals the CSR fingerprint of the
+        // source structure, and it depends on the format parameters.
+        assert_ne!(sell.fingerprint(), a.fingerprint());
+        let other = SellMatrix::from_csr(&a, 8, 8);
+        assert_ne!(sell.fingerprint(), other.fingerprint());
+        // Same parameters, same structure: stable.
+        assert_eq!(
+            sell.fingerprint(),
+            SellMatrix::from_csr(&a, 4, 8).fingerprint()
+        );
     }
 
     #[test]

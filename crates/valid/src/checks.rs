@@ -24,6 +24,18 @@
 //!    and per-domain attributions sum to the aggregates, and the §4.4
 //!    traffic formula holds.
 //!
+//! The model-side invariants (1–4) additionally re-run on every SELL-C-σ
+//! view in [`CheckPlan::sell_formats`] — the pipelines are format-generic,
+//! so the same mathematics must agree for chunked workloads too (the
+//! simulator is CSR-only, so 5–6 stay CSR). A seventh, cross-format
+//! invariant ties the formats together:
+//!
+//! 7. **Cross-format** — SELL with C=1, σ=1 stores exactly the CSR
+//!    nonzeros in the CSR order (no padding, no sorting), so its
+//!    predictions must match the CSR view within a padding-only
+//!    tolerance (the residual difference is the metadata stream: one
+//!    descriptor per row instead of `rows+1` row pointers).
+//!
 //! Tolerances live in [`CheckPlan`] and are documented in
 //! `EXPERIMENTS.md` (divergence triage).
 
@@ -33,9 +45,11 @@ use a64fx::config::{MachineConfig, PrefetchConfig};
 use a64fx::sim_spmv::simulate_spmv;
 use a64fx::Replacement;
 use locality_core::{
-    classify_for, LocalityProfile, MatrixClass, Method, Prediction, SectorSetting,
+    classify_for, LocalityProfile, MatrixClass, Method, Prediction, ReorderSpec, SectorSetting,
+    SpmvWorkload,
 };
 use memtrace::{Array, ArraySet};
+use sparsemat::SellMatrix;
 use std::time::Instant;
 
 /// Tolerance band for the soft (statistical) checks: a relative term, a
@@ -95,6 +109,14 @@ pub struct CheckPlan {
     pub sim_parallel_extra_rel: f64,
     /// Method (B) vs method (A) envelope per class.
     pub envelope_tol: [Tolerance; 4],
+    /// SELL-C-σ `(C, σ)` views that re-run the model-side invariants
+    /// (the C=1, σ=1 cross-format view runs regardless).
+    pub sell_formats: Vec<(usize, usize)>,
+    /// Row reordering applied to every corpus matrix before checking.
+    pub reorder: ReorderSpec,
+    /// CSR vs SELL (C=1, σ=1) cross-format band: the two views differ
+    /// only in their metadata stream, so the band is tight.
+    pub cross_format_tol: Tolerance,
 }
 
 impl CheckPlan {
@@ -168,6 +190,16 @@ impl CheckPlan {
                     floor: 64.0,
                 },
             ],
+            sell_formats: vec![(8, 32)],
+            reorder: ReorderSpec::None,
+            // The C=1, σ=1 view differs from CSR only in the metadata
+            // stream and trace interleaving; <5% relative was measured on
+            // the seed-2023 corpus, with the usual capacity-cliff slack.
+            cross_format_tol: Tolerance {
+                rel: 0.05,
+                cliff: 0.75,
+                floor: 96.0,
+            },
         }
     }
 
@@ -204,41 +236,46 @@ fn class_label(class: MatrixClass) -> (&'static str, usize) {
     }
 }
 
-/// Per-case check driver. Builds the matrix, runs the three prediction
-/// pipelines and the simulator over the plan's sweep, and records every
-/// invariant violation.
-pub fn run_case(spec: &CaseSpec, plan: &CheckPlan, harness_seed: u64) -> CaseResult {
-    let t = Instant::now();
-    let matrix = build(spec);
-    let mut nanos = StageNanos {
-        build: t.elapsed().as_nanos() as u64,
-        ..StageNanos::default()
-    };
+/// Per-case coordinates shared by every divergence record and check pass.
+struct CaseCtx<'a> {
+    spec: &'a CaseSpec,
+    plan: &'a CheckPlan,
+    cfg: &'a MachineConfig,
+    class: &'static str,
+    class_index: usize,
+    harness_seed: u64,
+    /// CSR working-set footprint in lines (the cliff-slack scale for
+    /// every view of the matrix).
+    ws_lines: f64,
+    /// All settings any model-side check needs, deduplicated: the sweep
+    /// profile must be computed for exactly the capacities it will be
+    /// asked to evaluate.
+    all_settings: Vec<SectorSetting>,
+}
 
-    let cfg = plan.machine();
-    let (class, class_index) =
-        class_label(classify_for(&matrix, &cfg.clone().with_l2_sector(5), 1));
-    let fingerprint = matrix.fingerprint();
-    let ws_lines = matrix.working_set_bytes().div_ceil(cfg.l2.line_bytes) as f64;
-    let mut divergences = Vec::new();
-    let mut checks_run = 0u64;
-
-    let diverge = |check: Check,
-                   setting: Option<SectorSetting>,
-                   threads: usize,
-                   expected: f64,
-                   actual: f64,
-                   tolerance: f64,
-                   detail: String,
-                   out: &mut Vec<Divergence>| {
+impl CaseCtx<'_> {
+    #[allow(clippy::too_many_arguments)]
+    fn diverge(
+        &self,
+        out: &mut Vec<Divergence>,
+        check: Check,
+        name: &str,
+        fingerprint: u64,
+        setting: Option<SectorSetting>,
+        threads: usize,
+        expected: f64,
+        actual: f64,
+        tolerance: f64,
+        detail: String,
+    ) {
         out.push(Divergence {
             check,
-            matrix: spec.name.clone(),
-            family: spec.family.to_string(),
-            class: class.to_string(),
+            matrix: name.to_string(),
+            family: self.spec.family.to_string(),
+            class: self.class.to_string(),
             fingerprint,
-            seed: harness_seed,
-            index: spec.index,
+            seed: self.harness_seed,
+            index: self.spec.index,
             setting,
             threads,
             expected,
@@ -246,163 +283,243 @@ pub fn run_case(spec: &CaseSpec, plan: &CheckPlan, harness_seed: u64) -> CaseRes
             tolerance,
             detail,
         });
+    }
+}
+
+/// Running tallies for one case, threaded through every check pass.
+struct CaseTally {
+    divergences: Vec<Divergence>,
+    checks_run: u64,
+    nanos: StageNanos,
+}
+
+/// Runs the model-side invariants — pipeline agreement, traffic
+/// conservation, monotonicity, method envelope — for one workload view at
+/// one thread count. `oracle` supplies the reference profile per method
+/// (the verbatim CSR oracle for the CSR view, the generic
+/// materialize-then-replay oracle for chunked views); `name` labels any
+/// divergence with the view (e.g. `c2-banded-17@sell:8,32`). Returns the
+/// oracle-evaluated predictions for methods (A, B), over
+/// `ctx.all_settings`, for downstream cross-checks.
+fn model_invariants<W: SpmvWorkload>(
+    ctx: &CaseCtx<'_>,
+    workload: &W,
+    name: &str,
+    oracle: &dyn Fn(Method) -> LocalityProfile,
+    threads: usize,
+    tally: &mut CaseTally,
+) -> (Vec<Prediction>, Vec<Prediction>) {
+    let cfg = ctx.cfg;
+    let all_settings = &ctx.all_settings;
+    let fingerprint = workload.fingerprint();
+    let mut preds_a: Option<Vec<Prediction>> = None;
+    let mut preds_b: Option<Vec<Prediction>> = None;
+    for method in [Method::A, Method::B] {
+        let t = Instant::now();
+        let streaming = LocalityProfile::compute(workload, cfg, method, threads);
+        tally.nanos.profile += t.elapsed().as_nanos() as u64;
+        let t = Instant::now();
+        let reference = oracle(method);
+        tally.nanos.oracle += t.elapsed().as_nanos() as u64;
+        let t = Instant::now();
+        let sweep =
+            LocalityProfile::compute_for_sweep(workload, cfg, method, threads, all_settings);
+        tally.nanos.sweep += t.elapsed().as_nanos() as u64;
+
+        let t = Instant::now();
+        let expected = reference.evaluate(cfg, all_settings);
+        for (pipeline, profile) in [("streaming", &streaming), ("marker-sweep", &sweep)] {
+            let actual = profile.evaluate(cfg, all_settings);
+            tally.checks_run += 1;
+            for (e, a) in expected.iter().zip(&actual) {
+                if e != a {
+                    ctx.diverge(
+                        &mut tally.divergences,
+                        Check::PipelineAgreement,
+                        name,
+                        fingerprint,
+                        Some(e.setting),
+                        threads,
+                        e.l2_misses as f64,
+                        a.l2_misses as f64,
+                        0.0,
+                        format!(
+                            "method {method:?}: {pipeline} pipeline disagrees with the \
+                             materialized oracle (by_array {:?} vs {:?})",
+                            a.by_array, e.by_array
+                        ),
+                    );
+                }
+            }
+        }
+
+        // Traffic conservation inside each prediction.
+        for p in &expected {
+            tally.checks_run += 1;
+            let sum: u64 = p.by_array.iter().sum();
+            if sum != p.l2_misses {
+                ctx.diverge(
+                    &mut tally.divergences,
+                    Check::TrafficConservation,
+                    name,
+                    fingerprint,
+                    Some(p.setting),
+                    threads,
+                    p.l2_misses as f64,
+                    sum as f64,
+                    0.0,
+                    format!(
+                        "method {method:?}: by_array {:?} does not sum to total",
+                        p.by_array
+                    ),
+                );
+            }
+        }
+
+        // Monotonicity across the way sweep: partition 1 (A + ColIdx)
+        // gains capacity with w, partition 0 (X + Y + RowPtr) loses it.
+        let mut ways: Vec<&Prediction> = expected
+            .iter()
+            .filter(|p| matches!(p.setting, SectorSetting::L2Ways(_)))
+            .collect();
+        ways.sort_by_key(|p| match p.setting {
+            SectorSetting::L2Ways(w) => w,
+            SectorSetting::Off => 0,
+        });
+        for pair in ways.windows(2) {
+            let stream = |p: &Prediction| p.misses_of(Array::A) + p.misses_of(Array::ColIdx);
+            let reused = |p: &Prediction| {
+                p.misses_of(Array::X) + p.misses_of(Array::Y) + p.misses_of(Array::RowPtr)
+            };
+            tally.checks_run += 1;
+            if stream(pair[1]) > stream(pair[0]) {
+                ctx.diverge(
+                    &mut tally.divergences,
+                    Check::Monotonicity,
+                    name,
+                    fingerprint,
+                    Some(pair[1].setting),
+                    threads,
+                    stream(pair[0]) as f64,
+                    stream(pair[1]) as f64,
+                    0.0,
+                    format!(
+                        "method {method:?}: matrix-stream misses grew when partition 1 \
+                         gained a way ({:?} -> {:?})",
+                        pair[0].setting, pair[1].setting
+                    ),
+                );
+            }
+            tally.checks_run += 1;
+            if reused(pair[1]) < reused(pair[0]) {
+                ctx.diverge(
+                    &mut tally.divergences,
+                    Check::Monotonicity,
+                    name,
+                    fingerprint,
+                    Some(pair[1].setting),
+                    threads,
+                    reused(pair[0]) as f64,
+                    reused(pair[1]) as f64,
+                    0.0,
+                    format!(
+                        "method {method:?}: x/y/rowptr misses shrank when partition 0 \
+                         lost a way ({:?} -> {:?})",
+                        pair[0].setting, pair[1].setting
+                    ),
+                );
+            }
+        }
+        tally.nanos.check += t.elapsed().as_nanos() as u64;
+
+        match method {
+            Method::A => preds_a = Some(expected),
+            Method::B => preds_b = Some(expected),
+        }
+    }
+
+    let preds_a = preds_a.expect("method A always runs");
+    let preds_b = preds_b.expect("method B always runs");
+
+    // Method (B) inside its envelope of method (A).
+    let t = Instant::now();
+    let tol = ctx.plan.envelope_tol[ctx.class_index];
+    for (a, b) in preds_a.iter().zip(&preds_b) {
+        if !ctx.plan.check_settings.contains(&a.setting) {
+            continue;
+        }
+        tally.checks_run += 1;
+        let (ea, eb) = (a.l2_misses as f64, b.l2_misses as f64);
+        if !tol.accepts(ea, eb, ctx.ws_lines) {
+            ctx.diverge(
+                &mut tally.divergences,
+                Check::MethodEnvelope,
+                name,
+                fingerprint,
+                Some(a.setting),
+                threads,
+                ea,
+                eb,
+                tol.allowed(ea, ctx.ws_lines),
+                "method B left its envelope of method A".to_string(),
+            );
+        }
+    }
+    tally.nanos.check += t.elapsed().as_nanos() as u64;
+
+    (preds_a, preds_b)
+}
+
+/// Per-case check driver. Builds the matrix, runs the three prediction
+/// pipelines (for the CSR view and every planned SELL view) and the
+/// simulator over the plan's sweep, and records every invariant
+/// violation.
+pub fn run_case(spec: &CaseSpec, plan: &CheckPlan, harness_seed: u64) -> CaseResult {
+    let t = Instant::now();
+    let matrix = plan.reorder.apply(build(spec));
+    let mut tally = CaseTally {
+        divergences: Vec::new(),
+        checks_run: 0,
+        nanos: StageNanos {
+            build: t.elapsed().as_nanos() as u64,
+            ..StageNanos::default()
+        },
     };
 
-    // All settings any model-side check needs, deduplicated: the sweep
-    // profile must be computed for exactly the capacities it will be
-    // asked to evaluate.
+    let cfg = plan.machine();
+    let (class, class_index) =
+        class_label(classify_for(&matrix, &cfg.clone().with_l2_sector(5), 1));
+    let fingerprint = matrix.fingerprint();
     let mut all_settings = plan.sweep_settings.clone();
     for &s in &plan.check_settings {
         if !all_settings.contains(&s) {
             all_settings.push(s);
         }
     }
+    let ctx = CaseCtx {
+        spec,
+        plan,
+        cfg: &cfg,
+        class,
+        class_index,
+        harness_seed,
+        ws_lines: matrix.working_set_bytes().div_ceil(cfg.l2.line_bytes) as f64,
+        all_settings,
+    };
 
+    // CSR view: model-side invariants against the verbatim CSR oracle,
+    // then the simulator cross-checks. Predictions are kept per thread
+    // count for the cross-format comparison below.
+    let mut csr_preds: Vec<(usize, Vec<Prediction>, Vec<Prediction>)> = Vec::new();
     for &threads in &plan.threads {
-        let mut preds_a: Option<Vec<Prediction>> = None;
-        let mut preds_b: Option<Vec<Prediction>> = None;
-        for method in [Method::A, Method::B] {
-            let t = Instant::now();
-            let streaming = LocalityProfile::compute(&matrix, &cfg, method, threads);
-            nanos.profile += t.elapsed().as_nanos() as u64;
-            let t = Instant::now();
-            let oracle = LocalityProfile::compute_materialized(&matrix, &cfg, method, threads);
-            nanos.oracle += t.elapsed().as_nanos() as u64;
-            let t = Instant::now();
-            let sweep =
-                LocalityProfile::compute_for_sweep(&matrix, &cfg, method, threads, &all_settings);
-            nanos.sweep += t.elapsed().as_nanos() as u64;
-
-            let t = Instant::now();
-            let expected = oracle.evaluate(&cfg, &all_settings);
-            for (pipeline, profile) in [("streaming", &streaming), ("marker-sweep", &sweep)] {
-                let actual = profile.evaluate(&cfg, &all_settings);
-                checks_run += 1;
-                for (e, a) in expected.iter().zip(&actual) {
-                    if e != a {
-                        diverge(
-                            Check::PipelineAgreement,
-                            Some(e.setting),
-                            threads,
-                            e.l2_misses as f64,
-                            a.l2_misses as f64,
-                            0.0,
-                            format!(
-                                "method {method:?}: {pipeline} pipeline disagrees with the \
-                                 materialized oracle (by_array {:?} vs {:?})",
-                                a.by_array, e.by_array
-                            ),
-                            &mut divergences,
-                        );
-                    }
-                }
-            }
-
-            // Traffic conservation inside each prediction.
-            for p in &expected {
-                checks_run += 1;
-                let sum: u64 = p.by_array.iter().sum();
-                if sum != p.l2_misses {
-                    diverge(
-                        Check::TrafficConservation,
-                        Some(p.setting),
-                        threads,
-                        p.l2_misses as f64,
-                        sum as f64,
-                        0.0,
-                        format!(
-                            "method {method:?}: by_array {:?} does not sum to total",
-                            p.by_array
-                        ),
-                        &mut divergences,
-                    );
-                }
-            }
-
-            // Monotonicity across the way sweep: partition 1 (A + ColIdx)
-            // gains capacity with w, partition 0 (X + Y + RowPtr) loses it.
-            let mut ways: Vec<&Prediction> = expected
-                .iter()
-                .filter(|p| matches!(p.setting, SectorSetting::L2Ways(_)))
-                .collect();
-            ways.sort_by_key(|p| match p.setting {
-                SectorSetting::L2Ways(w) => w,
-                SectorSetting::Off => 0,
-            });
-            for pair in ways.windows(2) {
-                let stream = |p: &Prediction| p.misses_of(Array::A) + p.misses_of(Array::ColIdx);
-                let reused = |p: &Prediction| {
-                    p.misses_of(Array::X) + p.misses_of(Array::Y) + p.misses_of(Array::RowPtr)
-                };
-                checks_run += 1;
-                if stream(pair[1]) > stream(pair[0]) {
-                    diverge(
-                        Check::Monotonicity,
-                        Some(pair[1].setting),
-                        threads,
-                        stream(pair[0]) as f64,
-                        stream(pair[1]) as f64,
-                        0.0,
-                        format!(
-                            "method {method:?}: matrix-stream misses grew when partition 1 \
-                             gained a way ({:?} -> {:?})",
-                            pair[0].setting, pair[1].setting
-                        ),
-                        &mut divergences,
-                    );
-                }
-                checks_run += 1;
-                if reused(pair[1]) < reused(pair[0]) {
-                    diverge(
-                        Check::Monotonicity,
-                        Some(pair[1].setting),
-                        threads,
-                        reused(pair[0]) as f64,
-                        reused(pair[1]) as f64,
-                        0.0,
-                        format!(
-                            "method {method:?}: x/y/rowptr misses shrank when partition 0 \
-                             lost a way ({:?} -> {:?})",
-                            pair[0].setting, pair[1].setting
-                        ),
-                        &mut divergences,
-                    );
-                }
-            }
-            nanos.check += t.elapsed().as_nanos() as u64;
-
-            match method {
-                Method::A => preds_a = Some(expected),
-                Method::B => preds_b = Some(expected),
-            }
-        }
-
-        let preds_a = preds_a.expect("method A always runs");
-        let preds_b = preds_b.expect("method B always runs");
-
-        // Method (B) inside its envelope of method (A).
-        let t = Instant::now();
-        let tol = plan.envelope_tol[class_index];
-        for (a, b) in preds_a.iter().zip(&preds_b) {
-            if !plan.check_settings.contains(&a.setting) {
-                continue;
-            }
-            checks_run += 1;
-            let (ea, eb) = (a.l2_misses as f64, b.l2_misses as f64);
-            if !tol.accepts(ea, eb, ws_lines) {
-                diverge(
-                    Check::MethodEnvelope,
-                    Some(a.setting),
-                    threads,
-                    ea,
-                    eb,
-                    tol.allowed(ea, ws_lines),
-                    "method B left its envelope of method A".to_string(),
-                    &mut divergences,
-                );
-            }
-        }
-        nanos.check += t.elapsed().as_nanos() as u64;
+        let (preds_a, preds_b) = model_invariants(
+            &ctx,
+            &matrix,
+            &spec.name,
+            &|method| LocalityProfile::compute_materialized(&matrix, &cfg, method, threads),
+            threads,
+            &mut tally,
+        );
 
         // Simulator cross-check: method (A) vs PMU-style counters, plus
         // PMU self-consistency on every snapshot.
@@ -415,7 +532,7 @@ pub fn run_case(spec: &CaseSpec, plan: &CheckPlan, harness_seed: u64) -> CaseRes
                     simulate_spmv(&matrix, &cfg_w, ArraySet::MATRIX_STREAM, threads, 1)
                 }
             };
-            nanos.simulate += t.elapsed().as_nanos() as u64;
+            tally.nanos.simulate += t.elapsed().as_nanos() as u64;
 
             let t = Instant::now();
             let pmu = &sim.pmu;
@@ -429,17 +546,19 @@ pub fn run_case(spec: &CaseSpec, plan: &CheckPlan, harness_seed: u64) -> CaseRes
             if threads > 1 {
                 tol.rel += plan.sim_parallel_extra_rel;
             }
-            checks_run += 1;
-            if !tol.accepts(measured, predicted, ws_lines) {
-                diverge(
+            tally.checks_run += 1;
+            if !tol.accepts(measured, predicted, ctx.ws_lines) {
+                ctx.diverge(
+                    &mut tally.divergences,
                     Check::ModelVsSim,
+                    &spec.name,
+                    fingerprint,
                     Some(setting),
                     threads,
                     measured,
                     predicted,
-                    tol.allowed(measured, ws_lines),
+                    tol.allowed(measured, ctx.ws_lines),
                     "method A prediction left the simulator tolerance band".to_string(),
-                    &mut divergences,
                 );
             }
 
@@ -481,29 +600,101 @@ pub fn run_case(spec: &CaseSpec, plan: &CheckPlan, harness_seed: u64) -> CaseRes
                 ),
             ];
             for (what, lhs, rhs) in identities {
-                checks_run += 1;
+                tally.checks_run += 1;
                 if lhs != rhs {
-                    diverge(
+                    ctx.diverge(
+                        &mut tally.divergences,
                         Check::PmuIdentity,
+                        &spec.name,
+                        fingerprint,
                         Some(setting),
                         threads,
                         lhs as f64,
                         rhs as f64,
                         0.0,
                         what.to_string(),
-                        &mut divergences,
                     );
                 }
             }
-            nanos.check += t.elapsed().as_nanos() as u64;
+            tally.nanos.check += t.elapsed().as_nanos() as u64;
         }
+
+        csr_preds.push((threads, preds_a, preds_b));
+    }
+
+    // SELL views: the same model-side invariants on the chunked
+    // workloads, with the generic materialize-then-replay oracle as the
+    // reference (the simulator stays CSR-only).
+    for &(c, sigma) in &plan.sell_formats {
+        let sell = SellMatrix::from_csr(&matrix, c, sigma);
+        let name = format!("{}@sell:{c},{sigma}", spec.name);
+        for &threads in &plan.threads {
+            model_invariants(
+                &ctx,
+                &sell,
+                &name,
+                &|method| {
+                    LocalityProfile::compute_materialized_workload(&sell, &cfg, method, threads)
+                },
+                threads,
+                &mut tally,
+            );
+        }
+    }
+
+    // Cross-format invariant: the C=1, σ=1 SELL view stores exactly the
+    // CSR nonzeros in the CSR order (no padding, no sorting), so after
+    // its own invariant pass its predictions must sit within the
+    // padding-only band of the CSR predictions.
+    let sell11 = SellMatrix::from_csr(&matrix, 1, 1);
+    let name11 = format!("{}@sell:1,1", spec.name);
+    let tol = plan.cross_format_tol;
+    for (threads, csr_a, csr_b) in &csr_preds {
+        let (sell_a, sell_b) = model_invariants(
+            &ctx,
+            &sell11,
+            &name11,
+            &|method| {
+                LocalityProfile::compute_materialized_workload(&sell11, &cfg, method, *threads)
+            },
+            *threads,
+            &mut tally,
+        );
+        let t = Instant::now();
+        for (method, csr, sell) in [(Method::A, csr_a, &sell_a), (Method::B, csr_b, &sell_b)] {
+            for (cp, sp) in csr.iter().zip(sell) {
+                if !plan.check_settings.contains(&cp.setting) {
+                    continue;
+                }
+                tally.checks_run += 1;
+                let (expected, actual) = (cp.l2_misses as f64, sp.l2_misses as f64);
+                if !tol.accepts(expected, actual, ctx.ws_lines) {
+                    ctx.diverge(
+                        &mut tally.divergences,
+                        Check::CrossFormat,
+                        &name11,
+                        SpmvWorkload::fingerprint(&sell11),
+                        Some(cp.setting),
+                        *threads,
+                        expected,
+                        actual,
+                        tol.allowed(expected, ctx.ws_lines),
+                        format!(
+                            "method {method:?}: SELL C=1, σ=1 prediction left the \
+                             padding-only band of the CSR view"
+                        ),
+                    );
+                }
+            }
+        }
+        tally.nanos.check += t.elapsed().as_nanos() as u64;
     }
 
     CaseResult {
         class_index,
-        divergences,
-        checks_run,
-        nanos,
+        divergences: tally.divergences,
+        checks_run: tally.checks_run,
+        nanos: tally.nanos,
     }
 }
 
@@ -558,5 +749,55 @@ mod tests {
         );
         assert!(result.checks_run > 20);
         assert_eq!(result.class_index, 0);
+    }
+
+    #[test]
+    fn sell_views_are_checked_per_case() {
+        // The per-format reruns and the cross-format pass multiply the
+        // check count: strip the plan to one thread count and verify the
+        // SELL passes contribute beyond the CSR-only baseline.
+        let spec = &stratified(4, 5)[1];
+        let mut plan = CheckPlan::new(true);
+        plan.threads = vec![1];
+        let with_sell = run_case(spec, &plan, 5);
+        assert!(
+            with_sell.divergences.is_empty(),
+            "unexpected divergences: {:#?}",
+            with_sell.divergences
+        );
+        plan.sell_formats.clear();
+        let without_sell = run_case(spec, &plan, 5);
+        // Dropping the (8,32) view removes one full model-invariant pass;
+        // the C=1, σ=1 cross-format pass still runs.
+        assert!(with_sell.checks_run > without_sell.checks_run);
+    }
+
+    #[test]
+    fn cross_format_band_catches_a_planted_gap() {
+        // Sanity-check the tolerance wiring: with a zero-width band, the
+        // (benign) CSR-vs-SELL metadata difference must surface as a
+        // cross_format divergence somewhere in a stratified corpus, and
+        // the record must carry the SELL view's name.
+        let mut plan = CheckPlan::new(true);
+        plan.sell_formats.clear();
+        plan.cross_format_tol = Tolerance {
+            rel: 0.0,
+            cliff: 0.0,
+            floor: 0.0,
+        };
+        let cross: Vec<Divergence> = stratified(8, 5)
+            .iter()
+            .flat_map(|spec| run_case(spec, &plan, 5).divergences)
+            .filter(|d| d.check == Check::CrossFormat)
+            .collect();
+        assert!(
+            !cross.is_empty(),
+            "zero-width band accepted every cross-format comparison"
+        );
+        assert!(
+            cross[0].matrix.ends_with("@sell:1,1"),
+            "{}",
+            cross[0].matrix
+        );
     }
 }

@@ -7,13 +7,16 @@
 //! covering the paper's §3.1 working-set classes, and emits every
 //! violation as a structured JSON-lines divergence record that carries
 //! its own reproduction recipe (harness seed + case index + generator
-//! parameters).
+//! parameters). The model-side invariants run per storage format — the
+//! CSR view and the planned SELL-C-σ views of each matrix — and a
+//! cross-format invariant pins the degenerate SELL (C=1, σ=1) view to
+//! the CSR predictions within a padding-only tolerance.
 //!
 //! The harness is both a bug-finder and a regression gate: `scripts/ci.sh`
 //! runs the smoke tier (`spmv-locality validate --smoke`) on every build.
 //!
 //! * [`corpus`] — stratified corpus generation (classes 1, 2, 3a, 3b);
-//! * [`checks`] — the six invariants and the per-case driver;
+//! * [`checks`] — the seven invariants and the per-case driver;
 //! * [`record`] — divergence records and run accounting;
 //! * [`run_validation`] — parallel orchestration over the engine's
 //!   work-stealing pool.
@@ -26,6 +29,7 @@ pub use checks::{CaseResult, CheckPlan, Tolerance};
 pub use corpus::{stratified, CaseSpec};
 pub use record::{Check, Divergence, RunStats, StageNanos};
 
+use locality_core::ReorderSpec;
 use locality_engine::pool;
 
 /// Knobs for one validation run.
@@ -40,6 +44,13 @@ pub struct ValidationConfig {
     pub workers: usize,
     /// Run the reduced smoke plan instead of the full sweep.
     pub smoke: bool,
+    /// Override for the SELL `(C, σ)` views the model-side invariants
+    /// re-run on: `None` keeps the plan default, `Some(vec![])` skips
+    /// the SELL reruns (the C=1, σ=1 cross-format pass always runs).
+    pub sell_formats: Option<Vec<(usize, usize)>>,
+    /// Row reordering applied to every corpus matrix before checking —
+    /// validates the invariants on reordered workloads.
+    pub reorder: ReorderSpec,
 }
 
 impl Default for ValidationConfig {
@@ -49,6 +60,8 @@ impl Default for ValidationConfig {
             seed: 2023,
             workers: 0,
             smoke: false,
+            sell_formats: None,
+            reorder: ReorderSpec::None,
         }
     }
 }
@@ -89,7 +102,11 @@ impl ValidationReport {
 /// of `workers`; only the `stage_ns` wall-clock metrics vary run to run.
 pub fn run_validation(config: &ValidationConfig) -> ValidationReport {
     let specs = corpus::stratified(config.matrices, config.seed);
-    let plan = CheckPlan::new(config.smoke);
+    let mut plan = CheckPlan::new(config.smoke);
+    if let Some(formats) = &config.sell_formats {
+        plan.sell_formats = formats.clone();
+    }
+    plan.reorder = config.reorder;
     let seed = config.seed;
     let results = pool::run_indexed(config.workers, &specs, |_, spec| {
         checks::run_case(spec, &plan, seed)
@@ -123,6 +140,7 @@ mod tests {
             seed: 2023,
             workers: 2,
             smoke: true,
+            ..ValidationConfig::default()
         };
         let report = run_validation(&config);
         assert!(

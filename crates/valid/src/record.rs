@@ -28,6 +28,10 @@ pub enum Check {
     ModelVsSim,
     /// PMU self-consistency: refill split, per-core/per-domain sums.
     PmuIdentity,
+    /// SELL-C-σ with C=1, σ=1 (no padding, natural order) must predict
+    /// within the padding-only tolerance of the CSR view of the same
+    /// matrix.
+    CrossFormat,
 }
 
 impl Check {
@@ -40,6 +44,7 @@ impl Check {
             Check::MethodEnvelope => "method_envelope",
             Check::ModelVsSim => "model_vs_sim",
             Check::PmuIdentity => "pmu_identity",
+            Check::CrossFormat => "cross_format",
         }
     }
 }

@@ -19,6 +19,9 @@ cargo fmt --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== cargo doc (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline
+
 echo "== validate smoke: differential harness =="
 # Fast tier of the differential validation harness (spmv-locality
 # validate): 16 stratified matrices through every prediction pipeline
@@ -33,5 +36,12 @@ echo "== bench smoke: streaming pipeline (BENCH_pr2.json) =="
 # peak-RSS checkpoints, as BENCH_pr2.json at the repo root.
 cargo run --release --offline -p spmv-bench --bin bench_pr2 -- \
     --count 4 --scale 64 --threads 8
+
+echo "== format smoke: CSR vs SELL-C-sigma (exp_sell) =="
+# Tiny corpus through both storage formats: exercises the SELL trace
+# derivation, the partitioned accounting on padded streams, and the
+# CSR-vs-SELL comparison table end to end.
+cargo run --release --offline -p spmv-bench --bin exp_sell -- \
+    --count 2 --scale 64
 
 echo "ci: all gates passed"

@@ -3,10 +3,14 @@
 //!
 //! ```text
 //! spmv-locality analyze  <matrix.mtx> [--threads N] [--scale N]
+//!                        [--format csr|sell:C,S] [--reorder none|rcm]
 //! spmv-locality tune     <matrix.mtx> [--threads N] [--scale N]
+//!                        [--format csr|sell:C,S] [--reorder none|rcm]
 //! spmv-locality simulate <matrix.mtx> [--threads N] [--scale N] [--l2-ways W]
-//! spmv-locality batch    <spec-file>  [--workers N]
+//!                        [--reorder none|rcm]
+//! spmv-locality batch    <spec-file>  [--workers N] [--format F] [--reorder R]
 //! spmv-locality validate [--matrices N] [--seed S] [--workers N] [--smoke]
+//!                        [--format csr|sell:C,S] [--reorder none|rcm]
 //! ```
 //!
 //! `analyze` prints the matrix statistics, its §3.1 classification and the
@@ -19,6 +23,15 @@
 //! validation harness over a stratified random corpus, printing one JSON
 //! line per divergence plus a summary line, and exits nonzero if any
 //! invariant was violated (see `EXPERIMENTS.md`, "Divergence triage").
+//!
+//! `--format` selects the storage format the model analyses (`csr`, or
+//! `sell:C,S` for SELL-C-σ with chunk size `C` and sorting window `S`);
+//! `--reorder rcm` applies Reverse Cuthill–McKee before the format
+//! conversion. For `batch` they override the spec file's directives; for
+//! `validate`, `--format csr` skips the SELL invariant reruns and
+//! `--format sell:C,S` replaces the default (8, 32) view (the C=1, σ=1
+//! cross-format pass always runs). The simulator is CSR-only, so
+//! `simulate` accepts `--reorder` but not a SELL `--format`.
 
 use a64fx_spmv::prelude::*;
 
@@ -28,17 +41,37 @@ struct Cli {
     threads: usize,
     scale: usize,
     l2_ways: usize,
+    format: FormatSpec,
+    reorder: ReorderSpec,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: spmv-locality <analyze|tune|simulate> <matrix.mtx> \
-         [--threads N] [--scale N] [--l2-ways W]\n\
-         \x20      spmv-locality batch <spec-file> [--workers N]\n\
+         [--threads N] [--scale N] [--l2-ways W] \
+         [--format csr|sell:C,S] [--reorder none|rcm]\n\
+         \x20      spmv-locality batch <spec-file> [--workers N] \
+         [--format F] [--reorder R]\n\
          \x20      spmv-locality validate [--matrices N] [--seed S] \
-         [--workers N] [--smoke]"
+         [--workers N] [--smoke] [--format F] [--reorder R]"
     );
     std::process::exit(2);
+}
+
+/// Parses the value of a `--format` flag, exiting with the parse error.
+fn parse_format(value: Option<String>) -> FormatSpec {
+    FormatSpec::parse(value.as_deref().unwrap_or("")).unwrap_or_else(|e| {
+        eprintln!("spmv-locality: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// Parses the value of a `--reorder` flag, exiting with the parse error.
+fn parse_reorder(value: Option<String>) -> ReorderSpec {
+    ReorderSpec::parse(value.as_deref().unwrap_or("")).unwrap_or_else(|e| {
+        eprintln!("spmv-locality: {e}");
+        std::process::exit(2);
+    })
 }
 
 /// `validate` subcommand: the differential validation harness. JSON
@@ -59,6 +92,13 @@ fn run_validate_command(args: impl Iterator<Item = String>) -> ! {
             "--seed" => config.seed = value("--seed") as u64,
             "--workers" => config.workers = value("--workers"),
             "--smoke" => config.smoke = true,
+            "--format" => {
+                config.sell_formats = Some(match parse_format(args.next()) {
+                    FormatSpec::Csr => Vec::new(),
+                    FormatSpec::Sell { chunk_size, sigma } => vec![(chunk_size, sigma)],
+                });
+            }
+            "--reorder" => config.reorder = parse_reorder(args.next()),
             _ => usage(),
         }
     }
@@ -79,7 +119,9 @@ fn run_validate_command(args: impl Iterator<Item = String>) -> ! {
 }
 
 /// `batch` subcommand: run a spec file on the engine, JSON lines out.
-fn run_batch_command(spec_path: &str, workers: Option<usize>) -> ! {
+/// Command-line `--workers`/`--format`/`--reorder` override the spec
+/// file's directives.
+fn run_batch_command(spec_path: &str, args: impl Iterator<Item = String>) -> ! {
     let text = std::fs::read_to_string(spec_path).unwrap_or_else(|e| {
         eprintln!("failed to read {spec_path}: {e}");
         std::process::exit(1);
@@ -88,8 +130,19 @@ fn run_batch_command(spec_path: &str, workers: Option<usize>) -> ! {
         eprintln!("{spec_path}: {e}");
         std::process::exit(1);
     });
-    if let Some(w) = workers {
-        spec.workers = w;
+    let mut args = args.peekable();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--workers" => {
+                spec.workers = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("spmv-locality: expected a number after --workers");
+                    std::process::exit(2);
+                });
+            }
+            "--format" => spec.format = parse_format(args.next()),
+            "--reorder" => spec.reorder = parse_reorder(args.next()),
+            _ => usage(),
+        }
     }
     match run_batch(&spec) {
         Ok(result) => {
@@ -118,15 +171,7 @@ fn parse_cli() -> Cli {
     }
     let path = args.next().unwrap_or_else(|| usage());
     if command == "batch" {
-        let workers = match (args.next().as_deref(), args.next()) {
-            (None, _) => None,
-            (Some("--workers"), Some(n)) => match n.parse() {
-                Ok(n) => Some(n),
-                Err(_) => usage(),
-            },
-            _ => usage(),
-        };
-        run_batch_command(&path, workers);
+        run_batch_command(&path, args);
     }
     let mut cli = Cli {
         command,
@@ -134,6 +179,8 @@ fn parse_cli() -> Cli {
         threads: 48,
         scale: 1,
         l2_ways: 5,
+        format: FormatSpec::Csr,
+        reorder: ReorderSpec::None,
     };
     while let Some(flag) = args.next() {
         let mut value = |what: &str| -> usize {
@@ -146,8 +193,14 @@ fn parse_cli() -> Cli {
             "--threads" => cli.threads = value("--threads"),
             "--scale" => cli.scale = value("--scale"),
             "--l2-ways" => cli.l2_ways = value("--l2-ways"),
+            "--format" => cli.format = parse_format(args.next()),
+            "--reorder" => cli.reorder = parse_reorder(args.next()),
             _ => usage(),
         }
+    }
+    if cli.command == "simulate" && cli.format != FormatSpec::Csr {
+        eprintln!("spmv-locality: the simulator is CSR-only (drop --format or use csr)");
+        std::process::exit(2);
     }
     cli
 }
@@ -170,11 +223,18 @@ fn main() {
         })
         .clone();
     let cfg = machine(cli.scale, cli.threads);
+    // Reorder first so statistics, classification and predictions all see
+    // the same row order; then build the requested format view on top.
+    let matrix = cli.reorder.apply(matrix);
     let stats = MatrixStats::compute(&matrix);
+    let workload = cli.format.build(matrix.clone());
 
     match cli.command.as_str() {
         "analyze" => {
             println!("matrix      : {}", cli.path);
+            if cli.reorder != ReorderSpec::None {
+                println!("reorder     : {}", cli.reorder.label());
+            }
             println!(
                 "rows x cols : {} x {}",
                 matrix.num_rows(),
@@ -190,19 +250,29 @@ fn main() {
                 "CSR bytes   : {:.2} MiB",
                 matrix.matrix_bytes() as f64 / (1 << 20) as f64
             );
+            if cli.format != FormatSpec::Csr {
+                println!("format      : {}", cli.format.label());
+                println!(
+                    "stored      : {} entries ({:+.1} % padding), {:.2} MiB",
+                    workload.x_refs(),
+                    100.0 * (workload.x_refs() as f64 - matrix.nnz() as f64)
+                        / matrix.nnz().max(1) as f64,
+                    workload.matrix_bytes() as f64 / (1 << 20) as f64
+                );
+            }
             println!(
                 "working set : {:.2} MiB",
-                matrix.working_set_bytes() as f64 / (1 << 20) as f64
+                workload.working_set_bytes() as f64 / (1 << 20) as f64
             );
             println!("bandwidth   : {}", stats.bandwidth);
             let class_cfg = cfg.clone().with_l2_sector(cli.l2_ways.min(cfg.l2.ways - 1));
             println!(
                 "class ({} L2 ways for the matrix stream): {}",
                 cli.l2_ways,
-                classify_for(&matrix, &class_cfg, cli.threads).label()
+                classify_for(&workload, &class_cfg, cli.threads).label()
             );
             let preds = predict(
-                &matrix,
+                &workload,
                 &cfg,
                 Method::B,
                 &[SectorSetting::Off, SectorSetting::L2Ways(cli.l2_ways)],
@@ -221,7 +291,7 @@ fn main() {
             let settings: Vec<SectorSetting> = std::iter::once(SectorSetting::Off)
                 .chain((1..cfg.l2.ways).map(SectorSetting::L2Ways))
                 .collect();
-            let preds = predict(&matrix, &cfg, Method::B, &settings, cli.threads);
+            let preds = predict(&workload, &cfg, Method::B, &settings, cli.threads);
             println!("{:<10} {:>14}", "setting", "pred. misses");
             for p in &preds {
                 println!("{:<10} {:>14}", p.setting.label(), p.l2_misses);

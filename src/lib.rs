@@ -64,7 +64,10 @@ pub mod prelude {
         estimate, simulate_spmv, MachineConfig, Performance, PmuSnapshot, PrefetchConfig, SimResult,
     };
     pub use locality_core::predict::{predict, Method, Prediction, SectorSetting};
-    pub use locality_core::{classify_for, ErrorSummary, LocalityProfile, MatrixClass};
+    pub use locality_core::{
+        classify_for, ErrorSummary, FormatSpec, LocalityProfile, MatrixClass, ReorderSpec,
+        SpmvWorkload, Workload,
+    };
     pub use locality_engine::{run_batch, BatchResult, BatchSpec, ProfileCache};
     pub use memtrace::{Access, Array, ArraySet, DataLayout};
     pub use reuse::{ExactStack, MarkerStack, PartitionedStack, ReuseHistogram};

@@ -5,6 +5,8 @@
 use a64fx::{Machine, MachineConfig, PrefetchConfig};
 use a64fx_spmv::prelude::*;
 use memtrace::sell_trace::{sell_layout, trace_sell_spmv};
+use memtrace::{CountSink, TraceCursor};
+use proptest::prelude::*;
 
 fn banded(n: usize, band: usize, per_row: usize, seed: u64) -> CsrMatrix {
     corpus::banded::random_banded(n, band, per_row, seed)
@@ -89,4 +91,82 @@ fn sell_padding_shows_up_as_extra_stream_traffic() {
     // A large sorting window recovers most of the padding.
     let sorted = sparsemat::SellMatrix::from_csr(&a, 8, 512);
     assert!(sorted.padding_ratio() < sell.padding_ratio());
+}
+
+/// Per-array reference counts of one full workload trace.
+fn count_trace(workload: &Workload) -> CountSink {
+    let layout = workload.layout(256);
+    let mut sink = CountSink::new();
+    workload
+        .trace_cursor(&layout, 0..workload.num_work_items())
+        .drain_into(&mut sink);
+    sink
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// SELL with C=1, σ=1 stores each row as its own chunk with no
+    /// padding, so its trace is the CSR trace except for the documented
+    /// metadata difference: CSR reads `rows + 1` rowptr bounds (one loop
+    /// entry plus one bound per row) while SELL reads one descriptor per
+    /// chunk, i.e. exactly `rows`. Every other per-array count matches
+    /// exactly on random corpus matrices.
+    #[test]
+    fn sell_1_1_trace_matches_csr_except_metadata(seed in 0u64..1_000_000) {
+        for nm in corpus::corpus(5, 256, seed) {
+            let rows = nm.matrix.num_rows() as u64;
+            let nnz = nm.matrix.nnz() as u64;
+            let csr = Workload::build(nm.matrix.clone(), FormatSpec::Csr, ReorderSpec::None);
+            let sell = Workload::build(
+                nm.matrix.clone(),
+                FormatSpec::Sell { chunk_size: 1, sigma: 1 },
+                ReorderSpec::None,
+            );
+            prop_assert_eq!(sell.x_refs(), csr.x_refs(), "C=1 must not pad {}", &nm.name);
+
+            let c = count_trace(&csr);
+            let s = count_trace(&sell);
+            for array in [Array::A, Array::ColIdx, Array::X, Array::Y] {
+                prop_assert_eq!(
+                    s.counts[array as usize],
+                    c.counts[array as usize],
+                    "array {} count diverged on {}",
+                    array.name(),
+                    &nm.name
+                );
+            }
+            prop_assert_eq!(c.counts[Array::RowPtr as usize], rows + 1);
+            prop_assert_eq!(s.counts[Array::RowPtr as usize], rows);
+            prop_assert_eq!(s.writes, c.writes);
+            prop_assert_eq!(c.counts.iter().sum::<u64>(), 1 + 2 * rows + 3 * nnz);
+            prop_assert_eq!(s.counts.iter().sum::<u64>(), 2 * rows + 3 * nnz);
+        }
+    }
+
+    /// For general (C, σ) the only trace differences against CSR are the
+    /// documented padding terms: the streamed arrays grow from `nnz` to
+    /// `stored_entries()` references and the metadata shrinks to one
+    /// descriptor per chunk; `x` gathers track the padded stream and `y`
+    /// stays one store per row.
+    #[test]
+    fn sell_padding_terms_account_for_all_trace_growth(
+        seed in 0u64..1_000_000,
+        chunk in 1usize..32,
+        sigma_mult in 1usize..8,
+    ) {
+        let nm = &corpus::corpus(3, 256, seed)[(seed % 3) as usize];
+        let rows = nm.matrix.num_rows() as u64;
+        let sell_m = sparsemat::SellMatrix::from_csr(&nm.matrix, chunk, chunk * sigma_mult);
+        let stored = sell_m.stored_entries() as u64;
+        let chunks = sell_m.num_chunks() as u64;
+        prop_assert!(stored >= nm.matrix.nnz() as u64);
+
+        let s = count_trace(&Workload::Sell(sell_m));
+        prop_assert_eq!(s.counts[Array::A as usize], stored);
+        prop_assert_eq!(s.counts[Array::ColIdx as usize], stored);
+        prop_assert_eq!(s.counts[Array::X as usize], stored);
+        prop_assert_eq!(s.counts[Array::Y as usize], rows);
+        prop_assert_eq!(s.counts[Array::RowPtr as usize], chunks);
+    }
 }

@@ -62,6 +62,7 @@ proptest! {
             threads,
             scale: 64,
             workers: 1,
+            ..BatchSpec::default()
         };
         let matrices = [("prop", &m)];
         let base = run_on(&spec, &matrices);
