@@ -30,25 +30,13 @@ use spmv_bench::runner::{machine_for, ExpArgs, SweepPoint};
 use std::fmt::Write as _;
 use std::time::Instant;
 
-/// Peak resident set (`VmHWM`) in kiB from `/proc/self/status`; 0 when
-/// the proc filesystem is unavailable.
-fn vm_hwm_kb() -> u64 {
-    std::fs::read_to_string("/proc/self/status")
-        .ok()
-        .and_then(|s| {
-            s.lines()
-                .find(|l| l.starts_with("VmHWM:"))
-                .and_then(|l| l.split_whitespace().nth(1))
-                .and_then(|v| v.parse().ok())
-        })
-        .unwrap_or(0)
-}
-
 struct Mode {
     name: &'static str,
     secs: f64,
     refs_per_sec: f64,
-    vm_hwm_kb_after: u64,
+    /// Peak resident set (`VmHWM`, kB) after the mode ran; `None` where
+    /// `/proc/self/status` is unavailable (reported as JSON `null`).
+    vm_hwm_kb_after: Option<u64>,
 }
 
 fn main() {
@@ -76,8 +64,9 @@ fn main() {
         }
         let secs = t0.elapsed().as_secs_f64();
         let refs_per_sec = total_refs as f64 / secs.max(1e-9);
-        let vm = vm_hwm_kb();
-        println!("{name:<26} {secs:8.3}s   {refs_per_sec:12.0} refs/s   VmHWM {vm} kB");
+        let vm = obs::memstats::vm_hwm_kb();
+        let vm_label = vm.map_or_else(|| "n/a".to_string(), |kb| format!("{kb} kB"));
+        println!("{name:<26} {secs:8.3}s   {refs_per_sec:12.0} refs/s   VmHWM {vm_label}");
         modes.push(Mode {
             name,
             secs,
@@ -156,7 +145,8 @@ fn main() {
             m.name,
             m.secs,
             m.refs_per_sec,
-            m.vm_hwm_kb_after,
+            m.vm_hwm_kb_after
+                .map_or_else(|| "null".to_string(), |kb| kb.to_string()),
             if i + 1 < modes.len() { "," } else { "" }
         );
     }

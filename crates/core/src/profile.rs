@@ -91,6 +91,12 @@ impl HistogramSink {
             recording: false,
         }
     }
+
+    /// Reports both stacks' statistics to the telemetry counters.
+    fn flush_obs(&self) {
+        self.stack0.flush_obs();
+        self.stack1.flush_obs();
+    }
 }
 
 impl TraceSink for HistogramSink {
@@ -154,6 +160,17 @@ impl MarkerSink {
     fn histograms1(&self) -> ArrayHistograms {
         Self::histograms(&self.stack1)
     }
+
+    /// Reports the instantiated stacks' statistics to the telemetry
+    /// counters.
+    fn flush_obs(&self) {
+        if let Some(s) = &self.stack0 {
+            s.flush_obs();
+        }
+        if let Some(s) = &self.stack1 {
+            s.flush_obs();
+        }
+    }
 }
 
 impl TraceSink for MarkerSink {
@@ -191,6 +208,23 @@ impl XPairSink {
             cold: 0,
             now: 0,
             recording: false,
+        }
+    }
+
+    /// Reports the reuse stack's and the gap table's statistics to the
+    /// telemetry counters.
+    fn flush_obs(&self) {
+        self.stack.flush_obs();
+        if obs::enabled() {
+            let probes = self.last_seen.probe_stats();
+            obs::add("reuse.linetable.entries", probes.entries);
+            obs::add(
+                "reuse.linetable.displacement_total",
+                probes.total_displacement,
+            );
+            obs::gauge_max("reuse.linetable.displacement_max", probes.max_displacement);
+            obs::gauge_max("reuse.linetable.slots_max", probes.slots);
+            obs::observe("core.xpair.distinct_pairs", self.pairs.len() as u64);
         }
     }
 }
@@ -477,6 +511,7 @@ impl<'m, W: SpmvWorkload> ProfileBuilder<'m, W> {
     ///
     /// Panics if `d >= num_domains()`.
     pub fn domain_partial(&self, d: usize) -> DomainPartial {
+        let _span = obs::span("profile.domain");
         let cursors = DomainCursors::new(
             self.workload,
             &self.layout,
@@ -506,6 +541,9 @@ impl<'m, W: SpmvWorkload> ProfileBuilder<'m, W> {
                             second: &mut routed,
                         },
                     );
+                    let _extract = obs::span("reuse_stack.extract");
+                    shared.flush_obs();
+                    routed.flush_obs();
                     DomainPartial::Trace {
                         shared: shared.histograms0(),
                         part0: routed.histograms0(),
@@ -538,6 +576,9 @@ impl<'m, W: SpmvWorkload> ProfileBuilder<'m, W> {
                             second: &mut routed,
                         },
                     );
+                    let _extract = obs::span("reuse_stack.extract");
+                    shared.flush_obs();
+                    routed.flush_obs();
                     DomainPartial::Trace {
                         shared: shared.hist0,
                         part0: routed.hist0,
@@ -550,6 +591,8 @@ impl<'m, W: SpmvWorkload> ProfileBuilder<'m, W> {
                 cursors.feed_x(d, &mut sink); // warm-up
                 sink.recording = true;
                 cursors.feed_x(d, &mut sink); // measured
+                let _extract = obs::span("reuse_stack.extract");
+                sink.flush_obs();
                 let mut pairs: Vec<((u64, u64), u64)> = sink.pairs.into_iter().collect();
                 pairs.sort_unstable();
                 DomainPartial::XTrace {
@@ -657,7 +700,10 @@ impl LocalityProfile {
         method: Method,
         threads: usize,
     ) -> Self {
+        let _span = obs::span("profile.build");
+        obs::add("core.profile.builds", 1);
         let builder = ProfileBuilder::new(workload, cfg, method, threads);
+        obs::observe("core.profile.domains", builder.num_domains() as u64);
         let partials = (0..builder.num_domains())
             .map(|d| builder.domain_partial(d))
             .collect();
@@ -680,7 +726,10 @@ impl LocalityProfile {
         threads: usize,
         settings: &[SectorSetting],
     ) -> Self {
+        let _span = obs::span("profile.build");
+        obs::add("core.profile.builds", 1);
         let builder = ProfileBuilder::for_sweep(workload, cfg, method, threads, settings);
+        obs::observe("core.profile.domains", builder.num_domains() as u64);
         let partials = (0..builder.num_domains())
             .map(|d| builder.domain_partial(d))
             .collect();

@@ -46,18 +46,50 @@ pub struct ProfileKey {
     pub caps_fingerprint: u64,
 }
 
-/// A thread-safe profile memo with hit/computation counters.
+/// A thread-safe profile memo with hit/computation/eviction counters.
+///
+/// The default cache is unbounded — the engine relies on that for its
+/// deterministic hit/computation summary (an eviction under memory
+/// pressure would make `computations` scheduling-dependent). For
+/// corpus-scale runs whose working set must be capped, [`Self::bounded`]
+/// evicts the oldest-inserted entry once `max_entries` is exceeded and
+/// counts each eviction.
 #[derive(Debug, Default)]
 pub struct ProfileCache {
-    slots: Mutex<HashMap<ProfileKey, Arc<OnceLock<Arc<LocalityProfile>>>>>,
+    slots: Mutex<CacheMap>,
+    max_entries: Option<usize>,
     hits: AtomicU64,
     computations: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// Slot map plus FIFO insertion order (only maintained for bounded
+/// caches; `order` stays empty otherwise).
+#[derive(Debug, Default)]
+struct CacheMap {
+    map: HashMap<ProfileKey, Arc<OnceLock<Arc<LocalityProfile>>>>,
+    order: std::collections::VecDeque<ProfileKey>,
 }
 
 impl ProfileCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache holding at most `max_entries` profiles, evicting
+    /// the oldest-inserted entry beyond that. An evicted key that is
+    /// requested again recomputes (and recounts as a computation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_entries` is zero.
+    pub fn bounded(max_entries: usize) -> Self {
+        assert!(max_entries > 0, "cache capacity must be positive");
+        ProfileCache {
+            max_entries: Some(max_entries),
+            ..Self::default()
+        }
     }
 
     /// Returns the profile for `key`, computing it with `compute` exactly
@@ -67,9 +99,25 @@ impl ProfileCache {
         key: ProfileKey,
         compute: impl FnOnce() -> LocalityProfile,
     ) -> Arc<LocalityProfile> {
+        let _span = obs::span("cache.lookup");
         let slot = {
             let mut slots = self.slots.lock().expect("profile cache poisoned");
-            Arc::clone(slots.entry(key).or_default())
+            match slots.map.get(&key) {
+                Some(slot) => Arc::clone(slot),
+                None => {
+                    let slot: Arc<OnceLock<Arc<LocalityProfile>>> = Arc::default();
+                    slots.map.insert(key, Arc::clone(&slot));
+                    if let Some(max) = self.max_entries {
+                        slots.order.push_back(key);
+                        while slots.map.len() > max {
+                            let oldest = slots.order.pop_front().expect("order tracks map");
+                            slots.map.remove(&oldest);
+                            self.evictions.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    slot
+                }
+            }
         };
         let mut computed = false;
         let profile = slot.get_or_init(|| {
@@ -88,9 +136,39 @@ impl ProfileCache {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Profiles actually computed (= distinct keys requested).
+    /// Profiles actually computed (= distinct keys requested, for an
+    /// unbounded cache).
     pub fn computations(&self) -> u64 {
         self.computations.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted by a [`bounded`](Self::bounded) cache (always 0
+    /// for the default unbounded cache).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("profile cache poisoned").map.len()
+    }
+
+    /// Returns `true` if no profiles are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reports the cache's counters and size through the telemetry
+    /// counters/gauges (`engine.cache.*`). The cache is the single source
+    /// of truth — callers don't keep a parallel tally.
+    pub fn flush_obs(&self) {
+        if !obs::enabled() {
+            return;
+        }
+        obs::add("engine.cache.hits", self.hits());
+        obs::add("engine.cache.computations", self.computations());
+        obs::add("engine.cache.evictions", self.evictions());
+        obs::gauge_max("engine.cache.size", self.len() as u64);
     }
 }
 
@@ -144,6 +222,33 @@ mod tests {
         cache.get_or_compute(sweep_key, profile);
         assert_eq!(cache.computations(), 2);
         assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_oldest_and_counts() {
+        let cache = ProfileCache::bounded(2);
+        cache.get_or_compute(key(1, Method::A), profile);
+        cache.get_or_compute(key(2, Method::A), profile);
+        cache.get_or_compute(key(3, Method::A), profile); // evicts key 1
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        // Key 1 is gone: asking again recomputes; keys 2 and 3 remain
+        // until the reinsertion pushes key 2 out.
+        cache.get_or_compute(key(1, Method::A), profile);
+        assert_eq!(cache.computations(), 4);
+        assert_eq!(cache.evictions(), 2);
+        cache.get_or_compute(key(3, Method::A), profile);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = ProfileCache::new();
+        for fp in 0..50 {
+            cache.get_or_compute(key(fp, Method::B), profile);
+        }
+        assert_eq!(cache.len(), 50);
+        assert_eq!(cache.evictions(), 0);
     }
 
     #[test]

@@ -198,10 +198,13 @@ pub fn compute_profile_parallel<W: SpmvWorkload>(
     settings: Option<&[SectorSetting]>,
     workers: usize,
 ) -> LocalityProfile {
+    let _span = obs::span("profile.build");
+    obs::add("core.profile.builds", 1);
     let builder = match settings {
         Some(s) => ProfileBuilder::for_sweep(workload, cfg, method, threads, s),
         None => ProfileBuilder::new(workload, cfg, method, threads),
     };
+    obs::observe("core.profile.domains", builder.num_domains() as u64);
     let domains: Vec<usize> = (0..builder.num_domains()).collect();
     let partials: Vec<DomainPartial> =
         pool::run_indexed(workers, &domains, |_, &d| builder.domain_partial(d));
@@ -242,6 +245,8 @@ pub fn run_on(spec: &BatchSpec, matrices: &[(&str, &CsrMatrix)]) -> BatchResult 
 /// but `reorder` still tags the cache/report fingerprints, so callers
 /// passing reordered matrices keep them distinct from natural-order runs.
 pub fn run_on_workloads<W: SpmvWorkload>(spec: &BatchSpec, matrices: &[(&str, &W)]) -> BatchResult {
+    let _span = obs::span("batch.run");
+    obs::add("engine.batch.runs", 1);
     let fingerprints: Vec<u64> = matrices
         .iter()
         .map(|(_, m)| spec.reorder.tag_fingerprint(m.fingerprint()))
@@ -290,6 +295,11 @@ pub fn run_on_workloads<W: SpmvWorkload>(spec: &BatchSpec, matrices: &[(&str, &W
             prediction,
         )
     });
+
+    // The cache is the single source of truth for both the report stats
+    // and the telemetry counters — no parallel tally.
+    cache.flush_obs();
+    obs::add("engine.batch.jobs", jobs.len() as u64);
 
     BatchResult {
         stats: BatchStats {

@@ -34,6 +34,8 @@ where
     }
     .min(items.len().max(1));
 
+    obs::gauge_max("engine.pool.workers", workers as u64);
+
     // Deal round-robin: worker w starts with jobs w, w+workers, ...
     let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
         .map(|w| Mutex::new((w..items.len()).step_by(workers).collect()))
@@ -46,7 +48,9 @@ where
             let results = &results;
             let run = &run;
             scope.spawn(move || {
+                let span = obs::span("pool.worker");
                 let mut local = Vec::new();
+                let mut stolen = 0u64;
                 loop {
                     // Own deque first (front), then steal from the back of
                     // the first sibling that still has work. No deque is
@@ -55,18 +59,32 @@ where
                     // the pop itself is the check).
                     let job = (0..workers).map(|k| (w + k) % workers).find_map(|v| {
                         let mut deque = deques[v].lock().expect("deque poisoned");
-                        if v == w {
+                        let popped = if v == w {
                             deque.pop_front()
                         } else {
                             deque.pop_back()
+                        };
+                        if popped.is_some() && v != w {
+                            stolen += 1;
                         }
+                        popped
                     });
                     match job {
                         Some(i) => local.push((i, run(i, &items[i]))),
                         None => break,
                     }
                 }
+                if obs::enabled() {
+                    obs::add("engine.pool.jobs", local.len() as u64);
+                    obs::add("engine.pool.steals", stolen);
+                    obs::observe("engine.pool.jobs_per_worker", local.len() as u64);
+                }
                 results.lock().expect("results poisoned").append(&mut local);
+                // Drain this worker's collector before the scope observes
+                // completion — `thread::scope` can return before TLS
+                // destructors run, and telemetry promises "drained at join".
+                drop(span);
+                obs::flush_thread();
             });
         }
     });

@@ -63,6 +63,11 @@ pub fn round_robin_into<S: TraceSink>(traces: &[Vec<Access>], chunk: usize, sink
     assert!(chunk > 0, "chunk size must be positive");
     let mut cursors = vec![0usize; traces.len()];
     let mut remaining: usize = traces.iter().map(|t| t.len()).sum();
+    let _span = obs::span("trace.stream");
+    if obs::enabled() {
+        obs::add("memtrace.buffered.refs", remaining as u64);
+        obs::observe("memtrace.stream.refs", remaining as u64);
+    }
     while remaining > 0 {
         for (t, cursor) in traces.iter().zip(cursors.iter_mut()) {
             if *cursor >= t.len() {
@@ -95,6 +100,14 @@ pub fn round_robin_cursors<C: TraceCursor, S: TraceSink>(
 ) {
     assert!(chunk > 0, "chunk size must be positive");
     let mut remaining: usize = cursors.iter().map(|c| c.remaining()).sum();
+    // One span + three counter updates per *feed* (a whole domain pass),
+    // not per reference: the inner loop stays uninstrumented.
+    let _span = obs::span("trace.stream");
+    if obs::enabled() {
+        obs::add("memtrace.cursor.feeds", 1);
+        obs::add("memtrace.cursor.refs", remaining as u64);
+        obs::observe("memtrace.stream.refs", remaining as u64);
+    }
     while remaining > 0 {
         for cursor in cursors.iter_mut() {
             for _ in 0..chunk {

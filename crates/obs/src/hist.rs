@@ -1,0 +1,137 @@
+//! Log2-bucketed histogram for cheap distribution capture.
+
+/// A power-of-two-bucketed histogram of `u64` samples.
+///
+/// Bucket 0 counts exact zeros; bucket `b >= 1` counts values whose
+/// highest set bit is `b - 1`, i.e. values in `[2^(b-1), 2^b)`. With 65
+/// buckets every `u64` has a home and recording is a `leading_zeros`
+/// plus one increment. Histograms merge by element-wise addition, so the
+/// merge is commutative and associative — aggregation order never shows
+/// in the result.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Hist {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of recorded samples (wrapping add; practical totals fit).
+    pub sum: u64,
+    /// Bucket counts; see the type docs for the bucket boundaries.
+    pub buckets: [u64; 65],
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist {
+            count: 0,
+            sum: 0,
+            buckets: [0; 65],
+        }
+    }
+}
+
+impl Hist {
+    /// Index of the bucket holding `value`.
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive lower bound of bucket `b` (0 for buckets 0 and 1).
+    pub fn bucket_lo(b: usize) -> u64 {
+        if b <= 1 {
+            0
+        } else {
+            1u64 << (b - 1)
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(value);
+        self.buckets[Self::bucket_of(value)] += 1;
+    }
+
+    /// Adds another histogram into this one (commutative).
+    pub fn merge(&mut self, other: &Hist) {
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// Mean of the recorded samples, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Hist::bucket_of(0), 0);
+        assert_eq!(Hist::bucket_of(1), 1);
+        assert_eq!(Hist::bucket_of(2), 2);
+        assert_eq!(Hist::bucket_of(3), 2);
+        assert_eq!(Hist::bucket_of(4), 3);
+        assert_eq!(Hist::bucket_of(1023), 10);
+        assert_eq!(Hist::bucket_of(1024), 11);
+        assert_eq!(Hist::bucket_of(u64::MAX), 64);
+        for b in 0..=64 {
+            // Every bucket's lower bound maps back into that bucket
+            // (buckets 0 and 1 share lo=0 -> bucket 0 for the zero value).
+            let lo = Hist::bucket_lo(b);
+            if b >= 2 {
+                assert_eq!(Hist::bucket_of(lo), b);
+            }
+        }
+    }
+
+    #[test]
+    fn record_and_merge_commute() {
+        let vals_a = [0u64, 1, 5, 1024, 77];
+        let vals_b = [3u64, 3, u64::MAX, 0];
+        let mut ab = Hist::default();
+        let mut ba = Hist::default();
+        let (mut a, mut b) = (Hist::default(), Hist::default());
+        for v in vals_a {
+            a.record(v);
+        }
+        for v in vals_b {
+            b.record(v);
+        }
+        ab.merge(&a);
+        ab.merge(&b);
+        ba.merge(&b);
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count, 9);
+        assert_eq!(ab.buckets[0], 2); // one zero from each side
+        let mut direct = Hist::default();
+        for v in vals_a.iter().chain(vals_b.iter()) {
+            direct.record(*v);
+        }
+        assert_eq!(ab, direct);
+    }
+
+    #[test]
+    fn mean_handles_empty() {
+        let mut h = Hist::default();
+        assert_eq!(h.mean(), 0.0);
+        h.record(10);
+        h.record(20);
+        assert_eq!(h.mean(), 15.0);
+    }
+}

@@ -1,0 +1,431 @@
+//! Metrics-document serialization (hand-rolled JSON, no serde) and a
+//! minimal JSON well-formedness checker for tests and smoke scripts.
+
+use crate::aggregate::{Aggregate, SpanStats};
+use crate::hist::Hist;
+use std::fmt::Write as _;
+
+/// The structured metrics document written by `--metrics <path>`.
+///
+/// Schema (`"spmv-obs/1"`):
+///
+/// ```json
+/// {
+///   "schema": "spmv-obs/1",
+///   "command": "batch",
+///   "spans": [
+///     {"name": "batch.run", "count": 1, "wall_ns": 123, "children": [...]}
+///   ],
+///   "counters": {"engine.cache.computations": 4, ...},
+///   "gauges": {"engine.pool.workers": 4, ...},
+///   "histograms": {
+///     "memtrace.stream.refs": {"count": 8, "sum": 4096, "mean": 512.0,
+///                               "buckets": [{"lo": 256, "count": 8}]}
+///   },
+///   "rss_checkpoints": [{"label": "start", "vm_hwm_kb": 8192}]
+/// }
+/// ```
+///
+/// Histogram buckets are sparse: only non-empty buckets appear, each with
+/// its inclusive lower bound. `vm_hwm_kb` is `null` where `/proc` is
+/// unavailable.
+pub struct MetricsDoc<'a> {
+    /// The CLI subcommand the metrics were collected under.
+    pub command: &'a str,
+    /// The merged telemetry aggregate.
+    pub aggregate: &'a Aggregate,
+}
+
+impl MetricsDoc<'_> {
+    /// Renders the document as pretty-ish JSON (one span per line, stable
+    /// key order from the aggregate's BTreeMaps).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"spmv-obs/1\",");
+        let _ = writeln!(out, "  \"command\": \"{}\",", escape(self.command));
+        out.push_str("  \"spans\": [");
+        write_span_list(&mut out, &self.aggregate.roots, 2);
+        out.push_str("],\n");
+        out.push_str("  \"counters\": {");
+        write_u64_map(&mut out, &self.aggregate.counters);
+        out.push_str("},\n");
+        out.push_str("  \"gauges\": {");
+        write_u64_map(&mut out, &self.aggregate.gauges);
+        out.push_str("},\n");
+        out.push_str("  \"histograms\": {");
+        let mut first = true;
+        for (name, hist) in &self.aggregate.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\n    \"{}\": ", escape(name));
+            write_hist(&mut out, hist);
+        }
+        if !first {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n");
+        out.push_str("  \"rss_checkpoints\": [");
+        let mut first = true;
+        for cp in &self.aggregate.checkpoints {
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            match cp.vm_hwm_kb {
+                Some(kb) => {
+                    let _ = write!(
+                        out,
+                        "{{\"label\": \"{}\", \"vm_hwm_kb\": {kb}}}",
+                        escape(&cp.label)
+                    );
+                }
+                None => {
+                    let _ = write!(
+                        out,
+                        "{{\"label\": \"{}\", \"vm_hwm_kb\": null}}",
+                        escape(&cp.label)
+                    );
+                }
+            }
+        }
+        out.push_str("]\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn write_span_list(
+    out: &mut String,
+    spans: &std::collections::BTreeMap<String, SpanStats>,
+    indent: usize,
+) {
+    let mut first = true;
+    for (name, span) in spans {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('\n');
+        for _ in 0..indent + 1 {
+            out.push_str("  ");
+        }
+        let _ = write!(
+            out,
+            "{{\"name\": \"{}\", \"count\": {}, \"wall_ns\": {}, \"children\": [",
+            escape(name),
+            span.count,
+            span.wall_ns
+        );
+        if span.children.is_empty() {
+            out.push_str("]}");
+        } else {
+            write_span_list(out, &span.children, indent + 1);
+            out.push('\n');
+            for _ in 0..indent + 1 {
+                out.push_str("  ");
+            }
+            out.push_str("]}");
+        }
+    }
+    if !first {
+        out.push('\n');
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+    }
+}
+
+fn write_u64_map(out: &mut String, map: &std::collections::BTreeMap<String, u64>) {
+    let mut first = true;
+    for (k, v) in map {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\n    \"{}\": {v}", escape(k));
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+}
+
+fn write_hist(out: &mut String, h: &Hist) {
+    let _ = write!(
+        out,
+        "{{\"count\": {}, \"sum\": {}, \"mean\": {}, \"buckets\": [",
+        h.count,
+        h.sum,
+        fmt_f64(h.mean())
+    );
+    let mut first = true;
+    for (b, &n) in h.buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        let _ = write!(out, "{{\"lo\": {}, \"count\": {n}}}", Hist::bucket_lo(b));
+    }
+    out.push_str("]}");
+}
+
+/// Formats a float so it round-trips as JSON (always with a decimal point
+/// or exponent, never `NaN`/`inf` — callers only pass finite means).
+fn fmt_f64(v: f64) -> String {
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Checks that `text` is one well-formed JSON value (trailing whitespace
+/// allowed). Returns a byte offset + message on the first error.
+///
+/// This is a structural validator only — no value model, no number
+/// range checks — enough for tests to assert the metrics document and
+/// report lines parse.
+pub fn validate(text: &str) -> Result<(), String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_lit(b, pos, b"true"),
+        Some(b'f') => parse_lit(b, pos, b"false"),
+        Some(b'n') => parse_lit(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte {:?} at {}", *c as char, *pos)),
+        None => Err(format!("unexpected end of input at {pos}", pos = *pos)),
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {}", *pos));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        parse_value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {}", *pos));
+    }
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 2; // escape + escaped byte; \uXXXX hex digits are plain bytes
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut digits = 0;
+    while *pos < b.len()
+        && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        if b[*pos].is_ascii_digit() {
+            digits += 1;
+        }
+        *pos += 1;
+    }
+    if digits == 0 {
+        return Err(format!("malformed number at byte {start}"));
+    }
+    Ok(())
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String> {
+    if b.len() >= *pos + lit.len() && &b[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("malformed literal at byte {}", *pos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::Checkpoint;
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        assert!(validate("{}").is_ok());
+        assert!(validate("  [1, 2.5, -3e4, \"a\\\"b\", true, null] ").is_ok());
+        assert!(validate("{\"a\": {\"b\": [1]}}").is_ok());
+        assert!(validate("{,}").is_err());
+        assert!(validate("[1 2]").is_err());
+        assert!(validate("{\"a\": 1} x").is_err());
+        assert!(validate("\"unterminated").is_err());
+        assert!(validate("nul").is_err());
+    }
+
+    #[test]
+    fn metrics_doc_renders_valid_json_with_all_sections() {
+        let mut agg = Aggregate::default();
+        agg.counters.insert("engine.cache.hits".into(), 3);
+        agg.gauges.insert("engine.pool.workers".into(), 4);
+        let mut h = Hist::default();
+        h.record(0);
+        h.record(512);
+        agg.histograms.insert("memtrace.stream.refs".into(), h);
+        let child = SpanStats {
+            count: 2,
+            wall_ns: 50,
+            ..SpanStats::default()
+        };
+        let mut root = SpanStats {
+            count: 1,
+            wall_ns: 100,
+            ..SpanStats::default()
+        };
+        root.children.insert("cache.lookup".into(), child);
+        agg.roots.insert("batch.run".into(), root);
+        agg.checkpoints.push(Checkpoint {
+            label: "start".into(),
+            vm_hwm_kb: None,
+        });
+        agg.checkpoints.push(Checkpoint {
+            label: "end".into(),
+            vm_hwm_kb: Some(4096),
+        });
+
+        let doc = MetricsDoc {
+            command: "batch",
+            aggregate: &agg,
+        }
+        .to_json();
+        validate(&doc).unwrap_or_else(|e| panic!("invalid JSON: {e}\n{doc}"));
+        for needle in [
+            "\"schema\": \"spmv-obs/1\"",
+            "\"command\": \"batch\"",
+            "\"name\": \"batch.run\"",
+            "\"name\": \"cache.lookup\"",
+            "\"engine.cache.hits\": 3",
+            "\"engine.pool.workers\": 4",
+            "\"memtrace.stream.refs\"",
+            "{\"lo\": 512, \"count\": 1}",
+            "\"vm_hwm_kb\": null",
+            "\"vm_hwm_kb\": 4096",
+        ] {
+            assert!(doc.contains(needle), "missing {needle} in:\n{doc}");
+        }
+    }
+
+    #[test]
+    fn empty_aggregate_renders_valid_json() {
+        let agg = Aggregate::default();
+        let doc = MetricsDoc {
+            command: "analyze",
+            aggregate: &agg,
+        }
+        .to_json();
+        validate(&doc).unwrap_or_else(|e| panic!("invalid JSON: {e}\n{doc}"));
+        assert!(doc.contains("\"spans\": []"));
+        assert!(doc.contains("\"counters\": {}"));
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_controls() {
+        assert_eq!(escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+        assert!(validate(&format!("\"{}\"", escape("ctrl\u{1}char"))).is_ok());
+    }
+}

@@ -1,0 +1,70 @@
+//! Process memory statistics from `/proc/self/status`.
+//!
+//! Shared by the metrics document's RSS checkpoints and the bench
+//! binaries (which previously each carried their own parser that silently
+//! reported 0 when the field was missing — here absence is an explicit
+//! `None` so reports can say `null` instead of lying).
+
+/// Peak resident set size (`VmHWM`) in kB, or `None` where
+/// `/proc/self/status` or the field is unavailable (e.g. non-Linux).
+pub fn vm_hwm_kb() -> Option<u64> {
+    status_field_kb("VmHWM:")
+}
+
+/// Current resident set size (`VmRSS`) in kB, or `None` when unavailable.
+pub fn vm_rss_kb() -> Option<u64> {
+    status_field_kb("VmRSS:")
+}
+
+fn status_field_kb(field: &str) -> Option<u64> {
+    parse_status_field(&std::fs::read_to_string("/proc/self/status").ok()?, field)
+}
+
+/// Extracts a `kB`-valued field (e.g. `"VmHWM:"`) from the text of a
+/// `/proc/<pid>/status` file. Split out for testability.
+pub fn parse_status_field(status: &str, field: &str) -> Option<u64> {
+    status
+        .lines()
+        .find(|l| l.starts_with(field))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "Name:\tspmv\nVmPeak:\t  200000 kB\nVmHWM:\t   12345 kB\nVmRSS:\t    9876 kB\nThreads:\t4\n";
+
+    #[test]
+    fn parses_present_fields() {
+        assert_eq!(parse_status_field(SAMPLE, "VmHWM:"), Some(12345));
+        assert_eq!(parse_status_field(SAMPLE, "VmRSS:"), Some(9876));
+    }
+
+    #[test]
+    fn missing_field_is_none_not_zero() {
+        assert_eq!(parse_status_field(SAMPLE, "VmSwap:"), None);
+        assert_eq!(parse_status_field("", "VmHWM:"), None);
+    }
+
+    #[test]
+    fn malformed_value_is_none() {
+        assert_eq!(parse_status_field("VmHWM:\tgarbage kB\n", "VmHWM:"), None);
+        assert_eq!(parse_status_field("VmHWM:\n", "VmHWM:"), None);
+    }
+
+    #[test]
+    fn live_read_is_consistent_when_available() {
+        // On Linux both fields exist and a live process has nonzero
+        // peak RSS; elsewhere both are None. Either way: no panic, no 0.
+        match (vm_hwm_kb(), vm_rss_kb()) {
+            (Some(hwm), Some(rss)) => {
+                assert!(hwm > 0);
+                assert!(rss > 0);
+            }
+            (None, None) => {}
+            other => panic!("inconsistent availability: {other:?}"),
+        }
+    }
+}

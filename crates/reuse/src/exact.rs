@@ -91,6 +91,30 @@ impl ExactStack {
         self.time
     }
 
+    /// Reports this processor's accumulated statistics to the telemetry
+    /// counters (`reuse.exact.*`, `reuse.linetable.*`). No-op when
+    /// telemetry is disabled; the per-reference path never touches obs —
+    /// everything reported here is state the processor tracks anyway.
+    pub fn flush_obs(&self) {
+        if !obs::enabled() {
+            return;
+        }
+        let accesses = self.time as u64;
+        let cold = self.last.len() as u64;
+        obs::add("reuse.exact.accesses", accesses);
+        obs::add("reuse.exact.cold", cold);
+        obs::add("reuse.exact.warm_accesses", accesses - cold);
+        obs::observe("reuse.exact.distinct_lines", cold);
+        let probes = self.last.probe_stats();
+        obs::add("reuse.linetable.entries", probes.entries);
+        obs::add(
+            "reuse.linetable.displacement_total",
+            probes.total_displacement,
+        );
+        obs::gauge_max("reuse.linetable.displacement_max", probes.max_displacement);
+        obs::gauge_max("reuse.linetable.slots_max", probes.slots);
+    }
+
     /// Processes a whole trace, returning its reuse-distance histogram.
     pub fn histogram_of(lines: impl IntoIterator<Item = u64>) -> ReuseHistogram {
         let mut s = ExactStack::new();

@@ -192,6 +192,31 @@ impl LineTable {
         }
     }
 
+    /// Offline probe-quality statistics: walks the table once, measuring
+    /// each entry's displacement from its home slot. Costs O(slots) and is
+    /// only called when a telemetry snapshot is taken — the hot lookup
+    /// path is untouched.
+    pub fn probe_stats(&self) -> ProbeStats {
+        let mut total_displacement = 0u64;
+        let mut max_displacement = 0u64;
+        let slots = self.keys.len();
+        for (slot, &k) in self.keys.iter().enumerate() {
+            if k == EMPTY {
+                continue;
+            }
+            let home = self.slot_of(k);
+            let d = ((slot + slots - home) & self.mask) as u64;
+            total_displacement += d;
+            max_displacement = max_displacement.max(d);
+        }
+        ProbeStats {
+            entries: self.len as u64,
+            slots: slots as u64,
+            total_displacement,
+            max_displacement,
+        }
+    }
+
     fn grow(&mut self) {
         let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; 0]);
         let old_vals = std::mem::take(&mut self.vals);
@@ -211,6 +236,22 @@ impl LineTable {
             self.vals[slot] = v;
         }
     }
+}
+
+/// Snapshot of a [`LineTable`]'s occupancy and probe quality, reported
+/// through the telemetry counters (`reuse.linetable.*`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// Entries stored.
+    pub entries: u64,
+    /// Slot-array length (power of two).
+    pub slots: u64,
+    /// Sum over entries of (occupied slot − home slot) mod table size; 0
+    /// means every key sits in its home slot.
+    pub total_displacement: u64,
+    /// Longest single displacement — an upper bound on any lookup's probe
+    /// chain length.
+    pub max_displacement: u64,
 }
 
 #[cfg(test)]
@@ -265,6 +306,30 @@ mod tests {
             assert_eq!(t.get(k), Some(expect));
         }
         assert_eq!(t.get(5001), None);
+    }
+
+    #[test]
+    fn probe_stats_count_displacements() {
+        let mut t = LineTable::with_capacity(64);
+        assert_eq!(
+            t.probe_stats(),
+            ProbeStats {
+                entries: 0,
+                slots: t.probe_stats().slots,
+                total_displacement: 0,
+                max_displacement: 0,
+            }
+        );
+        for k in 0..40u64 {
+            t.insert(k, k as u32);
+        }
+        let stats = t.probe_stats();
+        assert_eq!(stats.entries, 40);
+        assert!(stats.slots.is_power_of_two());
+        // The max displacement is one of the summands of the total.
+        assert!(stats.max_displacement <= stats.total_displacement);
+        // With a 70 % load cap a probe chain can never wrap the table.
+        assert!(stats.max_displacement < stats.slots);
     }
 
     #[test]

@@ -284,6 +284,32 @@ impl MarkerStack {
         h
     }
 
+    /// Reports this stack's accumulated statistics to the telemetry
+    /// counters (`reuse.marker.*`, `reuse.linetable.*`). No-op when
+    /// telemetry is disabled; everything reported is state the stack
+    /// tracks anyway, so the per-reference path never touches obs.
+    pub fn flush_obs(&self) {
+        if !obs::enabled() {
+            return;
+        }
+        let cold = self.cold_total();
+        obs::add("reuse.marker.accesses", self.accesses);
+        obs::add("reuse.marker.cold", cold);
+        obs::add(
+            "reuse.marker.warm_accesses",
+            self.accesses.saturating_sub(cold),
+        );
+        obs::observe("reuse.marker.depth", self.len as u64);
+        let probes = self.index.probe_stats();
+        obs::add("reuse.linetable.entries", probes.entries);
+        obs::add(
+            "reuse.linetable.displacement_total",
+            probes.total_displacement,
+        );
+        obs::gauge_max("reuse.linetable.displacement_max", probes.max_displacement);
+        obs::gauge_max("reuse.linetable.slots_max", probes.slots);
+    }
+
     fn alloc(&mut self, line: u64) -> u32 {
         if let Some(slot) = self.free.pop() {
             let n = &mut self.nodes[slot as usize];

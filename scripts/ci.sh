@@ -37,6 +37,47 @@ echo "== bench smoke: streaming pipeline (BENCH_pr2.json) =="
 cargo run --release --offline -p spmv-bench --bin bench_pr2 -- \
     --count 4 --scale 64 --threads 8
 
+echo "== telemetry smoke: batch --metrics (spmv-obs) =="
+# The metrics sink must never change the report: run the same tiny batch
+# with and without --metrics (and with different worker counts) and
+# byte-compare the JSON-lines output, then check the metrics document is
+# valid JSON whose span tree covers the pipeline stages end to end.
+OBS_TMP=$(mktemp -d)
+trap 'rm -rf "$OBS_TMP"' EXIT
+printf 'corpus count=2 scale=64 seed=7\nmethods A,B\nsettings off,2,5\nthreads 2\nscale 64\n' \
+    > "$OBS_TMP/jobs.spec"
+cargo run --release --offline --bin spmv-locality -- \
+    batch "$OBS_TMP/jobs.spec" --workers 1 > "$OBS_TMP/report_plain.jsonl"
+cargo run --release --offline --bin spmv-locality -- \
+    batch "$OBS_TMP/jobs.spec" --workers 4 --metrics "$OBS_TMP/metrics.json" \
+    > "$OBS_TMP/report_metrics.jsonl"
+cmp "$OBS_TMP/report_plain.jsonl" "$OBS_TMP/report_metrics.jsonl" || {
+    echo "ci: batch report changed under --metrics / worker count" >&2
+    exit 1
+}
+python3 - "$OBS_TMP/metrics.json" <<'EOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "spmv-obs/1", doc["schema"]
+
+names = set()
+def walk(spans):
+    for s in spans:
+        names.add(s["name"])
+        walk(s["children"])
+walk(doc["spans"])
+for span in ("batch.run", "cache.lookup", "profile.build",
+             "profile.domain", "reuse_stack.extract", "trace.stream"):
+    assert span in names, f"missing span {span}; saw {sorted(names)}"
+assert doc["counters"]["engine.cache.computations"] > 0, doc["counters"]
+assert doc["counters"]["memtrace.cursor.refs"] > 0, doc["counters"]
+assert doc["histograms"], "no histograms recorded"
+assert doc["rss_checkpoints"], "no RSS checkpoints recorded"
+print(f"telemetry smoke ok: {len(names)} span names, "
+      f"{len(doc['counters'])} counters, {len(doc['histograms'])} histograms")
+EOF
+
 echo "== format smoke: CSR vs SELL-C-sigma (exp_sell) =="
 # Tiny corpus through both storage formats: exercises the SELL trace
 # derivation, the partitioned accounting on padded streams, and the

@@ -32,6 +32,13 @@
 //! `--format sell:C,S` replaces the default (8, 32) view (the C=1, σ=1
 //! cross-format pass always runs). The simulator is CSR-only, so
 //! `simulate` accepts `--reorder` but not a SELL `--format`.
+//!
+//! `--metrics <path>` (every subcommand) enables the telemetry subsystem
+//! and writes its structured JSON metrics document — span tree with wall
+//! times, counters, histograms, peak-RSS checkpoints — to `<path>` when
+//! the command finishes. Telemetry is a side channel: the command's
+//! stdout (including batch/validate JSON lines) is byte-identical with
+//! and without it.
 
 use a64fx_spmv::prelude::*;
 
@@ -43,19 +50,47 @@ struct Cli {
     l2_ways: usize,
     format: FormatSpec,
     reorder: ReorderSpec,
+    metrics: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: spmv-locality <analyze|tune|simulate> <matrix.mtx> \
          [--threads N] [--scale N] [--l2-ways W] \
-         [--format csr|sell:C,S] [--reorder none|rcm]\n\
+         [--format csr|sell:C,S] [--reorder none|rcm] [--metrics PATH]\n\
          \x20      spmv-locality batch <spec-file> [--workers N] \
-         [--format F] [--reorder R]\n\
+         [--format F] [--reorder R] [--metrics PATH]\n\
          \x20      spmv-locality validate [--matrices N] [--seed S] \
-         [--workers N] [--smoke] [--format F] [--reorder R]"
+         [--workers N] [--smoke] [--format F] [--reorder R] [--metrics PATH]"
     );
     std::process::exit(2);
+}
+
+/// Turns telemetry on (clean slate + a `start` RSS checkpoint) when a
+/// `--metrics` path was given. Recording costs nothing otherwise: the
+/// global sink stays disabled.
+fn metrics_setup(path: &Option<String>) {
+    if path.is_some() {
+        obs::reset();
+        obs::enable();
+        obs::rss_checkpoint("start");
+    }
+}
+
+/// Writes the metrics document for a finished command. The document is a
+/// side channel — it never touches the command's stdout.
+fn metrics_write(path: &Option<String>, command: &str) {
+    let Some(path) = path else { return };
+    obs::rss_checkpoint("end");
+    let aggregate = obs::snapshot();
+    let doc = obs::MetricsDoc {
+        command,
+        aggregate: &aggregate,
+    };
+    if let Err(e) = std::fs::write(path, doc.to_json()) {
+        eprintln!("spmv-locality: failed to write metrics to {path}: {e}");
+        std::process::exit(1);
+    }
 }
 
 /// Parses the value of a `--format` flag, exiting with the parse error.
@@ -79,6 +114,7 @@ fn parse_reorder(value: Option<String>) -> ReorderSpec {
 /// stderr; exit 1 if any invariant was violated.
 fn run_validate_command(args: impl Iterator<Item = String>) -> ! {
     let mut config = valid::ValidationConfig::default();
+    let mut metrics = None;
     let mut args = args.peekable();
     while let Some(flag) = args.next() {
         let mut value = |what: &str| -> usize {
@@ -99,10 +135,13 @@ fn run_validate_command(args: impl Iterator<Item = String>) -> ! {
                 });
             }
             "--reorder" => config.reorder = parse_reorder(args.next()),
+            "--metrics" => metrics = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
+    metrics_setup(&metrics);
     let report = valid::run_validation(&config);
+    metrics_write(&metrics, "validate");
     print!("{}", report.to_json_lines());
     let s = &report.stats;
     eprintln!(
@@ -130,6 +169,7 @@ fn run_batch_command(spec_path: &str, args: impl Iterator<Item = String>) -> ! {
         eprintln!("{spec_path}: {e}");
         std::process::exit(1);
     });
+    let mut metrics = None;
     let mut args = args.peekable();
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -141,11 +181,14 @@ fn run_batch_command(spec_path: &str, args: impl Iterator<Item = String>) -> ! {
             }
             "--format" => spec.format = parse_format(args.next()),
             "--reorder" => spec.reorder = parse_reorder(args.next()),
+            "--metrics" => metrics = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
+    metrics_setup(&metrics);
     match run_batch(&spec) {
         Ok(result) => {
+            metrics_write(&metrics, "batch");
             print!("{}", result.to_json_lines());
             eprintln!(
                 "# {} jobs over {} matrices: {} profiles computed, {} cache hits",
@@ -181,6 +224,7 @@ fn parse_cli() -> Cli {
         l2_ways: 5,
         format: FormatSpec::Csr,
         reorder: ReorderSpec::None,
+        metrics: None,
     };
     while let Some(flag) = args.next() {
         let mut value = |what: &str| -> usize {
@@ -195,6 +239,7 @@ fn parse_cli() -> Cli {
             "--l2-ways" => cli.l2_ways = value("--l2-ways"),
             "--format" => cli.format = parse_format(args.next()),
             "--reorder" => cli.reorder = parse_reorder(args.next()),
+            "--metrics" => cli.metrics = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
@@ -216,6 +261,7 @@ fn machine(scale: usize, threads: usize) -> MachineConfig {
 
 fn main() {
     let cli = parse_cli();
+    metrics_setup(&cli.metrics);
     let matrix = sparsemat::mm::read_csr_file(&cli.path)
         .unwrap_or_else(|e| {
             eprintln!("failed to read {}: {e}", cli.path);
@@ -325,4 +371,5 @@ fn main() {
         }
         _ => usage(),
     }
+    metrics_write(&cli.metrics, &cli.command);
 }

@@ -21,7 +21,10 @@
 //! * [`valid`] — differential validation harness cross-checking the
 //!   prediction pipelines against each other and against the simulator
 //!   over a stratified working-set-class corpus
-//!   (`spmv-locality validate`).
+//!   (`spmv-locality validate`);
+//! * [`obs`] — offline telemetry: hierarchical spans, counters,
+//!   log2 histograms and peak-RSS checkpoints behind a no-op global
+//!   sink, surfaced by `--metrics <path>` on every subcommand.
 //!
 //! ## Quickstart
 //!
@@ -54,6 +57,7 @@ pub use corpus;
 pub use locality_core;
 pub use locality_engine;
 pub use memtrace;
+pub use obs;
 pub use reuse;
 pub use sparsemat;
 pub use valid;

@@ -106,3 +106,71 @@ fn batch_happy_path_emits_json_lines() {
     assert!(job_lines.iter().all(|l| l.contains("\"l2_misses\":")));
     assert!(stdout.lines().any(|l| l.contains("\"summary\":")));
 }
+
+#[test]
+fn batch_metrics_flag_writes_json_without_changing_report() {
+    let dir = scratch("metrics");
+    let spec = dir.join("jobs.spec");
+    std::fs::write(
+        &spec,
+        "corpus count=2 scale=64 seed=7\nmethods A,B\nsettings off,5\nthreads 2\nscale 64\nworkers 2\n",
+    )
+    .unwrap();
+
+    let plain = Command::new(BIN)
+        .args(["batch", spec.to_str().unwrap()])
+        .output()
+        .expect("spawn spmv-locality");
+    assert_eq!(
+        plain.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&plain.stderr)
+    );
+
+    let metrics_path = dir.join("metrics.json");
+    let with_metrics = Command::new(BIN)
+        .args([
+            "batch",
+            spec.to_str().unwrap(),
+            "--metrics",
+            metrics_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn spmv-locality");
+    assert_eq!(
+        with_metrics.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&with_metrics.stderr)
+    );
+
+    // Telemetry is a pure side channel: the report bytes must not move.
+    assert_eq!(
+        plain.stdout, with_metrics.stdout,
+        "--metrics changed the batch report"
+    );
+
+    let metrics = std::fs::read_to_string(&metrics_path).expect("metrics file written");
+    a64fx_spmv::obs::json::validate(&metrics).expect("metrics output is well-formed JSON");
+    assert!(metrics.contains("\"schema\": \"spmv-obs/1\""), "{metrics}");
+    assert!(metrics.contains("\"command\": \"batch\""), "{metrics}");
+    // The span tree must cover the pipeline stages end to end.
+    for span in [
+        "batch.run",
+        "cache.lookup",
+        "profile.build",
+        "profile.domain",
+        "reuse_stack.extract",
+        "trace.stream",
+    ] {
+        assert!(
+            metrics.contains(&format!("\"name\": \"{span}\"")),
+            "missing span {span}: {metrics}"
+        );
+    }
+    for counter in ["engine.cache.computations", "memtrace.cursor.refs"] {
+        assert!(metrics.contains(counter), "missing counter {counter}");
+    }
+    assert!(metrics.contains("\"rss_checkpoints\""), "{metrics}");
+}
