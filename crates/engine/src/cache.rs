@@ -16,9 +16,23 @@
 //! exactly one worker computes, the rest wait for the slot rather than
 //! duplicating the work, so the computation count equals the number of
 //! distinct keys regardless of scheduling.
+//!
+//! # Bounded modes
+//!
+//! The default cache is unbounded — the engine relies on that for its
+//! deterministic hit/computation summary. Long-lived holders (the
+//! `spmv-locality serve` daemon, whose cache is shared across every
+//! client request) cap it with [`ProfileCache::bounded`], which evicts by
+//! **LRU**: a key is touched on every lookup, and the coldest key goes
+//! first. The pre-service **FIFO** behavior (evict oldest-inserted, never
+//! touch) remains available through [`EvictionPolicy::Fifo`] and
+//! [`ProfileCache::bounded_with`]. An optional [`Admission`] policy filters what
+//! a bounded cache retains: [`Admission::SecondTouch`] computes but does
+//! not cache a key on first sight, so one-off matrices cannot evict the
+//! repeat customers that make a shared cache worthwhile.
 
 use locality_core::{LocalityProfile, Method};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -46,29 +60,107 @@ pub struct ProfileKey {
     pub caps_fingerprint: u64,
 }
 
+/// How a bounded cache picks its victim once full.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Evict the least-recently *used* key (every lookup is a touch).
+    /// The right policy for a cross-request cache with repeat customers.
+    #[default]
+    Lru,
+    /// Evict the oldest-*inserted* key regardless of use — the original
+    /// bounded-cache behavior, kept for batch runs that want a strict
+    /// working-set cap with insertion-order accounting.
+    Fifo,
+}
+
+/// Whether a bounded cache retains a key it has never seen before.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Admission {
+    /// Every computed profile is cached.
+    #[default]
+    Always,
+    /// A first-seen key is computed and returned but *not* cached; the
+    /// key is remembered in a doorkeeper set and admitted on its second
+    /// request. Scan-resistant: a stream of one-off matrices cannot
+    /// flush the repeatedly-requested profiles a shared cache exists for.
+    SecondTouch,
+}
+
+/// The outcome of a cache lookup that may be cancelled mid-computation.
+#[derive(Clone, Debug)]
+pub struct CacheLookup {
+    /// The (possibly shared) profile.
+    pub profile: Arc<LocalityProfile>,
+    /// `true` if this lookup was served from an existing slot, `false`
+    /// if the calling thread computed the profile itself.
+    pub hit: bool,
+}
+
 /// A thread-safe profile memo with hit/computation/eviction counters.
 ///
 /// The default cache is unbounded — the engine relies on that for its
 /// deterministic hit/computation summary (an eviction under memory
 /// pressure would make `computations` scheduling-dependent). For
-/// corpus-scale runs whose working set must be capped, [`Self::bounded`]
-/// evicts the oldest-inserted entry once `max_entries` is exceeded and
-/// counts each eviction.
+/// long-lived or corpus-scale holders, [`Self::bounded`] caps entries
+/// with LRU eviction; [`Self::bounded_with`] selects the policy.
 #[derive(Debug, Default)]
 pub struct ProfileCache {
     slots: Mutex<CacheMap>,
     max_entries: Option<usize>,
+    policy: EvictionPolicy,
+    admission: Admission,
     hits: AtomicU64,
     computations: AtomicU64,
     evictions: AtomicU64,
+    admission_skips: AtomicU64,
+    cancellations: AtomicU64,
 }
 
-/// Slot map plus FIFO insertion order (only maintained for bounded
-/// caches; `order` stays empty otherwise).
+type Slot = Arc<OnceLock<Option<Arc<LocalityProfile>>>>;
+
+/// Slot map plus the eviction order (only maintained for bounded caches;
+/// `order` stays empty otherwise). Under FIFO `order` is insertion order;
+/// under LRU it is recency order (front = coldest). `doorkeeper` is the
+/// [`Admission::SecondTouch`] memory of first-seen keys.
 #[derive(Debug, Default)]
 struct CacheMap {
-    map: HashMap<ProfileKey, Arc<OnceLock<Arc<LocalityProfile>>>>,
-    order: std::collections::VecDeque<ProfileKey>,
+    map: HashMap<ProfileKey, Slot>,
+    order: VecDeque<ProfileKey>,
+    doorkeeper: HashSet<ProfileKey>,
+}
+
+impl CacheMap {
+    /// Moves `key` to the warm end of the recency order (LRU only; the
+    /// order deque is at most `max_entries` long, so the linear scan is
+    /// bounded and trivial next to a profile computation).
+    fn touch(&mut self, key: &ProfileKey) {
+        if let Some(pos) = self.order.iter().position(|k| k == key) {
+            self.order.remove(pos);
+            self.order.push_back(*key);
+        }
+    }
+
+    /// Drops `key`'s slot (and order entry) if the resident slot is still
+    /// `slot` — a cancelled computation must not tear out a slot that
+    /// eviction already replaced with a newer incarnation.
+    fn remove_if_same(&mut self, key: &ProfileKey, slot: &Slot) {
+        if let Some(resident) = self.map.get(key) {
+            if Arc::ptr_eq(resident, slot) {
+                self.map.remove(key);
+                if let Some(pos) = self.order.iter().position(|k| k == key) {
+                    self.order.remove(pos);
+                }
+            }
+        }
+    }
+}
+
+/// What the locked lookup phase decided to do with a key.
+enum Placement {
+    /// Wait on (or compute into) this shared slot.
+    Slot(Slot),
+    /// Admission declined to cache: compute privately, return uncached.
+    Bypass,
 }
 
 impl ProfileCache {
@@ -78,18 +170,36 @@ impl ProfileCache {
     }
 
     /// An empty cache holding at most `max_entries` profiles, evicting
-    /// the oldest-inserted entry beyond that. An evicted key that is
+    /// the least-recently-used entry beyond that. An evicted key that is
     /// requested again recomputes (and recounts as a computation).
     ///
     /// # Panics
     ///
     /// Panics if `max_entries` is zero.
     pub fn bounded(max_entries: usize) -> Self {
+        Self::bounded_with(max_entries, EvictionPolicy::Lru)
+    }
+
+    /// An empty bounded cache with an explicit eviction policy
+    /// ([`EvictionPolicy::Fifo`] recovers the pre-LRU behavior).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_entries` is zero.
+    pub fn bounded_with(max_entries: usize, policy: EvictionPolicy) -> Self {
         assert!(max_entries > 0, "cache capacity must be positive");
         ProfileCache {
             max_entries: Some(max_entries),
+            policy,
             ..Self::default()
         }
+    }
+
+    /// Sets the admission policy (builder-style; meaningful only for
+    /// bounded caches — an unbounded cache always admits).
+    pub fn with_admission(mut self, admission: Admission) -> Self {
+        self.admission = admission;
+        self
     }
 
     /// Returns the profile for `key`, computing it with `compute` exactly
@@ -99,36 +209,130 @@ impl ProfileCache {
         key: ProfileKey,
         compute: impl FnOnce() -> LocalityProfile,
     ) -> Arc<LocalityProfile> {
+        self.get_or_try_compute(key, || Some(compute()))
+            .expect("infallible compute cannot be cancelled")
+            .profile
+    }
+
+    /// Cancellable [`get_or_compute`](Self::get_or_compute): `compute`
+    /// may give up (cooperative cancellation) by returning `None`, which
+    /// releases the slot so a later request for the same key retries
+    /// cleanly. Returns `None` only when *this* call's computation was
+    /// the one cancelled; a waiter whose computer was cancelled retries
+    /// the lookup (and may become the computer itself).
+    pub fn get_or_try_compute(
+        &self,
+        key: ProfileKey,
+        compute: impl FnOnce() -> Option<LocalityProfile>,
+    ) -> Option<CacheLookup> {
         let _span = obs::span("cache.lookup");
-        let slot = {
-            let mut slots = self.slots.lock().expect("profile cache poisoned");
-            match slots.map.get(&key) {
-                Some(slot) => Arc::clone(slot),
-                None => {
-                    let slot: Arc<OnceLock<Arc<LocalityProfile>>> = Arc::default();
-                    slots.map.insert(key, Arc::clone(&slot));
-                    if let Some(max) = self.max_entries {
-                        slots.order.push_back(key);
-                        while slots.map.len() > max {
-                            let oldest = slots.order.pop_front().expect("order tracks map");
-                            slots.map.remove(&oldest);
-                            self.evictions.fetch_add(1, Ordering::Relaxed);
+        let mut compute = Some(compute);
+        loop {
+            let placement = {
+                let mut slots = self.slots.lock().expect("profile cache poisoned");
+                match slots.map.get(&key).map(Arc::clone) {
+                    Some(slot) => {
+                        if self.max_entries.is_some() && self.policy == EvictionPolicy::Lru {
+                            slots.touch(&key);
                         }
+                        Placement::Slot(slot)
                     }
-                    slot
+                    None if !self.admits(&mut slots, &key) => {
+                        self.admission_skips.fetch_add(1, Ordering::Relaxed);
+                        Placement::Bypass
+                    }
+                    None => {
+                        let slot: Slot = Arc::default();
+                        slots.map.insert(key, Arc::clone(&slot));
+                        if let Some(max) = self.max_entries {
+                            slots.order.push_back(key);
+                            while slots.map.len() > max {
+                                let coldest = slots.order.pop_front().expect("order tracks map");
+                                slots.map.remove(&coldest);
+                                self.evictions.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Placement::Slot(slot)
+                    }
+                }
+            };
+            let slot = match placement {
+                Placement::Slot(slot) => slot,
+                Placement::Bypass => {
+                    let f = compute.take().expect("bypass precedes any computation");
+                    return match f() {
+                        Some(profile) => {
+                            self.computations.fetch_add(1, Ordering::Relaxed);
+                            Some(CacheLookup {
+                                profile: Arc::new(profile),
+                                hit: false,
+                            })
+                        }
+                        None => {
+                            self.cancellations.fetch_add(1, Ordering::Relaxed);
+                            None
+                        }
+                    };
+                }
+            };
+            let mut computed = false;
+            let value = slot.get_or_init(|| {
+                computed = true;
+                let f = compute.take().expect("a thread computes at most once");
+                match f() {
+                    Some(profile) => {
+                        self.computations.fetch_add(1, Ordering::Relaxed);
+                        Some(Arc::new(profile))
+                    }
+                    None => None,
+                }
+            });
+            match (computed, value) {
+                (_, Some(profile)) => {
+                    if !computed {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Some(CacheLookup {
+                        profile: Arc::clone(profile),
+                        hit: !computed,
+                    });
+                }
+                (true, None) => {
+                    // Our own computation was cancelled: release the slot
+                    // so the key stays computable, and report cancelled.
+                    let mut slots = self.slots.lock().expect("profile cache poisoned");
+                    slots.remove_if_same(&key, &slot);
+                    self.cancellations.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
+                (false, None) => {
+                    // We waited on a computation that was cancelled. Make
+                    // sure the dead slot is gone, then retry — our own
+                    // `compute` is still unused.
+                    let mut slots = self.slots.lock().expect("profile cache poisoned");
+                    slots.remove_if_same(&key, &slot);
                 }
             }
-        };
-        let mut computed = false;
-        let profile = slot.get_or_init(|| {
-            computed = true;
-            self.computations.fetch_add(1, Ordering::Relaxed);
-            Arc::new(compute())
-        });
-        if !computed {
-            self.hits.fetch_add(1, Ordering::Relaxed);
         }
-        Arc::clone(profile)
+    }
+
+    /// Whether a new `key` may occupy a slot. Called with the map locked
+    /// and `key` absent from it.
+    fn admits(&self, slots: &mut CacheMap, key: &ProfileKey) -> bool {
+        if self.max_entries.is_none() || self.admission == Admission::Always {
+            return true;
+        }
+        if slots.doorkeeper.remove(key) {
+            return true;
+        }
+        // Remember the first touch; cap the doorkeeper so a one-off-only
+        // workload cannot grow it without bound.
+        let cap = self.max_entries.unwrap_or(usize::MAX).saturating_mul(8);
+        if slots.doorkeeper.len() >= cap {
+            slots.doorkeeper.clear();
+        }
+        slots.doorkeeper.insert(*key);
+        false
     }
 
     /// Requests served from an already-(being-)computed slot.
@@ -148,6 +352,34 @@ impl ProfileCache {
         self.evictions.load(Ordering::Relaxed)
     }
 
+    /// Computations that ran uncached because [`Admission::SecondTouch`]
+    /// declined a first-seen key.
+    pub fn admission_skips(&self) -> u64 {
+        self.admission_skips.load(Ordering::Relaxed)
+    }
+
+    /// Lookups abandoned by cooperative cancellation
+    /// ([`get_or_try_compute`](Self::get_or_try_compute) returning `None`).
+    pub fn cancellations(&self) -> u64 {
+        self.cancellations.load(Ordering::Relaxed)
+    }
+
+    /// Completed lookups (hits + computations; cancellations excluded).
+    pub fn lookups(&self) -> u64 {
+        self.hits() + self.computations()
+    }
+
+    /// Hit rate over completed lookups, in percent (0 when idle). This is
+    /// the serve-path SLO number: a shared cross-request cache earns its
+    /// memory by keeping this high.
+    pub fn hit_rate_pct(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            return 0.0;
+        }
+        100.0 * self.hits() as f64 / lookups as f64
+    }
+
     /// Entries currently resident.
     pub fn len(&self) -> usize {
         self.slots.lock().expect("profile cache poisoned").map.len()
@@ -160,7 +392,11 @@ impl ProfileCache {
 
     /// Reports the cache's counters and size through the telemetry
     /// counters/gauges (`engine.cache.*`). The cache is the single source
-    /// of truth — callers don't keep a parallel tally.
+    /// of truth — callers don't keep a parallel tally. Call once per
+    /// cache lifetime (the counters are totals, so repeated flushes of a
+    /// long-lived cache would double-count; the serve daemon reports its
+    /// shared cache through the `STATUS` document instead and flushes
+    /// once at shutdown).
     pub fn flush_obs(&self) {
         if !obs::enabled() {
             return;
@@ -168,7 +404,10 @@ impl ProfileCache {
         obs::add("engine.cache.hits", self.hits());
         obs::add("engine.cache.computations", self.computations());
         obs::add("engine.cache.evictions", self.evictions());
+        obs::add("engine.cache.admission_skips", self.admission_skips());
+        obs::add("engine.cache.cancellations", self.cancellations());
         obs::gauge_max("engine.cache.size", self.len() as u64);
+        obs::gauge_max("engine.cache.hit_rate_pct", self.hit_rate_pct() as u64);
     }
 }
 
@@ -208,6 +447,8 @@ mod tests {
         cache.get_or_compute(key(2, Method::A), profile);
         assert_eq!(cache.computations(), 3);
         assert_eq!(cache.hits(), 4);
+        assert_eq!(cache.lookups(), 7);
+        assert!((cache.hit_rate_pct() - 400.0 / 7.0).abs() < 1e-9);
     }
 
     #[test]
@@ -225,8 +466,8 @@ mod tests {
     }
 
     #[test]
-    fn bounded_cache_evicts_oldest_and_counts() {
-        let cache = ProfileCache::bounded(2);
+    fn bounded_fifo_cache_evicts_oldest_and_counts() {
+        let cache = ProfileCache::bounded_with(2, EvictionPolicy::Fifo);
         cache.get_or_compute(key(1, Method::A), profile);
         cache.get_or_compute(key(2, Method::A), profile);
         cache.get_or_compute(key(3, Method::A), profile); // evicts key 1
@@ -242,6 +483,48 @@ mod tests {
     }
 
     #[test]
+    fn bounded_lru_eviction_spares_touched_keys() {
+        // FIFO would evict key 1 here; LRU must evict key 2, because
+        // key 1 was touched after key 2's insertion.
+        let cache = ProfileCache::bounded(2);
+        cache.get_or_compute(key(1, Method::A), profile);
+        cache.get_or_compute(key(2, Method::A), profile);
+        cache.get_or_compute(key(1, Method::A), profile); // touch 1
+        cache.get_or_compute(key(3, Method::A), profile); // evicts 2
+        assert_eq!(cache.evictions(), 1);
+        // 1 and 3 are resident: both hit without recomputation.
+        cache.get_or_compute(key(1, Method::A), profile);
+        cache.get_or_compute(key(3, Method::A), profile);
+        assert_eq!(cache.computations(), 3, "keys 1/2/3 computed once each");
+        // 2 was the victim: asking again recomputes.
+        cache.get_or_compute(key(2, Method::A), profile);
+        assert_eq!(cache.computations(), 4);
+    }
+
+    #[test]
+    fn second_touch_admission_filters_one_off_keys() {
+        let cache = ProfileCache::bounded_with(4, EvictionPolicy::Lru)
+            .with_admission(Admission::SecondTouch);
+        // First sight: computed but not cached.
+        cache.get_or_compute(key(1, Method::A), profile);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.admission_skips(), 1);
+        assert_eq!(cache.computations(), 1);
+        // Second sight: admitted (recomputes once, then hits).
+        cache.get_or_compute(key(1, Method::A), profile);
+        assert_eq!(cache.len(), 1);
+        cache.get_or_compute(key(1, Method::A), profile);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.computations(), 2);
+        // A stream of one-offs leaves the resident set untouched.
+        for fp in 100..120 {
+            cache.get_or_compute(key(fp, Method::B), profile);
+        }
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
     fn unbounded_cache_never_evicts() {
         let cache = ProfileCache::new();
         for fp in 0..50 {
@@ -249,6 +532,28 @@ mod tests {
         }
         assert_eq!(cache.len(), 50);
         assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn cancelled_computation_releases_the_slot() {
+        let cache = ProfileCache::new();
+        // A compute that gives up must not poison the key...
+        assert!(cache
+            .get_or_try_compute(key(9, Method::A), || None)
+            .is_none());
+        assert_eq!(cache.cancellations(), 1);
+        assert_eq!(cache.len(), 0);
+        // ...a later request computes normally.
+        let lookup = cache
+            .get_or_try_compute(key(9, Method::A), || Some(profile()))
+            .expect("second attempt succeeds");
+        assert!(!lookup.hit);
+        assert_eq!(cache.computations(), 1);
+        // And now it hits.
+        let lookup = cache
+            .get_or_try_compute(key(9, Method::A), || Some(profile()))
+            .expect("hit");
+        assert!(lookup.hit);
     }
 
     #[test]
@@ -265,5 +570,49 @@ mod tests {
         });
         assert_eq!(cache.computations(), 4);
         assert_eq!(cache.hits(), 8 * 4 - 4);
+    }
+
+    #[test]
+    fn waiters_on_a_cancelled_computer_retry_and_succeed() {
+        use std::sync::atomic::{AtomicBool, AtomicU64};
+        let cache = ProfileCache::new();
+        let successes = AtomicU64::new(0);
+        // Thread 0 is guaranteed to be the computer: the other threads
+        // only start their lookup once thread 0 is inside its compute
+        // closure (which then gives up), so they block as waiters, see
+        // the cancelled slot, and retry.
+        let computing = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let cancelled = scope.spawn(|| {
+                cache
+                    .get_or_try_compute(key(5, Method::B), || {
+                        computing.store(true, Ordering::Release);
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                        None
+                    })
+                    .is_none()
+            });
+            for _ in 0..5 {
+                scope.spawn(|| {
+                    while !computing.load(Ordering::Acquire) {
+                        std::hint::spin_loop();
+                    }
+                    if cache
+                        .get_or_try_compute(key(5, Method::B), || Some(profile()))
+                        .is_some()
+                    {
+                        successes.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            assert!(cancelled.join().expect("no panic"), "computer reports None");
+        });
+        // Exactly the cancelled thread fails; everyone else gets a profile.
+        assert_eq!(successes.load(Ordering::Relaxed), 5);
+        assert_eq!(cache.cancellations(), 1);
+        let lookup = cache
+            .get_or_try_compute(key(5, Method::B), || Some(profile()))
+            .expect("key remains computable");
+        assert!(lookup.hit, "profile is resident after the retries");
     }
 }

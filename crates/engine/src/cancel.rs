@@ -1,0 +1,141 @@
+//! Cooperative cancellation for long-running batch work.
+//!
+//! The engine has no preemption: a profile computation runs until it
+//! finishes. What a service boundary needs instead is *cooperative*
+//! cancellation — a cheap token the job runner polls at its natural
+//! checkpoints (before each job, before each per-domain trace analysis)
+//! so an abandoned or over-deadline request stops burning cores within
+//! one domain's worth of work rather than one batch's worth.
+//!
+//! A [`CancelToken`] trips for one of two reasons, and the reason is
+//! preserved so callers can answer with the right typed error:
+//!
+//! * an explicit [`cancel`](CancelToken::cancel) (service shutdown, client
+//!   disconnect) — [`Cancelled::Shutdown`];
+//! * a wall-clock deadline fixed at token creation —
+//!   [`Cancelled::DeadlineExceeded`]. Deadlines are absolute, so queue
+//!   wait counts against the budget: a request that sat in an overloaded
+//!   queue past its deadline is cancelled at its first checkpoint without
+//!   computing anything.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a batch run stopped early.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cancelled {
+    /// [`CancelToken::cancel`] was called (shutdown, client gone).
+    Shutdown,
+    /// The token's deadline passed before the work finished.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Cancelled::Shutdown => write!(f, "cancelled"),
+            Cancelled::DeadlineExceeded => write!(f, "deadline exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+#[derive(Debug, Default)]
+struct Inner {
+    cancelled: AtomicBool,
+    /// Absolute cutoff; `None` = no deadline.
+    deadline: Option<Instant>,
+}
+
+/// A cloneable, thread-safe cancellation flag with an optional absolute
+/// deadline. Cloning shares the flag: cancelling any clone cancels all.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A token that never trips on its own (explicit [`cancel`] only).
+    ///
+    /// [`cancel`]: CancelToken::cancel
+    pub fn never() -> Self {
+        Self::default()
+    }
+
+    /// A token whose deadline is `budget` from now.
+    pub fn with_deadline(budget: Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(Instant::now() + budget),
+            }),
+        }
+    }
+
+    /// A token whose deadline is `ms` milliseconds from now.
+    pub fn with_deadline_ms(ms: u64) -> Self {
+        Self::with_deadline(Duration::from_millis(ms))
+    }
+
+    /// Trips the token; every clone observes the cancellation.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Returns why the token has tripped, or `None` if work may continue.
+    /// Explicit cancellation wins over an expired deadline when both hold.
+    pub fn cancelled(&self) -> Option<Cancelled> {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return Some(Cancelled::Shutdown);
+        }
+        match self.inner.deadline {
+            Some(deadline) if Instant::now() >= deadline => Some(Cancelled::DeadlineExceeded),
+            _ => None,
+        }
+    }
+
+    /// `true` once the token has tripped (either reason).
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_token_stays_live_until_cancelled() {
+        let t = CancelToken::never();
+        assert_eq!(t.cancelled(), None);
+        let clone = t.clone();
+        clone.cancel();
+        assert_eq!(t.cancelled(), Some(Cancelled::Shutdown));
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_trips_after_budget() {
+        let t = CancelToken::with_deadline(Duration::from_millis(5));
+        // May or may not have tripped yet; after sleeping past the budget
+        // it must have.
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(t.cancelled(), Some(Cancelled::DeadlineExceeded));
+    }
+
+    #[test]
+    fn explicit_cancel_wins_over_deadline() {
+        let t = CancelToken::with_deadline(Duration::from_millis(1));
+        t.cancel();
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(t.cancelled(), Some(Cancelled::Shutdown));
+    }
+
+    #[test]
+    fn generous_deadline_does_not_trip() {
+        let t = CancelToken::with_deadline_ms(60_000);
+        assert_eq!(t.cancelled(), None);
+    }
+}

@@ -46,6 +46,12 @@ pub struct BatchSpec {
     pub format: FormatSpec,
     /// Row reordering applied before format conversion.
     pub reorder: ReorderSpec,
+    /// Wall-clock budget for the whole batch, in milliseconds. `None`
+    /// (default) runs to completion; with a deadline the run is
+    /// cooperatively cancelled at its next checkpoint once the budget
+    /// expires and reports a typed deadline error instead of a partial
+    /// result. The serve daemon reuses this machinery per request.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Default for BatchSpec {
@@ -59,6 +65,7 @@ impl Default for BatchSpec {
             workers: 0,
             format: FormatSpec::Csr,
             reorder: ReorderSpec::None,
+            deadline_ms: None,
         }
     }
 }
@@ -127,6 +134,7 @@ impl BatchSpec {
     /// workers 0                            # engine threads (0 = all cores)
     /// format sell:32,128                   # csr (default) or sell:C,sigma
     /// reorder rcm                          # none (default) or rcm
+    /// deadline_ms 5000                     # whole-batch budget (default: none)
     /// ```
     ///
     /// Directives may appear in any order; matrix sources accumulate,
@@ -212,7 +220,7 @@ impl BatchSpec {
                         .ok_or_else(|| err(line_no, "reorder needs none or rcm"))?;
                     spec.reorder = ReorderSpec::parse(arg).map_err(|e| err(line_no, e))?;
                 }
-                "threads" | "scale" | "workers" => {
+                "threads" | "scale" | "workers" | "deadline_ms" => {
                     let arg = words
                         .next()
                         .and_then(|v| v.parse::<u64>().ok())
@@ -230,6 +238,12 @@ impl BatchSpec {
                             }
                             spec.scale = arg as usize;
                         }
+                        "deadline_ms" => {
+                            if arg == 0 {
+                                return Err(err(line_no, "deadline_ms must be at least 1"));
+                            }
+                            spec.deadline_ms = Some(arg);
+                        }
                         _ => spec.workers = arg as usize,
                     }
                 }
@@ -237,7 +251,7 @@ impl BatchSpec {
                     return Err(err(
                         line_no,
                         format!(
-                            "unknown directive '{other}' (expected corpus/table1/mtx/methods/settings/threads/scale/workers/format/reorder)"
+                            "unknown directive '{other}' (expected corpus/table1/mtx/methods/settings/threads/scale/workers/format/reorder/deadline_ms)"
                         ),
                     ));
                 }
@@ -391,9 +405,18 @@ mod tests {
     }
 
     #[test]
+    fn parses_deadline_ms() {
+        let spec = BatchSpec::parse("corpus count=1\ndeadline_ms 2500\n").unwrap();
+        assert_eq!(spec.deadline_ms, Some(2500));
+        assert!(BatchSpec::parse("corpus count=1\ndeadline_ms 0\n").is_err());
+        assert!(BatchSpec::parse("corpus count=1\ndeadline_ms soon\n").is_err());
+    }
+
+    #[test]
     fn defaults_apply() {
         let spec = BatchSpec::parse("corpus count=5\n").unwrap();
         assert_eq!(spec.methods, vec![Method::A, Method::B]);
+        assert_eq!(spec.deadline_ms, None);
         assert_eq!(spec.settings.len(), 7);
         assert_eq!(spec.threads, 1);
         assert_eq!(spec.format, FormatSpec::Csr);

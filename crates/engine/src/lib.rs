@@ -42,11 +42,13 @@
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod cancel;
 pub mod job;
 pub mod pool;
 pub mod report;
 
-pub use cache::{ProfileCache, ProfileKey};
+pub use cache::{Admission, CacheLookup, EvictionPolicy, ProfileCache, ProfileKey};
+pub use cancel::{CancelToken, Cancelled};
 pub use job::{BatchSpec, Job, MatrixSource, SpecError};
 pub use report::{BatchResult, BatchStats, Report};
 
@@ -58,7 +60,8 @@ use locality_core::{
 use sparsemat::CsrMatrix;
 use std::fmt;
 
-/// A batch that could not run: bad spec or unreadable matrix file.
+/// A batch that could not run: bad spec, unreadable matrix file, or a run
+/// stopped by its cancellation token.
 #[derive(Debug)]
 pub enum EngineError {
     /// The spec text was malformed.
@@ -70,6 +73,8 @@ pub enum EngineError {
         /// Reader error text.
         message: String,
     },
+    /// The batch stopped early: its deadline passed or it was cancelled.
+    Cancelled(Cancelled),
 }
 
 impl fmt::Display for EngineError {
@@ -79,6 +84,7 @@ impl fmt::Display for EngineError {
             EngineError::Matrix { path, message } => {
                 write!(f, "cannot load '{}': {message}", path.display())
             }
+            EngineError::Cancelled(c) => write!(f, "{c}"),
         }
     }
 }
@@ -88,6 +94,12 @@ impl std::error::Error for EngineError {}
 impl From<SpecError> for EngineError {
     fn from(e: SpecError) -> Self {
         EngineError::Spec(e)
+    }
+}
+
+impl From<Cancelled> for EngineError {
+    fn from(c: Cancelled) -> Self {
+        EngineError::Cancelled(c)
     }
 }
 
@@ -198,6 +210,33 @@ pub fn compute_profile_parallel<W: SpmvWorkload>(
     settings: Option<&[SectorSetting]>,
     workers: usize,
 ) -> LocalityProfile {
+    try_compute_profile_parallel(
+        workload,
+        cfg,
+        method,
+        threads,
+        settings,
+        workers,
+        &CancelToken::never(),
+    )
+    .expect("a never-cancelled computation completes")
+}
+
+/// Cancellable [`compute_profile_parallel`]: `token` is polled before
+/// each per-domain trace analysis (the engine's cooperative cancellation
+/// checkpoints — one huge matrix is abandoned within a domain's worth of
+/// work, not a profile's worth). Returns `None` once the token trips;
+/// the partially-built profile is discarded.
+#[allow(clippy::too_many_arguments)]
+pub fn try_compute_profile_parallel<W: SpmvWorkload>(
+    workload: &W,
+    cfg: &MachineConfig,
+    method: Method,
+    threads: usize,
+    settings: Option<&[SectorSetting]>,
+    workers: usize,
+    token: &CancelToken,
+) -> Option<LocalityProfile> {
     let _span = obs::span("profile.build");
     obs::add("core.profile.builds", 1);
     let builder = match settings {
@@ -206,21 +245,45 @@ pub fn compute_profile_parallel<W: SpmvWorkload>(
     };
     obs::observe("core.profile.domains", builder.num_domains() as u64);
     let domains: Vec<usize> = (0..builder.num_domains()).collect();
-    let partials: Vec<DomainPartial> =
-        pool::run_indexed(workers, &domains, |_, &d| builder.domain_partial(d));
-    builder.finish(partials)
+    let partials: Option<Vec<DomainPartial>> = pool::run_indexed(workers, &domains, |_, &d| {
+        if token.is_cancelled() {
+            None
+        } else {
+            Some(builder.domain_partial(d))
+        }
+    })
+    .into_iter()
+    .collect();
+    Some(builder.finish(partials?))
 }
 
 /// Runs a batch: resolves workloads from the spec's sources (applying its
 /// `reorder` and `format`), then fans the jobs out via
-/// [`run_on_workloads`].
+/// [`run_on_workloads`]. A spec with `deadline_ms` runs under a
+/// [`CancelToken`] covering the whole batch and reports
+/// [`EngineError::Cancelled`] if the budget runs out.
 pub fn run_batch(spec: &BatchSpec) -> Result<BatchResult, EngineError> {
+    let token = match spec.deadline_ms {
+        Some(ms) => CancelToken::with_deadline_ms(ms),
+        None => CancelToken::never(),
+    };
+    run_batch_cancellable(spec, &token)
+}
+
+/// [`run_batch`] under an explicit caller-owned token. The spec's own
+/// `deadline_ms` is *not* consulted here — the caller owns the budget
+/// (the serve daemon folds the spec deadline, the request deadline and
+/// shutdown cancellation into the one token it passes).
+pub fn run_batch_cancellable(
+    spec: &BatchSpec,
+    token: &CancelToken,
+) -> Result<BatchResult, EngineError> {
     let matrices = resolve_sources(spec)?;
     let refs: Vec<(&str, &Workload)> = matrices
         .iter()
         .map(|m| (m.name.as_str(), &m.workload))
         .collect();
-    Ok(run_on_workloads(spec, &refs))
+    Ok(try_run_on_workloads(spec, &refs, token)?)
 }
 
 /// Runs the spec's methods × settings sweep over an explicit matrix list
@@ -245,6 +308,44 @@ pub fn run_on(spec: &BatchSpec, matrices: &[(&str, &CsrMatrix)]) -> BatchResult 
 /// but `reorder` still tags the cache/report fingerprints, so callers
 /// passing reordered matrices keep them distinct from natural-order runs.
 pub fn run_on_workloads<W: SpmvWorkload>(spec: &BatchSpec, matrices: &[(&str, &W)]) -> BatchResult {
+    try_run_on_workloads(spec, matrices, &CancelToken::never())
+        .expect("a never-cancelled batch completes")
+}
+
+/// The cache key for one job of `spec` on the resolved machine.
+/// `caps_fingerprint` is the sweep-restricted grid fingerprint for
+/// method (A) jobs (marker stacks only answer at the capacities they
+/// tracked); method (B) profiles are capacity-independent (0).
+fn job_key(
+    spec: &BatchSpec,
+    cfg: &MachineConfig,
+    caps_fingerprint: u64,
+    fingerprint: u64,
+    method: Method,
+) -> ProfileKey {
+    ProfileKey {
+        fingerprint,
+        method,
+        threads: spec.threads,
+        line_bytes: cfg.l2.line_bytes,
+        cores_per_domain: cfg.cores_per_domain,
+        caps_fingerprint: match method {
+            Method::A => caps_fingerprint,
+            Method::B => 0,
+        },
+    }
+}
+
+/// Cancellable [`run_on_workloads`]: `token` is polled before every job
+/// and between the per-domain partials inside each profile computation.
+/// Once it trips the whole run reports [`Cancelled`] — reports are all
+/// or nothing, matching the batch contract (deterministic, complete
+/// JSON-lines output) rather than emitting a truncated report list.
+pub fn try_run_on_workloads<W: SpmvWorkload>(
+    spec: &BatchSpec,
+    matrices: &[(&str, &W)],
+    token: &CancelToken,
+) -> Result<BatchResult, Cancelled> {
     let _span = obs::span("batch.run");
     obs::add("engine.batch.runs", 1);
     let fingerprints: Vec<u64> = matrices
@@ -254,54 +355,48 @@ pub fn run_on_workloads<W: SpmvWorkload>(spec: &BatchSpec, matrices: &[(&str, &W
     let jobs = expand_jobs(spec, matrices.len());
     let cfg = machine_for(spec);
     let cache = ProfileCache::new();
-
-    // Method (A) profiles are sweep-restricted to exactly the capacities
-    // the spec's settings query — marker stacks instead of exact stacks,
-    // identical predictions at those capacities. Method (B) profiles are
-    // capacity-independent (fingerprint 0).
     let caps_fingerprint = TrackedCaps::for_sweep(&cfg, &spec.settings).fingerprint();
 
-    let reports = pool::run_indexed(spec.workers, &jobs, |_, job| {
+    let reports: Option<Vec<Report>> = pool::run_indexed(spec.workers, &jobs, |_, job| {
+        if token.is_cancelled() {
+            return None;
+        }
         let (name, matrix) = matrices[job.matrix];
         let fingerprint = fingerprints[job.matrix];
-        let key = ProfileKey {
-            fingerprint,
-            method: job.method,
-            threads: spec.threads,
-            line_bytes: cfg.l2.line_bytes,
-            cores_per_domain: cfg.cores_per_domain,
-            caps_fingerprint: match job.method {
-                Method::A => caps_fingerprint,
-                Method::B => 0,
-            },
-        };
-        let profile = cache.get_or_compute(key, || {
-            compute_profile_parallel(
+        let key = job_key(spec, &cfg, caps_fingerprint, fingerprint, job.method);
+        let lookup = cache.get_or_try_compute(key, || {
+            try_compute_profile_parallel(
                 matrix,
                 &cfg,
                 job.method,
                 spec.threads,
                 Some(&spec.settings),
                 spec.workers,
+                token,
             )
-        });
-        let prediction = profile.evaluate(&cfg, &[job.setting])[0];
-        report::report_for(
+        })?;
+        let prediction = lookup.profile.evaluate(&cfg, &[job.setting])[0];
+        Some(report::report_for(
             job,
             name,
             fingerprint,
             (matrix.num_rows(), matrix.num_cols(), matrix.nnz()),
             spec.threads,
             prediction,
-        )
-    });
+        ))
+    })
+    .into_iter()
+    .collect();
 
     // The cache is the single source of truth for both the report stats
     // and the telemetry counters — no parallel tally.
     cache.flush_obs();
     obs::add("engine.batch.jobs", jobs.len() as u64);
 
-    BatchResult {
+    let Some(reports) = reports else {
+        return Err(token.cancelled().unwrap_or(Cancelled::Shutdown));
+    };
+    Ok(BatchResult {
         stats: BatchStats {
             matrices: matrices.len(),
             jobs: jobs.len(),
@@ -309,7 +404,93 @@ pub fn run_on_workloads<W: SpmvWorkload>(spec: &BatchSpec, matrices: &[(&str, &W
             profile_hits: cache.hits(),
         },
         reports,
+    })
+}
+
+/// Per-request accounting from a [`run_streaming`] call — the serve
+/// analogue of [`BatchStats`], distinguishing hits against the caller's
+/// long-lived shared cache from profiles computed for this request.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Matrices this request resolved.
+    pub matrices: usize,
+    /// Jobs emitted (matrices × methods × settings).
+    pub jobs: usize,
+    /// Profiles computed for this request (shared-cache misses).
+    pub profile_computations: u64,
+    /// Jobs served from the shared cache (cross- or intra-request).
+    pub profile_hits: u64,
+}
+
+/// Streaming batch run for the prediction service: resolves the spec's
+/// sources, then runs the jobs **in job order on the calling thread**,
+/// emitting each finished [`Report`] through `emit` the moment it exists
+/// rather than collecting the batch. Parallelism comes from the
+/// per-domain fan-out inside each profile computation (`spec.workers`)
+/// and from the caller running many requests concurrently — all sharing
+/// `cache`, which is where repeated matrices across clients become
+/// near-free.
+///
+/// `token` is polled before every job and between domain partials; a
+/// tripped token aborts the remainder (already-emitted reports stand —
+/// a streaming protocol cannot unsend them) and returns the reason.
+pub fn run_streaming(
+    spec: &BatchSpec,
+    cache: &ProfileCache,
+    token: &CancelToken,
+    mut emit: impl FnMut(&Report),
+) -> Result<StreamStats, EngineError> {
+    let _span = obs::span("serve.request");
+    let matrices = resolve_sources(spec)?;
+    let jobs = expand_jobs(spec, matrices.len());
+    let cfg = machine_for(spec);
+    let caps_fingerprint = TrackedCaps::for_sweep(&cfg, &spec.settings).fingerprint();
+    let mut stats = StreamStats {
+        matrices: matrices.len(),
+        jobs: jobs.len(),
+        ..StreamStats::default()
+    };
+    for job in &jobs {
+        if let Some(reason) = token.cancelled() {
+            return Err(reason.into());
+        }
+        let m = &matrices[job.matrix];
+        let fingerprint = spec.reorder.tag_fingerprint(m.workload.fingerprint());
+        let key = job_key(spec, &cfg, caps_fingerprint, fingerprint, job.method);
+        let lookup = cache
+            .get_or_try_compute(key, || {
+                try_compute_profile_parallel(
+                    &m.workload,
+                    &cfg,
+                    job.method,
+                    spec.threads,
+                    Some(&spec.settings),
+                    spec.workers,
+                    token,
+                )
+            })
+            .ok_or_else(|| EngineError::from(token.cancelled().unwrap_or(Cancelled::Shutdown)))?;
+        if lookup.hit {
+            stats.profile_hits += 1;
+        } else {
+            stats.profile_computations += 1;
+        }
+        let prediction = lookup.profile.evaluate(&cfg, &[job.setting])[0];
+        let report = report::report_for(
+            job,
+            &m.name,
+            fingerprint,
+            (
+                m.workload.num_rows(),
+                m.workload.num_cols(),
+                m.workload.nnz(),
+            ),
+            spec.threads,
+            prediction,
+        );
+        emit(&report);
     }
+    Ok(stats)
 }
 
 /// Convenience: predictions for one workload across a sweep, through the
@@ -482,6 +663,62 @@ mod tests {
             assert_eq!(report.matrix, nm.name);
             assert_eq!(report.fingerprint, nm.matrix.fingerprint());
         }
+    }
+
+    #[test]
+    fn streaming_matches_batch_and_shares_the_cache_across_requests() {
+        let spec = small_spec();
+        let batch = run_batch(&spec).unwrap();
+        let cache = ProfileCache::bounded(64);
+        let token = CancelToken::never();
+
+        let mut streamed = Vec::new();
+        let stats = run_streaming(&spec, &cache, &token, |r| streamed.push(r.clone())).unwrap();
+        assert_eq!(streamed, batch.reports, "streamed reports are byte-equal");
+        assert_eq!(stats.jobs, batch.stats.jobs);
+        assert_eq!(stats.profile_computations, batch.stats.profile_computations);
+        assert_eq!(stats.profile_hits, batch.stats.profile_hits);
+
+        // The same request again: every profile comes from the shared
+        // cache — the cross-request regime the serve daemon exists for.
+        let mut again = Vec::new();
+        let stats2 = run_streaming(&spec, &cache, &token, |r| again.push(r.clone())).unwrap();
+        assert_eq!(again, batch.reports);
+        assert_eq!(stats2.profile_computations, 0);
+        assert_eq!(stats2.profile_hits, stats2.jobs as u64);
+    }
+
+    #[test]
+    fn cancelled_token_stops_batch_and_streaming() {
+        let spec = small_spec();
+        let token = CancelToken::never();
+        token.cancel();
+        match run_batch_cancellable(&spec, &token) {
+            Err(EngineError::Cancelled(Cancelled::Shutdown)) => {}
+            other => panic!("expected shutdown cancellation, got {other:?}"),
+        }
+        let cache = ProfileCache::new();
+        let mut emitted = 0usize;
+        match run_streaming(&spec, &cache, &token, |_| emitted += 1) {
+            Err(EngineError::Cancelled(Cancelled::Shutdown)) => {}
+            other => panic!("expected shutdown cancellation, got {other:?}"),
+        }
+        assert_eq!(emitted, 0, "no report may be emitted after cancellation");
+    }
+
+    #[test]
+    fn expired_deadline_reports_typed_error() {
+        let spec = small_spec();
+        let token = CancelToken::with_deadline(std::time::Duration::ZERO);
+        match run_batch_cancellable(&spec, &token) {
+            Err(EngineError::Cancelled(Cancelled::DeadlineExceeded)) => {}
+            other => panic!("expected deadline error, got {other:?}"),
+        }
+        // The spec-level directive routes through the same machinery; a
+        // generous budget completes normally.
+        let mut roomy = small_spec();
+        roomy.deadline_ms = Some(600_000);
+        assert!(run_batch(&roomy).is_ok());
     }
 
     #[test]

@@ -60,6 +60,18 @@ pub struct Aggregate {
 }
 
 impl Aggregate {
+    /// The named counter's value, 0 if it was never touched. Convenience
+    /// for consumers (the serve `STATUS` endpoint, tests) that read a few
+    /// known counters out of a snapshot.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named gauge's high-watermark, 0 if it was never raised.
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
     /// Merges another aggregate into this one.
     pub fn merge(&mut self, other: &Aggregate) {
         for (k, v) in &other.counters {

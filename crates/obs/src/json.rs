@@ -97,6 +97,26 @@ impl MetricsDoc<'_> {
     }
 }
 
+impl MetricsDoc<'_> {
+    /// The document as a single line of JSON — the form line-delimited
+    /// protocols need (the serve daemon's `STATUS` response embeds the
+    /// telemetry document in one response line).
+    ///
+    /// Implemented by collapsing the pretty rendering: every string in
+    /// the document is escaped (`escape` turns raw newlines into
+    /// `\n`), so literal newlines and the indentation that follows them
+    /// only ever come from [`Self::to_json`]'s own formatting and can be
+    /// stripped without touching values.
+    pub fn to_json_line(&self) -> String {
+        let pretty = self.to_json();
+        let mut out = String::with_capacity(pretty.len());
+        for line in pretty.lines() {
+            out.push_str(line.trim_start());
+        }
+        out
+    }
+}
+
 fn write_span_list(
     out: &mut String,
     spans: &std::collections::BTreeMap<String, SpanStats>,
@@ -408,6 +428,35 @@ mod tests {
         ] {
             assert!(doc.contains(needle), "missing {needle} in:\n{doc}");
         }
+    }
+
+    #[test]
+    fn single_line_rendering_is_valid_and_newline_free() {
+        let mut agg = Aggregate::default();
+        agg.counters.insert("serve.requests".into(), 2);
+        agg.checkpoints.push(Checkpoint {
+            label: "tricky\nlabel \"x\"".into(),
+            vm_hwm_kb: Some(1),
+        });
+        let mut root = SpanStats {
+            count: 1,
+            ..SpanStats::default()
+        };
+        root.children
+            .insert("cache.lookup".into(), SpanStats::default());
+        agg.roots.insert("serve.request".into(), root);
+        let doc = MetricsDoc {
+            command: "serve",
+            aggregate: &agg,
+        };
+        let line = doc.to_json_line();
+        assert!(!line.contains('\n'), "must fit one protocol line: {line}");
+        validate(&line).unwrap_or_else(|e| panic!("invalid JSON: {e}\n{line}"));
+        assert!(line.contains("\"serve.requests\": 2"), "{line}");
+        assert!(line.contains("tricky\\nlabel \\\"x\\\""), "{line}");
+        // Same content as the pretty form, whitespace aside.
+        let squashed: String = doc.to_json().lines().map(str::trim_start).collect();
+        assert_eq!(line, squashed);
     }
 
     #[test]

@@ -1,0 +1,715 @@
+//! The daemon itself: listeners, per-connection sessions, the bounded
+//! request queue, and the executor pool.
+//!
+//! Threading model — three kinds of thread, all plain `std`:
+//!
+//! * the **accept loop** ([`Server::run`]) polls the non-blocking
+//!   listeners and spawns one session per connection;
+//! * a **session** thread reads its connection with a short timeout,
+//!   frames lines, parses requests and either answers inline (`status`,
+//!   `shutdown`, rejections) or enqueues the predict job;
+//! * **executor** threads pop predict jobs from the bounded queue and
+//!   run them through [`locality_engine::run_streaming`], writing each
+//!   report line through the connection's shared writer the moment it
+//!   exists.
+//!
+//! Backpressure is the queue bound: a predict request arriving with the
+//! queue full is rejected immediately with a typed `overloaded` error —
+//! the service never buffers unboundedly. Deadlines start at *enqueue*
+//! (queue wait spends the client's budget) and cancel cooperatively at
+//! the engine's checkpoints. Shutdown — SIGINT, SIGTERM or a `shutdown`
+//! request — stops accepting, closes the queue, and drains: jobs
+//! already accepted run to completion and their responses are still
+//! delivered on connections the clients keep open.
+
+use crate::codec::{Frame, LineFramer};
+use crate::protocol::{self, ErrorCode, Request, RequestError};
+use crate::signal;
+use locality_engine::{BatchSpec, CancelToken, Cancelled, EngineError, ProfileCache};
+use std::collections::VecDeque;
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often blocked loops re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+/// Session read timeout; bounds shutdown latency per connection.
+const READ_TIMEOUT: Duration = Duration::from_millis(50);
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Unix socket path to listen on (the daemon owns the path: a stale
+    /// file there is removed at bind, the live one at shutdown).
+    pub unix: Option<PathBuf>,
+    /// TCP address to listen on, e.g. `127.0.0.1:7070`.
+    pub tcp: Option<String>,
+    /// Executor threads — the number of predict requests in flight.
+    pub executors: usize,
+    /// Queue bound: predict requests accepted but not yet started.
+    /// Zero disables queueing entirely (only useful in tests).
+    pub queue: usize,
+    /// Shared profile cache capacity (LRU entries).
+    pub cache: usize,
+    /// Request line cap in bytes; longer lines are rejected.
+    pub max_line: usize,
+    /// Deadline applied to predict requests that bring none of their
+    /// own (request field first, then the spec's `deadline_ms`).
+    pub default_deadline_ms: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            unix: None,
+            tcp: None,
+            executors: 2,
+            queue: 64,
+            cache: 256,
+            max_line: 1 << 20,
+            default_deadline_ms: None,
+        }
+    }
+}
+
+/// What the daemon did, for the operator's exit summary.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests parsed (predict + status + shutdown).
+    pub requests: u64,
+    /// Predict requests completed with a `done` line.
+    pub completed: u64,
+    /// Error lines written.
+    pub errors: u64,
+    /// Predict requests that were in flight when shutdown began and
+    /// were drained to completion instead of dropped.
+    pub drained: u64,
+}
+
+/// Service counters, readable at any time from any thread (unlike the
+/// obs thread-locals, which merge only at flush); the `STATUS` endpoint
+/// reads these plus the shared cache's own counters.
+#[derive(Default)]
+struct ServiceStats {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    completed: AtomicU64,
+    errors: AtomicU64,
+    overloaded: AtomicU64,
+    write_errors: AtomicU64,
+    inflight: AtomicUsize,
+    inflight_peak: AtomicUsize,
+    drained: AtomicU64,
+}
+
+/// A connection's write half, shared between its session thread and the
+/// executors streaming results back.
+type Out = Arc<Mutex<Box<dyn Write + Send>>>;
+
+/// An accepted predict request waiting for an executor.
+struct QueuedRequest {
+    id: String,
+    spec: BatchSpec,
+    token: CancelToken,
+    out: Out,
+}
+
+struct QueueState {
+    jobs: VecDeque<QueuedRequest>,
+    closing: bool,
+}
+
+struct Shared {
+    config: ServeConfig,
+    cache: ProfileCache,
+    queue: Mutex<QueueState>,
+    ready: Condvar,
+    stats: ServiceStats,
+    started: Instant,
+}
+
+/// A bound daemon, ready to [`run`](Server::run).
+pub struct Server {
+    shared: Arc<Shared>,
+    unix_listener: Option<UnixListener>,
+    tcp_listener: Option<TcpListener>,
+}
+
+impl Server {
+    /// Binds the configured listeners. At least one of `unix`/`tcp`
+    /// must be set.
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        if config.unix.is_none() && config.tcp.is_none() {
+            return Err(io::Error::new(
+                ErrorKind::InvalidInput,
+                "serve needs a unix socket path or a tcp address to listen on",
+            ));
+        }
+        let unix_listener = match &config.unix {
+            Some(path) => {
+                if path.exists() {
+                    std::fs::remove_file(path)?;
+                }
+                let listener = UnixListener::bind(path)?;
+                listener.set_nonblocking(true)?;
+                Some(listener)
+            }
+            None => None,
+        };
+        let tcp_listener = match &config.tcp {
+            Some(addr) => {
+                let listener = TcpListener::bind(addr.as_str())?;
+                listener.set_nonblocking(true)?;
+                Some(listener)
+            }
+            None => None,
+        };
+        let cache = ProfileCache::bounded(config.cache.max(1));
+        Ok(Server {
+            shared: Arc::new(Shared {
+                config,
+                cache,
+                queue: Mutex::new(QueueState {
+                    jobs: VecDeque::new(),
+                    closing: false,
+                }),
+                ready: Condvar::new(),
+                stats: ServiceStats::default(),
+                started: Instant::now(),
+            }),
+            unix_listener,
+            tcp_listener,
+        })
+    }
+
+    /// The bound TCP address, when a TCP listener was configured (lets
+    /// callers bind port 0 and discover the real port).
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        self.tcp_listener.as_ref().and_then(|l| l.local_addr().ok())
+    }
+
+    /// Serves until shutdown is requested (signal or protocol), then
+    /// drains and returns the summary.
+    pub fn run(self) -> ServeSummary {
+        let shared = &self.shared;
+        let executors: Vec<JoinHandle<()>> = (0..shared.config.executors.max(1))
+            .map(|_| {
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || executor_loop(&shared))
+            })
+            .collect();
+
+        let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+        while !signal::shutdown_requested() {
+            let mut accepted = false;
+            if let Some(listener) = &self.unix_listener {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        accepted = true;
+                        if let Ok(writer) = stream.try_clone() {
+                            let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+                            sessions.push(spawn_session(shared, stream, Box::new(writer)));
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {}
+                    Err(_) => {}
+                }
+            }
+            if let Some(listener) = &self.tcp_listener {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        accepted = true;
+                        if let Ok(writer) = stream.try_clone() {
+                            let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+                            sessions.push(spawn_session(shared, stream, Box::new(writer)));
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {}
+                    Err(_) => {}
+                }
+            }
+            sessions.retain(|handle| !handle.is_finished());
+            if !accepted {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+        }
+
+        // Drain: whatever is in flight now finishes; nothing new enters.
+        let drained = shared.stats.inflight.load(Ordering::SeqCst) as u64;
+        shared.stats.drained.store(drained, Ordering::SeqCst);
+        {
+            let mut queue = lock(&shared.queue);
+            queue.closing = true;
+            shared.ready.notify_all();
+        }
+        for handle in sessions {
+            let _ = handle.join();
+        }
+        for handle in executors {
+            let _ = handle.join();
+        }
+        if let Some(path) = &shared.config.unix {
+            let _ = std::fs::remove_file(path);
+        }
+
+        // One obs flush for the whole service lifetime (the per-thread
+        // span/counter data was flushed by each executor as it exited).
+        let stats = &shared.stats;
+        obs::add(
+            "serve.connections",
+            stats.connections.load(Ordering::SeqCst),
+        );
+        obs::add("serve.requests", stats.requests.load(Ordering::SeqCst));
+        obs::add("serve.completed", stats.completed.load(Ordering::SeqCst));
+        obs::add("serve.errors", stats.errors.load(Ordering::SeqCst));
+        obs::add("serve.overloaded", stats.overloaded.load(Ordering::SeqCst));
+        obs::add("serve.drained", drained);
+        obs::gauge_max(
+            "serve.inflight_peak",
+            stats.inflight_peak.load(Ordering::SeqCst) as u64,
+        );
+        shared.cache.flush_obs();
+        obs::flush_thread();
+
+        ServeSummary {
+            connections: stats.connections.load(Ordering::SeqCst),
+            requests: stats.requests.load(Ordering::SeqCst),
+            completed: stats.completed.load(Ordering::SeqCst),
+            errors: stats.errors.load(Ordering::SeqCst),
+            drained,
+        }
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // A panicking writer must not wedge the daemon; the guarded state
+    // stays consistent (whole lines, whole queue entries).
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Writes one response line (appending `\n`) under the connection's
+/// writer lock.
+fn write_line(shared: &Shared, out: &Out, line: &str) {
+    let mut writer = lock(out);
+    let result = writer
+        .write_all(line.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .and_then(|()| writer.flush());
+    if result.is_err() {
+        shared.stats.write_errors.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+fn write_error(shared: &Shared, out: &Out, id: Option<&str>, code: ErrorCode, message: &str) {
+    shared.stats.errors.fetch_add(1, Ordering::SeqCst);
+    if code == ErrorCode::Overloaded {
+        shared.stats.overloaded.fetch_add(1, Ordering::SeqCst);
+    }
+    write_line(shared, out, &protocol::error_line(id, code, message));
+}
+
+fn spawn_session<R>(
+    shared: &Arc<Shared>,
+    reader: R,
+    writer: Box<dyn Write + Send>,
+) -> JoinHandle<()>
+where
+    R: Read + Send + 'static,
+{
+    let shared = Arc::clone(shared);
+    std::thread::spawn(move || {
+        shared.stats.connections.fetch_add(1, Ordering::SeqCst);
+        let out: Out = Arc::new(Mutex::new(writer));
+        run_session(&shared, reader, &out);
+    })
+}
+
+fn run_session<R: Read>(shared: &Shared, mut reader: R, out: &Out) {
+    let mut framer = LineFramer::new(shared.config.max_line);
+    let mut buf = [0u8; 4096];
+    while !signal::shutdown_requested() {
+        let n = match reader.read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        };
+        for frame in framer.push(&buf[..n]) {
+            handle_frame(shared, out, frame);
+        }
+    }
+}
+
+fn handle_frame(shared: &Shared, out: &Out, frame: Frame) {
+    let line = match frame {
+        Frame::Line(line) => line,
+        Frame::Oversized { dropped } => {
+            let message = format!(
+                "request line exceeded the {}-byte cap ({dropped} bytes dropped)",
+                shared.config.max_line
+            );
+            write_error(shared, out, None, ErrorCode::OversizedLine, &message);
+            return;
+        }
+        Frame::BadUtf8 => {
+            write_error(
+                shared,
+                out,
+                None,
+                ErrorCode::BadRequest,
+                "request line is not valid UTF-8",
+            );
+            return;
+        }
+    };
+    if line.trim().is_empty() {
+        return; // blank keep-alive lines are fine
+    }
+    let request = match Request::parse(&line) {
+        Ok(request) => request,
+        Err(RequestError { id, code, message }) => {
+            write_error(shared, out, id.as_deref(), code, &message);
+            return;
+        }
+    };
+    shared.stats.requests.fetch_add(1, Ordering::SeqCst);
+    match request {
+        Request::Predict {
+            id,
+            spec,
+            deadline_ms,
+        } => submit_predict(shared, out, id, &spec, deadline_ms),
+        Request::Status { id } => {
+            let body = status_document(shared);
+            write_line(shared, out, &protocol::status_line(&id, &body));
+        }
+        Request::Shutdown { id } => {
+            write_line(shared, out, &protocol::shutdown_line(&id));
+            signal::request_shutdown();
+        }
+    }
+}
+
+fn submit_predict(
+    shared: &Shared,
+    out: &Out,
+    id: String,
+    spec_text: &str,
+    deadline_ms: Option<u64>,
+) {
+    let spec = match BatchSpec::parse(spec_text) {
+        Ok(spec) => spec,
+        Err(e) => {
+            let message = format!("invalid spec: {e}");
+            write_error(shared, out, Some(&id), ErrorCode::BadRequest, &message);
+            return;
+        }
+    };
+    // Deadline precedence: request field, spec directive, server default.
+    // The clock starts here — time spent queued is the client's budget.
+    let budget = deadline_ms
+        .or(spec.deadline_ms)
+        .or(shared.config.default_deadline_ms);
+    let token = match budget {
+        Some(ms) => CancelToken::with_deadline_ms(ms),
+        None => CancelToken::never(),
+    };
+    let request = QueuedRequest {
+        id,
+        spec,
+        token,
+        out: Arc::clone(out),
+    };
+    let mut queue = lock(&shared.queue);
+    if queue.closing {
+        let id = request.id;
+        drop(queue);
+        write_error(
+            shared,
+            out,
+            Some(&id),
+            ErrorCode::ShuttingDown,
+            "service is draining and accepts no new work",
+        );
+        return;
+    }
+    if queue.jobs.len() >= shared.config.queue {
+        let message = format!(
+            "queue full ({} request(s) queued); retry later",
+            queue.jobs.len()
+        );
+        let id = request.id;
+        drop(queue);
+        write_error(shared, out, Some(&id), ErrorCode::Overloaded, &message);
+        return;
+    }
+    queue.jobs.push_back(request);
+    let inflight = shared.stats.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+    shared
+        .stats
+        .inflight_peak
+        .fetch_max(inflight, Ordering::SeqCst);
+    shared.ready.notify_one();
+}
+
+fn executor_loop(shared: &Shared) {
+    loop {
+        let request = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if let Some(request) = queue.jobs.pop_front() {
+                    break Some(request);
+                }
+                if queue.closing {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .ready
+                    .wait_timeout(queue, POLL_INTERVAL)
+                    .unwrap_or_else(PoisonError::into_inner);
+                queue = guard;
+            }
+        };
+        let Some(request) = request else {
+            // Queue closed and empty: flush this thread's obs data
+            // (spans recorded by the engine during our requests).
+            obs::flush_thread();
+            return;
+        };
+        run_one(shared, request);
+        shared.stats.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn run_one(shared: &Shared, request: QueuedRequest) {
+    let QueuedRequest {
+        id,
+        spec,
+        token,
+        out,
+    } = request;
+    // A request whose deadline elapsed while queued fails fast without
+    // touching the engine.
+    if let Some(reason) = token.cancelled() {
+        write_error(
+            shared,
+            &out,
+            Some(&id),
+            cancel_code(reason),
+            &reason.to_string(),
+        );
+        return;
+    }
+    let result = locality_engine::run_streaming(&spec, &shared.cache, &token, |report| {
+        write_line(
+            shared,
+            &out,
+            &protocol::report_line(&id, &report.to_json_line()),
+        );
+    });
+    match result {
+        Ok(stats) => {
+            shared.stats.completed.fetch_add(1, Ordering::SeqCst);
+            write_line(shared, &out, &protocol::done_line(&id, &stats));
+        }
+        Err(e) => {
+            let code = match &e {
+                EngineError::Cancelled(reason) => cancel_code(*reason),
+                EngineError::Spec(_) | EngineError::Matrix { .. } => ErrorCode::BadRequest,
+            };
+            write_error(shared, &out, Some(&id), code, &e.to_string());
+        }
+    }
+}
+
+fn cancel_code(reason: Cancelled) -> ErrorCode {
+    match reason {
+        Cancelled::DeadlineExceeded => ErrorCode::DeadlineExceeded,
+        Cancelled::Shutdown => ErrorCode::ShuttingDown,
+    }
+}
+
+/// The `STATUS` body: service gauges/counters plus the shared cache's
+/// SLO counters, rendered as a one-line obs metrics document.
+fn status_document(shared: &Shared) -> String {
+    let stats = &shared.stats;
+    let cache = &shared.cache;
+    let mut agg = obs::Aggregate::default();
+    let counters: [(&str, u64); 11] = [
+        (
+            "serve.connections",
+            stats.connections.load(Ordering::SeqCst),
+        ),
+        ("serve.requests", stats.requests.load(Ordering::SeqCst)),
+        ("serve.completed", stats.completed.load(Ordering::SeqCst)),
+        ("serve.errors", stats.errors.load(Ordering::SeqCst)),
+        ("serve.overloaded", stats.overloaded.load(Ordering::SeqCst)),
+        (
+            "serve.write_errors",
+            stats.write_errors.load(Ordering::SeqCst),
+        ),
+        ("engine.cache.hits", cache.hits()),
+        ("engine.cache.computations", cache.computations()),
+        ("engine.cache.evictions", cache.evictions()),
+        ("engine.cache.admission_skips", cache.admission_skips()),
+        ("engine.cache.cancellations", cache.cancellations()),
+    ];
+    for (name, value) in counters {
+        agg.counters.insert(name.to_string(), value);
+    }
+    let gauges: [(&str, u64); 5] = [
+        (
+            "serve.uptime_ms",
+            shared.started.elapsed().as_millis() as u64,
+        ),
+        (
+            "serve.inflight",
+            stats.inflight.load(Ordering::SeqCst) as u64,
+        ),
+        (
+            "serve.inflight_peak",
+            stats.inflight_peak.load(Ordering::SeqCst) as u64,
+        ),
+        ("engine.cache.size", cache.len() as u64),
+        (
+            "engine.cache.hit_rate_pct",
+            cache.hit_rate_pct().round() as u64,
+        ),
+    ];
+    for (name, value) in gauges {
+        agg.gauges.insert(name.to_string(), value);
+    }
+    obs::MetricsDoc {
+        command: "serve",
+        aggregate: &agg,
+    }
+    .to_json_line()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use std::io::{BufRead, BufReader};
+    use std::net::TcpStream;
+
+    fn send(conn: &mut TcpStream, line: &str) {
+        conn.write_all(line.as_bytes()).unwrap();
+        conn.write_all(b"\n").unwrap();
+        conn.flush().unwrap();
+    }
+
+    /// One test drives a whole server lifecycle (the shutdown flag is
+    /// process-global, so concurrent server tests would interfere; the
+    /// CLI integration tests run servers in subprocesses instead).
+    #[test]
+    fn end_to_end_over_tcp() {
+        let server = Server::bind(ServeConfig {
+            tcp: Some("127.0.0.1:0".into()),
+            executors: 2,
+            queue: 8,
+            cache: 32,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.tcp_addr().unwrap();
+        let handle = std::thread::spawn(move || server.run());
+
+        let conn = TcpStream::connect(addr).unwrap();
+        let mut lines = BufReader::new(conn.try_clone().unwrap()).lines();
+        let mut conn = conn;
+        let mut next = || Json::parse(&lines.next().unwrap().unwrap()).unwrap();
+
+        // The same spec the engine's own tests use, with its newlines as
+        // JSON \n escapes.
+        let spec = r"corpus count=2 scale=64 seed=7\nsettings off\nmethods B\nthreads 1\nscale 64";
+
+        send(&mut conn, &format!(r#"{{"id":"r1","spec":"{spec}"}}"#));
+        let mut reports = 0;
+        let done = loop {
+            let line = next();
+            assert_eq!(line.get("id").and_then(Json::as_str), Some("r1"));
+            if let Some(done) = line.get("done") {
+                break done.clone();
+            }
+            assert!(line.get("report").is_some(), "unexpected line");
+            reports += 1;
+        };
+        assert_eq!(reports, 2);
+        assert_eq!(done.get("jobs").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            done.get("profile_computations").and_then(Json::as_u64),
+            Some(2)
+        );
+
+        // Same matrices again: everything comes from the shared cache.
+        send(&mut conn, &format!(r#"{{"id":"r2","spec":"{spec}"}}"#));
+        let done = loop {
+            let line = next();
+            if let Some(done) = line.get("done") {
+                break done.clone();
+            }
+        };
+        assert_eq!(done.get("profile_hits").and_then(Json::as_u64), Some(2));
+        assert_eq!(
+            done.get("profile_computations").and_then(Json::as_u64),
+            Some(0)
+        );
+
+        // STATUS sees the cross-request cache hits and service counters.
+        send(&mut conn, r#"{"id":"s1","status":true}"#);
+        let status = next();
+        let body = status.get("status").cloned().unwrap();
+        let counter = |name: &str| {
+            body.get("counters")
+                .and_then(|c| c.get(name))
+                .and_then(Json::as_u64)
+                .unwrap()
+        };
+        assert_eq!(counter("engine.cache.hits"), 2);
+        assert_eq!(counter("engine.cache.computations"), 2);
+        assert_eq!(counter("serve.completed"), 2);
+        assert!(body
+            .get("gauges")
+            .and_then(|g| g.get("engine.cache.size"))
+            .is_some());
+
+        // Malformed and invalid-spec lines answer with typed errors.
+        send(&mut conn, "this is not json");
+        let error = next();
+        assert_eq!(
+            error
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("bad_request")
+        );
+        send(&mut conn, r#"{"id":"r3","spec":"no such directive"}"#);
+        let error = next();
+        assert_eq!(error.get("id").and_then(Json::as_str), Some("r3"));
+        assert_eq!(
+            error
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("bad_request")
+        );
+
+        // Protocol shutdown: ack, then the daemon drains and exits.
+        send(&mut conn, r#"{"id":"q1","shutdown":true}"#);
+        let ack = next();
+        assert!(ack.get("shutdown").is_some());
+        let summary = handle.join().unwrap();
+        assert_eq!(summary.connections, 1);
+        assert_eq!(summary.completed, 2);
+        assert_eq!(summary.errors, 2);
+    }
+}

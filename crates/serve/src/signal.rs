@@ -1,0 +1,44 @@
+//! Process-wide shutdown flag, settable from Unix signals.
+//!
+//! The workspace carries no `libc` crate, but every Rust binary on
+//! Linux already links the C library, so `signal(2)` can be declared
+//! directly. The handler is async-signal-safe: it only stores to an
+//! atomic. Listener and session loops poll the flag (they run with
+//! short accept/read timeouts), which turns SIGINT/SIGTERM into a
+//! graceful drain instead of an abrupt exit.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    // `sighandler_t signal(int, sighandler_t)`; the returned previous
+    // handler is not needed, so it is left as an opaque word.
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Routes SIGINT and SIGTERM into [`shutdown_requested`].
+pub fn install_handlers() {
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+/// Raises the shutdown flag programmatically (the protocol's `shutdown`
+/// request uses the same path as the signals).
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Whether a shutdown has been requested by signal or protocol.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}

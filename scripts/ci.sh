@@ -78,6 +78,115 @@ print(f"telemetry smoke ok: {len(names)} span names, "
       f"{len(doc['counters'])} counters, {len(doc['histograms'])} histograms")
 EOF
 
+echo "== serve smoke: prediction daemon vs batch oracle =="
+# The serve daemon on a temp Unix socket, driven by a scripted client:
+# responses must byte-match the batch command on the same spec (modulo
+# the id framing), a repeated request must be served from the shared
+# LRU cache, and a SIGTERM with work in flight must drain it (non-zero
+# drained count, exit 0, socket file removed).
+printf 'corpus count=4 scale=64 seed=9\nmethods A,B\nsettings paper\nthreads 1\nscale 64\nworkers 1\n' \
+    > "$OBS_TMP/serve.spec"
+# Seconds of uncached work (scale-4 machine) so the SIGTERM below is
+# guaranteed to land while the request is in flight.
+printf 'corpus count=1 scale=4 seed=3\nsettings paper\nmethods B\nthreads 4\nscale 4\nworkers 2\n' \
+    > "$OBS_TMP/serve_heavy.spec"
+cargo run --release --offline --bin spmv-locality -- \
+    batch "$OBS_TMP/serve.spec" > "$OBS_TMP/serve_oracle.jsonl"
+cargo run --release --offline --bin spmv-locality -- \
+    serve --unix "$OBS_TMP/serve.sock" --executors 2 \
+    2> "$OBS_TMP/serve_stderr.txt" &
+SERVE_PID=$!
+SERVE_SMOKE=0
+python3 - "$OBS_TMP" "$SERVE_PID" <<'EOF' || SERVE_SMOKE=$?
+import json, os, signal, socket, sys, time
+
+tmp, serve_pid = sys.argv[1], int(sys.argv[2])
+sock_path = os.path.join(tmp, "serve.sock")
+for _ in range(400):
+    if os.path.exists(sock_path):
+        break
+    time.sleep(0.025)
+else:
+    sys.exit("serve daemon never bound its socket")
+
+spec = open(os.path.join(tmp, "serve.spec")).read()
+heavy = open(os.path.join(tmp, "serve_heavy.spec")).read()
+oracle = [l for l in open(os.path.join(tmp, "serve_oracle.jsonl"))
+          if '"job":' in l]
+
+s = socket.socket(socket.AF_UNIX)
+s.connect(sock_path)
+f = s.makefile("rw")
+
+def predict(rid, text):
+    f.write(json.dumps({"id": rid, "spec": text}) + "\n")
+    f.flush()
+    reports, done = [], None
+    while done is None:
+        line = f.readline()
+        msg = json.loads(line)
+        assert msg["id"] == rid, line
+        if "done" in msg:
+            done = msg["done"]
+        else:
+            prefix = '{"id":"%s","report":' % rid
+            assert line.startswith(prefix) and line.rstrip().endswith("}"), line
+            reports.append(line.rstrip()[len(prefix):-1] + "\n")
+    return reports, done
+
+# Responses byte-match the batch oracle under the framing.
+reports, done = predict("c1", spec)
+assert reports == oracle, "serve payloads differ from batch output"
+assert done["profile_computations"] == 8, done  # 4 matrices x 2 methods
+
+# The repeat is served entirely from the shared cache.
+_, done = predict("c2", spec)
+assert done == {"matrices": 4, "jobs": 56, "profile_hits": 56,
+                "profile_computations": 0}, done
+
+# Typed error for a malformed line; the session survives.
+f.write("definitely not json\n"); f.flush()
+err = json.loads(f.readline())
+assert err["error"]["code"] == "bad_request", err
+
+# STATUS exposes the cache SLO counters.
+f.write('{"id":"s1","status":true}\n'); f.flush()
+body = json.loads(f.readline())["status"]
+assert body["counters"]["engine.cache.computations"] == 8, body["counters"]
+assert body["counters"]["engine.cache.hits"] == 104, body["counters"]
+
+# SIGTERM with a request in flight: the daemon drains it — the full
+# response still arrives — then exits cleanly.
+f.write(json.dumps({"id": "c3", "spec": heavy}) + "\n")
+f.flush()
+time.sleep(0.4)  # let the daemon pick the request up first
+os.kill(serve_pid, signal.SIGTERM)
+done = None
+while done is None:
+    msg = json.loads(f.readline())
+    assert msg["id"] == "c3", msg
+    if "done" in msg:
+        done = msg["done"]
+assert done["jobs"] == 7, done
+print("serve smoke ok: oracle match, cache reuse, typed errors, drain")
+EOF
+if [ "$SERVE_SMOKE" -ne 0 ]; then
+    kill "$SERVE_PID" 2>/dev/null || true
+    echo "ci: serve smoke client failed" >&2
+    exit 1
+fi
+SERVE_EXIT=0
+wait "$SERVE_PID" || SERVE_EXIT=$?
+[ "$SERVE_EXIT" -eq 0 ] || { echo "ci: serve daemon exited $SERVE_EXIT" >&2; exit 1; }
+grep -q ' drained' "$OBS_TMP/serve_stderr.txt" || {
+    echo "ci: serve summary line missing" >&2; exit 1
+}
+if grep -q ' 0 drained' "$OBS_TMP/serve_stderr.txt"; then
+    echo "ci: SIGTERM landed with no work in flight (drained 0)" >&2
+    exit 1
+fi
+[ ! -e "$OBS_TMP/serve.sock" ] || { echo "ci: socket file not cleaned up" >&2; exit 1; }
+
 echo "== format smoke: CSR vs SELL-C-sigma (exp_sell) =="
 # Tiny corpus through both storage formats: exercises the SELL trace
 # derivation, the partitioned accounting on padded streams, and the

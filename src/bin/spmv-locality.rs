@@ -9,8 +9,12 @@
 //! spmv-locality simulate <matrix.mtx> [--threads N] [--scale N] [--l2-ways W]
 //!                        [--reorder none|rcm]
 //! spmv-locality batch    <spec-file>  [--workers N] [--format F] [--reorder R]
+//!                        [--deadline-ms N]
 //! spmv-locality validate [--matrices N] [--seed S] [--workers N] [--smoke]
 //!                        [--format csr|sell:C,S] [--reorder none|rcm]
+//! spmv-locality serve    [--unix PATH] [--tcp ADDR] [--executors N]
+//!                        [--queue N] [--cache N] [--max-line BYTES]
+//!                        [--deadline-ms N]
 //! ```
 //!
 //! `analyze` prints the matrix statistics, its §3.1 classification and the
@@ -22,7 +26,12 @@
 //! the profile-cache accounting; `validate` runs the differential
 //! validation harness over a stratified random corpus, printing one JSON
 //! line per divergence plus a summary line, and exits nonzero if any
-//! invariant was violated (see `EXPERIMENTS.md`, "Divergence triage").
+//! invariant was violated (see `EXPERIMENTS.md`, "Divergence triage");
+//! `serve` runs the long-lived prediction daemon — line-delimited JSON
+//! requests over a Unix socket and/or TCP, sharing one LRU profile cache
+//! across requests (see README, "Prediction service", for the wire
+//! protocol). `serve` drains gracefully on SIGINT/SIGTERM or a protocol
+//! `shutdown` request.
 //!
 //! `--format` selects the storage format the model analyses (`csr`, or
 //! `sell:C,S` for SELL-C-σ with chunk size `C` and sorting window `S`);
@@ -61,7 +70,10 @@ fn usage() -> ! {
          \x20      spmv-locality batch <spec-file> [--workers N] \
          [--format F] [--reorder R] [--metrics PATH]\n\
          \x20      spmv-locality validate [--matrices N] [--seed S] \
-         [--workers N] [--smoke] [--format F] [--reorder R] [--metrics PATH]"
+         [--workers N] [--smoke] [--format F] [--reorder R] [--metrics PATH]\n\
+         \x20      spmv-locality serve [--unix PATH] [--tcp ADDR] \
+         [--executors N] [--queue N] [--cache N] [--max-line BYTES] \
+         [--deadline-ms N] [--metrics PATH]"
     );
     std::process::exit(2);
 }
@@ -157,9 +169,64 @@ fn run_validate_command(args: impl Iterator<Item = String>) -> ! {
     std::process::exit(if report.passed() { 0 } else { 1 });
 }
 
+/// `serve` subcommand: the long-lived prediction daemon. Runs until a
+/// signal or protocol `shutdown`, then drains in-flight requests and
+/// prints an accounting line to stderr.
+fn run_serve_command(args: impl Iterator<Item = String>) -> ! {
+    let mut config = serve::ServeConfig::default();
+    let mut metrics = None;
+    let mut args = args.peekable();
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| -> usize {
+            args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("spmv-locality: expected a number after {what}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--unix" => {
+                config.unix = Some(args.next().unwrap_or_else(|| usage()).into());
+            }
+            "--tcp" => config.tcp = Some(args.next().unwrap_or_else(|| usage())),
+            "--executors" => config.executors = value("--executors").max(1),
+            "--queue" => config.queue = value("--queue"),
+            "--cache" => config.cache = value("--cache").max(1),
+            "--max-line" => config.max_line = value("--max-line").max(1),
+            "--deadline-ms" => {
+                config.default_deadline_ms = Some(value("--deadline-ms").max(1) as u64);
+            }
+            "--metrics" => metrics = Some(args.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    metrics_setup(&metrics);
+    let unix_path = config.unix.clone();
+    let tcp_addr = config.tcp.clone();
+    serve::signal::install_handlers();
+    let server = serve::Server::bind(config).unwrap_or_else(|e| {
+        eprintln!("spmv-locality serve: {e}");
+        std::process::exit(1);
+    });
+    if let Some(path) = &unix_path {
+        eprintln!("# serve: listening on unix {}", path.display());
+    }
+    if tcp_addr.is_some() {
+        if let Some(addr) = server.tcp_addr() {
+            eprintln!("# serve: listening on tcp {addr}");
+        }
+    }
+    let summary = server.run();
+    metrics_write(&metrics, "serve");
+    eprintln!(
+        "# serve: {} connection(s), {} request(s), {} completed, {} error(s), {} drained",
+        summary.connections, summary.requests, summary.completed, summary.errors, summary.drained
+    );
+    std::process::exit(0);
+}
+
 /// `batch` subcommand: run a spec file on the engine, JSON lines out.
-/// Command-line `--workers`/`--format`/`--reorder` override the spec
-/// file's directives.
+/// Command-line `--workers`/`--format`/`--reorder`/`--deadline-ms`
+/// override the spec file's directives.
 fn run_batch_command(spec_path: &str, args: impl Iterator<Item = String>) -> ! {
     let text = std::fs::read_to_string(spec_path).unwrap_or_else(|e| {
         eprintln!("failed to read {spec_path}: {e}");
@@ -181,6 +248,16 @@ fn run_batch_command(spec_path: &str, args: impl Iterator<Item = String>) -> ! {
             }
             "--format" => spec.format = parse_format(args.next()),
             "--reorder" => spec.reorder = parse_reorder(args.next()),
+            "--deadline-ms" => {
+                let ms = args
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("spmv-locality: expected a number after --deadline-ms");
+                        std::process::exit(2);
+                    });
+                spec.deadline_ms = Some(ms.max(1));
+            }
             "--metrics" => metrics = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
@@ -211,6 +288,9 @@ fn parse_cli() -> Cli {
     let command = args.next().unwrap_or_else(|| usage());
     if command == "validate" {
         run_validate_command(args);
+    }
+    if command == "serve" {
+        run_serve_command(args);
     }
     let path = args.next().unwrap_or_else(|| usage());
     if command == "batch" {

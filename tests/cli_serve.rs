@@ -1,0 +1,332 @@
+//! Integration tests for `spmv-locality serve`: the daemon runs as a real
+//! subprocess on a Unix socket, driven by real clients. The load-bearing
+//! acceptance checks live here — report payloads byte-identical to the
+//! `batch` command, cross-request cache hits visible through `STATUS`,
+//! typed errors for malformed/overload/deadline paths, and a SIGTERM
+//! drain that finishes in-flight work.
+
+use serve::json::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+const BIN: &str = env!("CARGO_BIN_EXE_spmv-locality");
+
+/// A spec small enough to answer promptly: 2 matrices × 2 methods × 2
+/// settings = 8 jobs over 4 distinct (matrix, method) profiles.
+const SPEC: &str =
+    "corpus count=2 scale=64 seed=7\nmethods A,B\nsettings off,5\nthreads 1\nscale 64\nworkers 1\n";
+
+/// A spec whose single profile takes seconds to compute (scale-8 machine,
+/// scale-8 corpus matrix): deadline and drain tests need in-flight time.
+const HEAVY_SPEC: &str =
+    "corpus count=1 scale=8 seed=3\nsettings paper\nmethods B\nthreads 4\nscale 8\nworkers 2\n";
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("spmv-serve-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+struct Daemon {
+    child: Child,
+    socket: PathBuf,
+}
+
+impl Daemon {
+    fn start(name: &str, extra: &[&str]) -> Daemon {
+        let socket = scratch(name).join("serve.sock");
+        let mut child = Command::new(BIN)
+            .arg("serve")
+            .args(["--unix", socket.to_str().unwrap()])
+            .args(extra)
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn serve daemon");
+        for _ in 0..400 {
+            if socket.exists() {
+                return Daemon { child, socket };
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        // Reap the stuck daemon before failing so it cannot linger.
+        let _ = child.kill();
+        let _ = child.wait();
+        panic!("daemon did not create {}", socket.display());
+    }
+
+    fn connect(&self) -> Client {
+        let stream = UnixStream::connect(&self.socket).expect("connect to daemon");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    /// Waits for the daemon to exit and returns (exit code, stderr).
+    fn wait(self) -> (i32, String) {
+        let out = self.child.wait_with_output().expect("daemon exit");
+        (
+            out.status.code().unwrap_or(-1),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    }
+}
+
+struct Client {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl Client {
+    fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        self.writer.flush().unwrap();
+    }
+
+    fn predict(&mut self, id: &str, spec: &str, deadline_ms: Option<u64>) {
+        let deadline = match deadline_ms {
+            Some(ms) => format!(",\"deadline_ms\":{ms}"),
+            None => String::new(),
+        };
+        self.send(&format!(
+            "{{\"id\":\"{id}\",\"spec\":\"{}\"{deadline}}}",
+            spec.replace('\n', "\\n")
+        ));
+    }
+
+    fn recv_raw(&mut self) -> String {
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read response");
+        assert!(line.ends_with('\n'), "connection closed mid-response");
+        line.truncate(line.len() - 1);
+        line
+    }
+
+    fn recv(&mut self) -> Json {
+        let line = self.recv_raw();
+        Json::parse(&line).unwrap_or_else(|e| panic!("bad response line {line:?}: {e}"))
+    }
+
+    /// Reads a predict response stream to its end; returns the raw report
+    /// lines and the `done` body.
+    fn recv_stream(&mut self, id: &str) -> (Vec<String>, Json) {
+        let mut reports = Vec::new();
+        loop {
+            let raw = self.recv_raw();
+            let line = Json::parse(&raw).unwrap_or_else(|e| panic!("bad line {raw:?}: {e}"));
+            assert_eq!(
+                line.get("id").and_then(Json::as_str),
+                Some(id),
+                "interleaved response for another request: {raw}"
+            );
+            if let Some(done) = line.get("done") {
+                return (reports, done.clone());
+            }
+            assert!(
+                line.get("report").is_some(),
+                "expected report or done, got {raw}"
+            );
+            reports.push(raw);
+        }
+    }
+}
+
+fn error_code(line: &Json) -> String {
+    line.get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("not an error line"))
+        .to_string()
+}
+
+/// Strips the `{"id":"..","report":` prefix and trailing `}` framing,
+/// recovering the exact batch-command payload.
+fn strip_framing(line: &str, id: &str) -> String {
+    let prefix = format!("{{\"id\":\"{id}\",\"report\":");
+    assert!(
+        line.starts_with(&prefix) && line.ends_with('}'),
+        "unexpected framing: {line}"
+    );
+    line[prefix.len()..line.len() - 1].to_string()
+}
+
+#[test]
+fn serve_matches_batch_and_shares_cache_across_requests() {
+    // Oracle: the batch command on the same spec.
+    let dir = scratch("oracle");
+    let spec_path = dir.join("jobs.spec");
+    std::fs::write(&spec_path, SPEC).unwrap();
+    let batch = Command::new(BIN)
+        .args(["batch", spec_path.to_str().unwrap()])
+        .output()
+        .expect("run batch oracle");
+    assert_eq!(batch.status.code(), Some(0));
+    let oracle: Vec<String> = String::from_utf8_lossy(&batch.stdout)
+        .lines()
+        .filter(|l| l.contains("\"job\":"))
+        .map(str::to_string)
+        .collect();
+    assert_eq!(oracle.len(), 8);
+
+    let daemon = Daemon::start("match-batch", &[]);
+    let mut client = daemon.connect();
+
+    // First request computes the 4 profiles; responses are the batch
+    // payloads byte-for-byte under the id framing.
+    client.predict("c1", SPEC, None);
+    let (reports, done) = client.recv_stream("c1");
+    let payloads: Vec<String> = reports.iter().map(|l| strip_framing(l, "c1")).collect();
+    assert_eq!(payloads, oracle, "serve payloads differ from batch output");
+    assert_eq!(done.get("jobs").and_then(Json::as_u64), Some(8));
+    assert_eq!(
+        done.get("profile_computations").and_then(Json::as_u64),
+        Some(4)
+    );
+    assert_eq!(done.get("profile_hits").and_then(Json::as_u64), Some(4));
+
+    // Two concurrent clients resubmitting the same matrices: everything
+    // is served from the shared cache (the OnceLock slots make the
+    // computation exactly-once even under the race).
+    let handles: Vec<_> = ["t1", "t2"]
+        .into_iter()
+        .map(|id| {
+            let mut c = daemon.connect();
+            std::thread::spawn(move || {
+                c.predict(id, SPEC, None);
+                let (reports, done) = c.recv_stream(id);
+                assert_eq!(reports.len(), 8);
+                assert_eq!(done.get("profile_hits").and_then(Json::as_u64), Some(8));
+                assert_eq!(
+                    done.get("profile_computations").and_then(Json::as_u64),
+                    Some(0)
+                );
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // STATUS exposes the cache SLO counters: 4 computations ever, every
+    // other lookup a hit (4 + 8 + 8 = 20).
+    client.send(r#"{"id":"s1","status":true}"#);
+    let status = client.recv();
+    let body = status.get("status").cloned().expect("status body");
+    let counter = |name: &str| {
+        body.get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("missing counter {name}"))
+    };
+    assert_eq!(counter("engine.cache.computations"), 4);
+    assert_eq!(counter("engine.cache.hits"), 20);
+    assert_eq!(counter("serve.completed"), 3);
+    assert!(
+        body.get("gauges")
+            .and_then(|g| g.get("engine.cache.hit_rate_pct"))
+            .and_then(Json::as_u64)
+            .unwrap()
+            >= 80
+    );
+
+    // Malformed lines get a typed rejection without killing the session.
+    client.send("{oops");
+    let error = client.recv();
+    assert_eq!(error_code(&error), "bad_request");
+    client.send(r#"{"id":"c9","spec":"frobnicate the matrix"}"#);
+    let error = client.recv();
+    assert_eq!(error.get("id").and_then(Json::as_str), Some("c9"));
+    assert_eq!(error_code(&error), "bad_request");
+
+    // Protocol shutdown: acknowledged, then a clean exit.
+    client.send(r#"{"id":"q1","shutdown":true}"#);
+    let ack = client.recv();
+    assert!(ack.get("shutdown").is_some(), "expected shutdown ack");
+    let (code, stderr) = daemon.wait();
+    assert_eq!(code, 0, "stderr: {stderr}");
+    assert!(stderr.contains("3 completed"), "stderr: {stderr}");
+}
+
+#[test]
+fn serve_overload_and_oversized_lines_are_typed_errors() {
+    // queue 0: no predict request is ever admitted — the deterministic
+    // way to exercise the backpressure rejection.
+    let daemon = Daemon::start("overload", &["--queue", "0", "--max-line", "256"]);
+    let mut client = daemon.connect();
+
+    client.predict("o1", SPEC, None);
+    let error = client.recv();
+    assert_eq!(error.get("id").and_then(Json::as_str), Some("o1"));
+    assert_eq!(error_code(&error), "overloaded");
+
+    // A line over the cap is rejected, and the session keeps working.
+    client.send(&format!(
+        "{{\"id\":\"big\",\"spec\":\"{}\"}}",
+        "x".repeat(512)
+    ));
+    let error = client.recv();
+    assert_eq!(error_code(&error), "oversized_line");
+    client.send(r#"{"id":"s","status":true}"#);
+    let status = client.recv();
+    assert!(status.get("status").is_some(), "session should survive");
+
+    client.send(r#"{"id":"q","shutdown":true}"#);
+    client.recv();
+    let (code, stderr) = daemon.wait();
+    assert_eq!(code, 0, "stderr: {stderr}");
+}
+
+#[test]
+fn serve_deadline_exceeded_is_a_typed_error_not_a_hang() {
+    let daemon = Daemon::start("deadline", &[]);
+    let mut client = daemon.connect();
+
+    // A 1 ms budget against seconds of work: the engine's cancellation
+    // checkpoints must surface a typed error promptly.
+    client.predict("d1", HEAVY_SPEC, Some(1));
+    let error = client.recv();
+    assert_eq!(error.get("id").and_then(Json::as_str), Some("d1"));
+    assert_eq!(error_code(&error), "deadline_exceeded");
+
+    // The daemon is still healthy afterwards.
+    client.predict("d2", SPEC, None);
+    let (reports, _) = client.recv_stream("d2");
+    assert_eq!(reports.len(), 8);
+
+    client.send(r#"{"id":"q","shutdown":true}"#);
+    client.recv();
+    let (code, stderr) = daemon.wait();
+    assert_eq!(code, 0, "stderr: {stderr}");
+}
+
+#[test]
+fn serve_sigterm_drains_inflight_work() {
+    let daemon = Daemon::start("drain", &[]);
+    let mut client = daemon.connect();
+
+    // Submit seconds of work, then SIGTERM while it is in flight.
+    client.predict("w1", HEAVY_SPEC, None);
+    std::thread::sleep(Duration::from_millis(200));
+    let term = Command::new("kill")
+        .args(["-TERM", &daemon.child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success());
+
+    // The drained job still answers in full on the open connection.
+    let (reports, done) = client.recv_stream("w1");
+    assert_eq!(reports.len(), 7);
+    assert_eq!(done.get("jobs").and_then(Json::as_u64), Some(7));
+
+    let (code, stderr) = daemon.wait();
+    assert_eq!(code, 0, "stderr: {stderr}");
+    assert!(stderr.contains("1 drained"), "stderr: {stderr}");
+}
