@@ -12,8 +12,10 @@
 
 use a64fx::MachineConfig;
 use memtrace::cursor::TraceCursor;
-use memtrace::interleave::{domain_groups, round_robin_cursors, round_robin_into};
-use memtrace::{Access, DataLayout, SpmvWorkload, TraceSink};
+use memtrace::interleave::{
+    domain_groups, round_robin_cursors, round_robin_cursors_blocks, round_robin_into,
+};
+use memtrace::{Access, BlockSink, DataLayout, SpmvWorkload, TraceSink};
 use sparsemat::RowPartition;
 use std::ops::Range;
 
@@ -130,6 +132,15 @@ impl<'a, W: SpmvWorkload> DomainCursors<'a, W> {
         round_robin_cursors(&mut cursors, 1, sink);
     }
 
+    /// Streams domain `d`'s method (A) references into a block sink —
+    /// the same reference order as [`Self::feed_spmv`], delivered in
+    /// [`memtrace::AccessBlock`]s instead of one virtual call per
+    /// reference. This is the fast path of the marker-stack pipeline.
+    pub fn feed_spmv_blocks<S: BlockSink>(&self, d: usize, sink: &mut S) {
+        let mut cursors = self.spmv_cursors(d);
+        round_robin_cursors_blocks(&mut cursors, sink);
+    }
+
     /// Streams domain `d`'s round-robin interleaved method (B) references
     /// into a sink.
     pub fn feed_x<S: TraceSink>(&self, d: usize, sink: &mut S) {
@@ -223,6 +234,31 @@ mod tests {
             cursors.feed_x(d, &mut got);
             assert_eq!(got.trace, want.trace, "x domain {d}");
             assert_eq!(cursors.x_len(d), want.trace.len(), "x len {d}");
+        }
+    }
+
+    #[test]
+    fn feed_spmv_blocks_matches_per_ref_feed() {
+        use sparsemat::CooMatrix;
+        let mut state = 77u64;
+        let mut coo = CooMatrix::new(80, 80);
+        for r in 0..80 {
+            for _ in 0..5 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(13);
+                coo.push(r, (state >> 33) as usize % 80, 1.0);
+            }
+        }
+        let m = coo.to_csr();
+        let layout = DataLayout::new(&m, 64);
+        let partition = thread_partition(&m, 5);
+        let cursors = DomainCursors::new(&m, &layout, &partition, 2);
+        for d in 0..cursors.num_domains() {
+            let mut want = VecSink::new();
+            cursors.feed_spmv(d, &mut want);
+            let mut got = memtrace::PackedVecSink::new();
+            cursors.feed_spmv_blocks(d, &mut got);
+            let unpacked: Vec<Access> = got.trace.iter().map(|p| p.unpack()).collect();
+            assert_eq!(unpacked, want.trace, "domain {d}");
         }
     }
 

@@ -24,11 +24,14 @@ use crate::analytic::{scale_part0, scale_unpart, StreamTerms};
 use crate::concurrent::{thread_partition, DomainCursors, DomainTraces};
 use crate::predict::{Method, Prediction, SectorSetting};
 use a64fx::MachineConfig;
-use memtrace::sink::TeeSink;
+use memtrace::sink::{PackedVecSink, TeeSink};
 use memtrace::spmv_trace::trace_spmv_partitioned;
 use memtrace::xtrace::trace_x_partitioned;
-use memtrace::{Access, Array, ArraySet, DataLayout, SpmvWorkload, TraceCursor, TraceSink};
-use reuse::{ExactStack, LineTable, MarkerStack, ReuseHistogram};
+use memtrace::{
+    Access, AccessBlock, Array, ArraySet, BlockSink, BlockTee, DataLayout, PackedAccess,
+    SpmvWorkload, TraceCursor, TraceSink, BLOCK_REFS,
+};
+use reuse::{ExactStack, LineTable, MarkerStack, QuantizedCounts, ReuseHistogram};
 use sparsemat::{CsrMatrix, RowPartition};
 use std::collections::HashMap;
 
@@ -38,7 +41,7 @@ use std::collections::HashMap;
 pub use memtrace::WorkShare as DomainShare;
 
 /// Per-array reuse histograms of one routed reference stream.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ArrayHistograms {
     /// One histogram per [`Array`] (indexed by `Array as usize`),
     /// recording the measured (steady-state) iteration only.
@@ -92,6 +95,26 @@ impl HistogramSink {
         }
     }
 
+    /// Like [`new`](Self::new), but additionally pre-sizes both stacks'
+    /// line tables for the distinct-line bounds of the stream each will
+    /// see, so neither rehashes mid-trace.
+    fn with_line_capacity(
+        sector1: ArraySet,
+        expected0: usize,
+        expected1: usize,
+        lines0: usize,
+        lines1: usize,
+    ) -> Self {
+        HistogramSink {
+            sector1,
+            stack0: ExactStack::with_line_capacity(expected0, lines0),
+            stack1: ExactStack::with_line_capacity(expected1, lines1),
+            hist0: ArrayHistograms::default(),
+            hist1: ArrayHistograms::default(),
+            recording: false,
+        }
+    }
+
     /// Reports both stacks' statistics to the telemetry counters.
     fn flush_obs(&self) {
         self.stack0.flush_obs();
@@ -121,25 +144,88 @@ struct MarkerSink {
     sector1: ArraySet,
     stack0: Option<MarkerStack>,
     stack1: Option<MarkerStack>,
+    // Per-block routing scratch, reused across consume() calls.
+    buf0: Vec<PackedAccess>,
+    buf1: Vec<PackedAccess>,
 }
 
 impl MarkerSink {
-    fn new(sector1: ArraySet, caps0: &[usize], caps1: &[usize]) -> Self {
-        let mk = |caps: &[usize]| (!caps.is_empty()).then(|| MarkerStack::new(caps));
+    /// Line-universe bound above which stacks fall back from the
+    /// direct-mapped line index (4 bytes per line of the whole layout,
+    /// touched or not) to the pre-sized hash table. 4M lines = 16 MiB
+    /// per stack; every paper-scale layout is far below this.
+    const DENSE_LINE_LIMIT: usize = 1 << 22;
+
+    /// Creates a routed sink for a layout whose line ids all lie below
+    /// `universe` ([`DataLayout`] numbers lines densely, so
+    /// `layout.total_lines()` is that bound). Small universes get the
+    /// direct-mapped line index — one indexed load per probe; huge ones
+    /// fall back to hash tables pre-sized for the distinct-line bounds
+    /// of the stream each partition will see (`lines0`/`lines1`), so the
+    /// hot loop never rehashes either way.
+    fn new(
+        sector1: ArraySet,
+        caps0: &[usize],
+        caps1: &[usize],
+        lines0: usize,
+        lines1: usize,
+        universe: usize,
+    ) -> Self {
+        let mk = |caps: &[usize], lines: usize| {
+            (!caps.is_empty()).then(|| {
+                if universe <= Self::DENSE_LINE_LIMIT {
+                    MarkerStack::with_line_universe(caps, universe)
+                } else {
+                    MarkerStack::with_line_capacity(caps, lines)
+                }
+            })
+        };
         MarkerSink {
             sector1,
-            stack0: mk(caps0),
-            stack1: mk(caps1),
+            stack0: mk(caps0, lines0),
+            stack1: mk(caps1, lines1),
+            buf0: Vec::with_capacity(BLOCK_REFS),
+            buf1: Vec::with_capacity(BLOCK_REFS),
         }
     }
 
-    /// Discards the warm-up iteration's counters (stack state is kept).
-    fn reset_counters(&mut self) {
+    /// Quantized counts of the partition-0 stack (`None` when the grid it
+    /// would track is empty).
+    fn counts0(&self) -> Option<QuantizedCounts> {
+        self.stack0.as_ref().map(|s| s.counts())
+    }
+
+    /// Quantized counts of the partition-1 stack.
+    fn counts1(&self) -> Option<QuantizedCounts> {
+        self.stack1.as_ref().map(|s| s.counts())
+    }
+
+    /// Total line-table rehashes across the instantiated stacks — the
+    /// pre-sizing regression tests assert this stays zero.
+    #[cfg(test)]
+    fn index_rehashes(&self) -> u64 {
+        self.stack0.as_ref().map_or(0, |s| s.index_rehashes())
+            + self.stack1.as_ref().map_or(0, |s| s.index_rehashes())
+    }
+
+    /// Seeds both stacks with the warm-up stream's post-replay state from
+    /// its last-access order (most recent first), routing each line to the
+    /// partition its array belongs to. Counters stay zero — equivalent to
+    /// replaying the warm-up and then resetting, per
+    /// [`MarkerStack::seed_lru`]'s exactness argument.
+    fn seed_lru(&mut self, order: &[(u64, Array)]) {
+        let route = |sector1: ArraySet, want1: bool| -> Vec<u64> {
+            order
+                .iter()
+                .filter(|(_, a)| sector1.contains(*a) == want1)
+                .map(|&(line, _)| line)
+                .collect()
+        };
         if let Some(s) = &mut self.stack0 {
-            s.reset_counters();
+            s.seed_lru(&route(self.sector1, false));
         }
         if let Some(s) = &mut self.stack1 {
-            s.reset_counters();
+            s.seed_lru(&route(self.sector1, true));
         }
     }
 
@@ -187,6 +273,95 @@ impl TraceSink for MarkerSink {
     }
 }
 
+impl MarkerSink {
+    /// Routes a run of packed references (any length — block-sized on
+    /// the streaming path, a whole buffered trace on the replay path)
+    /// into the partition stacks.
+    fn consume_refs(&mut self, refs: &[PackedAccess]) {
+        // Unpartitioned routing: the whole run goes to stack 0 as-is —
+        // no per-reference routing work at all.
+        if self.sector1.is_empty() {
+            if let Some(s) = &mut self.stack0 {
+                s.access_block(refs);
+            }
+            return;
+        }
+        if self.stack0.is_none() && self.stack1.is_none() {
+            return;
+        }
+        // Split the run by routing. The two stacks are independent, so
+        // feeding each its subsequence preserves the per-ref semantics.
+        self.buf0.clear();
+        self.buf1.clear();
+        for &p in refs {
+            if self.sector1.contains(p.array()) {
+                self.buf1.push(p);
+            } else {
+                self.buf0.push(p);
+            }
+        }
+        if let Some(s) = &mut self.stack0 {
+            s.access_block(&self.buf0);
+        }
+        if let Some(s) = &mut self.stack1 {
+            s.access_block(&self.buf1);
+        }
+    }
+}
+
+impl BlockSink for MarkerSink {
+    #[inline]
+    fn consume(&mut self, block: &AccessBlock) {
+        self.consume_refs(block.refs());
+    }
+}
+
+/// Block sink recording each line's last access position in one pass —
+/// the cheap warm-up replacement of the tracked pipeline. Global line ids
+/// are dense (`DataLayout` packs the five arrays back to back), so the
+/// scan is a direct store per reference: no hash probe, no stack work.
+struct LastPosSink {
+    /// `((pos + 1) << 3) | array` per global line id; 0 = untouched.
+    last: Vec<u64>,
+    pos: u64,
+}
+
+impl LastPosSink {
+    fn new(total_lines: u64) -> Self {
+        LastPosSink {
+            last: vec![0; total_lines as usize],
+            pos: 0,
+        }
+    }
+
+    /// The touched lines in most-recently-accessed-first order, each with
+    /// its array tag — the seed order for [`MarkerSink::seed_lru`].
+    fn lru_order(&self) -> Vec<(u64, Array)> {
+        let mut touched: Vec<(u64, u64)> = self
+            .last
+            .iter()
+            .enumerate()
+            .filter(|&(_, &v)| v != 0)
+            .map(|(line, &v)| (v, line as u64))
+            .collect();
+        // Positions are unique, so this orders strictly by recency.
+        touched.sort_unstable_by_key(|&(v, _)| std::cmp::Reverse(v));
+        touched
+            .into_iter()
+            .map(|(v, line)| (line, Array::ALL[(v & 7) as usize]))
+            .collect()
+    }
+}
+
+impl BlockSink for LastPosSink {
+    fn consume(&mut self, block: &AccessBlock) {
+        for &p in block.refs() {
+            self.pos += 1;
+            self.last[p.line() as usize] = (self.pos << 3) | p.array() as u64;
+        }
+    }
+}
+
 /// Trace sink distilling the method (B) `x`-stream into `(RD, gap)` pair
 /// counts on the fly — the streaming replacement for the materialise-
 /// then-replay loop.
@@ -200,10 +375,13 @@ struct XPairSink {
 }
 
 impl XPairSink {
-    fn new(expected_len: usize) -> Self {
+    /// Creates a sink sized for the expected trace length and the bound
+    /// on distinct `x` lines the domain can touch, so neither the reuse
+    /// stack's nor the gap table's hash table rehashes mid-trace.
+    fn new(expected_len: usize, distinct_lines: usize) -> Self {
         XPairSink {
-            stack: ExactStack::with_capacity(expected_len),
-            last_seen: LineTable::new(),
+            stack: ExactStack::with_line_capacity(expected_len, distinct_lines),
+            last_seen: LineTable::with_capacity(distinct_lines),
             pairs: HashMap::new(),
             cold: 0,
             now: 0,
@@ -224,6 +402,7 @@ impl XPairSink {
             );
             obs::gauge_max("reuse.linetable.displacement_max", probes.max_displacement);
             obs::gauge_max("reuse.linetable.slots_max", probes.slots);
+            obs::add("reuse.linetable.rehashes", self.last_seen.rehashes());
             obs::observe("core.xpair.distinct_pairs", self.pairs.len() as u64);
         }
     }
@@ -309,7 +488,7 @@ impl TrackedCaps {
 
 /// Method (A) profile: steady-state per-array reuse histograms under both
 /// reference routings the paper evaluates.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceProfile {
     /// Unpartitioned routing (sector cache off): all arrays in one stream.
     pub shared: ArrayHistograms,
@@ -321,7 +500,7 @@ pub struct TraceProfile {
 
 /// Method (B) profile: the measured-iteration `x`-trace distilled to
 /// `(reuse distance, access gap)` pair counts (plus the cold tail).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct XProfile {
     /// `(line reuse distance, access-count gap) -> occurrences`, summed
     /// over domains.
@@ -339,7 +518,7 @@ pub struct XProfile {
 // boxing the big variant would buy nothing and cost an indirection on
 // every evaluation.
 #[allow(clippy::large_enum_variant)]
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ProfileKind {
     /// Method (A): full-trace histograms.
     Trace(TraceProfile),
@@ -352,7 +531,7 @@ pub enum ProfileKind {
 /// Valid for any [`SectorSetting`] sweep against a machine with the same
 /// line size and cores-per-domain topology ([`Self::evaluate`] asserts
 /// this); the cache *size* and way split may vary freely.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LocalityProfile {
     method: Method,
     threads: usize,
@@ -375,7 +554,7 @@ pub struct LocalityProfile {
 // Same trade-off as [`ProfileKind`]: a handful of instances per matrix,
 // so the variant size gap is not worth a box.
 #[allow(clippy::large_enum_variant)]
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DomainPartial {
     /// Method (A): one domain's histograms under both routings.
     Trace {
@@ -386,6 +565,19 @@ pub enum DomainPartial {
         /// Listing-1 routing, partition 1.
         part1: ArrayHistograms,
     },
+    /// Method (A), capacity-sharded: one shard's quantized miss counts
+    /// per routing, produced by [`ProfileBuilder::domain_shard_partial`].
+    /// A routing is `None` when this shard owns none of its tracked
+    /// capacities. Shards of one domain merge into a [`Self::Trace`]
+    /// partial via [`Self::merge_shards`].
+    TraceShard {
+        /// Unpartitioned-routing counts (this shard's capacity slice).
+        shared: Option<QuantizedCounts>,
+        /// Partition-0 counts (this shard's capacity slice).
+        part0: Option<QuantizedCounts>,
+        /// Partition-1 counts (this shard's capacity slice).
+        part1: Option<QuantizedCounts>,
+    },
     /// Method (B): one domain's `(RD, gap)` pair counts (sorted) and cold
     /// tail.
     XTrace {
@@ -394,6 +586,57 @@ pub enum DomainPartial {
         /// Cold accesses of this domain's measured iteration.
         cold: u64,
     },
+}
+
+impl DomainPartial {
+    /// Merges one domain's shard partials (in shard order) into the
+    /// [`Self::Trace`] partial the unsharded pipeline would produce.
+    ///
+    /// A marker stack's miss count at a capacity is independent of the
+    /// other capacities the stack tracks, so concatenating each routing's
+    /// per-capacity counts across the shards — every shard replayed the
+    /// identical stream — reproduces the full-grid counters bit for bit
+    /// (asserted: all shards must agree on the cold/access tallies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is empty, contains a non-[`Self::TraceShard`]
+    /// partial, or the shards' streams disagree.
+    pub fn merge_shards(shards: Vec<DomainPartial>) -> DomainPartial {
+        assert!(!shards.is_empty(), "need at least one shard partial");
+        let mut shared_parts = Vec::new();
+        let mut part0_parts = Vec::new();
+        let mut part1_parts = Vec::new();
+        for shard in shards {
+            match shard {
+                DomainPartial::TraceShard {
+                    shared,
+                    part0,
+                    part1,
+                } => {
+                    shared_parts.extend(shared);
+                    part0_parts.extend(part0);
+                    part1_parts.extend(part1);
+                }
+                _ => panic!("merge_shards expects TraceShard partials"),
+            }
+        }
+        let hist = |parts: Vec<QuantizedCounts>| -> ArrayHistograms {
+            let mut h = ArrayHistograms::default();
+            if !parts.is_empty() {
+                let merged = QuantizedCounts::concat(parts);
+                for a in Array::ALL {
+                    h.by_array[a as usize] = merged.histogram(a);
+                }
+            }
+            h
+        };
+        DomainPartial::Trace {
+            shared: hist(shared_parts),
+            part0: hist(part0_parts),
+            part1: hist(part1_parts),
+        }
+    }
 }
 
 /// The streaming trace pipeline behind [`LocalityProfile::compute`],
@@ -504,6 +747,165 @@ impl<'m, W: SpmvWorkload> ProfileBuilder<'m, W> {
         self.domains.len()
     }
 
+    /// The most capacity shards a domain's trace analysis can usefully be
+    /// split into: the total number of tracked capacity slots across the
+    /// three routings. 1 for exact (untracked) builders — their pipeline
+    /// has no capacity grid to shard.
+    pub fn max_shards(&self) -> usize {
+        self.tracked.as_ref().map_or(1, |t| {
+            (t.shared.len() + t.part0.len() + t.part1.len()).max(1)
+        })
+    }
+
+    /// Upper bounds on the distinct cache lines domain `d`'s stream can
+    /// touch, per routing: `(shared, part0, part1)`. Each sequential
+    /// stream of `n` elements spans at most `n/epl + 1` lines; the `x`
+    /// gather is bounded by both the whole `x` array and the domain's
+    /// reference count. Used to pre-size line tables so the hot loops
+    /// never rehash.
+    fn domain_line_bounds(&self, d: usize) -> (usize, usize, usize) {
+        let share = &self.domains[d];
+        let l = &self.layout;
+        let seq = |array: Array, n: usize| n.div_ceil(l.elements_per_line(array)) + 1;
+        let a = seq(Array::A, share.x_refs);
+        let colidx = seq(Array::ColIdx, share.x_refs);
+        let rowptr = seq(Array::RowPtr, share.meta_elems);
+        let y = seq(Array::Y, share.rows);
+        let x = self.domain_x_lines(d);
+        (x + y + rowptr + a + colidx, x + y + rowptr, a + colidx)
+    }
+
+    /// Upper bound on the distinct `x` lines domain `d` can gather.
+    fn domain_x_lines(&self, d: usize) -> usize {
+        (self.layout.array_lines(Array::X) as usize).min(self.domains[d].x_refs)
+    }
+
+    /// The slice of each routing's capacity grid that shard `shard` of
+    /// `shards` owns: the grids are flattened `[shared, part0, part1]`
+    /// and split into `shards` contiguous near-equal ranges.
+    fn shard_grids(t: &TrackedCaps, shard: usize, shards: usize) -> (&[usize], &[usize], &[usize]) {
+        fn slice(grid: &[usize], off: usize, lo: usize, hi: usize) -> &[usize] {
+            let g_lo = lo.clamp(off, off + grid.len()) - off;
+            let g_hi = hi.clamp(off, off + grid.len()) - off;
+            &grid[g_lo..g_hi]
+        }
+        let total = t.shared.len() + t.part0.len() + t.part1.len();
+        let lo = shard * total / shards;
+        let hi = (shard + 1) * total / shards;
+        (
+            slice(&t.shared, 0, lo, hi),
+            slice(&t.part0, t.shared.len(), lo, hi),
+            slice(&t.part1, t.shared.len() + t.part0.len(), lo, hi),
+        )
+    }
+
+    /// Runs the tracked (marker-stack) pipeline for domain `d` over the
+    /// given capacity grids and returns the warmed, measured sinks. The
+    /// block-batched fast path of method (A).
+    ///
+    /// The warm-up iteration is not replayed through the stacks: a marker
+    /// stack's post-warm-up state is a pure function of the warm-up
+    /// stream's last-access order (see [`MarkerStack::seed_lru`]), so one
+    /// cheap last-position scan of the stream seeds all three stacks
+    /// byte-identically at O(1) per reference — roughly halving the
+    /// pipeline's stack work.
+    fn run_tracked_domain(
+        &self,
+        d: usize,
+        grids: (&[usize], &[usize], &[usize]),
+    ) -> (MarkerSink, MarkerSink) {
+        let (g_shared, g_part0, g_part1) = grids;
+        let cursors = DomainCursors::new(
+            self.workload,
+            &self.layout,
+            &self.partition,
+            self.cores_per_domain,
+        );
+        let (b_shared, b0, b1) = self.domain_line_bounds(d);
+        let universe = self.layout.total_lines() as usize;
+        let mut shared = MarkerSink::new(ArraySet::EMPTY, g_shared, &[], b_shared, 16, universe);
+        let mut routed =
+            MarkerSink::new(ArraySet::MATRIX_STREAM, g_part0, g_part1, b0, b1, universe);
+        // Warm-up: one last-position scan stands in for the full replay.
+        // When the domain's stream fits the replay budget, the same pass
+        // also records the packed references, and the measured iteration
+        // replays the buffer instead of regenerating the stream — the
+        // buffer IS the stream, so the counters are unchanged and one of
+        // the two generation passes disappears. Oversized streams fall
+        // back to generating twice (the fully streaming shape).
+        let mut lastpos = LastPosSink::new(self.layout.total_lines());
+        let len = cursors.spmv_len(d);
+        if len <= Self::REPLAY_REFS_MAX {
+            let mut buf = PackedVecSink {
+                trace: Vec::with_capacity(len),
+            };
+            cursors.feed_spmv_blocks(
+                d,
+                &mut BlockTee {
+                    first: &mut lastpos,
+                    second: &mut buf,
+                },
+            );
+            let order = lastpos.lru_order();
+            shared.seed_lru(&order);
+            routed.seed_lru(&order);
+            // Measured iteration: replay. The sinks are independent, so
+            // whole-trace runs are equivalent to interleaved blocks.
+            shared.consume_refs(&buf.trace);
+            routed.consume_refs(&buf.trace);
+        } else {
+            cursors.feed_spmv_blocks(d, &mut lastpos);
+            let order = lastpos.lru_order();
+            shared.seed_lru(&order);
+            routed.seed_lru(&order);
+            // Measured iteration.
+            cursors.feed_spmv_blocks(
+                d,
+                &mut BlockTee {
+                    first: &mut shared,
+                    second: &mut routed,
+                },
+            );
+        }
+        (shared, routed)
+    }
+
+    /// Longest per-domain stream the tracked pipeline will buffer for
+    /// warm-up/measured single-generation replay: 4M packed references
+    /// = 32 MiB. Beyond this the pipeline stays fully streaming and
+    /// generates the stream twice instead.
+    const REPLAY_REFS_MAX: usize = 1 << 22;
+
+    /// Computes domain `d`'s contribution restricted to capacity shard
+    /// `shard` of `shards`: the same stream is replayed against only the
+    /// shard's slice of the tracked capacity grids, so the `shards`
+    /// partials of one domain can run on separate threads and
+    /// [`DomainPartial::merge_shards`] reassembles the exact full-grid
+    /// partial. `shards` may exceed [`max_shards`](Self::max_shards);
+    /// the surplus shards own empty grids and contribute nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shards`, `d >= num_domains()`, or the builder
+    /// is not a tracked (sweep, method A) builder.
+    pub fn domain_shard_partial(&self, d: usize, shard: usize, shards: usize) -> DomainPartial {
+        assert!(shard < shards, "shard index {shard} out of range {shards}");
+        let t = self
+            .tracked
+            .as_ref()
+            .expect("capacity sharding requires a sweep (tracked) method (A) builder");
+        let _span = obs::span("profile.domain");
+        let (shared, routed) = self.run_tracked_domain(d, Self::shard_grids(t, shard, shards));
+        let _extract = obs::span("reuse_stack.extract");
+        shared.flush_obs();
+        routed.flush_obs();
+        DomainPartial::TraceShard {
+            shared: shared.counts0(),
+            part0: routed.counts0(),
+            part1: routed.counts1(),
+        }
+    }
+
     /// Computes domain `d`'s contribution. Pure in `&self`: safe to call
     /// from any thread, in any order.
     ///
@@ -521,26 +923,8 @@ impl<'m, W: SpmvWorkload> ProfileBuilder<'m, W> {
         match self.method {
             Method::A => {
                 if let Some(t) = &self.tracked {
-                    let mut shared = MarkerSink::new(ArraySet::EMPTY, &t.shared, &[]);
-                    let mut routed = MarkerSink::new(ArraySet::MATRIX_STREAM, &t.part0, &t.part1);
-                    // Warm-up: populate stack state, then discard counters.
-                    cursors.feed_spmv(
-                        d,
-                        &mut TeeSink {
-                            first: &mut shared,
-                            second: &mut routed,
-                        },
-                    );
-                    shared.reset_counters();
-                    routed.reset_counters();
-                    // Measured iteration.
-                    cursors.feed_spmv(
-                        d,
-                        &mut TeeSink {
-                            first: &mut shared,
-                            second: &mut routed,
-                        },
-                    );
+                    let (shared, routed) =
+                        self.run_tracked_domain(d, (&t.shared, &t.part0, &t.part1));
                     let _extract = obs::span("reuse_stack.extract");
                     shared.flush_obs();
                     routed.flush_obs();
@@ -552,13 +936,22 @@ impl<'m, W: SpmvWorkload> ProfileBuilder<'m, W> {
                 } else {
                     let len = cursors.spmv_len(d);
                     let x_refs_d = self.domains[d].x_refs;
+                    let (b_shared, b0, b1) = self.domain_line_bounds(d);
                     // Partition 1 sees only `a` + `colidx`: two references
                     // per `x` gather per pass.
-                    let mut shared = HistogramSink::new(ArraySet::EMPTY, 2 * len, 16);
-                    let mut routed = HistogramSink::new(
+                    let mut shared = HistogramSink::with_line_capacity(
+                        ArraySet::EMPTY,
+                        2 * len,
+                        16,
+                        b_shared,
+                        16,
+                    );
+                    let mut routed = HistogramSink::with_line_capacity(
                         ArraySet::MATRIX_STREAM,
                         2 * (len - 2 * x_refs_d),
                         4 * x_refs_d,
+                        b0,
+                        b1,
                     );
                     cursors.feed_spmv(
                         d,
@@ -587,7 +980,7 @@ impl<'m, W: SpmvWorkload> ProfileBuilder<'m, W> {
                 }
             }
             Method::B => {
-                let mut sink = XPairSink::new(2 * cursors.x_len(d));
+                let mut sink = XPairSink::new(2 * cursors.x_len(d), self.domain_x_lines(d));
                 cursors.feed_x(d, &mut sink); // warm-up
                 sink.recording = true;
                 cursors.feed_x(d, &mut sink); // measured
@@ -630,6 +1023,9 @@ impl<'m, W: SpmvWorkload> ProfileBuilder<'m, W> {
                             part0.merge(p0);
                             part1.merge(p1);
                         }
+                        DomainPartial::TraceShard { .. } => {
+                            panic!("unmerged shard partial; merge with DomainPartial::merge_shards")
+                        }
                         DomainPartial::XTrace { .. } => {
                             panic!("method (B) partial in method (A) build")
                         }
@@ -652,7 +1048,7 @@ impl<'m, W: SpmvWorkload> ProfileBuilder<'m, W> {
                             }
                             cold += c;
                         }
-                        DomainPartial::Trace { .. } => {
+                        DomainPartial::Trace { .. } | DomainPartial::TraceShard { .. } => {
                             panic!("method (A) partial in method (B) build")
                         }
                     }
@@ -1399,6 +1795,95 @@ mod tests {
                 reference.evaluate(&cfg, &settings),
                 "{method:?}"
             );
+        }
+    }
+
+    /// Sharded partials, merged per domain, must reproduce the unsharded
+    /// tracked pipeline bit for bit — for any shard count, including
+    /// counts exceeding the capacity-slot total (surplus shards are
+    /// empty).
+    fn assert_sharding_is_exact<W: SpmvWorkload>(workload: &W, threads: usize, cpd: usize) {
+        let mut cfg = MachineConfig::a64fx_scaled(64);
+        cfg.cores_per_domain = cpd;
+        let settings = SectorSetting::paper_sweep();
+        let builder = ProfileBuilder::for_sweep(workload, &cfg, Method::A, threads, &settings);
+        let reference: Vec<DomainPartial> = (0..builder.num_domains())
+            .map(|d| builder.domain_partial(d))
+            .collect();
+        assert!(builder.max_shards() > 1, "paper sweep tracks many slots");
+        for shards in [1, 2, 3, 7, 16] {
+            let merged: Vec<DomainPartial> = (0..builder.num_domains())
+                .map(|d| {
+                    DomainPartial::merge_shards(
+                        (0..shards)
+                            .map(|s| builder.domain_shard_partial(d, s, shards))
+                            .collect(),
+                    )
+                })
+                .collect();
+            assert_eq!(merged, reference, "shards={shards}");
+        }
+        // And through finish(): a profile assembled from 7-way sharded,
+        // per-domain-merged partials equals the direct computation.
+        let merged: Vec<DomainPartial> = (0..builder.num_domains())
+            .map(|d| {
+                DomainPartial::merge_shards(
+                    (0..7)
+                        .map(|s| builder.domain_shard_partial(d, s, 7))
+                        .collect(),
+                )
+            })
+            .collect();
+        let sharded = builder.finish(merged);
+        let direct =
+            LocalityProfile::compute_for_sweep(workload, &cfg, Method::A, threads, &settings);
+        assert_eq!(sharded, direct);
+    }
+
+    #[test]
+    fn sharded_csr_partials_merge_to_unsharded() {
+        let m = random_matrix(1200, 9, 63);
+        assert_sharding_is_exact(&m, 8, 3);
+        assert_sharding_is_exact(&m, 1, 12);
+    }
+
+    #[test]
+    fn sharded_sell_partials_merge_to_unsharded() {
+        let m = random_matrix(1024, 8, 29);
+        let sell = sparsemat::SellMatrix::from_csr(&m, 8, 32);
+        assert_sharding_is_exact(&sell, 5, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "merge_shards expects TraceShard partials")]
+    fn merge_shards_rejects_plain_partials() {
+        DomainPartial::merge_shards(vec![DomainPartial::Trace {
+            shared: ArrayHistograms::default(),
+            part0: ArrayHistograms::default(),
+            part1: ArrayHistograms::default(),
+        }]);
+    }
+
+    /// Satellite regression: on the PR-2 benchmark spec (corpus count 4,
+    /// scale 64, seed 2023, 8 threads, paper sweep) the pre-sized marker
+    /// pipeline must never rehash a line table mid-trace.
+    #[test]
+    fn pr2_spec_tracked_pipeline_triggers_zero_rehashes() {
+        let cfg = MachineConfig::a64fx_scaled(64);
+        let settings = SectorSetting::paper_sweep();
+        for named in corpus::corpus(4, 64, 2023) {
+            let builder = ProfileBuilder::for_sweep(&named.matrix, &cfg, Method::A, 8, &settings);
+            let t = builder.tracked.as_ref().unwrap();
+            for d in 0..builder.num_domains() {
+                let (shared, routed) =
+                    builder.run_tracked_domain(d, (&t.shared, &t.part0, &t.part1));
+                assert_eq!(
+                    shared.index_rehashes() + routed.index_rehashes(),
+                    0,
+                    "{} domain {d} rehashed",
+                    named.name
+                );
+            }
         }
     }
 

@@ -222,6 +222,34 @@ pub fn compute_profile_parallel<W: SpmvWorkload>(
     .expect("a never-cancelled computation completes")
 }
 
+/// [`compute_profile_parallel`] with an explicit capacity-shard override.
+/// `shards = None` applies the heuristic (shard only when the domain
+/// count alone cannot occupy the pool); `Some(n)` forces `n` shards per
+/// domain, clamped to the tracked grid's slot count. Untracked (exact)
+/// and method (B) builders have nothing to shard and always run the plain
+/// per-domain fan-out.
+pub fn compute_profile_sharded<W: SpmvWorkload>(
+    workload: &W,
+    cfg: &MachineConfig,
+    method: Method,
+    threads: usize,
+    settings: Option<&[SectorSetting]>,
+    workers: usize,
+    shards: Option<usize>,
+) -> LocalityProfile {
+    try_compute_profile_sharded(
+        workload,
+        cfg,
+        method,
+        threads,
+        settings,
+        workers,
+        shards,
+        &CancelToken::never(),
+    )
+    .expect("a never-cancelled computation completes")
+}
+
 /// Cancellable [`compute_profile_parallel`]: `token` is polled before
 /// each per-domain trace analysis (the engine's cooperative cancellation
 /// checkpoints — one huge matrix is abandoned within a domain's worth of
@@ -237,6 +265,30 @@ pub fn try_compute_profile_parallel<W: SpmvWorkload>(
     workers: usize,
     token: &CancelToken,
 ) -> Option<LocalityProfile> {
+    try_compute_profile_sharded(
+        workload, cfg, method, threads, settings, workers, None, token,
+    )
+}
+
+/// Cancellable [`compute_profile_sharded`]. When one matrix has fewer L2
+/// domains than the pool has workers, the per-domain fan-out alone cannot
+/// saturate the pool; sweep (tracked) method (A) builders then split each
+/// domain's tracked capacity grid into shards — every shard replays the
+/// identical stream against a slice of the capacities, and the
+/// deterministic per-domain merge reproduces the unsharded counters bit
+/// for bit, so the profile (and hence all report bytes) is independent of
+/// the worker count.
+#[allow(clippy::too_many_arguments)]
+pub fn try_compute_profile_sharded<W: SpmvWorkload>(
+    workload: &W,
+    cfg: &MachineConfig,
+    method: Method,
+    threads: usize,
+    settings: Option<&[SectorSetting]>,
+    workers: usize,
+    shards: Option<usize>,
+    token: &CancelToken,
+) -> Option<LocalityProfile> {
     let _span = obs::span("profile.build");
     obs::add("core.profile.builds", 1);
     let builder = match settings {
@@ -244,17 +296,55 @@ pub fn try_compute_profile_parallel<W: SpmvWorkload>(
         None => ProfileBuilder::new(workload, cfg, method, threads),
     };
     obs::observe("core.profile.domains", builder.num_domains() as u64);
-    let domains: Vec<usize> = (0..builder.num_domains()).collect();
-    let partials: Option<Vec<DomainPartial>> = pool::run_indexed(workers, &domains, |_, &d| {
-        if token.is_cancelled() {
-            None
-        } else {
-            Some(builder.domain_partial(d))
+    let num_domains = builder.num_domains();
+    let shard_count = match shards {
+        Some(n) => n.max(1),
+        None => {
+            let pool_width = pool::resolved_workers(workers);
+            if num_domains == 0 || num_domains >= pool_width {
+                1
+            } else {
+                pool_width.div_ceil(num_domains)
+            }
         }
-    })
-    .into_iter()
-    .collect();
-    Some(builder.finish(partials?))
+    }
+    .min(builder.max_shards());
+
+    if shard_count <= 1 {
+        let domains: Vec<usize> = (0..num_domains).collect();
+        let partials: Option<Vec<DomainPartial>> = pool::run_indexed(workers, &domains, |_, &d| {
+            if token.is_cancelled() {
+                None
+            } else {
+                Some(builder.domain_partial(d))
+            }
+        })
+        .into_iter()
+        .collect();
+        return Some(builder.finish(partials?));
+    }
+
+    obs::gauge_max("engine.profile.shards", shard_count as u64);
+    let tasks: Vec<(usize, usize)> = (0..num_domains)
+        .flat_map(|d| (0..shard_count).map(move |s| (d, s)))
+        .collect();
+    let shard_partials: Option<Vec<DomainPartial>> =
+        pool::run_indexed(workers, &tasks, |_, &(d, s)| {
+            if token.is_cancelled() {
+                None
+            } else {
+                Some(builder.domain_shard_partial(d, s, shard_count))
+            }
+        })
+        .into_iter()
+        .collect();
+    // Tasks are domain-major, so consecutive chunks are one domain's
+    // shards in shard order — exactly what the merge expects.
+    let partials: Vec<DomainPartial> = shard_partials?
+        .chunks(shard_count)
+        .map(|chunk| DomainPartial::merge_shards(chunk.to_vec()))
+        .collect();
+    Some(builder.finish(partials))
 }
 
 /// Runs a batch: resolves workloads from the spec's sources (applying its
@@ -686,6 +776,42 @@ mod tests {
         assert_eq!(again, batch.reports);
         assert_eq!(stats2.profile_computations, 0);
         assert_eq!(stats2.profile_hits, stats2.jobs as u64);
+    }
+
+    #[test]
+    fn sharded_profiles_match_direct_computation() {
+        use locality_core::LocalityProfile;
+        let nm = &corpus::corpus(1, 64, 2023)[0];
+        let cfg = machine_for(&small_spec());
+        let settings = locality_core::SectorSetting::paper_sweep();
+        let direct = LocalityProfile::compute_for_sweep(&nm.matrix, &cfg, Method::A, 8, &settings);
+        // Heuristic sharding (threads 8 → one domain, 4 workers) and every
+        // explicit shard count must reproduce the direct profile exactly.
+        let heuristic =
+            compute_profile_parallel(&nm.matrix, &cfg, Method::A, 8, Some(&settings), 4);
+        assert_eq!(heuristic, direct);
+        for shards in [1, 2, 7, 64] {
+            let sharded = compute_profile_sharded(
+                &nm.matrix,
+                &cfg,
+                Method::A,
+                8,
+                Some(&settings),
+                4,
+                Some(shards),
+            );
+            assert_eq!(sharded, direct, "shards={shards}");
+        }
+        // Exact (untracked) and method (B) builders have nothing to shard
+        // but must still accept the override.
+        let exact = compute_profile_sharded(&nm.matrix, &cfg, Method::A, 8, None, 4, Some(8));
+        assert_eq!(
+            exact,
+            LocalityProfile::compute(&nm.matrix, &cfg, Method::A, 8)
+        );
+        let b =
+            compute_profile_sharded(&nm.matrix, &cfg, Method::B, 8, Some(&settings), 4, Some(8));
+        assert_eq!(b, LocalityProfile::compute(&nm.matrix, &cfg, Method::B, 8));
     }
 
     #[test]

@@ -15,6 +15,19 @@
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
+/// The thread count a `workers` request resolves to: `0` means one per
+/// host core. Callers sizing work *for* the pool (e.g. the capacity-shard
+/// heuristic) use this to see the same parallelism `run_indexed` will.
+pub fn resolved_workers(workers: usize) -> usize {
+    if workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        workers
+    }
+}
+
 /// Runs `run(i, &items[i])` for every item on `workers` threads and
 /// returns the results in item order.
 ///
@@ -25,16 +38,31 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    let workers = if workers == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-    } else {
-        workers
-    }
-    .min(items.len().max(1));
+    let workers = resolved_workers(workers).min(items.len().max(1));
 
     obs::gauge_max("engine.pool.workers", workers as u64);
+
+    // One worker means no parallelism to buy: run inline on the calling
+    // thread instead of paying a thread spawn plus mutexed deques for a
+    // serial traversal. On a single-core host this is what makes the
+    // "parallel" engine path cost the same as the serial one.
+    if workers == 1 {
+        // A spawned worker's span opens on a fresh thread stack, so it is
+        // a root in the aggregated tree; open the inline one as a root
+        // too, keeping the span tree invariant under worker count.
+        let span = obs::span_root("pool.worker");
+        if obs::enabled() {
+            obs::add("engine.pool.jobs", items.len() as u64);
+            obs::observe("engine.pool.jobs_per_worker", items.len() as u64);
+        }
+        let out = items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| run(i, item))
+            .collect();
+        drop(span);
+        return out;
+    }
 
     // Deal round-robin: worker w starts with jobs w, w+workers, ...
     let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)

@@ -19,8 +19,8 @@
 //! the trace.
 
 use crate::layout::{Array, DataLayout};
-use crate::sink::TraceSink;
-use crate::Access;
+use crate::sink::{AccessBlock, TraceSink};
+use crate::{Access, PackedAccess};
 use sparsemat::{CsrMatrix, SellMatrix};
 use std::ops::Range;
 
@@ -32,6 +32,28 @@ pub trait TraceCursor {
     /// Exact number of references this cursor will still produce.
     fn remaining(&self) -> usize;
 
+    /// Appends upcoming references to `block` — in exactly the order
+    /// [`next_access`](Self::next_access) would produce them — until the
+    /// block is full or the cursor is exhausted. Returns the number
+    /// appended; 0 means exhausted (given a non-full block).
+    ///
+    /// The default forwards to `next_access`; the SpMV cursors override
+    /// it with batched fills that hoist the layout's line arithmetic out
+    /// of the per-reference path.
+    fn next_block(&mut self, block: &mut AccessBlock) -> usize {
+        let mut n = 0;
+        while !block.is_full() {
+            match self.next_access() {
+                Some(a) => {
+                    block.push(PackedAccess::pack(a));
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+
     /// Drains the cursor into a sink (convenience; equivalent to calling
     /// [`next_access`](Self::next_access) until exhaustion).
     fn drain_into<S: TraceSink>(&mut self, sink: &mut S)
@@ -41,6 +63,72 @@ pub trait TraceCursor {
         while let Some(a) = self.next_access() {
             sink.access(a);
         }
+    }
+}
+
+/// Per-array line arithmetic hoisted out of a block fill: `line_of` is a
+/// base plus an integer division by the elements-per-line, which is exact
+/// because a line holds a whole number of elements (`line_bytes` is a
+/// multiple of every element size). Division by a power of two becomes a
+/// shift.
+#[derive(Clone, Copy, Debug)]
+struct LaneGeom {
+    base: u64,
+    epl: usize,
+    /// `Some(log2(epl))` when the division reduces to a shift — always
+    /// the case for power-of-two line sizes such as the A64FX's 256 B.
+    shift: Option<u32>,
+}
+
+impl LaneGeom {
+    fn new(layout: &DataLayout, array: Array) -> Self {
+        let epl = layout.elements_per_line(array);
+        LaneGeom {
+            base: layout.array_base(array),
+            epl,
+            shift: epl.is_power_of_two().then(|| epl.trailing_zeros()),
+        }
+    }
+
+    /// Line number of element `index`; equals `layout.line_of(array, index)`.
+    #[inline]
+    fn line(self, index: usize) -> u64 {
+        match self.shift {
+            Some(s) => self.base + ((index as u64) >> s),
+            None => self.base + (index / self.epl) as u64,
+        }
+    }
+}
+
+/// Incremental line counter over a sequentially-scanned array: one
+/// decrement per element instead of one division.
+#[derive(Clone, Copy, Debug)]
+struct SeqLine {
+    line: u64,
+    /// Elements left on the current line.
+    left: usize,
+    epl: usize,
+}
+
+impl SeqLine {
+    fn at(geom: LaneGeom, index: usize) -> Self {
+        SeqLine {
+            line: geom.line(index),
+            left: geom.epl - index % geom.epl,
+            epl: geom.epl,
+        }
+    }
+
+    /// Line of the current element, then advances by one element.
+    #[inline]
+    fn next(&mut self) -> u64 {
+        let line = self.line;
+        self.left -= 1;
+        if self.left == 0 {
+            self.line += 1;
+            self.left = self.epl;
+        }
+        line
     }
 }
 
@@ -176,6 +264,67 @@ impl TraceCursor for SpmvCursor<'_> {
     fn remaining(&self) -> usize {
         self.remaining
     }
+
+    fn next_block(&mut self, block: &mut AccessBlock) -> usize {
+        let mut n = 0;
+        let geom_a = LaneGeom::new(self.layout, Array::A);
+        let geom_c = LaneGeom::new(self.layout, Array::ColIdx);
+        let geom_x = LaneGeom::new(self.layout, Array::X);
+        loop {
+            // Whole-row fast path: at a row boundary with space for the
+            // bound load, every a/colidx/x triple and the y store, emit
+            // the row in one scan of its colidx slice.
+            while self.stage == Stage::Bound {
+                let r = self.row;
+                let range = self.matrix.row_range(r);
+                let need = 2 + 3 * range.len();
+                if need > block.space() {
+                    break;
+                }
+                block.push(PackedAccess::pack(Access::load(
+                    self.layout.line_of(Array::RowPtr, r + 1),
+                    Array::RowPtr,
+                )));
+                let mut a_line = SeqLine::at(geom_a, range.start);
+                let mut c_line = SeqLine::at(geom_c, range.start);
+                for &col in &self.matrix.colidx()[range] {
+                    block.push(PackedAccess::pack(Access::load(a_line.next(), Array::A)));
+                    block.push(PackedAccess::pack(Access::load(
+                        c_line.next(),
+                        Array::ColIdx,
+                    )));
+                    block.push(PackedAccess::pack(Access::load(
+                        geom_x.line(col as usize),
+                        Array::X,
+                    )));
+                }
+                block.push(PackedAccess::pack(Access::store(
+                    self.layout.line_of(Array::Y, r),
+                    Array::Y,
+                )));
+                self.row += 1;
+                self.stage = if self.row < self.rows.end {
+                    Stage::Bound
+                } else {
+                    Stage::Done
+                };
+                self.remaining -= need;
+                n += need;
+            }
+            // Per-reference fallback: the loop entry, a mid-row resume,
+            // or a row that does not fit in the block's tail.
+            if block.is_full() {
+                return n;
+            }
+            match self.next_access() {
+                Some(a) => {
+                    block.push(PackedAccess::pack(a));
+                    n += 1;
+                }
+                None => return n,
+            }
+        }
+    }
 }
 
 /// Streaming equivalent of
@@ -245,6 +394,22 @@ impl TraceCursor for XCursor<'_> {
     fn remaining(&self) -> usize {
         self.nz_end - self.nz
     }
+
+    fn next_block(&mut self, block: &mut AccessBlock) -> usize {
+        let take = block.space().min(self.nz_end - self.nz);
+        if take == 0 {
+            return 0;
+        }
+        let geom = LaneGeom::new(self.layout, Array::X);
+        for &c in &self.colidx[self.nz..self.nz + take] {
+            block.push(PackedAccess::pack(Access::load(
+                geom.line(c as usize),
+                Array::X,
+            )));
+        }
+        self.nz += take;
+        take
+    }
 }
 
 /// A cursor over an already-materialised trace slice (tests and adapters).
@@ -270,6 +435,15 @@ impl TraceCursor for SliceCursor<'_> {
 
     fn remaining(&self) -> usize {
         self.trace.len() - self.pos
+    }
+
+    fn next_block(&mut self, block: &mut AccessBlock) -> usize {
+        let take = block.space().min(self.trace.len() - self.pos);
+        for &a in &self.trace[self.pos..self.pos + take] {
+            block.push(PackedAccess::pack(a));
+        }
+        self.pos += take;
+        take
     }
 }
 
@@ -430,6 +604,52 @@ impl TraceCursor for SellCursor<'_> {
 
     fn remaining(&self) -> usize {
         self.remaining
+    }
+
+    fn next_block(&mut self, block: &mut AccessBlock) -> usize {
+        let mut n = 0;
+        let geom_a = LaneGeom::new(self.layout, Array::A);
+        let geom_c = LaneGeom::new(self.layout, Array::ColIdx);
+        let geom_x = LaneGeom::new(self.layout, Array::X);
+        loop {
+            // Padded-entry fast path: emit whole a/colidx/x triples while
+            // they fit; chunk metadata and y stores go through the
+            // per-reference step below.
+            if self.stage == SellStage::A {
+                let triples = (block.space() / 3).min(self.idx_end - self.idx);
+                if triples > 0 {
+                    let mut a_line = SeqLine::at(geom_a, self.idx);
+                    let mut c_line = SeqLine::at(geom_c, self.idx);
+                    for &col in &self.matrix.colidx()[self.idx..self.idx + triples] {
+                        block.push(PackedAccess::pack(Access::load(a_line.next(), Array::A)));
+                        block.push(PackedAccess::pack(Access::load(
+                            c_line.next(),
+                            Array::ColIdx,
+                        )));
+                        block.push(PackedAccess::pack(Access::load(
+                            geom_x.line(col as usize),
+                            Array::X,
+                        )));
+                    }
+                    self.idx += triples;
+                    if self.idx >= self.idx_end {
+                        self.stage = SellStage::Y;
+                    }
+                    self.remaining -= 3 * triples;
+                    n += 3 * triples;
+                }
+            }
+            if block.is_full() {
+                return n;
+            }
+            match self.next_access() {
+                Some(a) => {
+                    block.push(PackedAccess::pack(a));
+                    n += 1;
+                }
+                None => return n,
+            }
+        }
     }
 }
 
@@ -668,6 +888,97 @@ mod tests {
             .collect();
         let got = collect(XCursor::over(sell.colidx(), &l, 0..sell.stored_entries()));
         assert_eq!(got, expect);
+    }
+
+    fn collect_blocks<C: TraceCursor>(mut c: C) -> Vec<Access> {
+        let mut out = Vec::new();
+        let mut block = AccessBlock::new();
+        loop {
+            block.clear();
+            if c.next_block(&mut block) == 0 {
+                break;
+            }
+            out.extend(block.refs().iter().map(|p| p.unpack()));
+        }
+        out
+    }
+
+    #[test]
+    fn spmv_next_block_matches_per_ref_path() {
+        for (n, per_row, seed) in [(64usize, 5usize, 9u64), (100, 4, 3), (7, 120, 1)] {
+            let m = random_csr(n, per_row, seed);
+            for line_bytes in [16, 64, 24] {
+                let l = DataLayout::new(&m, line_bytes);
+                let expect = collect(SpmvCursor::new(&m, &l, 0..n));
+                let got = collect_blocks(SpmvCursor::new(&m, &l, 0..n));
+                assert_eq!(got, expect, "n={n} line_bytes={line_bytes}");
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_next_block_resumes_mid_row() {
+        // Interleave per-ref and block pulls so blocks start mid-row.
+        let m = random_csr(40, 6, 5);
+        let l = DataLayout::new(&m, 64);
+        let expect = collect(SpmvCursor::new(&m, &l, 0..40));
+        let mut c = SpmvCursor::new(&m, &l, 0..40);
+        let mut got = Vec::new();
+        let mut block = AccessBlock::new();
+        let mut flip = 0usize;
+        loop {
+            flip += 1;
+            if flip % 2 == 1 {
+                match c.next_access() {
+                    Some(a) => got.push(a),
+                    None => break,
+                }
+            } else {
+                block.clear();
+                if c.next_block(&mut block) == 0 {
+                    break;
+                }
+                got.extend(block.refs().iter().map(|p| p.unpack()));
+            }
+        }
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn x_and_slice_next_block_match_per_ref_path() {
+        let m = random_csr(64, 7, 21);
+        for line_bytes in [16, 24, 256] {
+            let l = DataLayout::new(&m, line_bytes);
+            let expect = collect(XCursor::new(&m, &l, 0..64));
+            assert_eq!(collect_blocks(XCursor::new(&m, &l, 0..64)), expect);
+            let mut sink = VecSink::new();
+            trace_spmv_rows(&m, &l, 0..64, &mut sink);
+            assert_eq!(collect_blocks(SliceCursor::new(&sink.trace)), sink.trace);
+        }
+    }
+
+    #[test]
+    fn sell_next_block_matches_per_ref_path() {
+        use crate::sell_trace::sell_layout;
+        let a = sell_fixture(7);
+        for (c, sigma) in [(1, 1), (4, 8), (8, 16), (5, 5)] {
+            let sell = sparsemat::SellMatrix::from_csr(&a, c, sigma);
+            for line_bytes in [16, 64] {
+                let l = sell_layout(&sell, line_bytes);
+                let expect = collect(SellCursor::new(&sell, &l, 0..sell.num_chunks()));
+                let got = collect_blocks(SellCursor::new(&sell, &l, 0..sell.num_chunks()));
+                assert_eq!(got, expect, "C={c} line_bytes={line_bytes}");
+            }
+        }
+    }
+
+    #[test]
+    fn next_block_on_empty_cursor_returns_zero() {
+        let (m, l) = fig1();
+        let mut c = SpmvCursor::new(&m, &l, 0..0);
+        let mut block = AccessBlock::new();
+        assert_eq!(c.next_block(&mut block), 0);
+        assert!(block.is_empty());
     }
 
     #[test]

@@ -18,7 +18,7 @@
 
 use crate::cursor::TraceCursor;
 use crate::mcs::McsLock;
-use crate::sink::TraceSink;
+use crate::sink::{AccessBlock, BlockSink, TraceSink};
 use crate::Access;
 use std::ops::Range;
 
@@ -120,6 +120,87 @@ pub fn round_robin_cursors<C: TraceCursor, S: TraceSink>(
                 }
             }
         }
+    }
+}
+
+/// Streams the round-robin interleaving of per-thread trace cursors into
+/// a [`BlockSink`], in blocks of up to [`crate::BLOCK_REFS`] references.
+///
+/// The reference order is *identical* to
+/// [`round_robin_cursors`]`(cursors, 1, sink)` — one reference per
+/// cursor per cycle — but the stream moves in blocks at both ends: each
+/// cursor refills a staging block via
+/// [`TraceCursor::next_block`] (amortising its per-reference layout
+/// arithmetic) and the merged output reaches the sink as full blocks
+/// (amortising the virtual dispatch). A single-cursor "interleaving"
+/// skips the staging entirely and forwards the cursor's blocks as-is.
+pub fn round_robin_cursors_blocks<C: TraceCursor, S: BlockSink>(cursors: &mut [C], sink: &mut S) {
+    let total: usize = cursors.iter().map(|c| c.remaining()).sum();
+    let _span = obs::span("trace.stream");
+    if obs::enabled() {
+        obs::add("memtrace.cursor.feeds", 1);
+        obs::add("memtrace.cursor.refs", total as u64);
+        obs::observe("memtrace.stream.refs", total as u64);
+    }
+    if let [cursor] = cursors {
+        let mut block = AccessBlock::new();
+        loop {
+            block.clear();
+            if cursor.next_block(&mut block) == 0 {
+                return;
+            }
+            sink.consume(&block);
+        }
+    }
+    // Multi-cursor: each cursor refills a staging block via its
+    // specialised `next_block` (amortising per-reference layout
+    // arithmetic), and whole staging blocks are merged by striding —
+    // `rounds` complete cycles at a time, one already-packed copy per
+    // reference, no per-reference refill checks. `rounds` is the
+    // shortest staged length, and a cursor's block is short only at
+    // exhaustion, so refill checks run once per *block*, not per
+    // reference; a cursor drops out when its refill comes back empty —
+    // exactly when `round_robin_cursors` would see `next_access() ==
+    // None`.
+    let mut staging: Vec<AccessBlock> = cursors.iter().map(|_| AccessBlock::new()).collect();
+    let mut active: Vec<usize> = Vec::with_capacity(cursors.len());
+    for (i, c) in cursors.iter_mut().enumerate() {
+        if c.next_block(&mut staging[i]) > 0 {
+            active.push(i);
+        }
+    }
+    let mut out = AccessBlock::new();
+    while !active.is_empty() {
+        let rounds = active
+            .iter()
+            .map(|&i| staging[i].len())
+            .min()
+            .expect("active cursors have staged references");
+        for j in 0..rounds {
+            for &i in &active {
+                out.push(staging[i].refs()[j]);
+                if out.is_full() {
+                    sink.consume(&out);
+                    out.clear();
+                }
+            }
+        }
+        // Drop the `rounds` merged references from every staging block;
+        // refill the drained ones and retire exhausted cursors.
+        let mut kept = 0;
+        for k in 0..active.len() {
+            let i = active[k];
+            staging[i].discard_front(rounds);
+            let keep = !staging[i].is_empty() || cursors[i].next_block(&mut staging[i]) > 0;
+            if keep {
+                active[kept] = i;
+                kept += 1;
+            }
+        }
+        active.truncate(kept);
+    }
+    if !out.is_empty() {
+        sink.consume(&out);
     }
 }
 
@@ -250,6 +331,28 @@ mod tests {
                 round_robin_cursors(&mut cursors, chunk, &mut sink);
                 assert_eq!(sink.trace, direct, "lens {lens:?} chunk {chunk}");
             }
+        }
+    }
+
+    #[test]
+    fn round_robin_cursors_blocks_matches_chunk1_order() {
+        use crate::cursor::SliceCursor;
+        // Lengths straddling several block boundaries, plus drop-outs,
+        // single-cursor and empty edge cases.
+        for lens in [
+            vec![500, 300, 700],
+            vec![1, 4],
+            vec![0, 0, 2],
+            vec![999],
+            vec![],
+        ] {
+            let traces = traces_of(&lens);
+            let direct = round_robin(&traces, 1);
+            let mut cursors: Vec<SliceCursor> =
+                traces.iter().map(|t| SliceCursor::new(t)).collect();
+            let mut sink = crate::sink::VecSink::new();
+            round_robin_cursors_blocks(&mut cursors, &mut sink);
+            assert_eq!(sink.trace, direct, "lens {lens:?}");
         }
     }
 

@@ -161,6 +161,14 @@ impl DataLayout {
         self.base[array as usize] + (index * array.element_bytes() / self.line_bytes) as u64
     }
 
+    /// First global line number of `array` — `line_of(array, 0)` without
+    /// requiring the array to be non-empty. Block-batched cursor fills
+    /// hoist this once per block and advance line numbers incrementally.
+    #[inline]
+    pub fn array_base(&self, array: Array) -> u64 {
+        self.base[array as usize]
+    }
+
     /// Number of cache lines occupied by `array`.
     #[inline]
     pub fn array_lines(&self, array: Array) -> u64 {

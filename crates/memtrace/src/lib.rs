@@ -38,7 +38,10 @@ pub mod xtrace;
 
 pub use cursor::TraceCursor;
 pub use layout::{Array, DataLayout, A64FX_LINE_BYTES};
-pub use sink::{CountSink, PackedVecSink, TraceSink, VecSink};
+pub use sink::{
+    AccessBlock, BlockSink, BlockTee, CountSink, PackedVecSink, RefSink, TraceSink, VecSink,
+    BLOCK_REFS,
+};
 pub use workload::{FormatSpec, ReorderSpec, SpmvWorkload, WorkShare, Workload, WorkloadCursor};
 
 /// A single memory reference at cache-line granularity.
@@ -149,6 +152,18 @@ impl PackedAccess {
     #[inline]
     pub fn line(self) -> u64 {
         self.0 & Self::MAX_LINE
+    }
+
+    /// The packed array tag without unpacking the rest.
+    #[inline]
+    pub fn array(self) -> Array {
+        match (self.0 >> 61) as u8 {
+            0 => Array::X,
+            1 => Array::Y,
+            2 => Array::A,
+            3 => Array::ColIdx,
+            _ => Array::RowPtr,
+        }
     }
 }
 

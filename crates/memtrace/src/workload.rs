@@ -499,6 +499,13 @@ impl TraceCursor for WorkloadCursor<'_> {
             WorkloadCursor::Sell(c) => c.remaining(),
         }
     }
+
+    fn next_block(&mut self, block: &mut crate::AccessBlock) -> usize {
+        match self {
+            WorkloadCursor::Csr(c) => c.next_block(block),
+            WorkloadCursor::Sell(c) => c.next_block(block),
+        }
+    }
 }
 
 macro_rules! delegate {

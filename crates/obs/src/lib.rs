@@ -136,6 +136,25 @@ pub fn span(name: &'static str) -> SpanGuard {
     }
 }
 
+/// Opens a span as a *thread root* — a child of the root sentinel rather
+/// than of the innermost open span. Code that sometimes runs on a fresh
+/// worker thread (empty span stack) and sometimes inline on the calling
+/// thread (stack mid-pipeline) uses this so the aggregated span tree has
+/// the same shape either way; the worker pool's inline path is the case
+/// in point. Closing still follows guard-drop LIFO order.
+#[inline]
+pub fn span_root(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { start: None };
+    }
+    let opened = COLLECTOR
+        .try_with(|c| c.borrow_mut().open_root(name))
+        .is_ok();
+    SpanGuard {
+        start: opened.then(Instant::now),
+    }
+}
+
 /// Appends a peak-RSS checkpoint (`VmHWM`, [`memstats::vm_hwm_kb`]) under
 /// `label` to the global aggregate. `None` (no `/proc`, non-Linux) is
 /// recorded as an explicit `null`. Checkpoints keep append order, so call
@@ -228,6 +247,14 @@ impl Collector {
 
     fn open(&mut self, name: &'static str) {
         let parent = *self.stack.last().expect("root sentinel always present");
+        self.open_under(parent, name);
+    }
+
+    fn open_root(&mut self, name: &'static str) {
+        self.open_under(0, name);
+    }
+
+    fn open_under(&mut self, parent: usize, name: &'static str) {
         let existing = self.nodes[parent]
             .children
             .iter()

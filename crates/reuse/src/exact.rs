@@ -53,6 +53,17 @@ impl ExactStack {
         }
     }
 
+    /// Like [`with_capacity`](Self::with_capacity), but also pre-sizes
+    /// the last-access map for an expected number of distinct lines, so
+    /// neither structure regrows (nor rehashes) during the trace.
+    pub fn with_line_capacity(expected_len: usize, distinct_lines: usize) -> Self {
+        ExactStack {
+            last: LineTable::with_capacity(distinct_lines),
+            live: Fenwick::new(expected_len.max(16)),
+            time: 0,
+        }
+    }
+
     /// Processes one access, returning its exact reuse distance
     /// (`None` = cold).
     ///
@@ -113,6 +124,7 @@ impl ExactStack {
         );
         obs::gauge_max("reuse.linetable.displacement_max", probes.max_displacement);
         obs::gauge_max("reuse.linetable.slots_max", probes.slots);
+        obs::add("reuse.linetable.rehashes", self.last.rehashes());
     }
 
     /// Processes a whole trace, returning its reuse-distance histogram.

@@ -34,8 +34,8 @@ pub mod partitioned;
 pub mod sampled;
 
 pub use exact::ExactStack;
-pub use fxhash::{FxHashMap, LineTable};
+pub use fxhash::{FxHashMap, LineTable, PROBE_ABSENT};
 pub use histogram::ReuseHistogram;
-pub use markers::MarkerStack;
+pub use markers::{MarkerStack, QuantizedCounts};
 pub use partitioned::PartitionedStack;
 pub use sampled::{SampleShiftError, SampledStack, MAX_SAMPLE_SHIFT};

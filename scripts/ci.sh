@@ -37,6 +37,16 @@ echo "== bench smoke: streaming pipeline (BENCH_pr2.json) =="
 cargo run --release --offline -p spmv-bench --bin bench_pr2 -- \
     --count 4 --scale 64 --threads 8
 
+echo "== bench smoke: block-batched pipeline (BENCH_pr7.json) =="
+# The block-batched marker pipeline on the canonical spec, with its two
+# built-in acceptance checks armed: the sharded parallel mode must not
+# run slower than the serial mode (beyond measurement noise), and the
+# marker throughput must stay within 20% of the floor below — a
+# conservative bound (well under the checked-in BENCH_pr7.json rate) so
+# only a structural regression trips it, not a noisy CI host.
+cargo run --release --offline -p spmv-bench --bin bench_pr7 -- \
+    --count 4 --scale 64 --threads 8 --floor 20000000
+
 echo "== telemetry smoke: batch --metrics (spmv-obs) =="
 # The metrics sink must never change the report: run the same tiny batch
 # with and without --metrics (and with different worker counts) and
@@ -72,6 +82,15 @@ for span in ("batch.run", "cache.lookup", "profile.build",
     assert span in names, f"missing span {span}; saw {sorted(names)}"
 assert doc["counters"]["engine.cache.computations"] > 0, doc["counters"]
 assert doc["counters"]["memtrace.cursor.refs"] > 0, doc["counters"]
+# Block-probe accounting from the marker stacks' line index: every
+# bulk-probed reference costs at least one slot inspection (exactly one
+# on the dense direct-mapped index), and a pre-sized/direct-mapped index
+# never rehashes mid-trace.
+probe_refs = doc["counters"]["reuse.linetable.block_probe_refs"]
+probe_steps = doc["counters"]["reuse.linetable.block_probe_steps"]
+assert probe_refs > 0, doc["counters"]
+assert probe_steps >= probe_refs, (probe_steps, probe_refs)
+assert doc["counters"].get("reuse.linetable.rehashes", 0) == 0, doc["counters"]
 assert doc["histograms"], "no histograms recorded"
 assert doc["rss_checkpoints"], "no RSS checkpoints recorded"
 print(f"telemetry smoke ok: {len(names)} span names, "
