@@ -60,6 +60,9 @@ pub mod two_level;
 
 pub use classify::{classify, classify_for, MatrixClass};
 pub use error::ErrorSummary;
-pub use memtrace::{FormatSpec, ReorderSpec, SpmvWorkload, WorkShare, Workload};
+pub use memtrace::{
+    CgWorkload, FormatSpec, ReorderSpec, RhsLayout, ScenarioSpec, SpmmWorkload, SpmvWorkload,
+    WorkShare, Workload,
+};
 pub use predict::{Method, Prediction, SectorSetting};
 pub use profile::{DomainPartial, LocalityProfile, ProfileBuilder, TrackedCaps};

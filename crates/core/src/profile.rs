@@ -537,7 +537,8 @@ pub struct LocalityProfile {
     threads: usize,
     line_bytes: usize,
     cores_per_domain: usize,
-    cols: usize,
+    x_array_bytes: usize,
+    y_row_bytes: usize,
     x_refs: usize,
     companion0_bytes: usize,
     domains: Vec<DomainShare>,
@@ -770,14 +771,22 @@ impl<'m, W: SpmvWorkload> ProfileBuilder<'m, W> {
         let a = seq(Array::A, share.x_refs);
         let colidx = seq(Array::ColIdx, share.x_refs);
         let rowptr = seq(Array::RowPtr, share.meta_elems);
-        let y = seq(Array::Y, share.rows);
+        let y = seq(Array::Y, share.rows * (self.workload.y_row_bytes() / 8));
         let x = self.domain_x_lines(d);
         (x + y + rowptr + a + colidx, x + y + rowptr, a + colidx)
     }
 
-    /// Upper bound on the distinct `x` lines domain `d` can gather.
+    /// Upper bound on the distinct `x` lines domain `d` can gather. A
+    /// multi-vector view gathers `k` consecutive right-hand-side elements
+    /// per stored entry, so the reference-count bound scales by the
+    /// gathers-per-entry factor.
     fn domain_x_lines(&self, d: usize) -> usize {
-        (self.layout.array_lines(Array::X) as usize).min(self.domains[d].x_refs)
+        let gathers_per_entry = self
+            .workload
+            .x_refs()
+            .checked_div(self.workload.stream_entries())
+            .unwrap_or(1);
+        (self.layout.array_lines(Array::X) as usize).min(self.domains[d].x_refs * gathers_per_entry)
     }
 
     /// The slice of each routing's capacity grid that shard `shard` of
@@ -1063,7 +1072,8 @@ impl<'m, W: SpmvWorkload> ProfileBuilder<'m, W> {
             threads: self.threads,
             line_bytes: self.line_bytes,
             cores_per_domain: self.cores_per_domain,
-            cols: self.workload.num_cols(),
+            x_array_bytes: self.workload.x_bytes(),
+            y_row_bytes: self.workload.y_row_bytes(),
             x_refs: self.workload.x_refs(),
             companion0_bytes: self.workload.companion0_bytes(),
             domains: self.domains,
@@ -1152,7 +1162,8 @@ impl LocalityProfile {
             threads,
             line_bytes,
             cores_per_domain,
-            cols: matrix.num_cols(),
+            x_array_bytes: matrix.num_cols() * 8,
+            y_row_bytes: 8,
             x_refs: matrix.nnz(),
             companion0_bytes: 16 * matrix.num_rows(),
             domains: Vec::new(),
@@ -1279,7 +1290,8 @@ impl LocalityProfile {
             threads,
             line_bytes,
             cores_per_domain,
-            cols: workload.num_cols(),
+            x_array_bytes: workload.x_bytes(),
+            y_row_bytes: workload.y_row_bytes(),
             x_refs: workload.x_refs(),
             companion0_bytes: workload.companion0_bytes(),
             domains: Vec::new(),
@@ -1570,11 +1582,11 @@ impl LocalityProfile {
                 a: crate::analytic::stream_misses_a(x_refs_d, line),
                 colidx: crate::analytic::stream_misses_colidx(x_refs_d, line),
                 rowptr: crate::analytic::stream_misses_meta(meta_d, line),
-                y: crate::analytic::stream_misses_y(rows_d, line),
+                y: crate::analytic::stream_misses_y(rows_d * (self.y_row_bytes / 8), line),
             };
             let matrix_bytes_d = x_refs_d * 12 + meta_d * 8;
-            let reusable_bytes_d = self.cols * 8 + rows_d * 8 + meta_d * 8;
-            let working_set_d = matrix_bytes_d + self.cols * 8 + rows_d * 8;
+            let reusable_bytes_d = self.x_array_bytes + rows_d * self.y_row_bytes + meta_d * 8;
+            let working_set_d = matrix_bytes_d + self.x_array_bytes + rows_d * self.y_row_bytes;
 
             for (i, &setting) in settings.iter().enumerate() {
                 let p = &mut preds[i];
@@ -1607,7 +1619,10 @@ impl LocalityProfile {
         // Class-(1) override for the unpartitioned case: when every
         // domain's working set fits, steady state has no misses at all.
         let all_fit = self.domains.iter().all(|share| {
-            let ws = share.x_refs * 12 + share.meta_elems * 8 + self.cols * 8 + share.rows * 8;
+            let ws = share.x_refs * 12
+                + share.meta_elems * 8
+                + self.x_array_bytes
+                + share.rows * self.y_row_bytes;
             ws <= cfg.l2.size_bytes
         });
         if all_fit {

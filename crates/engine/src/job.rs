@@ -1,7 +1,7 @@
 //! Batch specifications: what to predict, for which matrices, under which
 //! sweep — plus the line-based on-disk spec format of `spmv-locality batch`.
 
-use locality_core::{FormatSpec, Method, ReorderSpec, SectorSetting};
+use locality_core::{FormatSpec, Method, ReorderSpec, RhsLayout, ScenarioSpec, SectorSetting};
 use std::fmt;
 use std::path::PathBuf;
 
@@ -46,6 +46,9 @@ pub struct BatchSpec {
     pub format: FormatSpec,
     /// Row reordering applied before format conversion.
     pub reorder: ReorderSpec,
+    /// Kernel scenario traced on top of the storage format: plain SpMV
+    /// (default), `k`-RHS SpMM, or a CG iteration.
+    pub scenario: ScenarioSpec,
     /// Wall-clock budget for the whole batch, in milliseconds. `None`
     /// (default) runs to completion; with a deadline the run is
     /// cooperatively cancelled at its next checkpoint once the budget
@@ -65,6 +68,7 @@ impl Default for BatchSpec {
             workers: 0,
             format: FormatSpec::Csr,
             reorder: ReorderSpec::None,
+            scenario: ScenarioSpec::Spmv,
             deadline_ms: None,
         }
     }
@@ -134,6 +138,8 @@ impl BatchSpec {
     /// workers 0                            # engine threads (0 = all cores)
     /// format sell:32,128                   # csr (default) or sell:C,sigma
     /// reorder rcm                          # none (default) or rcm
+    /// rhs 16 col                           # SpMM right-hand sides (layout: row)
+    /// workload cg                          # spmv (default), cg or spmm:K[,row|col]
     /// deadline_ms 5000                     # whole-batch budget (default: none)
     /// ```
     ///
@@ -220,6 +226,26 @@ impl BatchSpec {
                         .ok_or_else(|| err(line_no, "reorder needs none or rcm"))?;
                     spec.reorder = ReorderSpec::parse(arg).map_err(|e| err(line_no, e))?;
                 }
+                "rhs" => {
+                    let k: usize = words
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| err(line_no, "rhs needs a positive RHS count"))?;
+                    if k == 0 {
+                        return Err(err(line_no, "rhs must be at least 1"));
+                    }
+                    let layout = match words.next() {
+                        Some(arg) => RhsLayout::parse(arg).map_err(|e| err(line_no, e))?,
+                        None => RhsLayout::default(),
+                    };
+                    spec.scenario = ScenarioSpec::Spmm { k, layout };
+                }
+                "workload" => {
+                    let arg = words.next().ok_or_else(|| {
+                        err(line_no, "workload needs spmv, cg or spmm:K[,row|col]")
+                    })?;
+                    spec.scenario = ScenarioSpec::parse(arg).map_err(|e| err(line_no, e))?;
+                }
                 "threads" | "scale" | "workers" | "deadline_ms" => {
                     let arg = words
                         .next()
@@ -251,7 +277,7 @@ impl BatchSpec {
                     return Err(err(
                         line_no,
                         format!(
-                            "unknown directive '{other}' (expected corpus/table1/mtx/methods/settings/threads/scale/workers/format/reorder/deadline_ms)"
+                            "unknown directive '{other}' (expected corpus/table1/mtx/methods/settings/threads/scale/workers/format/reorder/rhs/workload/deadline_ms)"
                         ),
                     ));
                 }
@@ -402,6 +428,45 @@ mod tests {
         assert!(BatchSpec::parse("corpus count=1\nformat sell\n").is_err());
         assert!(BatchSpec::parse("corpus count=1\nformat\n").is_err());
         assert!(BatchSpec::parse("corpus count=1\nreorder sorted\n").is_err());
+    }
+
+    #[test]
+    fn parses_rhs_and_workload() {
+        let spec = BatchSpec::parse("corpus count=1\nrhs 16\n").unwrap();
+        assert_eq!(
+            spec.scenario,
+            ScenarioSpec::Spmm {
+                k: 16,
+                layout: RhsLayout::Interleaved
+            }
+        );
+        let spec = BatchSpec::parse("corpus count=1\nrhs 4 col\n").unwrap();
+        assert_eq!(
+            spec.scenario,
+            ScenarioSpec::Spmm {
+                k: 4,
+                layout: RhsLayout::Separate
+            }
+        );
+        let spec = BatchSpec::parse("corpus count=1\nworkload cg\n").unwrap();
+        assert_eq!(spec.scenario, ScenarioSpec::Cg);
+        let spec = BatchSpec::parse("corpus count=1\nworkload spmm:8,col\n").unwrap();
+        assert_eq!(
+            spec.scenario,
+            ScenarioSpec::Spmm {
+                k: 8,
+                layout: RhsLayout::Separate
+            }
+        );
+        // `workload spmv` resets an earlier rhs directive (last one wins).
+        let spec = BatchSpec::parse("corpus count=1\nrhs 4\nworkload spmv\n").unwrap();
+        assert_eq!(spec.scenario, ScenarioSpec::Spmv);
+        assert!(BatchSpec::parse("corpus count=1\nrhs 0\n").is_err());
+        assert!(BatchSpec::parse("corpus count=1\nrhs\n").is_err());
+        assert!(BatchSpec::parse("corpus count=1\nrhs 4 diag\n").is_err());
+        assert!(BatchSpec::parse("corpus count=1\nrhs 4 col extra\n").is_err());
+        assert!(BatchSpec::parse("corpus count=1\nworkload spmm\n").is_err());
+        assert!(BatchSpec::parse("corpus count=1\nworkload lu\n").is_err());
     }
 
     #[test]

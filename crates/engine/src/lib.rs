@@ -54,8 +54,8 @@ pub use report::{BatchResult, BatchStats, Report};
 
 use a64fx::MachineConfig;
 use locality_core::{
-    DomainPartial, FormatSpec, LocalityProfile, Method, ProfileBuilder, ReorderSpec, SectorSetting,
-    SpmvWorkload, TrackedCaps, Workload,
+    DomainPartial, FormatSpec, LocalityProfile, Method, ProfileBuilder, ReorderSpec, RhsLayout,
+    ScenarioSpec, SectorSetting, SpmvWorkload, TrackedCaps, Workload,
 };
 use sparsemat::CsrMatrix;
 use std::fmt;
@@ -73,6 +73,14 @@ pub enum EngineError {
         /// Reader error text.
         message: String,
     },
+    /// A resolved matrix is incompatible with the spec's scenario (e.g.
+    /// a CG iteration over a non-square matrix).
+    Scenario {
+        /// The resolved matrix name.
+        name: String,
+        /// What was incompatible.
+        message: String,
+    },
     /// The batch stopped early: its deadline passed or it was cancelled.
     Cancelled(Cancelled),
 }
@@ -83,6 +91,9 @@ impl fmt::Display for EngineError {
             EngineError::Spec(e) => write!(f, "{e}"),
             EngineError::Matrix { path, message } => {
                 write!(f, "cannot load '{}': {message}", path.display())
+            }
+            EngineError::Scenario { name, message } => {
+                write!(f, "cannot trace '{name}': {message}")
             }
             EngineError::Cancelled(c) => write!(f, "{c}"),
         }
@@ -109,10 +120,17 @@ struct BatchMatrix {
     workload: Workload,
 }
 
-/// Decorates a matrix name with the non-default format/reorder suffixes,
-/// e.g. `"band-7@rcm@sell:32,128"`. CSR with natural order keeps the bare
-/// name, so existing CSR batch outputs are byte-identical.
-fn workload_name(base: &str, format: FormatSpec, reorder: ReorderSpec) -> String {
+/// Decorates a matrix name with the non-default format/reorder/scenario
+/// suffixes, e.g. `"band-7@rcm@sell:32,128@rhs16"`. CSR with natural
+/// order and plain SpMV keeps the bare name, so existing batch outputs
+/// are byte-identical. An SpMM view with `k = 1` also keeps the bare
+/// name — it *is* the plain SpMV, bit for bit.
+fn workload_name(
+    base: &str,
+    format: FormatSpec,
+    reorder: ReorderSpec,
+    scenario: ScenarioSpec,
+) -> String {
     let mut name = base.to_string();
     if reorder != ReorderSpec::None {
         name.push('@');
@@ -122,28 +140,50 @@ fn workload_name(base: &str, format: FormatSpec, reorder: ReorderSpec) -> String
         name.push('@');
         name.push_str(&format.label());
     }
+    match scenario {
+        ScenarioSpec::Spmv | ScenarioSpec::Spmm { k: 1, .. } => {}
+        ScenarioSpec::Spmm { k, layout } => {
+            name.push_str(&format!("@rhs{k}"));
+            if layout == RhsLayout::Separate {
+                name.push_str(":col");
+            }
+        }
+        ScenarioSpec::Cg => name.push_str("@cg"),
+    }
     name
 }
 
 /// Resolves the spec's sources, in order, into concrete workloads (the
 /// spec's reorder is applied to each CSR matrix, then the format view is
-/// built).
+/// built, then the scenario view is wrapped around it).
 fn resolve_sources(spec: &BatchSpec) -> Result<Vec<BatchMatrix>, EngineError> {
-    let make = |name: String, matrix: CsrMatrix| BatchMatrix {
-        name: workload_name(&name, spec.format, spec.reorder),
-        workload: Workload::build(matrix, spec.format, spec.reorder),
+    let make = |name: String, matrix: CsrMatrix| -> Result<BatchMatrix, EngineError> {
+        if spec.scenario == ScenarioSpec::Cg && matrix.num_rows() != matrix.num_cols() {
+            return Err(EngineError::Scenario {
+                name,
+                message: format!(
+                    "a CG iteration needs a square matrix, got {}x{}",
+                    matrix.num_rows(),
+                    matrix.num_cols()
+                ),
+            });
+        }
+        Ok(BatchMatrix {
+            name: workload_name(&name, spec.format, spec.reorder, spec.scenario),
+            workload: Workload::build_scenario(matrix, spec.format, spec.reorder, spec.scenario),
+        })
     };
     let mut out = Vec::new();
     for source in &spec.sources {
         match source {
             MatrixSource::Corpus { count, scale, seed } => {
                 for nm in corpus::corpus(*count, *scale, *seed) {
-                    out.push(make(nm.name, nm.matrix));
+                    out.push(make(nm.name, nm.matrix)?);
                 }
             }
             MatrixSource::Table1 { scale } => {
                 for nm in corpus::table1_suite(*scale) {
-                    out.push(make(nm.name, nm.matrix));
+                    out.push(make(nm.name, nm.matrix)?);
                 }
             }
             MatrixSource::MtxFile(path) => {
@@ -156,7 +196,7 @@ fn resolve_sources(spec: &BatchSpec) -> Result<Vec<BatchMatrix>, EngineError> {
                     .file_stem()
                     .map(|s| s.to_string_lossy().into_owned())
                     .unwrap_or_else(|| path.display().to_string());
-                out.push(make(name, matrix));
+                out.push(make(name, matrix)?);
             }
         }
     }
@@ -812,6 +852,127 @@ mod tests {
         let b =
             compute_profile_sharded(&nm.matrix, &cfg, Method::B, 8, Some(&settings), 4, Some(8));
         assert_eq!(b, LocalityProfile::compute(&nm.matrix, &cfg, Method::B, 8));
+    }
+
+    #[test]
+    fn spmm_k1_batches_are_byte_identical_to_spmv() {
+        // The SpMM view with one right-hand side IS the plain SpMV: for
+        // both storage formats, every worker count and both RHS layouts,
+        // the batch output (names, fingerprints, predictions — the full
+        // JSON bytes) must not change when the spec adds `rhs 1`.
+        for format_line in ["", "format sell:8,32\n"] {
+            let base_text = format!(
+                "corpus count=3 scale=64 seed=11\n\
+                 settings off,4\n\
+                 threads 2\n\
+                 scale 64\n\
+                 {format_line}"
+            );
+            let reference = run_batch(&BatchSpec::parse(&base_text).unwrap()).unwrap();
+            for rhs_line in ["rhs 1\n", "rhs 1 col\n"] {
+                let mut spec = BatchSpec::parse(&format!("{base_text}{rhs_line}")).unwrap();
+                assert!(matches!(spec.scenario, ScenarioSpec::Spmm { k: 1, .. }));
+                for workers in [1, 4] {
+                    spec.workers = workers;
+                    let result = run_batch(&spec).unwrap();
+                    assert_eq!(
+                        result.to_json_lines(),
+                        reference.to_json_lines(),
+                        "format={format_line:?} rhs={rhs_line:?} workers={workers}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_batches_tag_names_and_fingerprints() {
+        let base = BatchSpec::parse(
+            "corpus count=2 scale=64 seed=7\n\
+             settings off\n\
+             methods B\n\
+             scale 64\n",
+        )
+        .unwrap();
+        let reference = run_batch(&base).unwrap();
+        let suite = corpus::corpus(2, 64, 7);
+
+        let spmm = BatchSpec::parse(
+            "corpus count=2 scale=64 seed=7\n\
+             settings off\n\
+             methods B\n\
+             scale 64\n\
+             rhs 16\n",
+        )
+        .unwrap();
+        let result = run_batch(&spmm).unwrap();
+        for (report, reference) in result.reports.iter().zip(&reference.reports) {
+            let nm = &suite[report.id / spmm.jobs_per_matrix()];
+            assert_eq!(report.matrix, format!("{}@rhs16", nm.name));
+            assert_ne!(report.fingerprint, reference.fingerprint);
+            // 16 RHS gathers per stored entry: the measured x traffic must
+            // exceed the single-vector run's (k-fold reuse amplification).
+            assert!(
+                report.prediction.l2_misses >= reference.prediction.l2_misses,
+                "{}: SpMM misses {} < SpMV misses {}",
+                report.matrix,
+                report.prediction.l2_misses,
+                reference.prediction.l2_misses
+            );
+        }
+
+        let cg = BatchSpec::parse(
+            "corpus count=2 scale=64 seed=7\n\
+             settings off\n\
+             methods B\n\
+             scale 64\n\
+             workload cg\n",
+        )
+        .unwrap();
+        let result = run_batch(&cg).unwrap();
+        for (report, reference) in result.reports.iter().zip(&reference.reports) {
+            let nm = &suite[report.id / cg.jobs_per_matrix()];
+            assert_eq!(report.matrix, format!("{}@cg", nm.name));
+            assert_ne!(report.fingerprint, reference.fingerprint);
+        }
+
+        // The separate-vectors layout keys and labels distinctly.
+        let col = BatchSpec::parse(
+            "corpus count=2 scale=64 seed=7\n\
+             settings off\n\
+             methods B\n\
+             scale 64\n\
+             rhs 16 col\n",
+        )
+        .unwrap();
+        let col_result = run_batch(&col).unwrap();
+        assert!(col_result.reports[0].matrix.ends_with("@rhs16:col"));
+    }
+
+    #[test]
+    fn cg_over_non_square_mtx_is_a_typed_error() {
+        let dir = std::env::temp_dir().join("locality-engine-cg-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wide.mtx");
+        let mut coo = sparsemat::CooMatrix::new(2, 5);
+        coo.push(0, 4, 1.0);
+        coo.push(1, 0, 1.0);
+        let mut file = std::fs::File::create(&path).unwrap();
+        sparsemat::mm::write_csr(&mut file, &coo.to_csr()).unwrap();
+        drop(file);
+
+        let spec = BatchSpec::parse(&format!(
+            "mtx {}\nsettings off\nmethods B\nscale 64\nworkload cg\n",
+            path.display()
+        ))
+        .unwrap();
+        match run_batch(&spec) {
+            Err(EngineError::Scenario { name, message }) => {
+                assert_eq!(name, "wide");
+                assert!(message.contains("square"), "{message}");
+            }
+            other => panic!("expected scenario error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -132,6 +132,72 @@ impl SeqLine {
     }
 }
 
+/// Multi-RHS geometry: `k` right-hand sides and how their elements are
+/// laid out in the `x`/`y` array roles.
+///
+/// With `k = 1` every element index degenerates to the single-vector
+/// index, so cursors constructed through [`RhsGeom::single`] emit traces
+/// byte-identical to the historical single-RHS cursors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RhsGeom {
+    /// Number of right-hand sides.
+    pub k: usize,
+    /// Row-major interleaved (`x[c*k + j]`) when `true`; column-major
+    /// separate vectors (`x[j*x_stride + c]`) when `false`.
+    pub interleaved: bool,
+    /// Column-major stride of the `x` role (matrix columns).
+    pub x_stride: usize,
+    /// Column-major stride of the `y` role (matrix rows).
+    pub y_stride: usize,
+}
+
+impl RhsGeom {
+    /// The single-RHS geometry (`k = 1`; layout is irrelevant).
+    pub fn single() -> Self {
+        RhsGeom {
+            k: 1,
+            interleaved: true,
+            x_stride: 0,
+            y_stride: 0,
+        }
+    }
+
+    /// Geometry for `k` right-hand sides over an `rows × cols` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn new(k: usize, interleaved: bool, cols: usize, rows: usize) -> Self {
+        assert!(k > 0, "need at least one right-hand side");
+        RhsGeom {
+            k,
+            interleaved,
+            x_stride: cols,
+            y_stride: rows,
+        }
+    }
+
+    /// Element index of RHS `j` of logical `x` element `c`.
+    #[inline]
+    fn x_elem(self, c: usize, j: usize) -> usize {
+        if self.interleaved {
+            c * self.k + j
+        } else {
+            j * self.x_stride + c
+        }
+    }
+
+    /// Element index of RHS `j` of logical `y` element `r`.
+    #[inline]
+    fn y_elem(self, r: usize, j: usize) -> usize {
+        if self.interleaved {
+            r * self.k + j
+        } else {
+            j * self.y_stride + r
+        }
+    }
+}
+
 /// Emission stage of the method (A) generator's inner loop.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Stage {
@@ -166,6 +232,11 @@ pub struct SpmvCursor<'a> {
     row: usize,
     nz: usize,
     nz_end: usize,
+    rhs: RhsGeom,
+    /// Next RHS of the current `x` gather (`< rhs.k`).
+    xj: usize,
+    /// Next RHS of the current `y` store (`< rhs.k`).
+    yj: usize,
     stage: Stage,
     remaining: usize,
 }
@@ -177,6 +248,23 @@ impl<'a> SpmvCursor<'a> {
     ///
     /// Panics if the row range is out of bounds.
     pub fn new(matrix: &'a CsrMatrix, layout: &'a DataLayout, rows: Range<usize>) -> Self {
+        Self::with_rhs(matrix, layout, rows, RhsGeom::single())
+    }
+
+    /// Creates a multi-RHS (SpMM) cursor over rows `rows`: every `x`
+    /// gather widens to `rhs.k` loads and every `y` store to `rhs.k`
+    /// stores. With [`RhsGeom::single`] the trace is byte-identical to
+    /// [`new`](Self::new)'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row range is out of bounds.
+    pub fn with_rhs(
+        matrix: &'a CsrMatrix,
+        layout: &'a DataLayout,
+        rows: Range<usize>,
+        rhs: RhsGeom,
+    ) -> Self {
         assert!(rows.end <= matrix.num_rows(), "row range out of bounds");
         let nnz = if rows.is_empty() {
             0
@@ -186,7 +274,10 @@ impl<'a> SpmvCursor<'a> {
         let remaining = if rows.is_empty() {
             0
         } else {
-            crate::spmv_trace::trace_len(rows.len(), nnz)
+            // trace_len generalised to k: the entry load, per row the
+            // bound load plus k `y` stores, per nonzero a/colidx plus k
+            // `x` loads. k = 1 reduces to spmv_trace::trace_len.
+            1 + rows.len() * (1 + rhs.k) + nnz * (2 + rhs.k)
         };
         SpmvCursor {
             matrix,
@@ -195,6 +286,9 @@ impl<'a> SpmvCursor<'a> {
             rows,
             nz: 0,
             nz_end: 0,
+            rhs,
+            xj: 0,
+            yj: 0,
             stage: Stage::Entry,
             remaining,
         }
@@ -238,23 +332,32 @@ impl TraceCursor for SpmvCursor<'_> {
             }
             Stage::X => {
                 let c = self.matrix.colidx()[self.nz] as usize;
-                self.nz += 1;
-                self.stage = if self.nz < self.nz_end {
-                    Stage::A
-                } else {
-                    Stage::Y
-                };
-                Access::load(self.layout.line_of(Array::X, c), Array::X)
+                let elem = self.rhs.x_elem(c, self.xj);
+                self.xj += 1;
+                if self.xj == self.rhs.k {
+                    self.xj = 0;
+                    self.nz += 1;
+                    self.stage = if self.nz < self.nz_end {
+                        Stage::A
+                    } else {
+                        Stage::Y
+                    };
+                }
+                Access::load(self.layout.line_of(Array::X, elem), Array::X)
             }
             Stage::Y => {
-                let r = self.row;
-                self.row += 1;
-                self.stage = if self.row < self.rows.end {
-                    Stage::Bound
-                } else {
-                    Stage::Done
-                };
-                Access::store(self.layout.line_of(Array::Y, r), Array::Y)
+                let elem = self.rhs.y_elem(self.row, self.yj);
+                self.yj += 1;
+                if self.yj == self.rhs.k {
+                    self.yj = 0;
+                    self.row += 1;
+                    self.stage = if self.row < self.rows.end {
+                        Stage::Bound
+                    } else {
+                        Stage::Done
+                    };
+                }
+                Access::store(self.layout.line_of(Array::Y, elem), Array::Y)
             }
         };
         self.remaining -= 1;
@@ -271,10 +374,10 @@ impl TraceCursor for SpmvCursor<'_> {
         let geom_c = LaneGeom::new(self.layout, Array::ColIdx);
         let geom_x = LaneGeom::new(self.layout, Array::X);
         loop {
-            // Whole-row fast path: at a row boundary with space for the
-            // bound load, every a/colidx/x triple and the y store, emit
-            // the row in one scan of its colidx slice.
-            while self.stage == Stage::Bound {
+            // Whole-row fast path (single-RHS only): at a row boundary
+            // with space for the bound load, every a/colidx/x triple and
+            // the y store, emit the row in one scan of its colidx slice.
+            while self.stage == Stage::Bound && self.rhs.k == 1 {
                 let r = self.row;
                 let range = self.matrix.row_range(r);
                 let need = 2 + 3 * range.len();
@@ -336,6 +439,9 @@ pub struct XCursor<'a> {
     layout: &'a DataLayout,
     nz: usize,
     nz_end: usize,
+    rhs: RhsGeom,
+    /// Next RHS of the current gather (`< rhs.k`).
+    j: usize,
 }
 
 impl<'a> XCursor<'a> {
@@ -359,6 +465,8 @@ impl<'a> XCursor<'a> {
             layout,
             nz,
             nz_end,
+            rhs: RhsGeom::single(),
+            j: 0,
         }
     }
 
@@ -371,12 +479,30 @@ impl<'a> XCursor<'a> {
     ///
     /// Panics if the entry range is out of bounds.
     pub fn over(colidx: &'a [u32], layout: &'a DataLayout, entries: Range<usize>) -> Self {
+        Self::over_rhs(colidx, layout, entries, RhsGeom::single())
+    }
+
+    /// Like [`over`](Self::over), but widening every gather to `rhs.k`
+    /// loads (the SpMM x-trace). With [`RhsGeom::single`] the trace is
+    /// byte-identical to [`over`](Self::over)'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry range is out of bounds.
+    pub fn over_rhs(
+        colidx: &'a [u32],
+        layout: &'a DataLayout,
+        entries: Range<usize>,
+        rhs: RhsGeom,
+    ) -> Self {
         assert!(entries.end <= colidx.len(), "entry range out of bounds");
         XCursor {
             colidx,
             layout,
             nz: entries.start.min(entries.end),
             nz_end: entries.end,
+            rhs,
+            j: 0,
         }
     }
 }
@@ -387,15 +513,35 @@ impl TraceCursor for XCursor<'_> {
             return None;
         }
         let c = self.colidx[self.nz] as usize;
-        self.nz += 1;
-        Some(Access::load(self.layout.line_of(Array::X, c), Array::X))
+        let elem = self.rhs.x_elem(c, self.j);
+        self.j += 1;
+        if self.j == self.rhs.k {
+            self.j = 0;
+            self.nz += 1;
+        }
+        Some(Access::load(self.layout.line_of(Array::X, elem), Array::X))
     }
 
     fn remaining(&self) -> usize {
-        self.nz_end - self.nz
+        (self.nz_end - self.nz) * self.rhs.k - self.j
     }
 
     fn next_block(&mut self, block: &mut AccessBlock) -> usize {
+        if self.rhs.k != 1 {
+            // Multi-RHS gathers go through the per-reference path; the
+            // hoisted line arithmetic below assumes one load per entry.
+            let mut n = 0;
+            while !block.is_full() {
+                match self.next_access() {
+                    Some(a) => {
+                        block.push(PackedAccess::pack(a));
+                        n += 1;
+                    }
+                    None => break,
+                }
+            }
+            return n;
+        }
         let take = block.space().min(self.nz_end - self.nz);
         if take == 0 {
             return 0;
@@ -488,6 +634,11 @@ pub struct SellCursor<'a> {
     lane: usize,
     /// Rows actually present in the current chunk (≤ `C` on a ragged tail).
     rows_in_chunk: usize,
+    rhs: RhsGeom,
+    /// Next RHS of the current `x` gather (`< rhs.k`).
+    xj: usize,
+    /// Next RHS of the current `y` store (`< rhs.k`).
+    yj: usize,
     stage: SellStage,
     remaining: usize,
 }
@@ -499,6 +650,23 @@ impl<'a> SellCursor<'a> {
     ///
     /// Panics if the chunk range is out of bounds.
     pub fn new(matrix: &'a SellMatrix, layout: &'a DataLayout, chunks: Range<usize>) -> Self {
+        Self::with_rhs(matrix, layout, chunks, RhsGeom::single())
+    }
+
+    /// Creates a multi-RHS (SpMM) cursor over chunks `chunks`: every `x`
+    /// gather widens to `rhs.k` loads and every `y` store to `rhs.k`
+    /// stores. With [`RhsGeom::single`] the trace is byte-identical to
+    /// [`new`](Self::new)'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk range is out of bounds.
+    pub fn with_rhs(
+        matrix: &'a SellMatrix,
+        layout: &'a DataLayout,
+        chunks: Range<usize>,
+        rhs: RhsGeom,
+    ) -> Self {
         assert!(
             chunks.end <= matrix.num_chunks(),
             "chunk range out of bounds"
@@ -509,7 +677,7 @@ impl<'a> SellCursor<'a> {
             let entries = matrix.chunk_ptr()[chunks.end] - matrix.chunk_ptr()[chunks.start];
             let c = matrix.chunk_size();
             let rows = (chunks.end * c).min(matrix.num_rows()) - chunks.start * c;
-            3 * entries + chunks.len() + rows
+            (2 + rhs.k) * entries + chunks.len() + rhs.k * rows
         };
         SellCursor {
             matrix,
@@ -520,6 +688,9 @@ impl<'a> SellCursor<'a> {
             idx_end: 0,
             lane: 0,
             rows_in_chunk: 0,
+            rhs,
+            xj: 0,
+            yj: 0,
             stage: SellStage::Meta,
             remaining,
         }
@@ -580,22 +751,32 @@ impl TraceCursor for SellCursor<'_> {
             }
             SellStage::X => {
                 let c = self.matrix.colidx()[self.idx] as usize;
-                self.idx += 1;
-                self.stage = if self.idx < self.idx_end {
-                    SellStage::A
-                } else {
-                    SellStage::Y
-                };
-                Access::load(self.layout.line_of(Array::X, c), Array::X)
+                let elem = self.rhs.x_elem(c, self.xj);
+                self.xj += 1;
+                if self.xj == self.rhs.k {
+                    self.xj = 0;
+                    self.idx += 1;
+                    self.stage = if self.idx < self.idx_end {
+                        SellStage::A
+                    } else {
+                        SellStage::Y
+                    };
+                }
+                Access::load(self.layout.line_of(Array::X, elem), Array::X)
             }
             SellStage::Y => {
                 let row_base = self.k * self.matrix.chunk_size();
                 let original = self.matrix.row_perm()[row_base + self.lane];
-                self.lane += 1;
-                if self.lane >= self.rows_in_chunk {
-                    self.advance_chunk();
+                let elem = self.rhs.y_elem(original, self.yj);
+                self.yj += 1;
+                if self.yj == self.rhs.k {
+                    self.yj = 0;
+                    self.lane += 1;
+                    if self.lane >= self.rows_in_chunk {
+                        self.advance_chunk();
+                    }
                 }
-                Access::store(self.layout.line_of(Array::Y, original), Array::Y)
+                Access::store(self.layout.line_of(Array::Y, elem), Array::Y)
             }
         };
         self.remaining -= 1;
@@ -612,10 +793,10 @@ impl TraceCursor for SellCursor<'_> {
         let geom_c = LaneGeom::new(self.layout, Array::ColIdx);
         let geom_x = LaneGeom::new(self.layout, Array::X);
         loop {
-            // Padded-entry fast path: emit whole a/colidx/x triples while
-            // they fit; chunk metadata and y stores go through the
-            // per-reference step below.
-            if self.stage == SellStage::A {
+            // Padded-entry fast path (single-RHS only): emit whole
+            // a/colidx/x triples while they fit; chunk metadata and y
+            // stores go through the per-reference step below.
+            if self.stage == SellStage::A && self.rhs.k == 1 {
                 let triples = (block.space() / 3).min(self.idx_end - self.idx);
                 if triples > 0 {
                     let mut a_line = SeqLine::at(geom_a, self.idx);
@@ -650,6 +831,145 @@ impl TraceCursor for SellCursor<'_> {
                 None => return n,
             }
         }
+    }
+}
+
+/// References issued per vector index by each CG sweep pass (see
+/// [`CgCursor`]).
+pub const CG_PASS_REFS: [usize; 4] = [2, 4, 1, 3];
+
+/// Total vector-sweep references per vector index of a CG iteration: the
+/// sum of [`CG_PASS_REFS`].
+pub const CG_SWEEP_REFS_PER_ROW: usize = 10;
+
+/// One conjugate-gradient iteration as a trace: the inner SpMV cursor's
+/// references followed by the solver's four vector sweeps in pass-major
+/// order, mirroring `examples/cg_solver.rs` loop for loop.
+///
+/// The `x` array role holds the three reused solver vectors as
+/// consecutive `n`-element segments — `p` at offset `0` (so the SpMV
+/// gathers hit it unchanged), `r` at `n`, the solution `x` at `2n` — and
+/// the `y` role holds `ap`. Per vector index `i` the sweeps issue, in the
+/// solver's loop order:
+///
+/// 1. `pap = Σ p·ap`: load `p[i]`, load `ap[i]` (2 refs);
+/// 2. `x[i] += α·p[i]; r[i] -= α·ap[i]`: load `p[i]`, store `x[i]`,
+///    load `ap[i]`, store `r[i]` (4 refs);
+/// 3. `rs = Σ r²`: load `r[i]` (1 ref);
+/// 4. `p[i] = r[i] + β·p[i]`: load `r[i]`, load `p[i]`, store `p[i]`
+///    (3 refs).
+///
+/// Updates count one store per element written, matching the SpMV `y`
+/// convention. The trace length is exactly the inner cursor's plus
+/// [`CG_SWEEP_REFS_PER_ROW`]`·rows` — the traffic-conservation invariant
+/// the validation harness pins.
+#[derive(Clone, Debug)]
+pub struct CgCursor<'a, C: TraceCursor> {
+    inner: C,
+    layout: &'a DataLayout,
+    /// Vector-index span this thread sweeps (its share of `0..n`).
+    rows: Range<usize>,
+    /// Vector length `n` — the segment stride of the `x` role.
+    n: usize,
+    /// Vector index offset within `rows` of the current sweep pass.
+    i: usize,
+    /// Current sweep pass (`0..4`; `4` = exhausted).
+    pass: u8,
+    /// Reference index within the current pass at the current `i`.
+    step: u8,
+    /// Sweep references not yet produced.
+    sweep_left: usize,
+}
+
+impl<'a, C: TraceCursor> CgCursor<'a, C> {
+    /// Wraps `inner` (the SpMV share of the iteration) with the vector
+    /// sweeps over indices `rows` of `n`-element vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index range exceeds `n`.
+    pub fn new(inner: C, layout: &'a DataLayout, rows: Range<usize>, n: usize) -> Self {
+        assert!(rows.end <= n, "vector index range out of bounds");
+        let sweep_left = CG_SWEEP_REFS_PER_ROW * rows.len();
+        CgCursor {
+            inner,
+            layout,
+            pass: if rows.is_empty() { 4 } else { 0 },
+            rows,
+            n,
+            i: 0,
+            step: 0,
+            sweep_left,
+        }
+    }
+}
+
+impl<C: TraceCursor> TraceCursor for CgCursor<'_, C> {
+    fn next_access(&mut self) -> Option<Access> {
+        if let Some(a) = self.inner.next_access() {
+            return Some(a);
+        }
+        if self.pass >= 4 {
+            return None;
+        }
+        let n = self.n;
+        let i = self.rows.start + self.i;
+        let (array, elem, store) = match (self.pass, self.step) {
+            // pap = Σ p·ap
+            (0, 0) => (Array::X, i, false),
+            (0, 1) => (Array::Y, i, false),
+            // x += α·p; r -= α·ap
+            (1, 0) => (Array::X, i, false),
+            (1, 1) => (Array::X, 2 * n + i, true),
+            (1, 2) => (Array::Y, i, false),
+            (1, 3) => (Array::X, n + i, true),
+            // rs = Σ r²
+            (2, 0) => (Array::X, n + i, false),
+            // p = r + β·p
+            (3, 0) => (Array::X, n + i, false),
+            (3, 1) => (Array::X, i, false),
+            (3, 2) => (Array::X, i, true),
+            _ => unreachable!("pass/step out of range"),
+        };
+        self.step += 1;
+        if usize::from(self.step) == CG_PASS_REFS[self.pass as usize] {
+            self.step = 0;
+            self.i += 1;
+            if self.i == self.rows.len() {
+                self.i = 0;
+                self.pass += 1;
+            }
+        }
+        self.sweep_left -= 1;
+        let line = self.layout.line_of(array, elem);
+        Some(if store {
+            Access::store(line, array)
+        } else {
+            Access::load(line, array)
+        })
+    }
+
+    fn remaining(&self) -> usize {
+        self.inner.remaining() + self.sweep_left
+    }
+
+    fn next_block(&mut self, block: &mut AccessBlock) -> usize {
+        let mut n = 0;
+        // The SpMV prefix keeps its batched fill; the sweeps are emitted
+        // per reference (their line arithmetic is already sequential).
+        while self.inner.remaining() > 0 && !block.is_full() {
+            n += self.inner.next_block(block);
+        }
+        while !block.is_full() {
+            match self.next_access() {
+                Some(a) => {
+                    block.push(PackedAccess::pack(a));
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
     }
 }
 
@@ -989,5 +1309,187 @@ mod tests {
         let sell = sparsemat::SellMatrix::from_csr(&a, 4, 8);
         let l = sell_layout(&sell, 16);
         SellCursor::new(&sell, &l, 0..sell.num_chunks() + 1);
+    }
+
+    /// Layout of a k-RHS view of `m` (X and Y roles widen k-fold).
+    fn rhs_layout(m: &CsrMatrix, k: usize, line_bytes: usize) -> DataLayout {
+        DataLayout::from_counts(
+            [
+                m.num_cols() * k,
+                m.num_rows() * k,
+                m.nnz(),
+                m.nnz(),
+                m.num_rows() + 1,
+            ],
+            line_bytes,
+        )
+    }
+
+    #[test]
+    fn rhs_single_geometry_is_byte_identical_to_plain_cursors() {
+        let m = random_csr(48, 6, 17);
+        let l = DataLayout::new(&m, 64);
+        let geom = RhsGeom::new(1, true, m.num_cols(), m.num_rows());
+        assert_eq!(
+            collect(SpmvCursor::with_rhs(&m, &l, 0..48, geom)),
+            collect(SpmvCursor::new(&m, &l, 0..48))
+        );
+        assert_eq!(
+            collect(XCursor::over_rhs(m.colidx(), &l, 0..m.nnz(), geom)),
+            collect(XCursor::new(&m, &l, 0..48))
+        );
+        let geom_sep = RhsGeom::new(1, false, m.num_cols(), m.num_rows());
+        assert_eq!(
+            collect(SpmvCursor::with_rhs(&m, &l, 0..48, geom_sep)),
+            collect(SpmvCursor::new(&m, &l, 0..48))
+        );
+    }
+
+    #[test]
+    fn rhs_cursor_widens_every_gather_and_store() {
+        let m = random_csr(32, 4, 29);
+        for k in [2usize, 5] {
+            for interleaved in [true, false] {
+                let l = rhs_layout(&m, k, 64);
+                let geom = RhsGeom::new(k, interleaved, m.num_cols(), m.num_rows());
+                let trace = collect(SpmvCursor::with_rhs(&m, &l, 0..32, geom));
+                assert_eq!(trace.len(), 1 + 32 * (1 + k) + m.nnz() * (2 + k));
+                let x_loads = trace.iter().filter(|a| a.array == Array::X).count();
+                let y_stores = trace.iter().filter(|a| a.array == Array::Y).count();
+                assert_eq!(x_loads, k * m.nnz());
+                assert_eq!(y_stores, k * 32);
+                let xs = collect(XCursor::over_rhs(m.colidx(), &l, 0..m.nnz(), geom));
+                let expect: Vec<Access> = trace
+                    .iter()
+                    .copied()
+                    .filter(|a| a.array == Array::X)
+                    .collect();
+                assert_eq!(xs, expect, "k={k} interleaved={interleaved}");
+            }
+        }
+    }
+
+    #[test]
+    fn rhs_next_block_matches_per_ref_path() {
+        let m = random_csr(40, 5, 41);
+        let sell_src = sell_fixture(41);
+        for k in [1usize, 3, 8] {
+            for interleaved in [true, false] {
+                let l = rhs_layout(&m, k, 64);
+                let geom = RhsGeom::new(k, interleaved, m.num_cols(), m.num_rows());
+                assert_eq!(
+                    collect_blocks(SpmvCursor::with_rhs(&m, &l, 0..40, geom)),
+                    collect(SpmvCursor::with_rhs(&m, &l, 0..40, geom)),
+                    "csr k={k} interleaved={interleaved}"
+                );
+                assert_eq!(
+                    collect_blocks(XCursor::over_rhs(m.colidx(), &l, 0..m.nnz(), geom)),
+                    collect(XCursor::over_rhs(m.colidx(), &l, 0..m.nnz(), geom)),
+                    "x k={k} interleaved={interleaved}"
+                );
+                let sell = sparsemat::SellMatrix::from_csr(&sell_src, 4, 8);
+                let sl = DataLayout::from_counts(
+                    [
+                        sell.num_cols() * k,
+                        sell.num_rows() * k,
+                        sell.stored_entries(),
+                        sell.stored_entries(),
+                        sell.num_chunks() + 1,
+                    ],
+                    64,
+                );
+                let sgeom = RhsGeom::new(k, interleaved, sell.num_cols(), sell.num_rows());
+                let n = sell.num_chunks();
+                let per_ref = collect(SellCursor::with_rhs(&sell, &sl, 0..n, sgeom));
+                assert_eq!(
+                    collect_blocks(SellCursor::with_rhs(&sell, &sl, 0..n, sgeom)),
+                    per_ref,
+                    "sell k={k} interleaved={interleaved}"
+                );
+                assert_eq!(
+                    per_ref.len(),
+                    (2 + k) * sell.stored_entries() + n + k * sell.num_rows()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rhs_remaining_counts_down_exactly() {
+        let m = random_csr(24, 3, 53);
+        let l = rhs_layout(&m, 4, 64);
+        let geom = RhsGeom::new(4, true, m.num_cols(), m.num_rows());
+        let mut c = SpmvCursor::with_rhs(&m, &l, 0..24, geom);
+        let total = c.remaining();
+        let mut seen = 0;
+        while c.next_access().is_some() {
+            seen += 1;
+            assert_eq!(c.remaining(), total - seen);
+        }
+        assert_eq!(seen, total);
+    }
+
+    /// CG layout over `m`: `x` role holds p|r|x (3n), `y` holds ap.
+    fn cg_layout(m: &CsrMatrix, line_bytes: usize) -> DataLayout {
+        let n = m.num_rows();
+        DataLayout::from_counts([3 * n, n, m.nnz(), m.nnz(), n + 1], line_bytes)
+    }
+
+    #[test]
+    fn cg_cursor_conserves_traffic_vs_constituent_sweeps() {
+        let m = random_csr(30, 4, 61);
+        let l = cg_layout(&m, 64);
+        let inner = SpmvCursor::new(&m, &l, 0..30);
+        let spmv_len = inner.remaining();
+        let c = CgCursor::new(inner, &l, 0..30, 30);
+        assert_eq!(c.remaining(), spmv_len + CG_SWEEP_REFS_PER_ROW * 30);
+        let trace = collect(c);
+        assert_eq!(trace.len(), spmv_len + CG_SWEEP_REFS_PER_ROW * 30);
+        // The SpMV prefix is the plain trace, untouched.
+        assert_eq!(
+            &trace[..spmv_len],
+            &collect(SpmvCursor::new(&m, &l, 0..30))[..]
+        );
+        // Sweep refs per pass follow CG_PASS_REFS.
+        assert_eq!(CG_PASS_REFS.iter().sum::<usize>(), CG_SWEEP_REFS_PER_ROW);
+        let sweep = &trace[spmv_len..];
+        let stores = sweep.iter().filter(|a| a.write).count();
+        assert_eq!(stores, 3 * 30, "x, r and p stores per index");
+    }
+
+    #[test]
+    fn cg_next_block_matches_per_ref_path() {
+        let m = random_csr(30, 4, 67);
+        let l = cg_layout(&m, 16);
+        for rows in [0..30usize, 5..20, 12..12] {
+            let per_ref = collect(CgCursor::new(
+                SpmvCursor::new(&m, &l, rows.clone()),
+                &l,
+                rows.clone(),
+                30,
+            ));
+            let blocks = collect_blocks(CgCursor::new(
+                SpmvCursor::new(&m, &l, rows.clone()),
+                &l,
+                rows.clone(),
+                30,
+            ));
+            assert_eq!(blocks, per_ref, "rows {rows:?}");
+        }
+    }
+
+    #[test]
+    fn cg_remaining_counts_down_exactly() {
+        let m = random_csr(20, 3, 71);
+        let l = cg_layout(&m, 64);
+        let mut c = CgCursor::new(SpmvCursor::new(&m, &l, 3..17), &l, 3..17, 20);
+        let total = c.remaining();
+        let mut seen = 0;
+        while c.next_access().is_some() {
+            seen += 1;
+            assert_eq!(c.remaining(), total - seen);
+        }
+        assert_eq!(seen, total);
+        assert_eq!(c.next_access(), None);
     }
 }

@@ -36,13 +36,16 @@ pub mod spmv_trace;
 pub mod workload;
 pub mod xtrace;
 
-pub use cursor::TraceCursor;
+pub use cursor::{RhsGeom, TraceCursor, CG_SWEEP_REFS_PER_ROW};
 pub use layout::{Array, DataLayout, A64FX_LINE_BYTES};
 pub use sink::{
     AccessBlock, BlockSink, BlockTee, CountSink, PackedVecSink, RefSink, TraceSink, VecSink,
     BLOCK_REFS,
 };
-pub use workload::{FormatSpec, ReorderSpec, SpmvWorkload, WorkShare, Workload, WorkloadCursor};
+pub use workload::{
+    CgWorkload, FormatSpec, ReorderSpec, RhsLayout, ScenarioSpec, SpmmWorkload, SpmvWorkload,
+    WorkShare, Workload, WorkloadCursor,
+};
 
 /// A single memory reference at cache-line granularity.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]

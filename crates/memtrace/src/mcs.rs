@@ -197,7 +197,10 @@ mod tests {
                 "B acquired while A held the lock"
             );
             drop(g);
-            h.join().unwrap();
+            // Propagate the worker's own message (an assert inside the
+            // spawned closure would otherwise surface as an opaque
+            // `Any { .. }` unwrap).
+            sparsemat::join_propagating(h.join(), "handoff worker");
             assert_eq!(order.load(Ordering::SeqCst), 1);
         });
     }

@@ -93,8 +93,22 @@ pub trait SpmvWorkload: Sync {
     fn num_work_items(&self) -> usize;
 
     /// `x` gather references issued per SpMV iteration (`nnz` for CSR;
-    /// the padded [`SellMatrix::stored_entries`] for SELL).
+    /// the padded [`SellMatrix::stored_entries`] for SELL). A multi-RHS
+    /// (SpMM) view multiplies this by `k`.
     fn x_refs(&self) -> usize;
+
+    /// Stored matrix entries streamed per iteration (`a`/`colidx`
+    /// elements). Equals [`x_refs`](Self::x_refs) for plain SpMV; an SpMM
+    /// view keeps the stored-entry count while `x_refs` grows `k`-fold.
+    fn stream_entries(&self) -> usize {
+        self.x_refs()
+    }
+
+    /// Bytes of `y` written per output row per iteration: 8 for SpMV,
+    /// `8k` for SpMM with `k` right-hand sides.
+    fn y_row_bytes(&self) -> usize {
+        VECTOR_BYTES
+    }
 
     /// Metadata elements (the `rowptr` role) streamed per iteration:
     /// `rows + 1` row pointers for CSR, one descriptor per chunk for
@@ -133,12 +147,14 @@ pub trait SpmvWorkload: Sync {
     ) -> Self::XCursor<'w>;
 
     /// Bytes of streamed matrix data per iteration (values + indices +
-    /// metadata).
+    /// metadata). Independent of the RHS count: the matrix is streamed
+    /// once per iteration however many vectors it multiplies.
     fn matrix_bytes(&self) -> usize {
-        self.x_refs() * (VALUE_BYTES + COLIDX_BYTES) + self.meta_elems() * ROWPTR_BYTES
+        self.stream_entries() * (VALUE_BYTES + COLIDX_BYTES) + self.meta_elems() * ROWPTR_BYTES
     }
 
-    /// Bytes of the `x` vector.
+    /// Bytes of the `x`-role data (all right-hand sides / reused solver
+    /// vectors).
     fn x_bytes(&self) -> usize {
         self.num_cols() * VECTOR_BYTES
     }
@@ -146,12 +162,12 @@ pub trait SpmvWorkload: Sync {
     /// Bytes of the reusable (non-matrix-stream) data: `x`, `y` and the
     /// metadata stream — the classify input for the partitioned classes.
     fn reusable_bytes(&self) -> usize {
-        self.x_bytes() + self.num_rows() * VECTOR_BYTES + self.meta_elems() * ROWPTR_BYTES
+        self.x_bytes() + self.num_rows() * self.y_row_bytes() + self.meta_elems() * ROWPTR_BYTES
     }
 
     /// Total bytes of the SpMV working set.
     fn working_set_bytes(&self) -> usize {
-        self.matrix_bytes() + (self.num_rows() + self.num_cols()) * VECTOR_BYTES
+        self.matrix_bytes() + self.num_rows() * self.y_row_bytes() + self.x_bytes()
     }
 }
 
@@ -342,7 +358,7 @@ impl FormatSpec {
             ));
         }
         if let Some(params) = s.strip_prefix("sell:") {
-            let mut it = params.splitn(2, ',');
+            let mut it = params.split(',');
             let c: usize = it
                 .next()
                 .unwrap()
@@ -353,12 +369,23 @@ impl FormatSpec {
                 return Err(format!("SELL chunk size must be positive in '{s}'"));
             }
             let sigma = match it.next() {
+                Some(v) if v.trim().is_empty() => {
+                    return Err(format!(
+                        "SELL sigma missing after ',' in '{s}' (expected sell:C,sigma)"
+                    ));
+                }
                 Some(v) => v
                     .trim()
                     .parse()
                     .map_err(|_| format!("bad SELL sigma in '{s}'"))?,
                 None => c,
             };
+            if let Some(extra) = it.next() {
+                return Err(format!(
+                    "unexpected trailing SELL parameter '{extra}' in '{s}' \
+                     (expected sell:C,sigma)"
+                ));
+            }
             return Ok(FormatSpec::Sell {
                 chunk_size: c,
                 sigma,
@@ -443,6 +470,478 @@ impl ReorderSpec {
     }
 }
 
+/// Memory layout of the `k` right-hand sides of an SpMM workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum RhsLayout {
+    /// Row-major interleaved: RHS `j` of logical element `c` lives at
+    /// `x[c*k + j]`, so one gather touches `k` consecutive elements.
+    #[default]
+    Interleaved,
+    /// Column-major separate vectors: RHS `j` is a contiguous vector at
+    /// offset `j·N`, so one gather touches `k` strided elements.
+    Separate,
+}
+
+impl RhsLayout {
+    /// Parses `"row"` (interleaved) or `"col"` (separate vectors).
+    pub fn parse(s: &str) -> Result<RhsLayout, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "row" => Ok(RhsLayout::Interleaved),
+            "col" => Ok(RhsLayout::Separate),
+            other => Err(format!(
+                "unknown RHS layout '{other}' (expected row or col)"
+            )),
+        }
+    }
+
+    /// Canonical label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RhsLayout::Interleaved => "row",
+            RhsLayout::Separate => "col",
+        }
+    }
+}
+
+/// The kernel scenario a workload models, parsed from specs and CLI
+/// flags. Applied *on top* of the storage format: the same matrix in the
+/// same format can be traced as one SpMV, a `k`-RHS SpMM, or a full CG
+/// iteration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum ScenarioSpec {
+    /// Plain single-vector SpMV — the paper's kernel.
+    #[default]
+    Spmv,
+    /// Multi-vector SpMM with `k` right-hand sides.
+    Spmm {
+        /// Number of right-hand sides.
+        k: usize,
+        /// RHS memory layout.
+        layout: RhsLayout,
+    },
+    /// One conjugate-gradient iteration (SpMV plus the solver's vector
+    /// sweeps).
+    Cg,
+}
+
+impl ScenarioSpec {
+    /// Parses `"spmv"`, `"cg"`, `"spmm:K"` or `"spmm:K,row|col"`.
+    pub fn parse(s: &str) -> Result<ScenarioSpec, String> {
+        let lower = s.trim().to_ascii_lowercase();
+        let s = lower.as_str();
+        match s {
+            "spmv" => return Ok(ScenarioSpec::Spmv),
+            "cg" => return Ok(ScenarioSpec::Cg),
+            "spmm" => {
+                return Err(format!(
+                    "scenario '{s}' needs a RHS count: spmm:K[,row|col] (e.g. spmm:16)"
+                ))
+            }
+            _ => {}
+        }
+        if let Some(params) = s.strip_prefix("spmm:") {
+            let mut it = params.split(',');
+            let k: usize = it
+                .next()
+                .unwrap()
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad SpMM RHS count in '{s}'"))?;
+            if k == 0 {
+                return Err(format!("SpMM RHS count must be positive in '{s}'"));
+            }
+            let layout = match it.next() {
+                Some(v) => RhsLayout::parse(v)?,
+                None => RhsLayout::default(),
+            };
+            if let Some(extra) = it.next() {
+                return Err(format!(
+                    "unexpected trailing SpMM parameter '{extra}' in '{s}' \
+                     (expected spmm:K[,row|col])"
+                ));
+            }
+            return Ok(ScenarioSpec::Spmm { k, layout });
+        }
+        Err(format!(
+            "unknown scenario '{s}' (expected spmv, cg or spmm:K[,row|col])"
+        ))
+    }
+
+    /// Canonical label: `"spmv"`, `"cg"` or `"spmm:K,row|col"`.
+    pub fn label(&self) -> String {
+        match self {
+            ScenarioSpec::Spmv => "spmv".to_string(),
+            ScenarioSpec::Cg => "cg".to_string(),
+            ScenarioSpec::Spmm { k, layout } => format!("spmm:{k},{}", layout.label()),
+        }
+    }
+
+    /// Wraps a storage workload in this scenario's view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is already a scenario view, or (for CG) is not
+    /// square.
+    pub fn apply(&self, base: Workload) -> Workload {
+        match *self {
+            ScenarioSpec::Spmv => base,
+            ScenarioSpec::Spmm { k, layout } => {
+                Workload::Spmm(Box::new(SpmmWorkload::new(base, k, layout)))
+            }
+            ScenarioSpec::Cg => Workload::Cg(Box::new(CgWorkload::new(base))),
+        }
+    }
+}
+
+/// FNV-style fingerprint mixing for scenario tags (the same pattern as
+/// [`ReorderSpec::tag_fingerprint`]).
+fn mix_fingerprint(fingerprint: u64, tag: u64) -> u64 {
+    (fingerprint ^ tag).wrapping_mul(0x0000_0100_0000_01B3)
+}
+
+/// A multi-vector (SpMM) view of a storage workload: `k` right-hand
+/// sides, each `x` gather widening to `k` loads and each `y` store to
+/// `k` stores, with the matrix streamed once.
+///
+/// With `k = 1` the view is **byte-identical** to the base workload —
+/// same fingerprint (so cache keys and reports are unchanged), same
+/// layout, same traces.
+#[derive(Clone, Debug)]
+pub struct SpmmWorkload {
+    base: Workload,
+    k: usize,
+    rhs_layout: RhsLayout,
+}
+
+impl SpmmWorkload {
+    /// Wraps `base` with `k` right-hand sides in `rhs_layout`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or `base` is already a scenario view.
+    pub fn new(base: Workload, k: usize, rhs_layout: RhsLayout) -> Self {
+        assert!(k > 0, "need at least one right-hand side");
+        assert!(
+            matches!(base, Workload::Csr(_) | Workload::Sell(_)),
+            "SpMM base must be a storage workload, not another scenario view"
+        );
+        SpmmWorkload {
+            base,
+            k,
+            rhs_layout,
+        }
+    }
+
+    /// The number of right-hand sides.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The RHS memory layout.
+    pub fn rhs_layout(&self) -> RhsLayout {
+        self.rhs_layout
+    }
+
+    /// The underlying storage workload.
+    pub fn base(&self) -> &Workload {
+        &self.base
+    }
+
+    fn geom(&self) -> crate::cursor::RhsGeom {
+        crate::cursor::RhsGeom::new(
+            self.k,
+            matches!(self.rhs_layout, RhsLayout::Interleaved),
+            self.base.num_cols(),
+            SpmvWorkload::num_rows(&self.base),
+        )
+    }
+
+    /// Metadata element count of the layout's `rowptr` role.
+    fn meta_count(&self) -> usize {
+        match &self.base {
+            Workload::Csr(m) => CsrMatrix::num_rows(m) + 1,
+            Workload::Sell(s) => s.num_chunks() + 1,
+            _ => unreachable!("SpMM base is a storage workload"),
+        }
+    }
+}
+
+impl SpmvWorkload for SpmmWorkload {
+    type Cursor<'w> = WorkloadCursor<'w>;
+    type XCursor<'w> = XCursor<'w>;
+
+    fn format(&self) -> FormatSpec {
+        self.base.format()
+    }
+
+    fn num_rows(&self) -> usize {
+        SpmvWorkload::num_rows(&self.base)
+    }
+
+    fn num_cols(&self) -> usize {
+        SpmvWorkload::num_cols(&self.base)
+    }
+
+    fn nnz(&self) -> usize {
+        SpmvWorkload::nnz(&self.base)
+    }
+
+    fn num_work_items(&self) -> usize {
+        self.base.num_work_items()
+    }
+
+    fn x_refs(&self) -> usize {
+        self.k * self.base.x_refs()
+    }
+
+    fn stream_entries(&self) -> usize {
+        self.base.x_refs()
+    }
+
+    fn y_row_bytes(&self) -> usize {
+        self.k * VECTOR_BYTES
+    }
+
+    fn x_bytes(&self) -> usize {
+        self.k * SpmvWorkload::num_cols(&self.base) * VECTOR_BYTES
+    }
+
+    fn meta_elems(&self) -> usize {
+        self.base.meta_elems()
+    }
+
+    fn companion0_bytes(&self) -> usize {
+        // The partition-0 companion traffic gains (k-1) extra `y` stores
+        // per row; the metadata stream is unchanged.
+        self.base.companion0_bytes()
+            + (self.k - 1) * VECTOR_BYTES * SpmvWorkload::num_rows(&self.base)
+    }
+
+    fn fingerprint(&self) -> u64 {
+        if self.k == 1 {
+            // Identity: a k=1 SpMM view shares the base's cache entries
+            // (its traces and predictions are byte-identical).
+            return SpmvWorkload::fingerprint(&self.base);
+        }
+        let tag = 0x7370_6D6D_5F74_6167u64 // "spmm_tag"
+            ^ ((self.k as u64) << 8)
+            ^ matches!(self.rhs_layout, RhsLayout::Separate) as u64;
+        mix_fingerprint(SpmvWorkload::fingerprint(&self.base), tag)
+    }
+
+    fn layout(&self, line_bytes: usize) -> DataLayout {
+        DataLayout::from_counts(
+            [
+                SpmvWorkload::num_cols(&self.base) * self.k,
+                SpmvWorkload::num_rows(&self.base) * self.k,
+                self.base.x_refs(),
+                self.base.x_refs(),
+                self.meta_count(),
+            ],
+            line_bytes,
+        )
+    }
+
+    fn share(&self, items: Range<usize>) -> WorkShare {
+        // Shares stay in stored-entry units: the matrix-stream terms and
+        // metadata accounting are RHS-independent.
+        self.base.share(items)
+    }
+
+    fn trace_cursor<'w>(
+        &'w self,
+        layout: &'w DataLayout,
+        items: Range<usize>,
+    ) -> WorkloadCursor<'w> {
+        let geom = self.geom();
+        match &self.base {
+            Workload::Csr(m) => WorkloadCursor::Csr(SpmvCursor::with_rhs(m, layout, items, geom)),
+            Workload::Sell(s) => WorkloadCursor::Sell(SellCursor::with_rhs(s, layout, items, geom)),
+            _ => unreachable!("SpMM base is a storage workload"),
+        }
+    }
+
+    fn x_trace_cursor<'w>(&'w self, layout: &'w DataLayout, items: Range<usize>) -> XCursor<'w> {
+        let geom = self.geom();
+        match &self.base {
+            Workload::Csr(m) => {
+                assert!(
+                    items.end <= CsrMatrix::num_rows(m),
+                    "row range out of bounds"
+                );
+                let entries = if items.is_empty() {
+                    0..0
+                } else {
+                    m.rowptr()[items.start] as usize..m.rowptr()[items.end] as usize
+                };
+                XCursor::over_rhs(m.colidx(), layout, entries, geom)
+            }
+            Workload::Sell(s) => {
+                assert!(items.end <= s.num_chunks(), "chunk range out of bounds");
+                let entries = if items.is_empty() {
+                    0..0
+                } else {
+                    s.chunk_ptr()[items.start]..s.chunk_ptr()[items.end]
+                };
+                XCursor::over_rhs(s.colidx(), layout, entries, geom)
+            }
+            _ => unreachable!("SpMM base is a storage workload"),
+        }
+    }
+}
+
+/// A CG-iteration view of a storage workload, mirroring
+/// `examples/cg_solver.rs`: the SpMV (`ap = A·p`) plus the four vector
+/// sweeps of one iteration, traced pass for pass (see
+/// [`CgCursor`](crate::cursor::CgCursor)).
+///
+/// The `x` array role holds the three reused solver vectors (`p`, `r`,
+/// `x`) as consecutive segments — `p` at offset 0, so the SpMV gathers
+/// are unchanged — and the `y` role holds `ap`.
+#[derive(Clone, Debug)]
+pub struct CgWorkload {
+    base: Workload,
+}
+
+impl CgWorkload {
+    /// Wraps `base` in a CG-iteration view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not square or is already a scenario view.
+    pub fn new(base: Workload) -> Self {
+        assert!(
+            matches!(base, Workload::Csr(_) | Workload::Sell(_)),
+            "CG base must be a storage workload, not another scenario view"
+        );
+        assert_eq!(
+            SpmvWorkload::num_rows(&base),
+            SpmvWorkload::num_cols(&base),
+            "CG needs a square matrix"
+        );
+        CgWorkload { base }
+    }
+
+    /// The underlying storage workload.
+    pub fn base(&self) -> &Workload {
+        &self.base
+    }
+
+    /// Metadata element count of the layout's `rowptr` role.
+    fn meta_count(&self) -> usize {
+        match &self.base {
+            Workload::Csr(m) => CsrMatrix::num_rows(m) + 1,
+            Workload::Sell(s) => s.num_chunks() + 1,
+            _ => unreachable!("CG base is a storage workload"),
+        }
+    }
+
+    /// The vector-index span covered by a contiguous work-item range (the
+    /// rows for CSR; the chunk block's row span for SELL, a documented
+    /// approximation of the solver's row-block sweep partition).
+    fn vector_span(&self, items: &Range<usize>) -> Range<usize> {
+        match &self.base {
+            Workload::Csr(_) => items.clone(),
+            Workload::Sell(s) => {
+                let c = s.chunk_size();
+                let n = SellMatrix::num_rows(s);
+                (items.start * c).min(n)..(items.end * c).min(n)
+            }
+            _ => unreachable!("CG base is a storage workload"),
+        }
+    }
+}
+
+impl SpmvWorkload for CgWorkload {
+    type Cursor<'w> = crate::cursor::CgCursor<'w, WorkloadCursor<'w>>;
+    type XCursor<'w> = XCursor<'w>;
+
+    fn format(&self) -> FormatSpec {
+        self.base.format()
+    }
+
+    fn num_rows(&self) -> usize {
+        SpmvWorkload::num_rows(&self.base)
+    }
+
+    fn num_cols(&self) -> usize {
+        SpmvWorkload::num_cols(&self.base)
+    }
+
+    fn nnz(&self) -> usize {
+        SpmvWorkload::nnz(&self.base)
+    }
+
+    fn num_work_items(&self) -> usize {
+        self.base.num_work_items()
+    }
+
+    fn x_refs(&self) -> usize {
+        self.base.x_refs()
+    }
+
+    fn x_bytes(&self) -> usize {
+        // Three reused solver vectors live in the `x` role.
+        3 * SpmvWorkload::num_rows(&self.base) * VECTOR_BYTES
+    }
+
+    fn meta_elems(&self) -> usize {
+        self.base.meta_elems()
+    }
+
+    fn companion0_bytes(&self) -> usize {
+        // The vector sweeps add CG_SWEEP_REFS_PER_ROW 8-byte partition-0
+        // references per row on top of the SpMV's companion traffic.
+        self.base.companion0_bytes()
+            + crate::cursor::CG_SWEEP_REFS_PER_ROW
+                * VECTOR_BYTES
+                * SpmvWorkload::num_rows(&self.base)
+    }
+
+    fn fingerprint(&self) -> u64 {
+        // Always tagged: a CG view never shares cache entries with the
+        // plain SpMV view of the same matrix.
+        mix_fingerprint(
+            SpmvWorkload::fingerprint(&self.base),
+            0x6367_5F74_6167_5F5Fu64, // "cg_tag__"
+        )
+    }
+
+    fn layout(&self, line_bytes: usize) -> DataLayout {
+        let n = SpmvWorkload::num_rows(&self.base);
+        DataLayout::from_counts(
+            [
+                3 * n,
+                n,
+                self.base.x_refs(),
+                self.base.x_refs(),
+                self.meta_count(),
+            ],
+            line_bytes,
+        )
+    }
+
+    fn share(&self, items: Range<usize>) -> WorkShare {
+        self.base.share(items)
+    }
+
+    fn trace_cursor<'w>(
+        &'w self,
+        layout: &'w DataLayout,
+        items: Range<usize>,
+    ) -> crate::cursor::CgCursor<'w, WorkloadCursor<'w>> {
+        let span = self.vector_span(&items);
+        let inner = self.base.trace_cursor(layout, items);
+        crate::cursor::CgCursor::new(inner, layout, span, SpmvWorkload::num_rows(&self.base))
+    }
+
+    fn x_trace_cursor<'w>(&'w self, layout: &'w DataLayout, items: Range<usize>) -> XCursor<'w> {
+        // Method (B) tracks the `x` gathers only; the sweeps stream and
+        // are accounted analytically via companion0_bytes.
+        self.base.x_trace_cursor(layout, items)
+    }
+}
+
 /// A runtime-dispatched workload: the engine, CLI and validator hold one
 /// of these and every layer underneath is generic over [`SpmvWorkload`].
 #[derive(Clone, Debug)]
@@ -451,6 +950,10 @@ pub enum Workload {
     Csr(CsrMatrix),
     /// A SELL-C-σ matrix (chunks are the work items).
     Sell(SellMatrix),
+    /// A multi-RHS (SpMM) view over a storage workload.
+    Spmm(Box<SpmmWorkload>),
+    /// A CG-iteration view over a storage workload.
+    Cg(Box<CgWorkload>),
 }
 
 impl Workload {
@@ -459,19 +962,42 @@ impl Workload {
         format.build(reorder.apply(matrix))
     }
 
+    /// Builds a workload and wraps it in a scenario view: reorder, then
+    /// convert, then apply the scenario.
+    pub fn build_scenario(
+        matrix: CsrMatrix,
+        format: FormatSpec,
+        reorder: ReorderSpec,
+        scenario: ScenarioSpec,
+    ) -> Workload {
+        scenario.apply(Self::build(matrix, format, reorder))
+    }
+
+    /// The scenario this workload models.
+    pub fn scenario(&self) -> ScenarioSpec {
+        match self {
+            Workload::Csr(_) | Workload::Sell(_) => ScenarioSpec::Spmv,
+            Workload::Spmm(w) => ScenarioSpec::Spmm {
+                k: w.k(),
+                layout: w.rhs_layout(),
+            },
+            Workload::Cg(_) => ScenarioSpec::Cg,
+        }
+    }
+
     /// The CSR view, if this is a CSR workload.
     pub fn as_csr(&self) -> Option<&CsrMatrix> {
         match self {
             Workload::Csr(m) => Some(m),
-            Workload::Sell(_) => None,
+            _ => None,
         }
     }
 
     /// The SELL view, if this is a SELL workload.
     pub fn as_sell(&self) -> Option<&SellMatrix> {
         match self {
-            Workload::Csr(_) => None,
             Workload::Sell(m) => Some(m),
+            _ => None,
         }
     }
 }
@@ -479,10 +1005,12 @@ impl Workload {
 /// Method (A) cursor of a [`Workload`].
 #[derive(Clone, Debug)]
 pub enum WorkloadCursor<'w> {
-    /// CSR row-block cursor.
+    /// CSR row-block cursor (single- or multi-RHS).
     Csr(SpmvCursor<'w>),
-    /// SELL chunk-block cursor.
+    /// SELL chunk-block cursor (single- or multi-RHS).
     Sell(SellCursor<'w>),
+    /// CG-iteration cursor wrapping a storage cursor.
+    Cg(Box<crate::cursor::CgCursor<'w, WorkloadCursor<'w>>>),
 }
 
 impl TraceCursor for WorkloadCursor<'_> {
@@ -490,6 +1018,7 @@ impl TraceCursor for WorkloadCursor<'_> {
         match self {
             WorkloadCursor::Csr(c) => c.next_access(),
             WorkloadCursor::Sell(c) => c.next_access(),
+            WorkloadCursor::Cg(c) => c.next_access(),
         }
     }
 
@@ -497,6 +1026,7 @@ impl TraceCursor for WorkloadCursor<'_> {
         match self {
             WorkloadCursor::Csr(c) => c.remaining(),
             WorkloadCursor::Sell(c) => c.remaining(),
+            WorkloadCursor::Cg(c) => c.remaining(),
         }
     }
 
@@ -504,6 +1034,7 @@ impl TraceCursor for WorkloadCursor<'_> {
         match self {
             WorkloadCursor::Csr(c) => c.next_block(block),
             WorkloadCursor::Sell(c) => c.next_block(block),
+            WorkloadCursor::Cg(c) => c.next_block(block),
         }
     }
 }
@@ -513,6 +1044,14 @@ macro_rules! delegate {
         match $self {
             Workload::Csr($m) => $e,
             Workload::Sell($m) => $e,
+            Workload::Spmm(boxed) => {
+                let $m = &**boxed;
+                $e
+            }
+            Workload::Cg(boxed) => {
+                let $m = &**boxed;
+                $e
+            }
         }
     };
 }
@@ -545,6 +1084,18 @@ impl SpmvWorkload for Workload {
         delegate!(self, m => m.x_refs())
     }
 
+    fn stream_entries(&self) -> usize {
+        delegate!(self, m => m.stream_entries())
+    }
+
+    fn y_row_bytes(&self) -> usize {
+        delegate!(self, m => m.y_row_bytes())
+    }
+
+    fn x_bytes(&self) -> usize {
+        delegate!(self, m => m.x_bytes())
+    }
+
     fn meta_elems(&self) -> usize {
         delegate!(self, m => m.meta_elems())
     }
@@ -573,6 +1124,8 @@ impl SpmvWorkload for Workload {
         match self {
             Workload::Csr(m) => WorkloadCursor::Csr(m.trace_cursor(layout, items)),
             Workload::Sell(m) => WorkloadCursor::Sell(m.trace_cursor(layout, items)),
+            Workload::Spmm(w) => w.trace_cursor(layout, items),
+            Workload::Cg(w) => WorkloadCursor::Cg(Box::new(w.trace_cursor(layout, items))),
         }
     }
 
@@ -809,5 +1362,124 @@ mod tests {
                 sigma: 8
             }
         );
+    }
+
+    #[test]
+    fn format_spec_rejects_malformed_sell_parameters() {
+        let err = FormatSpec::parse("sell:32,").unwrap_err();
+        assert!(err.contains("sigma missing"), "{err}");
+        let err = FormatSpec::parse("sell:32,128,extra").unwrap_err();
+        assert!(err.contains("trailing"), "{err}");
+        assert!(err.contains("extra"), "{err}");
+    }
+
+    #[test]
+    fn scenario_spec_parses_labels_and_rejects() {
+        assert_eq!(ScenarioSpec::parse("spmv").unwrap(), ScenarioSpec::Spmv);
+        assert_eq!(ScenarioSpec::parse("CG").unwrap(), ScenarioSpec::Cg);
+        assert_eq!(
+            ScenarioSpec::parse("spmm:16").unwrap(),
+            ScenarioSpec::Spmm {
+                k: 16,
+                layout: RhsLayout::Interleaved
+            }
+        );
+        assert_eq!(
+            ScenarioSpec::parse("spmm:4,col").unwrap(),
+            ScenarioSpec::Spmm {
+                k: 4,
+                layout: RhsLayout::Separate
+            }
+        );
+        for spec in [
+            ScenarioSpec::Spmv,
+            ScenarioSpec::Cg,
+            ScenarioSpec::Spmm {
+                k: 8,
+                layout: RhsLayout::Separate,
+            },
+        ] {
+            assert_eq!(ScenarioSpec::parse(&spec.label()).unwrap(), spec);
+        }
+        assert!(ScenarioSpec::parse("spmm")
+            .unwrap_err()
+            .contains("RHS count"));
+        assert!(ScenarioSpec::parse("spmm:0")
+            .unwrap_err()
+            .contains("positive"));
+        assert!(ScenarioSpec::parse("spmm:4,diag")
+            .unwrap_err()
+            .contains("row or col"));
+        assert!(ScenarioSpec::parse("spmm:4,row,extra")
+            .unwrap_err()
+            .contains("trailing"));
+        assert!(ScenarioSpec::parse("lu")
+            .unwrap_err()
+            .contains("unknown scenario"));
+    }
+
+    #[test]
+    fn spmm_k1_view_is_identical_to_its_base() {
+        let m = sample(23);
+        for format in [
+            FormatSpec::Csr,
+            FormatSpec::Sell {
+                chunk_size: 4,
+                sigma: 8,
+            },
+        ] {
+            let base = format.build(m.clone());
+            for layout in [RhsLayout::Interleaved, RhsLayout::Separate] {
+                let spmm = SpmmWorkload::new(base.clone(), 1, layout);
+                assert_eq!(
+                    SpmvWorkload::fingerprint(&spmm),
+                    SpmvWorkload::fingerprint(&base)
+                );
+                assert_eq!(spmm.layout(256), base.layout(256));
+                assert_eq!(spmm.x_refs(), base.x_refs());
+                assert_eq!(spmm.stream_entries(), base.stream_entries());
+                assert_eq!(spmm.y_row_bytes(), base.y_row_bytes());
+                assert_eq!(SpmvWorkload::x_bytes(&spmm), SpmvWorkload::x_bytes(&base));
+                assert_eq!(spmm.companion0_bytes(), base.companion0_bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_fingerprints_are_tagged_and_distinct() {
+        let m = sample(23);
+        let base = Workload::Csr(m);
+        let all = [
+            SpmvWorkload::fingerprint(&base),
+            SpmvWorkload::fingerprint(&SpmmWorkload::new(base.clone(), 4, RhsLayout::Interleaved)),
+            SpmvWorkload::fingerprint(&SpmmWorkload::new(base.clone(), 4, RhsLayout::Separate)),
+            SpmvWorkload::fingerprint(&SpmmWorkload::new(base.clone(), 8, RhsLayout::Interleaved)),
+            SpmvWorkload::fingerprint(&CgWorkload::new(base.clone())),
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b, "scenario views must never share cache keys");
+            }
+        }
+    }
+
+    #[test]
+    fn build_scenario_applies_and_reports_the_scenario() {
+        let m = sample(23);
+        let spec = ScenarioSpec::Spmm {
+            k: 4,
+            layout: RhsLayout::Separate,
+        };
+        let wl = Workload::build_scenario(m.clone(), FormatSpec::Csr, ReorderSpec::None, spec);
+        assert_eq!(wl.scenario(), spec);
+        assert_eq!(SpmvWorkload::x_refs(&wl), 4 * m.nnz());
+        let cg = Workload::build_scenario(
+            m.clone(),
+            FormatSpec::Csr,
+            ReorderSpec::None,
+            ScenarioSpec::Cg,
+        );
+        assert_eq!(cg.scenario(), ScenarioSpec::Cg);
+        assert_eq!(SpmvWorkload::x_bytes(&cg), 3 * m.num_rows() * 8);
     }
 }

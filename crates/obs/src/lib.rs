@@ -437,7 +437,15 @@ mod tests {
             })
             .collect();
         for h in handles {
-            h.join().expect("worker panicked");
+            if let Err(payload) = h.join() {
+                // Surface the worker's own message, not the opaque payload.
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_default();
+                panic!("worker panicked: {msg}");
+            }
         }
         let agg = snapshot();
         disable();

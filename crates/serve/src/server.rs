@@ -250,10 +250,10 @@ impl Server {
             shared.ready.notify_all();
         }
         for handle in sessions {
-            let _ = handle.join();
+            log_worker_panic(handle.join(), "session worker");
         }
         for handle in executors {
-            let _ = handle.join();
+            log_worker_panic(handle.join(), "executor worker");
         }
         if let Some(path) = &shared.config.unix {
             let _ = std::fs::remove_file(path);
@@ -285,6 +285,20 @@ impl Server {
             errors: stats.errors.load(Ordering::SeqCst),
             drained,
         }
+    }
+}
+
+/// Reports a worker panic to stderr during shutdown instead of silently
+/// dropping the payload (the drain must still join every other worker,
+/// so it logs rather than re-panics).
+fn log_worker_panic<T>(result: std::thread::Result<T>, what: &str) {
+    if let Err(payload) = result {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        eprintln!("spmv-locality serve: {what} panicked: {msg}");
     }
 }
 
@@ -523,7 +537,9 @@ fn run_one(shared: &Shared, request: QueuedRequest) {
         Err(e) => {
             let code = match &e {
                 EngineError::Cancelled(reason) => cancel_code(*reason),
-                EngineError::Spec(_) | EngineError::Matrix { .. } => ErrorCode::BadRequest,
+                EngineError::Spec(_)
+                | EngineError::Matrix { .. }
+                | EngineError::Scenario { .. } => ErrorCode::BadRequest,
             };
             write_error(shared, &out, Some(&id), code, &e.to_string());
         }

@@ -54,12 +54,14 @@ pub mod reorder;
 pub mod sell;
 pub mod spmv;
 pub mod stats;
+pub mod thread;
 
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
 pub use partition::RowPartition;
 pub use sell::SellMatrix;
 pub use stats::MatrixStats;
+pub use thread::join_propagating;
 
 /// Size in bytes of a nonzero matrix value (`f64`), as in the paper.
 pub const VALUE_BYTES: usize = 8;

@@ -181,7 +181,10 @@ pub fn spmv_merge(a: &CsrMatrix, x: &[f64], y: &mut [f64], num_threads: usize) {
             }));
         }
         for h in handles {
-            updates.push(h.join().expect("merge SpMV worker panicked"));
+            updates.push(crate::thread::join_propagating(
+                h.join(),
+                "merge SpMV worker",
+            ));
         }
     });
 

@@ -1,0 +1,60 @@
+//! Worker-thread helpers shared across the workspace.
+
+/// Unwraps a [`std::thread::JoinHandle::join`] result, propagating the
+/// worker's own panic message instead of the opaque `Any` payload.
+///
+/// `handle.join().unwrap()` re-panics with `called `Result::unwrap()` on
+/// an `Err` value: Any { .. }`, burying what the worker actually said.
+/// This downcasts the payload (panics carry a `&str` or `String` in
+/// practice) and re-panics as `"{what} panicked: {message}"`, so a
+/// multi-threaded failure is diagnosable from the top-level report.
+///
+/// # Panics
+///
+/// Panics if `result` is the `Err` (worker-panicked) variant.
+pub fn join_propagating<T>(result: std::thread::Result<T>, what: &str) -> T {
+    match result {
+        Ok(v) => v,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            panic!("{what} panicked: {msg}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ok_value_passes_through() {
+        let h = std::thread::spawn(|| 42);
+        assert_eq!(join_propagating(h.join(), "worker"), 42);
+    }
+
+    #[test]
+    fn str_payload_is_propagated() {
+        let joined = std::thread::spawn(|| panic!("bad slot index")).join();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            join_propagating(joined, "cursor worker")
+        }))
+        .expect_err("must re-panic");
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert_eq!(msg, "cursor worker panicked: bad slot index");
+    }
+
+    #[test]
+    fn formatted_payload_is_propagated() {
+        let joined = std::thread::spawn(|| panic!("shard {} out of range", 7)).join();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            join_propagating(joined, "shard worker")
+        }))
+        .expect_err("must re-panic");
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert_eq!(msg, "shard worker panicked: shard 7 out of range");
+    }
+}

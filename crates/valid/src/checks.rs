@@ -36,6 +36,23 @@
 //!    tolerance (the residual difference is the metadata stream: one
 //!    descriptor per row instead of `rows+1` row pointers).
 //!
+//! Three further invariants tie the scenario views (multi-RHS SpMM and
+//! the CG iteration) back to the plain SpMV predictions:
+//!
+//! 8. **Scenario identity** — the k=1 SpMM view of any storage workload
+//!    predicts byte-identically to the workload itself, in either RHS
+//!    layout, at every thread count.
+//! 9. **Scenario conservation** — the CG-iteration trace is exactly the
+//!    inner SpMV trace plus `CG_SWEEP_REFS_PER_ROW` references per row
+//!    (the cursor's accounting and a full drain must both land on the
+//!    formula), and the CG view additionally re-runs the model-side
+//!    invariants 1–3 (the envelope check is skipped: method (B)
+//!    accounts the vector sweeps analytically, so the documented band
+//!    applies to the SpMV inside the iteration, not the iteration).
+//! 10. **Scenario amplification** — adding right-hand sides never
+//!     reduces the predicted misses, in total or for the matrix stream
+//!     alone, checked with k=16 against the base view.
+//!
 //! Tolerances live in [`CheckPlan`] and are documented in
 //! `EXPERIMENTS.md` (divergence triage).
 
@@ -45,10 +62,10 @@ use a64fx::config::{MachineConfig, PrefetchConfig};
 use a64fx::sim_spmv::simulate_spmv;
 use a64fx::Replacement;
 use locality_core::{
-    classify_for, LocalityProfile, MatrixClass, Method, Prediction, ReorderSpec, SectorSetting,
-    SpmvWorkload,
+    classify_for, CgWorkload, LocalityProfile, MatrixClass, Method, Prediction, ReorderSpec,
+    RhsLayout, SectorSetting, SpmmWorkload, SpmvWorkload, Workload,
 };
-use memtrace::{Array, ArraySet};
+use memtrace::{Array, ArraySet, TraceCursor, CG_SWEEP_REFS_PER_ROW};
 use sparsemat::SellMatrix;
 use std::time::Instant;
 
@@ -298,15 +315,18 @@ struct CaseTally {
 /// one thread count. `oracle` supplies the reference profile per method
 /// (the verbatim CSR oracle for the CSR view, the generic
 /// materialize-then-replay oracle for chunked views); `name` labels any
-/// divergence with the view (e.g. `c2-banded-17@sell:8,32`). Returns the
-/// oracle-evaluated predictions for methods (A, B), over
-/// `ctx.all_settings`, for downstream cross-checks.
+/// divergence with the view (e.g. `c2-banded-17@sell:8,32`); `envelope`
+/// turns the method-(B)-vs-(A) band off for views where the band is not
+/// documented (the CG iteration, whose vector sweeps method (B) accounts
+/// analytically). Returns the oracle-evaluated predictions for methods
+/// (A, B), over `ctx.all_settings`, for downstream cross-checks.
 fn model_invariants<W: SpmvWorkload>(
     ctx: &CaseCtx<'_>,
     workload: &W,
     name: &str,
     oracle: &dyn Fn(Method) -> LocalityProfile,
     threads: usize,
+    envelope: bool,
     tally: &mut CaseTally,
 ) -> (Vec<Prediction>, Vec<Prediction>) {
     let cfg = ctx.cfg;
@@ -445,7 +465,7 @@ fn model_invariants<W: SpmvWorkload>(
     let t = Instant::now();
     let tol = ctx.plan.envelope_tol[ctx.class_index];
     for (a, b) in preds_a.iter().zip(&preds_b) {
-        if !ctx.plan.check_settings.contains(&a.setting) {
+        if !envelope || !ctx.plan.check_settings.contains(&a.setting) {
             continue;
         }
         tally.checks_run += 1;
@@ -468,6 +488,192 @@ fn model_invariants<W: SpmvWorkload>(
     tally.nanos.check += t.elapsed().as_nanos() as u64;
 
     (preds_a, preds_b)
+}
+
+/// Invariant 8 — scenario identity. The k=1 SpMM view of `base` must
+/// evaluate byte-identically to the base workload's own predictions
+/// (`reference`: the oracle-evaluated methods (A, B) per thread count),
+/// in either RHS layout. The comparison is exact: a k=1 view shares the
+/// base's layout, fingerprint, and traces, so any difference is a bug in
+/// the RHS widening, not a modelling choice.
+fn spmm_identity(
+    ctx: &CaseCtx<'_>,
+    base: &Workload,
+    base_name: &str,
+    reference: &[(usize, Vec<Prediction>, Vec<Prediction>)],
+    tally: &mut CaseTally,
+) {
+    let cfg = ctx.cfg;
+    for layout in [RhsLayout::Interleaved, RhsLayout::Separate] {
+        let spmm = SpmmWorkload::new(base.clone(), 1, layout);
+        let fingerprint = SpmvWorkload::fingerprint(&spmm);
+        let suffix = match layout {
+            RhsLayout::Interleaved => "",
+            RhsLayout::Separate => ":col",
+        };
+        let name = format!("{base_name}@rhs1{suffix}");
+        for (threads, ref_a, ref_b) in reference {
+            for (method, expected) in [(Method::A, ref_a), (Method::B, ref_b)] {
+                let t = Instant::now();
+                let profile = LocalityProfile::compute(&spmm, cfg, method, *threads);
+                tally.nanos.profile += t.elapsed().as_nanos() as u64;
+                let t = Instant::now();
+                let actual = profile.evaluate(cfg, &ctx.all_settings);
+                tally.checks_run += 1;
+                for (e, a) in expected.iter().zip(&actual) {
+                    if e != a {
+                        ctx.diverge(
+                            &mut tally.divergences,
+                            Check::ScenarioIdentity,
+                            &name,
+                            fingerprint,
+                            Some(e.setting),
+                            *threads,
+                            e.l2_misses as f64,
+                            a.l2_misses as f64,
+                            0.0,
+                            format!(
+                                "method {method:?}: k=1 SpMM view diverged from the base \
+                                 workload (by_array {:?} vs {:?})",
+                                a.by_array, e.by_array
+                            ),
+                        );
+                    }
+                }
+                tally.nanos.check += t.elapsed().as_nanos() as u64;
+            }
+        }
+    }
+}
+
+/// Invariant 9 — scenario conservation. The CG-iteration trace of `base`
+/// must be exactly the inner SpMV trace plus `CG_SWEEP_REFS_PER_ROW`
+/// references per row: the cursor's own `remaining()` accounting and a
+/// full drain must both land on the formula. The CG view then re-runs
+/// the model-side invariants (pipeline agreement, conservation,
+/// monotonicity) against the generic materialized oracle — with the
+/// method envelope off, since (B) accounts the sweeps analytically.
+fn cg_invariants(ctx: &CaseCtx<'_>, base: &Workload, base_name: &str, tally: &mut CaseTally) {
+    let cfg = ctx.cfg;
+    let cg = CgWorkload::new(base.clone());
+    let fingerprint = SpmvWorkload::fingerprint(&cg);
+    let name = format!("{base_name}@cg");
+
+    let t = Instant::now();
+    let layout = cg.layout(cfg.l2.line_bytes);
+    let mut cursor = cg.trace_cursor(&layout, 0..cg.num_work_items());
+    let declared = cursor.remaining();
+    let mut drained = 0usize;
+    while cursor.next_access().is_some() {
+        drained += 1;
+    }
+    let base_layout = base.layout(cfg.l2.line_bytes);
+    let inner = base
+        .trace_cursor(&base_layout, 0..base.num_work_items())
+        .remaining();
+    let expected = inner + CG_SWEEP_REFS_PER_ROW * SpmvWorkload::num_rows(&cg);
+    for (what, actual) in [("remaining()", declared), ("drained trace", drained)] {
+        tally.checks_run += 1;
+        if actual != expected {
+            ctx.diverge(
+                &mut tally.divergences,
+                Check::ScenarioConservation,
+                &name,
+                fingerprint,
+                None,
+                1,
+                expected as f64,
+                actual as f64,
+                0.0,
+                format!(
+                    "CG {what} is not the inner trace plus \
+                     {CG_SWEEP_REFS_PER_ROW} refs per row"
+                ),
+            );
+        }
+    }
+    tally.nanos.check += t.elapsed().as_nanos() as u64;
+
+    for &threads in &ctx.plan.threads {
+        model_invariants(
+            ctx,
+            &cg,
+            &name,
+            &|method| LocalityProfile::compute_materialized_workload(&cg, cfg, method, threads),
+            threads,
+            false,
+            tally,
+        );
+    }
+}
+
+/// Invariant 10 — scenario amplification. Adding right-hand sides only
+/// grows the traffic: the total misses must be at least the base's at
+/// every setting, and so must the matrix-stream misses (the stream data
+/// is untouched, but the k-fold x/y footprint can push a previously
+/// cache-resident stream out of steady-state residence — it can start
+/// missing, never stop).
+fn rhs_amplification(
+    ctx: &CaseCtx<'_>,
+    base: &Workload,
+    base_name: &str,
+    threads: usize,
+    ref_a: &[Prediction],
+    ref_b: &[Prediction],
+    tally: &mut CaseTally,
+) {
+    const AMP_K: usize = 16;
+    let cfg = ctx.cfg;
+    let spmm = SpmmWorkload::new(base.clone(), AMP_K, RhsLayout::Interleaved);
+    let fingerprint = SpmvWorkload::fingerprint(&spmm);
+    let name = format!("{base_name}@rhs{AMP_K}");
+    let stream = |p: &Prediction| p.misses_of(Array::A) + p.misses_of(Array::ColIdx);
+    for (method, reference) in [(Method::A, ref_a), (Method::B, ref_b)] {
+        let t = Instant::now();
+        let profile = LocalityProfile::compute(&spmm, cfg, method, threads);
+        tally.nanos.profile += t.elapsed().as_nanos() as u64;
+        let t = Instant::now();
+        let actual = profile.evaluate(cfg, &ctx.all_settings);
+        for (b, a) in reference.iter().zip(&actual) {
+            tally.checks_run += 1;
+            if stream(a) < stream(b) {
+                ctx.diverge(
+                    &mut tally.divergences,
+                    Check::ScenarioAmplification,
+                    &name,
+                    fingerprint,
+                    Some(b.setting),
+                    threads,
+                    stream(b) as f64,
+                    stream(a) as f64,
+                    0.0,
+                    format!(
+                        "method {method:?}: the matrix-stream misses shrank under \
+                         extra right-hand sides"
+                    ),
+                );
+            }
+            tally.checks_run += 1;
+            if a.l2_misses < b.l2_misses {
+                ctx.diverge(
+                    &mut tally.divergences,
+                    Check::ScenarioAmplification,
+                    &name,
+                    fingerprint,
+                    Some(b.setting),
+                    threads,
+                    b.l2_misses as f64,
+                    a.l2_misses as f64,
+                    0.0,
+                    format!(
+                        "method {method:?}: k={AMP_K} predicted fewer misses than \
+                         the single-RHS view"
+                    ),
+                );
+            }
+        }
+        tally.nanos.check += t.elapsed().as_nanos() as u64;
+    }
 }
 
 /// Per-case check driver. Builds the matrix, runs the three prediction
@@ -518,6 +724,7 @@ pub fn run_case(spec: &CaseSpec, plan: &CheckPlan, harness_seed: u64) -> CaseRes
             &spec.name,
             &|method| LocalityProfile::compute_materialized(&matrix, &cfg, method, threads),
             threads,
+            true,
             &mut tally,
         );
 
@@ -628,8 +835,9 @@ pub fn run_case(spec: &CaseSpec, plan: &CheckPlan, harness_seed: u64) -> CaseRes
     for &(c, sigma) in &plan.sell_formats {
         let sell = SellMatrix::from_csr(&matrix, c, sigma);
         let name = format!("{}@sell:{c},{sigma}", spec.name);
+        let mut sell_preds: Vec<(usize, Vec<Prediction>, Vec<Prediction>)> = Vec::new();
         for &threads in &plan.threads {
-            model_invariants(
+            let (preds_a, preds_b) = model_invariants(
                 &ctx,
                 &sell,
                 &name,
@@ -637,9 +845,20 @@ pub fn run_case(spec: &CaseSpec, plan: &CheckPlan, harness_seed: u64) -> CaseRes
                     LocalityProfile::compute_materialized_workload(&sell, &cfg, method, threads)
                 },
                 threads,
+                true,
                 &mut tally,
             );
+            sell_preds.push((threads, preds_a, preds_b));
         }
+        // Scenario identity on the chunked view: the k=1 SpMM wrapper
+        // must reproduce the SELL predictions byte for byte too.
+        spmm_identity(
+            &ctx,
+            &Workload::Sell(sell.clone()),
+            &name,
+            &sell_preds,
+            &mut tally,
+        );
     }
 
     // Cross-format invariant: the C=1, σ=1 SELL view stores exactly the
@@ -658,6 +877,7 @@ pub fn run_case(spec: &CaseSpec, plan: &CheckPlan, harness_seed: u64) -> CaseRes
                 LocalityProfile::compute_materialized_workload(&sell11, &cfg, method, *threads)
             },
             *threads,
+            true,
             &mut tally,
         );
         let t = Instant::now();
@@ -688,6 +908,18 @@ pub fn run_case(spec: &CaseSpec, plan: &CheckPlan, harness_seed: u64) -> CaseRes
             }
         }
         tally.nanos.check += t.elapsed().as_nanos() as u64;
+    }
+
+    // Scenario invariants on the CSR view: the k=1 SpMM identity (both
+    // layouts, every thread count), the CG-iteration conservation and
+    // model-side rerun, and the k=16 amplification (sequential — the
+    // engine's own tests cover sharded amplification, and the identity
+    // pass above already exercises sharded scenario traces here).
+    let base = Workload::Csr(matrix.clone());
+    spmm_identity(&ctx, &base, &spec.name, &csr_preds, &mut tally);
+    cg_invariants(&ctx, &base, &spec.name, &mut tally);
+    if let Some((threads, ref_a, ref_b)) = csr_preds.first() {
+        rhs_amplification(&ctx, &base, &spec.name, *threads, ref_a, ref_b, &mut tally);
     }
 
     CaseResult {
@@ -770,6 +1002,92 @@ mod tests {
         // Dropping the (8,32) view removes one full model-invariant pass;
         // the C=1, σ=1 cross-format pass still runs.
         assert!(with_sell.checks_run > without_sell.checks_run);
+    }
+
+    /// A ready-made context plus doctored reference predictions for the
+    /// planted-violation tests below.
+    fn planted_fixture() -> (
+        CheckPlan,
+        a64fx::config::MachineConfig,
+        sparsemat::CsrMatrix,
+        Vec<Prediction>,
+        Vec<Prediction>,
+    ) {
+        let spec = &stratified(4, 5)[0];
+        let plan = CheckPlan::new(true);
+        let cfg = plan.machine();
+        let matrix = plan.reorder.apply(build(spec));
+        let settings = plan.sweep_settings.clone();
+        let ref_a = LocalityProfile::compute(&matrix, &cfg, Method::A, 1).evaluate(&cfg, &settings);
+        let ref_b = LocalityProfile::compute(&matrix, &cfg, Method::B, 1).evaluate(&cfg, &settings);
+        (plan, cfg, matrix, ref_a, ref_b)
+    }
+
+    fn planted_ctx<'a>(
+        spec: &'a CaseSpec,
+        plan: &'a CheckPlan,
+        cfg: &'a a64fx::config::MachineConfig,
+    ) -> CaseCtx<'a> {
+        CaseCtx {
+            spec,
+            plan,
+            cfg,
+            class: "1",
+            class_index: 0,
+            harness_seed: 5,
+            ws_lines: 0.0,
+            all_settings: plan.sweep_settings.clone(),
+        }
+    }
+
+    fn fresh_tally() -> CaseTally {
+        CaseTally {
+            divergences: Vec::new(),
+            checks_run: 0,
+            nanos: StageNanos::default(),
+        }
+    }
+
+    #[test]
+    fn scenario_identity_catches_a_planted_mismatch() {
+        // Doctor one reference prediction: the byte-identity comparison
+        // must surface it as a scenario_identity divergence carrying the
+        // @rhs1 view name.
+        let (plan, cfg, matrix, mut ref_a, ref_b) = planted_fixture();
+        ref_a[0].l2_misses += 1;
+        let specs = stratified(4, 5);
+        let ctx = planted_ctx(&specs[0], &plan, &cfg);
+        let mut tally = fresh_tally();
+        let base = Workload::Csr(matrix);
+        spmm_identity(&ctx, &base, "planted", &[(1, ref_a, ref_b)], &mut tally);
+        let hit = tally
+            .divergences
+            .iter()
+            .find(|d| d.check == Check::ScenarioIdentity)
+            .expect("planted mismatch must diverge");
+        assert!(hit.matrix.starts_with("planted@rhs1"), "{}", hit.matrix);
+        assert_eq!(hit.tolerance, 0.0);
+    }
+
+    #[test]
+    fn amplification_check_catches_a_planted_regression() {
+        // Inflate the base predictions far past anything k=16 can reach:
+        // the >= comparison must flag every setting.
+        let (plan, cfg, matrix, mut ref_a, mut ref_b) = planted_fixture();
+        for p in ref_a.iter_mut().chain(ref_b.iter_mut()) {
+            p.l2_misses = u64::MAX / 2;
+        }
+        let specs = stratified(4, 5);
+        let ctx = planted_ctx(&specs[0], &plan, &cfg);
+        let mut tally = fresh_tally();
+        let base = Workload::Csr(matrix);
+        rhs_amplification(&ctx, &base, "planted", 1, &ref_a, &ref_b, &mut tally);
+        let hit = tally
+            .divergences
+            .iter()
+            .find(|d| d.check == Check::ScenarioAmplification && d.detail.contains("fewer misses"))
+            .expect("planted regression must diverge");
+        assert!(hit.matrix.ends_with("@rhs16"), "{}", hit.matrix);
     }
 
     #[test]

@@ -10,13 +10,16 @@
 //! parameters). The model-side invariants run per storage format — the
 //! CSR view and the planned SELL-C-σ views of each matrix — and a
 //! cross-format invariant pins the degenerate SELL (C=1, σ=1) view to
-//! the CSR predictions within a padding-only tolerance.
+//! the CSR predictions within a padding-only tolerance. Three scenario
+//! invariants tie the multi-RHS (SpMM) and CG-iteration views back to
+//! the plain SpMV predictions: the k=1 identity, the CG trace
+//! conservation, and the k-fold RHS amplification.
 //!
 //! The harness is both a bug-finder and a regression gate: `scripts/ci.sh`
 //! runs the smoke tier (`spmv-locality validate --smoke`) on every build.
 //!
 //! * [`corpus`] — stratified corpus generation (classes 1, 2, 3a, 3b);
-//! * [`checks`] — the seven invariants and the per-case driver;
+//! * [`checks`] — the ten invariants and the per-case driver;
 //! * [`record`] — divergence records and run accounting;
 //! * [`run_validation`] — parallel orchestration over the engine's
 //!   work-stealing pool.

@@ -32,6 +32,17 @@ pub enum Check {
     /// within the padding-only tolerance of the CSR view of the same
     /// matrix.
     CrossFormat,
+    /// The k=1 SpMM view of a storage workload must predict
+    /// byte-identically to the workload itself, in either RHS layout, at
+    /// every thread count.
+    ScenarioIdentity,
+    /// The CG-iteration trace must be exactly the inner SpMV trace plus
+    /// `CG_SWEEP_REFS_PER_ROW` references per row — counted by the
+    /// cursor's own accounting and by a full drain.
+    ScenarioConservation,
+    /// Adding right-hand sides must never reduce predicted misses, and
+    /// must leave the matrix-stream (compulsory) misses unchanged.
+    ScenarioAmplification,
 }
 
 impl Check {
@@ -45,6 +56,9 @@ impl Check {
             Check::ModelVsSim => "model_vs_sim",
             Check::PmuIdentity => "pmu_identity",
             Check::CrossFormat => "cross_format",
+            Check::ScenarioIdentity => "scenario_identity",
+            Check::ScenarioConservation => "scenario_conservation",
+            Check::ScenarioAmplification => "scenario_amplification",
         }
     }
 }

@@ -213,4 +213,47 @@ echo "== format smoke: CSR vs SELL-C-sigma (exp_sell) =="
 cargo run --release --offline -p spmv-bench --bin exp_sell -- \
     --count 2 --scale 64
 
+echo "== scenario smoke: SpMM k-sweep and CG batches =="
+# The kernel-scenario axis end to end: --rhs 1 must be byte-identical to
+# the plain run (shared cache keys, shared bytes), --rhs 4 must tag its
+# jobs (@rhs4) and amplify the predicted misses, and `workload cg` must
+# tag (@cg) and run the square corpus clean.
+printf 'corpus count=2 scale=64 seed=11\nmethods A,B\nsettings off,5\nthreads 2\nscale 64\n' \
+    > "$OBS_TMP/scenario.spec"
+cargo run --release --offline --bin spmv-locality -- \
+    batch "$OBS_TMP/scenario.spec" > "$OBS_TMP/scn_plain.jsonl"
+cargo run --release --offline --bin spmv-locality -- \
+    batch "$OBS_TMP/scenario.spec" --rhs 1 > "$OBS_TMP/scn_rhs1.jsonl"
+cmp "$OBS_TMP/scn_plain.jsonl" "$OBS_TMP/scn_rhs1.jsonl" || {
+    echo "ci: --rhs 1 batch is not byte-identical to plain SpMV" >&2
+    exit 1
+}
+cargo run --release --offline --bin spmv-locality -- \
+    batch "$OBS_TMP/scenario.spec" --rhs 4 > "$OBS_TMP/scn_rhs4.jsonl"
+grep -q '@rhs4' "$OBS_TMP/scn_rhs4.jsonl" || {
+    echo "ci: --rhs 4 jobs are not @rhs4-tagged" >&2; exit 1
+}
+cargo run --release --offline --bin spmv-locality -- \
+    batch "$OBS_TMP/scenario.spec" --workload cg > "$OBS_TMP/scn_cg.jsonl"
+grep -q '@cg' "$OBS_TMP/scn_cg.jsonl" || {
+    echo "ci: CG jobs are not @cg-tagged" >&2; exit 1
+}
+python3 - "$OBS_TMP" <<'EOF'
+import json, os, sys
+
+tmp = sys.argv[1]
+def misses(name):
+    total = 0
+    for line in open(os.path.join(tmp, name)):
+        doc = json.loads(line)
+        if "job" in doc:
+            total += doc["l2_misses"]
+    return total
+
+plain, rhs4, cg = misses("scn_plain.jsonl"), misses("scn_rhs4.jsonl"), misses("scn_cg.jsonl")
+assert rhs4 > plain, f"4-RHS misses did not amplify: {rhs4} vs {plain}"
+assert cg >= plain, f"CG-iteration misses below its inner SpMV: {cg} vs {plain}"
+print(f"scenario smoke ok: misses {plain} (spmv) -> {rhs4} (rhs 4), {cg} (cg)")
+EOF
+
 echo "ci: all gates passed"

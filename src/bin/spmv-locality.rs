@@ -4,11 +4,14 @@
 //! ```text
 //! spmv-locality analyze  <matrix.mtx> [--threads N] [--scale N]
 //!                        [--format csr|sell:C,S] [--reorder none|rcm]
+//!                        [--rhs K] [--rhs-layout row|col] [--workload W]
 //! spmv-locality tune     <matrix.mtx> [--threads N] [--scale N]
 //!                        [--format csr|sell:C,S] [--reorder none|rcm]
+//!                        [--rhs K] [--rhs-layout row|col] [--workload W]
 //! spmv-locality simulate <matrix.mtx> [--threads N] [--scale N] [--l2-ways W]
 //!                        [--reorder none|rcm]
 //! spmv-locality batch    <spec-file>  [--workers N] [--format F] [--reorder R]
+//!                        [--rhs K] [--rhs-layout row|col] [--workload W]
 //!                        [--deadline-ms N]
 //! spmv-locality validate [--matrices N] [--seed S] [--workers N] [--smoke]
 //!                        [--format csr|sell:C,S] [--reorder none|rcm]
@@ -42,6 +45,15 @@
 //! cross-format pass always runs). The simulator is CSR-only, so
 //! `simulate` accepts `--reorder` but not a SELL `--format`.
 //!
+//! `--rhs K` traces a `K`-right-hand-side SpMM instead of the single
+//! vector SpMV (`--rhs-layout` picks row-major interleaved RHS, the
+//! default, or `col` for separate vectors); `--workload cg` traces a full
+//! conjugate-gradient iteration (the SpMV plus the solver's vector
+//! sweeps, see `examples/cg_solver.rs`), `--workload spmm:K[,row|col]`
+//! is the spelled-out SpMM form. With `--rhs 1` every output is
+//! byte-identical to the plain SpMV. The simulator executes the SpMV
+//! kernel itself, so `simulate` accepts neither flag.
+//!
 //! `--metrics <path>` (every subcommand) enables the telemetry subsystem
 //! and writes its structured JSON metrics document — span tree with wall
 //! times, counters, histograms, peak-RSS checkpoints — to `<path>` when
@@ -59,16 +71,63 @@ struct Cli {
     l2_ways: usize,
     format: FormatSpec,
     reorder: ReorderSpec,
+    scenario: ScenarioPick,
     metrics: Option<String>,
+}
+
+/// Accumulates the `--rhs`/`--rhs-layout`/`--workload` flags, which may
+/// arrive in any order, and resolves them into one [`ScenarioSpec`].
+#[derive(Default)]
+struct ScenarioPick {
+    rhs: Option<usize>,
+    rhs_layout: Option<RhsLayout>,
+    workload: Option<ScenarioSpec>,
+}
+
+impl ScenarioPick {
+    fn resolve(&self) -> ScenarioSpec {
+        match (self.workload, self.rhs) {
+            (Some(_), Some(_)) => {
+                eprintln!("spmv-locality: --workload and --rhs are mutually exclusive");
+                std::process::exit(2);
+            }
+            (Some(w), None) => {
+                if self.rhs_layout.is_some() && !matches!(w, ScenarioSpec::Spmm { .. }) {
+                    eprintln!("spmv-locality: --rhs-layout only applies to SpMM workloads");
+                    std::process::exit(2);
+                }
+                match (w, self.rhs_layout) {
+                    (ScenarioSpec::Spmm { k, .. }, Some(layout)) => {
+                        ScenarioSpec::Spmm { k, layout }
+                    }
+                    _ => w,
+                }
+            }
+            (None, Some(k)) => ScenarioSpec::Spmm {
+                k,
+                layout: self.rhs_layout.unwrap_or_default(),
+            },
+            (None, None) => {
+                if self.rhs_layout.is_some() {
+                    eprintln!("spmv-locality: --rhs-layout needs --rhs or --workload spmm:K");
+                    std::process::exit(2);
+                }
+                ScenarioSpec::Spmv
+            }
+        }
+    }
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: spmv-locality <analyze|tune|simulate> <matrix.mtx> \
          [--threads N] [--scale N] [--l2-ways W] \
-         [--format csr|sell:C,S] [--reorder none|rcm] [--metrics PATH]\n\
+         [--format csr|sell:C,S] [--reorder none|rcm] \
+         [--rhs K] [--rhs-layout row|col] [--workload spmv|cg|spmm:K] \
+         [--metrics PATH]\n\
          \x20      spmv-locality batch <spec-file> [--workers N] \
-         [--format F] [--reorder R] [--metrics PATH]\n\
+         [--format F] [--reorder R] [--rhs K] [--rhs-layout row|col] \
+         [--workload W] [--metrics PATH]\n\
          \x20      spmv-locality validate [--matrices N] [--seed S] \
          [--workers N] [--smoke] [--format F] [--reorder R] [--metrics PATH]\n\
          \x20      spmv-locality serve [--unix PATH] [--tcp ADDR] \
@@ -118,6 +177,35 @@ fn parse_reorder(value: Option<String>) -> ReorderSpec {
     ReorderSpec::parse(value.as_deref().unwrap_or("")).unwrap_or_else(|e| {
         eprintln!("spmv-locality: {e}");
         std::process::exit(2);
+    })
+}
+
+/// Parses the value of a `--rhs-layout` flag, exiting with the parse error.
+fn parse_rhs_layout(value: Option<String>) -> RhsLayout {
+    RhsLayout::parse(value.as_deref().unwrap_or("")).unwrap_or_else(|e| {
+        eprintln!("spmv-locality: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// Parses the value of a `--workload` flag, exiting with the parse error.
+fn parse_workload(value: Option<String>) -> ScenarioSpec {
+    ScenarioSpec::parse(value.as_deref().unwrap_or("")).unwrap_or_else(|e| {
+        eprintln!("spmv-locality: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// Picks the sweep setting with the fewest predicted misses for `tune`.
+///
+/// Returns a typed error instead of panicking when the sweep is empty —
+/// a degenerate machine shape (no legal way split) must exit with a
+/// diagnostic, not a `min_by_key(...).unwrap()` backtrace.
+fn tune_recommendation(preds: &[Prediction]) -> Result<&Prediction, String> {
+    preds.iter().min_by_key(|p| p.l2_misses).ok_or_else(|| {
+        "the sector sweep produced no predictions \
+         (this machine shape has no legal sector setting)"
+            .to_string()
     })
 }
 
@@ -237,6 +325,7 @@ fn run_batch_command(spec_path: &str, args: impl Iterator<Item = String>) -> ! {
         std::process::exit(1);
     });
     let mut metrics = None;
+    let mut scenario = ScenarioPick::default();
     let mut args = args.peekable();
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -248,6 +337,19 @@ fn run_batch_command(spec_path: &str, args: impl Iterator<Item = String>) -> ! {
             }
             "--format" => spec.format = parse_format(args.next()),
             "--reorder" => spec.reorder = parse_reorder(args.next()),
+            "--rhs" => {
+                let k = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&k| k > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("spmv-locality: expected a positive count after --rhs");
+                        std::process::exit(2);
+                    });
+                scenario.rhs = Some(k);
+            }
+            "--rhs-layout" => scenario.rhs_layout = Some(parse_rhs_layout(args.next())),
+            "--workload" => scenario.workload = Some(parse_workload(args.next())),
             "--deadline-ms" => {
                 let ms = args
                     .next()
@@ -261,6 +363,9 @@ fn run_batch_command(spec_path: &str, args: impl Iterator<Item = String>) -> ! {
             "--metrics" => metrics = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
+    }
+    if scenario.rhs.is_some() || scenario.workload.is_some() || scenario.rhs_layout.is_some() {
+        spec.scenario = scenario.resolve();
     }
     metrics_setup(&metrics);
     match run_batch(&spec) {
@@ -304,6 +409,7 @@ fn parse_cli() -> Cli {
         l2_ways: 5,
         format: FormatSpec::Csr,
         reorder: ReorderSpec::None,
+        scenario: ScenarioPick::default(),
         metrics: None,
     };
     while let Some(flag) = args.next() {
@@ -319,12 +425,22 @@ fn parse_cli() -> Cli {
             "--l2-ways" => cli.l2_ways = value("--l2-ways"),
             "--format" => cli.format = parse_format(args.next()),
             "--reorder" => cli.reorder = parse_reorder(args.next()),
+            "--rhs" => cli.scenario.rhs = Some(value("--rhs").max(1)),
+            "--rhs-layout" => cli.scenario.rhs_layout = Some(parse_rhs_layout(args.next())),
+            "--workload" => cli.scenario.workload = Some(parse_workload(args.next())),
             "--metrics" => cli.metrics = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
     if cli.command == "simulate" && cli.format != FormatSpec::Csr {
         eprintln!("spmv-locality: the simulator is CSR-only (drop --format or use csr)");
+        std::process::exit(2);
+    }
+    if cli.command == "simulate" && cli.scenario.resolve() != ScenarioSpec::Spmv {
+        eprintln!(
+            "spmv-locality: the simulator executes the plain SpMV kernel \
+             (drop --rhs/--workload)"
+        );
         std::process::exit(2);
     }
     cli
@@ -350,10 +466,20 @@ fn main() {
         .clone();
     let cfg = machine(cli.scale, cli.threads);
     // Reorder first so statistics, classification and predictions all see
-    // the same row order; then build the requested format view on top.
+    // the same row order; then build the requested format view, then wrap
+    // it in the scenario view (SpMM/CG) if one was requested.
     let matrix = cli.reorder.apply(matrix);
     let stats = MatrixStats::compute(&matrix);
-    let workload = cli.format.build(matrix.clone());
+    let scenario = cli.scenario.resolve();
+    if scenario == ScenarioSpec::Cg && matrix.num_rows() != matrix.num_cols() {
+        eprintln!(
+            "spmv-locality: a CG iteration needs a square matrix, got {}x{}",
+            matrix.num_rows(),
+            matrix.num_cols()
+        );
+        std::process::exit(2);
+    }
+    let workload = scenario.apply(cli.format.build(matrix.clone()));
 
     match cli.command.as_str() {
         "analyze" => {
@@ -378,12 +504,22 @@ fn main() {
             );
             if cli.format != FormatSpec::Csr {
                 println!("format      : {}", cli.format.label());
+                // Stored entries, not gathers: an SpMM view widens
+                // `x_refs` k-fold while the stored stream is unchanged.
                 println!(
                     "stored      : {} entries ({:+.1} % padding), {:.2} MiB",
-                    workload.x_refs(),
-                    100.0 * (workload.x_refs() as f64 - matrix.nnz() as f64)
+                    workload.stream_entries(),
+                    100.0 * (workload.stream_entries() as f64 - matrix.nnz() as f64)
                         / matrix.nnz().max(1) as f64,
                     workload.matrix_bytes() as f64 / (1 << 20) as f64
+                );
+            }
+            if scenario != ScenarioSpec::Spmv {
+                println!("workload    : {}", scenario.label());
+                println!(
+                    "x refs/iter : {} ({} per stored entry)",
+                    workload.x_refs(),
+                    workload.x_refs() / workload.stream_entries().max(1)
                 );
             }
             println!(
@@ -422,8 +558,15 @@ fn main() {
             for p in &preds {
                 println!("{:<10} {:>14}", p.setting.label(), p.l2_misses);
             }
-            let best = preds.iter().min_by_key(|p| p.l2_misses).unwrap();
-            println!("recommendation: sector cache {}", best.setting.label());
+            match tune_recommendation(&preds) {
+                Ok(best) => {
+                    println!("recommendation: sector cache {}", best.setting.label());
+                }
+                Err(e) => {
+                    eprintln!("spmv-locality: {e}");
+                    std::process::exit(2);
+                }
+            }
         }
         "simulate" => {
             let (cfg, sector) = if cli.l2_ways > 0 {
@@ -452,4 +595,81 @@ fn main() {
         _ => usage(),
     }
     metrics_write(&cli.metrics, &cli.command);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tune_recommendation_picks_fewest_misses() {
+        let pred = |setting, l2_misses| Prediction {
+            setting,
+            l2_misses,
+            by_array: [0; 5],
+        };
+        let preds = [
+            pred(SectorSetting::Off, 900),
+            pred(SectorSetting::L2Ways(2), 350),
+            pred(SectorSetting::L2Ways(3), 400),
+        ];
+        let best = tune_recommendation(&preds).unwrap();
+        assert_eq!(best.setting, SectorSetting::L2Ways(2));
+    }
+
+    #[test]
+    fn tune_recommendation_reports_empty_sweep_as_error() {
+        // Regression: this used to be `min_by_key(...).unwrap()`, which
+        // panicked on an empty sweep instead of failing with a message.
+        let err = tune_recommendation(&[]).unwrap_err();
+        assert!(err.contains("no predictions"), "{err}");
+    }
+
+    #[test]
+    fn scenario_pick_resolves_flag_combinations() {
+        assert_eq!(ScenarioPick::default().resolve(), ScenarioSpec::Spmv);
+        let pick = ScenarioPick {
+            rhs: Some(4),
+            ..Default::default()
+        };
+        assert_eq!(
+            pick.resolve(),
+            ScenarioSpec::Spmm {
+                k: 4,
+                layout: RhsLayout::Interleaved
+            }
+        );
+        let pick = ScenarioPick {
+            rhs: Some(4),
+            rhs_layout: Some(RhsLayout::Separate),
+            ..Default::default()
+        };
+        assert_eq!(
+            pick.resolve(),
+            ScenarioSpec::Spmm {
+                k: 4,
+                layout: RhsLayout::Separate
+            }
+        );
+        let pick = ScenarioPick {
+            workload: Some(ScenarioSpec::Spmm {
+                k: 8,
+                layout: RhsLayout::Interleaved,
+            }),
+            rhs_layout: Some(RhsLayout::Separate),
+            ..Default::default()
+        };
+        assert_eq!(
+            pick.resolve(),
+            ScenarioSpec::Spmm {
+                k: 8,
+                layout: RhsLayout::Separate
+            }
+        );
+        let pick = ScenarioPick {
+            workload: Some(ScenarioSpec::Cg),
+            ..Default::default()
+        };
+        assert_eq!(pick.resolve(), ScenarioSpec::Cg);
+    }
 }

@@ -70,7 +70,7 @@ pub mod prelude {
     pub use locality_core::predict::{predict, Method, Prediction, SectorSetting};
     pub use locality_core::{
         classify_for, ErrorSummary, FormatSpec, LocalityProfile, MatrixClass, ReorderSpec,
-        SpmvWorkload, Workload,
+        RhsLayout, ScenarioSpec, SpmvWorkload, Workload,
     };
     pub use locality_engine::{run_batch, BatchResult, BatchSpec, ProfileCache};
     pub use memtrace::{Access, Array, ArraySet, DataLayout};
