@@ -318,11 +318,8 @@ mod tests {
     use super::*;
 
     fn small_cache(ways: usize, sets: usize, sector1: usize, repl: Replacement) -> Cache {
-        let geom = CacheGeometry {
-            size_bytes: ways * sets * 64,
-            ways,
-            line_bytes: 64,
-        };
+        let line = 64;
+        let geom = CacheGeometry::new(ways * sets * line, ways, line);
         Cache::new(
             geom,
             SectorPolicy {

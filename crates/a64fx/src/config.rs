@@ -1,185 +1,37 @@
-//! Machine configuration: cache geometry, topology, sector-cache policy.
+//! Machine configuration: the two-level projection the models consume.
 //!
-//! The defaults model the Fujitsu A64FX as described in the paper's §4.1
-//! and the A64FX microarchitecture manual: 48 cores in four NUMA domains
-//! (CMGs), each core with a private 64 KiB 4-way L1D, each domain with an
-//! 8 MiB 16-way shared L2, 256-byte cache lines throughout, and HBM2 with
-//! a 1024 GB/s theoretical (≈ 800 GB/s sustainable) aggregate bandwidth.
+//! The geometry/policy vocabulary ([`CacheGeometry`], [`SectorPolicy`],
+//! [`Replacement`], [`PrefetchConfig`], [`TimingParams`]) lives in the
+//! `machine` crate and is re-exported here, so existing `a64fx::...`
+//! paths keep working. The A64FX numbers themselves live in exactly one
+//! place — [`machine::HierarchyConfig::a64fx`] — and [`MachineConfig`] is
+//! the *projection* of a hierarchy onto the two levels the analytic
+//! models reason about: the innermost private cache (`l1`) and the
+//! last-level shared cache (`l2`). For the A64FX those are the only two
+//! levels, so the projection is lossless; for deeper hierarchies (e.g.
+//! the `generic-x86` preset) intermediate levels are simulated by
+//! [`crate::hierarchy::Machine`] but invisible to the reuse-distance
+//! model, which predicts last-level misses.
 //!
 //! [`MachineConfig::a64fx_scaled`] shrinks all capacities by a factor while
 //! keeping way counts, line size and topology, so the full corpus can be
 //! simulated at laptop scale with identical working-set/cache *ratios* —
 //! the quantities every effect in the paper depends on (see DESIGN.md).
 
-/// Geometry of one set-associative cache.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct CacheGeometry {
-    /// Total capacity in bytes.
-    pub size_bytes: usize,
-    /// Associativity (number of ways).
-    pub ways: usize,
-    /// Cache-line size in bytes.
-    pub line_bytes: usize,
-}
+pub use machine::{CacheGeometry, PrefetchConfig, Replacement, SectorPolicy, TimingParams};
 
-impl CacheGeometry {
-    /// Number of sets.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the geometry is inconsistent (size not divisible into
-    /// whole sets).
-    pub fn num_sets(&self) -> usize {
-        let lines = self.size_bytes / self.line_bytes;
-        assert_eq!(
-            lines % self.ways,
-            0,
-            "cache size must be a whole number of sets"
-        );
-        assert_eq!(self.size_bytes % self.line_bytes, 0);
-        lines / self.ways
-    }
+use machine::{CacheHierarchy, HierarchyConfig, LevelConfig, LevelScope};
 
-    /// Total capacity in cache lines.
-    pub fn total_lines(&self) -> usize {
-        self.size_bytes / self.line_bytes
-    }
-
-    /// Capacity in lines of a sector occupying `ways` of this cache's ways.
-    pub fn sector_lines(&self, ways: usize) -> usize {
-        self.num_sets() * ways
-    }
-}
-
-/// Replacement policy used within each sector of a set.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
-pub enum Replacement {
-    /// True least-recently-used (what the paper's model assumes).
-    Lru,
-    /// Bit-PLRU (MRU bits): the pseudo-LRU approximation; the paper notes
-    /// the A64FX's policy is undisclosed but assumed pseudo-LRU. This is
-    /// the simulator default so the "measured" side carries a realistic
-    /// model-vs-hardware gap.
-    #[default]
-    BitPlru,
-}
-
-/// Sector-cache configuration for one cache level.
-///
-/// Way-based partitioning as on the A64FX: `sector1_ways` ways are carved
-/// out for sector 1 (the non-temporal data in the paper's usage) and the
-/// remaining ways belong to sector 0. `sector1_ways == 0` means the sector
-/// cache is disabled for this level (all data shares all ways).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
-pub struct SectorPolicy {
-    /// Ways allocated to sector 1; 0 disables partitioning.
-    pub sector1_ways: usize,
-}
-
-impl SectorPolicy {
-    /// Partitioning disabled.
-    pub const OFF: SectorPolicy = SectorPolicy { sector1_ways: 0 };
-
-    /// Enables partitioning with the given sector-1 way count.
-    pub fn ways(sector1_ways: usize) -> Self {
-        SectorPolicy { sector1_ways }
-    }
-
-    /// Is partitioning active?
-    pub fn enabled(&self) -> bool {
-        self.sector1_ways > 0
-    }
-}
-
-/// Hardware-prefetcher configuration (per core).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct PrefetchConfig {
-    /// Master enable.
-    pub enabled: bool,
-    /// How many lines ahead of the demand stream the L2 prefetcher runs.
-    /// The A64FX hardware prefetch assistance allows adjusting this; the
-    /// paper's §4.3 reduces it to show the small-sector eviction effect.
-    pub l2_distance: usize,
-    /// How many lines ahead the L1 prefetcher runs (0 disables L1
-    /// prefetch fills).
-    pub l1_distance: usize,
-    /// Number of independent streams tracked per core.
-    pub streams: usize,
-}
-
-impl PrefetchConfig {
-    /// A64FX-like default: aggressive L2 streaming, 16 lines (4 KiB) ahead
-    /// per stream.
-    pub fn a64fx() -> Self {
-        PrefetchConfig {
-            enabled: true,
-            l2_distance: 16,
-            l1_distance: 2,
-            streams: 8,
-        }
-    }
-
-    /// Prefetching disabled.
-    pub fn off() -> Self {
-        PrefetchConfig {
-            enabled: false,
-            l2_distance: 0,
-            l1_distance: 0,
-            streams: 0,
-        }
-    }
-}
-
-/// Parameters of the analytic timing model (see `timing`).
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct TimingParams {
-    /// Core clock in Hz (Wisteria FX1000 A64FX: 2.2 GHz).
-    pub clock_hz: f64,
-    /// Compute cost per nonzero in cycles (indexed CSR gather limits the
-    /// SVE pipelines well below peak FMA throughput).
-    pub cycles_per_nnz: f64,
-    /// Sustainable memory bandwidth per NUMA domain in bytes/s
-    /// (≈ 800 GB/s aggregate over 4 domains).
-    pub domain_bandwidth: f64,
-    /// Average latency cost of one L2 demand miss in seconds, after
-    /// overlap by out-of-order execution / multiple outstanding misses.
-    pub demand_miss_cost: f64,
-    /// Average cost of one L1 refill (hit in L2) in seconds, after overlap.
-    pub l1_refill_cost: f64,
-}
-
-impl TimingParams {
-    /// Calibrated A64FX-like defaults.
-    ///
-    /// Calibration anchors (see EXPERIMENTS.md): the compute ceiling
-    /// (2 flops / 1.2 cycles × 48 cores × 2.2 GHz ≈ 176 Gflop/s) sits above
-    /// the 12-bytes-per-nonzero streaming bandwidth ceiling (~133 Gflop/s
-    /// at 800 GB/s), making streaming SpMV memory-bound as on the real
-    /// machine; the demand-miss cost (~110 ns HBM2 latency over ~6.5
-    /// effective outstanding misses) pins the latency-bound irregular
-    /// matrices near the paper's 5–10 Gflop/s.
-    pub fn a64fx() -> Self {
-        TimingParams {
-            clock_hz: 2.2e9,
-            cycles_per_nnz: 1.2,
-            domain_bandwidth: 200.0e9,
-            demand_miss_cost: 110.0e-9 / 6.5,
-            // ~37 cycle L2 hit latency, heavily pipelined.
-            l1_refill_cost: 37.0 / 2.2e9 / 24.0,
-        }
-    }
-}
-
-/// Full machine description.
+/// Full machine description: the two-level view of a cache hierarchy.
 #[derive(Clone, Debug, PartialEq)]
 pub struct MachineConfig {
     /// Total number of cores (= hardware threads used).
     pub num_cores: usize,
-    /// Cores sharing each L2 (per NUMA domain / CMG).
+    /// Cores sharing each last-level cache (per NUMA domain / CMG).
     pub cores_per_domain: usize,
     /// Private L1D geometry.
     pub l1: CacheGeometry,
-    /// Shared per-domain L2 geometry.
+    /// Shared per-domain last-level-cache geometry.
     pub l2: CacheGeometry,
     /// L1 sector policy.
     pub l1_sector: SectorPolicy,
@@ -195,27 +47,11 @@ pub struct MachineConfig {
 
 impl MachineConfig {
     /// The full-size A64FX: 48 cores, 4 domains, 64 KiB 4-way L1D,
-    /// 8 MiB 16-way L2 per domain, 256 B lines.
+    /// 8 MiB 16-way L2 per domain, 256 B lines. Delegates to the
+    /// [`HierarchyConfig::a64fx`] preset — the single source of truth for
+    /// these numbers.
     pub fn a64fx() -> Self {
-        MachineConfig {
-            num_cores: 48,
-            cores_per_domain: 12,
-            l1: CacheGeometry {
-                size_bytes: 64 << 10,
-                ways: 4,
-                line_bytes: 256,
-            },
-            l2: CacheGeometry {
-                size_bytes: 8 << 20,
-                ways: 16,
-                line_bytes: 256,
-            },
-            l1_sector: SectorPolicy::OFF,
-            l2_sector: SectorPolicy::OFF,
-            replacement: Replacement::default(),
-            prefetch: PrefetchConfig::a64fx(),
-            timing: TimingParams::a64fx(),
-        }
+        Self::from_hierarchy(&HierarchyConfig::a64fx())
     }
 
     /// A capacity-scaled A64FX: identical ways, line size and topology,
@@ -227,23 +63,60 @@ impl MachineConfig {
     ///
     /// Panics if the scaled caches would not have a whole number of sets.
     pub fn a64fx_scaled(factor: usize) -> Self {
-        assert!(factor >= 1, "scale factor must be at least 1");
-        let mut cfg = Self::a64fx();
-        cfg.l1.size_bytes /= factor;
-        cfg.l2.size_bytes /= factor;
-        // The prefetch distance must shrink with the cache so the per-set
-        // pressure of in-flight prefetched lines — which governs the §4.3
-        // premature-eviction regime — is preserved: a sector way holds
-        // `sets` lines and `sets` shrinks by `factor`, while the number of
-        // threads and streams per thread is unchanged. Linear scaling
-        // (floored at 2 so prefetching stays meaningful) keeps the
-        // small-sector instability at 2 ways without poisoning 4+ ways
-        // (validated in exp_prefetch).
-        cfg.prefetch.l2_distance = (cfg.prefetch.l2_distance / factor).max(2);
-        // Validate geometry early.
-        let _ = cfg.l1.num_sets();
-        let _ = cfg.l2.num_sets();
-        cfg
+        Self::from_hierarchy(&HierarchyConfig::a64fx().scaled(factor))
+    }
+
+    /// Projects a validated hierarchy onto the two-level view: `l1` is
+    /// the innermost level, `l2` the last (shared) level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hierarchy has no levels (call
+    /// [`HierarchyConfig::validate`] first for a typed error).
+    pub fn from_hierarchy(hier: &HierarchyConfig) -> Self {
+        let first = hier.level(0);
+        let last = hier.last_level();
+        MachineConfig {
+            num_cores: hier.num_cores,
+            cores_per_domain: hier.cores_per_domain,
+            l1: first.geometry,
+            l2: last.geometry,
+            l1_sector: first.sector,
+            l2_sector: last.sector,
+            replacement: hier.replacement,
+            prefetch: hier.prefetch,
+            timing: hier.timing,
+        }
+    }
+
+    /// The inverse of [`MachineConfig::from_hierarchy`] for two-level
+    /// machines: rebuilds a hierarchy (named `name`) whose projection is
+    /// `self`. Link parameters are taken from the A64FX preset's shape.
+    pub fn to_hierarchy(&self, name: &str) -> HierarchyConfig {
+        let template = HierarchyConfig::a64fx();
+        let mut l1 = LevelConfig {
+            geometry: self.l1,
+            sector: self.l1_sector,
+            ..template.levels[0].clone()
+        };
+        l1.scope = LevelScope::PerCore;
+        let mut l2 = LevelConfig {
+            geometry: self.l2,
+            sector: self.l2_sector,
+            ..template.levels[1].clone()
+        };
+        l2.scope = LevelScope::PerDomain;
+        l2.link_bandwidth_bps = self.timing.domain_bandwidth;
+        HierarchyConfig {
+            name: name.to_string(),
+            num_cores: self.num_cores,
+            cores_per_domain: self.cores_per_domain,
+            levels: vec![l1, l2],
+            replacement: self.replacement,
+            prefetch: self.prefetch,
+            timing: self.timing,
+            overlap: template.overlap,
+        }
     }
 
     /// Number of NUMA domains in use for `num_cores`.
@@ -344,7 +217,7 @@ mod tests {
         let cfg = MachineConfig::a64fx_scaled(16);
         assert_eq!(cfg.l1.ways, 4);
         assert_eq!(cfg.l2.ways, 16);
-        assert_eq!(cfg.l1.line_bytes, 256);
+        assert_eq!(cfg.l1.line_bytes, machine::A64FX_LINE_BYTES);
         assert_eq!(cfg.l2.size_bytes, 512 << 10);
         assert_eq!(cfg.l2.num_sets(), 128);
         assert_eq!(cfg.l1.num_sets(), 4);
@@ -380,5 +253,24 @@ mod tests {
     #[should_panic(expected = "cannot take all")]
     fn full_sector_takeover_rejected() {
         let _ = MachineConfig::a64fx().with_l2_sector(16);
+    }
+
+    #[test]
+    fn projection_of_generic_x86_takes_inner_and_last_levels() {
+        let cfg = MachineConfig::from_hierarchy(&HierarchyConfig::generic_x86());
+        assert_eq!(cfg.l1.size_bytes, 32 << 10);
+        assert_eq!(cfg.l2.size_bytes, 32 << 20);
+        assert_eq!(cfg.l1.line_bytes, 64);
+        assert_eq!(cfg.num_cores, 8);
+        assert_eq!(cfg.num_domains(), 1);
+    }
+
+    #[test]
+    fn hierarchy_roundtrip_preserves_projection() {
+        let cfg = MachineConfig::a64fx().with_l2_sector(3).with_cores(4);
+        let hier = cfg.to_hierarchy("roundtrip");
+        hier.validate().unwrap();
+        let back = MachineConfig::from_hierarchy(&hier);
+        assert_eq!(back, cfg);
     }
 }

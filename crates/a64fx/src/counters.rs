@@ -47,6 +47,10 @@ pub struct PmuSnapshot {
     pub per_domain_l2_refill: Vec<u64>,
     /// Per-domain L2 writebacks.
     pub per_domain_l2_wb: Vec<u64>,
+    /// Fills of the intermediate cache levels (hierarchies deeper than
+    /// two levels only; empty on the A64FX), innermost first, aggregated
+    /// over cores/domains.
+    pub mid_level_refill: Vec<u64>,
 }
 
 impl PmuSnapshot {
@@ -127,7 +131,8 @@ mod tests {
         let p = sample();
         assert_eq!(p.l2_misses(), 500);
         assert_eq!(p.l2_demand_misses(), 300);
-        assert_eq!(p.memory_bytes(256), 600 * 256);
+        let line = machine::A64FX_LINE_BYTES;
+        assert_eq!(p.memory_bytes(line), 600 * line as u64);
         assert_eq!(p.l1_misses(), 1000);
     }
 
@@ -136,7 +141,8 @@ mod tests {
         let p = sample();
         assert_eq!(p.max_core_l1_demand_misses(), 500);
         assert_eq!(p.max_core_l2_demand_misses(), 180);
-        assert_eq!(p.max_domain_memory_bytes(256), 600 * 256);
+        let line = machine::A64FX_LINE_BYTES;
+        assert_eq!(p.max_domain_memory_bytes(line), 600 * line as u64);
     }
 
     #[test]
@@ -144,6 +150,6 @@ mod tests {
         let p = PmuSnapshot::default();
         assert_eq!(p.l2_misses(), 0);
         assert_eq!(p.max_core_l1_demand_misses(), 0);
-        assert_eq!(p.memory_bytes(256), 0);
+        assert_eq!(p.memory_bytes(machine::A64FX_LINE_BYTES), 0);
     }
 }

@@ -1,67 +1,85 @@
-//! The simulated machine: private L1Ds, shared per-domain L2s, prefetchers.
+//! The simulated machine: private cache levels per core, shared levels
+//! per domain, prefetchers.
 //!
 //! Request flow for a demand access from core `c`:
 //!
 //! 1. The access's array determines its **sector ID** (the paper's
 //!    Listing 1 tags `a`/`colidx` with sector 1 via compiler directives).
-//! 2. L1D lookup. A dirty L1 victim is written back to the domain's L2.
-//! 3. On L1 miss, the domain's L2 is accessed as a demand request; a dirty
-//!    L2 victim counts as a memory writeback.
-//! 4. The core's stream prefetcher trains on the L1 demand-miss line
-//!    stream (the sequence of lines the L2 sees). Prefetched lines are
-//!    filled into L2 with the sector of the triggering access, and —
-//!    within the shorter L1 distance — into the L1 as well.
+//! 2. The private levels are walked innermost first; a dirty victim of
+//!    level *i* is written back into level *i+1* (propagating further
+//!    down on writeback misses; a writeback that misses every remaining
+//!    level goes straight to memory).
+//! 3. On a miss the walk continues with a demand request to the next
+//!    level; a miss at the last (shared) level is a memory access. A
+//!    dirty victim of the last level counts as a memory writeback inside
+//!    that cache's own stats.
+//! 4. The core's stream prefetcher trains on the demand line stream.
+//!    Prefetched lines are filled into the second level (the A64FX's L2,
+//!    an x86's private L2) with the sector of the triggering access, and
+//!    — within the shorter L1 distance — into the L1 as well.
 //!
 //! Caches are non-inclusive write-back/write-allocate; writebacks never
 //! allocate. The model is deliberately minimal: everything the paper's
 //! evaluation needs (miss counts per level, demand vs. prefetch fills,
 //! writeback traffic, premature prefetch eviction) emerges from this flow.
+//!
+//! [`Machine::new`] builds the classic two-level A64FX view from a
+//! [`MachineConfig`]; [`Machine::from_hierarchy`] builds any validated
+//! [`machine::HierarchyConfig`] (e.g. the three-level `generic-x86`
+//! preset). For two-level hierarchies both constructors produce
+//! byte-identical behaviour — the a64fx-preset pin in `crates/valid`
+//! holds the refactor to that.
 
 use crate::cache::{Cache, Outcome, Request};
 use crate::config::MachineConfig;
 use crate::counters::PmuSnapshot;
 use crate::prefetch::StreamPrefetcher;
+use machine::{CacheHierarchy, HierarchyConfig, LevelScope};
 use memtrace::{Access, ArraySet};
 
 struct Core {
-    l1: Cache,
+    /// Private cache levels, innermost first.
+    privates: Vec<Cache>,
     prefetcher: StreamPrefetcher,
     /// Scratch buffer for prefetch emissions.
     pf_buf: Vec<u64>,
-    /// L2 demand misses attributed to this core.
+    /// Last-level demand misses attributed to this core.
     l2_demand_misses: u64,
 }
 
-/// The simulated A64FX machine.
+/// The simulated machine.
 pub struct Machine {
     cfg: MachineConfig,
     sector1: ArraySet,
     cores: Vec<Core>,
-    domains: Vec<Cache>,
-    /// Per-domain writebacks that missed L2 and went straight to memory.
-    /// Still memory traffic from that domain, so they count toward both
-    /// the aggregate `L2D_CACHE_WB` and the domain's writeback row.
+    /// Shared cache levels per domain, outermost last.
+    domains: Vec<Vec<Cache>>,
+    /// Number of private levels (the rest are shared).
+    num_private: usize,
+    /// Total cache levels.
+    num_levels: usize,
+    /// Per-domain writebacks that missed every cache level and went
+    /// straight to memory. Still memory traffic from that domain, so they
+    /// count toward both the aggregate `L2D_CACHE_WB` and the domain's
+    /// writeback row.
     direct_memory_writebacks: Vec<u64>,
 }
 
 impl Machine {
-    /// Builds a machine with the given configuration; arrays in `sector1`
-    /// are tagged with sector ID 1 on every memory request.
+    /// Builds the two-level machine (private L1, shared last-level cache)
+    /// with the given configuration; arrays in `sector1` are tagged with
+    /// sector ID 1 on every memory request.
     pub fn new(cfg: MachineConfig, sector1: ArraySet) -> Self {
         let cores = (0..cfg.num_cores)
             .map(|_| Core {
-                l1: Cache::new(cfg.l1, cfg.l1_sector, cfg.replacement),
-                prefetcher: if cfg.prefetch.enabled {
-                    StreamPrefetcher::new(cfg.prefetch.streams, cfg.prefetch.l2_distance)
-                } else {
-                    StreamPrefetcher::off()
-                },
+                privates: vec![Cache::new(cfg.l1, cfg.l1_sector, cfg.replacement)],
+                prefetcher: Self::prefetcher_for(&cfg),
                 pf_buf: Vec::new(),
                 l2_demand_misses: 0,
             })
             .collect();
         let domains = (0..cfg.num_domains())
-            .map(|_| Cache::new(cfg.l2, cfg.l2_sector, cfg.replacement))
+            .map(|_| vec![Cache::new(cfg.l2, cfg.l2_sector, cfg.replacement)])
             .collect();
         let num_domains = cfg.num_domains();
         Machine {
@@ -69,19 +87,130 @@ impl Machine {
             sector1,
             cores,
             domains,
+            num_private: 1,
+            num_levels: 2,
             direct_memory_writebacks: vec![0; num_domains],
         }
     }
 
-    /// The machine configuration.
+    /// Builds an N-level machine from a validated hierarchy. The stored
+    /// [`MachineConfig`] is the hierarchy's two-level projection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hierarchy fails [`HierarchyConfig::validate`].
+    pub fn from_hierarchy(hier: &HierarchyConfig, sector1: ArraySet) -> Self {
+        if let Err(e) = hier.validate() {
+            panic!("invalid hierarchy: {e}");
+        }
+        let cfg = MachineConfig::from_hierarchy(hier);
+        let num_private = hier.first_shared_level();
+        let num_levels = hier.num_levels();
+        let cores = (0..hier.num_cores)
+            .map(|_| Core {
+                privates: hier.levels[..num_private]
+                    .iter()
+                    .map(|l| Cache::new(l.geometry, l.sector, hier.replacement))
+                    .collect(),
+                prefetcher: Self::prefetcher_for(&cfg),
+                pf_buf: Vec::new(),
+                l2_demand_misses: 0,
+            })
+            .collect();
+        let domains: Vec<Vec<Cache>> = (0..cfg.num_domains())
+            .map(|_| {
+                hier.levels[num_private..]
+                    .iter()
+                    .map(|l| Cache::new(l.geometry, l.sector, hier.replacement))
+                    .collect()
+            })
+            .collect();
+        let num_domains = cfg.num_domains();
+        Machine {
+            cfg,
+            sector1,
+            cores,
+            domains,
+            num_private,
+            num_levels,
+            direct_memory_writebacks: vec![0; num_domains],
+        }
+    }
+
+    fn prefetcher_for(cfg: &MachineConfig) -> StreamPrefetcher {
+        if cfg.prefetch.enabled {
+            StreamPrefetcher::new(cfg.prefetch.streams, cfg.prefetch.l2_distance)
+        } else {
+            StreamPrefetcher::off()
+        }
+    }
+
+    /// The machine configuration (two-level projection for N-level
+    /// machines).
     pub fn config(&self) -> &MachineConfig {
         &self.cfg
+    }
+
+    /// Number of cache levels being simulated.
+    pub fn num_levels(&self) -> usize {
+        self.num_levels
     }
 
     /// Sector ID for an access, from the machine's array assignment.
     #[inline]
     pub fn sector_of(&self, access: &Access) -> u8 {
         u8::from(self.sector1.contains(access.array))
+    }
+
+    fn cache_mut(&mut self, core: usize, domain: usize, level: usize) -> &mut Cache {
+        if level < self.num_private {
+            &mut self.cores[core].privates[level]
+        } else {
+            &mut self.domains[domain][level - self.num_private]
+        }
+    }
+
+    /// Accesses `level`; a dirty victim of a non-last level is written
+    /// back into the level below. Returns the outcome.
+    fn level_access(
+        &mut self,
+        core: usize,
+        domain: usize,
+        level: usize,
+        line: u64,
+        sector: u8,
+        request: Request,
+    ) -> Outcome {
+        let outcome = self
+            .cache_mut(core, domain, level)
+            .access(line, sector, request);
+        if level + 1 < self.num_levels {
+            if let Outcome::Miss {
+                writeback: Some(victim),
+                ..
+            } = outcome
+            {
+                self.writeback_into(core, domain, level + 1, victim);
+            }
+        }
+        outcome
+    }
+
+    /// Writes a dirty victim back into `level`, walking down the
+    /// hierarchy until some level holds the line; a victim no level holds
+    /// is a direct memory writeback.
+    fn writeback_into(&mut self, core: usize, domain: usize, mut level: usize, line: u64) {
+        while level < self.num_levels {
+            if self
+                .cache_mut(core, domain, level)
+                .access(line, 0, Request::Writeback)
+                != Outcome::WritebackMiss
+            {
+                return;
+            }
+            level += 1;
+        }
+        self.direct_memory_writebacks[domain] += 1;
     }
 
     /// Performs one demand access on behalf of `core`.
@@ -92,19 +221,16 @@ impl Machine {
     pub fn demand_access(&mut self, core: usize, access: Access) {
         let sector = self.sector_of(&access);
         let domain = self.cfg.domain_of(core);
+        // Prefetches (software hints and hardware emissions) fill the
+        // second level — the A64FX's shared L2, an x86's private L2.
+        let pf_level = 1.min(self.num_levels - 1);
 
-        // Software-prefetch hints warm the L2 (and L1) without demanding
-        // data, stalling, or training the hardware prefetcher.
+        // Software-prefetch hints warm the prefetch level (and L1) without
+        // demanding data, stalling, or training the hardware prefetcher.
         if access.sw_prefetch {
-            self.domains[domain].access(access.line, sector, Request::Prefetch);
-            if let Outcome::Miss {
-                writeback: Some(victim),
-                ..
-            } = self.cores[core]
-                .l1
-                .access(access.line, sector, Request::Prefetch)
-            {
-                self.writeback_to_l2(domain, victim);
+            self.prefetch_fill(core, domain, pf_level, access.line, sector);
+            if pf_level != 0 {
+                self.level_access(core, domain, 0, access.line, sector, Request::Prefetch);
             }
             return;
         }
@@ -115,23 +241,18 @@ impl Machine {
             Request::Load
         };
 
-        let l1_outcome = self.cores[core].l1.access(access.line, sector, request);
-        let l1_missed = match l1_outcome {
-            Outcome::Hit { .. } => false,
-            Outcome::Miss { writeback, .. } => {
-                if let Some(victim) = writeback {
-                    self.writeback_to_l2(domain, victim);
+        // Walk the hierarchy innermost first; deeper levels see plain
+        // demand loads (write-allocate turns stores into fills).
+        for level in 0..self.num_levels {
+            let req = if level == 0 { request } else { Request::Load };
+            match self.level_access(core, domain, level, access.line, sector, req) {
+                Outcome::Hit { .. } => break,
+                Outcome::Miss { .. } => {
+                    if level + 1 == self.num_levels {
+                        self.cores[core].l2_demand_misses += 1;
+                    }
                 }
-                true
-            }
-            Outcome::WritebackMiss => unreachable!("demand requests allocate"),
-        };
-
-        if l1_missed {
-            // L1 miss -> demand request to the shared L2.
-            let l2_outcome = self.domains[domain].access(access.line, sector, Request::Load);
-            if matches!(l2_outcome, Outcome::Miss { .. }) {
-                self.cores[core].l2_demand_misses += 1;
+                Outcome::WritebackMiss => unreachable!("demand requests allocate"),
             }
         }
 
@@ -145,25 +266,21 @@ impl Machine {
             .observe(access.line, &mut pf_buf);
         let l1_window = access.line + self.cfg.prefetch.l1_distance as u64;
         for &pf_line in &pf_buf {
-            self.domains[domain].access(pf_line, sector, Request::Prefetch);
+            self.prefetch_fill(core, domain, pf_level, pf_line, sector);
             if self.cfg.prefetch.l1_distance > 0 && pf_line <= l1_window {
-                if let Outcome::Miss {
-                    writeback: Some(victim),
-                    ..
-                } = self.cores[core]
-                    .l1
-                    .access(pf_line, sector, Request::Prefetch)
-                {
-                    self.writeback_to_l2(domain, victim);
-                }
+                self.level_access(core, domain, 0, pf_line, sector, Request::Prefetch);
             }
         }
         self.cores[core].pf_buf = pf_buf;
     }
 
-    fn writeback_to_l2(&mut self, domain: usize, line: u64) {
-        if self.domains[domain].access(line, 0, Request::Writeback) == Outcome::WritebackMiss {
-            self.direct_memory_writebacks[domain] += 1;
+    /// Fills a prefetched line into `level` and every level below it down
+    /// to the last: the fill path is memory → LLC → ... → `level`. On a
+    /// two-level machine this is exactly one L2 access; on deeper
+    /// hierarchies it keeps LLC fill counters equal to memory traffic.
+    fn prefetch_fill(&mut self, core: usize, domain: usize, level: usize, line: u64, sector: u8) {
+        for l in (level..self.num_levels).rev() {
+            self.level_access(core, domain, l, line, sector, Request::Prefetch);
         }
     }
 
@@ -171,28 +288,47 @@ impl Machine {
     /// (used to discard the warm-up iteration).
     pub fn reset_stats(&mut self) {
         for core in &mut self.cores {
-            core.l1.reset_stats();
+            for l in &mut core.privates {
+                l.reset_stats();
+            }
             core.l2_demand_misses = 0;
         }
-        for l2 in &mut self.domains {
-            l2.reset_stats();
+        for chain in &mut self.domains {
+            for l in chain {
+                l.reset_stats();
+            }
         }
         self.direct_memory_writebacks.fill(0);
     }
 
-    /// Aggregates all counters into a [`PmuSnapshot`].
+    /// Aggregates all counters into a [`PmuSnapshot`]: `l1d_*` from the
+    /// innermost level, `l2d_*` from the last level, intermediate levels
+    /// in `mid_level_refill`.
     pub fn pmu(&self) -> PmuSnapshot {
-        let mut snap = PmuSnapshot::default();
+        let mut snap = PmuSnapshot {
+            mid_level_refill: vec![0; self.num_levels.saturating_sub(2)],
+            ..PmuSnapshot::default()
+        };
         for core in &self.cores {
-            let s = core.l1.stats();
+            let s = core.privates[0].stats();
             snap.l1d_cache_refill += s.fills();
             snap.l1d_demand_misses += s.demand_misses;
             snap.evicted_unused_prefetches += s.evicted_unused_prefetches;
             snap.per_core_l1_demand_misses.push(s.demand_misses);
             snap.per_core_l2_demand_misses.push(core.l2_demand_misses);
+            for (mid, l) in core.privates[1..].iter().enumerate() {
+                snap.mid_level_refill[mid] += l.stats().fills();
+                snap.evicted_unused_prefetches += l.stats().evicted_unused_prefetches;
+            }
         }
-        for (l2, &direct_wb) in self.domains.iter().zip(&self.direct_memory_writebacks) {
-            let s = l2.stats();
+        let shared_levels = self.num_levels - self.num_private;
+        for (chain, &direct_wb) in self.domains.iter().zip(&self.direct_memory_writebacks) {
+            for (pos, l) in chain[..shared_levels - 1].iter().enumerate() {
+                let mid = self.num_private - 1 + pos;
+                snap.mid_level_refill[mid] += l.stats().fills();
+                snap.evicted_unused_prefetches += l.stats().evicted_unused_prefetches;
+            }
+            let s = chain[shared_levels - 1].stats();
             snap.l2d_cache_refill += s.fills();
             snap.l2d_cache_refill_dm += s.demand_misses;
             snap.l2d_cache_refill_prf += s.prefetch_fills;
@@ -204,15 +340,24 @@ impl Machine {
         snap
     }
 
-    /// Direct read access to a domain's L2 (tests, diagnostics).
+    /// Direct read access to a domain's last-level cache (tests,
+    /// diagnostics).
     pub fn l2(&self, domain: usize) -> &Cache {
-        &self.domains[domain]
+        self.domains[domain].last().expect("shared last level")
     }
 
-    /// Direct read access to a core's L1 (tests, diagnostics).
+    /// Direct read access to a core's innermost cache (tests,
+    /// diagnostics).
     pub fn l1(&self, core: usize) -> &Cache {
-        &self.cores[core].l1
+        &self.cores[core].privates[0]
     }
+}
+
+/// Which cores share each instance of simulator level `level` under
+/// `hier` — a convenience re-export of the hierarchy's scope used by
+/// diagnostics.
+pub fn level_scope(hier: &HierarchyConfig, level: usize) -> LevelScope {
+    hier.level(level).scope
 }
 
 #[cfg(test)]
@@ -325,5 +470,73 @@ mod tests {
         assert_eq!(p.l2d_cache_refill, 2);
         assert_eq!(p.per_domain_l2_refill, vec![1, 1]);
         assert!(m.l2(0).contains(9) && m.l2(1).contains(9));
+    }
+
+    /// For any two-level hierarchy, `from_hierarchy` and `new` must be
+    /// the same machine access for access — this equivalence is what lets
+    /// the a64fx preset stay byte-identical through the refactor.
+    #[test]
+    fn two_level_hierarchy_matches_machine_config_path() {
+        let mut cfg = MachineConfig::a64fx_scaled(64)
+            .with_cores(2)
+            .with_l2_sector(3);
+        cfg.cores_per_domain = 2;
+        let hier = cfg.to_hierarchy("pin");
+        let mut a = Machine::new(cfg, ArraySet::MATRIX_STREAM);
+        let mut b = Machine::from_hierarchy(&hier, ArraySet::MATRIX_STREAM);
+        let mut line = 0u64;
+        for step in 0..4000u64 {
+            // A mix of streams, stores and set conflicts on both cores.
+            let core = (step % 2) as usize;
+            let access = match step % 5 {
+                0 => Access::load(line, Array::A),
+                1 => Access::load(step * 13 % 97, Array::X),
+                2 => Access::store(step % 11, Array::Y),
+                3 => Access::load(line, Array::ColIdx),
+                _ => {
+                    line += 1;
+                    Access::load(step * 7 % 51, Array::RowPtr)
+                }
+            };
+            a.demand_access(core, access);
+            b.demand_access(core, access);
+        }
+        assert_eq!(a.pmu(), b.pmu());
+    }
+
+    /// The three-level generic-x86 preset simulates end to end; the
+    /// middle level filters traffic between L1 misses and LLC fills.
+    #[test]
+    fn three_level_machine_filters_through_mid_level() {
+        let hier = HierarchyConfig::generic_x86().scaled(64).with_cores(2);
+        let mut m = Machine::from_hierarchy(&hier, ArraySet::EMPTY);
+        assert_eq!(m.num_levels(), 3);
+        for l in 0..256u64 {
+            m.demand_access(0, Access::load(l % 96, Array::X));
+        }
+        let p = m.pmu();
+        assert_eq!(p.mid_level_refill.len(), 1);
+        assert!(p.mid_level_refill[0] > 0, "mid level sees fills");
+        assert!(p.l1d_cache_refill >= p.mid_level_refill[0]);
+        // Working set fits in the scaled L3, so it holds every line.
+        assert!(p.l2d_cache_refill <= 96 + hier.prefetch.l2_distance as u64);
+    }
+
+    /// Dirty victims of a middle level land in the level below it, not in
+    /// memory, as long as the line is still resident there.
+    #[test]
+    fn mid_level_victims_write_back_into_llc() {
+        let hier = HierarchyConfig::generic_x86().scaled(64).with_cores(1);
+        let mut m = Machine::from_hierarchy(&hier, ArraySet::EMPTY);
+        let l2_lines = hier.level(1).geometry.total_lines() as u64;
+        // Dirty many lines, then stream far past the L2 capacity.
+        for l in 0..l2_lines * 4 {
+            m.demand_access(0, Access::store(l, Array::Y));
+        }
+        let p = m.pmu();
+        // All writeback traffic stayed inside the hierarchy (the scaled
+        // L3 is big enough to hold evicted dirty lines).
+        assert_eq!(p.l2d_cache_wb, 0);
+        assert!(p.mid_level_refill[0] > 0);
     }
 }

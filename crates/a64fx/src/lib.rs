@@ -36,5 +36,6 @@ pub use cache::{Cache, CacheStats, Outcome, Request};
 pub use config::{CacheGeometry, MachineConfig, PrefetchConfig, Replacement, SectorPolicy};
 pub use counters::PmuSnapshot;
 pub use hierarchy::Machine;
+pub use machine::{CacheHierarchy, HierarchyConfig, A64FX_LINE_BYTES};
 pub use sim_spmv::{simulate_spmv, simulate_spmv_partitioned, simulate_spmv_swpf, SimResult};
 pub use timing::{estimate, Bottleneck, Performance};

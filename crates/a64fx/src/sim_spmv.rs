@@ -198,7 +198,7 @@ mod tests {
         let cfg = cfg_seq();
         assert!(m.matrix_bytes() > 2 * cfg.l2.size_bytes);
         let r = simulate_spmv(&m, &cfg, ArraySet::EMPTY, 1, 1);
-        let layout = m.layout(256);
+        let layout = m.layout(machine::A64FX_LINE_BYTES);
         let stream_lines =
             layout.array_lines(memtrace::Array::A) + layout.array_lines(memtrace::Array::ColIdx);
         assert!(

@@ -140,11 +140,12 @@ mod tests {
 
     #[test]
     fn terms_match_paper_formulas() {
-        // M = 1000 rows, K = 5000 nonzeros, L = 256.
-        assert_eq!(stream_misses_a(5000, 256), 157); // ceil(40000/256)
-        assert_eq!(stream_misses_colidx(5000, 256), 79); // ceil(20000/256)
-        assert_eq!(stream_misses_rowptr(1000, 256), 32); // ceil(8008/256)
-        assert_eq!(stream_misses_y(1000, 256), 32); // ceil(8000/256)
+        // M = 1000 rows, K = 5000 nonzeros, L = 256 (the A64FX line).
+        let l = memtrace::A64FX_LINE_BYTES;
+        assert_eq!(stream_misses_a(5000, l), 157); // ceil(40000/256)
+        assert_eq!(stream_misses_colidx(5000, l), 79); // ceil(20000/256)
+        assert_eq!(stream_misses_rowptr(1000, l), 32); // ceil(8008/256)
+        assert_eq!(stream_misses_y(1000, l), 32); // ceil(8000/256)
     }
 
     #[test]
@@ -152,8 +153,8 @@ mod tests {
         // The closed forms are exactly the number of cache lines each array
         // occupies in the layout.
         let m = sparsemat::CsrMatrix::identity(321);
-        let layout = DataLayout::new(&m, 256);
-        let t = StreamTerms::of(&m, 256);
+        let layout = DataLayout::new(&m, memtrace::A64FX_LINE_BYTES);
+        let t = StreamTerms::of(&m, memtrace::A64FX_LINE_BYTES);
         assert_eq!(t.a, layout.array_lines(Array::A));
         assert_eq!(t.colidx, layout.array_lines(Array::ColIdx));
         assert_eq!(t.rowptr, layout.array_lines(Array::RowPtr));

@@ -68,7 +68,7 @@ mod tests {
         let m = random_matrix(4096, 16, 7);
         assert!(m.matrix_bytes() > cfg().l2.size_bytes);
         let preds = predict(&m, &cfg(), &[SectorSetting::L2Ways(4)], 1);
-        let terms = crate::analytic::StreamTerms::of(&m, 256);
+        let terms = crate::analytic::StreamTerms::of(&m, memtrace::A64FX_LINE_BYTES);
         // In the partitioned prediction the matrix stream misses once per
         // line (it cannot fit 4 ways), exactly the closed-form terms.
         assert_eq!(preds[0].misses_of(Array::A), terms.a);
@@ -85,7 +85,7 @@ mod tests {
         c.l2.size_bytes = 32 << 10;
         let m = random_matrix(1024, 32, 9);
         assert_eq!(
-            crate::classify::classify(&m, c.l2.size_bytes, 104 * 256),
+            crate::classify::classify(&m, c.l2.size_bytes, 104 * memtrace::A64FX_LINE_BYTES),
             crate::classify::MatrixClass::Class2
         );
         let preds = predict(&m, &c, &[SectorSetting::Off, SectorSetting::L2Ways(3)], 1);
@@ -98,7 +98,7 @@ mod tests {
         assert_eq!(part.misses_of(Array::RowPtr), 0);
         // Without partitioning, y and rowptr are evicted between their
         // per-iteration reuses, costing their full streaming terms extra.
-        let terms = crate::analytic::StreamTerms::of(&m, 256);
+        let terms = crate::analytic::StreamTerms::of(&m, memtrace::A64FX_LINE_BYTES);
         assert!(off.misses_of(Array::Y) + off.misses_of(Array::RowPtr) >= terms.y + terms.rowptr);
         assert!(off.l2_misses >= part.l2_misses + terms.y + terms.rowptr);
     }

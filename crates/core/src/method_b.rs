@@ -94,7 +94,7 @@ mod tests {
     fn streaming_terms_appear_when_matrix_oversized() {
         let m = random_matrix(4096, 16, 7);
         let p = predict(&m, &cfg(), &[SectorSetting::L2Ways(3)], 1);
-        let terms = StreamTerms::of(&m, 256);
+        let terms = StreamTerms::of(&m, memtrace::A64FX_LINE_BYTES);
         assert_eq!(p[0].misses_of(Array::A), terms.a);
         assert_eq!(p[0].misses_of(Array::ColIdx), terms.colidx);
         // Reusable data fits partition 0 -> no y/rowptr misses.
@@ -134,7 +134,7 @@ mod tests {
         assert!(p[0].l2_misses > 0);
         // The matrix stream terms are accounted once per line in total
         // (split across domains).
-        let terms = StreamTerms::of(&m, 256);
+        let terms = StreamTerms::of(&m, memtrace::A64FX_LINE_BYTES);
         let stream_pred = p[0].misses_of(Array::A) + p[0].misses_of(Array::ColIdx);
         let total_terms = terms.a + terms.colidx;
         // Domain splitting adds at most one extra line per domain boundary
@@ -147,7 +147,7 @@ mod tests {
     fn unpartitioned_includes_all_streams() {
         let m = random_matrix(4096, 16, 41);
         let p = predict(&m, &cfg(), &[SectorSetting::Off], 1);
-        let terms = StreamTerms::of(&m, 256);
+        let terms = StreamTerms::of(&m, memtrace::A64FX_LINE_BYTES);
         assert!(p[0].l2_misses >= terms.total());
     }
 }

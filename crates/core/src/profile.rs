@@ -1997,7 +1997,7 @@ mod tests {
         let cfg = MachineConfig::a64fx_scaled(64);
         let profile = LocalityProfile::compute(&m, &cfg, Method::A, 1);
         let mut other = cfg.clone();
-        other.l2.line_bytes = 128;
+        other.l2.line_bytes /= 2;
         profile.evaluate(&other, &[SectorSetting::Off]);
     }
 }

@@ -127,7 +127,7 @@ mod tests {
     #[test]
     fn filter_with_huge_l1_removes_everything() {
         let m = random_matrix(128, 4, 3);
-        let layout = m.layout(256);
+        let layout = m.layout(memtrace::A64FX_LINE_BYTES);
         let mut sink = memtrace::VecSink::new();
         memtrace::spmv_trace::trace_spmv(&m, &layout, &mut sink);
         let filtered = l1_filter(&sink.trace, 1 << 20);
@@ -140,7 +140,7 @@ mod tests {
     #[test]
     fn filter_with_one_line_keeps_nearly_everything() {
         let m = random_matrix(128, 4, 3);
-        let layout = m.layout(256);
+        let layout = m.layout(memtrace::A64FX_LINE_BYTES);
         let mut sink = memtrace::VecSink::new();
         memtrace::spmv_trace::trace_spmv(&m, &layout, &mut sink);
         let filtered = l1_filter(&sink.trace, 1);

@@ -58,6 +58,13 @@ pub struct ProfileKey {
     /// profile's capacity grids; 0 for capacity-independent (exact)
     /// profiles.
     pub caps_fingerprint: u64,
+    /// [`machine::CacheHierarchy::fingerprint`] of the machine the
+    /// profile was computed for. Distinct hierarchies must never share a
+    /// cache slot even when their projections agree on `line_bytes` and
+    /// `cores_per_domain` (they can still differ in L1 capacity, sector
+    /// policy, ...). 0 for machine-agnostic callers that key their cache
+    /// some other way.
+    pub machine_tag: u64,
 }
 
 /// How a bounded cache picks its victim once full.
@@ -422,9 +429,10 @@ mod tests {
             fingerprint: fp,
             method,
             threads: 1,
-            line_bytes: 256,
+            line_bytes: a64fx::A64FX_LINE_BYTES,
             cores_per_domain: 12,
             caps_fingerprint: 0,
+            machine_tag: 0,
         }
     }
 

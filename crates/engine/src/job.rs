@@ -2,6 +2,7 @@
 //! sweep — plus the line-based on-disk spec format of `spmv-locality batch`.
 
 use locality_core::{FormatSpec, Method, ReorderSpec, RhsLayout, ScenarioSpec, SectorSetting};
+use machine::MachineSpec;
 use std::fmt;
 use std::path::PathBuf;
 
@@ -49,6 +50,13 @@ pub struct BatchSpec {
     /// Kernel scenario traced on top of the storage format: plain SpMV
     /// (default), `k`-RHS SpMM, or a CG iteration.
     pub scenario: ScenarioSpec,
+    /// Machines to sweep the batch over (`machine` directives accumulate,
+    /// like sources). Empty means the default `a64fx`, whose reports stay
+    /// byte-identical to the pre-machine-dimension output.
+    pub machines: Vec<MachineSpec>,
+    /// Attach an ECM throughput estimate (`"ecm":{...}`) to every report.
+    /// Off by default — the field's absence keeps legacy bytes.
+    pub ecm: bool,
     /// Wall-clock budget for the whole batch, in milliseconds. `None`
     /// (default) runs to completion; with a deadline the run is
     /// cooperatively cancelled at its next checkpoint once the budget
@@ -69,6 +77,8 @@ impl Default for BatchSpec {
             format: FormatSpec::Csr,
             reorder: ReorderSpec::None,
             scenario: ScenarioSpec::Spmv,
+            machines: Vec::new(),
+            ecm: false,
             deadline_ms: None,
         }
     }
@@ -140,6 +150,8 @@ impl BatchSpec {
     /// reorder rcm                          # none (default) or rcm
     /// rhs 16 col                           # SpMM right-hand sides (layout: row)
     /// workload cg                          # spmv (default), cg or spmm:K[,row|col]
+    /// machine generic-x86                  # machines accumulate (default: a64fx)
+    /// ecm on                               # attach ECM Gflop/s to every report
     /// deadline_ms 5000                     # whole-batch budget (default: none)
     /// ```
     ///
@@ -246,6 +258,29 @@ impl BatchSpec {
                     })?;
                     spec.scenario = ScenarioSpec::parse(arg).map_err(|e| err(line_no, e))?;
                 }
+                "machine" => {
+                    let arg = words.next().ok_or_else(|| {
+                        err(line_no, "machine needs a64fx, generic-x86 or custom:<spec>")
+                    })?;
+                    let parsed =
+                        MachineSpec::parse(arg).map_err(|e| err(line_no, e.to_string()))?;
+                    if spec.machines.contains(&parsed) {
+                        return Err(err(line_no, format!("machine '{arg}' given twice")));
+                    }
+                    spec.machines.push(parsed);
+                }
+                "ecm" => {
+                    let arg = words
+                        .next()
+                        .ok_or_else(|| err(line_no, "ecm needs on or off"))?;
+                    spec.ecm = match arg {
+                        "on" => true,
+                        "off" => false,
+                        other => {
+                            return Err(err(line_no, format!("ecm needs on or off, got '{other}'")))
+                        }
+                    };
+                }
                 "threads" | "scale" | "workers" | "deadline_ms" => {
                     let arg = words
                         .next()
@@ -277,7 +312,7 @@ impl BatchSpec {
                     return Err(err(
                         line_no,
                         format!(
-                            "unknown directive '{other}' (expected corpus/table1/mtx/methods/settings/threads/scale/workers/format/reorder/rhs/workload/deadline_ms)"
+                            "unknown directive '{other}' (expected corpus/table1/mtx/methods/settings/threads/scale/workers/format/reorder/rhs/workload/machine/ecm/deadline_ms)"
                         ),
                     ));
                 }
@@ -297,7 +332,12 @@ impl BatchSpec {
 
     /// Total jobs this spec expands to per resolved matrix.
     pub fn jobs_per_matrix(&self) -> usize {
-        self.methods.len() * self.settings.len()
+        self.num_machines() * self.methods.len() * self.settings.len()
+    }
+
+    /// Machines the batch sweeps (1 for the implicit `a64fx` default).
+    pub fn num_machines(&self) -> usize {
+        self.machines.len().max(1)
     }
 }
 
@@ -346,6 +386,8 @@ pub struct Job {
     pub id: usize,
     /// Index into the resolved matrix list.
     pub matrix: usize,
+    /// Index into the resolved machine list.
+    pub machine: usize,
     /// Model variant.
     pub method: Method,
     /// Sector setting to evaluate.
@@ -467,6 +509,47 @@ mod tests {
         assert!(BatchSpec::parse("corpus count=1\nrhs 4 col extra\n").is_err());
         assert!(BatchSpec::parse("corpus count=1\nworkload spmm\n").is_err());
         assert!(BatchSpec::parse("corpus count=1\nworkload lu\n").is_err());
+    }
+
+    #[test]
+    fn parses_machines_and_ecm() {
+        let spec = BatchSpec::parse(
+            "corpus count=1\n\
+             machine a64fx\n\
+             machine generic-x86\n\
+             machine custom:cores=2;l1=8k,4,64;l2=256k,8,64;mem=40g\n\
+             ecm on\n",
+        )
+        .unwrap();
+        assert_eq!(spec.machines.len(), 3);
+        assert_eq!(spec.machines[0], MachineSpec::A64fx);
+        assert_eq!(spec.machines[1], MachineSpec::GenericX86);
+        assert!(matches!(spec.machines[2], MachineSpec::Custom(_)));
+        assert!(spec.ecm);
+        assert_eq!(spec.num_machines(), 3);
+        assert_eq!(spec.jobs_per_matrix(), 3 * 2 * 7);
+
+        // No machine directive: the implicit a64fx default.
+        let spec = BatchSpec::parse("corpus count=1\n").unwrap();
+        assert!(spec.machines.is_empty());
+        assert!(!spec.ecm);
+        assert_eq!(spec.num_machines(), 1);
+
+        let off = BatchSpec::parse("corpus count=1\necm on\necm off\n").unwrap();
+        assert!(!off.ecm);
+
+        assert!(BatchSpec::parse("corpus count=1\nmachine sparc\n").is_err());
+        assert!(BatchSpec::parse("corpus count=1\nmachine\n").is_err());
+        assert!(
+            BatchSpec::parse("corpus count=1\nmachine a64fx\nmachine a64fx\n").is_err(),
+            "duplicate machine"
+        );
+        assert!(BatchSpec::parse("corpus count=1\necm yes\n").is_err());
+        assert!(BatchSpec::parse("corpus count=1\necm\n").is_err());
+        // Parse errors surface the machine crate's pointed message.
+        let err = BatchSpec::parse("corpus count=1\nmachine custom:l1=32k,0,64;l2=1m,16,64\n")
+            .unwrap_err();
+        assert!(err.message.contains("zero ways"), "{err}");
     }
 
     #[test]

@@ -50,13 +50,14 @@ pub mod report;
 pub use cache::{Admission, CacheLookup, EvictionPolicy, ProfileCache, ProfileKey};
 pub use cancel::{CancelToken, Cancelled};
 pub use job::{BatchSpec, Job, MatrixSource, SpecError};
-pub use report::{BatchResult, BatchStats, Report};
+pub use report::{BatchResult, BatchStats, EcmSummary, Report};
 
 use a64fx::MachineConfig;
 use locality_core::{
-    DomainPartial, FormatSpec, LocalityProfile, Method, ProfileBuilder, ReorderSpec, RhsLayout,
-    ScenarioSpec, SectorSetting, SpmvWorkload, TrackedCaps, Workload,
+    DomainPartial, FormatSpec, LocalityProfile, Method, Prediction, ProfileBuilder, ReorderSpec,
+    RhsLayout, ScenarioSpec, SectorSetting, SpmvWorkload, TrackedCaps, Workload,
 };
+use machine::{CacheHierarchy, HierarchyConfig, MachineSpec};
 use sparsemat::CsrMatrix;
 use std::fmt;
 
@@ -203,28 +204,78 @@ fn resolve_sources(spec: &BatchSpec) -> Result<Vec<BatchMatrix>, EngineError> {
     Ok(out)
 }
 
-/// Expands the spec into per-(matrix, method, setting) jobs, in the
-/// deterministic order: matrices outermost, then methods, then settings.
+/// Expands the spec into per-(matrix, machine, method, setting) jobs, in
+/// the deterministic order: matrices outermost, then machines, then
+/// methods, then settings.
 fn expand_jobs(spec: &BatchSpec, num_matrices: usize) -> Vec<Job> {
     let mut jobs = Vec::with_capacity(num_matrices * spec.jobs_per_matrix());
     let mut id = 0;
     for matrix in 0..num_matrices {
-        for &method in &spec.methods {
-            for &setting in &spec.settings {
-                jobs.push(Job {
-                    id,
-                    matrix,
-                    method,
-                    setting,
-                });
-                id += 1;
+        for machine in 0..spec.num_machines() {
+            for &method in &spec.methods {
+                for &setting in &spec.settings {
+                    jobs.push(Job {
+                        id,
+                        matrix,
+                        machine,
+                        method,
+                        setting,
+                    });
+                    id += 1;
+                }
             }
         }
     }
     jobs
 }
 
-/// The machine the batch models.
+/// One machine of the batch's sweep, resolved at the spec's scale and
+/// thread count: the full hierarchy (for fingerprinting and the ECM
+/// model) plus its two-level projection (what the locality model runs
+/// on).
+struct ResolvedMachine {
+    /// Report label (`"a64fx"`, `"generic-x86"`, `"custom"`).
+    label: String,
+    /// Emit the label in reports? `false` for the default `a64fx`,
+    /// keeping legacy bytes.
+    emit_label: bool,
+    /// Two-level projection for the analytic model.
+    cfg: MachineConfig,
+    /// The declarative hierarchy itself.
+    hier: HierarchyConfig,
+    /// [`CacheHierarchy::fingerprint`] — the cache-key machine tag.
+    tag: u64,
+}
+
+/// Resolves the spec's machine sweep (the implicit `[a64fx]` when no
+/// `machine` directive was given). For the a64fx entry this reproduces
+/// the historical `a64fx_scaled(scale).with_cores(threads)` config
+/// exactly — `MachineConfig::a64fx_scaled` *is* the projection of the
+/// scaled preset hierarchy.
+fn resolve_machines(spec: &BatchSpec) -> Vec<ResolvedMachine> {
+    const DEFAULT: [MachineSpec; 1] = [MachineSpec::A64fx];
+    let list: &[MachineSpec] = if spec.machines.is_empty() {
+        &DEFAULT
+    } else {
+        &spec.machines
+    };
+    list.iter()
+        .map(|ms| {
+            let hier = ms.hierarchy(spec.scale).with_cores(spec.threads.max(1));
+            ResolvedMachine {
+                label: ms.label().to_string(),
+                emit_label: !ms.is_default(),
+                cfg: MachineConfig::from_hierarchy(&hier),
+                tag: hier.fingerprint(),
+                hier,
+            }
+        })
+        .collect()
+}
+
+/// The default machine the batch models (kept for tests and callers
+/// outside the machine sweep).
+#[cfg(test)]
 fn machine_for(spec: &BatchSpec) -> MachineConfig {
     let cfg = if spec.scale <= 1 {
         MachineConfig::a64fx()
@@ -232,6 +283,58 @@ fn machine_for(spec: &BatchSpec) -> MachineConfig {
         MachineConfig::a64fx_scaled(spec.scale)
     };
     cfg.with_cores(spec.threads.max(1))
+}
+
+/// Derives the ECM throughput estimate for one prediction: the memory
+/// link carries the model's predicted LLC miss lines (per critical-path
+/// domain, uniform-spread assumption), inner links carry at least the
+/// workload's distinct-line footprint (the streaming lower bound — exact
+/// for the matrix/index/result streams, optimistic for repeated `x`
+/// gathers missing in inner levels), and the in-core time retires one
+/// gather-FMA group per `x` reference at the machine's `cycles_per_nnz`.
+/// Used by the batch/streaming paths for their `ecm on` reports; public
+/// so the CLI can attach the same estimate to one-shot predictions.
+pub fn ecm_for<W: SpmvWorkload>(
+    workload: &W,
+    hier: &HierarchyConfig,
+    prediction: &Prediction,
+) -> EcmSummary {
+    obs::add("engine.ecm.estimates", 1);
+    let line = hier.line_bytes() as f64;
+    let cores = hier.num_cores().max(1) as f64;
+    let domains = hier.num_domains().max(1) as f64;
+    let footprint = workload.layout(hier.line_bytes()).total_lines() as f64 * line;
+    let x_refs = workload.x_refs() as f64;
+    let mut link_bytes: Vec<f64> = (0..hier.num_levels())
+        .map(|i| {
+            if machine::ecm::link_is_per_core(hier, i) {
+                footprint / cores
+            } else {
+                footprint / domains
+            }
+        })
+        .collect();
+    *link_bytes
+        .last_mut()
+        .expect("validated hierarchy has levels") = prediction.l2_misses as f64 * line / domains;
+    let input = machine::EcmInput {
+        flops: 2.0 * x_refs,
+        core_seconds: machine::ecm::core_seconds(hier, x_refs / cores),
+        link_bytes,
+    };
+    let est = machine::ecm::estimate(hier, &input);
+    EcmSummary {
+        gflops: est.gflops,
+        t_total_s: est.t_total_s,
+        t_core_s: est.t_core_s,
+        links: est
+            .t_link_s
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (machine::ecm::link_label(hier, i), t))
+            .collect(),
+        bottleneck: est.bottleneck,
+    }
 }
 
 /// Computes a profile with its independent L2 domains fanned out over the
@@ -445,10 +548,12 @@ pub fn run_on_workloads<W: SpmvWorkload>(spec: &BatchSpec, matrices: &[(&str, &W
 /// The cache key for one job of `spec` on the resolved machine.
 /// `caps_fingerprint` is the sweep-restricted grid fingerprint for
 /// method (A) jobs (marker stacks only answer at the capacities they
-/// tracked); method (B) profiles are capacity-independent (0).
+/// tracked); method (B) profiles are capacity-independent (0). The
+/// machine's hierarchy fingerprint keeps sweeps over machines whose
+/// two-level projections happen to agree from sharing slots.
 fn job_key(
     spec: &BatchSpec,
-    cfg: &MachineConfig,
+    rm: &ResolvedMachine,
     caps_fingerprint: u64,
     fingerprint: u64,
     method: Method,
@@ -457,12 +562,13 @@ fn job_key(
         fingerprint,
         method,
         threads: spec.threads,
-        line_bytes: cfg.l2.line_bytes,
-        cores_per_domain: cfg.cores_per_domain,
+        line_bytes: rm.cfg.l2.line_bytes,
+        cores_per_domain: rm.cfg.cores_per_domain,
         caps_fingerprint: match method {
             Method::A => caps_fingerprint,
             Method::B => 0,
         },
+        machine_tag: rm.tag,
     }
 }
 
@@ -483,9 +589,12 @@ pub fn try_run_on_workloads<W: SpmvWorkload>(
         .map(|(_, m)| spec.reorder.tag_fingerprint(m.fingerprint()))
         .collect();
     let jobs = expand_jobs(spec, matrices.len());
-    let cfg = machine_for(spec);
+    let machines = resolve_machines(spec);
     let cache = ProfileCache::new();
-    let caps_fingerprint = TrackedCaps::for_sweep(&cfg, &spec.settings).fingerprint();
+    let caps_fingerprints: Vec<u64> = machines
+        .iter()
+        .map(|rm| TrackedCaps::for_sweep(&rm.cfg, &spec.settings).fingerprint())
+        .collect();
 
     let reports: Option<Vec<Report>> = pool::run_indexed(spec.workers, &jobs, |_, job| {
         if token.is_cancelled() {
@@ -493,11 +602,18 @@ pub fn try_run_on_workloads<W: SpmvWorkload>(
         }
         let (name, matrix) = matrices[job.matrix];
         let fingerprint = fingerprints[job.matrix];
-        let key = job_key(spec, &cfg, caps_fingerprint, fingerprint, job.method);
+        let rm = &machines[job.machine];
+        let key = job_key(
+            spec,
+            rm,
+            caps_fingerprints[job.machine],
+            fingerprint,
+            job.method,
+        );
         let lookup = cache.get_or_try_compute(key, || {
             try_compute_profile_parallel(
                 matrix,
-                &cfg,
+                &rm.cfg,
                 job.method,
                 spec.threads,
                 Some(&spec.settings),
@@ -505,7 +621,8 @@ pub fn try_run_on_workloads<W: SpmvWorkload>(
                 token,
             )
         })?;
-        let prediction = lookup.profile.evaluate(&cfg, &[job.setting])[0];
+        let prediction = lookup.profile.evaluate(&rm.cfg, &[job.setting])[0];
+        let ecm = spec.ecm.then(|| ecm_for(matrix, &rm.hier, &prediction));
         Some(report::report_for(
             job,
             name,
@@ -513,6 +630,8 @@ pub fn try_run_on_workloads<W: SpmvWorkload>(
             (matrix.num_rows(), matrix.num_cols(), matrix.nnz()),
             spec.threads,
             prediction,
+            rm.emit_label.then(|| rm.label.clone()),
+            ecm,
         ))
     })
     .into_iter()
@@ -573,8 +692,11 @@ pub fn run_streaming(
     let _span = obs::span("serve.request");
     let matrices = resolve_sources(spec)?;
     let jobs = expand_jobs(spec, matrices.len());
-    let cfg = machine_for(spec);
-    let caps_fingerprint = TrackedCaps::for_sweep(&cfg, &spec.settings).fingerprint();
+    let machines = resolve_machines(spec);
+    let caps_fingerprints: Vec<u64> = machines
+        .iter()
+        .map(|rm| TrackedCaps::for_sweep(&rm.cfg, &spec.settings).fingerprint())
+        .collect();
     let mut stats = StreamStats {
         matrices: matrices.len(),
         jobs: jobs.len(),
@@ -585,13 +707,20 @@ pub fn run_streaming(
             return Err(reason.into());
         }
         let m = &matrices[job.matrix];
+        let rm = &machines[job.machine];
         let fingerprint = spec.reorder.tag_fingerprint(m.workload.fingerprint());
-        let key = job_key(spec, &cfg, caps_fingerprint, fingerprint, job.method);
+        let key = job_key(
+            spec,
+            rm,
+            caps_fingerprints[job.machine],
+            fingerprint,
+            job.method,
+        );
         let lookup = cache
             .get_or_try_compute(key, || {
                 try_compute_profile_parallel(
                     &m.workload,
-                    &cfg,
+                    &rm.cfg,
                     job.method,
                     spec.threads,
                     Some(&spec.settings),
@@ -605,7 +734,10 @@ pub fn run_streaming(
         } else {
             stats.profile_computations += 1;
         }
-        let prediction = lookup.profile.evaluate(&cfg, &[job.setting])[0];
+        let prediction = lookup.profile.evaluate(&rm.cfg, &[job.setting])[0];
+        let ecm = spec
+            .ecm
+            .then(|| ecm_for(&m.workload, &rm.hier, &prediction));
         let report = report::report_for(
             job,
             &m.name,
@@ -617,6 +749,8 @@ pub fn run_streaming(
             ),
             spec.threads,
             prediction,
+            rm.emit_label.then(|| rm.label.clone()),
+            ecm,
         );
         emit(&report);
     }
@@ -636,8 +770,9 @@ pub fn predict_cached<W: SpmvWorkload>(
     settings: &[SectorSetting],
     threads: usize,
 ) -> Vec<locality_core::Prediction> {
-    // Capacity-independent profile (caps_fingerprint 0): callers may hit
-    // the same cache entry with arbitrary follow-up sweeps.
+    // Capacity-independent profile (caps_fingerprint 0, machine-agnostic
+    // tag 0): callers may hit the same cache entry with arbitrary
+    // follow-up sweeps, and they key on the projection alone.
     let key = ProfileKey {
         fingerprint: workload.fingerprint(),
         method,
@@ -645,6 +780,7 @@ pub fn predict_cached<W: SpmvWorkload>(
         line_bytes: cfg.l2.line_bytes,
         cores_per_domain: cfg.cores_per_domain,
         caps_fingerprint: 0,
+        machine_tag: 0,
     };
     let profile = cache.get_or_compute(key, || {
         LocalityProfile::compute(workload, cfg, method, threads)
@@ -1034,5 +1170,199 @@ mod tests {
             run_batch(&missing),
             Err(EngineError::Matrix { .. })
         ));
+    }
+
+    #[test]
+    fn cross_machine_sweep_runs_both_hierarchies() {
+        let base = BatchSpec::parse(
+            "corpus count=2 scale=16 seed=9\n\
+             settings off,4\n\
+             methods A\n\
+             threads 2\n\
+             scale 16\n",
+        )
+        .unwrap();
+        let reference = run_batch(&base).unwrap();
+
+        let swept = BatchSpec::parse(
+            "corpus count=2 scale=16 seed=9\n\
+             settings off,4\n\
+             methods A\n\
+             threads 2\n\
+             scale 16\n\
+             machine a64fx\n\
+             machine generic-x86\n",
+        )
+        .unwrap();
+        let result = run_batch(&swept).unwrap();
+        // 2 matrices x 2 machines x 1 method x 2 settings.
+        assert_eq!(result.reports.len(), 8);
+        assert_eq!(result.stats.jobs, 2 * reference.stats.jobs);
+        // One profile per (matrix, machine, method): the machine dimension
+        // is NOT free — distinct hierarchies never share cache slots.
+        assert_eq!(result.stats.profile_computations, 4);
+
+        // Job order is matrix-outermost, machine next: even machine-block =
+        // a64fx, odd = generic-x86.
+        for (i, report) in result.reports.iter().enumerate() {
+            let block = (i / swept.methods.len() / swept.settings.len()) % 2;
+            if block == 0 {
+                assert_eq!(report.machine, None, "job {i} should be default a64fx");
+            } else {
+                assert_eq!(report.machine.as_deref(), Some("generic-x86"), "job {i}");
+            }
+        }
+
+        // The a64fx half is byte-identical to the machine-less run (modulo
+        // the job ids, which now interleave the second machine).
+        let a64fx_half: Vec<&Report> = result
+            .reports
+            .iter()
+            .filter(|r| r.machine.is_none())
+            .collect();
+        assert_eq!(a64fx_half.len(), reference.reports.len());
+        for (ours, legacy) in a64fx_half.iter().zip(&reference.reports) {
+            assert_eq!(ours.prediction, legacy.prediction);
+            assert_eq!(ours.matrix, legacy.matrix);
+            assert_eq!(ours.fingerprint, legacy.fingerprint);
+        }
+
+        // The x86 hierarchy (64 B lines, one shared LLC) predicts
+        // different miss counts than the a64fx (256 B lines) — the sweep
+        // actually ran two machines, not one twice.
+        let x86_half: Vec<&Report> = result
+            .reports
+            .iter()
+            .filter(|r| r.machine.is_some())
+            .collect();
+        assert!(
+            x86_half
+                .iter()
+                .zip(&a64fx_half)
+                .any(|(x, a)| x.prediction.l2_misses != a.prediction.l2_misses),
+            "generic-x86 predictions must differ from a64fx somewhere"
+        );
+    }
+
+    #[test]
+    fn projection_twins_do_not_share_profiles() {
+        // A custom machine whose two-level projection agrees with the
+        // a64fx preset on everything the legacy cache key carried
+        // (line_bytes 256, cores_per_domain 12): before the machine tag,
+        // these two machines would silently share profile slots.
+        let spec = BatchSpec::parse(
+            "corpus count=1 scale=64 seed=3\n\
+             settings off\n\
+             methods B\n\
+             threads 1\n\
+             scale 64\n\
+             machine a64fx\n\
+             machine custom:cores=1;domain=12;l1=64k,4,256;l2=8m,16,256;mem=200g\n",
+        )
+        .unwrap();
+        let result = run_batch(&spec).unwrap();
+        assert_eq!(result.stats.jobs, 2);
+        assert_eq!(
+            result.stats.profile_computations, 2,
+            "identical projections on distinct hierarchies must not share cache slots"
+        );
+    }
+
+    #[test]
+    fn a64fx_preset_is_byte_identical_to_committed_oracle() {
+        // The PR-2 batch spec and its output were committed before the
+        // machine dimension existed. The refactored engine must reproduce
+        // those bytes exactly — with no machine directive AND with the
+        // a64fx preset spelled out.
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let spec_text = std::fs::read_to_string(root.join("results/batch_pr2.spec")).unwrap();
+        let oracle = std::fs::read_to_string(root.join("results/batch_pr2_oracle.jsonl")).unwrap();
+
+        let implicit = run_batch(&BatchSpec::parse(&spec_text).unwrap()).unwrap();
+        assert_eq!(implicit.to_json_lines(), oracle, "implicit a64fx default");
+
+        let explicit_text = format!("{spec_text}machine a64fx\n");
+        let explicit = run_batch(&BatchSpec::parse(&explicit_text).unwrap()).unwrap();
+        assert_eq!(explicit.to_json_lines(), oracle, "explicit `machine a64fx`");
+    }
+
+    #[test]
+    fn ecm_directive_attaches_estimates() {
+        let spec = BatchSpec::parse(
+            "corpus count=2 scale=64 seed=5\n\
+             settings off,2\n\
+             threads 4\n\
+             scale 64\n\
+             ecm on\n",
+        )
+        .unwrap();
+        let result = run_batch(&spec).unwrap();
+        for report in &result.reports {
+            let ecm = report.ecm.as_ref().expect("ecm on attaches an estimate");
+            assert!(ecm.gflops.is_finite() && ecm.gflops > 0.0, "{ecm:?}");
+            assert!(ecm.t_total_s > 0.0);
+            // a64fx composes serially: total = core + all link times.
+            let links: f64 = ecm.links.iter().map(|(_, t)| t).sum();
+            assert!(
+                (ecm.t_total_s - (ecm.t_core_s + links)).abs() <= 1e-12 * ecm.t_total_s.max(1.0),
+                "serial composition: {ecm:?}"
+            );
+            assert_eq!(ecm.links.last().unwrap().0, "mem");
+            let line = report.to_json_line();
+            assert!(line.contains(",\"ecm\":{\"gflops\":"), "{line}");
+        }
+        // Sector capping changes predicted misses, so the memory link —
+        // and with it the ECM estimate — must respond per setting.
+        let off = &result.reports[0];
+        let capped = &result.reports[1];
+        assert_eq!(off.setting, SectorSetting::Off);
+        if off.prediction.l2_misses != capped.prediction.l2_misses {
+            let (a, b) = (
+                off.ecm.as_ref().unwrap().gflops,
+                capped.ecm.as_ref().unwrap().gflops,
+            );
+            assert_ne!(a, b, "ECM must track the per-setting miss counts");
+        }
+
+        // Streaming attaches the same estimates.
+        let cache = ProfileCache::new();
+        let mut streamed = Vec::new();
+        run_streaming(&spec, &cache, &CancelToken::never(), |r| {
+            streamed.push(r.clone())
+        })
+        .unwrap();
+        assert_eq!(streamed, result.reports);
+    }
+
+    #[test]
+    fn generic_x86_ecm_overlaps_instead_of_summing() {
+        let spec = BatchSpec::parse(
+            "corpus count=1 scale=16 seed=5\n\
+             settings off\n\
+             methods B\n\
+             threads 2\n\
+             scale 16\n\
+             machine generic-x86\n\
+             ecm on\n",
+        )
+        .unwrap();
+        let result = run_batch(&spec).unwrap();
+        let report = &result.reports[0];
+        assert_eq!(report.machine.as_deref(), Some("generic-x86"));
+        let ecm = report.ecm.as_ref().unwrap();
+        // Overlapped composition: the total is the slowest single stage,
+        // not the sum.
+        let slowest = ecm
+            .links
+            .iter()
+            .map(|(_, t)| *t)
+            .fold(ecm.t_core_s, f64::max);
+        assert!(
+            (ecm.t_total_s - slowest).abs() <= 1e-12 * slowest.max(1.0),
+            "overlapped composition: {ecm:?}"
+        );
+        // Three cache levels + memory = links l1-l2, l2-l3, mem.
+        let labels: Vec<&str> = ecm.links.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(labels, ["l1-l2", "l2-l3", "mem"]);
     }
 }

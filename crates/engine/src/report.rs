@@ -10,8 +10,26 @@ use locality_core::{Method, Prediction, SectorSetting};
 use memtrace::Array;
 use std::fmt::Write as _;
 
+/// An ECM-style throughput estimate attached to a report (see the
+/// `machine` crate's `ecm` module for the composition rules). Times are
+/// per measured iteration, on the critical-path core/domain.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EcmSummary {
+    /// Predicted throughput in Gflop/s.
+    pub gflops: f64,
+    /// Composed total runtime in seconds.
+    pub t_total_s: f64,
+    /// In-core execution seconds.
+    pub t_core_s: f64,
+    /// Per-link transfer seconds, innermost first, labelled (`"l1-l2"`,
+    /// ..., `"mem"`).
+    pub links: Vec<(String, f64)>,
+    /// Largest single contribution: `"core"`, a link label, or `"mem"`.
+    pub bottleneck: String,
+}
+
 /// The outcome of one [`Job`].
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Report {
     /// Batch position (output order).
     pub id: usize,
@@ -33,6 +51,11 @@ pub struct Report {
     pub threads: usize,
     /// The prediction itself.
     pub prediction: Prediction,
+    /// Machine label for non-default machines (`None` on the a64fx
+    /// default, keeping legacy report bytes).
+    pub machine: Option<String>,
+    /// ECM throughput estimate, when the spec asked for one.
+    pub ecm: Option<EcmSummary>,
 }
 
 /// Whole-batch accounting, emitted as the final JSON line.
@@ -109,9 +132,45 @@ impl Report {
                 self.prediction.misses_of(*array)
             );
         }
-        out.push_str("}}");
+        out.push('}');
+        // Optional fields come last so default (a64fx, no-ECM) reports
+        // keep their historical bytes exactly.
+        if let Some(machine) = &self.machine {
+            out.push_str(",\"machine\":\"");
+            json_escape(&mut out, machine);
+            out.push('"');
+        }
+        if let Some(ecm) = &self.ecm {
+            let _ = write!(
+                out,
+                ",\"ecm\":{{\"gflops\":{},\"t_total_s\":{},\"t_core_s\":{},\"links\":{{",
+                fmt_f64(ecm.gflops),
+                fmt_f64(ecm.t_total_s),
+                fmt_f64(ecm.t_core_s),
+            );
+            for (i, (label, seconds)) in ecm.links.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "{}\"{label}\":{}",
+                    if i == 0 { "" } else { "," },
+                    fmt_f64(*seconds)
+                );
+            }
+            let _ = write!(out, "}},\"bottleneck\":\"{}\"}}", ecm.bottleneck);
+        }
+        out.push('}');
         out
     }
+}
+
+/// Deterministic JSON number for an ECM quantity: four significant
+/// digits in scientific notation — stable across platforms, precise
+/// enough for a model whose inputs are themselves estimates.
+fn fmt_f64(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    format!("{v:.3e}")
 }
 
 impl BatchStats {
@@ -140,6 +199,7 @@ impl BatchResult {
 }
 
 /// Builds a report from a finished job (helper for the engine).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn report_for(
     job: &Job,
     name: &str,
@@ -147,6 +207,8 @@ pub(crate) fn report_for(
     shape: (usize, usize, usize),
     threads: usize,
     prediction: Prediction,
+    machine: Option<String>,
+    ecm: Option<EcmSummary>,
 ) -> Report {
     Report {
         id: job.id,
@@ -159,6 +221,8 @@ pub(crate) fn report_for(
         setting: job.setting,
         threads,
         prediction,
+        machine,
+        ecm,
     }
 }
 
@@ -182,6 +246,8 @@ mod tests {
                 l2_misses: 15,
                 by_array: [1, 2, 3, 4, 5],
             },
+            machine: None,
+            ecm: None,
         }
     }
 
@@ -202,6 +268,42 @@ mod tests {
         let mut r = sample();
         r.setting = SectorSetting::Off;
         assert!(r.to_json_line().contains("\"setting\":\"off\""));
+    }
+
+    #[test]
+    fn machine_and_ecm_fields_append_after_by_array() {
+        let mut r = sample();
+        r.machine = Some("generic-x86".to_string());
+        r.ecm = Some(EcmSummary {
+            gflops: 12.5,
+            t_total_s: 1.6e-4,
+            t_core_s: 4.0e-5,
+            links: vec![("l1-l2".to_string(), 2.0e-5), ("mem".to_string(), 1.0e-4)],
+            bottleneck: "mem".to_string(),
+        });
+        let line = r.to_json_line();
+        assert!(
+            line.contains("\"rowptr\":5},\"machine\":\"generic-x86\",\"ecm\":{"),
+            "{line}"
+        );
+        assert!(
+            line.ends_with(
+                "\"ecm\":{\"gflops\":1.250e1,\"t_total_s\":1.600e-4,\"t_core_s\":4.000e-5,\
+                 \"links\":{\"l1-l2\":2.000e-5,\"mem\":1.000e-4},\"bottleneck\":\"mem\"}}"
+            ),
+            "{line}"
+        );
+        // Default reports keep the legacy shape: no machine, no ecm.
+        let legacy = sample().to_json_line();
+        assert!(!legacy.contains("machine"));
+        assert!(!legacy.contains("ecm"));
+    }
+
+    #[test]
+    fn ecm_floats_are_deterministic_json_numbers() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(12.5), "1.250e1");
+        assert_eq!(fmt_f64(1.0 / 3.0e9), "3.333e-10");
     }
 
     #[test]

@@ -11,8 +11,9 @@ use sparsemat::CsrMatrix;
 
 /// Cache-line size of the A64FX in bytes (unusually large; the paper notes
 /// this makes `x`-vector traffic up to 95 % of the data volume in the worst
-/// case).
-pub const A64FX_LINE_BYTES: usize = 256;
+/// case). Re-exported from the `machine` crate — the single source of
+/// truth for hardware geometry.
+pub use machine::A64FX_LINE_BYTES;
 
 /// The five data structures of CSR SpMV (Listing 1 of the paper).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -271,7 +272,7 @@ mod tests {
         assert_eq!(l.array_lines(Array::X), 32); // ceil(8000/256) = 32 (exact: 31.25 -> 32)
         assert_eq!(
             l.array_lines(Array::ColIdx),
-            (5000 * 4usize).div_ceil(256) as u64
+            (5000 * 4usize).div_ceil(A64FX_LINE_BYTES) as u64
         );
     }
 

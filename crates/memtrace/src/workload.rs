@@ -1137,6 +1137,7 @@ impl SpmvWorkload for Workload {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::layout::A64FX_LINE_BYTES;
     use crate::sink::VecSink;
     use sparsemat::CooMatrix;
 
@@ -1435,7 +1436,7 @@ mod tests {
                     SpmvWorkload::fingerprint(&spmm),
                     SpmvWorkload::fingerprint(&base)
                 );
-                assert_eq!(spmm.layout(256), base.layout(256));
+                assert_eq!(spmm.layout(A64FX_LINE_BYTES), base.layout(A64FX_LINE_BYTES));
                 assert_eq!(spmm.x_refs(), base.x_refs());
                 assert_eq!(spmm.stream_entries(), base.stream_entries());
                 assert_eq!(spmm.y_row_bytes(), base.y_row_bytes());

@@ -61,6 +61,10 @@ pub struct ServeConfig {
     /// Deadline applied to predict requests that bring none of their
     /// own (request field first, then the spec's `deadline_ms`).
     pub default_deadline_ms: Option<u64>,
+    /// Machine applied to predict requests whose spec has no `machine`
+    /// directive of its own. `None` keeps the engine default (the a64fx
+    /// preset) — and the legacy report bytes.
+    pub default_machine: Option<machine::MachineSpec>,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +77,7 @@ impl Default for ServeConfig {
             cache: 256,
             max_line: 1 << 20,
             default_deadline_ms: None,
+            default_machine: None,
         }
     }
 }
@@ -419,7 +424,7 @@ fn submit_predict(
     spec_text: &str,
     deadline_ms: Option<u64>,
 ) {
-    let spec = match BatchSpec::parse(spec_text) {
+    let mut spec = match BatchSpec::parse(spec_text) {
         Ok(spec) => spec,
         Err(e) => {
             let message = format!("invalid spec: {e}");
@@ -427,6 +432,13 @@ fn submit_predict(
             return;
         }
     };
+    // A spec with its own `machine` directives wins; otherwise the
+    // daemon's default machine (if any) applies.
+    if spec.machines.is_empty() {
+        if let Some(m) = &shared.config.default_machine {
+            spec.machines.push(m.clone());
+        }
+    }
     // Deadline precedence: request field, spec directive, server default.
     // The clock starts here — time spent queued is the client's budget.
     let budget = deadline_ms

@@ -65,6 +65,7 @@ use locality_core::{
     classify_for, CgWorkload, LocalityProfile, MatrixClass, Method, Prediction, ReorderSpec,
     RhsLayout, SectorSetting, SpmmWorkload, SpmvWorkload, Workload,
 };
+use machine::{CacheHierarchy, HierarchyConfig, MachineSpec};
 use memtrace::{Array, ArraySet, TraceCursor, CG_SWEEP_REFS_PER_ROW};
 use sparsemat::SellMatrix;
 use std::time::Instant;
@@ -134,6 +135,13 @@ pub struct CheckPlan {
     /// CSR vs SELL (C=1, σ=1) cross-format band: the two views differ
     /// only in their metadata stream, so the band is tight.
     pub cross_format_tol: Tolerance,
+    /// The machine the invariants run against (default: the a64fx
+    /// preset, byte-identical to the pre-refactor harness).
+    pub machine_spec: MachineSpec,
+    /// Run the simulator cross-checks (5–6)? Off for non-a64fx machines:
+    /// the tolerance bands were calibrated against the A64FX simulator,
+    /// so other hierarchies get a model-only pass.
+    pub simulate: bool,
 }
 
 impl CheckPlan {
@@ -217,18 +225,194 @@ impl CheckPlan {
                 cliff: 0.75,
                 floor: 96.0,
             },
+            machine_spec: MachineSpec::A64fx,
+            simulate: true,
         }
     }
 
-    /// The machine every check runs against: the scaled A64FX with true
-    /// LRU and the prefetcher off — the configuration under which the
-    /// model is exact up to set conflicts (see `tests/model_vs_sim.rs`).
+    /// Retargets the plan at `spec`'s machine. The a64fx preset keeps the
+    /// calibrated bands and the simulator cross-checks; any other
+    /// hierarchy runs model-only (the simulator bands were calibrated on
+    /// the A64FX) with a widened method envelope — the documented (B)
+    /// vs (A) band was measured on 256 B lines, and shorter lines put
+    /// more of the footprint on partition boundaries.
+    pub fn with_machine(mut self, spec: &MachineSpec) -> Self {
+        self.machine_spec = spec.clone();
+        if !spec.is_default() {
+            self.simulate = false;
+            for tol in &mut self.envelope_tol {
+                tol.rel = tol.rel.max(0.45);
+            }
+        }
+        self
+    }
+
+    /// The machine every check runs against: the plan's hierarchy at the
+    /// corpus scale, with true LRU and the prefetcher off — the
+    /// configuration under which the model is exact up to set conflicts
+    /// (see `tests/model_vs_sim.rs`). The harness pins two cores per
+    /// domain so the `threads` sweep exercises multi-domain runs. For the
+    /// a64fx preset this is byte-identical to the pre-refactor
+    /// `a64fx_scaled(SCALE)` construction (the machine-identity invariant
+    /// pins that).
     pub fn machine(&self) -> MachineConfig {
-        let mut cfg = MachineConfig::a64fx_scaled(SCALE).with_prefetch(PrefetchConfig::off());
+        let mut cfg = match &self.machine_spec {
+            MachineSpec::A64fx => MachineConfig::a64fx_scaled(SCALE),
+            spec => MachineConfig::from_hierarchy(&spec.hierarchy(SCALE)),
+        }
+        .with_prefetch(PrefetchConfig::off());
         cfg.replacement = Replacement::Lru;
         cfg.cores_per_domain = 2;
         cfg
     }
+}
+
+/// The machine-identity invariant: run once per validation, on the a64fx
+/// preset only. Pins (a) the unscaled preset hierarchy to the frozen
+/// pre-refactor A64FX geometry constants, (b) the hierarchy-projected
+/// harness config to the legacy `a64fx_scaled` constructor field for
+/// field, and (c) predictions computed through the projected config to
+/// the legacy config's bytes on one corpus matrix. Any drift in the
+/// machine crate that would silently change every downstream prediction
+/// surfaces here as an exact-comparison divergence.
+pub fn machine_identity(plan: &CheckPlan, harness_seed: u64) -> (Vec<Divergence>, u64) {
+    let mut divergences = Vec::new();
+    let mut checks = 0u64;
+    if !plan.machine_spec.is_default() {
+        return (divergences, checks);
+    }
+    let mut record = |checks: &mut u64, what: &str, expected: f64, actual: f64| {
+        *checks += 1;
+        if expected != actual {
+            divergences.push(Divergence {
+                check: Check::MachineIdentity,
+                matrix: "machine:a64fx".to_string(),
+                family: "preset".to_string(),
+                class: "-".to_string(),
+                fingerprint: 0,
+                seed: harness_seed,
+                index: 0,
+                setting: None,
+                threads: 1,
+                expected,
+                actual,
+                tolerance: 0.0,
+                detail: what.to_string(),
+            });
+        }
+    };
+
+    // (a) Frozen unscaled geometry: the constants the models were built on.
+    let hier = HierarchyConfig::a64fx();
+    record(
+        &mut checks,
+        "preset line bytes",
+        256.0,
+        hier.line_bytes() as f64,
+    );
+    record(
+        &mut checks,
+        "preset L1 size",
+        (64 << 10) as f64,
+        hier.level(0).geometry.size_bytes as f64,
+    );
+    record(
+        &mut checks,
+        "preset L1 ways",
+        4.0,
+        hier.level(0).geometry.ways as f64,
+    );
+    record(
+        &mut checks,
+        "preset L2 size",
+        // The frozen pre-refactor value, spelled out: this oracle must
+        // not be derived from the machine crate it is checking.
+        8.0 * 1024.0 * 1024.0,
+        hier.last_level().geometry.size_bytes as f64,
+    );
+    record(
+        &mut checks,
+        "preset L2 ways",
+        16.0,
+        hier.last_level().geometry.ways as f64,
+    );
+    record(&mut checks, "preset cores", 48.0, hier.num_cores as f64);
+    record(
+        &mut checks,
+        "preset cores per domain",
+        12.0,
+        hier.cores_per_domain as f64,
+    );
+
+    // (b) The harness config through both constructions.
+    let legacy = plan.machine();
+    let mut projected = MachineConfig::from_hierarchy(&HierarchyConfig::a64fx().scaled(SCALE))
+        .with_prefetch(PrefetchConfig::off());
+    projected.replacement = Replacement::Lru;
+    projected.cores_per_domain = 2;
+    record(
+        &mut checks,
+        "projected L1 size",
+        legacy.l1.size_bytes as f64,
+        projected.l1.size_bytes as f64,
+    );
+    record(
+        &mut checks,
+        "projected L2 size",
+        legacy.l2.size_bytes as f64,
+        projected.l2.size_bytes as f64,
+    );
+    record(
+        &mut checks,
+        "projected L2 ways",
+        legacy.l2.ways as f64,
+        projected.l2.ways as f64,
+    );
+    record(
+        &mut checks,
+        "projected line bytes",
+        legacy.l2.line_bytes as f64,
+        projected.l2.line_bytes as f64,
+    );
+    record(
+        &mut checks,
+        "projected == legacy (full config)",
+        1.0,
+        (projected == legacy) as u64 as f64,
+    );
+
+    // (c) Prediction byte-identity on one corpus matrix, both methods.
+    let spec0 = &crate::corpus::stratified(4, harness_seed)[0];
+    let matrix = build(spec0);
+    for method in [Method::A, Method::B] {
+        let expected = LocalityProfile::compute(&matrix, &legacy, method, 1)
+            .evaluate(&legacy, &plan.sweep_settings);
+        let actual = LocalityProfile::compute(&matrix, &projected, method, 1)
+            .evaluate(&projected, &plan.sweep_settings);
+        checks += 1;
+        if expected != actual {
+            let (e, a) = (expected[0].l2_misses as f64, actual[0].l2_misses as f64);
+            divergences.push(Divergence {
+                check: Check::MachineIdentity,
+                matrix: spec0.name.clone(),
+                family: spec0.family.to_string(),
+                class: "-".to_string(),
+                fingerprint: matrix.fingerprint(),
+                seed: harness_seed,
+                index: 0,
+                setting: None,
+                threads: 1,
+                expected: e,
+                actual: a,
+                tolerance: 0.0,
+                detail: format!(
+                    "method {method:?}: hierarchy-projected config predicts differently \
+                     from the legacy a64fx constructor"
+                ),
+            });
+        }
+    }
+    (divergences, checks)
 }
 
 /// Everything `run_case` learned about one matrix.
@@ -729,8 +913,9 @@ pub fn run_case(spec: &CaseSpec, plan: &CheckPlan, harness_seed: u64) -> CaseRes
         );
 
         // Simulator cross-check: method (A) vs PMU-style counters, plus
-        // PMU self-consistency on every snapshot.
-        for &setting in &plan.check_settings {
+        // PMU self-consistency on every snapshot. Skipped on non-a64fx
+        // machines (model-only pass — see `CheckPlan::with_machine`).
+        for &setting in plan.check_settings.iter().filter(|_| plan.simulate) {
             let t = Instant::now();
             let sim = match setting {
                 SectorSetting::Off => simulate_spmv(&matrix, &cfg, ArraySet::EMPTY, threads, 1),

@@ -55,12 +55,12 @@ fn pick(state: u64, lo: usize, hi: usize) -> usize {
 /// Class-1 partition-0 capacity in bytes at [`SCALE`] with the 5-way
 /// sector split (`11/16` of one segment).
 pub fn partition0_bytes() -> usize {
-    (8 << 20) / SCALE * 11 / 16
+    segment_bytes() * 11 / 16
 }
 
 /// One L2 segment in bytes at [`SCALE`].
 pub fn segment_bytes() -> usize {
-    (8 << 20) / SCALE
+    a64fx::MachineConfig::a64fx_scaled(SCALE).l2.size_bytes
 }
 
 /// Builds the stratified corpus: `count` specs split evenly over the four

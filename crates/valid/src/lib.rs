@@ -34,6 +34,7 @@ pub use record::{Check, Divergence, RunStats, StageNanos};
 
 use locality_core::ReorderSpec;
 use locality_engine::pool;
+use machine::MachineSpec;
 
 /// Knobs for one validation run.
 #[derive(Clone, Debug)]
@@ -54,6 +55,10 @@ pub struct ValidationConfig {
     /// Row reordering applied to every corpus matrix before checking —
     /// validates the invariants on reordered workloads.
     pub reorder: ReorderSpec,
+    /// The machine the invariants run against. The default a64fx preset
+    /// keeps the calibrated bands and the simulator cross-checks; other
+    /// machines run the model-only plan (see `CheckPlan::with_machine`).
+    pub machine: MachineSpec,
 }
 
 impl Default for ValidationConfig {
@@ -65,6 +70,7 @@ impl Default for ValidationConfig {
             smoke: false,
             sell_formats: None,
             reorder: ReorderSpec::None,
+            machine: MachineSpec::A64fx,
         }
     }
 }
@@ -105,21 +111,27 @@ impl ValidationReport {
 /// of `workers`; only the `stage_ns` wall-clock metrics vary run to run.
 pub fn run_validation(config: &ValidationConfig) -> ValidationReport {
     let specs = corpus::stratified(config.matrices, config.seed);
-    let mut plan = CheckPlan::new(config.smoke);
+    let mut plan = CheckPlan::new(config.smoke).with_machine(&config.machine);
     if let Some(formats) = &config.sell_formats {
         plan.sell_formats = formats.clone();
     }
     plan.reorder = config.reorder;
     let seed = config.seed;
+
+    // The run-level machine-identity pass: pins the a64fx preset's
+    // hierarchy projection to the frozen pre-refactor constants and
+    // prediction bytes before any per-case work runs.
+    let (mut divergences, identity_checks) = checks::machine_identity(&plan, seed);
+
     let results = pool::run_indexed(config.workers, &specs, |_, spec| {
         checks::run_case(spec, &plan, seed)
     });
 
     let mut stats = RunStats {
         matrices: specs.len(),
+        checks_run: identity_checks,
         ..RunStats::default()
     };
-    let mut divergences = Vec::new();
     for r in results {
         stats.by_class[r.class_index] += 1;
         stats.checks_run += r.checks_run;
@@ -155,6 +167,53 @@ mod tests {
         assert!(report.stats.checks_run > 80);
         let line = report.to_json_lines();
         assert!(line.contains("\"divergences\":0"));
+    }
+
+    /// The model-only pass for a non-a64fx hierarchy: same corpus, same
+    /// model invariants, no simulator cross-checks, and a clean verdict.
+    #[test]
+    fn generic_x86_smoke_runs_model_only() {
+        let a64fx = ValidationConfig {
+            matrices: 4,
+            seed: 2023,
+            workers: 2,
+            smoke: true,
+            ..ValidationConfig::default()
+        };
+        let x86 = ValidationConfig {
+            machine: MachineSpec::GenericX86,
+            ..a64fx.clone()
+        };
+        let report = run_validation(&x86);
+        assert!(
+            report.passed(),
+            "divergences on the generic-x86 smoke corpus:\n{}",
+            report.to_json_lines()
+        );
+        // No simulator cross-checks and no machine-identity pass: strictly
+        // fewer comparisons than the a64fx run of the same corpus.
+        let reference = run_validation(&a64fx);
+        assert!(
+            report.stats.checks_run < reference.stats.checks_run,
+            "{} vs {}",
+            report.stats.checks_run,
+            reference.stats.checks_run
+        );
+    }
+
+    /// The machine-identity pass runs (and passes) on the default plan,
+    /// and is skipped entirely for non-a64fx machines.
+    #[test]
+    fn machine_identity_pins_the_a64fx_preset() {
+        let plan = checks::CheckPlan::new(true);
+        let (divergences, checks_run) = checks::machine_identity(&plan, 2023);
+        assert!(divergences.is_empty(), "{divergences:#?}");
+        assert!(checks_run >= 10, "{checks_run}");
+
+        let x86 = checks::CheckPlan::new(true).with_machine(&MachineSpec::GenericX86);
+        let (divergences, checks_run) = checks::machine_identity(&x86, 2023);
+        assert!(divergences.is_empty() && checks_run == 0);
+        assert!(!x86.simulate, "non-a64fx machines run model-only");
     }
 
     #[test]

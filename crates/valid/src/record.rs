@@ -43,6 +43,10 @@ pub enum Check {
     /// Adding right-hand sides must never reduce predicted misses, and
     /// must leave the matrix-stream (compulsory) misses unchanged.
     ScenarioAmplification,
+    /// The a64fx preset projected through the `machine` hierarchy must
+    /// reproduce the frozen pre-refactor geometry constants and predict
+    /// byte-identically to the legacy constructor.
+    MachineIdentity,
 }
 
 impl Check {
@@ -59,6 +63,7 @@ impl Check {
             Check::ScenarioIdentity => "scenario_identity",
             Check::ScenarioConservation => "scenario_conservation",
             Check::ScenarioAmplification => "scenario_amplification",
+            Check::MachineIdentity => "machine_identity",
         }
     }
 }

@@ -256,4 +256,34 @@ assert cg >= plain, f"CG-iteration misses below its inner SpMV: {cg} vs {plain}"
 print(f"scenario smoke ok: misses {plain} (spmv) -> {rhs4} (rhs 4), {cg} (cg)")
 EOF
 
+echo "== machine smoke: presets, ECM, and the frozen a64fx oracle =="
+# The a64fx preset — implicit default and explicit --machine a64fx —
+# must stay byte-identical to the frozen pre-refactor batch output
+# (results/batch_pr2_oracle.jsonl, same spec as the telemetry smoke);
+# generic-x86 must run the same spec end to end with machine-tagged
+# jobs and ECM throughput estimates attached, and must clear the
+# model-only validation pass (the default a64fx harness already ran
+# above with the simulator armed).
+cmp results/batch_pr2_oracle.jsonl "$OBS_TMP/report_plain.jsonl" || {
+    echo "ci: default-machine batch drifted from the frozen oracle" >&2
+    exit 1
+}
+cargo run --release --offline --bin spmv-locality -- \
+    batch "$OBS_TMP/jobs.spec" --machine a64fx > "$OBS_TMP/machine_a64fx.jsonl"
+cmp results/batch_pr2_oracle.jsonl "$OBS_TMP/machine_a64fx.jsonl" || {
+    echo "ci: --machine a64fx drifted from the frozen pre-refactor oracle" >&2
+    exit 1
+}
+cargo run --release --offline --bin spmv-locality -- \
+    batch "$OBS_TMP/jobs.spec" --machine generic-x86 --ecm \
+    > "$OBS_TMP/machine_x86.jsonl"
+grep -q '"machine":"generic-x86"' "$OBS_TMP/machine_x86.jsonl" || {
+    echo "ci: generic-x86 jobs are not machine-tagged" >&2; exit 1
+}
+grep -q '"ecm":{"gflops":' "$OBS_TMP/machine_x86.jsonl" || {
+    echo "ci: --ecm attached no throughput estimates" >&2; exit 1
+}
+cargo run --release --offline --bin spmv-locality -- \
+    validate --matrices 4 --smoke --machine generic-x86
+
 echo "ci: all gates passed"

@@ -5,19 +5,22 @@
 //! spmv-locality analyze  <matrix.mtx> [--threads N] [--scale N]
 //!                        [--format csr|sell:C,S] [--reorder none|rcm]
 //!                        [--rhs K] [--rhs-layout row|col] [--workload W]
+//!                        [--machine M] [--ecm]
 //! spmv-locality tune     <matrix.mtx> [--threads N] [--scale N]
 //!                        [--format csr|sell:C,S] [--reorder none|rcm]
 //!                        [--rhs K] [--rhs-layout row|col] [--workload W]
+//!                        [--machine M] [--ecm]
 //! spmv-locality simulate <matrix.mtx> [--threads N] [--scale N] [--l2-ways W]
 //!                        [--reorder none|rcm]
 //! spmv-locality batch    <spec-file>  [--workers N] [--format F] [--reorder R]
 //!                        [--rhs K] [--rhs-layout row|col] [--workload W]
-//!                        [--deadline-ms N]
+//!                        [--deadline-ms N] [--machine M]... [--ecm]
 //! spmv-locality validate [--matrices N] [--seed S] [--workers N] [--smoke]
 //!                        [--format csr|sell:C,S] [--reorder none|rcm]
+//!                        [--machine M]
 //! spmv-locality serve    [--unix PATH] [--tcp ADDR] [--executors N]
 //!                        [--queue N] [--cache N] [--max-line BYTES]
-//!                        [--deadline-ms N]
+//!                        [--deadline-ms N] [--machine M]
 //! ```
 //!
 //! `analyze` prints the matrix statistics, its §3.1 classification and the
@@ -54,6 +57,20 @@
 //! byte-identical to the plain SpMV. The simulator executes the SpMV
 //! kernel itself, so `simulate` accepts neither flag.
 //!
+//! `--machine M` selects the cache hierarchy the model analyses: the
+//! `a64fx` preset (the default — byte-identical output to builds before
+//! the machine abstraction existed), `generic-x86` (a 3-level
+//! Skylake-like hierarchy with 64 B lines), or a `custom:<spec>` string
+//! (see README, "Machine models", for the grammar). For `batch` the flag
+//! may repeat — the batch then sweeps every machine per matrix — and
+//! overrides the spec file's `machine` directives; for `serve` it sets
+//! the default machine applied to requests whose spec names none; for
+//! `validate` it retargets the harness (non-a64fx machines run the
+//! model-only plan). The simulator is A64FX-only, so `simulate` takes no
+//! `--machine`. `--ecm` (analyze, tune, batch) attaches ECM-style
+//! throughput estimates — in-core plus per-link transfer times composed
+//! into Gflop/s — to every prediction.
+//!
 //! `--metrics <path>` (every subcommand) enables the telemetry subsystem
 //! and writes its structured JSON metrics document — span tree with wall
 //! times, counters, histograms, peak-RSS checkpoints — to `<path>` when
@@ -72,6 +89,8 @@ struct Cli {
     format: FormatSpec,
     reorder: ReorderSpec,
     scenario: ScenarioPick,
+    machine: MachineSpec,
+    ecm: bool,
     metrics: Option<String>,
 }
 
@@ -124,15 +143,16 @@ fn usage() -> ! {
          [--threads N] [--scale N] [--l2-ways W] \
          [--format csr|sell:C,S] [--reorder none|rcm] \
          [--rhs K] [--rhs-layout row|col] [--workload spmv|cg|spmm:K] \
-         [--metrics PATH]\n\
+         [--machine a64fx|generic-x86|custom:SPEC] [--ecm] [--metrics PATH]\n\
          \x20      spmv-locality batch <spec-file> [--workers N] \
          [--format F] [--reorder R] [--rhs K] [--rhs-layout row|col] \
-         [--workload W] [--metrics PATH]\n\
+         [--workload W] [--machine M]... [--ecm] [--metrics PATH]\n\
          \x20      spmv-locality validate [--matrices N] [--seed S] \
-         [--workers N] [--smoke] [--format F] [--reorder R] [--metrics PATH]\n\
+         [--workers N] [--smoke] [--format F] [--reorder R] [--machine M] \
+         [--metrics PATH]\n\
          \x20      spmv-locality serve [--unix PATH] [--tcp ADDR] \
          [--executors N] [--queue N] [--cache N] [--max-line BYTES] \
-         [--deadline-ms N] [--metrics PATH]"
+         [--deadline-ms N] [--machine M] [--metrics PATH]"
     );
     std::process::exit(2);
 }
@@ -196,6 +216,14 @@ fn parse_workload(value: Option<String>) -> ScenarioSpec {
     })
 }
 
+/// Parses the value of a `--machine` flag, exiting with the parse error.
+fn parse_machine(value: Option<String>) -> MachineSpec {
+    MachineSpec::parse(value.as_deref().unwrap_or("")).unwrap_or_else(|e| {
+        eprintln!("spmv-locality: {e}");
+        std::process::exit(2);
+    })
+}
+
 /// Picks the sweep setting with the fewest predicted misses for `tune`.
 ///
 /// Returns a typed error instead of panicking when the sweep is empty —
@@ -235,6 +263,7 @@ fn run_validate_command(args: impl Iterator<Item = String>) -> ! {
                 });
             }
             "--reorder" => config.reorder = parse_reorder(args.next()),
+            "--machine" => config.machine = parse_machine(args.next()),
             "--metrics" => metrics = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
@@ -283,6 +312,7 @@ fn run_serve_command(args: impl Iterator<Item = String>) -> ! {
             "--deadline-ms" => {
                 config.default_deadline_ms = Some(value("--deadline-ms").max(1) as u64);
             }
+            "--machine" => config.default_machine = Some(parse_machine(args.next())),
             "--metrics" => metrics = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
@@ -326,9 +356,19 @@ fn run_batch_command(spec_path: &str, args: impl Iterator<Item = String>) -> ! {
     });
     let mut metrics = None;
     let mut scenario = ScenarioPick::default();
+    let mut machines: Vec<MachineSpec> = Vec::new();
     let mut args = args.peekable();
     while let Some(flag) = args.next() {
         match flag.as_str() {
+            "--machine" => {
+                let m = parse_machine(args.next());
+                if machines.contains(&m) {
+                    eprintln!("spmv-locality: duplicate --machine {}", m.label());
+                    std::process::exit(2);
+                }
+                machines.push(m);
+            }
+            "--ecm" => spec.ecm = true,
             "--workers" => {
                 spec.workers = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
                     eprintln!("spmv-locality: expected a number after --workers");
@@ -366,6 +406,9 @@ fn run_batch_command(spec_path: &str, args: impl Iterator<Item = String>) -> ! {
     }
     if scenario.rhs.is_some() || scenario.workload.is_some() || scenario.rhs_layout.is_some() {
         spec.scenario = scenario.resolve();
+    }
+    if !machines.is_empty() {
+        spec.machines = machines;
     }
     metrics_setup(&metrics);
     match run_batch(&spec) {
@@ -410,6 +453,8 @@ fn parse_cli() -> Cli {
         format: FormatSpec::Csr,
         reorder: ReorderSpec::None,
         scenario: ScenarioPick::default(),
+        machine: MachineSpec::A64fx,
+        ecm: false,
         metrics: None,
     };
     while let Some(flag) = args.next() {
@@ -428,6 +473,8 @@ fn parse_cli() -> Cli {
             "--rhs" => cli.scenario.rhs = Some(value("--rhs").max(1)),
             "--rhs-layout" => cli.scenario.rhs_layout = Some(parse_rhs_layout(args.next())),
             "--workload" => cli.scenario.workload = Some(parse_workload(args.next())),
+            "--machine" => cli.machine = parse_machine(args.next()),
+            "--ecm" => cli.ecm = true,
             "--metrics" => cli.metrics = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
@@ -443,16 +490,27 @@ fn parse_cli() -> Cli {
         );
         std::process::exit(2);
     }
+    if cli.command == "simulate" && (!cli.machine.is_default() || cli.ecm) {
+        eprintln!(
+            "spmv-locality: the simulator models the A64FX and reports its own \
+             performance estimate (drop --machine/--ecm)"
+        );
+        std::process::exit(2);
+    }
     cli
 }
 
-fn machine(scale: usize, threads: usize) -> MachineConfig {
-    let cfg = if scale <= 1 {
-        MachineConfig::a64fx()
-    } else {
-        MachineConfig::a64fx_scaled(scale)
-    };
-    cfg.with_cores(threads.max(1))
+/// The modeled machine: the selected hierarchy at the CLI's scale and
+/// thread count. For the default a64fx preset this is byte-identical to
+/// the historical `a64fx_scaled(scale).with_cores(threads)` config.
+fn machine_of(
+    spec: &MachineSpec,
+    scale: usize,
+    threads: usize,
+) -> (HierarchyConfig, MachineConfig) {
+    let hier = spec.hierarchy(scale).with_cores(threads.max(1));
+    let cfg = MachineConfig::from_hierarchy(&hier);
+    (hier, cfg)
 }
 
 fn main() {
@@ -464,7 +522,7 @@ fn main() {
             std::process::exit(1);
         })
         .clone();
-    let cfg = machine(cli.scale, cli.threads);
+    let (hier, cfg) = machine_of(&cli.machine, cli.scale, cli.threads);
     // Reorder first so statistics, classification and predictions all see
     // the same row order; then build the requested format view, then wrap
     // it in the scenario view (SpMM/CG) if one was requested.
@@ -486,6 +544,9 @@ fn main() {
             println!("matrix      : {}", cli.path);
             if cli.reorder != ReorderSpec::None {
                 println!("reorder     : {}", cli.reorder.label());
+            }
+            if !cli.machine.is_default() {
+                println!("machine     : {}", cli.machine.label());
             }
             println!(
                 "rows x cols : {} x {}",
@@ -548,15 +609,40 @@ fn main() {
                 100.0 * (preds[0].l2_misses as f64 - preds[1].l2_misses as f64)
                     / preds[0].l2_misses.max(1) as f64
             );
+            if cli.ecm {
+                for p in &preds {
+                    let e = ecm_for(&workload, &hier, p);
+                    println!(
+                        "ECM ({:<7}): {:.2} Gflop/s, {:.3} ms/iter, bottleneck {}",
+                        p.setting.label(),
+                        e.gflops,
+                        e.t_total_s * 1e3,
+                        e.bottleneck
+                    );
+                }
+            }
         }
         "tune" => {
             let settings: Vec<SectorSetting> = std::iter::once(SectorSetting::Off)
                 .chain((1..cfg.l2.ways).map(SectorSetting::L2Ways))
                 .collect();
             let preds = predict(&workload, &cfg, Method::B, &settings, cli.threads);
-            println!("{:<10} {:>14}", "setting", "pred. misses");
-            for p in &preds {
-                println!("{:<10} {:>14}", p.setting.label(), p.l2_misses);
+            if cli.ecm {
+                println!("{:<10} {:>14} {:>12}", "setting", "pred. misses", "Gflop/s");
+                for p in &preds {
+                    let e = ecm_for(&workload, &hier, p);
+                    println!(
+                        "{:<10} {:>14} {:>12.2}",
+                        p.setting.label(),
+                        p.l2_misses,
+                        e.gflops
+                    );
+                }
+            } else {
+                println!("{:<10} {:>14}", "setting", "pred. misses");
+                for p in &preds {
+                    println!("{:<10} {:>14}", p.setting.label(), p.l2_misses);
+                }
             }
             match tune_recommendation(&preds) {
                 Ok(best) => {

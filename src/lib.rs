@@ -56,6 +56,7 @@ pub use a64fx;
 pub use corpus;
 pub use locality_core;
 pub use locality_engine;
+pub use machine;
 pub use memtrace;
 pub use obs;
 pub use reuse;
@@ -72,7 +73,10 @@ pub mod prelude {
         classify_for, ErrorSummary, FormatSpec, LocalityProfile, MatrixClass, ReorderSpec,
         RhsLayout, ScenarioSpec, SpmvWorkload, Workload,
     };
-    pub use locality_engine::{run_batch, BatchResult, BatchSpec, ProfileCache};
+    pub use locality_engine::{
+        ecm_for, run_batch, BatchResult, BatchSpec, EcmSummary, ProfileCache,
+    };
+    pub use machine::{CacheHierarchy, HierarchyConfig, MachineParseError, MachineSpec};
     pub use memtrace::{Access, Array, ArraySet, DataLayout};
     pub use reuse::{ExactStack, MarkerStack, PartitionedStack, ReuseHistogram};
     pub use sparsemat::{spmv, CooMatrix, CsrMatrix, MatrixStats, RowPartition};

@@ -1,0 +1,114 @@
+//! Regression guard for the single-source-of-truth hardware geometry.
+//!
+//! PR 9 moved every A64FX cache constant (256 B lines, 8 MiB L2 segments,
+//! way counts) into the `machine` crate. This test walks the workspace
+//! sources and fails if a hard-coded line-size or segment-size literal
+//! creeps back in outside `crates/machine` — everything else must go
+//! through [`machine::A64FX_LINE_BYTES`], `CacheGeometry::new`, or a
+//! `HierarchyConfig` preset.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Collects every `.rs` file under `dir`, recursively.
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// True if the line hard-codes a geometry constant that must come from the
+/// machine crate instead.
+fn offending(line: &str) -> Option<&'static str> {
+    let code = line.split("//").next().unwrap_or(line);
+    // A64FX line size passed positionally to a layout builder.
+    if code.contains("layout(256") {
+        return Some("literal 256-byte line passed to layout()");
+    }
+    // The 8 MiB L2 segment spelled as a shift expression.
+    if code.contains("(8 << 20") {
+        return Some("literal 8 MiB L2 size; derive from MachineConfig/HierarchyConfig");
+    }
+    // Struct-literal or assignment of a numeric line size.
+    if let Some(idx) = code.find("line_bytes") {
+        let rest = code[idx + "line_bytes".len()..].trim_start();
+        for sep in [":", "="] {
+            if let Some(value) = rest.strip_prefix(sep) {
+                let value = value.trim_start();
+                if value.starts_with(|c: char| c.is_ascii_digit()) {
+                    return Some("numeric line_bytes; use CacheGeometry::new or A64FX_LINE_BYTES");
+                }
+            }
+        }
+    }
+    // Closed-form helpers called with the literal A64FX line.
+    if code.contains(", 256")
+        && [
+            "::of(&",
+            "DataLayout::new(&",
+            "stream_misses_",
+            "memory_bytes(",
+        ]
+        .iter()
+        .any(|needle| code.contains(needle))
+    {
+        return Some("literal 256-byte line passed to a geometry helper");
+    }
+    None
+}
+
+#[test]
+fn geometry_constants_live_only_in_the_machine_crate() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut files = Vec::new();
+    let crates = root.join("crates");
+    if let Ok(entries) = fs::read_dir(&crates) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            // The machine crate is the source of truth — literals are its job.
+            if path.is_dir() && path.file_name().is_some_and(|n| n != "machine") {
+                rust_sources(&path.join("src"), &mut files);
+            }
+        }
+    }
+    rust_sources(&root.join("src"), &mut files);
+    rust_sources(&root.join("tests"), &mut files);
+    rust_sources(&root.join("examples"), &mut files);
+    assert!(
+        files.len() > 20,
+        "workspace walk found only {} files; test is miswired",
+        files.len()
+    );
+
+    let this_file = Path::new(file!()).file_name().unwrap().to_owned();
+    let mut violations = Vec::new();
+    for path in files {
+        if path.file_name() == Some(this_file.as_ref()) {
+            continue;
+        }
+        let text = fs::read_to_string(&path).unwrap_or_default();
+        for (lineno, line) in text.lines().enumerate() {
+            if let Some(why) = offending(line) {
+                violations.push(format!(
+                    "{}:{}: {why}\n    {}",
+                    path.strip_prefix(root).unwrap_or(&path).display(),
+                    lineno + 1,
+                    line.trim()
+                ));
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "hard-coded cache geometry outside crates/machine:\n{}",
+        violations.join("\n")
+    );
+}

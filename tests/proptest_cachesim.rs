@@ -6,12 +6,10 @@ use a64fx::{Cache, CacheGeometry, Outcome, Replacement, Request, SectorPolicy};
 use proptest::prelude::*;
 use reuse::naive::NaiveStack;
 
+const LINE: usize = 64;
+
 fn fully_associative(lines: usize, repl: Replacement) -> Cache {
-    let geom = CacheGeometry {
-        size_bytes: lines * 64,
-        ways: lines,
-        line_bytes: 64,
-    };
+    let geom = CacheGeometry::new(lines * LINE, lines, LINE);
     Cache::new(geom, SectorPolicy::OFF, repl)
 }
 
@@ -49,7 +47,7 @@ proptest! {
         trace in prop::collection::vec((0u64..100, 0u8..2), 1..200),
         repl in prop::sample::select(vec![Replacement::Lru, Replacement::BitPlru]),
     ) {
-        let geom = CacheGeometry { size_bytes: 4 * 4 * 64, ways: 4, line_bytes: 64 };
+        let geom = CacheGeometry::new(4 * 4 * LINE, 4, LINE);
         let mut cache = Cache::new(geom, SectorPolicy { sector1_ways: 2 }, repl);
         for &(line, sector) in &trace {
             cache.access(line, sector, Request::Load);
@@ -65,7 +63,7 @@ proptest! {
         stream in prop::collection::vec(1000u64..2000, 1..200),
     ) {
         // 1 set, 8 ways, 3 for sector 1 -> 5 for sector 0.
-        let geom = CacheGeometry { size_bytes: 8 * 64, ways: 8, line_bytes: 64 };
+        let geom = CacheGeometry::new(8 * LINE, 8, LINE);
         let mut cache = Cache::new(geom, SectorPolicy { sector1_ways: 3 }, Replacement::Lru);
         let residents: Vec<u64> = (0..5).collect();
         for &l in &residents {
@@ -85,7 +83,7 @@ proptest! {
     fn writebacks_bounded_by_stores(
         trace in prop::collection::vec((0u64..64, prop::bool::ANY), 1..300),
     ) {
-        let geom = CacheGeometry { size_bytes: 2 * 4 * 64, ways: 2, line_bytes: 64 };
+        let geom = CacheGeometry::new(2 * 4 * LINE, 2, LINE);
         let mut cache = Cache::new(geom, SectorPolicy::OFF, Replacement::Lru);
         let mut stores = 0u64;
         for &(line, write) in &trace {
@@ -100,7 +98,7 @@ proptest! {
     fn demand_counters_conserve(
         trace in prop::collection::vec(0u64..128, 1..300),
     ) {
-        let geom = CacheGeometry { size_bytes: 4 * 8 * 64, ways: 4, line_bytes: 64 };
+        let geom = CacheGeometry::new(4 * 8 * LINE, 4, LINE);
         let mut cache = Cache::new(geom, SectorPolicy::OFF, Replacement::BitPlru);
         for &line in &trace {
             cache.access(line, 0, Request::Load);

@@ -95,7 +95,7 @@ fn sell_padding_shows_up_as_extra_stream_traffic() {
 
 /// Per-array reference counts of one full workload trace.
 fn count_trace(workload: &Workload) -> CountSink {
-    let layout = workload.layout(256);
+    let layout = workload.layout(memtrace::A64FX_LINE_BYTES);
     let mut sink = CountSink::new();
     workload
         .trace_cursor(&layout, 0..workload.num_work_items())
