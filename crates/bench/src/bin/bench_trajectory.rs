@@ -1,0 +1,93 @@
+//! Benchmark trajectory gate: read every checked-in `BENCH_pr<N>.json`,
+//! print the marker-throughput trajectory across PRs, and fail when the
+//! newest point regressed more than the tolerance below the best prior
+//! rate.
+//!
+//! Run: `cargo run --release -p spmv-bench --bin bench_trajectory
+//! [--dir PATH] [--tolerance PCT]`
+//!
+//! * `--dir` — where the `BENCH_*.json` files live (default `.`);
+//! * `--tolerance` — allowed drop in percent (default `10`).
+//!
+//! Exit status: 0 when the gate passes (or there is nothing to
+//! compare), 1 on a regression, 2 on usage/parse problems.
+
+use spmv_bench::trajectory::{gate, load_trajectory, Verdict};
+use std::path::PathBuf;
+
+fn main() {
+    let mut dir = PathBuf::from(".");
+    let mut tolerance_pct = 10.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--dir" => {
+                dir = args
+                    .next()
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| usage("expected a path after --dir"));
+            }
+            "--tolerance" => {
+                tolerance_pct = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("expected a number after --tolerance"));
+            }
+            other => usage(&format!("unknown argument {other}")),
+        }
+    }
+
+    let (points, problems) = load_trajectory(&dir).unwrap_or_else(|e| {
+        eprintln!("bench_trajectory: cannot read {}: {e}", dir.display());
+        std::process::exit(2);
+    });
+    for problem in &problems {
+        eprintln!("bench_trajectory: {problem}");
+    }
+    if !problems.is_empty() {
+        std::process::exit(2);
+    }
+
+    let mut prev: Option<f64> = None;
+    for p in &points {
+        let delta = match prev {
+            Some(prev) if prev > 0.0 => {
+                format!(
+                    "{:+.1}% vs prev",
+                    100.0 * (p.marker_refs_per_sec - prev) / prev
+                )
+            }
+            _ => "baseline".to_string(),
+        };
+        println!(
+            "pr{:<4} {:<28} streaming_marker {:>12.0} refs/sec  ({delta})",
+            p.pr, p.bench, p.marker_refs_per_sec
+        );
+        prev = Some(p.marker_refs_per_sec);
+    }
+
+    match gate(&points, tolerance_pct) {
+        Verdict::TooFewPoints => {
+            println!("trajectory gate: fewer than two points, nothing to compare");
+        }
+        Verdict::Ok(best, newest, change) => {
+            println!(
+                "trajectory gate: OK — newest {newest:.0} vs best prior {best:.0} \
+                 ({change:+.1}%, tolerance -{tolerance_pct:.0}%)"
+            );
+        }
+        Verdict::Regressed(best, newest, change) => {
+            eprintln!(
+                "trajectory gate: FAIL — newest {newest:.0} vs best prior {best:.0} \
+                 ({change:+.1}% exceeds -{tolerance_pct:.0}%)"
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+fn usage(message: &str) -> ! {
+    eprintln!("bench_trajectory: {message}");
+    eprintln!("usage: bench_trajectory [--dir PATH] [--tolerance PCT]");
+    std::process::exit(2);
+}

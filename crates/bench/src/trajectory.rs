@@ -1,0 +1,217 @@
+//! Cross-PR benchmark trajectory: parse the checked-in `BENCH_*.json`
+//! acceptance results and gate on marker-throughput regressions.
+//!
+//! Each speed-push PR leaves a `BENCH_pr<N>.json` at the repo root with
+//! a `modes` array; the `streaming_marker` mode's `refs_per_sec` is the
+//! canonical single-thread marker throughput on the shared spec. This
+//! module reads every such file, orders them by PR number (numeric, so
+//! `pr10` sorts after `pr9`), and checks the newest rate against the
+//! best earlier one: a drop of more than the tolerance (default 10%)
+//! fails the gate. The files are machine-written on different hosts, so
+//! the comparison is same-file-lineage only — the gate catches "this PR
+//! made the pipeline slower on the bench host", not cross-host noise.
+//!
+//! No serde in the workspace: the extractor is a purpose-built scanner
+//! over the known schema (`"name": "streaming_marker"` followed by its
+//! mode object's `"refs_per_sec"`), not a general JSON parser.
+
+use std::path::{Path, PathBuf};
+
+/// One PR's benchmark point on the trajectory.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchPoint {
+    /// PR number parsed from the `BENCH_pr<N>.json` file name.
+    pub pr: u64,
+    /// File the point came from.
+    pub path: PathBuf,
+    /// The `bench` label inside the file (e.g. `pr7_block_batched_pipeline`).
+    pub bench: String,
+    /// `streaming_marker` throughput in references per second.
+    pub marker_refs_per_sec: f64,
+}
+
+/// The gate's verdict over a trajectory.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Verdict {
+    /// Fewer than two points: nothing to compare, trivially passing.
+    TooFewPoints,
+    /// Newest point holds (or improves on) the best earlier rate within
+    /// tolerance. Carries `(best_prior, newest, change_pct)`.
+    Ok(f64, f64, f64),
+    /// Newest point regressed beyond tolerance; same payload.
+    Regressed(f64, f64, f64),
+}
+
+/// Extracts the PR number from a `BENCH_pr<N>.json` file name.
+pub fn pr_number(file_name: &str) -> Option<u64> {
+    let rest = file_name.strip_prefix("BENCH_pr")?;
+    let digits = rest.strip_suffix(".json")?;
+    digits.parse().ok()
+}
+
+/// Pulls the `streaming_marker` mode's `refs_per_sec` out of a
+/// `BENCH_*.json` document, plus the top-level `bench` label.
+///
+/// Returns `None` when the document does not carry the expected shape
+/// (so a future bench file without a marker mode is skipped loudly by
+/// the caller rather than misread).
+pub fn parse_bench(text: &str) -> Option<(String, f64)> {
+    let bench = string_field(text, "bench")?;
+    // Locate the marker mode's object, then its rate. The mode name is
+    // matched exactly — `streaming_marker_parallel` must not shadow it.
+    let mut search_from = 0usize;
+    loop {
+        let name_at = find_from(text, "\"name\"", search_from)?;
+        let after = colon_value(text, name_at)?;
+        if after.starts_with("\"streaming_marker\"") {
+            let rate_at = find_from(text, "\"refs_per_sec\"", name_at)?;
+            let value = colon_value(text, rate_at)?;
+            let number: String = value
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+                .collect();
+            return Some((bench, number.parse().ok()?));
+        }
+        search_from = name_at + 1;
+    }
+}
+
+fn find_from(text: &str, needle: &str, from: usize) -> Option<usize> {
+    text.get(from..)?.find(needle).map(|i| from + i)
+}
+
+/// The text immediately after the `:` following the key at `key_at`,
+/// with whitespace skipped.
+fn colon_value(text: &str, key_at: usize) -> Option<&str> {
+    let after_key = &text[key_at..];
+    let colon = after_key.find(':')?;
+    Some(after_key[colon + 1..].trim_start())
+}
+
+fn string_field(text: &str, key: &str) -> Option<String> {
+    let key_at = text.find(&format!("\"{key}\""))?;
+    let value = colon_value(text, key_at)?;
+    let inner = value.strip_prefix('"')?;
+    Some(inner[..inner.find('"')?].to_string())
+}
+
+/// Loads every `BENCH_pr<N>.json` under `dir`, sorted by PR number.
+/// Files that fail to parse are returned in the error list instead of
+/// being silently skipped.
+pub fn load_trajectory(dir: &Path) -> std::io::Result<(Vec<BenchPoint>, Vec<String>)> {
+    let mut points = Vec::new();
+    let mut problems = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(pr) = pr_number(name) else { continue };
+        let path = entry.path();
+        let text = std::fs::read_to_string(&path)?;
+        match parse_bench(&text) {
+            Some((bench, marker_refs_per_sec)) => points.push(BenchPoint {
+                pr,
+                path,
+                bench,
+                marker_refs_per_sec,
+            }),
+            None => problems.push(format!(
+                "{}: no streaming_marker refs_per_sec found",
+                path.display()
+            )),
+        }
+    }
+    points.sort_by_key(|p| p.pr);
+    Ok((points, problems))
+}
+
+/// Applies the regression gate: the newest point's marker rate must be
+/// at least `(1 - tolerance_pct/100)` of the best earlier rate.
+pub fn gate(points: &[BenchPoint], tolerance_pct: f64) -> Verdict {
+    let Some((newest, prior)) = points.split_last() else {
+        return Verdict::TooFewPoints;
+    };
+    let best_prior = prior
+        .iter()
+        .map(|p| p.marker_refs_per_sec)
+        .fold(f64::NAN, f64::max);
+    if !best_prior.is_finite() || best_prior <= 0.0 {
+        return Verdict::TooFewPoints;
+    }
+    let newest = newest.marker_refs_per_sec;
+    let change_pct = 100.0 * (newest - best_prior) / best_prior;
+    if change_pct < -tolerance_pct {
+        Verdict::Regressed(best_prior, newest, change_pct)
+    } else {
+        Verdict::Ok(best_prior, newest, change_pct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{
+  "bench": "pr7_block_batched_pipeline",
+  "modes": [
+    {"name": "streaming_marker", "secs": 0.03, "refs_per_sec": 35678405, "vm_hwm_kb_after": 23340},
+    {"name": "streaming_marker_parallel", "secs": 0.03, "refs_per_sec": 36290294, "vm_hwm_kb_after": 23340}
+  ]
+}"#;
+
+    fn point(pr: u64, rate: f64) -> BenchPoint {
+        BenchPoint {
+            pr,
+            path: PathBuf::from(format!("BENCH_pr{pr}.json")),
+            bench: format!("pr{pr}"),
+            marker_refs_per_sec: rate,
+        }
+    }
+
+    #[test]
+    fn pr_numbers_parse_numerically() {
+        assert_eq!(pr_number("BENCH_pr2.json"), Some(2));
+        assert_eq!(pr_number("BENCH_pr10.json"), Some(10));
+        assert_eq!(pr_number("BENCH_prx.json"), None);
+        assert_eq!(pr_number("bench_pr2.json"), None);
+        // Numeric, not lexicographic: pr10 sorts after pr9.
+        let mut points = [point(10, 1.0), point(9, 1.0), point(2, 1.0)];
+        points.sort_by_key(|p| p.pr);
+        let order: Vec<u64> = points.iter().map(|p| p.pr).collect();
+        assert_eq!(order, [2, 9, 10]);
+    }
+
+    #[test]
+    fn parses_the_marker_mode_not_its_parallel_sibling() {
+        let (bench, rate) = parse_bench(DOC).expect("parses");
+        assert_eq!(bench, "pr7_block_batched_pipeline");
+        assert_eq!(rate, 35678405.0);
+        // A document whose only mode is the parallel one yields None.
+        let only_parallel = DOC.replacen("\"streaming_marker\"", "\"other_mode\"", 1);
+        assert_eq!(parse_bench(&only_parallel), None);
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_beyond() {
+        let ok = [point(2, 100.0), point(7, 95.0)];
+        assert!(matches!(gate(&ok, 10.0), Verdict::Ok(_, _, _)));
+        let bad = [point(2, 100.0), point(7, 110.0), point(10, 95.0)];
+        // Best prior is 110 (pr7); 95 is a -13.6% change.
+        match gate(&bad, 10.0) {
+            Verdict::Regressed(best, newest, change) => {
+                assert_eq!(best, 110.0);
+                assert_eq!(newest, 95.0);
+                assert!(change < -13.0 && change > -14.0, "{change}");
+            }
+            v => panic!("expected regression, got {v:?}"),
+        }
+        // Same drop with a looser gate passes.
+        assert!(matches!(gate(&bad, 15.0), Verdict::Ok(_, _, _)));
+    }
+
+    #[test]
+    fn degenerate_trajectories_are_trivially_ok() {
+        assert_eq!(gate(&[], 10.0), Verdict::TooFewPoints);
+        assert_eq!(gate(&[point(2, 100.0)], 10.0), Verdict::TooFewPoints);
+    }
+}

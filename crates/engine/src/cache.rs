@@ -257,6 +257,12 @@ impl ProfileCache {
                                 let coldest = slots.order.pop_front().expect("order tracks map");
                                 slots.map.remove(&coldest);
                                 self.evictions.fetch_add(1, Ordering::Relaxed);
+                                obs::events::record("cache.evict", || {
+                                    format!(
+                                        "fingerprint={:#018x} method={:?} machine_tag={:#x}",
+                                        coldest.fingerprint, coldest.method, coldest.machine_tag
+                                    )
+                                });
                             }
                         }
                         Placement::Slot(slot)

@@ -432,6 +432,38 @@ pub fn try_compute_profile_sharded<W: SpmvWorkload>(
     shards: Option<usize>,
     token: &CancelToken,
 ) -> Option<LocalityProfile> {
+    try_compute_profile_traced(
+        workload,
+        cfg,
+        method,
+        threads,
+        settings,
+        workers,
+        shards,
+        token,
+        &obs::RequestCtx::disabled(),
+    )
+}
+
+/// [`try_compute_profile_sharded`] under a per-request trace ctx: each
+/// per-domain (or per-shard) partial records a `compute/domain` (or
+/// `compute/shard`) phase into `ctx` from whichever pool worker ran it,
+/// so a TRACE of the request shows the fan-out width and its wall time.
+/// A [`disabled`](obs::RequestCtx::disabled) ctx records nothing and
+/// costs an `Option` check per partial — profiles (and hence report
+/// bytes) are identical either way.
+#[allow(clippy::too_many_arguments)]
+pub fn try_compute_profile_traced<W: SpmvWorkload>(
+    workload: &W,
+    cfg: &MachineConfig,
+    method: Method,
+    threads: usize,
+    settings: Option<&[SectorSetting]>,
+    workers: usize,
+    shards: Option<usize>,
+    token: &CancelToken,
+    ctx: &obs::RequestCtx,
+) -> Option<LocalityProfile> {
     let _span = obs::span("profile.build");
     obs::add("core.profile.builds", 1);
     let builder = match settings {
@@ -459,6 +491,7 @@ pub fn try_compute_profile_sharded<W: SpmvWorkload>(
             if token.is_cancelled() {
                 None
             } else {
+                let _p = ctx.phase(&["compute", "domain"], Some("serve.phase.domain_ns"));
                 Some(builder.domain_partial(d))
             }
         })
@@ -476,6 +509,7 @@ pub fn try_compute_profile_sharded<W: SpmvWorkload>(
             if token.is_cancelled() {
                 None
             } else {
+                let _p = ctx.phase(&["compute", "shard"], Some("serve.phase.shard_ns"));
                 Some(builder.domain_shard_partial(d, s, shard_count))
             }
         })
@@ -687,6 +721,23 @@ pub fn run_streaming(
     spec: &BatchSpec,
     cache: &ProfileCache,
     token: &CancelToken,
+    emit: impl FnMut(&Report),
+) -> Result<StreamStats, EngineError> {
+    run_streaming_traced(spec, cache, token, &obs::RequestCtx::disabled(), emit)
+}
+
+/// [`run_streaming`] under a per-request trace ctx (the serve daemon's
+/// entry point). Each job's shared-cache lookup records a `cache-lookup`
+/// phase, profile computations record `compute` (with `domain`/`shard`
+/// children from the pool workers — see
+/// [`try_compute_profile_traced`]), and each report emission records
+/// `stream-out`; every phase also feeds a fleet-wide `serve.phase.*`
+/// latency histogram. Report bytes are identical to an untraced run.
+pub fn run_streaming_traced(
+    spec: &BatchSpec,
+    cache: &ProfileCache,
+    token: &CancelToken,
+    ctx: &obs::RequestCtx,
     mut emit: impl FnMut(&Report),
 ) -> Result<StreamStats, EngineError> {
     let _span = obs::span("serve.request");
@@ -716,19 +767,24 @@ pub fn run_streaming(
             fingerprint,
             job.method,
         );
-        let lookup = cache
-            .get_or_try_compute(key, || {
-                try_compute_profile_parallel(
+        let lookup = {
+            let _lookup_phase = ctx.phase(&["cache-lookup"], Some("serve.phase.cache_lookup_ns"));
+            cache.get_or_try_compute(key, || {
+                let _compute_phase = ctx.phase(&["compute"], Some("serve.phase.compute_ns"));
+                try_compute_profile_traced(
                     &m.workload,
                     &rm.cfg,
                     job.method,
                     spec.threads,
                     Some(&spec.settings),
                     spec.workers,
+                    None,
                     token,
+                    ctx,
                 )
             })
-            .ok_or_else(|| EngineError::from(token.cancelled().unwrap_or(Cancelled::Shutdown)))?;
+        }
+        .ok_or_else(|| EngineError::from(token.cancelled().unwrap_or(Cancelled::Shutdown)))?;
         if lookup.hit {
             stats.profile_hits += 1;
         } else {
@@ -752,7 +808,10 @@ pub fn run_streaming(
             rm.emit_label.then(|| rm.label.clone()),
             ecm,
         );
-        emit(&report);
+        {
+            let _out_phase = ctx.phase(&["stream-out"], Some("serve.phase.stream_out_ns"));
+            emit(&report);
+        }
     }
     Ok(stats)
 }
@@ -952,6 +1011,38 @@ mod tests {
         assert_eq!(again, batch.reports);
         assert_eq!(stats2.profile_computations, 0);
         assert_eq!(stats2.profile_hits, stats2.jobs as u64);
+    }
+
+    #[test]
+    fn traced_streaming_keeps_report_bytes_and_records_phases() {
+        let spec = small_spec();
+        let cache = ProfileCache::new();
+        let token = CancelToken::never();
+        let mut plain = Vec::new();
+        run_streaming(&spec, &cache, &token, |r| plain.push(r.clone())).unwrap();
+
+        let traced_cache = ProfileCache::new();
+        let ctx = obs::RequestCtx::new("t1");
+        let mut traced = Vec::new();
+        run_streaming_traced(&spec, &traced_cache, &token, &ctx, |r| {
+            traced.push(r.clone())
+        })
+        .unwrap();
+        assert_eq!(traced, plain, "tracing must not change report bytes");
+
+        let trace = ctx.finish().expect("live ctx yields a trace");
+        let lookups = trace.root.get(&["cache-lookup"]).expect("lookup phase");
+        assert_eq!(lookups.count, 56, "one lookup per job");
+        let compute = trace.root.get(&["compute"]).expect("compute phase");
+        assert_eq!(compute.count, 8, "one compute per (matrix, method)");
+        assert!(compute.wall_ns > 0);
+        let domains = trace
+            .root
+            .get(&["compute", "domain"])
+            .expect("domain fan-out");
+        assert!(domains.count >= compute.count, "at least one domain each");
+        let out = trace.root.get(&["stream-out"]).expect("stream-out phase");
+        assert_eq!(out.count, 56, "one emission per job");
     }
 
     #[test]

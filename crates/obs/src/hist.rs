@@ -73,6 +73,60 @@ impl Hist {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Inclusive lower bound of bucket `b`'s *value range* (0 for bucket
+    /// 0, 1 for bucket 1, `2^(b-1)` beyond). Unlike
+    /// [`bucket_lo`](Self::bucket_lo) — which reports 0 for bucket 1 in
+    /// the serialized document — this is the smallest value that actually
+    /// lands in the bucket, which is what quantiles want.
+    pub fn bucket_floor(b: usize) -> u64 {
+        match b {
+            0 => 0,
+            1 => 1,
+            _ => 1u64 << (b - 1),
+        }
+    }
+
+    /// The `q`-quantile of the recorded samples (`q` in `[0, 1]`,
+    /// clamped), resolved to the **[`bucket_floor`](Self::bucket_floor)
+    /// of the bucket holding the sample of rank `ceil(q * count)`**
+    /// (1-based ranks; the rank floors at 1, so `quantile(0.0)` is the
+    /// minimum sample's bucket).
+    ///
+    /// A log2 histogram cannot reproduce the exact sample, so the
+    /// returned value is the bucket floor: for any recorded value
+    /// `v >= 1` the reported quantile `r` satisfies `r <= v < 2r`, and
+    /// `v == 0` reports exactly 0. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_floor(b);
+            }
+        }
+        Self::bucket_floor(64)
+    }
+
+    /// Median ([`quantile`](Self::quantile) at 0.5).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile ([`quantile`](Self::quantile) at 0.95).
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile ([`quantile`](Self::quantile) at 0.99).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +178,76 @@ mod tests {
             direct.record(*v);
         }
         assert_eq!(ab, direct);
+    }
+
+    #[test]
+    fn quantiles_resolve_to_bucket_lower_bounds() {
+        // Samples 1..=8 land in buckets 1 (just 1), 2 (2,3), 3 (4..7)
+        // and 4 (just 8). Rank arithmetic is pinned against that layout.
+        let mut h = Hist::default();
+        for v in 1..=8u64 {
+            h.record(v);
+        }
+        // p50: rank ceil(0.5*8)=4 -> cumulative 1,3,7 -> bucket 3, lo 4.
+        assert_eq!(h.p50(), 4);
+        // p95: rank ceil(7.6)=8 -> bucket 4, lo 8.
+        assert_eq!(h.p95(), 8);
+        assert_eq!(h.p99(), 8);
+        assert_eq!(h.quantile(0.0), 1, "rank floors at 1, never 0");
+        assert_eq!(h.quantile(1.0), 8);
+        // bucket_floor disagrees with bucket_lo only at bucket 1, where
+        // the serialized lower bound collapses to 0 but the smallest
+        // recordable value is 1.
+        assert_eq!(Hist::bucket_floor(0), 0);
+        assert_eq!(Hist::bucket_floor(1), 1);
+        for b in 2..=64 {
+            assert_eq!(Hist::bucket_floor(b), Hist::bucket_lo(b));
+        }
+    }
+
+    #[test]
+    fn quantile_boundary_values_stay_in_their_buckets() {
+        // 1023 and 1024 straddle a bucket boundary: the histogram must
+        // report each as its own bucket's floor, not blur them together.
+        let mut low = Hist::default();
+        low.record(1023);
+        assert_eq!(low.quantile(0.5), 512, "1023 lives in [512, 1024)");
+        let mut high = Hist::default();
+        high.record(1024);
+        assert_eq!(high.quantile(0.5), 1024, "1024 opens [1024, 2048)");
+        // The reported quantile r brackets the true value: r <= v < 2r.
+        for v in [1u64, 2, 3, 500, 1023, 1024, u64::MAX / 2] {
+            let mut h = Hist::default();
+            h.record(v);
+            let r = h.p99();
+            assert!(r >= 1 && r <= v && v < r.saturating_mul(2), "v={v} r={r}");
+        }
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let empty = Hist::default();
+        assert_eq!(empty.quantile(0.5), 0);
+        let mut zeros = Hist::default();
+        zeros.record(0);
+        zeros.record(0);
+        assert_eq!(zeros.p99(), 0, "zeros stay in bucket 0 with lo 0");
+        let mut top = Hist::default();
+        top.record(u64::MAX);
+        assert_eq!(top.p50(), Hist::bucket_lo(64));
+        // Skewed tail: 99 fast samples and one slow one. p50 sees the
+        // fast bucket, p99 lands exactly on the rank-99 sample (fast).
+        let mut skew = Hist::default();
+        for _ in 0..99 {
+            skew.record(10);
+        }
+        skew.record(1_000_000);
+        assert_eq!(skew.p50(), 8);
+        assert_eq!(skew.p99(), 8, "rank 99 of 100 is still a fast sample");
+        assert_eq!(
+            skew.quantile(1.0),
+            Hist::bucket_lo(Hist::bucket_of(1_000_000))
+        );
     }
 
     #[test]

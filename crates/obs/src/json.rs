@@ -27,8 +27,9 @@ use std::fmt::Write as _;
 /// ```
 ///
 /// Histogram buckets are sparse: only non-empty buckets appear, each with
-/// its inclusive lower bound. `vm_hwm_kb` is `null` where `/proc` is
-/// unavailable.
+/// its inclusive lower bound; `p50`/`p95`/`p99` are
+/// [`Hist::quantile`]-resolved bucket floors. `vm_hwm_kb` is `null`
+/// where `/proc` is unavailable.
 pub struct MetricsDoc<'a> {
     /// The CLI subcommand the metrics were collected under.
     pub command: &'a str,
@@ -175,10 +176,13 @@ fn write_u64_map(out: &mut String, map: &std::collections::BTreeMap<String, u64>
 fn write_hist(out: &mut String, h: &Hist) {
     let _ = write!(
         out,
-        "{{\"count\": {}, \"sum\": {}, \"mean\": {}, \"buckets\": [",
+        "{{\"count\": {}, \"sum\": {}, \"mean\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"buckets\": [",
         h.count,
         h.sum,
-        fmt_f64(h.mean())
+        fmt_f64(h.mean()),
+        h.p50(),
+        h.p95(),
+        h.p99()
     );
     let mut first = true;
     for (b, &n) in h.buckets.iter().enumerate() {
@@ -205,7 +209,7 @@ fn fmt_f64(v: f64) -> String {
     }
 }
 
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

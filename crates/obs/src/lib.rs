@@ -33,13 +33,18 @@
 #![forbid(unsafe_code)]
 
 pub mod aggregate;
+pub mod events;
 pub mod hist;
 pub mod json;
 pub mod memstats;
+pub mod prom;
+pub mod series;
+pub mod trace;
 
 pub use aggregate::{Aggregate, Checkpoint, SpanStats};
 pub use hist::Hist;
 pub use json::MetricsDoc;
+pub use trace::RequestCtx;
 
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -160,6 +165,14 @@ pub fn span_root(name: &'static str) -> SpanGuard {
 /// recorded as an explicit `null`. Checkpoints keep append order, so call
 /// from one thread (the CLI records `start`/`end` around each command).
 pub fn rss_checkpoint(label: &str) {
+    rss_checkpoint_at(label, std::path::Path::new(memstats::PROC_SELF_STATUS));
+}
+
+/// [`rss_checkpoint`] reading an explicit status file — the testable
+/// spelling of the portability contract: an unreadable path (non-Linux,
+/// no `/proc`) still records the checkpoint, with an explicit `null`
+/// `vm_hwm_kb`, never silently skipping it.
+pub fn rss_checkpoint_at(label: &str, status_path: &std::path::Path) {
     if !enabled() {
         return;
     }
@@ -169,7 +182,7 @@ pub fn rss_checkpoint(label: &str) {
         .checkpoints
         .push(Checkpoint {
             label: label.to_string(),
-            vm_hwm_kb: memstats::vm_hwm_kb(),
+            vm_hwm_kb: memstats::vm_hwm_kb_at(status_path),
         });
 }
 
@@ -526,6 +539,30 @@ mod tests {
         // not re-report it with a zero count.
         assert_eq!(agg.roots["once"].count, 1);
         assert_eq!(agg.roots["twice"].count, 1);
+    }
+
+    #[test]
+    fn rss_checkpoint_with_missing_proc_records_explicit_null() {
+        let _guard = lock();
+        reset();
+        enable();
+        rss_checkpoint_at("no-proc", std::path::Path::new("/nonexistent/proc/status"));
+        let agg = snapshot();
+        disable();
+        // The checkpoint is present (not silently skipped) and carries an
+        // explicit None, which serializes as null.
+        assert_eq!(agg.checkpoints.len(), 1);
+        assert_eq!(agg.checkpoints[0].label, "no-proc");
+        assert_eq!(agg.checkpoints[0].vm_hwm_kb, None);
+        let doc = MetricsDoc {
+            command: "test",
+            aggregate: &agg,
+        }
+        .to_json();
+        assert!(
+            doc.contains("{\"label\": \"no-proc\", \"vm_hwm_kb\": null}"),
+            "{doc}"
+        );
     }
 
     #[test]

@@ -5,19 +5,37 @@
 //! reported 0 when the field was missing — here absence is an explicit
 //! `None` so reports can say `null` instead of lying).
 
+use std::path::Path;
+
+/// The status file the default accessors read.
+pub const PROC_SELF_STATUS: &str = "/proc/self/status";
+
 /// Peak resident set size (`VmHWM`) in kB, or `None` where
 /// `/proc/self/status` or the field is unavailable (e.g. non-Linux).
 pub fn vm_hwm_kb() -> Option<u64> {
-    status_field_kb("VmHWM:")
+    vm_hwm_kb_at(Path::new(PROC_SELF_STATUS))
 }
 
 /// Current resident set size (`VmRSS`) in kB, or `None` when unavailable.
 pub fn vm_rss_kb() -> Option<u64> {
-    status_field_kb("VmRSS:")
+    vm_rss_kb_at(Path::new(PROC_SELF_STATUS))
 }
 
-fn status_field_kb(field: &str) -> Option<u64> {
-    parse_status_field(&std::fs::read_to_string("/proc/self/status").ok()?, field)
+/// [`vm_hwm_kb`] reading an explicit status file. The path parameter is
+/// what makes the unavailable-`/proc` branch testable on Linux: a
+/// nonexistent path must yield `None` (recorded downstream as an explicit
+/// `null`), never 0 and never a skipped record.
+pub fn vm_hwm_kb_at(status_path: &Path) -> Option<u64> {
+    status_field_kb(status_path, "VmHWM:")
+}
+
+/// [`vm_rss_kb`] reading an explicit status file; see [`vm_hwm_kb_at`].
+pub fn vm_rss_kb_at(status_path: &Path) -> Option<u64> {
+    status_field_kb(status_path, "VmRSS:")
+}
+
+fn status_field_kb(path: &Path, field: &str) -> Option<u64> {
+    parse_status_field(&std::fs::read_to_string(path).ok()?, field)
 }
 
 /// Extracts a `kB`-valued field (e.g. `"VmHWM:"`) from the text of a
@@ -52,6 +70,22 @@ mod tests {
     fn malformed_value_is_none() {
         assert_eq!(parse_status_field("VmHWM:\tgarbage kB\n", "VmHWM:"), None);
         assert_eq!(parse_status_field("VmHWM:\n", "VmHWM:"), None);
+    }
+
+    #[test]
+    fn nonexistent_status_path_is_none_not_zero() {
+        let missing = Path::new("/nonexistent/proc/self/status");
+        assert_eq!(vm_hwm_kb_at(missing), None);
+        assert_eq!(vm_rss_kb_at(missing), None);
+    }
+
+    #[test]
+    fn explicit_status_path_reads_like_the_default() {
+        let path = std::env::temp_dir().join(format!("spmv-obs-memstats-{}", std::process::id()));
+        std::fs::write(&path, SAMPLE).expect("temp status file");
+        assert_eq!(vm_hwm_kb_at(&path), Some(12345));
+        assert_eq!(vm_rss_kb_at(&path), Some(9876));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -1,0 +1,339 @@
+//! Prometheus text exposition (version 0.0.4) for an [`Aggregate`].
+//!
+//! [`render`] maps the aggregate onto the three metric families scrape
+//! pipelines understand — counters, gauges, and histograms — with every
+//! metric name prefixed `spmv_` and dots mapped to underscores. Log2
+//! histogram buckets become cumulative `_bucket` lines: our bucket `b`
+//! holds values in `[2^(b-1), 2^b)`, so the cumulative count through
+//! bucket `b` is exactly the count of samples `<= 2^b - 1`, which is a
+//! legal inclusive `le` boundary.
+//!
+//! [`check`] is the matching consumer: a strict-enough parser that the
+//! test suite (and the ci smoke's python client, which mirrors it)
+//! round-trips rendered output through, verifying line syntax, family
+//! typing, cumulative-monotonic buckets and the mandatory `+Inf`
+//! terminal bucket.
+
+use crate::aggregate::Aggregate;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Maps an aggregate name (`engine.cache.hits`) to an exposition metric
+/// name (`spmv_engine_cache_hits`): `spmv_` prefix, every character
+/// outside `[a-zA-Z0-9_]` becomes `_`.
+pub fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("spmv_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders `agg` in the text exposition format: counters and gauges as
+/// single samples, histograms as cumulative `_bucket`/`_sum`/`_count`
+/// families. Span trees and RSS checkpoints have no exposition analogue
+/// and are omitted (they stay in the JSON metrics document).
+pub fn render(agg: &Aggregate) -> String {
+    let mut out = String::new();
+    for (name, value) in &agg.counters {
+        let m = metric_name(name);
+        let _ = writeln!(out, "# TYPE {m} counter");
+        let _ = writeln!(out, "{m} {value}");
+    }
+    for (name, value) in &agg.gauges {
+        let m = metric_name(name);
+        let _ = writeln!(out, "# TYPE {m} gauge");
+        let _ = writeln!(out, "{m} {value}");
+    }
+    for (name, hist) in &agg.histograms {
+        let m = metric_name(name);
+        let _ = writeln!(out, "# TYPE {m} histogram");
+        let mut cumulative = 0u64;
+        for (b, &n) in hist.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            cumulative += n;
+            // Inclusive upper bound of bucket b: 0 for the zero bucket,
+            // else 2^b - 1 (the largest value whose highest set bit is
+            // b-1). u64::MAX when b = 64.
+            let le = if b == 0 {
+                0
+            } else if b == 64 {
+                u64::MAX
+            } else {
+                (1u64 << b) - 1
+            };
+            let _ = writeln!(out, "{m}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{m}_bucket{{le=\"+Inf\"}} {}", hist.count);
+        let _ = writeln!(out, "{m}_sum {}", hist.sum);
+        let _ = writeln!(out, "{m}_count {}", hist.count);
+    }
+    out
+}
+
+/// A parsed sample line: metric name, optional `le` label, value.
+struct SampleLine<'a> {
+    name: &'a str,
+    le: Option<&'a str>,
+    value: f64,
+}
+
+fn parse_sample(line: &str, lineno: usize) -> Result<SampleLine<'_>, String> {
+    let err = |msg: &str| format!("line {lineno}: {msg}: {line:?}");
+    let (name_part, value_part) = match line.find(' ') {
+        // A labelled name contains the space inside {...}; split at the
+        // last space instead so `name{le="+Inf"} 3` parses.
+        Some(_) => line.rsplit_once(' ').expect("found above"),
+        None => return Err(err("expected 'name value'")),
+    };
+    let value = match value_part {
+        "+Inf" => f64::INFINITY,
+        v => v
+            .parse::<f64>()
+            .map_err(|_| err("unparsable sample value"))?,
+    };
+    let (name, le) = match name_part.split_once('{') {
+        None => (name_part, None),
+        Some((name, rest)) => {
+            let labels = rest
+                .strip_suffix('}')
+                .ok_or_else(|| err("unterminated label set"))?;
+            let le = labels
+                .strip_prefix("le=\"")
+                .and_then(|l| l.strip_suffix('"'))
+                .ok_or_else(|| err("only le=\"...\" labels are rendered"))?;
+            (name, Some(le))
+        }
+    };
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        || name.starts_with(|c: char| c.is_ascii_digit())
+    {
+        return Err(err("invalid metric name"));
+    }
+    Ok(SampleLine { name, le, value })
+}
+
+/// Validates exposition text: every line is a comment (`# TYPE`/`# HELP`)
+/// or a sample; histogram families have cumulative non-decreasing
+/// buckets ending in `le="+Inf"` whose value equals `_count`, plus a
+/// `_sum`. Returns the number of sample lines.
+pub fn check(text: &str) -> Result<usize, String> {
+    let mut samples = 0usize;
+    let mut types: BTreeMap<&str, &str> = BTreeMap::new();
+    // Histogram family -> (bucket values in order, saw +Inf, count, sum).
+    struct HistState {
+        buckets: Vec<f64>,
+        inf: Option<f64>,
+        count: Option<f64>,
+        sum: bool,
+    }
+    let mut hists: BTreeMap<String, HistState> = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.split_whitespace();
+            match parts.next() {
+                Some("TYPE") => {
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| format!("line {lineno}: TYPE without name"))?;
+                    let family = parts
+                        .next()
+                        .ok_or_else(|| format!("line {lineno}: TYPE without family"))?;
+                    if !matches!(
+                        family,
+                        "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                    ) {
+                        return Err(format!("line {lineno}: unknown family {family:?}"));
+                    }
+                    types.insert(name, family);
+                    if family == "histogram" {
+                        hists.insert(
+                            name.to_string(),
+                            HistState {
+                                buckets: Vec::new(),
+                                inf: None,
+                                count: None,
+                                sum: false,
+                            },
+                        );
+                    }
+                }
+                Some("HELP") => {}
+                _ => return Err(format!("line {lineno}: unrecognized comment: {line:?}")),
+            }
+            continue;
+        }
+        let sample = parse_sample(line, lineno)?;
+        samples += 1;
+        let (family, suffix) = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|s| sample.name.strip_suffix(s).map(|f| (f, *s)))
+            .filter(|(f, _)| hists.contains_key(*f))
+            .unzip();
+        let Some(state) = family.and_then(|f| hists.get_mut(f)) else {
+            if sample.le.is_some() {
+                return Err(format!("line {lineno}: le label outside a histogram"));
+            }
+            continue;
+        };
+        match suffix.expect("suffix set with family") {
+            "_bucket" => {
+                let le = sample
+                    .le
+                    .ok_or_else(|| format!("line {lineno}: _bucket without le"))?;
+                if le == "+Inf" {
+                    state.inf = Some(sample.value);
+                } else {
+                    le.parse::<f64>()
+                        .map_err(|_| format!("line {lineno}: unparsable le {le:?}"))?;
+                    if state.inf.is_some() {
+                        return Err(format!("line {lineno}: bucket after +Inf"));
+                    }
+                    state.buckets.push(sample.value);
+                }
+            }
+            "_sum" => state.sum = true,
+            "_count" => state.count = Some(sample.value),
+            _ => unreachable!(),
+        }
+    }
+    for (name, state) in &hists {
+        let inf = state
+            .inf
+            .ok_or_else(|| format!("histogram {name}: missing le=\"+Inf\" bucket"))?;
+        let count = state
+            .count
+            .ok_or_else(|| format!("histogram {name}: missing _count"))?;
+        if !state.sum {
+            return Err(format!("histogram {name}: missing _sum"));
+        }
+        if inf != count {
+            return Err(format!(
+                "histogram {name}: +Inf bucket {inf} != _count {count}"
+            ));
+        }
+        let mut prev = 0.0f64;
+        for (i, &b) in state.buckets.iter().enumerate() {
+            if b < prev {
+                return Err(format!(
+                    "histogram {name}: bucket {i} not cumulative ({b} < {prev})"
+                ));
+            }
+            prev = b;
+        }
+        if state.buckets.last().is_some_and(|&b| b > inf) {
+            return Err(format!("histogram {name}: bucket exceeds +Inf"));
+        }
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Hist;
+
+    fn sample_aggregate() -> Aggregate {
+        let mut agg = Aggregate::default();
+        agg.counters.insert("serve.requests".into(), 7);
+        agg.counters.insert("engine.cache.hits".into(), 104);
+        agg.gauges.insert("serve.queue_depth".into(), 3);
+        let mut h = Hist::default();
+        h.record(0);
+        h.record(1);
+        h.record(3);
+        h.record(900);
+        agg.histograms.insert("serve.phase.compute_ns".into(), h);
+        agg
+    }
+
+    #[test]
+    fn render_round_trips_the_checker() {
+        let text = render(&sample_aggregate());
+        let samples = check(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        // 2 counters + 1 gauge + (4 finite buckets + Inf + sum + count).
+        assert_eq!(samples, 10, "{text}");
+        for needle in [
+            "# TYPE spmv_serve_requests counter",
+            "spmv_serve_requests 7",
+            "# TYPE spmv_serve_queue_depth gauge",
+            "# TYPE spmv_serve_phase_compute_ns histogram",
+            "spmv_serve_phase_compute_ns_bucket{le=\"0\"} 1",
+            "spmv_serve_phase_compute_ns_bucket{le=\"1\"} 2",
+            "spmv_serve_phase_compute_ns_bucket{le=\"3\"} 3",
+            "spmv_serve_phase_compute_ns_bucket{le=\"+Inf\"} 4",
+            "spmv_serve_phase_compute_ns_sum 904",
+            "spmv_serve_phase_compute_ns_count 4",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+        // 900 lives in bucket 10 ([512, 1024)) -> le = 1023, cumulative 4.
+        assert!(text.contains("_bucket{le=\"1023\"} 4"), "{text}");
+    }
+
+    #[test]
+    fn checker_rejects_broken_histograms() {
+        let ok = render(&sample_aggregate());
+        // Break cumulativity: shrink a later bucket below an earlier one.
+        let broken = ok.replace("{le=\"1023\"} 4", "{le=\"1023\"} 1");
+        assert!(check(&broken).unwrap_err().contains("not cumulative"));
+        // Drop the +Inf bucket.
+        let no_inf: String = ok
+            .lines()
+            .filter(|l| !l.contains("+Inf"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(check(&no_inf).unwrap_err().contains("+Inf"));
+        // Mismatched count.
+        let bad_count = ok.replace("_count 4", "_count 5");
+        assert!(check(&bad_count).unwrap_err().contains("!= _count"));
+    }
+
+    #[test]
+    fn checker_rejects_malformed_lines() {
+        assert!(check("just words\n").is_err());
+        assert!(check("9leading_digit 1\n").is_err());
+        assert!(check("name{le=\"1\"} 1\n").is_err(), "le outside histogram");
+        assert!(check("# WAT x y\n").is_err());
+        assert!(check("name nope\n").is_err());
+        assert!(check("").is_ok());
+        assert!(check("# HELP spmv_x something\n# TYPE spmv_x counter\nspmv_x 1\n").is_ok());
+    }
+
+    #[test]
+    fn u64_max_bucket_has_a_finite_le() {
+        let mut agg = Aggregate::default();
+        let mut h = Hist::default();
+        h.record(u64::MAX);
+        agg.histograms.insert("extreme".into(), h);
+        let text = render(&agg);
+        check(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert!(
+            text.contains("spmv_extreme_bucket{le=\"18446744073709551615\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn metric_name_sanitizes() {
+        assert_eq!(
+            metric_name("engine.cache.hit_rate_pct"),
+            "spmv_engine_cache_hit_rate_pct"
+        );
+        assert_eq!(metric_name("a-b c"), "spmv_a_b_c");
+    }
+}

@@ -28,6 +28,9 @@ pub enum ErrorCode {
     ShuttingDown,
     /// An engine-side failure while running the jobs.
     Internal,
+    /// The referenced object (a trace id) is unknown — never retained,
+    /// or already evicted from the bounded trace buffer.
+    NotFound,
 }
 
 impl ErrorCode {
@@ -40,6 +43,7 @@ impl ErrorCode {
             ErrorCode::OversizedLine => "oversized_line",
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::Internal => "internal",
+            ErrorCode::NotFound => "not_found",
         }
     }
 }
@@ -65,6 +69,18 @@ pub enum Request {
     },
     /// Return the service telemetry document.
     Status {
+        /// Correlation id.
+        id: String,
+    },
+    /// Return the phase tree of a finished predict request.
+    Trace {
+        /// Correlation id of *this* request.
+        id: String,
+        /// The predict request id whose trace is wanted.
+        request: String,
+    },
+    /// Return the Prometheus text exposition of the live counters.
+    Metrics {
         /// Correlation id.
         id: String,
     },
@@ -124,41 +140,70 @@ impl Request {
             }
         };
         let has_spec = value.get("spec").is_some();
+        let has_trace = value.get("trace").is_some();
         let has_status = flag("status")?;
+        let has_metrics = flag("metrics")?;
         let has_shutdown = flag("shutdown")?;
-        match (has_spec, has_status, has_shutdown) {
-            (true, false, false) => {
-                let spec = value
-                    .get("spec")
-                    .and_then(Json::as_str)
-                    .ok_or_else(|| bad(Some(id.clone()), "\"spec\" must be a string".into()))?
-                    .to_string();
-                let deadline_ms = match value.get("deadline_ms") {
-                    None | Some(Json::Null) => None,
-                    Some(v) => Some(v.as_u64().filter(|ms| *ms > 0).ok_or_else(|| {
-                        bad(
-                            Some(id.clone()),
-                            "\"deadline_ms\" must be a positive integer".into(),
-                        )
-                    })?),
-                };
-                Ok(Request::Predict {
-                    id,
-                    spec,
-                    deadline_ms,
-                })
-            }
-            (false, true, false) => Ok(Request::Status { id }),
-            (false, false, true) => Ok(Request::Shutdown { id }),
-            (false, false, false) => Err(bad(
+        let verbs = [has_spec, has_status, has_trace, has_metrics, has_shutdown]
+            .iter()
+            .filter(|&&v| v)
+            .count();
+        if verbs > 1 {
+            return Err(bad(
                 Some(id),
-                "expected one of \"spec\", \"status\": true, \"shutdown\": true".into(),
-            )),
-            _ => Err(bad(
-                Some(id),
-                "\"spec\", \"status\" and \"shutdown\" are mutually exclusive".into(),
-            )),
+                "\"spec\", \"status\", \"trace\", \"metrics\" and \"shutdown\" are mutually exclusive"
+                    .into(),
+            ));
         }
+        if has_spec {
+            let spec = value
+                .get("spec")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad(Some(id.clone()), "\"spec\" must be a string".into()))?
+                .to_string();
+            let deadline_ms = match value.get("deadline_ms") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(v.as_u64().filter(|ms| *ms > 0).ok_or_else(|| {
+                    bad(
+                        Some(id.clone()),
+                        "\"deadline_ms\" must be a positive integer".into(),
+                    )
+                })?),
+            };
+            return Ok(Request::Predict {
+                id,
+                spec,
+                deadline_ms,
+            });
+        }
+        if has_trace {
+            let request = value
+                .get("trace")
+                .and_then(Json::as_str)
+                .filter(|r| !r.is_empty())
+                .ok_or_else(|| {
+                    bad(
+                        Some(id.clone()),
+                        "\"trace\" must be a non-empty request id".into(),
+                    )
+                })?
+                .to_string();
+            return Ok(Request::Trace { id, request });
+        }
+        if has_status {
+            return Ok(Request::Status { id });
+        }
+        if has_metrics {
+            return Ok(Request::Metrics { id });
+        }
+        if has_shutdown {
+            return Ok(Request::Shutdown { id });
+        }
+        Err(bad(
+            Some(id),
+            "expected one of \"spec\", \"status\": true, \"trace\": \"<id>\", \"metrics\": true, \"shutdown\": true"
+                .into(),
+        ))
     }
 }
 
@@ -228,6 +273,23 @@ pub fn status_line(id: &str, body_json: &str) -> String {
     format!("{{\"id\":\"{}\",\"status\":{}}}", escape(id), body_json)
 }
 
+/// A `trace` response line wrapping an already-rendered single-line
+/// trace document ([`obs::trace::Trace::to_json`] output).
+pub fn trace_line(id: &str, trace_json: &str) -> String {
+    format!("{{\"id\":\"{}\",\"trace\":{}}}", escape(id), trace_json)
+}
+
+/// A `metrics` response line carrying the Prometheus text exposition as
+/// a JSON string (newlines become `\n` escapes; clients unescape to
+/// recover the scrape body byte-for-byte).
+pub fn metrics_line(id: &str, exposition: &str) -> String {
+    format!(
+        "{{\"id\":\"{}\",\"metrics\":\"{}\"}}",
+        escape(id),
+        escape(exposition)
+    )
+}
+
 /// Acknowledges a `shutdown` request: the service is draining.
 pub fn shutdown_line(id: &str) -> String {
     format!(
@@ -265,6 +327,42 @@ mod tests {
         assert_eq!(
             Request::parse(r#"{"id":"q","shutdown":true}"#).unwrap(),
             Request::Shutdown { id: "q".into() }
+        );
+    }
+
+    #[test]
+    fn parses_trace_and_metrics() {
+        assert_eq!(
+            Request::parse(r#"{"id":"t1","trace":"r42"}"#).unwrap(),
+            Request::Trace {
+                id: "t1".into(),
+                request: "r42".into()
+            }
+        );
+        assert_eq!(
+            Request::parse(r#"{"id":"m1","metrics":true}"#).unwrap(),
+            Request::Metrics { id: "m1".into() }
+        );
+        let e = Request::parse(r#"{"id":"t2","trace":""}"#).unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadRequest);
+        let e = Request::parse(r#"{"id":"t3","trace":"r1","metrics":true}"#).unwrap_err();
+        assert!(e.message.contains("mutually exclusive"), "{}", e.message);
+    }
+
+    #[test]
+    fn trace_and_metrics_lines_are_valid_json() {
+        let t = trace_line("t1", r#"{"request": "r42", "total_ns": 9, "phases": []}"#);
+        let parsed = crate::json::Json::parse(&t).expect("valid JSON");
+        assert!(parsed.get("trace").is_some());
+
+        let body = "# TYPE spmv_serve_requests counter\nspmv_serve_requests 3\n";
+        let m = metrics_line("m1", body);
+        assert!(!m.contains('\n'), "exposition newlines must be escaped");
+        let parsed = crate::json::Json::parse(&m).expect("valid JSON");
+        // The exposition round-trips through the JSON string unharmed.
+        assert_eq!(
+            parsed.get("metrics").and_then(crate::json::Json::as_str),
+            Some(body)
         );
     }
 

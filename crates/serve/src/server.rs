@@ -21,6 +21,25 @@
 //! request — stops accepting, closes the queue, and drains: jobs
 //! already accepted run to completion and their responses are still
 //! delivered on connections the clients keep open.
+//!
+//! The **observability plane** rides along without touching report
+//! bytes:
+//!
+//! * every admitted predict request carries an [`obs::RequestCtx`]
+//!   from admission through the engine; its finished phase tree
+//!   (queue-wait, cache-lookup, compute, per-domain/per-shard work,
+//!   stream-out) lands in a bounded trace buffer answerable via a
+//!   `trace` request;
+//! * a **sampler** thread (`sample_ms` tick) snapshots the live
+//!   counters into a bounded [`obs::series::SeriesRing`]; `status`
+//!   responses carry windowed rates over 10s/1m/5m;
+//! * a `metrics` request — and an optional `--prometheus` HTTP
+//!   listener sharing the same non-blocking accept loop — renders the
+//!   live counters as Prometheus text exposition;
+//! * a **flight recorder** ([`obs::events`]) keeps the newest
+//!   admissions/rejections/deadline/eviction/panic events and dumps
+//!   them to stderr (and `flight_file`) on SIGQUIT and on executor
+//!   panic.
 
 use crate::codec::{Frame, LineFramer};
 use crate::protocol::{self, ErrorCode, Request, RequestError};
@@ -28,7 +47,7 @@ use crate::signal;
 use locality_engine::{BatchSpec, CancelToken, Cancelled, EngineError, ProfileCache};
 use std::collections::VecDeque;
 use std::io::{self, ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpListener};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::UnixListener;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -65,6 +84,19 @@ pub struct ServeConfig {
     /// directive of its own. `None` keeps the engine default (the a64fx
     /// preset) — and the legacy report bytes.
     pub default_machine: Option<machine::MachineSpec>,
+    /// Sampler tick in milliseconds for the rolling time-series
+    /// (windowed rates in `status`). Zero disables the sampler thread.
+    pub sample_ms: u64,
+    /// Optional TCP address for a plain-HTTP Prometheus scrape
+    /// endpoint, e.g. `127.0.0.1:9464`. `None` leaves scraping to the
+    /// protocol's `metrics` request.
+    pub prometheus: Option<String>,
+    /// Optional file the flight-recorder dump is appended to (stderr
+    /// always receives it).
+    pub flight_file: Option<PathBuf>,
+    /// How many finished request traces the daemon retains for `trace`
+    /// lookups (oldest evicted first). Zero disables retention.
+    pub trace_buffer: usize,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +110,10 @@ impl Default for ServeConfig {
             max_line: 1 << 20,
             default_deadline_ms: None,
             default_machine: None,
+            sample_ms: 1000,
+            prometheus: None,
+            flight_file: None,
+            trace_buffer: 64,
         }
     }
 }
@@ -124,11 +160,50 @@ struct QueuedRequest {
     spec: BatchSpec,
     token: CancelToken,
     out: Out,
+    /// When the request entered the queue; the `queue-wait` phase spans
+    /// from here to executor pickup.
+    admitted: Instant,
+    /// The request's trace accumulator, created at admission.
+    ctx: obs::RequestCtx,
 }
 
 struct QueueState {
     jobs: VecDeque<QueuedRequest>,
     closing: bool,
+}
+
+/// Bounded buffer of finished request traces, newest kept.
+struct TraceStore {
+    capacity: usize,
+    traces: VecDeque<obs::trace::Trace>,
+}
+
+impl TraceStore {
+    fn new(capacity: usize) -> TraceStore {
+        TraceStore {
+            capacity,
+            traces: VecDeque::new(),
+        }
+    }
+
+    fn insert(&mut self, trace: obs::trace::Trace) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.traces.len() == self.capacity {
+            self.traces.pop_front();
+        }
+        self.traces.push_back(trace);
+    }
+
+    /// The newest retained trace for `request_id` (ids are
+    /// client-chosen and may repeat; latest wins).
+    fn get(&self, request_id: &str) -> Option<&obs::trace::Trace> {
+        self.traces
+            .iter()
+            .rev()
+            .find(|t| t.request_id == request_id)
+    }
 }
 
 struct Shared {
@@ -138,6 +213,11 @@ struct Shared {
     ready: Condvar,
     stats: ServiceStats,
     started: Instant,
+    traces: Mutex<TraceStore>,
+    /// End-to-end (admission → response) latency of predict requests.
+    latency: Mutex<obs::Hist>,
+    /// The sampler's rolling time-series.
+    series: Mutex<obs::series::SeriesRing>,
 }
 
 /// A bound daemon, ready to [`run`](Server::run).
@@ -145,6 +225,7 @@ pub struct Server {
     shared: Arc<Shared>,
     unix_listener: Option<UnixListener>,
     tcp_listener: Option<TcpListener>,
+    prom_listener: Option<TcpListener>,
 }
 
 impl Server {
@@ -176,7 +257,20 @@ impl Server {
             }
             None => None,
         };
+        let prom_listener = match &config.prometheus {
+            Some(addr) => {
+                let listener = TcpListener::bind(addr.as_str())?;
+                listener.set_nonblocking(true)?;
+                Some(listener)
+            }
+            None => None,
+        };
         let cache = ProfileCache::bounded(config.cache.max(1));
+        // The flight recorder covers the daemon's whole lifetime; the
+        // engine's cache-eviction events land in the same ring.
+        obs::events::enable(obs::events::DEFAULT_CAPACITY);
+        let series_capacity = obs::series::SeriesRing::capacity_for_tick(config.sample_ms.max(1));
+        let trace_buffer = config.trace_buffer;
         Ok(Server {
             shared: Arc::new(Shared {
                 config,
@@ -188,9 +282,13 @@ impl Server {
                 ready: Condvar::new(),
                 stats: ServiceStats::default(),
                 started: Instant::now(),
+                traces: Mutex::new(TraceStore::new(trace_buffer)),
+                latency: Mutex::new(obs::Hist::default()),
+                series: Mutex::new(obs::series::SeriesRing::new(series_capacity)),
             }),
             unix_listener,
             tcp_listener,
+            prom_listener,
         })
     }
 
@@ -198,6 +296,13 @@ impl Server {
     /// callers bind port 0 and discover the real port).
     pub fn tcp_addr(&self) -> Option<SocketAddr> {
         self.tcp_listener.as_ref().and_then(|l| l.local_addr().ok())
+    }
+
+    /// The bound Prometheus scrape address, when one was configured.
+    pub fn prometheus_addr(&self) -> Option<SocketAddr> {
+        self.prom_listener
+            .as_ref()
+            .and_then(|l| l.local_addr().ok())
     }
 
     /// Serves until shutdown is requested (signal or protocol), then
@@ -210,9 +315,16 @@ impl Server {
                 std::thread::spawn(move || executor_loop(&shared))
             })
             .collect();
+        let sampler: Option<JoinHandle<()>> = (shared.config.sample_ms > 0).then(|| {
+            let shared = Arc::clone(shared);
+            std::thread::spawn(move || sampler_loop(&shared))
+        });
 
         let mut sessions: Vec<JoinHandle<()>> = Vec::new();
         while !signal::shutdown_requested() {
+            if signal::take_dump_request() {
+                dump_flight(&shared.config);
+            }
             let mut accepted = false;
             if let Some(listener) = &self.unix_listener {
                 match listener.accept() {
@@ -240,6 +352,19 @@ impl Server {
                     Err(_) => {}
                 }
             }
+            if let Some(listener) = &self.prom_listener {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        accepted = true;
+                        let shared = Arc::clone(shared);
+                        sessions.push(std::thread::spawn(move || {
+                            serve_prometheus_scrape(&shared, stream);
+                        }));
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {}
+                    Err(_) => {}
+                }
+            }
             sessions.retain(|handle| !handle.is_finished());
             if !accepted {
                 std::thread::sleep(POLL_INTERVAL);
@@ -259,6 +384,13 @@ impl Server {
         }
         for handle in executors {
             log_worker_panic(handle.join(), "executor worker");
+        }
+        if let Some(handle) = sampler {
+            log_worker_panic(handle.join(), "sampler");
+        }
+        // A SIGQUIT that raced the shutdown still gets its dump.
+        if signal::take_dump_request() {
+            dump_flight(&shared.config);
         }
         if let Some(path) = &shared.config.unix {
             let _ = std::fs::remove_file(path);
@@ -410,6 +542,23 @@ fn handle_frame(shared: &Shared, out: &Out, frame: Frame) {
             let body = status_document(shared);
             write_line(shared, out, &protocol::status_line(&id, &body));
         }
+        Request::Trace { id, request } => {
+            let json = lock(&shared.traces).get(&request).map(|t| t.to_json());
+            match json {
+                Some(json) => write_line(shared, out, &protocol::trace_line(&id, &json)),
+                None => {
+                    let message = format!(
+                        "no trace retained for request \"{request}\" (buffer keeps the newest {})",
+                        shared.config.trace_buffer
+                    );
+                    write_error(shared, out, Some(&id), ErrorCode::NotFound, &message);
+                }
+            }
+        }
+        Request::Metrics { id } => {
+            let body = metrics_document(shared);
+            write_line(shared, out, &protocol::metrics_line(&id, &body));
+        }
         Request::Shutdown { id } => {
             write_line(shared, out, &protocol::shutdown_line(&id));
             signal::request_shutdown();
@@ -449,15 +598,20 @@ fn submit_predict(
         None => CancelToken::never(),
     };
     let request = QueuedRequest {
+        ctx: obs::RequestCtx::new(id.as_str()),
         id,
         spec,
         token,
         out: Arc::clone(out),
+        admitted: Instant::now(),
     };
     let mut queue = lock(&shared.queue);
     if queue.closing {
         let id = request.id;
         drop(queue);
+        obs::events::record("shutting_down", || {
+            format!("request {id} rejected: service draining")
+        });
         write_error(
             shared,
             out,
@@ -468,15 +622,20 @@ fn submit_predict(
         return;
     }
     if queue.jobs.len() >= shared.config.queue {
-        let message = format!(
-            "queue full ({} request(s) queued); retry later",
-            queue.jobs.len()
-        );
+        let depth = queue.jobs.len();
+        let message = format!("queue full ({depth} request(s) queued); retry later");
         let id = request.id;
         drop(queue);
+        obs::events::record("overloaded", || {
+            format!("request {id} rejected: queue full ({depth} queued)")
+        });
         write_error(shared, out, Some(&id), ErrorCode::Overloaded, &message);
         return;
     }
+    let depth = queue.jobs.len() + 1;
+    obs::events::record("admit", || {
+        format!("request {} admitted (queue depth {depth})", request.id)
+    });
     queue.jobs.push_back(request);
     let inflight = shared.stats.inflight.fetch_add(1, Ordering::SeqCst) + 1;
     shared
@@ -510,7 +669,32 @@ fn executor_loop(shared: &Shared) {
             obs::flush_thread();
             return;
         };
-        run_one(shared, request);
+        // A panicking request must not take the executor thread (and
+        // its queue slot) with it: contain it, dump the flight
+        // recorder, answer the client with a typed error, and keep
+        // serving.
+        let id = request.id.clone();
+        let out = Arc::clone(&request.out);
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_one(shared, request)));
+        if let Err(payload) = outcome {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            obs::events::record("panic", || {
+                format!("executor panicked on request {id}: {msg}")
+            });
+            dump_flight(&shared.config);
+            write_error(
+                shared,
+                &out,
+                Some(&id),
+                ErrorCode::Internal,
+                "executor panicked while running the request",
+            );
+        }
         shared.stats.inflight.fetch_sub(1, Ordering::SeqCst);
     }
 }
@@ -521,10 +705,17 @@ fn run_one(shared: &Shared, request: QueuedRequest) {
         spec,
         token,
         out,
+        admitted,
+        ctx,
     } = request;
+    ctx.record_since(&["queue-wait"], admitted, Some("serve.phase.queue_wait_ns"));
     // A request whose deadline elapsed while queued fails fast without
     // touching the engine.
     if let Some(reason) = token.cancelled() {
+        if matches!(reason, Cancelled::DeadlineExceeded) {
+            obs::events::record("deadline", || format!("request {id} expired while queued"));
+        }
+        finish_request(shared, &ctx);
         write_error(
             shared,
             &out,
@@ -534,27 +725,52 @@ fn run_one(shared: &Shared, request: QueuedRequest) {
         );
         return;
     }
-    let result = locality_engine::run_streaming(&spec, &shared.cache, &token, |report| {
-        write_line(
-            shared,
-            &out,
-            &protocol::report_line(&id, &report.to_json_line()),
-        );
-    });
+    let result =
+        locality_engine::run_streaming_traced(&spec, &shared.cache, &token, &ctx, |report| {
+            write_line(
+                shared,
+                &out,
+                &protocol::report_line(&id, &report.to_json_line()),
+            );
+        });
+    // Seal the trace *before* the final response line goes out: a client
+    // that sends `TRACE <id>` the moment it reads `done` must find it.
     match result {
         Ok(stats) => {
             shared.stats.completed.fetch_add(1, Ordering::SeqCst);
+            finish_request(shared, &ctx);
             write_line(shared, &out, &protocol::done_line(&id, &stats));
         }
         Err(e) => {
+            if matches!(&e, EngineError::Cancelled(Cancelled::DeadlineExceeded)) {
+                obs::events::record("deadline", || {
+                    format!("request {id} hit its deadline mid-run")
+                });
+            }
             let code = match &e {
                 EngineError::Cancelled(reason) => cancel_code(*reason),
                 EngineError::Spec(_)
                 | EngineError::Matrix { .. }
                 | EngineError::Scenario { .. } => ErrorCode::BadRequest,
             };
+            finish_request(shared, &ctx);
             write_error(shared, &out, Some(&id), code, &e.to_string());
         }
+    }
+}
+
+/// Seals a request's trace into the trace buffer, folds its end-to-end
+/// latency into the live histogram, and flushes this executor's
+/// thread-local obs data so the sampler and `metrics` scrapes see the
+/// engine's counters while the daemon is still running.
+fn finish_request(shared: &Shared, ctx: &obs::RequestCtx) {
+    if let Some(trace) = ctx.finish() {
+        lock(&shared.latency).record(trace.total_ns);
+        obs::observe("serve.request_latency_ns", trace.total_ns);
+        lock(&shared.traces).insert(trace);
+    }
+    if obs::enabled() {
+        obs::flush_thread();
     }
 }
 
@@ -565,9 +781,11 @@ fn cancel_code(reason: Cancelled) -> ErrorCode {
     }
 }
 
-/// The `STATUS` body: service gauges/counters plus the shared cache's
-/// SLO counters, rendered as a one-line obs metrics document.
-fn status_document(shared: &Shared) -> String {
+/// The live counters/gauges as an [`obs::Aggregate`]: service atomics,
+/// the shared cache's SLO counters, and the end-to-end request-latency
+/// histogram (whose JSON form carries `p50`/`p95`/`p99`). Both the
+/// `STATUS` document and the Prometheus exposition build on this.
+fn live_aggregate(shared: &Shared) -> obs::Aggregate {
     let stats = &shared.stats;
     let cache = &shared.cache;
     let mut agg = obs::Aggregate::default();
@@ -593,7 +811,7 @@ fn status_document(shared: &Shared) -> String {
     for (name, value) in counters {
         agg.counters.insert(name.to_string(), value);
     }
-    let gauges: [(&str, u64); 5] = [
+    let gauges: [(&str, u64); 6] = [
         (
             "serve.uptime_ms",
             shared.started.elapsed().as_millis() as u64,
@@ -606,6 +824,7 @@ fn status_document(shared: &Shared) -> String {
             "serve.inflight_peak",
             stats.inflight_peak.load(Ordering::SeqCst) as u64,
         ),
+        ("serve.queue_depth", lock(&shared.queue).jobs.len() as u64),
         ("engine.cache.size", cache.len() as u64),
         (
             "engine.cache.hit_rate_pct",
@@ -615,11 +834,216 @@ fn status_document(shared: &Shared) -> String {
     for (name, value) in gauges {
         agg.gauges.insert(name.to_string(), value);
     }
-    obs::MetricsDoc {
+    let latency = lock(&shared.latency).clone();
+    if latency.count > 0 {
+        agg.histograms
+            .insert("serve.request_latency_ns".to_string(), latency);
+    }
+    agg
+}
+
+/// The `STATUS` body: the live aggregate rendered as a one-line obs
+/// metrics document, extended with a `"series"` member carrying the
+/// sampler's windowed rates.
+fn status_document(shared: &Shared) -> String {
+    let agg = live_aggregate(shared);
+    let doc = obs::MetricsDoc {
         command: "serve",
         aggregate: &agg,
     }
-    .to_json_line()
+    .to_json_line();
+    // Splice the series object in before the document's closing brace;
+    // the document is a single-line JSON object by construction.
+    let series = series_json(shared);
+    format!("{},\"series\": {}}}", &doc[..doc.len() - 1], series)
+}
+
+/// The `METRICS` body: the live aggregate — merged with the global obs
+/// aggregate when `--obs` telemetry is enabled, so engine spans,
+/// counters and phase histograms ride along — rendered as Prometheus
+/// text exposition.
+fn metrics_document(shared: &Shared) -> String {
+    let mut agg = live_aggregate(shared);
+    if obs::enabled() {
+        agg.merge(&obs::snapshot());
+    }
+    obs::prom::render(&agg)
+}
+
+/// An `Option<f64>` as a JSON number or `null` (honest absence: a
+/// window with too few samples has no rate, not a zero one).
+fn fmt_rate(v: Option<f64>) -> String {
+    match v {
+        Some(v) if v.is_finite() => format!("{v:.3}"),
+        _ => "null".to_string(),
+    }
+}
+
+/// The `"series"` member of the `STATUS` document: for each window,
+/// refs/sec, jobs/sec, cache hit-rate, queue depth and evictions/sec
+/// derived from the sampler's ring.
+fn series_json(shared: &Shared) -> String {
+    use std::fmt::Write as _;
+    let ring = lock(&shared.series);
+    let now_ms = shared.started.elapsed().as_millis() as u64;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"sample_ms\": {}, \"samples\": {}, \"windows\": {{",
+        shared.config.sample_ms,
+        ring.len()
+    );
+    let mut first = true;
+    for (label, width) in obs::series::WINDOWS {
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        let refs = fmt_rate(ring.rate_per_sec(now_ms, width, "memtrace.cursor.refs"));
+        let jobs = fmt_rate(ring.rate_per_sec(now_ms, width, "serve.completed"));
+        let hit_rate = fmt_rate(ring.ratio_pct(
+            now_ms,
+            width,
+            "engine.cache.hits",
+            &["engine.cache.hits", "engine.cache.computations"],
+        ));
+        let evictions = fmt_rate(ring.rate_per_sec(now_ms, width, "engine.cache.evictions"));
+        let depth = match ring.gauge_max(now_ms, width, "serve.queue_depth") {
+            Some(v) => v.to_string(),
+            None => "null".to_string(),
+        };
+        let _ = write!(
+            out,
+            "\"{label}\": {{\"refs_per_sec\": {refs}, \"jobs_per_sec\": {jobs}, \
+             \"cache_hit_rate_pct\": {hit_rate}, \"queue_depth\": {depth}, \
+             \"evictions_per_sec\": {evictions}}}"
+        );
+    }
+    out.push_str("}}");
+    out
+}
+
+/// One sampler tick: the cumulative live counters plus instantaneous
+/// gauges, stamped with milliseconds since daemon start. When the obs
+/// sink is enabled the global aggregate's reference counter rides along
+/// so `refs_per_sec` windows resolve.
+fn live_sample(shared: &Shared) -> obs::series::Sample {
+    let stats = &shared.stats;
+    let cache = &shared.cache;
+    let mut sample = obs::series::Sample {
+        at_ms: shared.started.elapsed().as_millis() as u64,
+        ..Default::default()
+    };
+    let counters: [(&str, u64); 7] = [
+        ("serve.requests", stats.requests.load(Ordering::SeqCst)),
+        ("serve.completed", stats.completed.load(Ordering::SeqCst)),
+        ("serve.errors", stats.errors.load(Ordering::SeqCst)),
+        ("serve.overloaded", stats.overloaded.load(Ordering::SeqCst)),
+        ("engine.cache.hits", cache.hits()),
+        ("engine.cache.computations", cache.computations()),
+        ("engine.cache.evictions", cache.evictions()),
+    ];
+    for (name, value) in counters {
+        sample.counters.insert(name.to_string(), value);
+    }
+    if obs::enabled() {
+        let agg = obs::snapshot();
+        if let Some(&refs) = agg.counters.get("memtrace.cursor.refs") {
+            sample
+                .counters
+                .insert("memtrace.cursor.refs".to_string(), refs);
+        }
+    }
+    let gauges: [(&str, u64); 3] = [
+        (
+            "serve.inflight",
+            stats.inflight.load(Ordering::SeqCst) as u64,
+        ),
+        ("serve.queue_depth", lock(&shared.queue).jobs.len() as u64),
+        ("engine.cache.size", cache.len() as u64),
+    ];
+    for (name, value) in gauges {
+        sample.gauges.insert(name.to_string(), value);
+    }
+    sample
+}
+
+/// The sampler thread: pushes one [`live_sample`] per `sample_ms` tick
+/// into the bounded series ring until shutdown. Sleeps in
+/// [`POLL_INTERVAL`] slices so the drain never waits a full tick.
+fn sampler_loop(shared: &Shared) {
+    let tick = Duration::from_millis(shared.config.sample_ms.max(1));
+    let mut next = Instant::now() + tick;
+    while !signal::shutdown_requested() {
+        std::thread::sleep(POLL_INTERVAL.min(tick));
+        if Instant::now() < next {
+            continue;
+        }
+        next = Instant::now() + tick;
+        let sample = live_sample(shared);
+        lock(&shared.series).push(sample);
+    }
+}
+
+/// Writes the flight-recorder dump to stderr and, when configured, to
+/// the flight file (append — successive dumps accumulate).
+fn dump_flight(config: &ServeConfig) {
+    let dump = obs::events::render_dump();
+    eprint!("{dump}");
+    if let Some(path) = &config.flight_file {
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| f.write_all(dump.as_bytes()));
+        if let Err(e) = appended {
+            eprintln!(
+                "spmv-locality serve: cannot append flight dump to {}: {e}",
+                path.display()
+            );
+        }
+    }
+}
+
+/// Answers one Prometheus scrape on the dedicated HTTP listener: reads
+/// the request head (best effort — the exposition is the same whatever
+/// the path), writes one `200` with the text-format body, closes.
+fn serve_prometheus_scrape(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    // Read until the blank line ending the request head, EOF, or
+    // timeout; scrapers send tiny GETs, so a few reads suffice.
+    for _ in 0..64 {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n")
+                    || head.windows(2).any(|w| w == b"\n\n")
+                {
+                    break;
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+    }
+    let body = metrics_document(shared);
+    let response = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    if stream
+        .write_all(response.as_bytes())
+        .and_then(|()| stream.flush())
+        .is_err()
+    {
+        shared.stats.write_errors.fetch_add(1, Ordering::SeqCst);
+    }
 }
 
 #[cfg(test)]
@@ -709,6 +1133,75 @@ mod tests {
             .get("gauges")
             .and_then(|g| g.get("engine.cache.size"))
             .is_some());
+        // The extended STATUS carries the request-latency histogram with
+        // percentiles and a series object with every window (rates are
+        // null this early — the sampler has at most one sample).
+        let latency = body
+            .get("histograms")
+            .and_then(|h| h.get("serve.request_latency_ns"))
+            .expect("latency histogram present");
+        assert_eq!(latency.get("count").and_then(Json::as_u64), Some(2));
+        assert!(latency.get("p50").and_then(Json::as_u64).unwrap() > 0);
+        let series = body.get("series").expect("series present");
+        for (label, _) in obs::series::WINDOWS {
+            let window = series
+                .get("windows")
+                .and_then(|w| w.get(label))
+                .unwrap_or_else(|| panic!("window {label} missing"));
+            assert!(window.get("jobs_per_sec").is_some());
+            assert!(window.get("cache_hit_rate_pct").is_some());
+        }
+
+        // TRACE of a finished request: the phase tree has queue-wait,
+        // cache-lookup, compute and stream-out with real durations.
+        send(&mut conn, r#"{"id":"t1","trace":"r1"}"#);
+        let trace = next();
+        let tree = trace.get("trace").cloned().unwrap();
+        assert_eq!(tree.get("request").and_then(Json::as_str), Some("r1"));
+        assert!(tree.get("total_ns").and_then(Json::as_u64).unwrap() > 0);
+        let phases = tree.get("phases").and_then(Json::as_array).unwrap();
+        let phase = |name: &str| {
+            phases
+                .iter()
+                .find(|p| p.get("name").and_then(Json::as_str) == Some(name))
+                .unwrap_or_else(|| panic!("phase {name} missing"))
+        };
+        for name in ["queue-wait", "cache-lookup", "compute", "stream-out"] {
+            let p = phase(name);
+            assert!(
+                p.get("wall_ns").and_then(Json::as_u64).unwrap() > 0,
+                "{name} has zero duration"
+            );
+        }
+        // Two jobs -> the per-domain fan-out merged under compute.
+        assert!(phase("compute")
+            .get("children")
+            .and_then(Json::as_array)
+            .is_some());
+
+        // TRACE of an unknown id is a typed not_found error.
+        send(&mut conn, r#"{"id":"t2","trace":"nope"}"#);
+        let error = next();
+        assert_eq!(
+            error
+                .get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("not_found")
+        );
+
+        // METRICS round-trips the strict Prometheus checker and carries
+        // the live counters.
+        send(&mut conn, r#"{"id":"m1","metrics":true}"#);
+        let metrics = next();
+        let text = metrics.get("metrics").and_then(Json::as_str).unwrap();
+        let samples = obs::prom::check(text).unwrap_or_else(|e| panic!("bad exposition: {e}"));
+        assert!(samples > 0);
+        assert!(text.contains("spmv_serve_completed 2"), "{text}");
+        assert!(
+            text.contains("# TYPE spmv_serve_request_latency_ns histogram"),
+            "{text}"
+        );
 
         // Malformed and invalid-spec lines answer with typed errors.
         send(&mut conn, "this is not json");
@@ -738,6 +1231,7 @@ mod tests {
         let summary = handle.join().unwrap();
         assert_eq!(summary.connections, 1);
         assert_eq!(summary.completed, 2);
-        assert_eq!(summary.errors, 2);
+        // bad JSON, bad spec, unknown trace id.
+        assert_eq!(summary.errors, 3);
     }
 }

@@ -1,17 +1,20 @@
-//! Process-wide shutdown flag, settable from Unix signals.
+//! Process-wide shutdown and dump flags, settable from Unix signals.
 //!
 //! The workspace carries no `libc` crate, but every Rust binary on
 //! Linux already links the C library, so `signal(2)` can be declared
-//! directly. The handler is async-signal-safe: it only stores to an
-//! atomic. Listener and session loops poll the flag (they run with
+//! directly. The handlers are async-signal-safe: they only store to
+//! atomics. Listener and session loops poll the flags (they run with
 //! short accept/read timeouts), which turns SIGINT/SIGTERM into a
-//! graceful drain instead of an abrupt exit.
+//! graceful drain instead of an abrupt exit, and SIGQUIT into a
+//! flight-recorder dump without stopping the service.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+static DUMP: AtomicBool = AtomicBool::new(false);
 
 const SIGINT: i32 = 2;
+const SIGQUIT: i32 = 3;
 const SIGTERM: i32 = 15;
 
 extern "C" {
@@ -24,11 +27,19 @@ extern "C" fn on_signal(_signum: i32) {
     SHUTDOWN.store(true, Ordering::SeqCst);
 }
 
-/// Routes SIGINT and SIGTERM into [`shutdown_requested`].
+extern "C" fn on_dump_signal(_signum: i32) {
+    DUMP.store(true, Ordering::SeqCst);
+}
+
+/// Routes SIGINT and SIGTERM into [`shutdown_requested`], and SIGQUIT
+/// into [`take_dump_request`] (a diagnostic dump, not a shutdown — the
+/// default SIGQUIT action would core-dump the daemon, which is exactly
+/// the moment an operator wants the flight recorder instead).
 pub fn install_handlers() {
     unsafe {
         signal(SIGINT, on_signal);
         signal(SIGTERM, on_signal);
+        signal(SIGQUIT, on_dump_signal);
     }
 }
 
@@ -41,4 +52,17 @@ pub fn request_shutdown() {
 /// Whether a shutdown has been requested by signal or protocol.
 pub fn shutdown_requested() -> bool {
     SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Raises the dump flag programmatically (tests use this in place of an
+/// actual SIGQUIT).
+pub fn request_dump() {
+    DUMP.store(true, Ordering::SeqCst);
+}
+
+/// Consumes a pending dump request, returning whether one was pending.
+/// The accept loop polls this once per iteration; swap-to-false makes
+/// each SIGQUIT produce exactly one dump.
+pub fn take_dump_request() -> bool {
+    DUMP.swap(false, Ordering::SeqCst)
 }

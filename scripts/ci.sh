@@ -47,6 +47,13 @@ echo "== bench smoke: block-batched pipeline (BENCH_pr7.json) =="
 cargo run --release --offline -p spmv-bench --bin bench_pr7 -- \
     --count 4 --scale 64 --threads 8 --floor 20000000
 
+echo "== bench trajectory: cross-PR marker-throughput gate =="
+# Both BENCH_*.json files were regenerated on this host just above, so
+# the cross-PR comparison is same-host: the newest PR's streaming_marker
+# rate must be within 10% of the best earlier one.
+cargo run --release --offline -p spmv-bench --bin bench_trajectory -- \
+    --dir . --tolerance 10
+
 echo "== telemetry smoke: batch --metrics (spmv-obs) =="
 # The metrics sink must never change the report: run the same tiny batch
 # with and without --metrics (and with different worker counts) and
@@ -205,6 +212,150 @@ if grep -q ' 0 drained' "$OBS_TMP/serve_stderr.txt"; then
     exit 1
 fi
 [ ! -e "$OBS_TMP/serve.sock" ] || { echo "ci: socket file not cleaned up" >&2; exit 1; }
+
+echo "== observability smoke: METRICS scrapes, HTTP exposition, SIGQUIT dump =="
+# A second daemon with the full observability plane armed: the METRICS
+# verb scraped twice (exposition must stay parseable and the request
+# counter must increase between scrapes), the side-car Prometheus HTTP
+# listener, the rolling STATUS series off the 100ms sampler, and the
+# flight recorder — a queue-full rejection must surface as an
+# `overloaded` event in the SIGQUIT dump, and SIGQUIT itself must leave
+# the daemon running (clean protocol shutdown afterwards, exit 0).
+cargo run --release --offline --bin spmv-locality -- \
+    serve --unix "$OBS_TMP/obs_serve.sock" --executors 1 --queue 1 \
+    --sample-ms 100 --prometheus 127.0.0.1:0 \
+    --flight-file "$OBS_TMP/flight.txt" \
+    2> "$OBS_TMP/obs_serve_stderr.txt" &
+OBS_SERVE_PID=$!
+OBS_SMOKE=0
+python3 - "$OBS_TMP" "$OBS_SERVE_PID" <<'EOF' || OBS_SMOKE=$?
+import json, os, re, signal, socket, sys, time, urllib.request
+
+tmp, serve_pid = sys.argv[1], int(sys.argv[2])
+sock_path = os.path.join(tmp, "obs_serve.sock")
+for _ in range(400):
+    if os.path.exists(sock_path):
+        break
+    time.sleep(0.025)
+else:
+    sys.exit("obs serve daemon never bound its socket")
+
+spec = open(os.path.join(tmp, "serve.spec")).read()
+heavy = open(os.path.join(tmp, "serve_heavy.spec")).read()
+
+s = socket.socket(socket.AF_UNIX)
+s.connect(sock_path)
+f = s.makefile("rw")
+
+def send(obj):
+    f.write(json.dumps(obj) + "\n"); f.flush()
+
+def predict(rid, text):
+    send({"id": rid, "spec": text})
+    done = None
+    while done is None:
+        msg = json.loads(f.readline())
+        assert msg["id"] == rid, msg
+        if "done" in msg:
+            done = msg["done"]
+    return done
+
+SAMPLE = re.compile(r'^[A-Za-z_:][A-Za-z0-9_:]*(\{[^}]*\})? -?[0-9.eE+]+$')
+def scrape(rid):
+    send({"id": rid, "metrics": True})
+    msg = json.loads(f.readline())
+    assert msg["id"] == rid, msg
+    values = {}
+    for line in msg["metrics"].splitlines():
+        if line.startswith("#"):
+            assert line.startswith("# TYPE "), line
+            continue
+        assert SAMPLE.match(line), f"bad exposition line: {line!r}"
+        name, value = line.rsplit(" ", 1)
+        values[name] = float(value)
+    assert values, "empty exposition"
+    return values
+
+predict("o1", spec)
+m1 = scrape("m1")
+assert m1["spmv_serve_completed"] == 1, m1
+predict("o2", spec)
+m2 = scrape("m2")
+assert m2["spmv_serve_completed"] == 2, m2
+assert m2["spmv_serve_requests"] > m1["spmv_serve_requests"], (m1, m2)
+
+# The TRACE tree for the first (uncached) request has the full ladder.
+send({"id": "t1", "trace": "o1"})
+trace = json.loads(f.readline())["trace"]
+phases = {p["name"]: p for p in trace["phases"]}
+for name in ("queue-wait", "cache-lookup", "compute", "stream-out"):
+    assert phases[name]["wall_ns"] > 0, (name, trace)
+
+# The side-car Prometheus listener serves the same exposition over HTTP.
+stderr_text = open(os.path.join(tmp, "obs_serve_stderr.txt")).read()
+m = re.search(r"prometheus exposition on (http://\S+/metrics)", stderr_text)
+assert m, stderr_text
+body = urllib.request.urlopen(m.group(1), timeout=10).read().decode()
+assert "# TYPE spmv_serve_completed counter" in body, body[:400]
+
+# STATUS carries the rolling series (sampler is on a 100ms tick).
+send({"id": "s1", "status": True})
+status = json.loads(f.readline())["status"]
+series = status["series"]
+assert series["samples"] >= 2, series
+assert set(series["windows"]) == {"10s", "1m", "5m"}, series
+
+# Fill the one-slot queue: the heavy request occupies the executor, one
+# more queues, and the next is rejected `overloaded` — that rejection
+# must show up in the flight-recorder dump below.
+send({"id": "h1", "spec": heavy})
+time.sleep(0.4)  # let the executor pick the heavy request up
+send({"id": "q1", "spec": spec})
+send({"id": "r1", "spec": spec})
+msg = None
+while msg is None or msg["id"] != "r1":
+    msg = json.loads(f.readline())
+assert msg["error"]["code"] == "overloaded", msg
+
+# SIGQUIT dumps the flight recorder without killing the daemon.
+os.kill(serve_pid, signal.SIGQUIT)
+flight = os.path.join(tmp, "flight.txt")
+for _ in range(200):
+    if os.path.exists(flight) and "flight-recorder end" in open(flight).read():
+        break
+    time.sleep(0.025)
+else:
+    sys.exit("SIGQUIT produced no flight-recorder dump")
+
+# Clean shutdown via the protocol: in-flight work drains first.
+send({"id": "bye", "shutdown": True})
+for rid in ("h1", "q1"):
+    done = None
+    while done is None:
+        msg = json.loads(f.readline())
+        if msg["id"] == rid and "done" in msg:
+            done = msg["done"]
+print("observability smoke ok: metrics x2, trace, http scrape, series, dump")
+EOF
+if [ "$OBS_SMOKE" -ne 0 ]; then
+    kill "$OBS_SERVE_PID" 2>/dev/null || true
+    echo "ci: observability smoke client failed" >&2
+    exit 1
+fi
+OBS_SERVE_EXIT=0
+wait "$OBS_SERVE_PID" || OBS_SERVE_EXIT=$?
+[ "$OBS_SERVE_EXIT" -eq 0 ] || {
+    echo "ci: obs serve daemon exited $OBS_SERVE_EXIT" >&2; exit 1
+}
+grep -q '# flight-recorder dump' "$OBS_TMP/flight.txt" || {
+    echo "ci: flight file is missing the dump header" >&2; exit 1
+}
+grep -q '"kind": "overloaded"' "$OBS_TMP/flight.txt" || {
+    echo "ci: flight dump is missing the overloaded rejection" >&2; exit 1
+}
+grep -q '# flight-recorder dump' "$OBS_TMP/obs_serve_stderr.txt" || {
+    echo "ci: SIGQUIT dump did not reach stderr" >&2; exit 1
+}
 
 echo "== format smoke: CSR vs SELL-C-sigma (exp_sell) =="
 # Tiny corpus through both storage formats: exercises the SELL trace

@@ -152,7 +152,9 @@ fn usage() -> ! {
          [--metrics PATH]\n\
          \x20      spmv-locality serve [--unix PATH] [--tcp ADDR] \
          [--executors N] [--queue N] [--cache N] [--max-line BYTES] \
-         [--deadline-ms N] [--machine M] [--metrics PATH]"
+         [--deadline-ms N] [--machine M] [--metrics PATH] \
+         [--sample-ms N] [--prometheus ADDR] [--flight-file PATH] \
+         [--trace-buffer N]"
     );
     std::process::exit(2);
 }
@@ -314,12 +316,21 @@ fn run_serve_command(args: impl Iterator<Item = String>) -> ! {
             }
             "--machine" => config.default_machine = Some(parse_machine(args.next())),
             "--metrics" => metrics = Some(args.next().unwrap_or_else(|| usage())),
+            "--sample-ms" => config.sample_ms = value("--sample-ms") as u64,
+            "--prometheus" => {
+                config.prometheus = Some(args.next().unwrap_or_else(|| usage()));
+            }
+            "--flight-file" => {
+                config.flight_file = Some(args.next().unwrap_or_else(|| usage()).into());
+            }
+            "--trace-buffer" => config.trace_buffer = value("--trace-buffer"),
             _ => usage(),
         }
     }
     metrics_setup(&metrics);
     let unix_path = config.unix.clone();
     let tcp_addr = config.tcp.clone();
+    let prometheus = config.prometheus.clone();
     serve::signal::install_handlers();
     let server = serve::Server::bind(config).unwrap_or_else(|e| {
         eprintln!("spmv-locality serve: {e}");
@@ -331,6 +342,11 @@ fn run_serve_command(args: impl Iterator<Item = String>) -> ! {
     if tcp_addr.is_some() {
         if let Some(addr) = server.tcp_addr() {
             eprintln!("# serve: listening on tcp {addr}");
+        }
+    }
+    if prometheus.is_some() {
+        if let Some(addr) = server.prometheus_addr() {
+            eprintln!("# serve: prometheus exposition on http://{addr}/metrics");
         }
     }
     let summary = server.run();

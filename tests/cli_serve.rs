@@ -256,6 +256,108 @@ fn serve_matches_batch_and_shares_cache_across_requests() {
 }
 
 #[test]
+fn serve_stays_byte_exact_under_concurrent_status_and_metrics_polling() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    // Oracle: the batch command on the same spec.
+    let dir = scratch("poll-oracle");
+    let spec_path = dir.join("jobs.spec");
+    std::fs::write(&spec_path, SPEC).unwrap();
+    let batch = Command::new(BIN)
+        .args(["batch", spec_path.to_str().unwrap()])
+        .output()
+        .expect("run batch oracle");
+    assert_eq!(batch.status.code(), Some(0));
+    let oracle: Vec<String> = String::from_utf8_lossy(&batch.stdout)
+        .lines()
+        .filter(|l| l.contains("\"job\":"))
+        .map(str::to_string)
+        .collect();
+    assert_eq!(oracle.len(), 8);
+
+    let daemon = Daemon::start("polling", &["--sample-ms", "50"]);
+
+    // A second connection hammers STATUS and METRICS the whole time:
+    // every response must parse, the exposition must round-trip the
+    // Prometheus checker, and the completion counter must be monotonic
+    // across both views.
+    let stop = Arc::new(AtomicBool::new(false));
+    let poller = {
+        let stop = Arc::clone(&stop);
+        let mut c = daemon.connect();
+        std::thread::spawn(move || {
+            let mut last_completed = 0u64;
+            let mut polls = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                c.send(r#"{"id":"ps","status":true}"#);
+                let body = c.recv().get("status").cloned().expect("status body");
+                let completed = body
+                    .get("counters")
+                    .and_then(|cs| cs.get("serve.completed"))
+                    .and_then(Json::as_u64)
+                    .expect("serve.completed counter");
+                assert!(completed >= last_completed, "STATUS counter went backwards");
+                last_completed = completed;
+                assert!(body.get("series").is_some(), "STATUS lost its series block");
+
+                c.send(r#"{"id":"pm","metrics":true}"#);
+                let text = c
+                    .recv()
+                    .get("metrics")
+                    .and_then(Json::as_str)
+                    .expect("metrics body")
+                    .to_string();
+                let samples = a64fx_spmv::obs::prom::check(&text)
+                    .unwrap_or_else(|e| panic!("invalid exposition: {e}\n{text}"));
+                assert!(samples > 0, "empty exposition");
+                let exposed = text
+                    .lines()
+                    .find_map(|l| l.strip_prefix("spmv_serve_completed "))
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .expect("spmv_serve_completed sample");
+                assert!(exposed >= last_completed, "METRICS counter went backwards");
+                last_completed = exposed;
+                polls += 1;
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            polls
+        })
+    };
+
+    // Meanwhile the main client runs real predictions; the report
+    // payloads must stay byte-identical to the batch oracle under the
+    // concurrent polling load.
+    let mut client = daemon.connect();
+    for (i, id) in ["c1", "c2", "c3"].into_iter().enumerate() {
+        client.predict(id, SPEC, None);
+        let (reports, done) = client.recv_stream(id);
+        let payloads: Vec<String> = reports.iter().map(|l| strip_framing(l, id)).collect();
+        assert_eq!(payloads, oracle, "request {i} drifted from the oracle");
+        assert_eq!(done.get("jobs").and_then(Json::as_u64), Some(8));
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    let polls = poller.join().expect("poller thread");
+    assert!(polls > 0, "poller never completed a round");
+
+    // Final state: all three predictions visible in both views.
+    client.send(r#"{"id":"sf","status":true}"#);
+    let body = client.recv().get("status").cloned().expect("status body");
+    assert_eq!(
+        body.get("counters")
+            .and_then(|cs| cs.get("serve.completed"))
+            .and_then(Json::as_u64),
+        Some(3)
+    );
+
+    client.send(r#"{"id":"q","shutdown":true}"#);
+    client.recv();
+    let (code, stderr) = daemon.wait();
+    assert_eq!(code, 0, "stderr: {stderr}");
+}
+
+#[test]
 fn serve_overload_and_oversized_lines_are_typed_errors() {
     // queue 0: no predict request is ever admitted — the deterministic
     // way to exercise the backpressure rejection.

@@ -56,6 +56,47 @@ fn report_bytes_identical_with_and_without_telemetry() {
 }
 
 #[test]
+fn report_bytes_identical_with_the_full_observability_plane() {
+    let _guard = obs_lock();
+    use locality_engine::{run_streaming, run_streaming_traced, CancelToken};
+
+    // Everything off: the plain streaming run is the byte oracle.
+    obs::reset();
+    obs::disable();
+    let spec = BatchSpec::parse(SPEC).expect("spec parses");
+    let token = CancelToken::never();
+    let mut plain = String::new();
+    run_streaming(&spec, &ProfileCache::new(), &token, |r| {
+        plain.push_str(&r.to_json_line());
+        plain.push('\n');
+    })
+    .expect("plain streaming runs");
+
+    // Everything on: global metrics sink, flight-recorder ring, and a
+    // live per-request trace ctx — the whole serve observability plane.
+    obs::reset();
+    obs::enable();
+    obs::events::enable(obs::events::DEFAULT_CAPACITY);
+    let ctx = obs::RequestCtx::new("full-plane");
+    let mut traced = String::new();
+    run_streaming_traced(&spec, &ProfileCache::new(), &token, &ctx, |r| {
+        traced.push_str(&r.to_json_line());
+        traced.push('\n');
+    })
+    .expect("traced streaming runs");
+    obs::events::disable();
+    obs::disable();
+
+    assert!(
+        plain == traced,
+        "the observability plane must not change report bytes"
+    );
+    let trace = ctx.finish().expect("live ctx yields a trace");
+    assert!(trace.total_ns > 0);
+    assert!(trace.root.get(&["cache-lookup"]).is_some());
+}
+
+#[test]
 fn report_bytes_identical_across_worker_counts() {
     let _guard = obs_lock();
     let one = batch_report(1, true);
